@@ -1,0 +1,30 @@
+// Shared output helpers for the figure/table reproduction benches.
+//
+// Every bench binary prints a header naming the paper artifact it
+// regenerates, then the data rows (tab-separated) so results can be diffed
+// or plotted directly.
+#ifndef SALAMANDER_BENCH_BENCH_UTIL_H_
+#define SALAMANDER_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+namespace salamander {
+namespace bench {
+
+inline void PrintHeader(const std::string& artifact,
+                        const std::string& claim) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n", artifact.c_str());
+  std::printf("paper claim: %s\n", claim.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void PrintSection(const std::string& title) {
+  std::printf("\n-- %s --\n", title.c_str());
+}
+
+}  // namespace bench
+}  // namespace salamander
+
+#endif  // SALAMANDER_BENCH_BENCH_UTIL_H_

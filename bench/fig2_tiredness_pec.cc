@@ -1,0 +1,103 @@
+// Reproduces Fig. 2: "Switching oPages to additional ECC trades capacity for
+// increasingly diminishing lifetime benefits."
+//
+// For each tiredness level L of the paper's running example (16 KiB fPage,
+// four 4 KiB oPages, 2 KiB spare), computes the code rate, the maximum
+// tolerable RBER of the stronger code, and — through a wear model calibrated
+// so a median page retires from L0 at 3000 P/E cycles — the PEC at which a
+// page retires from level L. The headline: L1 buys ~+50% PEC for 25% of the
+// page's capacity, and returns diminish steeply after that (the paper's
+// argument for limiting RegenS to L < 2).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "ecc/tiredness.h"
+#include "flash/wear_model.h"
+
+namespace salamander {
+namespace {
+
+void PrintLadder(const FPageEccGeometry& geometry, uint32_t nominal_pec) {
+  const auto ladder = ComputeTirednessLadder(geometry);
+  const WearModel wear(
+      WearModel::Calibrate(ladder[0].max_tolerable_rber, nominal_pec));
+
+  std::printf(
+      "level\tdata_oPages\tcode_rate\ttolerable_RBER\tretire_PEC\t"
+      "PEC_benefit\tcapacity_cost\n");
+  const double pec_l0 = wear.PecAtRber(ladder[0].max_tolerable_rber);
+  for (const TirednessLevelEcc& level : ladder) {
+    if (level.data_opages == 0) {
+      std::printf("L%u\t0\t-\t-\t-\t-\t-100%%  (page dead)\n", level.level);
+      continue;
+    }
+    const double pec = wear.PecAtRber(level.max_tolerable_rber);
+    const double benefit = pec / pec_l0 - 1.0;
+    const double capacity_cost =
+        1.0 - static_cast<double>(level.data_opages) /
+                  static_cast<double>(geometry.opages_per_fpage);
+    std::printf("L%u\t%u\t%.3f\t%.3e\t%.0f\t%+.1f%%\t-%.0f%%\n", level.level,
+                level.data_opages, level.code_rate, level.max_tolerable_rber,
+                pec, benefit * 100.0, capacity_cost * 100.0);
+  }
+
+  // Marginal utility: PEC benefit per oPage sacrificed — the "increasingly
+  // diminishing" shape of Fig. 2.
+  bench::PrintSection("marginal PEC benefit per sacrificed oPage");
+  double prev_pec = pec_l0;
+  for (unsigned level = 1; level < ladder.size(); ++level) {
+    if (ladder[level].data_opages == 0) {
+      break;
+    }
+    const double pec = wear.PecAtRber(ladder[level].max_tolerable_rber);
+    std::printf("L%u->L%u\t%+.1f%% PEC for 1 oPage (25%% capacity)\n",
+                level - 1, level, (pec / prev_pec - 1.0) * 100.0);
+    prev_pec = pec;
+  }
+}
+
+}  // namespace
+}  // namespace salamander
+
+int main() {
+  using namespace salamander;
+  bench::PrintHeader(
+      "Figure 2 — tiredness level vs PEC benefit",
+      "L1 extends page lifetime by ~50% at 25% capacity cost; returns "
+      "diminish, so RegenS should limit itself to L < 2");
+
+  bench::PrintSection("paper running example: 16 KiB fPage, 2 KiB spare [13]");
+  FPageEccGeometry paper_geometry;
+  PrintLadder(paper_geometry, /*nominal_pec=*/3000);
+
+  // §4.2 notes smaller fPages; show the ladder shape is geometry-robust.
+  bench::PrintSection("ablation: 8 KiB fPage (2 oPages), 1 KiB spare");
+  FPageEccGeometry small_geometry;
+  small_geometry.opages_per_fpage = 2;
+  small_geometry.spare_bytes = 1024;
+  PrintLadder(small_geometry, /*nominal_pec=*/3000);
+
+  bench::PrintSection("ablation: 32 KiB fPage (8 oPages), 4 KiB spare");
+  FPageEccGeometry large_geometry;
+  large_geometry.opages_per_fpage = 8;
+  large_geometry.spare_bytes = 4096;
+  PrintLadder(large_geometry, /*nominal_pec=*/3000);
+
+  // The L1 benefit depends on the RBER growth exponent: our default 2.7
+  // (typical TLC characterization) yields ~+79%; the paper's "+50%" figure
+  // corresponds to a steeper exponent (~3.9) or a more conservative ECC
+  // capability curve. The diminishing-returns *shape* holds throughout.
+  bench::PrintSection("sensitivity: RBER growth exponent b -> L1 PEC benefit");
+  std::printf("exponent\tL1_benefit\tL2_benefit\n");
+  const auto ladder = ComputeTirednessLadder(paper_geometry);
+  for (double exponent : {2.2, 2.7, 3.2, 3.9}) {
+    const WearModel wear(WearModel::Calibrate(
+        ladder[0].max_tolerable_rber, 3000, exponent));
+    const double pec0 = wear.PecAtRber(ladder[0].max_tolerable_rber);
+    const double pec1 = wear.PecAtRber(ladder[1].max_tolerable_rber);
+    const double pec2 = wear.PecAtRber(ladder[2].max_tolerable_rber);
+    std::printf("%.1f\t%+.1f%%\t%+.1f%%\n", exponent,
+                (pec1 / pec0 - 1.0) * 100.0, (pec2 / pec0 - 1.0) * 100.0);
+  }
+  return 0;
+}

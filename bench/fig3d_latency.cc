@@ -1,0 +1,91 @@
+// Reproduces Fig. 3d: large (16 KiB) random-access latency grows as fPages
+// transition to L1, while small (4 KiB) accesses stay flat.
+//
+// §4.2: "sequential access throughput and large random access latency (e.g.
+// 16KB) degrades by a factor of 4/(4-L)... We expect that small, random
+// accesses (i.e., 4 KiB pages) will likely have the same latency in baseline
+// and RegenS." Note the measured 16 KiB penalty at f=1 exceeds the paper's
+// amortized 4/3 factor: a 4-oPage window over 3-oPage pages always straddles
+// two fPages, so unaligned large reads see ~2 flash reads. The paper's own
+// mitigation (dedicated ECC pages) addresses exactly this; we report the
+// honest measured number.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "bench/perf_rig.h"
+
+int main() {
+  using namespace salamander;
+  bench::PrintHeader(
+      "Figure 3d — random access latency vs fraction of L1 fPages",
+      "16 KiB random reads slow by >= 4/(4-L) as pages reach L1; 4 KiB "
+      "random reads stay flat");
+
+  bench::PerfRigConfig config;
+  config.seed = 11;
+  bench::PerfRig rig(config);
+  const auto samples = rig.Run();
+  if (samples.empty()) {
+    std::printf("no samples (device died immediately)\n");
+    return 1;
+  }
+  double fresh16 = 0.0;
+  double fresh4 = 0.0;
+  for (const bench::PerfSample& sample : samples) {
+    if (sample.rand16k_latency_us > 0.0) {
+      fresh16 = sample.rand16k_latency_us;
+      fresh4 = sample.rand4k_latency_us;
+      break;
+    }
+  }
+
+  bench::PrintSection("measured (aging RegenS device)");
+  std::printf(
+      "L1_fraction\trand16K_us\trel16K\trand4K_us\trel4K\tanalytic_min_rel16K"
+      "\n");
+  for (const bench::PerfSample& sample : samples) {
+    if (sample.rand16k_latency_us == 0.0) {
+      continue;
+    }
+    std::printf("%.3f\t%.1f\t%.3f\t%.1f\t%.3f\t%.3f\n", sample.l1_fraction,
+                sample.rand16k_latency_us,
+                sample.rand16k_latency_us / fresh16,
+                sample.rand4k_latency_us, sample.rand4k_latency_us / fresh4,
+                1.0 + sample.l1_fraction / 3.0);
+  }
+
+  bench::PrintSection(
+      "mitigation (§4.2): dedicated ECC pages, 90% ECC cache hit");
+  bench::PerfRigConfig dedicated_config;
+  dedicated_config.seed = 11;
+  dedicated_config.ecc_placement = EccPlacement::kDedicated;
+  bench::PerfRig dedicated_rig(dedicated_config);
+  const auto dedicated_samples = dedicated_rig.Run();
+  if (!dedicated_samples.empty()) {
+    double base16 = 0.0;
+    for (const bench::PerfSample& sample : dedicated_samples) {
+      if (sample.rand16k_latency_us > 0.0) {
+        base16 = sample.rand16k_latency_us;
+        break;
+      }
+    }
+    std::printf("L1_fraction\trand16K_us\trel16K\trand4K_us\n");
+    for (const bench::PerfSample& sample : dedicated_samples) {
+      if (sample.rand16k_latency_us == 0.0) {
+        continue;
+      }
+      std::printf("%.3f\t%.1f\t%.3f\t%.1f\n", sample.l1_fraction,
+                  sample.rand16k_latency_us,
+                  sample.rand16k_latency_us / base16,
+                  sample.rand4k_latency_us);
+    }
+    std::printf("(16 KiB accesses hit one data fPage again; only ECC-cache\n"
+                "misses add a parity-page read)\n");
+  }
+
+  bench::PrintSection("expectations");
+  std::printf("4 KiB relative latency should stay ~1.0 at every f\n");
+  std::printf("16 KiB relative latency should exceed 1 + f/3 (paper's "
+              "amortized bound)\n");
+  return 0;
+}

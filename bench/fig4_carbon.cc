@@ -1,0 +1,58 @@
+// Reproduces Fig. 4: CO2e reduction in different system configurations
+// (Eq. 3, §4.1).
+//
+// Four bars: {ShrinkS, RegenS} x {current grid, renewable energy}. The
+// paper's headline: 3-8% savings today, 11-20% once renewables offset
+// operational carbon. A sensitivity sweep over the operational fraction and
+// the power-effectiveness penalty shows when the trade flips.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "sustain/carbon_model.h"
+
+int main() {
+  using namespace salamander;
+  bench::PrintHeader(
+      "Figure 4 — CO2e reduction by configuration",
+      "3-8% savings with today's grid; 11-20% under renewable energy");
+
+  bench::PrintSection("Fig. 4 bars (savings vs baseline deployment)");
+  std::printf("config\t\tf_op\tPE\tRu\tsavings\n");
+  const CarbonParams shrinks = ShrinkSCarbonParams();
+  const CarbonParams regens = RegenSCarbonParams();
+  std::printf("ShrinkS/grid\t%.2f\t%.2f\t%.2f\t%.1f%%\n", shrinks.f_op,
+              shrinks.pe, shrinks.ru, CarbonSavings(shrinks) * 100.0);
+  std::printf("RegenS/grid\t%.2f\t%.2f\t%.2f\t%.1f%%\n", regens.f_op,
+              regens.pe, regens.ru, CarbonSavings(regens) * 100.0);
+  std::printf("ShrinkS/renew\t0.00\t-\t%.2f\t%.1f%%\n", shrinks.ru,
+              CarbonSavingsRenewable(shrinks) * 100.0);
+  std::printf("RegenS/renew\t0.00\t-\t%.2f\t%.1f%%\n", regens.ru,
+              CarbonSavingsRenewable(regens) * 100.0);
+
+  bench::PrintSection("sensitivity: operational fraction f_op (RegenS)");
+  std::printf("f_op\tsavings\n");
+  for (double f_op = 0.0; f_op <= 0.81; f_op += 0.1) {
+    CarbonParams params = RegenSCarbonParams();
+    params.f_op = f_op;
+    std::printf("%.1f\t%.1f%%\n", f_op, CarbonSavings(params) * 100.0);
+  }
+
+  bench::PrintSection("sensitivity: power-effectiveness penalty PE (RegenS)");
+  std::printf("PE\tsavings\n");
+  for (double pe = 1.0; pe <= 1.31; pe += 0.05) {
+    CarbonParams params = RegenSCarbonParams();
+    params.pe = pe;
+    std::printf("%.2f\t%+.1f%%\n", pe, CarbonSavings(params) * 100.0);
+  }
+
+  bench::PrintSection("sensitivity: lifetime gain -> Ru -> savings");
+  std::printf("lifetime_gain\tRu\tgrid_savings\trenewable_savings\n");
+  for (double gain = 0.0; gain <= 1.01; gain += 0.1) {
+    CarbonParams params;
+    params.ru = RuFromLifetimeGain(gain);
+    std::printf("%.1f\t%.3f\t%.1f%%\t%.1f%%\n", gain, params.ru,
+                CarbonSavings(params) * 100.0,
+                CarbonSavingsRenewable(params) * 100.0);
+  }
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Microbenchmarks (google-benchmark) for the hot paths a real Salamander
+// firmware would run: BCH encode/decode at SSD stripe geometry, binomial
+// error sampling, and the FTL write/read path of the simulator itself.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "ecc/bch.h"
+#include "ftl/ftl.h"
+
+namespace salamander {
+namespace {
+
+void BM_BchEncodeStripe(benchmark::State& state) {
+  // ~1 KiB data stripe over GF(2^13), t = 78 (the L0 geometry).
+  BchCode code(13, 78);
+  Rng rng(1);
+  std::vector<uint8_t> data(code.k());
+  for (auto& bit : data) {
+    bit = static_cast<uint8_t>(rng.NextU64() & 1);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.Encode(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          (code.k() / 8));
+}
+BENCHMARK(BM_BchEncodeStripe);
+
+void BM_BchDecodeStripe(benchmark::State& state) {
+  BchCode code(13, 78);
+  Rng rng(2);
+  std::vector<uint8_t> data(code.k());
+  for (auto& bit : data) {
+    bit = static_cast<uint8_t>(rng.NextU64() & 1);
+  }
+  const auto clean = code.Encode(data);
+  const unsigned errors = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto corrupted = clean;
+    for (unsigned e = 0; e < errors; ++e) {
+      corrupted[rng.UniformU64(corrupted.size())] ^= 1u;
+    }
+    state.ResumeTiming();
+    auto result = code.Decode(corrupted);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_BchDecodeStripe)->Arg(0)->Arg(8)->Arg(32)->Arg(78);
+
+void BM_BinomialErrorSample(benchmark::State& state) {
+  // The flash read path draws Binomial(stripe_bits, rber) per stripe.
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Binomial(9216, 1e-3));
+  }
+}
+BENCHMARK(BM_BinomialErrorSample);
+
+void BM_FtlWritePath(benchmark::State& state) {
+  FtlConfig config;
+  config.geometry = FlashGeometry::Small();
+  config.ecc_geometry = FPageEccGeometry{};
+  config.wear = WearModel::Calibrate(1e-2, 1000000);  // wear-free regime
+  Ftl ftl(config);
+  const uint64_t logical = 4096;
+  ftl.ExtendLogicalSpace(logical);
+  Rng rng(4);
+  for (auto _ : state) {
+    auto status = ftl.Write(rng.UniformU64(logical));
+    benchmark::DoNotOptimize(status);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FtlWritePath);
+
+void BM_FtlReadPath(benchmark::State& state) {
+  FtlConfig config;
+  config.geometry = FlashGeometry::Small();
+  config.ecc_geometry = FPageEccGeometry{};
+  config.wear = WearModel::Calibrate(1e-2, 1000000);
+  Ftl ftl(config);
+  const uint64_t logical = 4096;
+  ftl.ExtendLogicalSpace(logical);
+  for (uint64_t lpo = 0; lpo < logical; ++lpo) {
+    if (!ftl.Write(lpo).ok()) {
+      state.SkipWithError("setup write failed");
+      return;
+    }
+  }
+  Rng rng(5);
+  for (auto _ : state) {
+    auto result = ftl.Read(rng.UniformU64(logical));
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FtlReadPath);
+
+}  // namespace
+}  // namespace salamander
+
+BENCHMARK_MAIN();

@@ -1,0 +1,169 @@
+// Shared measurement rig for Fig. 3c (sequential throughput) and Fig. 3d
+// (large-access latency): ages a RegenS device in stages and, at each
+// checkpoint, rewrites one mDisk sequentially and measures access costs over
+// it, together with the fraction of its data resident on L1 fPages.
+#ifndef SALAMANDER_BENCH_PERF_RIG_H_
+#define SALAMANDER_BENCH_PERF_RIG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "ecc/tiredness.h"
+#include "flash/wear_model.h"
+#include "ssd/ssd_device.h"
+#include "workload/aging.h"
+
+namespace salamander {
+namespace bench {
+
+struct PerfSample {
+  double l1_fraction = 0.0;       // fraction of measured data on L1 pages
+  double seq_mib_per_s = 0.0;     // sequential 16 KiB-access throughput
+  double rand16k_latency_us = 0.0;  // mean random 16 KiB read latency
+  double rand4k_latency_us = 0.0;   // mean random 4 KiB read latency
+  uint64_t host_writes = 0;       // aging progress when sampled
+};
+
+struct PerfRigConfig {
+  uint32_t nominal_pec = 60;
+  uint64_t msize_opages = 256;  // 1 MiB mDisks
+  uint32_t checkpoints = 40;
+  uint64_t writes_per_stage = 25000;
+  uint64_t seed = 7;
+  // ECC placement for tired pages (§4.2): inline repurposed oPages (the
+  // base design) or dedicated parity pages (the paper's mitigation).
+  EccPlacement ecc_placement = EccPlacement::kInline;
+  double ecc_cache_hit = 0.9;
+};
+
+class PerfRig {
+ public:
+  explicit PerfRig(const PerfRigConfig& config)
+      : config_(config), rng_(config.seed * 31) {
+    FPageEccGeometry ecc;
+    SsdConfig ssd_config = MakeSsdConfig(
+        SsdKind::kRegenS, FlashGeometry::Small(),
+        WearModel::Calibrate(
+            ComputeTirednessLevel(ecc, 0).max_tolerable_rber,
+            config.nominal_pec),
+        FlashLatencyConfig{}, ecc, config.seed, /*regen_max_level=*/1);
+    ssd_config.minidisk.msize_opages = config.msize_opages;
+    ssd_config.ftl.ecc_placement = config.ecc_placement;
+    ssd_config.ftl.dedicated_ecc_cache_hit = config.ecc_cache_hit;
+    device_ = std::make_unique<SsdDevice>(SsdKind::kRegenS, ssd_config);
+    driver_ = std::make_unique<AgingDriver>(device_.get(), config.seed + 1);
+  }
+
+  // Runs the staged aging + measurement; returns one sample per checkpoint
+  // (stops early if the device dies).
+  std::vector<PerfSample> Run() {
+    std::vector<PerfSample> samples;
+    samples.push_back(Measure());
+    for (uint32_t stage = 1; stage < config_.checkpoints; ++stage) {
+      AgingResult result = driver_->WriteOPages(config_.writes_per_stage);
+      if (result.device_failed || driver_->tracker().empty()) {
+        break;
+      }
+      samples.push_back(Measure());
+    }
+    return samples;
+  }
+
+ private:
+  PerfSample Measure() {
+    PerfSample sample;
+    sample.host_writes = device_->ftl().stats().host_writes;
+    if (driver_->tracker().empty()) {
+      return sample;
+    }
+    const MinidiskId target = driver_->tracker().live().front();
+    const uint64_t msize = device_->msize_opages();
+    // Drain leftovers from the aging stream first so the sequential rewrite
+    // starts on an fPage boundary (otherwise its packing phase shifts and
+    // every "aligned" 16 KiB access straddles two fPages even at L0).
+    if (!device_->Flush().ok()) {
+      return sample;
+    }
+    // Fresh sequential write so physical layout reflects the current
+    // L0/L1 page mix in service.
+    for (uint64_t lba = 0; lba < msize; ++lba) {
+      if (!device_->Write(target, lba).ok()) {
+        return sample;  // target died mid-measurement; sample is partial
+      }
+    }
+    if (!device_->Flush().ok()) {
+      return sample;
+    }
+    // The mDisk may have been decommissioned by the wear of the rewrite.
+    if (!device_->IsMinidiskLive(target)) {
+      return sample;
+    }
+
+    // Measured L1 residency of the region.
+    const Minidisk& md = device_->manager().minidisk(target);
+    uint64_t on_l1 = 0;
+    uint64_t counted = 0;
+    for (uint64_t lba = 0; lba < msize; ++lba) {
+      const uint64_t slot = device_->ftl().PhysicalSlot(md.first_lpo + lba);
+      if (slot == Ftl::kUnmappedSlot) {
+        continue;  // still buffered
+      }
+      const FPageIndex fpage =
+          device_->ftl().config().geometry.FPageOfSlot(slot);
+      on_l1 += device_->ftl().PageLevel(fpage) >= 1 ? 1 : 0;
+      ++counted;
+    }
+    sample.l1_fraction =
+        counted == 0 ? 0.0
+                     : static_cast<double>(on_l1) / static_cast<double>(counted);
+
+    // Sequential sweep in 256 KiB streaming accesses: large enough that
+    // fPage-boundary straddles amortize, matching the paper's 4/(4-L)
+    // model (tiny accesses would re-read boundary pages every call).
+    SimDuration seq_total = 0;
+    constexpr uint64_t kSeqChunk = 64;
+    for (uint64_t lba = 0; lba + kSeqChunk <= msize; lba += kSeqChunk) {
+      auto range = device_->ReadRange(target, lba, kSeqChunk);
+      if (!range.ok()) {
+        return sample;
+      }
+      seq_total += range->latency;
+    }
+    const double seq_bytes =
+        static_cast<double>(msize / kSeqChunk * kSeqChunk) * 4096.0;
+    sample.seq_mib_per_s =
+        seq_bytes / (static_cast<double>(seq_total) / 1e9) / (1024.0 * 1024.0);
+
+    // Random 16 KiB and 4 KiB accesses.
+    SimDuration rand16_total = 0;
+    SimDuration rand4_total = 0;
+    constexpr uint32_t kProbes = 400;
+    for (uint32_t i = 0; i < kProbes; ++i) {
+      const uint64_t lba16 = rng_.UniformU64(msize / 4) * 4;
+      auto range = device_->ReadRange(target, lba16, 4);
+      if (range.ok()) {
+        rand16_total += range->latency;
+      }
+      auto single = device_->Read(target, rng_.UniformU64(msize));
+      if (single.ok()) {
+        rand4_total += single->latency;
+      }
+    }
+    sample.rand16k_latency_us =
+        static_cast<double>(rand16_total) / kProbes / 1000.0;
+    sample.rand4k_latency_us =
+        static_cast<double>(rand4_total) / kProbes / 1000.0;
+    return sample;
+  }
+
+  PerfRigConfig config_;
+  Rng rng_;
+  std::unique_ptr<SsdDevice> device_;
+  std::unique_ptr<AgingDriver> driver_;
+};
+
+}  // namespace bench
+}  // namespace salamander
+
+#endif  // SALAMANDER_BENCH_PERF_RIG_H_

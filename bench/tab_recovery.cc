@@ -1,0 +1,236 @@
+// Reproduces §4.3's recovery-traffic analysis: volume and burstiness of
+// diFS re-replication traffic under baseline vs Salamander devices.
+//
+// Claims checked:
+//  * total recovery volume with mDisks is comparable to baseline ("the same
+//    total number of LBAs fail over time"), at least without regeneration;
+//  * Salamander spreads recovery over many small events instead of whole-
+//    device bursts (lower max single-event traffic);
+//  * RegenS adds some extra recovery because regenerated mDisks are
+//    shorter-lived and re-fail.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "difs/cluster.h"
+#include "difs/ec_cluster.h"
+#include "ecc/tiredness.h"
+#include "flash/wear_model.h"
+
+namespace salamander {
+namespace {
+
+struct RunResult {
+  DifsStats stats;
+  uint64_t foreground_total = 0;
+  uint64_t max_burst_opages = 0;  // largest recovery delta in one step
+  uint64_t recovery_events = 0;   // steps in which any recovery happened
+  uint32_t devices_alive = 0;
+  uint64_t chunks_lost = 0;
+};
+
+// Runs the cluster until `target_lost_replicas` replica failures have been
+// observed (the paper's "same total number of LBAs fail over time" milestone)
+// or the write budget / healthy regime is exhausted. Baseline reaches the
+// milestone early (devices brick); Salamander reaches it much later (devices
+// shed gradually) — the comparison is traffic *per failed LBA*.
+RunResult RunCluster(SsdKind kind, uint64_t target_lost_replicas,
+                     uint64_t foreground_budget, bool grace_drain = false,
+                     uint32_t replication = 3, double fill = 0.45,
+                     double forecast_horizon = 0.0) {
+  DifsConfig config;
+  config.nodes = 8;
+  config.devices_per_node = 1;
+  config.replication = replication;
+  config.chunk_opages = 256;  // 1 MiB chunks == Salamander mSize
+  config.fill_fraction = fill;
+  config.seed = 31337;
+
+  FPageEccGeometry ecc;
+  const WearModelConfig wear = WearModel::Calibrate(
+      ComputeTirednessLevel(ecc, 0).max_tolerable_rber, /*nominal_pec=*/40);
+  auto factory = [&](uint32_t index) {
+    SsdConfig ssd_config =
+        MakeSsdConfig(kind, FlashGeometry::Small(), wear,
+                      FlashLatencyConfig{}, ecc, 5000 + index * 17);
+    if (kind == SsdKind::kShrinkS || kind == SsdKind::kRegenS) {
+      ssd_config.minidisk.msize_opages = 256;
+      ssd_config.minidisk.drain_before_decommission = grace_drain;
+      ssd_config.minidisk.max_draining = 8;
+      ssd_config.minidisk.drain_forecast_horizon = forecast_horizon;
+    }
+    return std::make_unique<SsdDevice>(kind, ssd_config);
+  };
+
+  DifsCluster cluster(config, factory);
+  RunResult result;
+  if (!cluster.Bootstrap().ok()) {
+    return result;
+  }
+  constexpr uint64_t kStep = 2000;
+  for (uint64_t written = 0; written < foreground_budget; written += kStep) {
+    if (cluster.stats().replicas_lost >= target_lost_replicas ||
+        !cluster.StepWrites(kStep).ok() ||
+        cluster.alive_devices() < config.replication + 1) {
+      break;
+    }
+  }
+  result.recovery_events = cluster.stats().recovery_waves;
+  result.max_burst_opages = cluster.stats().max_wave_recovery_opages;
+  result.stats = cluster.stats();
+  result.foreground_total = cluster.stats().foreground_opage_writes;
+  result.devices_alive = cluster.alive_devices();
+  result.chunks_lost = cluster.chunks_lost();
+  return result;
+}
+
+}  // namespace
+}  // namespace salamander
+
+int main() {
+  using namespace salamander;
+  bench::PrintHeader(
+      "Section 4.3 — recovery traffic",
+      "mDisk recovery volume comparable to baseline, but spread over many "
+      "small events instead of whole-device bursts");
+
+  constexpr uint64_t kTargetLostReplicas = 50;   // ~50 MiB of failed LBAs
+  constexpr uint64_t kForegroundBudget = 4000000;
+  std::printf(
+      "device\trecovered_MiB\tlost_replicas\trecovery_events\t"
+      "max_burst_MiB\tforegroundK\tchunks_lost\tdevices_alive\n");
+  for (SsdKind kind :
+       {SsdKind::kBaseline, SsdKind::kShrinkS, SsdKind::kRegenS}) {
+    const RunResult result =
+        RunCluster(kind, kTargetLostReplicas, kForegroundBudget);
+    std::printf("%s\t%.1f\t%llu\t%llu\t%.1f\t%llu\t%llu\t%u\n",
+                std::string(SsdKindName(kind)).c_str(),
+                static_cast<double>(result.stats.recovery_bytes()) /
+                    (1024.0 * 1024.0),
+                static_cast<unsigned long long>(result.stats.replicas_lost),
+                static_cast<unsigned long long>(result.recovery_events),
+                static_cast<double>(result.max_burst_opages) * 4096.0 /
+                    (1024.0 * 1024.0),
+                static_cast<unsigned long long>(
+                    result.foreground_total / 1000),
+                static_cast<unsigned long long>(result.chunks_lost),
+                result.devices_alive);
+  }
+
+  bench::PrintSection(
+      "erasure coding: RS(4+2) stripes instead of 3-way replication");
+  std::printf(
+      "EC rebuilds read k survivors per lost cell, so recovery READ traffic\n"
+      "is k x the lost data — minidisk-granular failures keep each rebuild\n"
+      "wave small, which matters even more under EC than replication.\n");
+  std::printf(
+      "device\tcells_lost\trebuild_read_MiB\trebuild_write_MiB\t"
+      "stripes_lost\tdegraded\n");
+  for (SsdKind kind : {SsdKind::kBaseline, SsdKind::kShrinkS}) {
+    EcConfig ec_config;
+    ec_config.nodes = 9;
+    ec_config.data_cells = 4;
+    ec_config.parity_cells = 2;
+    ec_config.cell_opages = 256;
+    ec_config.fill_fraction = 0.4;
+    ec_config.seed = 31337;
+    FPageEccGeometry ecc2;
+    const WearModelConfig wear2 = WearModel::Calibrate(
+        ComputeTirednessLevel(ecc2, 0).max_tolerable_rber,
+        /*nominal_pec=*/40);
+    auto ec_factory = [&](uint32_t index) {
+      SsdConfig ssd_config =
+          MakeSsdConfig(kind, FlashGeometry::Small(), wear2,
+                        FlashLatencyConfig{}, ecc2, 5000 + index * 17);
+      if (kind == SsdKind::kShrinkS || kind == SsdKind::kRegenS) {
+        ssd_config.minidisk.msize_opages = 256;
+      }
+      auto device = std::make_unique<SsdDevice>(kind, ssd_config);
+      // Rolling-deployment stagger: pre-age each device differently so the
+      // fleet does not reach end-of-life in lockstep (uniform ages would
+      // make correlated multi-node losses exceed EC's m, which no real
+      // deployment tolerates). Events stay queued for the cluster.
+      Rng pre_rng(900 + index);
+      const uint64_t pre_writes = static_cast<uint64_t>(index) * 5000;
+      const uint64_t msize = device->msize_opages();
+      for (uint64_t w = 0; w < pre_writes; ++w) {
+        (void)device->Write(
+            static_cast<MinidiskId>(
+                pre_rng.UniformU64(device->total_minidisks())),
+            pre_rng.UniformU64(msize));
+      }
+      return device;
+    };
+    EcCluster ec_cluster(ec_config, ec_factory);
+    if (!ec_cluster.Bootstrap().ok()) {
+      continue;
+    }
+    // Run both kinds to the same loss milestone (~one device's worth of
+    // cells) so the rebuild-traffic comparison is per failed byte.
+    constexpr uint64_t kEcLossMilestone = 12;
+    for (uint64_t written = 0;
+         written < kForegroundBudget &&
+         ec_cluster.stats().cells_lost < kEcLossMilestone &&
+         ec_cluster.alive_devices() >= 6;
+         written += 500) {
+      if (!ec_cluster.StepWrites(500).ok()) {
+        break;
+      }
+    }
+    const EcStats& ec_stats = ec_cluster.stats();
+    std::printf("%s\t%llu\t%.1f\t%.1f\t%llu\t%llu\n",
+                std::string(SsdKindName(kind)).c_str(),
+                static_cast<unsigned long long>(ec_stats.cells_lost),
+                static_cast<double>(ec_stats.rebuild_read_bytes()) /
+                    (1024.0 * 1024.0),
+                static_cast<double>(ec_stats.rebuild_write_bytes()) /
+                    (1024.0 * 1024.0),
+                static_cast<unsigned long long>(ec_stats.stripes_lost),
+                static_cast<unsigned long long>(ec_stats.degraded_reads));
+  }
+
+  bench::PrintSection(
+      "ablation: grace-period decommissioning (§4.3 future work)");
+  std::printf(
+      "Run at replication factor 2, where the window between an mDisk's\n"
+      "retirement and its chunks' re-replication is what stands between a\n"
+      "transient deferral and permanent data loss.\n");
+  std::printf(
+      "mode\tlost_replicas\tdrains(acked/forced-losses)\tchunks_lost\n");
+  struct GraceMode {
+    const char* name;
+    bool grace;
+    double forecast;
+  };
+  for (const GraceMode& mode :
+       {GraceMode{"immediate", false, 0.0},
+        GraceMode{"grace-reactive", true, 0.0},
+        GraceMode{"grace-proactive", true, 0.15}}) {
+    const RunResult result =
+        RunCluster(SsdKind::kShrinkS, /*target_lost_replicas=*/120,
+                   kForegroundBudget, mode.grace, /*replication=*/2,
+                   /*fill=*/0.55, mode.forecast);
+    std::printf("%s\t%llu\t%llu/%llu\t%llu\n", mode.name,
+                static_cast<unsigned long long>(result.stats.replicas_lost),
+                static_cast<unsigned long long>(result.stats.drains_acked),
+                static_cast<unsigned long long>(
+                    result.stats.drain_window_losses),
+                static_cast<unsigned long long>(result.chunks_lost));
+  }
+
+  bench::PrintSection("interpretation");
+  std::printf(
+      "baseline: few recovery events, each a whole device's replicas.\n"
+      "shrinks/regens: many events of ~1 chunk (1 MiB) each; max burst is\n"
+      "orders of magnitude smaller. RegenS may show extra recovered volume\n"
+      "from short-lived regenerated mDisks (the paper's noted caveat).\n"
+      "\n"
+      "grace ablation: most retirements complete their grace window (drains\n"
+      "acked, zero forced-window losses), converting would-be replica losses\n"
+      "into planned migrations. Residual chunk loss comes from hard capacity\n"
+      "deficits that shed live mDisks immediately - a grace period cannot\n"
+      "protect against capacity collapsing faster than one host round-trip.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Reproduces §4.4's cost analysis (Eq. 4): total cost of ownership of a
+// Salamander deployment relative to baseline.
+//
+// Headline: 13% savings for ShrinkS, 25% for RegenS at f_opex = 0.14
+// (acquisition-dominated TCO per Seagate [49]); still 6-14% if operational
+// costs are half the budget.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "sustain/tco_model.h"
+
+int main() {
+  using namespace salamander;
+  bench::PrintHeader(
+      "Section 4.4 — TCO savings (Eq. 4)",
+      "13% (ShrinkS) / 25% (RegenS) cost savings; 6-14% if opex is half "
+      "the budget");
+
+  bench::PrintSection("headline numbers");
+  std::printf("mode\tRu\tCRu\trelative_TCO\tsavings\n");
+  for (const auto& [name, params] :
+       {std::pair<const char*, TcoParams>{"ShrinkS", ShrinkSTcoParams()},
+        std::pair<const char*, TcoParams>{"RegenS", RegenSTcoParams()}}) {
+    std::printf("%s\t%.3f\t%.3f\t%.3f\t%.1f%%\n", name, params.ru,
+                CostUpgradeRate(params), RelativeTco(params),
+                TcoSavings(params) * 100.0);
+  }
+
+  bench::PrintSection("sensitivity: operational cost fraction f_opex");
+  std::printf("f_opex\tShrinkS_savings\tRegenS_savings\n");
+  for (double f_opex = 0.0; f_opex <= 0.71; f_opex += 0.1) {
+    TcoParams shrinks = ShrinkSTcoParams();
+    TcoParams regens = RegenSTcoParams();
+    shrinks.f_opex = f_opex;
+    regens.f_opex = f_opex;
+    std::printf("%.2f\t%.1f%%\t%.1f%%\n", f_opex,
+                TcoSavings(shrinks) * 100.0, TcoSavings(regens) * 100.0);
+  }
+
+  bench::PrintSection(
+      "sensitivity: replacement cost effectiveness CE_new (RegenS)");
+  std::printf("CE_new\tsavings\n");
+  for (double ce = 0.0; ce <= 1.01; ce += 0.25) {
+    TcoParams params = RegenSTcoParams();
+    params.ce_new = ce;
+    std::printf("%.2f\t%.1f%%\n", ce, TcoSavings(params) * 100.0);
+  }
+
+  bench::PrintSection("sensitivity: backfill fraction Cap_new (RegenS)");
+  std::printf("Cap_new\tsavings\n");
+  for (double cap = 0.0; cap <= 1.01; cap += 0.2) {
+    TcoParams params = RegenSTcoParams();
+    params.cap_new = cap;
+    std::printf("%.2f\t%.1f%%\n", cap, TcoSavings(params) * 100.0);
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Carbon & cost report: given a measured (or hypothesized) lifetime gain,
+// compute the deployment-level CO2e and TCO impact using the paper's §4.1 /
+// §4.4 models.
+//
+//   ./build/examples/carbon_report [lifetime_gain] [f_op] [f_opex]
+//   e.g. ./build/examples/carbon_report 0.5 0.46 0.14
+#include <cstdio>
+#include <cstdlib>
+
+#include "sustain/carbon_model.h"
+#include "sustain/tco_model.h"
+
+using namespace salamander;
+
+int main(int argc, char** argv) {
+  const double lifetime_gain = argc > 1 ? std::atof(argv[1]) : 0.5;
+  const double f_op = argc > 2 ? std::atof(argv[2]) : 0.46;
+  const double f_opex = argc > 3 ? std::atof(argv[3]) : 0.14;
+
+  std::printf("Salamander sustainability report\n");
+  std::printf("  device lifetime gain: %+.0f%%\n", lifetime_gain * 100);
+  std::printf("  operational emissions fraction f_op:  %.2f\n", f_op);
+  std::printf("  operational cost fraction f_opex:     %.2f\n\n", f_opex);
+
+  CarbonParams carbon;
+  carbon.f_op = f_op;
+  carbon.ru = RuFromLifetimeGain(lifetime_gain);
+  std::printf("carbon (Eq. 3):\n");
+  std::printf("  SSD upgrade rate Ru:        %.3f (with the paper's 40%%\n"
+              "                              conservative discount)\n",
+              carbon.ru);
+  std::printf("  relative CO2e, today:       %.3f  (%.1f%% savings)\n",
+              RelativeCarbon(carbon), CarbonSavings(carbon) * 100);
+  std::printf("  relative CO2e, renewables:  %.3f  (%.1f%% savings)\n\n",
+              RelativeCarbonRenewable(carbon),
+              CarbonSavingsRenewable(carbon) * 100);
+
+  TcoParams tco;
+  tco.f_opex = f_opex;
+  tco.ru = 1.0 / (1.0 + lifetime_gain);
+  std::printf("cost (Eq. 4):\n");
+  std::printf("  raw upgrade rate Ru:        %.3f\n", tco.ru);
+  std::printf("  cost upgrade rate CRu:      %.3f (incl. %.0f%% capacity\n"
+              "                              backfill at %.0f%% $/TB)\n",
+              CostUpgradeRate(tco), tco.cap_new * 100, tco.ce_new * 100);
+  std::printf("  relative TCO:               %.3f  (%.1f%% savings)\n",
+              RelativeTco(tco), TcoSavings(tco) * 100);
+
+  std::printf("\npaper anchors: ShrinkS (gain 0.2) -> ~3%% CO2e / 13%% TCO;\n"
+              "               RegenS  (gain 0.5) -> ~8%% CO2e / 25%% TCO\n");
+  return 0;
+}

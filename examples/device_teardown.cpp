@@ -1,0 +1,135 @@
+// Device teardown: forensic view of one Salamander SSD's internals as it
+// ages — per-level page populations, limbo occupancy (Eq. 1), PEC spread,
+// write amplification, and the mDisk ledger. Useful for understanding how
+// the pieces of §3 interact.
+//
+//   ./build/examples/device_teardown [shrinks|regens|baseline|cvss]
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "ecc/tiredness.h"
+#include "flash/wear_model.h"
+#include "ssd/ssd_device.h"
+#include "workload/aging.h"
+
+using namespace salamander;
+
+namespace {
+
+SsdKind ParseKind(const char* arg) {
+  if (std::strcmp(arg, "baseline") == 0) {
+    return SsdKind::kBaseline;
+  }
+  if (std::strcmp(arg, "cvss") == 0) {
+    return SsdKind::kCvss;
+  }
+  if (std::strcmp(arg, "shrinks") == 0) {
+    return SsdKind::kShrinkS;
+  }
+  return SsdKind::kRegenS;
+}
+
+void PrintInternals(const SsdDevice& device) {
+  const Ftl& ftl = device.ftl();
+  const FlashGeometry& geometry = ftl.config().geometry;
+
+  // Page population by tiredness level.
+  uint64_t by_level[8] = {};
+  uint64_t dead = 0;
+  for (FPageIndex p = 0; p < geometry.total_fpages(); ++p) {
+    const unsigned level = ftl.PageLevel(p);
+    if (level == Ftl::kDeadLevel) {
+      ++dead;
+    } else if (level < 8) {
+      ++by_level[level];
+    }
+  }
+  std::printf("  fPages: L0=%llu L1=%llu L2=%llu dead=%llu | limbo: "
+              "L1=%llu fPages\n",
+              static_cast<unsigned long long>(by_level[0]),
+              static_cast<unsigned long long>(by_level[1]),
+              static_cast<unsigned long long>(by_level[2]),
+              static_cast<unsigned long long>(dead),
+              static_cast<unsigned long long>(ftl.limbo_fpages(1)));
+
+  // PEC spread across blocks (wear-leveling quality).
+  uint32_t min_pec = UINT32_MAX;
+  uint32_t max_pec = 0;
+  uint64_t sum_pec = 0;
+  for (BlockIndex b = 0; b < geometry.total_blocks(); ++b) {
+    const uint32_t pec = ftl.chip().BlockPec(b);
+    min_pec = std::min(min_pec, pec);
+    max_pec = std::max(max_pec, pec);
+    sum_pec += pec;
+  }
+  std::printf("  block PEC: min=%u avg=%.0f max=%u | retired blocks=%llu\n",
+              min_pec,
+              static_cast<double>(sum_pec) / geometry.total_blocks(), max_pec,
+              static_cast<unsigned long long>(ftl.retired_blocks()));
+
+  const FtlStats& stats = ftl.stats();
+  std::printf("  I/O: host_writes=%llu WAF=%.2f erases=%llu "
+              "uncorrectable=%llu retries=%llu\n",
+              static_cast<unsigned long long>(stats.host_writes),
+              stats.WriteAmplification(),
+              static_cast<unsigned long long>(stats.erases),
+              static_cast<unsigned long long>(stats.uncorrectable_reads),
+              static_cast<unsigned long long>(stats.read_retries));
+  std::printf("  mDisks: live=%u/%u decommissioned=%llu regenerated=%llu "
+              "capacity=%.1f MiB\n",
+              device.live_minidisks(), device.total_minidisks(),
+              static_cast<unsigned long long>(
+                  device.manager().decommissioned_total()),
+              static_cast<unsigned long long>(
+                  device.manager().regenerated_total()),
+              static_cast<double>(device.live_capacity_bytes()) / (1 << 20));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const SsdKind kind = ParseKind(argc > 1 ? argv[1] : "regens");
+
+  FPageEccGeometry ecc;
+  SsdConfig config = MakeSsdConfig(
+      kind, FlashGeometry::Small(),
+      WearModel::Calibrate(ComputeTirednessLevel(ecc, 0).max_tolerable_rber,
+                           /*nominal_pec=*/60),
+      FlashLatencyConfig{}, ecc, /*seed=*/1234);
+  if (kind == SsdKind::kShrinkS || kind == SsdKind::kRegenS) {
+    config.minidisk.msize_opages = 256;
+  }
+  SsdDevice device(kind, config);
+
+  std::printf("tearing down a %s SSD (%u mDisks, %.1f MiB)\n",
+              std::string(device.kind_name()).c_str(),
+              device.total_minidisks(),
+              static_cast<double>(device.live_capacity_bytes()) / (1 << 20));
+
+  // Print the ECC ladder this device would use.
+  std::printf("\nECC tiredness ladder (per fPage):\n");
+  for (const TirednessLevelEcc& level : device.ftl().tiredness_ladder()) {
+    if (level.data_opages == 0) {
+      continue;
+    }
+    std::printf("  L%u: %u data oPages, code rate %.3f, t=%u bits/stripe, "
+                "tolerates RBER %.2e\n",
+                level.level, level.data_opages, level.code_rate,
+                level.correctable_bits_per_stripe, level.max_tolerable_rber);
+  }
+
+  AgingDriver driver(&device, /*seed=*/99);
+  std::printf("\n");
+  for (int stage = 0; stage < 12; ++stage) {
+    AgingResult result = driver.WriteOPages(120000);
+    std::printf("after %llu K host writes:\n",
+                static_cast<unsigned long long>(driver.total_written() / 1000));
+    PrintInternals(device);
+    if (result.device_failed) {
+      std::printf("\ndevice failed.\n");
+      break;
+    }
+  }
+  return 0;
+}

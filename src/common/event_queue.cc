@@ -1,0 +1,60 @@
+#include "common/event_queue.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace salamander {
+
+uint64_t EventQueue::ScheduleAt(SimTime when, Callback callback) {
+  assert(when >= now_ && "cannot schedule into the past");
+  const uint64_t id = next_id_++;
+  queue_.push(Event{when, next_sequence_++, id, std::move(callback)});
+  pending_ids_.insert(id);
+  ++live_events_;
+  return id;
+}
+
+uint64_t EventQueue::ScheduleAfter(SimDuration delay, Callback callback) {
+  return ScheduleAt(now_ + delay, std::move(callback));
+}
+
+void EventQueue::Cancel(uint64_t id) {
+  // Only a still-pending event can be cancelled; cancelling a fired or
+  // unknown id is a harmless no-op.
+  if (pending_ids_.erase(id) == 1) {
+    --live_events_;
+  }
+}
+
+bool EventQueue::Step() {
+  while (!queue_.empty()) {
+    Event event = queue_.top();
+    queue_.pop();
+    if (pending_ids_.erase(event.id) == 0) {
+      continue;  // was cancelled
+    }
+    now_ = event.when;
+    --live_events_;
+    event.callback();
+    return true;
+  }
+  return false;
+}
+
+void EventQueue::Run() {
+  while (Step()) {
+  }
+}
+
+void EventQueue::RunUntil(SimTime deadline) {
+  while (!queue_.empty()) {
+    if (queue_.top().when > deadline) {
+      now_ = deadline;
+      return;
+    }
+    Step();
+  }
+  now_ = std::max(now_, deadline);
+}
+
+}  // namespace salamander

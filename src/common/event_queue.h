@@ -1,0 +1,76 @@
+// Discrete-event simulation kernel shared by the diFS cluster and fleet
+// simulators. Single-threaded and deterministic: events at equal timestamps
+// fire in scheduling order (a monotone sequence number breaks ties).
+#ifndef SALAMANDER_COMMON_EVENT_QUEUE_H_
+#define SALAMANDER_COMMON_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/units.h"
+
+namespace salamander {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  // Current simulated time. Advances only inside Run/RunUntil/Step.
+  SimTime Now() const { return now_; }
+
+  // Schedules `callback` to fire at absolute time `when` (>= Now()).
+  // Returns an id usable with Cancel().
+  uint64_t ScheduleAt(SimTime when, Callback callback);
+
+  // Schedules `callback` to fire `delay` after Now().
+  uint64_t ScheduleAfter(SimDuration delay, Callback callback);
+
+  // Cancels a pending event; no-op if already fired or unknown.
+  void Cancel(uint64_t id);
+
+  // Fires the next event, advancing the clock. Returns false if empty.
+  bool Step();
+
+  // Runs until the queue drains.
+  void Run();
+
+  // Runs until the queue drains or the clock would pass `deadline`;
+  // leaves later events pending and sets Now() to `deadline` when it stops
+  // early.
+  void RunUntil(SimTime deadline);
+
+  bool empty() const { return live_events_ == 0; }
+  uint64_t pending_events() const { return live_events_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    uint64_t sequence;
+    uint64_t id;
+    Callback callback;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.sequence > b.sequence;
+    }
+  };
+
+  SimTime now_ = 0;
+  uint64_t next_sequence_ = 0;
+  uint64_t next_id_ = 1;
+  uint64_t live_events_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  // Ids still awaiting dispatch. Cancelled events are removed from this set
+  // and lazily skipped when they surface at the top of the heap.
+  std::unordered_set<uint64_t> pending_ids_;
+};
+
+}  // namespace salamander
+
+#endif  // SALAMANDER_COMMON_EVENT_QUEUE_H_

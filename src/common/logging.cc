@@ -1,0 +1,51 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace salamander {
+
+namespace {
+
+LogLevel g_min_level = LogLevel::kWarning;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+// Trims the path down to the final component for compact log lines.
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash == nullptr ? path : slash + 1;
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_min_level = level;
+}
+
+LogLevel GetLogLevel() {
+  return g_min_level;
+}
+
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& message) {
+  if (level < g_min_level) {
+    return;
+  }
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), Basename(file),
+               line, message.c_str());
+}
+
+}  // namespace salamander

@@ -1,0 +1,59 @@
+// Minimal leveled logging. Defaults to kWarning so simulations stay quiet;
+// examples and debugging sessions can raise the level.
+#ifndef SALAMANDER_COMMON_LOGGING_H_
+#define SALAMANDER_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace salamander {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarning, kError };
+
+// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Emits one formatted line to stderr (thread-compatible, not thread-safe;
+// the simulator is single-threaded by design — determinism requires it).
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& message);
+
+namespace log_internal {
+
+// Stream collector so call sites can write SALA_LOG(kInfo) << "x=" << x;
+class LogStream {
+ public:
+  LogStream(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogStream() { LogMessage(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+struct Voidify {
+  void operator&&(const LogStream&) const {}
+};
+
+}  // namespace log_internal
+
+}  // namespace salamander
+
+#define SALA_LOG(severity)                                                 \
+  (::salamander::LogLevel::severity < ::salamander::GetLogLevel())         \
+      ? (void)0                                                            \
+      : ::salamander::log_internal::Voidify() &&                           \
+            ::salamander::log_internal::LogStream(                         \
+                ::salamander::LogLevel::severity, __FILE__, __LINE__)
+
+#endif  // SALAMANDER_COMMON_LOGGING_H_

@@ -1,0 +1,68 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// Everything stochastic in Salamander (per-page endurance variance, bit-error
+// sampling, workload address streams, AFR draws) flows through Rng so that a
+// run is exactly reproducible from its seed. The generator is xoshiro256**,
+// seeded via SplitMix64 — fast, high quality, and trivially forkable so each
+// subsystem can own an independent stream.
+#ifndef SALAMANDER_COMMON_RNG_H_
+#define SALAMANDER_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace salamander {
+
+class Rng {
+ public:
+  // Seeds the four 64-bit words of state from `seed` via SplitMix64.
+  explicit Rng(uint64_t seed = 0x5a1aaa0de5000001ULL);
+
+  // Next raw 64 random bits.
+  uint64_t NextU64();
+
+  // Uniform integer in [0, bound). bound == 0 returns 0.
+  // Uses Lemire's multiply-shift rejection method (unbiased).
+  uint64_t UniformU64(uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  uint64_t UniformInRange(uint64_t lo, uint64_t hi);
+
+  // Uniform double in [0, 1).
+  double UniformDouble();
+
+  // Standard normal via Box–Muller (cached second value).
+  double Normal();
+  // Normal with explicit mean/stddev.
+  double Normal(double mean, double stddev);
+
+  // Lognormal: exp(Normal(mu, sigma)). Used for per-page endurance variance.
+  double LogNormal(double mu, double sigma);
+
+  // Exponential with rate lambda (> 0). Used for failure inter-arrival times.
+  double Exponential(double lambda);
+
+  // Bernoulli trial with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  // Binomial(n, p) sample: number of successes in n trials.
+  // Exact inversion for small n*p, normal approximation for large n —
+  // the flash error model draws Binomial(bits_per_page, rber) per read,
+  // where n is ~1e5 and p is ~1e-4, so both paths matter.
+  uint64_t Binomial(uint64_t n, double p);
+
+  // Poisson(lambda) sample (Knuth for small lambda, normal approx for large).
+  uint64_t Poisson(double lambda);
+
+  // Forks an independent child stream. The child is seeded from this
+  // generator's output, so forking is itself deterministic.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace salamander
+
+#endif  // SALAMANDER_COMMON_RNG_H_

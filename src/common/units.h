@@ -1,0 +1,47 @@
+// Fixed-width unit helpers shared by every Salamander library.
+//
+// Sizes are plain uint64_t byte counts (strong types proved noisier than
+// helpful for a simulator whose arithmetic is all byte math); durations are
+// simulated nanoseconds. The simulation clock has no relation to wall time.
+#ifndef SALAMANDER_COMMON_UNITS_H_
+#define SALAMANDER_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace salamander {
+
+inline constexpr uint64_t kKiB = 1024;
+inline constexpr uint64_t kMiB = 1024 * kKiB;
+inline constexpr uint64_t kGiB = 1024 * kMiB;
+inline constexpr uint64_t kTiB = 1024 * kGiB;
+
+// Simulated time, in nanoseconds since simulation start.
+using SimTime = uint64_t;
+// A span of simulated time, in nanoseconds.
+using SimDuration = uint64_t;
+
+inline constexpr SimDuration kMicrosecond = 1000;
+inline constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimDuration kSecond = 1000 * kMillisecond;
+inline constexpr SimDuration kMinute = 60 * kSecond;
+inline constexpr SimDuration kHour = 60 * kMinute;
+inline constexpr SimDuration kDay = 24 * kHour;
+// 365-day simulation year; leap handling is irrelevant at fleet-lifetime scale.
+inline constexpr SimDuration kYear = 365 * kDay;
+
+// Converts a simulated duration to (floating) days/years for reporting.
+inline constexpr double ToDays(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kDay);
+}
+inline constexpr double ToYears(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kYear);
+}
+
+// Converts a byte count to (floating) GiB for reporting.
+inline constexpr double ToGiB(uint64_t bytes) {
+  return static_cast<double>(bytes) / static_cast<double>(kGiB);
+}
+
+}  // namespace salamander
+
+#endif  // SALAMANDER_COMMON_UNITS_H_

@@ -1,0 +1,58 @@
+// Minidisk (mDisk) types — the unit of partial SSD failure (paper §3.2).
+//
+// An mDisk is a small, logical, independently-failing volume carved out of
+// one SSD's logical address space. The distributed file system treats each
+// mDisk as a separate failure domain; the device decommissions them one at a
+// time as flash wears (ShrinkS) and may mint new ones from revived flash
+// (RegenS).
+#ifndef SALAMANDER_CORE_MINIDISK_H_
+#define SALAMANDER_CORE_MINIDISK_H_
+
+#include <cstdint>
+
+namespace salamander {
+
+using MinidiskId = uint32_t;
+
+enum class MinidiskState : uint8_t {
+  kLive,
+  // Grace period (§4.3 future work): the device wants to retire this mDisk
+  // but keeps its data readable until the host acknowledges that the diFS
+  // has safely re-distributed it. No new writes are accepted.
+  kDraining,
+  kDecommissioned,
+};
+
+struct Minidisk {
+  MinidiskId id = 0;
+  MinidiskState state = MinidiskState::kLive;
+  // First logical oPage offset of this mDisk in the device's FTL space;
+  // LBA j of mDisk i maps to logical page first_lpo + j (the paper's <i, j>
+  // index into the internal mapping array).
+  uint64_t first_lpo = 0;
+  uint64_t size_opages = 0;
+  // Tiredness level of the flash backing this mDisk at creation time
+  // (0 for original mDisks, >= 1 for regenerated ones).
+  unsigned tiredness_level = 0;
+};
+
+enum class MinidiskEventType : uint8_t {
+  // A new mDisk exists (initial format or RegenS regeneration); the host
+  // should introduce it to the diFS.
+  kCreated,
+  // An mDisk failed; the diFS should re-replicate its data from replicas.
+  kDecommissioned,
+  // Grace period started: the mDisk is read-only and will be reclaimed once
+  // the host calls AckDrain (or the device runs out of slack). The diFS
+  // should re-replicate now — it may read from this very mDisk.
+  kDraining,
+};
+
+struct MinidiskEvent {
+  MinidiskEventType type = MinidiskEventType::kCreated;
+  MinidiskId mdisk = 0;
+};
+
+}  // namespace salamander
+
+#endif  // SALAMANDER_CORE_MINIDISK_H_

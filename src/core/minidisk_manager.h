@@ -1,0 +1,170 @@
+// Minidisk lifecycle management (paper §3.2–§3.4).
+//
+// Sits between the host interface and the FTL:
+//  * formats a fresh device into N equal mDisks,
+//  * routes <mdisk, lba> I/O to FTL logical pages,
+//  * after every write, drains FTL tiredness transitions and
+//      - decommissions victim mDisks while physical capacity cannot back the
+//        logical capacity plus GC reserve (Eq. 2),
+//      - regenerates new mDisks when an mDisk-worth of limbo capacity has
+//        accumulated (RegenS),
+//  * queues kCreated / kDecommissioned events for the host / diFS.
+#ifndef SALAMANDER_CORE_MINIDISK_MANAGER_H_
+#define SALAMANDER_CORE_MINIDISK_MANAGER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitmap.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/minidisk.h"
+#include "ftl/ftl.h"
+
+namespace salamander {
+
+// How the device picks the victim mDisk when Eq. 2 demands decommissioning.
+// The paper leaves this open; these policies are ablated in the benches.
+enum class VictimPolicy : uint8_t {
+  kLeastValid,  // fewest written LBAs -> least diFS recovery traffic
+  kRandom,
+  kLowestId,
+};
+
+struct MinidiskConfig {
+  // mDisk size in oPages; 256 x 4 KiB = the paper's 1 MiB example.
+  uint64_t msize_opages = 256;
+  // Fraction of raw capacity withheld from mDisks (over-provisioning). The
+  // effective reserve is max(op_ratio * raw, FTL GC reserve).
+  double op_ratio = 0.07;
+  VictimPolicy victim_policy = VictimPolicy::kLeastValid;
+
+  // Grace-period decommissioning (§4.3 future work): victims enter a
+  // read-only kDraining state and keep their data until the host calls
+  // AckDrain. Off by default (the paper's base design trims immediately).
+  bool drain_before_decommission = false;
+  // Bound on simultaneously draining mDisks; when exceeded while the device
+  // needs space, the oldest drain is force-finished (data reclaimed even
+  // without an ack — counted in drains_forced()).
+  uint32_t max_draining = 4;
+  // Proactive draining: when > 0 (and draining is enabled), capacity that
+  // the wear forecast predicts will tire within this fraction of additional
+  // P/E cycles is treated as already gone, so grace windows open *before*
+  // the deficit materializes. 0 keeps the purely reactive policy.
+  double drain_forecast_horizon = 0.0;
+  // How often (in host writes) to refresh the O(device) wear forecast.
+  uint64_t forecast_interval_writes = 2048;
+
+  uint64_t seed = 1;
+};
+
+class MinidiskManager {
+ public:
+  // Formats the device: carves as many mDisks as the initial usable capacity
+  // minus reserve allows, and queues a kCreated event per mDisk.
+  MinidiskManager(Ftl* ftl, const MinidiskConfig& config);
+
+  MinidiskManager(const MinidiskManager&) = delete;
+  MinidiskManager& operator=(const MinidiskManager&) = delete;
+
+  // ---- Host I/O ---------------------------------------------------------
+
+  // Writes LBA `lba` of mDisk `mdisk`. The write itself succeeds even if the
+  // wear it causes decommissions mDisks (possibly this one); the host
+  // discovers capacity changes through TakeEvents().
+  StatusOr<SimDuration> Write(MinidiskId mdisk, uint64_t lba);
+
+  // Reads LBA `lba` of mDisk `mdisk`. kFailedPrecondition if the mDisk is
+  // decommissioned, kNotFound if never written, kDataLoss on uncorrectable
+  // flash errors.
+  StatusOr<ReadResult> Read(MinidiskId mdisk, uint64_t lba);
+
+  // Reads `count` consecutive LBAs as one large host I/O (see
+  // Ftl::ReadRange for the flash-read sharing semantics).
+  StatusOr<RangeReadResult> ReadRange(MinidiskId mdisk, uint64_t lba,
+                                      uint64_t count);
+
+  // Drains the device's NV write buffer to flash (host flush command).
+  Status Flush() { return ftl_->Flush(); }
+
+  // Host acknowledgement that a draining mDisk's data has been safely
+  // re-distributed; the device reclaims it. No-op codes: kNotFound for an
+  // unknown id, kFailedPrecondition if the mDisk is not draining.
+  Status AckDrain(MinidiskId mdisk);
+
+  // Queued mDisk lifecycle notifications (drained in order).
+  std::vector<MinidiskEvent> TakeEvents();
+
+  // ---- Introspection ----------------------------------------------------
+
+  uint64_t msize_opages() const { return config_.msize_opages; }
+  // mDisks ever created (the paper's N, monotone under RegenS).
+  uint32_t total_minidisks() const {
+    return static_cast<uint32_t>(minidisks_.size());
+  }
+  uint32_t live_minidisks() const { return live_minidisks_; }
+  bool IsLive(MinidiskId mdisk) const;
+  const Minidisk& minidisk(MinidiskId mdisk) const {
+    return minidisks_[mdisk];
+  }
+  // Host-visible capacity: live mDisks x mSize, in bytes.
+  uint64_t live_capacity_bytes() const;
+  // Written (valid) LBAs in one mDisk.
+  uint64_t valid_lbas(MinidiskId mdisk) const { return valid_counts_[mdisk]; }
+
+  uint64_t decommissioned_total() const { return decommissioned_total_; }
+  uint64_t regenerated_total() const { return regenerated_total_; }
+  uint32_t draining_minidisks() const {
+    return static_cast<uint32_t>(draining_.size());
+  }
+  // Drains reclaimed without a host ack (slack pressure). A nonzero count
+  // under gentle workloads indicates the grace window is too small.
+  uint64_t drains_forced() const { return drains_forced_; }
+
+  // Runs one round of Eq. 2 maintenance explicitly (normally automatic after
+  // each write; exposed for tests and for event-driven hosts).
+  void RunCapacityMaintenance();
+
+ private:
+  void FormatDevice();
+  MinidiskId CreateMinidisk(unsigned tiredness_level);
+  // Retires a victim: immediate trim, or kDraining when grace is enabled.
+  void Decommission(MinidiskId victim);
+  // Trims a draining mDisk's data and completes its decommission.
+  void FinishDrain(MinidiskId mdisk, bool forced);
+  // Reclaims real capacity now: force-finishes the oldest drain if any,
+  // otherwise decommissions a victim immediately (bypassing the grace
+  // period). Returns false if nothing could be shed.
+  bool ShedCapacityNow();
+  void TrimMinidisk(MinidiskId mdisk);
+  MinidiskId PickVictim();
+  // usable < live+draining logical + reserve  (Eq. 2 with GC headroom)?
+  bool CapacityDeficit() const;
+  uint64_t ReserveOPages() const;
+
+  Ftl* ftl_;
+  MinidiskConfig config_;
+  Rng rng_;
+
+  std::vector<Minidisk> minidisks_;
+  std::vector<uint64_t> valid_counts_;  // written LBAs per mDisk
+  std::vector<Bitmap> written_;         // written LBA bitmap per mDisk
+  uint32_t live_minidisks_ = 0;
+  uint64_t live_logical_opages_ = 0;
+  uint64_t decommissioned_total_ = 0;
+  uint64_t regenerated_total_ = 0;
+  // Draining mDisks in start order (oldest first) and their logical space,
+  // which still occupies flash until the drain finishes.
+  std::vector<MinidiskId> draining_;
+  uint64_t draining_logical_opages_ = 0;
+  uint64_t drains_forced_ = 0;
+  // Cached wear forecast (oPages predicted to tire soon) and its age.
+  uint64_t forecast_tiring_opages_ = 0;
+  uint64_t writes_since_forecast_ = 0;
+
+  std::vector<MinidiskEvent> events_;
+};
+
+}  // namespace salamander
+
+#endif  // SALAMANDER_CORE_MINIDISK_MANAGER_H_

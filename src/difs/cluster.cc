@@ -1,0 +1,562 @@
+#include "difs/cluster.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+#include "common/logging.h"
+
+namespace salamander {
+
+DifsCluster::DifsCluster(
+    const DifsConfig& config,
+    const std::function<std::unique_ptr<SsdDevice>(uint32_t)>& device_factory)
+    : config_(config), rng_(config.seed ^ 0xd1f5d1f5d1f5d1f5ULL) {
+  assert(config_.replication >= 1);
+  assert(config_.nodes >= config_.replication &&
+         "need at least R nodes for node-distinct placement");
+  const uint32_t total_devices = config_.nodes * config_.devices_per_node;
+  devices_.reserve(total_devices);
+  for (uint32_t i = 0; i < total_devices; ++i) {
+    DeviceState state;
+    state.device = device_factory(i);
+    state.slots_per_mdisk = static_cast<uint32_t>(
+        state.device->msize_opages() / config_.chunk_opages);
+    assert(state.slots_per_mdisk >= 1 &&
+           "mDisk smaller than a diFS chunk");
+    devices_.push_back(std::move(state));
+    ApplyDeviceEvents(i);  // initial format events populate the slot maps
+    initial_capacity_bytes_ += devices_[i].device->live_capacity_bytes();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Event handling
+// ---------------------------------------------------------------------------
+
+size_t DifsCluster::ApplyDeviceEvents(uint32_t device_index) {
+  DeviceState& state = devices_[device_index];
+  const std::vector<MinidiskEvent> events = state.device->TakeEvents();
+  for (const MinidiskEvent& event : events) {
+    switch (event.type) {
+      case MinidiskEventType::kCreated:
+        HandleMdiskCreated(device_index, event.mdisk);
+        break;
+      case MinidiskEventType::kDecommissioned:
+        HandleMdiskLoss(device_index, event.mdisk);
+        break;
+      case MinidiskEventType::kDraining:
+        HandleMdiskDraining(device_index, event.mdisk);
+        break;
+    }
+  }
+  return events.size();
+}
+
+void DifsCluster::HandleMdiskCreated(uint32_t device_index, MinidiskId mdisk) {
+  DeviceState& state = devices_[device_index];
+  assert(state.slots.count(mdisk) == 0);
+  state.slots[mdisk].assign(state.slots_per_mdisk, kFreeSlot);
+  state.free_slot_count += state.slots_per_mdisk;
+}
+
+void DifsCluster::HandleMdiskLoss(uint32_t device_index, MinidiskId mdisk) {
+  DeviceState& state = devices_[device_index];
+  auto it = state.slots.find(mdisk);
+  if (it == state.slots.end()) {
+    return;  // already handled (e.g. decommission then brick replay)
+  }
+  const bool was_draining = state.draining_pending.count(mdisk) != 0;
+  for (uint32_t slot = 0; slot < it->second.size(); ++slot) {
+    const int64_t chunk_id = it->second[slot];
+    if (chunk_id == kFreeSlot) {
+      --state.free_slot_count;
+      continue;
+    }
+    if (chunk_id == kUnavailableSlot) {
+      continue;  // empty or already-released slot on a draining mDisk
+    }
+    Chunk& chunk = chunks_[static_cast<uint64_t>(chunk_id)];
+    for (ReplicaLocation& replica : chunk.replicas) {
+      if (replica.live && replica.device == device_index &&
+          replica.mdisk == mdisk && replica.slot == slot) {
+        replica.live = false;
+        ++stats_.replicas_lost;
+        if (replica.draining) {
+          // The grace window closed (forced finish or brick) before this
+          // chunk was re-replicated off the draining mDisk.
+          ++stats_.drain_window_losses;
+        }
+        break;
+      }
+    }
+    if (!chunk.lost) {
+      if (chunk.readable_replicas() == 0) {
+        chunk.lost = true;
+        ++stats_.chunks_lost;
+        SALA_LOG(kWarning) << "chunk " << chunk.id << " lost all replicas";
+      } else if (chunk.live_replicas() < config_.replication) {
+        pending_recoveries_.push_back(chunk.id);
+      }
+    }
+  }
+  state.draining_pending.erase(mdisk);
+  (void)was_draining;
+  state.slots.erase(it);
+}
+
+void DifsCluster::HandleMdiskDraining(uint32_t device_index,
+                                      MinidiskId mdisk) {
+  DeviceState& state = devices_[device_index];
+  auto it = state.slots.find(mdisk);
+  if (it == state.slots.end()) {
+    return;
+  }
+  ++stats_.drains_started;
+  uint32_t pending = 0;
+  for (uint32_t slot = 0; slot < it->second.size(); ++slot) {
+    int64_t& entry = it->second[slot];
+    if (entry == kFreeSlot) {
+      // Draining mDisks accept no new data; retire the free slot.
+      --state.free_slot_count;
+      entry = kUnavailableSlot;
+      continue;
+    }
+    if (entry == kUnavailableSlot) {
+      continue;
+    }
+    Chunk& chunk = chunks_[static_cast<uint64_t>(entry)];
+    for (ReplicaLocation& replica : chunk.replicas) {
+      if (replica.live && replica.device == device_index &&
+          replica.mdisk == mdisk && replica.slot == slot) {
+        replica.draining = true;
+        break;
+      }
+    }
+    ++pending;
+    if (!chunk.lost && chunk.live_replicas() < config_.replication) {
+      pending_recoveries_.push_back(chunk.id);
+    }
+  }
+  if (pending == 0) {
+    // Nothing to migrate: ack immediately.
+    (void)state.device->AckDrain(mdisk);
+    ++stats_.drains_acked;
+    state.slots.erase(it);
+  } else {
+    state.draining_pending[mdisk] = pending;
+  }
+}
+
+void DifsCluster::ReleaseDrainingReplicas(Chunk& chunk) {
+  for (ReplicaLocation& replica : chunk.replicas) {
+    if (!replica.live || !replica.draining) {
+      continue;
+    }
+    DeviceState& state = devices_[replica.device];
+    auto slot_it = state.slots.find(replica.mdisk);
+    if (slot_it != state.slots.end() &&
+        slot_it->second[replica.slot] ==
+            static_cast<int64_t>(chunk.id)) {
+      slot_it->second[replica.slot] = kUnavailableSlot;
+    }
+    replica.live = false;
+    auto pending_it = state.draining_pending.find(replica.mdisk);
+    if (pending_it != state.draining_pending.end() &&
+        --pending_it->second == 0) {
+      state.draining_pending.erase(pending_it);
+      state.slots.erase(replica.mdisk);
+      if (state.device->AckDrain(replica.mdisk).ok()) {
+        ++stats_.drains_acked;
+      }
+    }
+  }
+}
+
+void DifsCluster::ProcessEvents() {
+  const uint64_t wave_start = stats_.recovery_opage_writes;
+  for (;;) {
+    size_t events = 0;
+    for (uint32_t i = 0; i < devices_.size(); ++i) {
+      events += ApplyDeviceEvents(i);
+    }
+    if (events > 0 && !waiting_capacity_.empty()) {
+      // The placement landscape changed; parked recoveries get another shot.
+      for (ChunkId chunk_id : waiting_capacity_) {
+        pending_recoveries_.push_back(chunk_id);
+      }
+      waiting_capacity_.clear();
+    }
+    if (DrainPendingRecoveries() == 0) {
+      break;
+    }
+  }
+  const uint64_t wave = stats_.recovery_opage_writes - wave_start;
+  if (wave > 0) {
+    ++stats_.recovery_waves;
+    stats_.max_wave_recovery_opages =
+        std::max(stats_.max_wave_recovery_opages, wave);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Recovery
+// ---------------------------------------------------------------------------
+
+uint64_t DifsCluster::DrainPendingRecoveries() {
+  uint64_t recovered = 0;
+  // Process only the entries present at pass start; copies can enqueue more
+  // (by wearing the target), which the caller's loop handles next pass.
+  size_t budget = pending_recoveries_.size();
+  while (budget-- > 0 && !pending_recoveries_.empty()) {
+    const ChunkId chunk_id = pending_recoveries_.front();
+    pending_recoveries_.pop_front();
+    Chunk& chunk = chunks_[chunk_id];
+    if (chunk.lost) {
+      continue;
+    }
+    // Bring back to full replication, one replica at a time.
+    bool stuck = false;
+    while (chunk.live_replicas() < config_.replication && !chunk.lost) {
+      if (RecoverOneReplica(chunk_id)) {
+        ++recovered;
+      } else {
+        stuck = true;
+        break;
+      }
+    }
+    if (stuck && !chunk.lost &&
+        chunk.live_replicas() < config_.replication) {
+      ++stats_.recovery_deferred;
+      // Park it until the placement landscape changes (ProcessEvents
+      // re-queues parked chunks when new events arrive).
+      waiting_capacity_.push_back(chunk_id);
+    }
+  }
+  return recovered;
+}
+
+bool DifsCluster::RecoverOneReplica(ChunkId chunk_id) {
+  Chunk& chunk = chunks_[chunk_id];
+  // Source: prefer a non-draining replica (guaranteed fresh); fall back to a
+  // draining one (the §4.3 grace window exists precisely so this fallback is
+  // available). Only non-draining replicas exclude their node — the draining
+  // copy is about to vanish, so its node may host the new replica.
+  const ReplicaLocation* source = nullptr;
+  const ReplicaLocation* draining_source = nullptr;
+  std::vector<uint32_t> exclude_nodes;
+  for (const ReplicaLocation& replica : chunk.replicas) {
+    if (!replica.live) {
+      continue;
+    }
+    if (replica.draining) {
+      draining_source = &replica;
+      continue;
+    }
+    exclude_nodes.push_back(node_of_device(replica.device));
+    if (source == nullptr) {
+      source = &replica;
+    }
+  }
+  if (source == nullptr) {
+    source = draining_source;
+  }
+  if (source == nullptr) {
+    return false;
+  }
+  uint32_t target_device = 0;
+  MinidiskId target_mdisk = 0;
+  uint32_t target_slot = 0;
+  if (!PickTarget(exclude_nodes, &target_device, &target_mdisk,
+                  &target_slot)) {
+    return false;
+  }
+  // Claim the slot immediately so concurrent placements in this event wave
+  // cannot double-book it.
+  devices_[target_device].slots[target_mdisk][target_slot] =
+      static_cast<int64_t>(chunk_id);
+  --devices_[target_device].free_slot_count;
+
+  // Read the chunk from the survivor (latency/traffic accounting only; the
+  // simulator carries no payload bytes). A failed read falls back to ECC-
+  // protected re-reads of other replicas in a real system; here it simply
+  // counts, since the copy's content is tracked logically.
+  DeviceState& source_state = devices_[source->device];
+  auto read = source_state.device->ReadRange(
+      source->mdisk, static_cast<uint64_t>(source->slot) * config_.chunk_opages,
+      config_.chunk_opages);
+  if (read.ok()) {
+    stats_.recovery_opage_reads += config_.chunk_opages;
+  } else {
+    ++stats_.uncorrectable_reads;
+  }
+
+  // Write every LBA of the new replica.
+  DeviceState& target_state = devices_[target_device];
+  const uint64_t base =
+      static_cast<uint64_t>(target_slot) * config_.chunk_opages;
+  for (uint64_t offset = 0; offset < config_.chunk_opages; ++offset) {
+    auto write = target_state.device->Write(target_mdisk, base + offset);
+    if (!write.ok()) {
+      // Target died mid-copy (its own wear, or the write's wear): abandon.
+      // If the target mDisk survived (failure had another cause), release
+      // the claimed slot; if it was decommissioned, HandleMdiskLoss already
+      // dropped the whole slot vector.
+      ApplyDeviceEvents(target_device);
+      auto it = target_state.slots.find(target_mdisk);
+      if (it != target_state.slots.end() &&
+          it->second[target_slot] == static_cast<int64_t>(chunk_id)) {
+        it->second[target_slot] = kFreeSlot;
+        ++target_state.free_slot_count;
+      }
+      return false;
+    }
+    ++stats_.recovery_opage_writes;
+  }
+  // Prune dead replica records before adding the new one (they can never
+  // match a future event and would otherwise accumulate forever).
+  std::erase_if(chunk.replicas,
+                [](const ReplicaLocation& r) { return !r.live; });
+  chunk.replicas.push_back(ReplicaLocation{.device = target_device,
+                                           .mdisk = target_mdisk,
+                                           .slot = target_slot,
+                                           .live = true});
+  ++stats_.replicas_recovered;
+  if (chunk.live_replicas() >= config_.replication) {
+    // Fully replicated again: draining copies are no longer needed.
+    ReleaseDrainingReplicas(chunk);
+  }
+  // The copy itself wears the target device; surface any resulting events
+  // (possibly including loss of the replica just written).
+  ApplyDeviceEvents(target_device);
+  return true;
+}
+
+bool DifsCluster::PickTarget(const std::vector<uint32_t>& exclude_nodes,
+                             uint32_t* device_out, MinidiskId* mdisk_out,
+                             uint32_t* slot_out) {
+  // Random start, linear probe: keeps placement spread without a full scan.
+  // Two passes: devices with active drains are visibly dying, so avoid
+  // placing new replicas there unless nothing else has space.
+  const uint32_t n = static_cast<uint32_t>(devices_.size());
+  const uint32_t start = static_cast<uint32_t>(rng_.UniformU64(n));
+  for (int pass = 0; pass < 2; ++pass) {
+    for (uint32_t probe = 0; probe < n; ++probe) {
+      const uint32_t device_index = (start + probe) % n;
+      DeviceState& state = devices_[device_index];
+      if (state.free_slot_count == 0 || state.device->failed()) {
+        continue;
+      }
+      if (pass == 0 && !state.draining_pending.empty()) {
+        continue;  // dying device; only a last resort
+      }
+      const uint32_t node = node_of_device(device_index);
+      if (std::find(exclude_nodes.begin(), exclude_nodes.end(), node) !=
+          exclude_nodes.end()) {
+        continue;
+      }
+      for (auto& [mdisk, slots] : state.slots) {
+        for (uint32_t slot = 0; slot < slots.size(); ++slot) {
+          if (slots[slot] == kFreeSlot) {
+            *device_out = device_index;
+            *mdisk_out = mdisk;
+            *slot_out = slot;
+            return true;
+          }
+        }
+      }
+      // free_slot_count said there was space but none found: accounting
+      // drift would be a bug.
+      assert(false && "free_slot_count out of sync");
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Bootstrap and foreground I/O
+// ---------------------------------------------------------------------------
+
+Status DifsCluster::Bootstrap() {
+  if (bootstrapped_) {
+    return FailedPreconditionError("Bootstrap: already bootstrapped");
+  }
+  bootstrapped_ = true;
+  uint64_t total_slots = 0;
+  for (const DeviceState& state : devices_) {
+    total_slots += state.free_slot_count;
+  }
+  const uint64_t target_chunks = static_cast<uint64_t>(
+      static_cast<double>(total_slots) * config_.fill_fraction /
+      config_.replication);
+  chunks_.reserve(target_chunks);
+  for (uint64_t c = 0; c < target_chunks; ++c) {
+    Chunk chunk;
+    chunk.id = c;
+    std::vector<uint32_t> used_nodes;
+    for (uint32_t r = 0; r < config_.replication; ++r) {
+      uint32_t device_index = 0;
+      MinidiskId mdisk = 0;
+      uint32_t slot = 0;
+      if (!PickTarget(used_nodes, &device_index, &mdisk, &slot)) {
+        // Cluster cannot hold more fully-replicated chunks; roll back the
+        // partial placement and stop.
+        for (const ReplicaLocation& placed : chunk.replicas) {
+          DeviceState& state = devices_[placed.device];
+          state.slots[placed.mdisk][placed.slot] = kFreeSlot;
+          ++state.free_slot_count;
+        }
+        return OkStatus();
+      }
+      DeviceState& state = devices_[device_index];
+      state.slots[mdisk][slot] = static_cast<int64_t>(c);
+      --state.free_slot_count;
+      used_nodes.push_back(node_of_device(device_index));
+      chunk.replicas.push_back(ReplicaLocation{
+          .device = device_index, .mdisk = mdisk, .slot = slot, .live = true});
+    }
+    chunks_.push_back(std::move(chunk));
+    // Initial load: write every LBA of every replica. Failures are
+    // tolerated — if the load itself wears out an mDisk, the event wave in
+    // ProcessEvents repairs the affected chunks.
+    Chunk& placed = chunks_.back();
+    for (ReplicaLocation& replica : placed.replicas) {
+      for (uint64_t offset = 0; offset < config_.chunk_opages; ++offset) {
+        (void)WriteReplica(replica, offset);
+      }
+    }
+    ProcessEvents();
+  }
+  return OkStatus();
+}
+
+Status DifsCluster::WriteReplica(ReplicaLocation& replica, uint64_t offset) {
+  if (!replica.live || replica.draining) {
+    return FailedPreconditionError("replica not writable");
+  }
+  DeviceState& state = devices_[replica.device];
+  auto write = state.device->Write(
+      replica.mdisk,
+      static_cast<uint64_t>(replica.slot) * config_.chunk_opages + offset);
+  if (!write.ok()) {
+    return write.status();
+  }
+  return OkStatus();
+}
+
+Status DifsCluster::StepWrites(uint64_t opage_writes) {
+  if (chunks_.empty()) {
+    return FailedPreconditionError("StepWrites: bootstrap first");
+  }
+  for (uint64_t i = 0; i < opage_writes; ++i) {
+    const ChunkId chunk_id = rng_.UniformU64(chunks_.size());
+    Chunk& chunk = chunks_[chunk_id];
+    if (chunk.lost) {
+      continue;
+    }
+    const uint64_t offset = rng_.UniformU64(config_.chunk_opages);
+    for (ReplicaLocation& replica : chunk.replicas) {
+      if (!replica.live) {
+        continue;
+      }
+      // Failures are tolerated: the replica's device just decommissioned or
+      // bricked and the event wave below repairs the chunk.
+      (void)WriteReplica(replica, offset);
+    }
+    ++stats_.foreground_opage_writes;
+    ProcessEvents();
+  }
+  return OkStatus();
+}
+
+Status DifsCluster::StepReads(uint64_t opage_reads) {
+  if (chunks_.empty()) {
+    return FailedPreconditionError("StepReads: bootstrap first");
+  }
+  for (uint64_t i = 0; i < opage_reads; ++i) {
+    const ChunkId chunk_id = rng_.UniformU64(chunks_.size());
+    Chunk& chunk = chunks_[chunk_id];
+    if (chunk.lost || chunk.readable_replicas() == 0) {
+      continue;
+    }
+    // Pick a random readable replica (draining ones still serve reads).
+    uint32_t live_index = static_cast<uint32_t>(
+        rng_.UniformU64(chunk.readable_replicas()));
+    ReplicaLocation* replica = nullptr;
+    for (ReplicaLocation& r : chunk.replicas) {
+      if (r.live && live_index-- == 0) {
+        replica = &r;
+        break;
+      }
+    }
+    const uint64_t offset = rng_.UniformU64(config_.chunk_opages);
+    DeviceState& state = devices_[replica->device];
+    auto read = state.device->Read(
+        replica->mdisk,
+        static_cast<uint64_t>(replica->slot) * config_.chunk_opages + offset);
+    if (!read.ok() && read.status().code() == StatusCode::kDataLoss) {
+      ++stats_.uncorrectable_reads;
+      // Scrub: rewrite the page so future reads see freshly-programmed flash
+      // (content restored from a healthy replica in a real system).
+      if (WriteReplica(*replica, offset).ok()) {
+        ++stats_.scrub_repairs;
+      }
+      ProcessEvents();
+    }
+  }
+  return OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+uint32_t DifsCluster::alive_devices() const {
+  uint32_t alive = 0;
+  for (const DeviceState& state : devices_) {
+    alive += state.device->failed() ? 0 : 1;
+  }
+  return alive;
+}
+
+uint64_t DifsCluster::chunks_fully_replicated() const {
+  uint64_t n = 0;
+  for (const Chunk& chunk : chunks_) {
+    n += (!chunk.lost && chunk.live_replicas() >= config_.replication) ? 1 : 0;
+  }
+  return n;
+}
+
+uint64_t DifsCluster::chunks_under_replicated() const {
+  uint64_t n = 0;
+  for (const Chunk& chunk : chunks_) {
+    n += (!chunk.lost && chunk.live_replicas() < config_.replication) ? 1 : 0;
+  }
+  return n;
+}
+
+uint64_t DifsCluster::live_capacity_bytes() const {
+  uint64_t total = 0;
+  for (const DeviceState& state : devices_) {
+    total += state.device->live_capacity_bytes();
+  }
+  return total;
+}
+
+uint64_t DifsCluster::total_bytes_written() const {
+  uint64_t total = 0;
+  for (const DeviceState& state : devices_) {
+    total += state.device->bytes_written();
+  }
+  return total;
+}
+
+uint64_t DifsCluster::free_slots() const {
+  uint64_t total = 0;
+  for (const DeviceState& state : devices_) {
+    total += state.free_slot_count;
+  }
+  return total;
+}
+
+}  // namespace salamander

@@ -1,0 +1,213 @@
+// Distributed replicated storage simulator (the paper's diFS).
+//
+// The cluster stores fixed-size *chunks*, each replicated on R distinct
+// nodes. A chunk replica occupies one slot of one mDisk: on Salamander
+// devices mSize == chunk size so a replica maps 1:1 onto an mDisk (the
+// paper's design); on a baseline device the single monolithic "mDisk" hosts
+// many slots, so one brick loses them all at once — exactly the failure-
+// granularity contrast of Fig. 1.
+//
+// The cluster consumes each device's MinidiskEvent stream:
+//   kDecommissioned -> replicas on that mDisk are lost; the recovery
+//                      scheduler re-replicates each affected chunk from a
+//                      survivor onto a node not already hosting it.
+//   kCreated        -> new placement capacity (RegenS regeneration).
+//
+// Recovery performs *real* device I/O: the copy reads the survivor and
+// writes the target, so recovery traffic wears flash exactly as §4.3
+// discusses. Simulation "time" is driven by bytes written (constant-rate
+// workload assumption); the fleet layer converts to wall-clock via DWPD.
+#ifndef SALAMANDER_DIFS_CLUSTER_H_
+#define SALAMANDER_DIFS_CLUSTER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/minidisk.h"
+#include "ssd/ssd_device.h"
+
+namespace salamander {
+
+using ChunkId = uint64_t;
+
+struct DifsConfig {
+  uint32_t nodes = 6;
+  uint32_t devices_per_node = 1;
+  uint32_t replication = 3;
+  // diFS access-unit size in oPages (the paper's "equally-sized access
+  // units"); Salamander devices set mSize equal to this.
+  uint64_t chunk_opages = 64;
+  // Fraction of initial cluster slots to fill with chunk replicas.
+  double fill_fraction = 0.6;
+  uint64_t seed = 1;
+};
+
+struct DifsStats {
+  uint64_t foreground_opage_writes = 0;
+  uint64_t recovery_opage_writes = 0;  // §4.3 recovery traffic (writes)
+  uint64_t recovery_opage_reads = 0;   // reads from survivor replicas
+  uint64_t replicas_recovered = 0;     // successful re-replications
+  uint64_t replicas_lost = 0;          // replica failures observed
+  uint64_t drains_started = 0;         // kDraining events observed
+  uint64_t drains_acked = 0;           // drains completed with AckDrain
+  // Replicas that were lost while STILL draining (forced drain finish or a
+  // brick during the grace window) — each is a failure the grace period was
+  // supposed to prevent.
+  uint64_t drain_window_losses = 0;
+  uint64_t chunks_lost = 0;            // all replicas gone: data loss
+  uint64_t recovery_deferred = 0;      // no eligible target at the time
+  uint64_t uncorrectable_reads = 0;    // device-level kDataLoss on reads
+  uint64_t scrub_repairs = 0;          // pages rewritten after kDataLoss
+  // Largest amount of recovery I/O performed in one event wave (one
+  // ProcessEvents call) — the burstiness contrast of Fig. 1 / §4.3: a
+  // whole-device failure forces one huge wave, mDisk failures many tiny ones.
+  uint64_t max_wave_recovery_opages = 0;
+  uint64_t recovery_waves = 0;         // waves with any recovery I/O
+
+  uint64_t recovery_bytes() const { return recovery_opage_writes * 4096; }
+};
+
+// One replica's location: a slot within an mDisk of a device.
+struct ReplicaLocation {
+  uint32_t device = 0;  // global device index
+  MinidiskId mdisk = 0;
+  uint32_t slot = 0;    // chunk slot within the mDisk
+  bool live = false;
+  // The mDisk is draining (grace-period decommissioning): still readable,
+  // no longer counted toward the replication target.
+  bool draining = false;
+};
+
+struct Chunk {
+  ChunkId id = 0;
+  std::vector<ReplicaLocation> replicas;
+  bool lost = false;
+
+  // Replicas counting toward the replication factor (live, not draining).
+  uint32_t live_replicas() const {
+    uint32_t n = 0;
+    for (const ReplicaLocation& r : replicas) {
+      n += (r.live && !r.draining) ? 1 : 0;
+    }
+    return n;
+  }
+  // Replicas the data can still be read from (includes draining ones).
+  uint32_t readable_replicas() const {
+    uint32_t n = 0;
+    for (const ReplicaLocation& r : replicas) {
+      n += r.live ? 1 : 0;
+    }
+    return n;
+  }
+};
+
+class DifsCluster {
+ public:
+  // `device_factory(global_index)` builds each device; indices are assigned
+  // node-major (device i lives on node i / devices_per_node).
+  DifsCluster(const DifsConfig& config,
+              const std::function<std::unique_ptr<SsdDevice>(uint32_t)>&
+                  device_factory);
+
+  // Creates chunks up to the configured fill fraction, places replicas on
+  // distinct nodes, and writes every LBA of every replica (initial load).
+  Status Bootstrap();
+
+  // Issues `opage_writes` foreground writes: each picks a random chunk and
+  // offset and writes it through all live replicas (one logical write = R
+  // device writes). Device events are processed as they appear.
+  Status StepWrites(uint64_t opage_writes);
+
+  // Reads `opage_reads` random chunk pages from random live replicas.
+  // Uncorrectable reads are repaired by rewriting the page from RAM state
+  // (scrub), counted in stats.
+  Status StepReads(uint64_t opage_reads);
+
+  // Drains device events and runs the recovery scheduler (also invoked
+  // internally by StepWrites/StepReads).
+  void ProcessEvents();
+
+  // ---- Introspection -----------------------------------------------------
+
+  const DifsStats& stats() const { return stats_; }
+  uint32_t alive_devices() const;
+  uint64_t total_chunks() const { return chunks_.size(); }
+  uint64_t chunks_fully_replicated() const;
+  uint64_t chunks_under_replicated() const;
+  uint64_t chunks_lost() const { return stats_.chunks_lost; }
+  const Chunk& chunk(ChunkId id) const { return chunks_[id]; }
+  // Live cluster capacity in bytes, across all devices.
+  uint64_t live_capacity_bytes() const;
+  uint64_t initial_capacity_bytes() const { return initial_capacity_bytes_; }
+  // Total host data written across all devices (time axis for aging plots).
+  uint64_t total_bytes_written() const;
+  SsdDevice& device(uint32_t index) { return *devices_[index].device; }
+  const SsdDevice& device(uint32_t index) const {
+    return *devices_[index].device;
+  }
+  uint32_t device_count() const {
+    return static_cast<uint32_t>(devices_.size());
+  }
+  uint32_t node_of_device(uint32_t device) const {
+    return device / config_.devices_per_node;
+  }
+  uint64_t free_slots() const;
+
+ private:
+  static constexpr int64_t kFreeSlot = -1;
+
+  static constexpr int64_t kUnavailableSlot = -2;
+
+  struct DeviceState {
+    std::unique_ptr<SsdDevice> device;
+    uint32_t slots_per_mdisk = 0;
+    // Per live mDisk: slot -> chunk id, kFreeSlot, or kUnavailableSlot
+    // (slot on a draining mDisk that can take no new data).
+    std::unordered_map<MinidiskId, std::vector<int64_t>> slots;
+    uint64_t free_slot_count = 0;
+    // Draining mDisks -> chunks still awaiting re-replication before ack.
+    std::unordered_map<MinidiskId, uint32_t> draining_pending;
+  };
+
+  // Returns the number of events processed.
+  size_t ApplyDeviceEvents(uint32_t device_index);
+  void HandleMdiskLoss(uint32_t device_index, MinidiskId mdisk);
+  void HandleMdiskCreated(uint32_t device_index, MinidiskId mdisk);
+  void HandleMdiskDraining(uint32_t device_index, MinidiskId mdisk);
+  // After `chunk` reached full replication, releases its draining replicas
+  // and acks drains whose last pending chunk this was.
+  void ReleaseDrainingReplicas(Chunk& chunk);
+  // One pass over the pending-recovery queue; returns how many replicas were
+  // successfully re-created.
+  uint64_t DrainPendingRecoveries();
+  // Attempts to restore one missing replica of `chunk_id`. Returns true on
+  // success, false if no eligible target or no live source exists.
+  bool RecoverOneReplica(ChunkId chunk_id);
+  bool PickTarget(const std::vector<uint32_t>& exclude_nodes,
+                  uint32_t* device_out, MinidiskId* mdisk_out,
+                  uint32_t* slot_out);
+  Status WriteReplica(ReplicaLocation& replica, uint64_t offset);
+
+  DifsConfig config_;
+  Rng rng_;
+  std::vector<DeviceState> devices_;
+  std::vector<Chunk> chunks_;
+  std::deque<ChunkId> pending_recoveries_;
+  // Chunks whose recovery found no eligible target; retried only when the
+  // cluster's placement capacity changes (new mDisks, replica losses), not
+  // on every foreground operation.
+  std::vector<ChunkId> waiting_capacity_;
+  DifsStats stats_;
+  uint64_t initial_capacity_bytes_ = 0;
+  bool bootstrapped_ = false;
+};
+
+}  // namespace salamander
+
+#endif  // SALAMANDER_DIFS_CLUSTER_H_

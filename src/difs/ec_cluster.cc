@@ -1,0 +1,433 @@
+#include "difs/ec_cluster.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace salamander {
+
+EcCluster::EcCluster(
+    const EcConfig& config,
+    const std::function<std::unique_ptr<SsdDevice>(uint32_t)>& device_factory)
+    : config_(config), rng_(config.seed ^ 0xececececececececULL) {
+  assert(config_.data_cells >= 1);
+  assert(config_.parity_cells >= 1);
+  assert(config_.data_cells + config_.parity_cells <= 0xff &&
+         "cell index must fit the packed slot ref");
+  assert(config_.nodes >= config_.data_cells + config_.parity_cells &&
+         "need k+m nodes for node-disjoint placement");
+  const uint32_t total_devices = config_.nodes * config_.devices_per_node;
+  devices_.reserve(total_devices);
+  for (uint32_t i = 0; i < total_devices; ++i) {
+    DeviceState state;
+    state.device = device_factory(i);
+    state.slots_per_mdisk = static_cast<uint32_t>(
+        state.device->msize_opages() / config_.cell_opages);
+    assert(state.slots_per_mdisk >= 1 && "mDisk smaller than an EC cell");
+    devices_.push_back(std::move(state));
+    ApplyDeviceEvents(i);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Events
+// ---------------------------------------------------------------------------
+
+size_t EcCluster::ApplyDeviceEvents(uint32_t device_index) {
+  DeviceState& state = devices_[device_index];
+  const std::vector<MinidiskEvent> events = state.device->TakeEvents();
+  for (const MinidiskEvent& event : events) {
+    switch (event.type) {
+      case MinidiskEventType::kCreated:
+        HandleMdiskCreated(device_index, event.mdisk);
+        break;
+      case MinidiskEventType::kDecommissioned:
+        HandleMdiskLoss(device_index, event.mdisk);
+        break;
+      case MinidiskEventType::kDraining:
+        // EC mode runs without the grace protocol (see header); a draining
+        // notice is treated as an immediate retirement hint and the loss
+        // arrives with the subsequent kDecommissioned event.
+        break;
+    }
+  }
+  return events.size();
+}
+
+void EcCluster::HandleMdiskCreated(uint32_t device_index, MinidiskId mdisk) {
+  DeviceState& state = devices_[device_index];
+  assert(state.slots.count(mdisk) == 0);
+  state.slots[mdisk].assign(state.slots_per_mdisk, kFreeSlot);
+  state.free_slot_count += state.slots_per_mdisk;
+}
+
+void EcCluster::HandleMdiskLoss(uint32_t device_index, MinidiskId mdisk) {
+  DeviceState& state = devices_[device_index];
+  auto it = state.slots.find(mdisk);
+  if (it == state.slots.end()) {
+    return;
+  }
+  for (uint32_t slot = 0; slot < it->second.size(); ++slot) {
+    const int64_t ref = it->second[slot];
+    if (ref == kFreeSlot) {
+      --state.free_slot_count;
+      continue;
+    }
+    Stripe& stripe = stripes_[RefStripe(ref)];
+    CellLocation& cell = stripe.cells[RefCell(ref)];
+    if (cell.live && cell.device == device_index && cell.mdisk == mdisk &&
+        cell.slot == slot) {
+      cell.live = false;
+      ++stats_.cells_lost;
+    }
+    if (!stripe.lost) {
+      if (stripe.live_cells() < config_.data_cells) {
+        stripe.lost = true;
+        ++stats_.stripes_lost;
+        SALA_LOG(kWarning) << "stripe " << stripe.id
+                           << " lost more than m cells";
+      } else if (stripe.live_cells() <
+                 config_.data_cells + config_.parity_cells) {
+        pending_rebuilds_.push_back(stripe.id);
+      }
+    }
+  }
+  state.slots.erase(it);
+}
+
+void EcCluster::ProcessEvents() {
+  for (;;) {
+    size_t events = 0;
+    for (uint32_t i = 0; i < devices_.size(); ++i) {
+      events += ApplyDeviceEvents(i);
+    }
+    if (events > 0 && !waiting_capacity_.empty()) {
+      for (StripeId stripe_id : waiting_capacity_) {
+        pending_rebuilds_.push_back(stripe_id);
+      }
+      waiting_capacity_.clear();
+    }
+    if (DrainPendingRebuilds() == 0) {
+      return;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rebuild
+// ---------------------------------------------------------------------------
+
+uint64_t EcCluster::DrainPendingRebuilds() {
+  uint64_t rebuilt = 0;
+  size_t budget = pending_rebuilds_.size();
+  while (budget-- > 0 && !pending_rebuilds_.empty()) {
+    const StripeId stripe_id = pending_rebuilds_.front();
+    pending_rebuilds_.pop_front();
+    Stripe& stripe = stripes_[stripe_id];
+    if (stripe.lost) {
+      continue;
+    }
+    bool stuck = false;
+    while (!stripe.lost &&
+           stripe.live_cells() <
+               config_.data_cells + config_.parity_cells) {
+      if (RebuildOneCell(stripe_id)) {
+        ++rebuilt;
+      } else {
+        stuck = true;
+        break;
+      }
+    }
+    if (stuck && !stripe.lost &&
+        stripe.live_cells() < config_.data_cells + config_.parity_cells) {
+      ++stats_.rebuild_deferred;
+      waiting_capacity_.push_back(stripe_id);
+    }
+  }
+  return rebuilt;
+}
+
+bool EcCluster::RebuildOneCell(StripeId stripe_id) {
+  Stripe& stripe = stripes_[stripe_id];
+  // Reconstruction needs any k live cells; the rebuilt cell must land on a
+  // node hosting none of the stripe's live cells.
+  std::vector<const CellLocation*> sources;
+  std::vector<uint32_t> exclude_nodes;
+  uint32_t missing_cell = UINT32_MAX;
+  for (const CellLocation& cell : stripe.cells) {
+    if (cell.live) {
+      exclude_nodes.push_back(node_of_device(cell.device));
+      if (sources.size() < config_.data_cells) {
+        sources.push_back(&cell);
+      }
+    } else if (missing_cell == UINT32_MAX) {
+      missing_cell = cell.cell;
+    }
+  }
+  if (missing_cell == UINT32_MAX ||
+      sources.size() < config_.data_cells) {
+    return false;
+  }
+  uint32_t target_device = 0;
+  MinidiskId target_mdisk = 0;
+  uint32_t target_slot = 0;
+  if (!PickTarget(exclude_nodes, &target_device, &target_mdisk,
+                  &target_slot)) {
+    return false;
+  }
+  DeviceState& target_state = devices_[target_device];
+  target_state.slots[target_mdisk][target_slot] =
+      PackRef(stripe_id, missing_cell);
+  --target_state.free_slot_count;
+
+  // Read k surviving cells in full: the k-fold reconstruction traffic.
+  for (const CellLocation* source : sources) {
+    auto read = devices_[source->device].device->ReadRange(
+        source->mdisk,
+        static_cast<uint64_t>(source->slot) * config_.cell_opages,
+        config_.cell_opages);
+    if (read.ok()) {
+      stats_.rebuild_opage_reads += config_.cell_opages;
+    }
+  }
+
+  // Write the reconstructed cell.
+  CellLocation rebuilt{.cell = missing_cell,
+                       .device = target_device,
+                       .mdisk = target_mdisk,
+                       .slot = target_slot,
+                       .live = true};
+  const uint64_t base =
+      static_cast<uint64_t>(target_slot) * config_.cell_opages;
+  for (uint64_t offset = 0; offset < config_.cell_opages; ++offset) {
+    auto write =
+        target_state.device->Write(target_mdisk, base + offset);
+    if (!write.ok()) {
+      ApplyDeviceEvents(target_device);
+      auto it = target_state.slots.find(target_mdisk);
+      if (it != target_state.slots.end() &&
+          it->second[target_slot] == PackRef(stripe_id, missing_cell)) {
+        it->second[target_slot] = kFreeSlot;
+        ++target_state.free_slot_count;
+      }
+      return false;
+    }
+    ++stats_.rebuild_opage_writes;
+  }
+  stripe.cells[missing_cell] = rebuilt;
+  ++stats_.cells_rebuilt;
+  ApplyDeviceEvents(target_device);
+  return true;
+}
+
+bool EcCluster::PickTarget(const std::vector<uint32_t>& exclude_nodes,
+                           uint32_t* device_out, MinidiskId* mdisk_out,
+                           uint32_t* slot_out) {
+  const uint32_t n = static_cast<uint32_t>(devices_.size());
+  const uint32_t start = static_cast<uint32_t>(rng_.UniformU64(n));
+  for (uint32_t probe = 0; probe < n; ++probe) {
+    const uint32_t device_index = (start + probe) % n;
+    DeviceState& state = devices_[device_index];
+    if (state.free_slot_count == 0 || state.device->failed()) {
+      continue;
+    }
+    const uint32_t node = node_of_device(device_index);
+    if (std::find(exclude_nodes.begin(), exclude_nodes.end(), node) !=
+        exclude_nodes.end()) {
+      continue;
+    }
+    for (auto& [mdisk, slots] : state.slots) {
+      for (uint32_t slot = 0; slot < slots.size(); ++slot) {
+        if (slots[slot] == kFreeSlot) {
+          *device_out = device_index;
+          *mdisk_out = mdisk;
+          *slot_out = slot;
+          return true;
+        }
+      }
+    }
+    assert(false && "free_slot_count out of sync");
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Bootstrap and foreground I/O
+// ---------------------------------------------------------------------------
+
+Status EcCluster::Bootstrap() {
+  if (bootstrapped_) {
+    return FailedPreconditionError("Bootstrap: already bootstrapped");
+  }
+  bootstrapped_ = true;
+  uint64_t total_slots = 0;
+  for (const DeviceState& state : devices_) {
+    total_slots += state.free_slot_count;
+  }
+  const uint32_t width = config_.data_cells + config_.parity_cells;
+  const uint64_t target_stripes = static_cast<uint64_t>(
+      static_cast<double>(total_slots) * config_.fill_fraction / width);
+  stripes_.reserve(target_stripes);
+  for (uint64_t s = 0; s < target_stripes; ++s) {
+    Stripe stripe;
+    stripe.id = s;
+    std::vector<uint32_t> used_nodes;
+    bool placed_all = true;
+    for (uint32_t c = 0; c < width; ++c) {
+      uint32_t device_index = 0;
+      MinidiskId mdisk = 0;
+      uint32_t slot = 0;
+      if (!PickTarget(used_nodes, &device_index, &mdisk, &slot)) {
+        placed_all = false;
+        break;
+      }
+      DeviceState& state = devices_[device_index];
+      state.slots[mdisk][slot] = PackRef(s, c);
+      --state.free_slot_count;
+      used_nodes.push_back(node_of_device(device_index));
+      stripe.cells.push_back(CellLocation{.cell = c,
+                                          .device = device_index,
+                                          .mdisk = mdisk,
+                                          .slot = slot,
+                                          .live = true});
+    }
+    if (!placed_all) {
+      // Roll back partial placement and stop.
+      for (const CellLocation& cell : stripe.cells) {
+        DeviceState& state = devices_[cell.device];
+        state.slots[cell.mdisk][cell.slot] = kFreeSlot;
+        ++state.free_slot_count;
+      }
+      return OkStatus();
+    }
+    stripes_.push_back(std::move(stripe));
+    Stripe& placed = stripes_.back();
+    for (CellLocation& cell : placed.cells) {
+      for (uint64_t offset = 0; offset < config_.cell_opages; ++offset) {
+        (void)WriteCell(cell, offset);
+      }
+    }
+    ProcessEvents();
+  }
+  return OkStatus();
+}
+
+Status EcCluster::WriteCell(CellLocation& cell, uint64_t offset) {
+  if (!cell.live) {
+    return FailedPreconditionError("cell not live");
+  }
+  DeviceState& state = devices_[cell.device];
+  auto write = state.device->Write(
+      cell.mdisk,
+      static_cast<uint64_t>(cell.slot) * config_.cell_opages + offset);
+  if (!write.ok()) {
+    return write.status();
+  }
+  ++stats_.foreground_device_writes;
+  return OkStatus();
+}
+
+Status EcCluster::StepWrites(uint64_t logical_writes) {
+  if (stripes_.empty()) {
+    return FailedPreconditionError("StepWrites: bootstrap first");
+  }
+  for (uint64_t i = 0; i < logical_writes; ++i) {
+    Stripe& stripe = stripes_[rng_.UniformU64(stripes_.size())];
+    if (stripe.lost) {
+      continue;
+    }
+    // A logical update touches one data cell's LBA and all parity cells:
+    // EC's (1 + m)-fold write amplification.
+    const uint32_t data_cell =
+        static_cast<uint32_t>(rng_.UniformU64(config_.data_cells));
+    const uint64_t offset = rng_.UniformU64(config_.cell_opages);
+    if (stripe.cells[data_cell].live) {
+      (void)WriteCell(stripe.cells[data_cell], offset);
+    }
+    for (uint32_t p = config_.data_cells;
+         p < config_.data_cells + config_.parity_cells; ++p) {
+      if (stripe.cells[p].live) {
+        (void)WriteCell(stripe.cells[p], offset);
+      }
+    }
+    ++stats_.foreground_logical_writes;
+    ProcessEvents();
+  }
+  return OkStatus();
+}
+
+Status EcCluster::StepReads(uint64_t reads) {
+  if (stripes_.empty()) {
+    return FailedPreconditionError("StepReads: bootstrap first");
+  }
+  for (uint64_t i = 0; i < reads; ++i) {
+    Stripe& stripe = stripes_[rng_.UniformU64(stripes_.size())];
+    if (stripe.lost) {
+      continue;
+    }
+    const uint32_t data_cell =
+        static_cast<uint32_t>(rng_.UniformU64(config_.data_cells));
+    const uint64_t offset = rng_.UniformU64(config_.cell_opages);
+    CellLocation& cell = stripe.cells[data_cell];
+    if (cell.live) {
+      (void)devices_[cell.device].device->Read(
+          cell.mdisk,
+          static_cast<uint64_t>(cell.slot) * config_.cell_opages + offset);
+      continue;
+    }
+    // Degraded read: reconstruct from k live cells (same offset in each).
+    ++stats_.degraded_reads;
+    uint32_t fetched = 0;
+    for (CellLocation& source : stripe.cells) {
+      if (!source.live || fetched == config_.data_cells) {
+        continue;
+      }
+      (void)devices_[source.device].device->Read(
+          source.mdisk,
+          static_cast<uint64_t>(source.slot) * config_.cell_opages + offset);
+      ++fetched;
+    }
+  }
+  return OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+uint64_t EcCluster::stripes_fully_redundant() const {
+  const uint32_t width = config_.data_cells + config_.parity_cells;
+  uint64_t n = 0;
+  for (const Stripe& stripe : stripes_) {
+    n += (!stripe.lost && stripe.live_cells() == width) ? 1 : 0;
+  }
+  return n;
+}
+
+uint64_t EcCluster::stripes_degraded() const {
+  const uint32_t width = config_.data_cells + config_.parity_cells;
+  uint64_t n = 0;
+  for (const Stripe& stripe : stripes_) {
+    n += (!stripe.lost && stripe.live_cells() < width) ? 1 : 0;
+  }
+  return n;
+}
+
+uint32_t EcCluster::alive_devices() const {
+  uint32_t alive = 0;
+  for (const DeviceState& state : devices_) {
+    alive += state.device->failed() ? 0 : 1;
+  }
+  return alive;
+}
+
+uint64_t EcCluster::free_slots() const {
+  uint64_t total = 0;
+  for (const DeviceState& state : devices_) {
+    total += state.free_slot_count;
+  }
+  return total;
+}
+
+}  // namespace salamander

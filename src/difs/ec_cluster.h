@@ -1,0 +1,164 @@
+// Erasure-coded distributed storage on Salamander devices.
+//
+// The paper argues a diFS absorbs minidisk failures through its "existing,
+// end-to-end redundancy mechanisms"; in production that is increasingly
+// erasure coding (RS(k+m)) rather than 3-way replication. This cluster
+// stores *stripes*: k data cells + m parity cells, each cell one mDisk slot
+// on a distinct node. Any m cell losses are tolerated; rebuilding one lost
+// cell reads k surviving cells (k x reconstruction traffic — the classic EC
+// trade against replication's 1 x), and every foreground write updates its
+// data cell plus all m parity cells.
+//
+// Minidisk-granular failures interact with EC in Salamander's favour: a lost
+// 1 MiB cell costs k MiB of rebuild reads, so shedding capacity in mDisk
+// units instead of whole devices divides each rebuild burst by the number of
+// mDisks per device, exactly as with replication.
+#ifndef SALAMANDER_DIFS_EC_CLUSTER_H_
+#define SALAMANDER_DIFS_EC_CLUSTER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/minidisk.h"
+#include "ssd/ssd_device.h"
+
+namespace salamander {
+
+using StripeId = uint64_t;
+
+struct EcConfig {
+  uint32_t nodes = 9;
+  uint32_t devices_per_node = 1;
+  // RS(k + m): tolerate any m cell losses per stripe.
+  uint32_t data_cells = 4;    // k
+  uint32_t parity_cells = 2;  // m
+  // Cell size in oPages; Salamander devices set mSize equal to this.
+  uint64_t cell_opages = 64;
+  // Fraction of initial cluster slots to fill with stripe cells.
+  double fill_fraction = 0.6;
+  uint64_t seed = 1;
+};
+
+struct EcStats {
+  uint64_t foreground_logical_writes = 0;  // logical oPage updates
+  uint64_t foreground_device_writes = 0;   // data + parity device writes
+  uint64_t rebuild_opage_reads = 0;        // k-way reconstruction reads
+  uint64_t rebuild_opage_writes = 0;       // rebuilt cell writes
+  uint64_t cells_lost = 0;
+  uint64_t cells_rebuilt = 0;
+  uint64_t degraded_reads = 0;             // reads served via reconstruction
+  uint64_t stripes_lost = 0;               // > m concurrent cell losses
+  uint64_t rebuild_deferred = 0;
+
+  uint64_t rebuild_read_bytes() const { return rebuild_opage_reads * 4096; }
+  uint64_t rebuild_write_bytes() const { return rebuild_opage_writes * 4096; }
+};
+
+// One cell's placement. `cell` is the stable index within the stripe
+// (0..k-1 data, k..k+m-1 parity).
+struct CellLocation {
+  uint32_t cell = 0;
+  uint32_t device = 0;
+  MinidiskId mdisk = 0;
+  uint32_t slot = 0;
+  bool live = false;
+};
+
+struct Stripe {
+  StripeId id = 0;
+  std::vector<CellLocation> cells;  // indexed by cell number, stable
+  bool lost = false;
+
+  uint32_t live_cells() const {
+    uint32_t n = 0;
+    for (const CellLocation& cell : cells) {
+      n += cell.live ? 1 : 0;
+    }
+    return n;
+  }
+};
+
+class EcCluster {
+ public:
+  EcCluster(const EcConfig& config,
+            const std::function<std::unique_ptr<SsdDevice>(uint32_t)>&
+                device_factory);
+
+  // Places stripes (k+m node-disjoint cells each) and writes every LBA.
+  Status Bootstrap();
+
+  // Issues `logical_writes` random logical oPage updates; each writes its
+  // data cell and all m parity cells (the EC read-modify-write).
+  Status StepWrites(uint64_t logical_writes);
+
+  // Issues `reads` random logical oPage reads. A read whose data cell is
+  // missing is served degraded: k surviving cells are read to reconstruct.
+  Status StepReads(uint64_t reads);
+
+  void ProcessEvents();
+
+  const EcStats& stats() const { return stats_; }
+  uint64_t total_stripes() const { return stripes_.size(); }
+  uint64_t stripes_fully_redundant() const;
+  uint64_t stripes_degraded() const;
+  uint32_t alive_devices() const;
+  const Stripe& stripe(StripeId id) const { return stripes_[id]; }
+  uint32_t node_of_device(uint32_t device) const {
+    return device / config_.devices_per_node;
+  }
+  uint64_t free_slots() const;
+  SsdDevice& device(uint32_t index) { return *devices_[index].device; }
+  uint32_t device_count() const {
+    return static_cast<uint32_t>(devices_.size());
+  }
+
+ private:
+  static constexpr int64_t kFreeSlot = -1;
+
+  struct DeviceState {
+    std::unique_ptr<SsdDevice> device;
+    uint32_t slots_per_mdisk = 0;
+    // slot -> packed (stripe, cell) or kFreeSlot.
+    std::unordered_map<MinidiskId, std::vector<int64_t>> slots;
+    uint64_t free_slot_count = 0;
+  };
+
+  static int64_t PackRef(StripeId stripe, uint32_t cell) {
+    return static_cast<int64_t>((stripe << 8) | cell);
+  }
+  static StripeId RefStripe(int64_t ref) {
+    return static_cast<StripeId>(ref) >> 8;
+  }
+  static uint32_t RefCell(int64_t ref) {
+    return static_cast<uint32_t>(ref & 0xff);
+  }
+
+  size_t ApplyDeviceEvents(uint32_t device_index);
+  void HandleMdiskLoss(uint32_t device_index, MinidiskId mdisk);
+  void HandleMdiskCreated(uint32_t device_index, MinidiskId mdisk);
+  uint64_t DrainPendingRebuilds();
+  bool RebuildOneCell(StripeId stripe_id);
+  bool PickTarget(const std::vector<uint32_t>& exclude_nodes,
+                  uint32_t* device_out, MinidiskId* mdisk_out,
+                  uint32_t* slot_out);
+  Status WriteCell(CellLocation& cell, uint64_t offset);
+
+  EcConfig config_;
+  Rng rng_;
+  std::vector<DeviceState> devices_;
+  std::vector<Stripe> stripes_;
+  std::deque<StripeId> pending_rebuilds_;
+  std::vector<StripeId> waiting_capacity_;
+  EcStats stats_;
+  bool bootstrapped_ = false;
+};
+
+}  // namespace salamander
+
+#endif  // SALAMANDER_DIFS_EC_CLUSTER_H_

@@ -1,0 +1,223 @@
+#include "ecc/bch.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <stdexcept>
+
+namespace salamander {
+
+namespace {
+
+// Multiplies two polynomials with GF(2^m) coefficients (index = degree).
+std::vector<uint16_t> PolyMul(const GaloisField& gf,
+                              const std::vector<uint16_t>& a,
+                              const std::vector<uint16_t>& b) {
+  std::vector<uint16_t> out(a.size() + b.size() - 1, 0);
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == 0) {
+      continue;
+    }
+    for (size_t j = 0; j < b.size(); ++j) {
+      out[i + j] = gf.Add(out[i + j], gf.Mul(a[i], b[j]));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+BchCode::BchCode(unsigned m, unsigned t) : gf_(m), t_(t) {
+  if (t == 0) {
+    throw std::invalid_argument("BchCode: t must be >= 1");
+  }
+  if (2 * t >= gf_.order()) {
+    // The designed distance cannot reach the code length; no data bits would
+    // remain (and the coset walk below assumes exponents < order).
+    throw std::invalid_argument("BchCode: t too large, no data bits remain");
+  }
+  // Collect the cyclotomic cosets covering alpha^1 .. alpha^2t. The minimal
+  // polynomial of alpha^i is prod_{j in coset(i)} (x - alpha^j); conjugates
+  // share one minimal polynomial, so track covered exponents.
+  const uint32_t order = gf_.order();
+  std::set<uint32_t> covered;
+  std::vector<uint16_t> generator_ext{1};  // over GF(2^m) during construction
+  for (uint32_t i = 1; i <= 2 * t; ++i) {
+    if (covered.count(i) != 0) {
+      continue;
+    }
+    // Walk the coset {i, 2i, 4i, ...} mod order.
+    std::vector<uint32_t> coset;
+    uint32_t e = i;
+    do {
+      coset.push_back(e);
+      covered.insert(e);
+      e = (e * 2) % order;
+    } while (e != i);
+    // Minimal polynomial for this coset.
+    std::vector<uint16_t> min_poly{1};
+    for (uint32_t exponent : coset) {
+      // multiply by (x + alpha^exponent)  (— and + coincide in char 2)
+      std::vector<uint16_t> factor{gf_.AlphaPow(exponent), 1};
+      min_poly = PolyMul(gf_, min_poly, factor);
+    }
+    generator_ext = PolyMul(gf_, generator_ext, min_poly);
+  }
+
+  // The generator has GF(2) coefficients by construction; narrow and verify.
+  generator_.resize(generator_ext.size());
+  for (size_t i = 0; i < generator_ext.size(); ++i) {
+    if (generator_ext[i] > 1) {
+      throw std::logic_error("BCH generator coefficient not in GF(2)");
+    }
+    generator_[i] = static_cast<uint8_t>(generator_ext[i]);
+  }
+  parity_bits_ = static_cast<uint32_t>(generator_.size() - 1);
+  if (parity_bits_ >= gf_.order()) {
+    throw std::invalid_argument("BchCode: t too large, no data bits remain");
+  }
+}
+
+std::vector<uint8_t> BchCode::Encode(
+    const std::vector<uint8_t>& data_bits) const {
+  if (data_bits.size() > k()) {
+    throw std::invalid_argument("BchCode::Encode: data longer than k");
+  }
+  // Systematic encoding by LFSR division: remainder of x^{n-k} d(x) mod g(x).
+  // Shortening works for free because the omitted high-order data bits are
+  // zeros, which do not perturb the remainder.
+  const uint32_t p = parity_bits_;
+  std::vector<uint8_t> remainder(p, 0);  // remainder[i] = coeff x^{p-1-i}
+  for (uint8_t bit : data_bits) {
+    const uint8_t feedback = static_cast<uint8_t>((bit & 1u) ^ remainder[0]);
+    // Shift left by one and add feedback * g(x) (minus the monic term).
+    for (uint32_t i = 0; i + 1 < p; ++i) {
+      remainder[i] = static_cast<uint8_t>(
+          remainder[i + 1] ^ (feedback & generator_[p - 1 - i]));
+    }
+    remainder[p - 1] = static_cast<uint8_t>(feedback & generator_[0]);
+  }
+  std::vector<uint8_t> codeword = data_bits;
+  codeword.insert(codeword.end(), remainder.begin(), remainder.end());
+  return codeword;
+}
+
+std::vector<uint16_t> BchCode::Syndromes(
+    const std::vector<uint8_t>& codeword) const {
+  // S_j = r(alpha^j) for j = 1..2t, with codeword[0] the coefficient of
+  // x^{len-1}. Evaluate by Horner's rule.
+  std::vector<uint16_t> syndromes(2 * t_, 0);
+  for (unsigned j = 1; j <= 2 * t_; ++j) {
+    const uint16_t alpha_j = gf_.AlphaPow(j);
+    uint16_t acc = 0;
+    for (uint8_t bit : codeword) {
+      acc = gf_.Mul(acc, alpha_j);
+      if (bit & 1u) {
+        acc ^= 1;
+      }
+    }
+    syndromes[j - 1] = acc;
+  }
+  return syndromes;
+}
+
+BchCode::DecodeResult BchCode::Decode(std::vector<uint8_t>& codeword) const {
+  if (codeword.size() < parity_bits_ || codeword.size() > n()) {
+    return DecodeResult{false, 0};
+  }
+  const std::vector<uint16_t> syndromes = Syndromes(codeword);
+  const bool clean = std::all_of(syndromes.begin(), syndromes.end(),
+                                 [](uint16_t s) { return s == 0; });
+  if (clean) {
+    return DecodeResult{true, 0};
+  }
+
+  // Berlekamp–Massey: find the shortest LFSR sigma(x) generating the
+  // syndrome sequence. sigma has degree = number of errors (if <= t).
+  std::vector<uint16_t> sigma{1};   // current error-locator estimate
+  std::vector<uint16_t> prev{1};    // last estimate before a length change
+  uint16_t prev_discrepancy = 1;
+  unsigned errors = 0;              // current LFSR length L
+  unsigned shift = 1;               // x^shift multiplier for the update term
+
+  for (unsigned i = 0; i < 2 * t_; ++i) {
+    // Discrepancy d = S_i + sum_{j=1..L} sigma_j * S_{i-j}.
+    uint16_t d = syndromes[i];
+    for (unsigned j = 1; j < sigma.size() && j <= i; ++j) {
+      d ^= gf_.Mul(sigma[j], syndromes[i - j]);
+    }
+    if (d == 0) {
+      ++shift;
+      continue;
+    }
+    // sigma' = sigma - (d / prev_d) * x^shift * prev
+    std::vector<uint16_t> next = sigma;
+    const uint16_t scale = gf_.Div(d, prev_discrepancy);
+    if (next.size() < prev.size() + shift) {
+      next.resize(prev.size() + shift, 0);
+    }
+    for (size_t j = 0; j < prev.size(); ++j) {
+      next[j + shift] ^= gf_.Mul(scale, prev[j]);
+    }
+    if (2 * errors <= i) {
+      prev = sigma;
+      prev_discrepancy = d;
+      errors = i + 1 - errors;
+      shift = 1;
+    } else {
+      ++shift;
+    }
+    sigma = std::move(next);
+  }
+
+  // Trim trailing zero coefficients; degree must equal the error count.
+  while (sigma.size() > 1 && sigma.back() == 0) {
+    sigma.pop_back();
+  }
+  const unsigned degree = static_cast<unsigned>(sigma.size() - 1);
+  if (degree > t_ || degree != errors) {
+    return DecodeResult{false, 0};
+  }
+
+  // Chien search: error at codeword position p (0 = first element, i.e.
+  // degree len-1-p) iff sigma(alpha^{-(len-1-p)}) == 0.
+  const uint32_t len = static_cast<uint32_t>(codeword.size());
+  std::vector<uint32_t> error_positions;
+  for (uint32_t p = 0; p < len; ++p) {
+    const uint32_t deg = len - 1 - p;
+    const uint16_t x = gf_.AlphaPow(gf_.order() - (deg % gf_.order()));
+    uint16_t acc = 0;
+    uint16_t x_pow = 1;
+    for (uint16_t coeff : sigma) {
+      acc ^= gf_.Mul(coeff, x_pow);
+      x_pow = gf_.Mul(x_pow, x);
+    }
+    if (acc == 0) {
+      error_positions.push_back(p);
+      if (error_positions.size() > degree) {
+        break;
+      }
+    }
+  }
+  // A valid correction locates exactly `degree` errors inside the (possibly
+  // shortened) codeword. Roots in the virtually-zero shortened region would
+  // be missing from this scan, correctly flagging an uncorrectable word.
+  if (error_positions.size() != degree) {
+    return DecodeResult{false, 0};
+  }
+  for (uint32_t p : error_positions) {
+    codeword[p] ^= 1u;
+  }
+  // Guard against miscorrection: syndromes of the repaired word must vanish.
+  const std::vector<uint16_t> check = Syndromes(codeword);
+  if (!std::all_of(check.begin(), check.end(),
+                   [](uint16_t s) { return s == 0; })) {
+    for (uint32_t p : error_positions) {
+      codeword[p] ^= 1u;  // restore
+    }
+    return DecodeResult{false, 0};
+  }
+  return DecodeResult{true, degree};
+}
+
+}  // namespace salamander

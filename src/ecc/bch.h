@@ -1,0 +1,74 @@
+// Binary primitive (and shortened) BCH codes: real encode/decode.
+//
+// This is the bit-accurate codec a Salamander controller would run. The fleet
+// simulator itself uses the closed-form capability model (see capability.h) —
+// running Berlekamp–Massey on every simulated I/O would be pointless — but
+// the codec grounds that model: tests cross-validate that a t-error-correcting
+// code built here really corrects t injected errors and detects t+1.
+#ifndef SALAMANDER_ECC_BCH_H_
+#define SALAMANDER_ECC_BCH_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ecc/gf.h"
+
+namespace salamander {
+
+// A t-error-correcting binary BCH code of natural length n = 2^m - 1.
+// Supports shortening: callers may encode fewer than k() data bits and the
+// missing high-order positions are treated as zeros.
+class BchCode {
+ public:
+  // Builds the generator polynomial as the LCM of the minimal polynomials of
+  // alpha^1 .. alpha^2t. Requires 3 <= m <= 15 and t >= 1 small enough that
+  // the code has positive dimension (k > 0); throws std::invalid_argument
+  // otherwise.
+  BchCode(unsigned m, unsigned t);
+
+  unsigned m() const { return gf_.m(); }
+  unsigned t() const { return t_; }
+  // Natural codeword length in bits, 2^m - 1.
+  uint32_t n() const { return gf_.order(); }
+  // Data bits at natural length.
+  uint32_t k() const { return n() - parity_bits_; }
+  uint32_t parity_bits() const { return parity_bits_; }
+  // k / n at natural length.
+  double code_rate() const {
+    return static_cast<double>(k()) / static_cast<double>(n());
+  }
+
+  // Systematic encode. `data_bits` is one bit per element (0/1), length
+  // <= k(); shorter inputs build a shortened code. Returns
+  // data ++ parity, length data_bits.size() + parity_bits().
+  std::vector<uint8_t> Encode(const std::vector<uint8_t>& data_bits) const;
+
+  struct DecodeResult {
+    bool ok = false;            // true if decoding succeeded
+    unsigned corrected = 0;     // number of bit errors corrected
+  };
+
+  // In-place decode of a (possibly shortened) systematic codeword as produced
+  // by Encode. On success the data portion of `codeword` is corrected.
+  // Fails (ok = false, codeword restored) when more than t errors are present
+  // and detectable.
+  DecodeResult Decode(std::vector<uint8_t>& codeword) const;
+
+  // Generator polynomial over GF(2), bit-per-coefficient, index = degree.
+  const std::vector<uint8_t>& generator() const { return generator_; }
+
+ private:
+  GaloisField gf_;
+  unsigned t_;
+  uint32_t parity_bits_;
+  std::vector<uint8_t> generator_;  // coefficients, generator_[i] = coeff x^i
+
+  // Syndrome computation for a codeword laid out MSB-first
+  // (codeword[0] = coefficient of x^{len-1}).
+  std::vector<uint16_t> Syndromes(const std::vector<uint8_t>& codeword) const;
+};
+
+}  // namespace salamander
+
+#endif  // SALAMANDER_ECC_BCH_H_

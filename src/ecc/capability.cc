@@ -1,0 +1,63 @@
+#include "ecc/capability.h"
+
+#include <cmath>
+
+namespace salamander {
+
+double StripeUncorrectableProb(uint32_t n_bits, uint32_t t, double rber) {
+  if (rber <= 0.0) {
+    return 0.0;
+  }
+  if (rber >= 1.0) {
+    return 1.0;
+  }
+  const double n = static_cast<double>(n_bits);
+  const double log_p = std::log(rber);
+  const double log_q = std::log1p(-rber);
+  // Tail sum P[X > t] = sum_{k=t+1..n} C(n,k) p^k q^(n-k), evaluated in log
+  // space starting at k = t+1 and stopping once terms are negligible. In the
+  // regime of interest the mean n*p is near or below t, so the tail decays
+  // geometrically and a few hundred terms suffice.
+  double total = 0.0;
+  double log_term = std::lgamma(n + 1.0) - std::lgamma(t + 2.0) -
+                    std::lgamma(n - t) + (t + 1.0) * log_p +
+                    (n - t - 1.0) * log_q;
+  for (uint32_t k = t + 1; k <= n_bits; ++k) {
+    const double term = std::exp(log_term);
+    total += term;
+    if (term < total * 1e-16 && k > t + 8) {
+      break;
+    }
+    // term(k+1)/term(k) = (n-k)/(k+1) * p/q
+    const double dk = static_cast<double>(k);
+    log_term += std::log(n - dk) - std::log(dk + 1.0) + log_p - log_q;
+  }
+  return total > 1.0 ? 1.0 : total;
+}
+
+double PageUncorrectableProb(uint32_t n_bits_per_stripe, uint32_t t,
+                             uint32_t stripes, double rber) {
+  const double per_stripe = StripeUncorrectableProb(n_bits_per_stripe, t, rber);
+  // 1 - (1 - p)^s, stable for tiny p.
+  return -std::expm1(static_cast<double>(stripes) * std::log1p(-per_stripe));
+}
+
+double MaxTolerableRber(uint32_t n_bits, uint32_t t, double target) {
+  if (t >= n_bits) {
+    return 1.0;
+  }
+  double lo = 0.0;
+  double hi = 1.0;
+  // ~60 bisection steps pin the answer to full double precision.
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (StripeUncorrectableProb(n_bits, t, mid) <= target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace salamander

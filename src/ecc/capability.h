@@ -1,0 +1,63 @@
+// Closed-form ECC capability model.
+//
+// The Salamander analysis (paper §4, Fig. 2) relates a page's *code rate* to
+// the raw bit-error rate (RBER) it can tolerate: more parity -> more
+// correctable bits -> higher tolerable RBER -> more P/E cycles before the
+// page is "tired". This header provides that chain for binary BCH codes:
+//
+//   spare bits  --(t ~= spare/m)-->  correctable bits t
+//   (n, t, target fail prob)  --(binomial tail inversion)-->  max RBER
+//
+// The fleet simulator uses these closed forms; tests cross-validate them
+// against the bit-accurate codec in bch.h.
+#ifndef SALAMANDER_ECC_CAPABILITY_H_
+#define SALAMANDER_ECC_CAPABILITY_H_
+
+#include <cstdint>
+
+namespace salamander {
+
+// Layout of one ECC stripe (codeword): `data_bytes` of payload protected by
+// `parity_bytes` of BCH parity over GF(2^gf_m). Real controllers protect a
+// 16 KiB flash page as several independent ~1 KiB stripes; defaults follow
+// the paper's running example (16 KiB fPage, 2 KiB spare, [13]).
+struct EccStripeConfig {
+  uint32_t data_bytes = 1024;
+  uint32_t parity_bytes = 128;
+  unsigned gf_m = 14;  // parity bits per corrected bit, ~= field degree
+
+  uint32_t data_bits() const { return data_bytes * 8; }
+  uint32_t parity_bits() const { return parity_bytes * 8; }
+  uint32_t codeword_bits() const { return data_bits() + parity_bits(); }
+
+  // Correctable bit errors per stripe: each corrected bit costs ~m parity
+  // bits in a binary BCH code.
+  uint32_t correctable_bits() const { return parity_bits() / gf_m; }
+
+  // data / (data + parity).
+  double code_rate() const {
+    return static_cast<double>(data_bytes) /
+           static_cast<double>(data_bytes + parity_bytes);
+  }
+};
+
+// P[Binomial(n_bits, rber) > t]: probability that one stripe read is
+// uncorrectable. Numerically stable for the flash regime (n ~ 1e4, t ~ 1e2,
+// rber ~ 1e-3): evaluated as a log-space tail sum.
+double StripeUncorrectableProb(uint32_t n_bits, uint32_t t, double rber);
+
+// Probability that a page composed of `stripes` independent stripes has at
+// least one uncorrectable stripe.
+double PageUncorrectableProb(uint32_t n_bits_per_stripe, uint32_t t,
+                             uint32_t stripes, double rber);
+
+// Largest RBER such that StripeUncorrectableProb(n, t, rber) <= target.
+// Solved by bisection; the tail probability is monotone in rber.
+// `target` is the acceptable per-stripe failure probability (a typical
+// datacenter UBER budget translates to ~1e-11 per 1 KiB stripe; the paper's
+// retirement rule only needs relative thresholds).
+double MaxTolerableRber(uint32_t n_bits, uint32_t t, double target);
+
+}  // namespace salamander
+
+#endif  // SALAMANDER_ECC_CAPABILITY_H_

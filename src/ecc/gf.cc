@@ -1,0 +1,42 @@
+#include "ecc/gf.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace salamander {
+
+namespace {
+
+// Primitive polynomials over GF(2), one per degree m (bit i = coeff of x^i).
+// Standard choices from Lin & Costello, Appendix B.
+constexpr uint32_t kPrimitivePoly[16] = {
+    0,      0,      0,      0xB,    0x13,   0x25,   0x43,   0x89,
+    0x11D,  0x211,  0x409,  0x805,  0x1053, 0x201B, 0x4443, 0x8003,
+};
+
+}  // namespace
+
+GaloisField::GaloisField(unsigned m) : m_(m) {
+  if (m < 3 || m > 15) {
+    throw std::invalid_argument("GaloisField: m must be in [3, 15]");
+  }
+  order_ = (1u << m) - 1;
+  primitive_poly_ = kPrimitivePoly[m];
+  antilog_.resize(order_);
+  log_.assign(1u << m, 0);
+
+  // Generate the multiplicative group by repeated multiplication by alpha
+  // (i.e. shift-left with modular reduction by the primitive polynomial).
+  uint32_t x = 1;
+  for (uint32_t i = 0; i < order_; ++i) {
+    antilog_[i] = static_cast<uint16_t>(x);
+    log_[x] = i;
+    x <<= 1;
+    if (x & (1u << m)) {
+      x ^= primitive_poly_;
+    }
+  }
+  assert(x == 1 && "primitive polynomial must generate the full group");
+}
+
+}  // namespace salamander

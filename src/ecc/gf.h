@@ -1,0 +1,74 @@
+// Galois field GF(2^m) arithmetic with log/antilog tables.
+//
+// Backs the BCH codec. m ranges 3..15, which covers codeword lengths from toy
+// test codes (n = 7) up to the 8191-bit stripes a real SSD controller would
+// use for a 1 KiB-data ECC stripe.
+#ifndef SALAMANDER_ECC_GF_H_
+#define SALAMANDER_ECC_GF_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace salamander {
+
+class GaloisField {
+ public:
+  // Constructs GF(2^m) using a fixed primitive polynomial for each m.
+  // Requires 3 <= m <= 15.
+  explicit GaloisField(unsigned m);
+
+  unsigned m() const { return m_; }
+  // Field size minus one: the multiplicative group order, n = 2^m - 1.
+  uint32_t order() const { return order_; }
+
+  // alpha^i for i in [0, order). Exponent is reduced mod order.
+  uint16_t AlphaPow(uint32_t exponent) const {
+    return antilog_[exponent % order_];
+  }
+
+  // Discrete log base alpha; requires x != 0.
+  uint32_t Log(uint16_t x) const { return log_[x]; }
+
+  uint16_t Add(uint16_t a, uint16_t b) const { return a ^ b; }
+
+  uint16_t Mul(uint16_t a, uint16_t b) const {
+    if (a == 0 || b == 0) {
+      return 0;
+    }
+    return antilog_[(log_[a] + log_[b]) % order_];
+  }
+
+  // Multiplicative inverse; requires a != 0.
+  uint16_t Inv(uint16_t a) const {
+    return antilog_[(order_ - log_[a]) % order_];
+  }
+
+  // a / b; requires b != 0.
+  uint16_t Div(uint16_t a, uint16_t b) const {
+    if (a == 0) {
+      return 0;
+    }
+    return antilog_[(log_[a] + order_ - log_[b]) % order_];
+  }
+
+  uint16_t Pow(uint16_t a, uint32_t e) const {
+    if (a == 0) {
+      return e == 0 ? 1 : 0;
+    }
+    return antilog_[(static_cast<uint64_t>(log_[a]) * e) % order_];
+  }
+
+  // Primitive polynomial used for this m (bit i = coefficient of x^i).
+  uint32_t primitive_poly() const { return primitive_poly_; }
+
+ private:
+  unsigned m_;
+  uint32_t order_;
+  uint32_t primitive_poly_;
+  std::vector<uint16_t> antilog_;  // antilog_[i] = alpha^i, size order_
+  std::vector<uint32_t> log_;      // log_[x] = i s.t. alpha^i = x, size 2^m
+};
+
+}  // namespace salamander
+
+#endif  // SALAMANDER_ECC_GF_H_

@@ -1,0 +1,51 @@
+#include "ecc/tiredness.h"
+
+namespace salamander {
+
+TirednessLevelEcc ComputeTirednessLevel(const FPageEccGeometry& geometry,
+                                        unsigned level) {
+  TirednessLevelEcc out;
+  out.level = level;
+  if (level >= geometry.opages_per_fpage) {
+    // L_max: the page is pure limbo — no usable data capacity.
+    out.level = geometry.opages_per_fpage;
+    out.ecc_bytes =
+        geometry.spare_bytes + geometry.opages_per_fpage * geometry.opage_bytes;
+    return out;
+  }
+  out.data_opages = geometry.opages_per_fpage - level;
+  out.data_bytes = out.data_opages * geometry.opage_bytes;
+  out.ecc_bytes = geometry.spare_bytes + level * geometry.opage_bytes;
+  out.code_rate = static_cast<double>(out.data_bytes) /
+                  static_cast<double>(out.data_bytes + out.ecc_bytes);
+  out.stripes = out.data_opages * geometry.stripes_per_opage;
+  // All ECC bytes (built-in spare plus repurposed oPages) are spread evenly
+  // over the remaining data stripes; the paper assumes parity co-located with
+  // the fPage so one read covers data + parity.
+  out.parity_bytes_per_stripe = out.ecc_bytes / out.stripes;
+  const uint32_t stripe_data_bytes =
+      geometry.opage_bytes / geometry.stripes_per_opage;
+  EccStripeConfig stripe{
+      .data_bytes = stripe_data_bytes,
+      .parity_bytes = out.parity_bytes_per_stripe,
+      .gf_m = geometry.gf_m,
+  };
+  out.correctable_bits_per_stripe = stripe.correctable_bits();
+  out.stripe_codeword_bits = stripe.codeword_bits();
+  out.max_tolerable_rber =
+      MaxTolerableRber(out.stripe_codeword_bits, out.correctable_bits_per_stripe,
+                       geometry.stripe_fail_target);
+  return out;
+}
+
+std::vector<TirednessLevelEcc> ComputeTirednessLadder(
+    const FPageEccGeometry& geometry) {
+  std::vector<TirednessLevelEcc> ladder;
+  ladder.reserve(geometry.opages_per_fpage + 1);
+  for (unsigned level = 0; level <= geometry.opages_per_fpage; ++level) {
+    ladder.push_back(ComputeTirednessLevel(geometry, level));
+  }
+  return ladder;
+}
+
+}  // namespace salamander

@@ -1,0 +1,48 @@
+#include "flash/wear_model.h"
+
+#include <cmath>
+
+namespace salamander {
+
+double WearModel::Rber(double pec, double page_factor,
+                       uint64_t reads_since_erase) const {
+  const double disturb =
+      config_.read_disturb_per_read * static_cast<double>(reads_since_erase);
+  if (pec <= 0.0) {
+    return config_.rber_floor + disturb;
+  }
+  return config_.rber_floor + disturb +
+         config_.coefficient * page_factor * std::pow(pec, config_.exponent);
+}
+
+double WearModel::PecAtRber(double rber, double page_factor) const {
+  if (rber <= config_.rber_floor) {
+    return 0.0;
+  }
+  const double scaled =
+      (rber - config_.rber_floor) / (config_.coefficient * page_factor);
+  return std::pow(scaled, 1.0 / config_.exponent);
+}
+
+double WearModel::SamplePageFactor(Rng& rng) const {
+  if (config_.page_factor_sigma <= 0.0) {
+    return 1.0;
+  }
+  // mu = 0 gives median 1: half the pages are weaker, half stronger.
+  return rng.LogNormal(0.0, config_.page_factor_sigma);
+}
+
+WearModelConfig WearModel::Calibrate(double rber_at_nominal,
+                                     uint32_t nominal_pec, double exponent,
+                                     double rber_floor,
+                                     double page_factor_sigma) {
+  WearModelConfig config;
+  config.exponent = exponent;
+  config.rber_floor = rber_floor;
+  config.page_factor_sigma = page_factor_sigma;
+  config.coefficient = (rber_at_nominal - rber_floor) /
+                       std::pow(static_cast<double>(nominal_pec), exponent);
+  return config;
+}
+
+}  // namespace salamander

@@ -1,0 +1,69 @@
+// Flash wear model: raw bit-error rate as a function of program/erase cycles.
+//
+// Follows the power-law model of Kim et al. (FAST '19, the paper's [11]):
+//
+//   RBER(pec) = rber_floor + coefficient * page_factor * pec^exponent
+//
+// `page_factor` captures the large page-to-page endurance variance of modern
+// 3D NAND (the paper's [41, 42]): each fPage draws a lognormal multiplier at
+// manufacturing time, so "weak" pages tire early while "strong" pages live
+// far past the nominal PEC limit — exactly the headroom Salamander harvests.
+#ifndef SALAMANDER_FLASH_WEAR_MODEL_H_
+#define SALAMANDER_FLASH_WEAR_MODEL_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace salamander {
+
+struct WearModelConfig {
+  // RBER growth exponent. ~2.7 for TLC per published characterizations; this
+  // value also reproduces the paper's Fig. 2 headline (+50% PEC at L1).
+  double exponent = 2.7;
+  // Growth coefficient; see Calibrate().
+  double coefficient = 1e-13;
+  // RBER of pristine flash (manufacturing defects).
+  double rber_floor = 1e-7;
+  // Lognormal sigma of the per-page endurance factor (0 disables variance).
+  double page_factor_sigma = 0.35;
+  // Read disturb (§2, [26]): additional RBER per read of the block since its
+  // last erase. 0 (default) reproduces the paper's aging-only analysis
+  // ("for simplicity we only consider RBER due to aging", §4); a typical
+  // extension value is ~1e-9 per read.
+  double read_disturb_per_read = 0.0;
+};
+
+class WearModel {
+ public:
+  explicit WearModel(const WearModelConfig& config) : config_(config) {}
+
+  // RBER of a page with endurance factor `page_factor` after `pec` cycles
+  // and `reads_since_erase` reads of its block since the last erase.
+  double Rber(double pec, double page_factor = 1.0,
+              uint64_t reads_since_erase = 0) const;
+
+  // Inverse: PEC at which the page's RBER reaches `rber`. Returns 0 when the
+  // floor already exceeds `rber` (page unusable at that requirement).
+  double PecAtRber(double rber, double page_factor = 1.0) const;
+
+  // Draws a per-page endurance factor: lognormal with median 1.
+  double SamplePageFactor(Rng& rng) const;
+
+  const WearModelConfig& config() const { return config_; }
+
+  // Chooses `coefficient` so a median page (factor 1) reaches `rber` at
+  // exactly `nominal_pec` cycles — i.e. calibrates the model to a datasheet
+  // endurance rating given the L0 ECC's tolerable RBER.
+  static WearModelConfig Calibrate(double rber_at_nominal, uint32_t nominal_pec,
+                                   double exponent = 2.7,
+                                   double rber_floor = 1e-7,
+                                   double page_factor_sigma = 0.35);
+
+ private:
+  WearModelConfig config_;
+};
+
+}  // namespace salamander
+
+#endif  // SALAMANDER_FLASH_WEAR_MODEL_H_

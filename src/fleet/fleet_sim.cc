@@ -1,0 +1,112 @@
+#include "fleet/fleet_sim.h"
+
+#include <cmath>
+
+namespace salamander {
+
+FleetSim::FleetSim(const FleetConfig& config)
+    : config_(config), rng_(config.seed ^ 0xf1ee7f1ee7f1ee70ULL) {
+  slots_.reserve(config_.devices);
+  for (uint32_t i = 0; i < config_.devices; ++i) {
+    DeviceSlot slot;
+    SsdConfig ssd_config =
+        MakeSsdConfig(config_.kind, config_.geometry, config_.wear,
+                      config_.latency, config_.ecc,
+                      config_.seed * 7919 + i, config_.regen_max_level);
+    if (config_.msize_opages > 0 &&
+        (config_.kind == SsdKind::kShrinkS ||
+         config_.kind == SsdKind::kRegenS)) {
+      ssd_config.minidisk.msize_opages = config_.msize_opages;
+    }
+    slot.device = std::make_unique<SsdDevice>(config_.kind, ssd_config);
+    slot.driver =
+        std::make_unique<AgingDriver>(slot.device.get(), config_.seed + i);
+    initial_capacity_ += slot.device->live_capacity_bytes();
+    const uint64_t per_device_opages =
+        slot.device->initial_capacity_bytes() / config_.geometry.opage_bytes;
+    const double imbalance =
+        config_.dwpd_sigma > 0.0
+            ? rng_.LogNormal(0.0, config_.dwpd_sigma)
+            : 1.0;
+    slot.writes_per_day = static_cast<uint64_t>(
+        config_.dwpd * imbalance * static_cast<double>(per_device_opages));
+    slots_.push_back(std::move(slot));
+  }
+}
+
+FleetSnapshot FleetSim::Sample(uint32_t day) const {
+  FleetSnapshot snapshot;
+  snapshot.day = day;
+  for (const DeviceSlot& slot : slots_) {
+    if (slot.alive && !slot.device->failed()) {
+      ++snapshot.functioning_devices;
+      snapshot.capacity_bytes += slot.device->live_capacity_bytes();
+    }
+    snapshot.cumulative_decommissions +=
+        slot.device->manager().decommissioned_total();
+    snapshot.cumulative_regenerations +=
+        slot.device->manager().regenerated_total();
+    snapshot.cumulative_host_writes += slot.device->ftl().stats().host_writes;
+  }
+  return snapshot;
+}
+
+std::vector<FleetSnapshot> FleetSim::Run() {
+  snapshots_.clear();
+  snapshots_.push_back(Sample(0));
+  // Convert the annual failure rate to a per-day hazard.
+  const double daily_failure =
+      1.0 - std::pow(1.0 - config_.afr, 1.0 / 365.0);
+  for (uint32_t day = 1; day <= config_.days; ++day) {
+    uint32_t alive = 0;
+    for (DeviceSlot& slot : slots_) {
+      if (!slot.alive || slot.device->failed()) {
+        slot.alive = false;
+        continue;
+      }
+      if (rng_.Bernoulli(daily_failure)) {
+        // Random infant/controller failure, independent of wear.
+        slot.random_failure = true;
+        slot.alive = false;
+        continue;
+      }
+      AgingResult result = slot.driver->WriteOPages(slot.writes_per_day);
+      if (result.device_failed) {
+        slot.alive = false;
+        continue;
+      }
+      ++alive;
+    }
+    if (day % config_.sample_every_days == 0 || alive == 0 ||
+        day == config_.days) {
+      snapshots_.push_back(Sample(day));
+    }
+    if (alive == 0) {
+      break;
+    }
+  }
+  return snapshots_;
+}
+
+uint32_t FleetSim::DayDevicesBelow(double fraction) const {
+  const double threshold = fraction * static_cast<double>(config_.devices);
+  for (const FleetSnapshot& snapshot : snapshots_) {
+    if (static_cast<double>(snapshot.functioning_devices) < threshold) {
+      return snapshot.day;
+    }
+  }
+  return 0;
+}
+
+uint32_t FleetSim::DayCapacityBelow(double fraction) const {
+  const double threshold =
+      fraction * static_cast<double>(initial_capacity_);
+  for (const FleetSnapshot& snapshot : snapshots_) {
+    if (static_cast<double>(snapshot.capacity_bytes) < threshold) {
+      return snapshot.day;
+    }
+  }
+  return 0;
+}
+
+}  // namespace salamander

@@ -1,0 +1,93 @@
+// Fleet aging simulator (Fig. 3a / 3b).
+//
+// Simulates a batch of SSDs deployed together under a sustained write
+// workload (expressed as drive-writes-per-day) plus a background annual
+// failure rate for non-wear failures. Tracks, day by day, how many devices
+// still function and how much capacity the fleet retains — the two curves
+// the paper contrasts between baseline (cliff-edge bricks) and Salamander
+// (gradual shrink + regeneration).
+#ifndef SALAMANDER_FLEET_FLEET_SIM_H_
+#define SALAMANDER_FLEET_FLEET_SIM_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "ssd/ssd_device.h"
+#include "workload/aging.h"
+
+namespace salamander {
+
+struct FleetConfig {
+  SsdKind kind = SsdKind::kBaseline;
+  uint32_t devices = 20;
+  FlashGeometry geometry;
+  WearModelConfig wear;
+  FlashLatencyConfig latency;
+  FPageEccGeometry ecc;
+  unsigned regen_max_level = 1;
+  // mDisk size for Salamander kinds (oPages); 0 keeps the factory default.
+  uint64_t msize_opages = 0;
+
+  // Host writes per device per day, as a fraction of *initial* capacity
+  // (drive-writes-per-day). The absolute rate stays constant as devices
+  // shrink, concentrating wear — as in production.
+  double dwpd = 1.0;
+  // Per-device workload imbalance: each device's rate is multiplied by a
+  // lognormal(0, dwpd_sigma) draw (shard skew in real deployments). This is
+  // what spreads wear-out deaths over a window instead of a cliff.
+  double dwpd_sigma = 0.0;
+  // Annual rate of random (non-wear) whole-device failures, e.g. 0.01 [28].
+  double afr = 0.01;
+  uint32_t days = 1000;
+  uint32_t sample_every_days = 10;
+  uint64_t seed = 1;
+};
+
+struct FleetSnapshot {
+  uint32_t day = 0;
+  uint32_t functioning_devices = 0;
+  uint64_t capacity_bytes = 0;
+  uint64_t cumulative_decommissions = 0;  // mDisk-level failures so far
+  uint64_t cumulative_regenerations = 0;  // mDisks minted by RegenS
+  uint64_t cumulative_host_writes = 0;    // oPages
+};
+
+class FleetSim {
+ public:
+  explicit FleetSim(const FleetConfig& config);
+
+  // Runs the full horizon (or until every device is dead) and returns one
+  // snapshot per sampling interval, starting with day 0.
+  std::vector<FleetSnapshot> Run();
+
+  // Day on which the fleet first dropped below `fraction` of its devices;
+  // 0 if it never did. Valid after Run().
+  uint32_t DayDevicesBelow(double fraction) const;
+  // Day on which fleet capacity first dropped below `fraction` of initial.
+  uint32_t DayCapacityBelow(double fraction) const;
+
+  const std::vector<FleetSnapshot>& snapshots() const { return snapshots_; }
+
+ private:
+  struct DeviceSlot {
+    std::unique_ptr<SsdDevice> device;
+    std::unique_ptr<AgingDriver> driver;
+    uint64_t writes_per_day = 0;
+    bool random_failure = false;  // killed by the AFR draw
+    bool alive = true;
+  };
+
+  FleetSnapshot Sample(uint32_t day) const;
+
+  FleetConfig config_;
+  Rng rng_;
+  std::vector<DeviceSlot> slots_;
+  std::vector<FleetSnapshot> snapshots_;
+  uint64_t initial_capacity_ = 0;
+};
+
+}  // namespace salamander
+
+#endif  // SALAMANDER_FLEET_FLEET_SIM_H_

@@ -1,0 +1,857 @@
+#include "ftl/ftl.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+namespace salamander {
+
+namespace {
+
+// Bound on GC rounds per trigger; progress resumes on the next host op if a
+// single trigger cannot reach the watermark (e.g. near-full device).
+constexpr uint32_t kMaxGcRoundsPerTrigger = 16;
+
+}  // namespace
+
+Ftl::Ftl(const FtlConfig& config)
+    : config_(config),
+      chip_(std::make_unique<FlashChip>(config.geometry, config.wear,
+                                        config.latency, config.seed)),
+      ladder_(ComputeTirednessLadder(config.ecc_geometry)),
+      rng_(config.seed ^ 0x9e3779b97f4a7c15ULL) {
+  assert(config_.geometry.Valid());
+  assert(config_.geometry.opages_per_fpage ==
+             config_.ecc_geometry.opages_per_fpage &&
+         "flash geometry and ECC geometry must agree");
+  assert((config_.retirement == RetirementGranularity::kPage ||
+          config_.max_usable_level == 0) &&
+         "block-granular retirement implies a fixed L0 ECC");
+  assert(config_.max_usable_level < config_.geometry.opages_per_fpage);
+  assert(config_.gc_low_watermark_blocks >= 2 &&
+         "GC needs at least two blocks of headroom");
+
+  const uint64_t fpages = config_.geometry.total_fpages();
+  const uint64_t blocks = config_.geometry.total_blocks();
+  page_level_.assign(fpages, 0);
+  page_state_.assign(fpages, PageState::kInService);
+  limbo_counts_.assign(config_.geometry.opages_per_fpage, 0);
+  limbo_pages_.assign(config_.geometry.opages_per_fpage, {});
+  usable_opages_ = fpages * config_.geometry.opages_per_fpage;
+  reverse_.assign(config_.geometry.total_opages(), kSlotFree);
+  block_state_.assign(blocks, BlockState::kFree);
+  block_valid_.assign(blocks, 0);
+  in_use_listed_.assign(blocks, 0);
+  for (BlockIndex b = 0; b < blocks; ++b) {
+    free_pool_.emplace(0, b);
+  }
+  free_blocks_ = blocks;
+  stats_.reads_by_level.assign(config_.geometry.opages_per_fpage, 0);
+}
+
+uint64_t Ftl::ExtendLogicalSpace(uint64_t opages) {
+  const uint64_t first = mapping_.size();
+  mapping_.resize(mapping_.size() + opages, kUnmapped);
+  return first;
+}
+
+// ---------------------------------------------------------------------------
+// Host I/O
+// ---------------------------------------------------------------------------
+
+StatusOr<SimDuration> Ftl::Write(uint64_t lpo) {
+  if (lpo >= mapping_.size()) {
+    return OutOfRangeError("Write: lpo " + std::to_string(lpo));
+  }
+  SimDuration latency = 0;
+  ++stats_.host_writes;
+  SALA_RETURN_IF_ERROR(BufferWrite(lpo, Stream::kHost, latency));
+  return latency;
+}
+
+StatusOr<ReadResult> Ftl::Read(uint64_t lpo) {
+  if (lpo >= mapping_.size()) {
+    return OutOfRangeError("Read: lpo " + std::to_string(lpo));
+  }
+  ++stats_.host_reads;
+  const uint64_t entry = mapping_[lpo];
+  if (entry == kUnmapped) {
+    return NotFoundError("Read: lpo " + std::to_string(lpo) + " unmapped");
+  }
+  if (IsBuffered(entry)) {
+    ++stats_.buffer_hits;
+    return ReadResult{.latency = config_.buffer_read_latency,
+                      .tiredness_level = 0,
+                      .retries = 0,
+                      .buffer_hit = true};
+  }
+  const FPageIndex fpage = config_.geometry.FPageOfSlot(entry);
+  const unsigned level = page_level_[fpage];
+  SALA_ASSIGN_OR_RETURN(
+      ReadOutcome outcome,
+      chip_->ReadFPage(fpage, EccForOPageRead(level),
+                       config_.geometry.opage_bytes));
+  stats_.read_retries += outcome.retries;
+  if (level < stats_.reads_by_level.size()) {
+    ++stats_.reads_by_level[level];
+  }
+  if (!outcome.correctable) {
+    ++stats_.uncorrectable_reads;
+    return DataLossError("Read: uncorrectable at lpo " + std::to_string(lpo));
+  }
+  return ReadResult{.latency =
+                        outcome.latency + DedicatedEccReadPenalty(level),
+                    .tiredness_level = level,
+                    .retries = outcome.retries,
+                    .buffer_hit = false};
+}
+
+StatusOr<RangeReadResult> Ftl::ReadRange(uint64_t first_lpo, uint64_t count) {
+  if (count == 0 || first_lpo + count > mapping_.size()) {
+    return OutOfRangeError("ReadRange: [" + std::to_string(first_lpo) + ", +" +
+                           std::to_string(count) + ")");
+  }
+  RangeReadResult result;
+  FPageIndex last_fpage = static_cast<FPageIndex>(-1);
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint64_t lpo = first_lpo + i;
+    ++stats_.host_reads;
+    const uint64_t entry = mapping_[lpo];
+    if (entry == kUnmapped) {
+      return NotFoundError("ReadRange: lpo " + std::to_string(lpo));
+    }
+    if (IsBuffered(entry)) {
+      ++stats_.buffer_hits;
+      ++result.buffer_hits;
+      result.latency += config_.buffer_read_latency;
+      continue;
+    }
+    const FPageIndex fpage = config_.geometry.FPageOfSlot(entry);
+    const unsigned level = page_level_[fpage];
+    result.max_level = std::max(result.max_level, level);
+    if (level < stats_.reads_by_level.size()) {
+      ++stats_.reads_by_level[level];
+    }
+    if (fpage == last_fpage) {
+      // Same flash page as the previous oPage: the data is already in the
+      // plane's page register; only the channel transfer repeats.
+      result.latency +=
+          config_.latency.TransferTime(config_.geometry.opage_bytes);
+      continue;
+    }
+    SALA_ASSIGN_OR_RETURN(
+        ReadOutcome outcome,
+        chip_->ReadFPage(fpage, EccForOPageRead(level),
+                         config_.geometry.opage_bytes));
+    stats_.read_retries += outcome.retries;
+    if (!outcome.correctable) {
+      ++stats_.uncorrectable_reads;
+      return DataLossError("ReadRange: uncorrectable at lpo " +
+                           std::to_string(lpo));
+    }
+    ++result.fpage_reads;
+    result.latency += outcome.latency + DedicatedEccReadPenalty(level);
+    last_fpage = fpage;
+  }
+  return result;
+}
+
+Status Ftl::Trim(uint64_t lpo) {
+  if (lpo >= mapping_.size()) {
+    return OutOfRangeError("Trim: lpo " + std::to_string(lpo));
+  }
+  const uint64_t entry = mapping_[lpo];
+  if (entry == kUnmapped) {
+    return OkStatus();
+  }
+  if (IsBuffered(entry)) {
+    // The deque entry goes stale and is skipped at flush time.
+    --frontier(entry == kInBufferHost ? Stream::kHost : Stream::kGc)
+          .buffer_valid;
+  } else {
+    InvalidateSlot(entry);
+  }
+  mapping_[lpo] = kUnmapped;
+  --mapped_opages_;
+  return OkStatus();
+}
+
+Status Ftl::Flush() {
+  SimDuration latency = 0;
+  for (Stream stream : {Stream::kHost, Stream::kGc}) {
+    while (frontier(stream).buffer_valid > 0) {
+      SALA_RETURN_IF_ERROR(
+          FlushToTarget(stream, /*allow_partial=*/true, latency));
+    }
+  }
+  return OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// Write path
+// ---------------------------------------------------------------------------
+
+Status Ftl::BufferWrite(uint64_t lpo, Stream stream, SimDuration& latency) {
+  const uint64_t entry = mapping_[lpo];
+  if (IsBuffered(entry)) {
+    // Overwrite of a still-buffered page: coalesces in place (wherever it
+    // already sits) — but still try to drain that stream. Without this, a
+    // buffer backlog from an earlier failed flush would never retry as long
+    // as the workload keeps hitting already-buffered pages.
+    return FlushIfReady(
+        entry == kInBufferHost ? Stream::kHost : Stream::kGc, latency);
+  }
+  if (entry == kUnmapped) {
+    ++mapped_opages_;
+  } else {
+    InvalidateSlot(entry);  // previous version dies
+  }
+  mapping_[lpo] = BufferSentinel(stream);
+  frontier(stream).buffer.push_back(lpo);
+  ++frontier(stream).buffer_valid;
+  if (stream == Stream::kGc) {
+    ++stats_.gc_relocations;
+  }
+  return FlushIfReady(stream, latency);
+}
+
+Status Ftl::FlushIfReady(Stream stream, SimDuration& latency) {
+  Frontier& f = frontier(stream);
+  while (f.buffer_valid > 0) {
+    SALA_ASSIGN_OR_RETURN(FPageIndex target,
+                          NextProgramTarget(stream, latency));
+    const uint64_t capacity = PageCapacity(target);
+    if (f.buffer_valid >= capacity) {
+      SALA_RETURN_IF_ERROR(
+          FlushToTarget(stream, /*allow_partial=*/false, latency));
+      continue;
+    }
+    if (f.buffer.size() > config_.write_buffer_opages) {
+      // Buffer overflow (stale-entry bloat or tiny buffer): pad out a page.
+      SALA_RETURN_IF_ERROR(
+          FlushToTarget(stream, /*allow_partial=*/true, latency));
+      continue;
+    }
+    break;
+  }
+  return OkStatus();
+}
+
+Status Ftl::FlushToTarget(Stream stream, bool allow_partial,
+                          SimDuration& latency) {
+  Frontier& f = frontier(stream);
+  FPageIndex target = 0;
+  for (;;) {
+    SALA_ASSIGN_OR_RETURN(target, NextProgramTarget(stream, latency));
+    bool consumed = false;
+    SALA_RETURN_IF_ERROR(
+        MaybeProgramParityPage(stream, target, consumed, latency));
+    if (!consumed) {
+      break;
+    }
+  }
+  const uint64_t capacity = PageCapacity(target);
+  if (!allow_partial && f.buffer_valid < capacity) {
+    return InternalError("FlushToTarget: buffer under-filled");
+  }
+  // Gather up to `capacity` live buffer entries, discarding stale ones.
+  // A trim-then-rewrite can leave two deque entries for one lpo that both
+  // still look "buffered" at pop time, so dedupe within the batch (it holds
+  // at most opages_per_fpage entries; linear scan is fine).
+  std::vector<uint64_t> batch;
+  batch.reserve(capacity);
+  while (batch.size() < capacity && !f.buffer.empty()) {
+    const uint64_t lpo = f.buffer.front();
+    f.buffer.pop_front();
+    if (lpo < mapping_.size() && mapping_[lpo] == BufferSentinel(stream) &&
+        std::find(batch.begin(), batch.end(), lpo) == batch.end()) {
+      batch.push_back(lpo);
+    }
+  }
+  if (batch.empty()) {
+    return OkStatus();  // everything was stale; nothing to program
+  }
+  StatusOr<SimDuration> program_time = chip_->ProgramFPage(target);
+  if (!program_time.ok()) {
+    // Keep the gathered entries flushable: restore them to the front of the
+    // deque in their original order.
+    for (auto it = batch.rbegin(); it != batch.rend(); ++it) {
+      f.buffer.push_front(*it);
+    }
+    return program_time.status();
+  }
+  latency += *program_time;
+  ++stats_.flushes;
+  if (config_.ecc_placement == EccPlacement::kDedicated) {
+    const unsigned level = page_level_[target];
+    if (level > 0 && level < 8) {
+      // Accrue parity debt: level L data pages need L parity pages per
+      // (4 - L) data pages to reach the same overall code rate as inline.
+      f.data_since_parity[level] += level;
+    }
+  }
+  const BlockIndex block = config_.geometry.BlockOfFPage(target);
+  for (size_t k = 0; k < batch.size(); ++k) {
+    const OPageSlot slot = config_.geometry.FirstSlotOfFPage(target) + k;
+    mapping_[batch[k]] = slot;
+    reverse_[slot] = batch[k];
+    ++block_valid_[block];
+  }
+  f.buffer_valid -= batch.size();
+  f.next_page =
+      static_cast<uint32_t>(target - config_.geometry.FirstFPageOfBlock(block)) +
+      1;
+  return OkStatus();
+}
+
+StatusOr<FPageIndex> Ftl::NextProgramTarget(Stream stream,
+                                            SimDuration& latency) {
+  Frontier& f = frontier(stream);
+  for (;;) {
+    if (!f.has_active_block) {
+      SALA_RETURN_IF_ERROR(AllocateActiveBlock(stream, latency));
+    }
+    const FPageIndex first =
+        config_.geometry.FirstFPageOfBlock(f.active_block);
+    while (f.next_page < config_.geometry.fpages_per_block) {
+      const FPageIndex fpage = first + f.next_page;
+      if (page_state_[fpage] == PageState::kInService) {
+        return fpage;
+      }
+      ++f.next_page;  // skip limbo/dead pages
+    }
+    // Active block exhausted.
+    block_state_[f.active_block] = BlockState::kInUse;
+    if (!in_use_listed_[f.active_block]) {
+      in_use_blocks_.push_back(f.active_block);
+      in_use_listed_[f.active_block] = 1;
+    }
+    f.has_active_block = false;
+  }
+}
+
+Status Ftl::AllocateActiveBlock(Stream stream, SimDuration& latency) {
+  Frontier& f = frontier(stream);
+  SALA_RETURN_IF_ERROR(MaybeGarbageCollect(latency));
+  if (f.has_active_block) {
+    // GC ran above and its relocation flushes already allocated this
+    // stream's active block; reuse it instead of orphaning it.
+    return OkStatus();
+  }
+  // The last free block is reserved for GC relocation: a GC round moves at
+  // most one block's worth of valid data, so entering a round with one free
+  // block guarantees it completes and returns the erased victim. Host-path
+  // allocations that would breach the reserve fail instead — the device is
+  // genuinely out of space and the layer above must shed capacity.
+  if (!in_gc_ && free_blocks_ < 2) {
+    return ResourceExhaustedError(
+        "AllocateActiveBlock: free blocks reserved for GC");
+  }
+  while (!free_pool_.empty()) {
+    const auto [pec, block] = free_pool_.top();
+    free_pool_.pop();
+    if (block_state_[block] != BlockState::kFree ||
+        chip_->BlockPec(block) != pec) {
+      continue;  // stale entry
+    }
+    block_state_[block] = BlockState::kActive;
+    f.active_block = block;
+    f.next_page = 0;
+    f.has_active_block = true;
+    --free_blocks_;
+    return OkStatus();
+  }
+  return ResourceExhaustedError("AllocateActiveBlock: no free blocks");
+}
+
+Status Ftl::MaybeGarbageCollect(SimDuration& latency) {
+  if (in_gc_) {
+    return OkStatus();  // GC already running further up the stack
+  }
+  uint32_t rounds = 0;
+  while (free_blocks_ < config_.gc_low_watermark_blocks &&
+         rounds < kMaxGcRoundsPerTrigger) {
+    Status status = GarbageCollectOnce(latency);
+    if (!status.ok()) {
+      // Out of victims: fine as long as something remains allocatable.
+      return free_blocks_ > 0 ? OkStatus() : status;
+    }
+    ++rounds;
+  }
+  return OkStatus();
+}
+
+BlockIndex Ftl::PickGcVictim() {
+  // Compact stale entries out of the candidate list, then pick greedily
+  // (fewest valid oPages). For large devices, sample instead of scanning.
+  std::erase_if(in_use_blocks_, [this](BlockIndex b) {
+    if (block_state_[b] != BlockState::kInUse) {
+      in_use_listed_[b] = 0;
+      return true;
+    }
+    return false;
+  });
+  if (in_use_blocks_.empty()) {
+    return static_cast<BlockIndex>(-1);
+  }
+  constexpr size_t kSampleSize = 128;
+  BlockIndex best = static_cast<BlockIndex>(-1);
+  uint32_t best_valid = UINT32_MAX;
+  if (in_use_blocks_.size() <= kSampleSize) {
+    for (BlockIndex b : in_use_blocks_) {
+      if (block_valid_[b] < best_valid) {
+        best_valid = block_valid_[b];
+        best = b;
+      }
+    }
+  } else {
+    for (size_t i = 0; i < kSampleSize; ++i) {
+      const BlockIndex b =
+          in_use_blocks_[rng_.UniformU64(in_use_blocks_.size())];
+      if (block_valid_[b] < best_valid) {
+        best_valid = block_valid_[b];
+        best = b;
+      }
+    }
+  }
+  return best;
+}
+
+Status Ftl::GarbageCollectOnce(SimDuration& latency) {
+  const BlockIndex victim = PickGcVictim();
+  if (victim == static_cast<BlockIndex>(-1)) {
+    return ResourceExhaustedError("GC: no victim block");
+  }
+  in_gc_ = true;
+  // Relocate every valid oPage through the write path (the NV buffer makes
+  // this safe: the erase below only happens after re-buffering).
+  const OPageSlot first_slot =
+      config_.geometry.FirstSlotOfFPage(config_.geometry.FirstFPageOfBlock(victim));
+  const uint64_t slots = static_cast<uint64_t>(config_.geometry.fpages_per_block) *
+                         config_.geometry.opages_per_fpage;
+  Status status = OkStatus();
+  for (uint64_t s = 0; s < slots && status.ok(); ++s) {
+    const uint64_t lpo = reverse_[first_slot + s];
+    if (lpo != kSlotFree) {
+      status = BufferWrite(lpo, Stream::kGc, latency);
+    }
+  }
+  if (status.ok()) {
+    status = EraseAndRecycle(victim, latency);
+  }
+  in_gc_ = false;
+  return status;
+}
+
+Status Ftl::EraseAndRecycle(BlockIndex block, SimDuration& latency) {
+  assert(block_valid_[block] == 0 && "erasing a block with valid data");
+  SALA_ASSIGN_OR_RETURN(SimDuration erase_time, chip_->EraseBlock(block));
+  latency += erase_time;
+  ++stats_.erases;
+  ApplyLevelTransitions(block);
+
+  bool any_in_service = false;
+  bool any_limbo = false;
+  const FPageIndex first = config_.geometry.FirstFPageOfBlock(block);
+  for (uint32_t i = 0; i < config_.geometry.fpages_per_block; ++i) {
+    const PageState state = page_state_[first + i];
+    any_in_service |= (state == PageState::kInService);
+    any_limbo |= (state == PageState::kLimbo);
+  }
+  if (any_in_service) {
+    block_state_[block] = BlockState::kFree;
+    free_pool_.emplace(chip_->BlockPec(block), block);
+    ++free_blocks_;
+  } else if (any_limbo) {
+    block_state_[block] = BlockState::kParked;
+  } else {
+    block_state_[block] = BlockState::kRetired;
+    ++retired_blocks_;
+  }
+  return OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// Tiredness
+// ---------------------------------------------------------------------------
+
+unsigned Ftl::ComputeLevel(FPageIndex fpage, unsigned current) const {
+  const double rber = chip_->PageRber(fpage);
+  for (unsigned level = current; level <= config_.max_usable_level; ++level) {
+    if (rber <= config_.retire_margin * ladder_[level].max_tolerable_rber) {
+      return level;
+    }
+  }
+  return kDeadLevel;
+}
+
+void Ftl::ApplyLevelTransitions(BlockIndex block) {
+  const FPageIndex first = config_.geometry.FirstFPageOfBlock(block);
+  const uint32_t n = config_.geometry.fpages_per_block;
+
+  if (config_.retirement != RetirementGranularity::kPage) {
+    // Block-granular policies: evaluate the block as a whole against L0.
+    double worst = 0.0;
+    double sum = 0.0;
+    for (uint32_t i = 0; i < n; ++i) {
+      const double rber = chip_->PageRber(first + i);
+      worst = std::max(worst, rber);
+      sum += rber;
+    }
+    const double tol = config_.retire_margin * ladder_[0].max_tolerable_rber;
+    const bool retire =
+        config_.retirement == RetirementGranularity::kBlockWorstPage
+            ? worst > tol
+            : (sum / n) > tol;
+    if (retire) {
+      for (uint32_t i = 0; i < n; ++i) {
+        const FPageIndex fpage = first + i;
+        if (page_state_[fpage] == PageState::kInService) {
+          RetireInServicePage(fpage, page_level_[fpage], kDeadLevel);
+        }
+      }
+    }
+    return;
+  }
+
+  for (uint32_t i = 0; i < n; ++i) {
+    const FPageIndex fpage = first + i;
+    if (page_state_[fpage] == PageState::kDead) {
+      continue;
+    }
+    const unsigned current = page_level_[fpage];
+    const unsigned fresh = ComputeLevel(fpage, current);
+    if (fresh == current) {
+      continue;
+    }
+    if (page_state_[fpage] == PageState::kInService) {
+      RetireInServicePage(fpage, current, fresh);
+    } else {
+      AdvanceLimboPage(fpage, current, fresh);
+    }
+  }
+}
+
+void Ftl::RetireInServicePage(FPageIndex fpage, unsigned old_level,
+                              unsigned new_level) {
+  usable_opages_ -= config_.geometry.opages_per_fpage - old_level;
+  if (new_level <= config_.max_usable_level) {
+    page_state_[fpage] = PageState::kLimbo;
+    page_level_[fpage] = static_cast<uint8_t>(new_level);
+    ++limbo_counts_[new_level];
+    limbo_pages_[new_level].push_back(fpage);
+  } else {
+    page_state_[fpage] = PageState::kDead;
+    page_level_[fpage] = static_cast<uint8_t>(kDeadLevel);
+    new_level = kDeadLevel;
+    ++dead_fpages_;
+  }
+  transitions_.push_back(PageTransition{fpage, old_level, new_level});
+}
+
+void Ftl::AdvanceLimboPage(FPageIndex fpage, unsigned old_level,
+                           unsigned new_level) {
+  --limbo_counts_[old_level];
+  // The limbo_pages_ entry at the old level goes stale; ClaimLimboCapacity
+  // validates level and state before using an entry.
+  if (new_level <= config_.max_usable_level) {
+    page_level_[fpage] = static_cast<uint8_t>(new_level);
+    ++limbo_counts_[new_level];
+    limbo_pages_[new_level].push_back(fpage);
+  } else {
+    page_state_[fpage] = PageState::kDead;
+    page_level_[fpage] = static_cast<uint8_t>(kDeadLevel);
+    new_level = kDeadLevel;
+    ++dead_fpages_;
+  }
+  transitions_.push_back(PageTransition{fpage, old_level, new_level});
+}
+
+// ---------------------------------------------------------------------------
+// Capacity accounting
+// ---------------------------------------------------------------------------
+
+uint64_t Ftl::limbo_fpages(unsigned level) const {
+  return level < limbo_counts_.size() ? limbo_counts_[level] : 0;
+}
+
+uint64_t Ftl::reclaimable_limbo_opages() const {
+  uint64_t total = 0;
+  for (unsigned level = 0; level <= config_.max_usable_level; ++level) {
+    total +=
+        (config_.geometry.opages_per_fpage - level) * limbo_counts_[level];
+  }
+  return total;
+}
+
+uint64_t Ftl::ClaimLimboCapacity(uint64_t opages) {
+  uint64_t claimed = 0;
+  for (unsigned level = 0;
+       level <= config_.max_usable_level && claimed < opages; ++level) {
+    auto& pool = limbo_pages_[level];
+    while (!pool.empty() && claimed < opages) {
+      const FPageIndex fpage = pool.back();
+      pool.pop_back();
+      if (page_state_[fpage] != PageState::kLimbo ||
+          page_level_[fpage] != level) {
+        continue;  // stale entry
+      }
+      page_state_[fpage] = PageState::kInService;
+      const uint64_t capacity = config_.geometry.opages_per_fpage - level;
+      usable_opages_ += capacity;
+      claimed += capacity;
+      --limbo_counts_[level];
+      ReactivateIfParked(config_.geometry.BlockOfFPage(fpage));
+    }
+  }
+  return claimed;
+}
+
+void Ftl::ReactivateIfParked(BlockIndex block) {
+  if (block_state_[block] == BlockState::kParked) {
+    block_state_[block] = BlockState::kFree;
+    free_pool_.emplace(chip_->BlockPec(block), block);
+    ++free_blocks_;
+  }
+}
+
+uint64_t Ftl::ForecastTiringOPages(double pec_horizon_fraction) const {
+  uint64_t tiring = 0;
+  for (FPageIndex fpage = 0; fpage < config_.geometry.total_fpages();
+       ++fpage) {
+    if (page_state_[fpage] != PageState::kInService) {
+      continue;
+    }
+    const unsigned level = page_level_[fpage];
+    const double retire_rber =
+        config_.retire_margin * ladder_[level].max_tolerable_rber;
+    const double retire_pec = chip_->PecUntilRber(fpage, retire_rber);
+    const double current_pec = static_cast<double>(
+        chip_->BlockPec(config_.geometry.BlockOfFPage(fpage)));
+    // +1.0 so fresh blocks (PEC 0) still look ahead at least one cycle.
+    if (retire_pec <= (current_pec + 1.0) * (1.0 + pec_horizon_fraction)) {
+      tiring += config_.geometry.opages_per_fpage - level;
+    }
+  }
+  return tiring;
+}
+
+uint64_t Ftl::gc_reserve_opages() const {
+  return static_cast<uint64_t>(config_.gc_low_watermark_blocks + 1) *
+         config_.geometry.fpages_per_block * config_.geometry.opages_per_fpage;
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+void Ftl::InvalidateSlot(OPageSlot slot) {
+  assert(reverse_[slot] != kSlotFree);
+  reverse_[slot] = kSlotFree;
+  --block_valid_[config_.geometry.BlockOfFPage(
+      config_.geometry.FPageOfSlot(slot))];
+}
+
+Status Ftl::MaybeProgramParityPage(Stream stream, FPageIndex target,
+                                   bool& consumed, SimDuration& latency) {
+  consumed = false;
+  if (config_.ecc_placement != EccPlacement::kDedicated) {
+    return OkStatus();
+  }
+  const unsigned level = page_level_[target];
+  if (level == 0 || level >= 8) {
+    return OkStatus();
+  }
+  Frontier& f = frontier(stream);
+  const uint32_t threshold = config_.geometry.opages_per_fpage - level;
+  if (f.data_since_parity[level] < threshold) {
+    return OkStatus();
+  }
+  // This tired page becomes a dedicated parity page: a real program, but no
+  // logical slots — GC sees it as holding nothing valid and simply erases it
+  // with the block.
+  SALA_ASSIGN_OR_RETURN(SimDuration program_time,
+                        chip_->ProgramFPage(target));
+  latency += program_time;
+  ++stats_.parity_programs;
+  f.data_since_parity[level] -= threshold;
+  const BlockIndex block = config_.geometry.BlockOfFPage(target);
+  f.next_page =
+      static_cast<uint32_t>(target - config_.geometry.FirstFPageOfBlock(block)) +
+      1;
+  consumed = true;
+  return OkStatus();
+}
+
+SimDuration Ftl::DedicatedEccReadPenalty(unsigned level) {
+  if (config_.ecc_placement != EccPlacement::kDedicated || level == 0) {
+    return 0;
+  }
+  if (rng_.Bernoulli(config_.dedicated_ecc_cache_hit)) {
+    return 0;  // parity already in controller RAM
+  }
+  ++stats_.ecc_page_reads;
+  return config_.latency.read_fpage;
+}
+
+EccParams Ftl::EccForOPageRead(unsigned level) const {
+  const TirednessLevelEcc& ecc = ladder_[level];
+  return EccParams{
+      .stripe_codeword_bits = ecc.stripe_codeword_bits,
+      .correctable_bits_per_stripe = ecc.correctable_bits_per_stripe,
+      // A single-oPage read engages only that oPage's stripes.
+      .stripes = config_.ecc_geometry.stripes_per_opage,
+  };
+}
+
+uint64_t Ftl::PageCapacity(FPageIndex fpage) const {
+  if (config_.ecc_placement == EccPlacement::kDedicated) {
+    // Data pages keep every oPage; the ECC overhead is paid in whole parity
+    // pages via MaybeProgramParityPage, averaging to the same
+    // (opages_per_fpage - L) per page that the accounting assumes.
+    return config_.geometry.opages_per_fpage;
+  }
+  return config_.geometry.opages_per_fpage - page_level_[fpage];
+}
+
+uint64_t Ftl::PhysicalSlot(uint64_t lpo) const {
+  if (lpo >= mapping_.size()) {
+    return kUnmappedSlot;
+  }
+  const uint64_t entry = mapping_[lpo];
+  return (entry == kUnmapped || IsBuffered(entry)) ? kUnmappedSlot : entry;
+}
+
+std::vector<PageTransition> Ftl::TakeTransitions() {
+  std::vector<PageTransition> out;
+  out.swap(transitions_);
+  return out;
+}
+
+Status Ftl::CheckInvariants() const {
+  const FlashGeometry& geometry = config_.geometry;
+
+  // 1. mapping -> reverse consistency and mapped/buffered tallies.
+  uint64_t mapped = 0;
+  uint64_t buffered[kStreams] = {0, 0};
+  for (uint64_t lpo = 0; lpo < mapping_.size(); ++lpo) {
+    const uint64_t entry = mapping_[lpo];
+    if (entry == kUnmapped) {
+      continue;
+    }
+    ++mapped;
+    if (entry == kInBufferHost) {
+      ++buffered[0];
+      continue;
+    }
+    if (entry == kInBufferGc) {
+      ++buffered[1];
+      continue;
+    }
+    if (entry >= reverse_.size()) {
+      return InternalError("mapping points past physical space at lpo " +
+                           std::to_string(lpo));
+    }
+    if (reverse_[entry] != lpo) {
+      return InternalError("reverse map mismatch at lpo " +
+                           std::to_string(lpo));
+    }
+  }
+  if (mapped != mapped_opages_) {
+    return InternalError("mapped_opages tally off: counted " +
+                         std::to_string(mapped) + " vs " +
+                         std::to_string(mapped_opages_));
+  }
+  for (size_t stream = 0; stream < kStreams; ++stream) {
+    if (buffered[stream] != frontiers_[stream].buffer_valid) {
+      return InternalError("buffer_valid tally off for stream " +
+                           std::to_string(stream));
+    }
+  }
+
+  // 2. reverse -> mapping consistency and per-block valid counts.
+  std::vector<uint32_t> valid_per_block(geometry.total_blocks(), 0);
+  for (uint64_t slot = 0; slot < reverse_.size(); ++slot) {
+    const uint64_t lpo = reverse_[slot];
+    if (lpo == kSlotFree) {
+      continue;
+    }
+    if (lpo >= mapping_.size() || mapping_[lpo] != slot) {
+      return InternalError("dangling reverse entry at slot " +
+                           std::to_string(slot));
+    }
+    ++valid_per_block[geometry.BlockOfFPage(geometry.FPageOfSlot(slot))];
+  }
+  for (BlockIndex block = 0; block < geometry.total_blocks(); ++block) {
+    if (valid_per_block[block] != block_valid_[block]) {
+      return InternalError("block_valid off for block " +
+                           std::to_string(block));
+    }
+  }
+
+  // 3. page-state tallies: usable capacity, limbo counts, dead pages.
+  uint64_t usable = 0;
+  uint64_t dead = 0;
+  std::vector<uint64_t> limbo(limbo_counts_.size(), 0);
+  for (FPageIndex fpage = 0; fpage < geometry.total_fpages(); ++fpage) {
+    switch (page_state_[fpage]) {
+      case PageState::kInService:
+        usable += geometry.opages_per_fpage - page_level_[fpage];
+        break;
+      case PageState::kLimbo:
+        if (page_level_[fpage] >= limbo.size()) {
+          return InternalError("limbo page with absurd level");
+        }
+        ++limbo[page_level_[fpage]];
+        break;
+      case PageState::kDead:
+        if (page_level_[fpage] != kDeadLevel) {
+          return InternalError("dead page without dead level marker");
+        }
+        ++dead;
+        break;
+    }
+  }
+  if (usable != usable_opages_) {
+    return InternalError("usable_opages tally off: counted " +
+                         std::to_string(usable) + " vs " +
+                         std::to_string(usable_opages_));
+  }
+  if (dead != dead_fpages_) {
+    return InternalError("dead_fpages tally off");
+  }
+  for (size_t level = 0; level < limbo.size(); ++level) {
+    if (limbo[level] != limbo_counts_[level]) {
+      return InternalError("limbo count off at level " +
+                           std::to_string(level));
+    }
+  }
+
+  // 4. block-state sanity: free count and retired tally.
+  uint64_t free_count = 0;
+  uint64_t retired = 0;
+  for (BlockIndex block = 0; block < geometry.total_blocks(); ++block) {
+    switch (block_state_[block]) {
+      case BlockState::kFree:
+        ++free_count;
+        break;
+      case BlockState::kRetired:
+        ++retired;
+        if (block_valid_[block] != 0) {
+          return InternalError("retired block holds valid data");
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  if (free_count != free_blocks_) {
+    return InternalError("free_blocks tally off");
+  }
+  if (retired != retired_blocks_) {
+    return InternalError("retired_blocks tally off");
+  }
+  return OkStatus();
+}
+
+}  // namespace salamander

@@ -1,0 +1,377 @@
+// Page-mapped flash translation layer with tiredness tracking (paper §3).
+//
+// The FTL manages one device: logical oPage space -> physical oPage slots,
+// a small NV write buffer that packs oPages into fPages, greedy garbage
+// collection, PEC-based wear leveling, and — the Salamander part — per-fPage
+// tiredness levels with limbo accounting (Eq. 1). Tiredness transitions are
+// queued as events; the minidisk layer above drains them and decides
+// decommissioning (Eq. 2) and regeneration.
+//
+// Level recomputation happens at block-erase time: the paper models RBER as
+// a function of P/E cycles only ("for simplicity we only consider RBER due
+// to aging", §4), and PEC changes exactly at erase. A page that changes
+// level is empty at that moment (GC relocated its data before the erase), so
+// transitions never require data movement of their own.
+#ifndef SALAMANDER_FTL_FTL_H_
+#define SALAMANDER_FTL_FTL_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "ecc/tiredness.h"
+#include "flash/flash_chip.h"
+#include "flash/geometry.h"
+#include "flash/wear_model.h"
+
+namespace salamander {
+
+// How worn flash is retired from service at its current tiredness level.
+enum class RetirementGranularity {
+  // Salamander: each fPage retires individually, exploiting the large
+  // page-to-page endurance variance within a block ([41, 42]).
+  kPage,
+  // Conventional SSD firmware and CVSS [16]: the whole erase block retires
+  // when its worst page can no longer meet the ECC requirement — wasting
+  // "much of the remaining lifetime of stronger pages within blocks" (§4),
+  // but preserving reliability.
+  kBlockWorstPage,
+  // Ablation only: retire on *average* block RBER. This postpones
+  // retirement past the point where the block's weak pages are unreliable
+  // (uncorrectable reads), trading UBER for capacity — no shipping design
+  // does this; it is kept to quantify the averaging effect.
+  kBlockAverage,
+};
+
+// Where the extra ECC of tired (L >= 1) pages lives (§4.2).
+enum class EccPlacement : uint8_t {
+  // Repurposed oPages inside the same fPage: reads are self-contained but a
+  // 16 KiB access spans extra fPages — the 4/(4-L) penalty of Fig. 3c/3d.
+  kInline,
+  // Parity concentrated in dedicated fPages (one parity fPage per (4-L)/L
+  // data fPages at level L): data pages keep all four oPages, restoring
+  // large-access geometry; reads pay an extra parity-page access on an ECC
+  // cache miss, and writes pay the parity programs.
+  kDedicated,
+};
+
+struct FtlConfig {
+  FlashGeometry geometry;
+  WearModelConfig wear;
+  FlashLatencyConfig latency;
+  FPageEccGeometry ecc_geometry;
+
+  EccPlacement ecc_placement = EccPlacement::kInline;
+  // Probability that a dedicated parity page is already cached in controller
+  // RAM when a tired-page read needs it (ECC caching per [23, 44-46]).
+  double dedicated_ecc_cache_hit = 0.9;
+
+  // Highest tiredness level whose pages may still store data.
+  //   0  -> fixed ECC (baseline SSDs, CVSS, ShrinkS)
+  //   1  -> RegenS with the paper's recommended L < 2 cap
+  //   2+ -> RegenS extended (ablation)
+  // Block-granular retirement modes require 0.
+  unsigned max_usable_level = 0;
+
+  RetirementGranularity retirement = RetirementGranularity::kPage;
+
+  // Retire a page from level L once rber > retire_margin * tolerable(L).
+  // < 1.0 retires early (conservative firmware); 1.0 uses full capability.
+  double retire_margin = 1.0;
+
+  // Garbage collection starts when the free-block pool drops to this size.
+  uint32_t gc_low_watermark_blocks = 3;
+
+  // NV write-buffer capacity in oPages; a partial fPage is force-flushed
+  // when the buffer would overflow.
+  uint32_t write_buffer_opages = 64;
+
+  // Serving a read from the NV buffer.
+  SimDuration buffer_read_latency = 2 * kMicrosecond;
+
+  uint64_t seed = 1;
+};
+
+// One tiredness transition, reported to the layer above.
+struct PageTransition {
+  FPageIndex fpage = 0;
+  unsigned old_level = 0;
+  unsigned new_level = 0;  // == Ftl::kDeadLevel when the page left service
+};
+
+struct FtlStats {
+  uint64_t host_writes = 0;      // oPages written by the host
+  uint64_t host_reads = 0;       // oPages read by the host
+  uint64_t buffer_hits = 0;      // reads served from the NV buffer
+  uint64_t gc_relocations = 0;   // oPages moved by GC
+  uint64_t flushes = 0;          // fPage programs from the buffer
+  uint64_t erases = 0;
+  uint64_t uncorrectable_reads = 0;
+  uint64_t read_retries = 0;
+  uint64_t parity_programs = 0;   // dedicated ECC pages written
+  uint64_t ecc_page_reads = 0;    // dedicated ECC page fetches (cache misses)
+  // Reads served from flash pages at each tiredness level (index = level).
+  std::vector<uint64_t> reads_by_level;
+
+  double WriteAmplification() const {
+    return host_writes == 0
+               ? 1.0
+               : 1.0 + static_cast<double>(gc_relocations) /
+                           static_cast<double>(host_writes);
+  }
+};
+
+struct ReadResult {
+  SimDuration latency = 0;
+  unsigned tiredness_level = 0;
+  uint32_t retries = 0;
+  bool buffer_hit = false;
+};
+
+// Result of a multi-oPage (large host I/O) read.
+struct RangeReadResult {
+  SimDuration latency = 0;
+  uint32_t fpage_reads = 0;    // distinct flash page reads performed
+  unsigned max_level = 0;      // most-tired page touched
+  uint32_t buffer_hits = 0;
+};
+
+class Ftl {
+ public:
+  // Sentinel level for pages permanently out of service.
+  static constexpr unsigned kDeadLevel = 255;
+  static constexpr uint64_t kUnmappedSlot = UINT64_MAX;
+
+  explicit Ftl(const FtlConfig& config);
+
+  const FtlConfig& config() const { return config_; }
+  const FlashChip& chip() const { return *chip_; }
+  const FtlStats& stats() const { return stats_; }
+  const std::vector<TirednessLevelEcc>& tiredness_ladder() const {
+    return ladder_;
+  }
+
+  // ---- Logical address space ---------------------------------------------
+
+  // Grows the logical oPage space by `opages`; returns the first new logical
+  // page offset. The minidisk layer calls this when carving mDisks.
+  uint64_t ExtendLogicalSpace(uint64_t opages);
+
+  // Number of logical oPages ever allocated (decommissioned ranges included).
+  uint64_t logical_opages() const { return mapping_.size(); }
+
+  // ---- Host I/O ------------------------------------------------------------
+
+  // Writes one logical oPage. May trigger buffer flushes and GC; the returned
+  // latency covers everything on the critical path.
+  StatusOr<SimDuration> Write(uint64_t lpo);
+
+  // Reads one logical oPage. kNotFound if never written or trimmed;
+  // kDataLoss if the flash read was uncorrectable after retries.
+  StatusOr<ReadResult> Read(uint64_t lpo);
+
+  // Reads `count` consecutive logical oPages as one host I/O. Consecutive
+  // oPages backed by the same fPage share a single flash read (only the
+  // channel transfer repeats) — this is where RegenS's large-access penalty
+  // of 4/(4-L) comes from: an L1 fPage yields 3 oPages per read instead of 4.
+  StatusOr<RangeReadResult> ReadRange(uint64_t first_lpo, uint64_t count);
+
+  // Invalidates one logical oPage (no-op if already unmapped).
+  Status Trim(uint64_t lpo);
+
+  // Drains the NV write buffer to flash (tests / orderly shutdown).
+  Status Flush();
+
+  // ---- Capacity accounting (Eq. 1 / Eq. 2 inputs) --------------------------
+
+  // oPages storable on pages currently in service:
+  // sum over in-service fPages of (opages_per_fpage - level).
+  uint64_t usable_opages() const { return usable_opages_; }
+
+  // limbo[L]: fPages at level L awaiting regeneration (Eq. 1's limbo sets).
+  uint64_t limbo_fpages(unsigned level) const;
+
+  // Total oPage capacity recoverable from limbo pages at usable levels:
+  // sum over j <= max_usable_level of (opages_per_fpage - j) * limbo[j].
+  uint64_t reclaimable_limbo_opages() const;
+
+  // Moves limbo pages (lowest level first) into service until at least
+  // `opages` of capacity is claimed; returns the amount actually claimed.
+  // Used by minidisk regeneration.
+  uint64_t ClaimLimboCapacity(uint64_t opages);
+
+  // oPages the FTL needs as free headroom for GC to make progress.
+  uint64_t gc_reserve_opages() const;
+
+  // Wear forecast: capacity (oPages) on in-service pages predicted to leave
+  // their current tiredness level within the next `pec_horizon_fraction` of
+  // their block's current P/E count (e.g. 0.1 = within ~10% more cycles).
+  // O(total fPages); callers should cache between maintenance rounds.
+  uint64_t ForecastTiringOPages(double pec_horizon_fraction) const;
+
+  // Currently mapped (live) logical oPages, including buffered ones.
+  uint64_t mapped_opages() const { return mapped_opages_; }
+
+  uint64_t dead_fpages() const { return dead_fpages_; }
+  // Blocks permanently retired (every page dead).
+  uint64_t retired_blocks() const { return retired_blocks_; }
+  uint64_t free_blocks() const { return free_blocks_; }
+
+  // ---- Events ---------------------------------------------------------------
+
+  // Returns and clears the queued tiredness transitions. The layer above
+  // calls this after each host operation; reacting outside the FTL's call
+  // stack avoids reentrancy during GC.
+  std::vector<PageTransition> TakeTransitions();
+
+  // ---- Introspection for tests ----------------------------------------------
+
+  // Full-consistency audit of the FTL's internal accounting (mapping <->
+  // reverse map, per-block valid counts, usable/limbo/dead tallies, buffer
+  // counters, free-pool sanity). O(device size); used by tests and
+  // debug builds. Returns kInternal with a description on the first
+  // violation found.
+  Status CheckInvariants() const;
+
+  unsigned PageLevel(FPageIndex fpage) const { return page_level_[fpage]; }
+  bool PageInService(FPageIndex fpage) const {
+    return page_state_[fpage] == PageState::kInService;
+  }
+  // Physical slot currently backing a logical page; kUnmappedSlot if the page
+  // is unmapped or still in the buffer.
+  uint64_t PhysicalSlot(uint64_t lpo) const;
+  uint64_t buffered_opages() const {
+    return frontiers_[0].buffer_valid + frontiers_[1].buffer_valid;
+  }
+
+ private:
+  enum class PageState : uint8_t {
+    kInService,  // storing data or available for programming
+    kLimbo,      // retired from its previous level, awaiting regeneration
+    kDead,       // beyond the max usable level
+  };
+  enum class BlockState : uint8_t {
+    kFree,     // erased, in the allocation pool
+    kActive,   // currently being programmed
+    kInUse,    // fully programmed; GC candidate
+    kParked,   // erased but holding only limbo/dead pages
+    kRetired,  // every page dead; permanently out of service
+  };
+
+  // Separate write streams ("frontiers"): host writes and GC relocations
+  // each fill their own active block, as in production FTLs. This keeps
+  // host-sequential data physically contiguous (GC churn does not splice
+  // into it) and gives a mild hot/cold separation that lowers WAF.
+  enum class Stream : uint8_t { kHost = 0, kGc = 1 };
+  static constexpr size_t kStreams = 2;
+
+  static constexpr uint64_t kInBufferHost = UINT64_MAX - 2;
+  static constexpr uint64_t kInBufferGc = UINT64_MAX - 1;
+  static constexpr uint64_t kUnmapped = UINT64_MAX;
+  static constexpr uint64_t kSlotFree = UINT64_MAX;
+
+  static constexpr bool IsBuffered(uint64_t entry) {
+    return entry == kInBufferHost || entry == kInBufferGc;
+  }
+  static constexpr uint64_t BufferSentinel(Stream stream) {
+    return stream == Stream::kHost ? kInBufferHost : kInBufferGc;
+  }
+
+  // --- write path ---
+  Status BufferWrite(uint64_t lpo, Stream stream, SimDuration& latency);
+  Status FlushIfReady(Stream stream, SimDuration& latency);
+  // Programs the next target fPage from the stream's buffer; `allow_partial`
+  // permits programming with fewer oPages than the page holds.
+  Status FlushToTarget(Stream stream, bool allow_partial,
+                       SimDuration& latency);
+  // Next programmable, in-service fPage of the stream's active block;
+  // allocates a new active block (possibly via GC) when needed. Does not
+  // advance the cursor.
+  StatusOr<FPageIndex> NextProgramTarget(Stream stream, SimDuration& latency);
+  Status AllocateActiveBlock(Stream stream, SimDuration& latency);
+  Status MaybeGarbageCollect(SimDuration& latency);
+  Status GarbageCollectOnce(SimDuration& latency);
+  Status EraseAndRecycle(BlockIndex block, SimDuration& latency);
+
+  // --- tiredness ---
+  unsigned ComputeLevel(FPageIndex fpage, unsigned current) const;
+  void ApplyLevelTransitions(BlockIndex block);
+  void RetireInServicePage(FPageIndex fpage, unsigned old_level,
+                           unsigned new_level);
+  void AdvanceLimboPage(FPageIndex fpage, unsigned old_level,
+                        unsigned new_level);
+
+  // --- helpers ---
+  void InvalidateSlot(OPageSlot slot);
+  EccParams EccForOPageRead(unsigned level) const;
+  uint64_t PageCapacity(FPageIndex fpage) const;
+  // Extra latency charged when a read touches a tired page under dedicated
+  // ECC placement (parity-page fetch on cache miss).
+  SimDuration DedicatedEccReadPenalty(unsigned level);
+  // If the dedicated-ECC cadence says a parity page is due before `target`
+  // can hold data, programs it and advances the cursor. Sets `consumed`.
+  Status MaybeProgramParityPage(Stream stream, FPageIndex target,
+                                bool& consumed, SimDuration& latency);
+  BlockIndex PickGcVictim();
+  void ReactivateIfParked(BlockIndex block);
+
+  FtlConfig config_;
+  std::unique_ptr<FlashChip> chip_;
+  std::vector<TirednessLevelEcc> ladder_;
+  FtlStats stats_;
+  Rng rng_;
+
+  // Logical -> physical (OPageSlot), or kInBuffer / kUnmapped.
+  std::vector<uint64_t> mapping_;
+  // Physical slot -> logical page, or kSlotFree.
+  std::vector<uint64_t> reverse_;
+  uint64_t mapped_opages_ = 0;
+
+  // Per-fPage tiredness level (kDeadLevel when dead) and service state.
+  std::vector<uint8_t> page_level_;
+  std::vector<PageState> page_state_;
+  std::vector<uint64_t> limbo_counts_;             // per level
+  std::vector<std::vector<FPageIndex>> limbo_pages_;  // per level, lazy
+  uint64_t usable_opages_ = 0;
+  uint64_t dead_fpages_ = 0;
+  uint64_t retired_blocks_ = 0;
+
+  // Per-block bookkeeping.
+  std::vector<BlockState> block_state_;
+  std::vector<uint32_t> block_valid_;  // valid oPages on flash in this block
+  std::vector<BlockIndex> in_use_blocks_;  // lazy list of GC candidates
+  std::vector<uint8_t> in_use_listed_;     // per block: is in the list above
+  // Free pool ordered by PEC (lazy entries; validated on pop).
+  using PecBlock = std::pair<uint32_t, BlockIndex>;
+  std::priority_queue<PecBlock, std::vector<PecBlock>, std::greater<PecBlock>>
+      free_pool_;
+  uint64_t free_blocks_ = 0;
+
+  struct Frontier {
+    BlockIndex active_block = 0;
+    bool has_active_block = false;
+    uint32_t next_page = 0;  // next page offset to consider
+    // NV write buffer: FIFO of logical pages (entries may go stale on trim).
+    std::deque<uint64_t> buffer;
+    uint64_t buffer_valid = 0;
+    // Dedicated-ECC cadence: tired data pages programmed since the last
+    // parity page, per level (index = tiredness level).
+    uint32_t data_since_parity[8] = {};
+  };
+  Frontier frontiers_[kStreams];
+  Frontier& frontier(Stream stream) {
+    return frontiers_[static_cast<size_t>(stream)];
+  }
+
+  std::vector<PageTransition> transitions_;
+  bool in_gc_ = false;
+};
+
+}  // namespace salamander
+
+#endif  // SALAMANDER_FTL_FTL_H_

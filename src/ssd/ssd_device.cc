@@ -1,0 +1,179 @@
+#include "ssd/ssd_device.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace salamander {
+
+std::string_view SsdKindName(SsdKind kind) {
+  switch (kind) {
+    case SsdKind::kBaseline:
+      return "baseline";
+    case SsdKind::kCvss:
+      return "cvss";
+    case SsdKind::kShrinkS:
+      return "shrinks";
+    case SsdKind::kRegenS:
+      return "regens";
+  }
+  return "unknown";
+}
+
+SsdConfig MakeSsdConfig(SsdKind kind, const FlashGeometry& geometry,
+                        const WearModelConfig& wear,
+                        const FlashLatencyConfig& latency,
+                        const FPageEccGeometry& ecc, uint64_t seed,
+                        unsigned regen_max_level) {
+  SsdConfig config;
+  config.ftl.geometry = geometry;
+  config.ftl.wear = wear;
+  config.ftl.latency = latency;
+  config.ftl.ecc_geometry = ecc;
+  config.ftl.seed = seed;
+  config.minidisk.seed = seed + 1;
+
+  // Capacity the minidisk manager will find available at format time.
+  const uint64_t raw_opages = geometry.total_opages();
+  const uint64_t gc_reserve =
+      static_cast<uint64_t>(config.ftl.gc_low_watermark_blocks + 1) *
+      geometry.fpages_per_block * geometry.opages_per_fpage;
+  const uint64_t reserve = std::max(
+      static_cast<uint64_t>(static_cast<double>(raw_opages) *
+                            config.minidisk.op_ratio),
+      gc_reserve);
+  const uint64_t available = raw_opages > reserve ? raw_opages - reserve : 0;
+
+  switch (kind) {
+    case SsdKind::kBaseline:
+      config.ftl.retirement = RetirementGranularity::kBlockWorstPage;
+      config.ftl.max_usable_level = 0;
+      // One monolithic volume spanning everything available.
+      config.minidisk.msize_opages = available;
+      config.brick_bad_block_fraction = 0.025;  // [14]
+      break;
+    case SsdKind::kCvss:
+      // Reliability-preserving block-granular retirement: a block retires
+      // when its worst page can no longer meet the ECC budget (running weak
+      // pages past their tolerance would violate UBER, which no shipping
+      // design does). CVSS's difference from baseline is shrinking instead
+      // of bricking; its difference from ShrinkS is wasting the block's
+      // still-strong pages at each retirement.
+      config.ftl.retirement = RetirementGranularity::kBlockWorstPage;
+      config.ftl.max_usable_level = 0;
+      // Capacity shrinks at erase-block granularity.
+      config.minidisk.msize_opages = static_cast<uint64_t>(
+          geometry.fpages_per_block) * geometry.opages_per_fpage;
+      break;
+    case SsdKind::kShrinkS:
+      config.ftl.retirement = RetirementGranularity::kPage;
+      config.ftl.max_usable_level = 0;
+      break;
+    case SsdKind::kRegenS:
+      config.ftl.retirement = RetirementGranularity::kPage;
+      config.ftl.max_usable_level = regen_max_level;
+      break;
+  }
+  return config;
+}
+
+SsdDevice::SsdDevice(SsdKind kind, const SsdConfig& config)
+    : kind_(kind),
+      config_(config),
+      ftl_(std::make_unique<Ftl>(config.ftl)),
+      manager_(std::make_unique<MinidiskManager>(ftl_.get(),
+                                                 config.minidisk)) {
+  initial_capacity_bytes_ = manager_->live_capacity_bytes();
+}
+
+uint64_t SsdDevice::live_capacity_bytes() const {
+  return failed_ ? 0 : manager_->live_capacity_bytes();
+}
+
+uint64_t SsdDevice::bytes_written() const {
+  return ftl_->stats().host_writes * config_.ftl.geometry.opage_bytes;
+}
+
+StatusOr<SimDuration> SsdDevice::Write(MinidiskId mdisk, uint64_t lba) {
+  if (failed_) {
+    return DeviceFailedError("Write: device bricked");
+  }
+  StatusOr<SimDuration> result = manager_->Write(mdisk, lba);
+  CheckBrick();
+  return result;
+}
+
+StatusOr<ReadResult> SsdDevice::Read(MinidiskId mdisk, uint64_t lba) {
+  if (failed_) {
+    return DeviceFailedError("Read: device bricked");
+  }
+  return manager_->Read(mdisk, lba);
+}
+
+StatusOr<RangeReadResult> SsdDevice::ReadRange(MinidiskId mdisk, uint64_t lba,
+                                               uint64_t count) {
+  if (failed_) {
+    return DeviceFailedError("ReadRange: device bricked");
+  }
+  return manager_->ReadRange(mdisk, lba, count);
+}
+
+Status SsdDevice::AckDrain(MinidiskId mdisk) {
+  if (failed_) {
+    return DeviceFailedError("AckDrain: device bricked");
+  }
+  Status status = manager_->AckDrain(mdisk);
+  CheckBrick();
+  return status;
+}
+
+Status SsdDevice::Flush() {
+  if (failed_) {
+    return DeviceFailedError("Flush: device bricked");
+  }
+  Status status = manager_->Flush();
+  CheckBrick();
+  return status;
+}
+
+void SsdDevice::CheckBrick() {
+  if (failed_) {
+    return;
+  }
+  // A device whose remaining mDisks are all draining is read-only, not dead
+  // (SSDs "either fail entirely (i.e., brick) or become read-only", §2):
+  // it keeps serving recovery reads until the drains are acked.
+  bool brick = manager_->live_minidisks() == 0 &&
+               manager_->draining_minidisks() == 0;
+  if (!brick && config_.brick_bad_block_fraction > 0.0) {
+    const double bad_fraction =
+        static_cast<double>(ftl_->retired_blocks()) /
+        static_cast<double>(config_.ftl.geometry.total_blocks());
+    brick = bad_fraction > config_.brick_bad_block_fraction;
+  }
+  if (!brick) {
+    return;
+  }
+  failed_ = true;
+  if (!brick_events_emitted_) {
+    brick_events_emitted_ = true;
+    // Whole-device failure == all remaining mDisks fail at once (§4.3);
+    // draining mDisks lose their grace window along with everything else.
+    for (MinidiskId id = 0; id < manager_->total_minidisks(); ++id) {
+      if (manager_->minidisk(id).state != MinidiskState::kDecommissioned) {
+        pending_events_.push_back(
+            MinidiskEvent{MinidiskEventType::kDecommissioned, id});
+      }
+    }
+  }
+}
+
+std::vector<MinidiskEvent> SsdDevice::TakeEvents() {
+  // Manager events first (decommissions that preceded a brick in the same
+  // operation), then any synthesized whole-device-failure notifications.
+  std::vector<MinidiskEvent> events = manager_->TakeEvents();
+  events.insert(events.end(), pending_events_.begin(), pending_events_.end());
+  pending_events_.clear();
+  return events;
+}
+
+}  // namespace salamander

@@ -1,0 +1,111 @@
+// Host-facing SSD device models (paper §3, §4 baselines).
+//
+// One concrete class covers all four designs the paper discusses — the
+// differences are retirement granularity, the tiredness-level cap, the
+// failure-unit (mDisk) size, and the brick rule:
+//
+//   kBaseline — conventional firmware: block-granular retirement (worst page
+//               kills the block), one monolithic volume, device bricks when
+//               retired blocks exceed a small threshold (2.5%, [14]).
+//   kCvss     — capacity-variant SSD [16]: block-granular retirement by
+//               *average* block RBER; capacity shrinks block by block.
+//   kShrinkS  — Salamander shrink mode: page-granular retirement, 1 MiB
+//               mDisks, capacity shrinks mDisk by mDisk.
+//   kRegenS   — Salamander regenerating mode: ShrinkS plus revival of tired
+//               pages at lower code rates (L1 by default) and regeneration of
+//               new mDisks from revived capacity.
+#ifndef SALAMANDER_SSD_SSD_DEVICE_H_
+#define SALAMANDER_SSD_SSD_DEVICE_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/minidisk.h"
+#include "core/minidisk_manager.h"
+#include "ftl/ftl.h"
+
+namespace salamander {
+
+enum class SsdKind : uint8_t { kBaseline, kCvss, kShrinkS, kRegenS };
+
+std::string_view SsdKindName(SsdKind kind);
+
+struct SsdConfig {
+  FtlConfig ftl;
+  MinidiskConfig minidisk;
+  // Brick when retired_blocks / total_blocks exceeds this (0 disables).
+  // Conventional SSDs use ~2.5% [14].
+  double brick_bad_block_fraction = 0.0;
+};
+
+// Builds the canonical configuration for a device kind on top of shared
+// flash geometry / wear / latency settings. `regen_max_level` applies to
+// kRegenS only (the paper recommends 1, i.e. L < 2).
+SsdConfig MakeSsdConfig(SsdKind kind, const FlashGeometry& geometry,
+                        const WearModelConfig& wear,
+                        const FlashLatencyConfig& latency,
+                        const FPageEccGeometry& ecc, uint64_t seed,
+                        unsigned regen_max_level = 1);
+
+class SsdDevice {
+ public:
+  SsdDevice(SsdKind kind, const SsdConfig& config);
+
+  SsdKind kind() const { return kind_; }
+  std::string_view kind_name() const { return SsdKindName(kind_); }
+
+  // ---- Host I/O (fails with kDeviceFailed once bricked) -------------------
+
+  StatusOr<SimDuration> Write(MinidiskId mdisk, uint64_t lba);
+  StatusOr<ReadResult> Read(MinidiskId mdisk, uint64_t lba);
+  StatusOr<RangeReadResult> ReadRange(MinidiskId mdisk, uint64_t lba,
+                                      uint64_t count);
+
+  // Host flush command: drains the device's NV write buffer to flash.
+  Status Flush();
+
+  // Acknowledges a kDraining mDisk (grace-period decommissioning): the host
+  // confirms its data is re-replicated and the device reclaims the space.
+  Status AckDrain(MinidiskId mdisk);
+
+  // mDisk lifecycle events since the last call. When the device bricks, a
+  // kDecommissioned event is emitted for every still-live mDisk (a whole-
+  // device failure is "logically equivalent to retiring all flash blocks
+  // simultaneously", §4.3).
+  std::vector<MinidiskEvent> TakeEvents();
+
+  // ---- State ---------------------------------------------------------------
+
+  // True once the device can no longer serve I/O (bricked or zero capacity).
+  bool failed() const { return failed_; }
+  uint64_t live_capacity_bytes() const;
+  uint32_t live_minidisks() const { return manager_->live_minidisks(); }
+  uint32_t total_minidisks() const { return manager_->total_minidisks(); }
+  bool IsMinidiskLive(MinidiskId id) const { return manager_->IsLive(id); }
+  uint64_t msize_opages() const { return manager_->msize_opages(); }
+  uint64_t initial_capacity_bytes() const { return initial_capacity_bytes_; }
+
+  const Ftl& ftl() const { return *ftl_; }
+  const MinidiskManager& manager() const { return *manager_; }
+
+  // Total host data written so far, in bytes (lifetime accounting).
+  uint64_t bytes_written() const;
+
+ private:
+  void CheckBrick();
+
+  SsdKind kind_;
+  SsdConfig config_;
+  std::unique_ptr<Ftl> ftl_;
+  std::unique_ptr<MinidiskManager> manager_;
+  uint64_t initial_capacity_bytes_ = 0;
+  bool failed_ = false;
+  bool brick_events_emitted_ = false;
+  std::vector<MinidiskEvent> pending_events_;
+};
+
+}  // namespace salamander
+
+#endif  // SALAMANDER_SSD_SSD_DEVICE_H_

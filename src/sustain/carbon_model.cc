@@ -1,0 +1,38 @@
+#include "sustain/carbon_model.h"
+
+namespace salamander {
+
+double RuFromLifetimeGain(double lifetime_gain, double discount) {
+  const double raw = 1.0 / (1.0 + lifetime_gain);
+  return raw + (1.0 - raw) * discount;
+}
+
+double RelativeCarbon(const CarbonParams& params) {
+  return params.f_op * params.pe + (1.0 - params.f_op) * params.ru;
+}
+
+double CarbonSavings(const CarbonParams& params) {
+  return 1.0 - RelativeCarbon(params);
+}
+
+double RelativeCarbonRenewable(const CarbonParams& params) {
+  return params.ru;
+}
+
+double CarbonSavingsRenewable(const CarbonParams& params) {
+  return 1.0 - params.ru;
+}
+
+CarbonParams ShrinkSCarbonParams() {
+  CarbonParams params;
+  params.ru = RuFromLifetimeGain(0.20);  // = 0.9
+  return params;
+}
+
+CarbonParams RegenSCarbonParams() {
+  CarbonParams params;
+  params.ru = RuFromLifetimeGain(0.50);  // = 0.8
+  return params;
+}
+
+}  // namespace salamander

@@ -1,0 +1,29 @@
+#include "sustain/tco_model.h"
+
+namespace salamander {
+
+double CostUpgradeRate(const TcoParams& params) {
+  return params.ru + (1.0 - params.ru) * params.ce_new * params.cap_new;
+}
+
+double RelativeTco(const TcoParams& params) {
+  return params.f_opex + (1.0 - params.f_opex) * CostUpgradeRate(params);
+}
+
+double TcoSavings(const TcoParams& params) {
+  return 1.0 - RelativeTco(params);
+}
+
+TcoParams ShrinkSTcoParams() {
+  TcoParams params;
+  params.ru = 1.0 / 1.2;
+  return params;
+}
+
+TcoParams RegenSTcoParams() {
+  TcoParams params;
+  params.ru = 1.0 / 1.5;
+  return params;
+}
+
+}  // namespace salamander

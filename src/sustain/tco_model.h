@@ -1,0 +1,44 @@
+// Total cost of ownership model (paper §4.4, Eq. 4).
+//
+//   TCO(S)/TCO(B) = f_opex + (1 - f_opex) * CRu_{S|B}               (Eq. 4)
+//   CRu = Ru + (1 - Ru) * CE_new * Cap_new
+//
+// CRu folds together the lower replacement rate (Ru) and the cost of buying
+// newer, cheaper baseline SSDs (cost effectiveness CE_new in relative
+// $/TB/year) to backfill the capacity Salamander drives shed during their
+// shrunken phase (Cap_new, fraction of capacity to backfill).
+#ifndef SALAMANDER_SUSTAIN_TCO_MODEL_H_
+#define SALAMANDER_SUSTAIN_TCO_MODEL_H_
+
+namespace salamander {
+
+struct TcoParams {
+  // Fraction of TCO that is operational cost; acquisition dominates for
+  // datacenter devices (~86% [49]), so f_opex = 0.14.
+  double f_opex = 0.14;
+  // Relative SSD upgrade rate (raw, undiscounted: 1/(1+lifetime gain)).
+  double ru = 0.83;
+  // Cost effectiveness of new baseline SSDs bought to backfill shrunken
+  // capacity: $/TB improves ~4x per five-year period [47], so 0.25.
+  double ce_new = 0.25;
+  // Fraction of original capacity that must be backfilled while Salamander
+  // drives run shrunken (average 60% capacity -> backfill 40%).
+  double cap_new = 0.4;
+};
+
+// The combined cost-upgrade rate CRu_{S|B}.
+double CostUpgradeRate(const TcoParams& params);
+
+// Eq. 4: relative TCO of the Salamander deployment (1.0 = baseline).
+double RelativeTco(const TcoParams& params);
+
+// 1 - RelativeTco: the §4.4 cost-savings headline.
+double TcoSavings(const TcoParams& params);
+
+// Canonical parameter sets from the paper.
+TcoParams ShrinkSTcoParams();  // Ru = 1/1.2 ~ 0.83 -> ~13% savings
+TcoParams RegenSTcoParams();   // Ru = 1/1.5 ~ 0.66 -> ~25% savings
+
+}  // namespace salamander
+
+#endif  // SALAMANDER_SUSTAIN_TCO_MODEL_H_

@@ -1,0 +1,113 @@
+#include "workload/aging.h"
+
+#include <cassert>
+
+#include "workload/generators.h"
+
+namespace salamander {
+
+void LiveSetTracker::Apply(const std::vector<MinidiskEvent>& events) {
+  for (const MinidiskEvent& event : events) {
+    switch (event.type) {
+      case MinidiskEventType::kCreated: {
+        ++created_seen_;
+        if (index_.count(event.mdisk) != 0) {
+          break;  // already tracked (bootstrap + event replay)
+        }
+        index_[event.mdisk] = live_.size();
+        live_.push_back(event.mdisk);
+        break;
+      }
+      case MinidiskEventType::kDraining:
+        // A draining mDisk is read-only: treat it as gone for write
+        // targeting. (Hosts that manage drains explicitly use the richer
+        // diFS integration; the aging driver just stops writing it.)
+        [[fallthrough]];
+      case MinidiskEventType::kDecommissioned: {
+        ++decommissioned_seen_;
+        auto it = index_.find(event.mdisk);
+        if (it == index_.end()) {
+          break;  // already removed (e.g. decommission then brick replay)
+        }
+        const size_t pos = it->second;
+        const MinidiskId last = live_.back();
+        live_[pos] = last;
+        index_[last] = pos;
+        live_.pop_back();
+        index_.erase(it);
+        break;
+      }
+    }
+  }
+}
+
+void LiveSetTracker::BootstrapFromDevice(const SsdDevice& device) {
+  for (MinidiskId id = 0; id < device.total_minidisks(); ++id) {
+    if (device.IsMinidiskLive(id) && index_.count(id) == 0) {
+      index_[id] = live_.size();
+      live_.push_back(id);
+    }
+  }
+}
+
+AgingDriver::AgingDriver(SsdDevice* device, uint64_t seed,
+                         const AgingConfig& config)
+    : device_(device), rng_(seed), config_(config) {
+  assert(device_ != nullptr);
+  tracker_.Apply(device_->TakeEvents());  // any pending events first
+  tracker_.BootstrapFromDevice(*device_);  // then the current live set
+}
+
+AgingResult AgingDriver::WriteOPages(uint64_t opages) {
+  AgingResult result;
+  const uint64_t msize = device_->msize_opages();
+  ZipfianGenerator zipf(msize == 0 ? 1 : msize, config_.zipfian_theta);
+  // A real host declares a device dead after persistent errors; this also
+  // guarantees the driver terminates if a device wedges without bricking.
+  constexpr uint64_t kMaxConsecutiveErrors = 1000;
+  uint64_t consecutive_errors = 0;
+  while (result.opages_written < opages) {
+    if (device_->failed() || tracker_.empty()) {
+      result.device_failed = true;
+      break;
+    }
+    MinidiskId mdisk;
+    uint64_t lba;
+    if (config_.working_set_fraction >= 1.0) {
+      mdisk = tracker_.PickRandom(rng_);
+      lba = rng_.Bernoulli(config_.zipfian_fraction) ? zipf.Next(rng_)
+                                                     : rng_.UniformU64(msize);
+    } else {
+      // Restrict to a byte-level prefix of the live capacity (works for one
+      // monolithic volume and for many mDisks alike): the untouched tail
+      // models allocated-but-cold space.
+      const uint64_t total = tracker_.size() * msize;
+      const uint64_t working = std::max<uint64_t>(
+          1, static_cast<uint64_t>(static_cast<double>(total) *
+                                   config_.working_set_fraction));
+      const uint64_t target = rng_.UniformU64(working);
+      mdisk = tracker_.live()[target / msize];
+      lba = target % msize;
+    }
+    StatusOr<SimDuration> status = device_->Write(mdisk, lba);
+    tracker_.Apply(device_->TakeEvents());
+    if (status.ok()) {
+      ++result.opages_written;
+      ++total_written_;
+      consecutive_errors = 0;
+    } else {
+      ++result.write_errors;
+      if (status.status().code() == StatusCode::kDeviceFailed ||
+          ++consecutive_errors >= kMaxConsecutiveErrors) {
+        result.device_failed = true;
+        break;
+      }
+      // A write that failed because its target mDisk just decommissioned is
+      // retried against another mDisk on the next loop iteration.
+    }
+  }
+  result.device_failed |= device_->failed() || tracker_.empty();
+  return result;
+}
+
+}  // namespace salamander

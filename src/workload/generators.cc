@@ -1,0 +1,42 @@
+#include "workload/generators.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace salamander {
+
+ZipfianGenerator::ZipfianGenerator(uint64_t space, double theta)
+    : space_(space), theta_(theta) {
+  assert(space > 0);
+  assert(theta > 0.0 && theta < 1.0);
+  zeta_n_ = Zeta(space, theta);
+  zeta_two_ = Zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(space), 1.0 - theta)) /
+         (1.0 - zeta_two_ / zeta_n_);
+}
+
+double ZipfianGenerator::Zeta(uint64_t n, double theta) {
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+uint64_t ZipfianGenerator::Next(Rng& rng) {
+  const double u = rng.UniformDouble();
+  const double uz = u * zeta_n_;
+  if (uz < 1.0) {
+    return 0;
+  }
+  if (uz < 1.0 + std::pow(0.5, theta_)) {
+    return 1;
+  }
+  const double n = static_cast<double>(space_);
+  const uint64_t item = static_cast<uint64_t>(
+      n * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return item >= space_ ? space_ - 1 : item;
+}
+
+}  // namespace salamander

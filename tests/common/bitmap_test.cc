@@ -1,0 +1,140 @@
+#include "common/bitmap.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace salamander {
+namespace {
+
+TEST(BitmapTest, StartsClear) {
+  Bitmap b(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(b.CountSet(), 0u);
+  for (uint64_t i = 0; i < 100; ++i) {
+    EXPECT_FALSE(b.Test(i));
+  }
+}
+
+TEST(BitmapTest, InitialTrueRespectsSize) {
+  Bitmap b(70, true);
+  EXPECT_EQ(b.CountSet(), 70u);
+}
+
+TEST(BitmapTest, SetClearAssign) {
+  Bitmap b(128);
+  b.Set(0);
+  b.Set(63);
+  b.Set(64);
+  b.Set(127);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(63));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(127));
+  EXPECT_EQ(b.CountSet(), 4u);
+  b.Clear(63);
+  EXPECT_FALSE(b.Test(63));
+  b.Assign(63, true);
+  EXPECT_TRUE(b.Test(63));
+  b.Assign(63, false);
+  EXPECT_FALSE(b.Test(63));
+}
+
+TEST(BitmapTest, CountSetInRange) {
+  Bitmap b(256);
+  for (uint64_t i = 0; i < 256; i += 2) {
+    b.Set(i);
+  }
+  EXPECT_EQ(b.CountSetInRange(0, 256), 128u);
+  EXPECT_EQ(b.CountSetInRange(0, 10), 5u);
+  EXPECT_EQ(b.CountSetInRange(1, 2), 0u);
+  EXPECT_EQ(b.CountSetInRange(60, 70), 5u);
+  EXPECT_EQ(b.CountSetInRange(10, 10), 0u);
+  EXPECT_EQ(b.CountSetInRange(300, 400), 0u);
+  EXPECT_EQ(b.CountSetInRange(250, 400), 3u);  // clamped to size
+}
+
+TEST(BitmapTest, CountSetInRangeCrossWordBoundaries) {
+  Bitmap b(200);
+  b.Set(63);
+  b.Set(64);
+  b.Set(65);
+  EXPECT_EQ(b.CountSetInRange(63, 66), 3u);
+  EXPECT_EQ(b.CountSetInRange(64, 65), 1u);
+  EXPECT_EQ(b.CountSetInRange(0, 64), 1u);
+}
+
+TEST(BitmapTest, FindFirstSet) {
+  Bitmap b(300);
+  EXPECT_EQ(b.FindFirstSet(), 300u);
+  b.Set(137);
+  EXPECT_EQ(b.FindFirstSet(), 137u);
+  EXPECT_EQ(b.FindFirstSet(137), 137u);
+  EXPECT_EQ(b.FindFirstSet(138), 300u);
+  b.Set(5);
+  EXPECT_EQ(b.FindFirstSet(), 5u);
+  EXPECT_EQ(b.FindFirstSet(6), 137u);
+}
+
+TEST(BitmapTest, FindFirstClear) {
+  Bitmap b(130, true);
+  EXPECT_EQ(b.FindFirstClear(), 130u);
+  b.Clear(64);
+  EXPECT_EQ(b.FindFirstClear(), 64u);
+  EXPECT_EQ(b.FindFirstClear(65), 130u);
+  b.Clear(0);
+  EXPECT_EQ(b.FindFirstClear(), 0u);
+  EXPECT_EQ(b.FindFirstClear(1), 64u);
+}
+
+TEST(BitmapTest, SetAllClearAll) {
+  Bitmap b(100);
+  b.SetAll();
+  EXPECT_EQ(b.CountSet(), 100u);
+  b.ClearAll();
+  EXPECT_EQ(b.CountSet(), 0u);
+}
+
+TEST(BitmapTest, ResizePreservesNothingButSetsValue) {
+  Bitmap b(10);
+  b.Set(3);
+  b.Resize(20, true);
+  EXPECT_EQ(b.size(), 20u);
+  EXPECT_EQ(b.CountSet(), 20u);
+}
+
+TEST(BitmapTest, RandomizedAgainstReference) {
+  Rng rng(4242);
+  constexpr uint64_t kSize = 1000;
+  Bitmap b(kSize);
+  std::vector<bool> ref(kSize, false);
+  for (int op = 0; op < 10000; ++op) {
+    const uint64_t i = rng.UniformU64(kSize);
+    if (rng.Bernoulli(0.5)) {
+      b.Set(i);
+      ref[i] = true;
+    } else {
+      b.Clear(i);
+      ref[i] = false;
+    }
+  }
+  uint64_t expected = 0;
+  for (uint64_t i = 0; i < kSize; ++i) {
+    EXPECT_EQ(b.Test(i), ref[i]) << "index " << i;
+    expected += ref[i] ? 1 : 0;
+  }
+  EXPECT_EQ(b.CountSet(), expected);
+  // Cross-check range counts at random boundaries.
+  for (int trial = 0; trial < 100; ++trial) {
+    uint64_t lo = rng.UniformU64(kSize);
+    uint64_t hi = lo + rng.UniformU64(kSize - lo + 1);
+    uint64_t want = 0;
+    for (uint64_t i = lo; i < hi; ++i) {
+      want += ref[i] ? 1 : 0;
+    }
+    EXPECT_EQ(b.CountSetInRange(lo, hi), want) << lo << ".." << hi;
+  }
+}
+
+}  // namespace
+}  // namespace salamander

@@ -1,0 +1,120 @@
+#include "common/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace salamander {
+namespace {
+
+TEST(EventQueueTest, StartsEmptyAtTimeZero) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.Now(), 0u);
+  EXPECT_FALSE(q.Step());
+}
+
+TEST(EventQueueTest, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(30, [&] { order.push_back(3); });
+  q.ScheduleAt(10, [&] { order.push_back(1); });
+  q.ScheduleAt(20, [&] { order.push_back(2); });
+  q.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.Now(), 30u);
+}
+
+TEST(EventQueueTest, TiesFireInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(5, [&] { order.push_back(1); });
+  q.ScheduleAt(5, [&] { order.push_back(2); });
+  q.ScheduleAt(5, [&] { order.push_back(3); });
+  q.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, ScheduleAfterUsesCurrentTime) {
+  EventQueue q;
+  SimTime fired_at = 0;
+  q.ScheduleAt(100, [&] {
+    q.ScheduleAfter(50, [&] { fired_at = q.Now(); });
+  });
+  q.Run();
+  EXPECT_EQ(fired_at, 150u);
+}
+
+TEST(EventQueueTest, CancelPreventsFiring) {
+  EventQueue q;
+  bool fired = false;
+  uint64_t id = q.ScheduleAt(10, [&] { fired = true; });
+  q.Cancel(id);
+  q.Run();
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, CancelUnknownIdIsNoOp) {
+  EventQueue q;
+  q.ScheduleAt(10, [] {});
+  q.Cancel(99999);
+  EXPECT_EQ(q.pending_events(), 1u);
+  q.Run();
+}
+
+TEST(EventQueueTest, CancelFiredIdIsNoOp) {
+  EventQueue q;
+  uint64_t id = q.ScheduleAt(10, [] {});
+  q.Run();
+  q.Cancel(id);  // must not underflow the live counter
+  EXPECT_EQ(q.pending_events(), 0u);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtDeadline) {
+  EventQueue q;
+  int fired = 0;
+  q.ScheduleAt(10, [&] { ++fired; });
+  q.ScheduleAt(20, [&] { ++fired; });
+  q.ScheduleAt(30, [&] { ++fired; });
+  q.RunUntil(20);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.Now(), 20u);
+  EXPECT_EQ(q.pending_events(), 1u);
+  q.RunUntil(100);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueueTest, RunUntilAdvancesClockWhenIdle) {
+  EventQueue q;
+  q.RunUntil(500);
+  EXPECT_EQ(q.Now(), 500u);
+}
+
+TEST(EventQueueTest, EventsCanScheduleMoreEvents) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) {
+      q.ScheduleAfter(1, chain);
+    }
+  };
+  q.ScheduleAt(0, chain);
+  q.Run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(q.Now(), 4u);
+}
+
+TEST(EventQueueTest, PendingEventsTracksLiveCount) {
+  EventQueue q;
+  uint64_t a = q.ScheduleAt(1, [] {});
+  q.ScheduleAt(2, [] {});
+  EXPECT_EQ(q.pending_events(), 2u);
+  q.Cancel(a);
+  EXPECT_EQ(q.pending_events(), 1u);
+  q.Step();
+  EXPECT_EQ(q.pending_events(), 0u);
+}
+
+}  // namespace
+}  // namespace salamander

@@ -1,0 +1,172 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace salamander {
+namespace {
+
+TEST(LogHistogramTest, EmptyHistogram) {
+  LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.P50(), 0u);
+}
+
+TEST(LogHistogramTest, SingleValue) {
+  LogHistogram h;
+  h.Record(1000);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 1000u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_EQ(h.Mean(), 1000.0);
+  // Quantiles land in the bucket containing 1000; <=3.2% relative error.
+  EXPECT_NEAR(static_cast<double>(h.P50()), 1000.0, 35.0);
+}
+
+TEST(LogHistogramTest, ZeroValueHasExactBucket) {
+  LogHistogram h;
+  h.RecordN(0, 10);
+  EXPECT_EQ(h.P50(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(LogHistogramTest, MeanIsExact) {
+  LogHistogram h;
+  h.Record(10);
+  h.Record(20);
+  h.Record(30);
+  EXPECT_DOUBLE_EQ(h.Mean(), 20.0);
+}
+
+TEST(LogHistogramTest, QuantileRelativeErrorBounded) {
+  LogHistogram h(32);
+  Rng rng(77);
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 50000; ++i) {
+    uint64_t v = 1 + rng.UniformU64(1000000);
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.5, 0.9, 0.95, 0.99}) {
+    const uint64_t exact = values[static_cast<size_t>(q * (values.size() - 1))];
+    const uint64_t approx = h.Quantile(q);
+    EXPECT_NEAR(static_cast<double>(approx), static_cast<double>(exact),
+                0.05 * static_cast<double>(exact))
+        << "q=" << q;
+  }
+}
+
+TEST(LogHistogramTest, QuantileEdgeValues) {
+  LogHistogram h;
+  for (uint64_t v = 1; v <= 100; ++v) {
+    h.Record(v);
+  }
+  EXPECT_EQ(h.Quantile(0.0), 1u);
+  EXPECT_EQ(h.Quantile(1.0), 100u);
+}
+
+TEST(LogHistogramTest, RecordNEquivalentToLoop) {
+  LogHistogram a;
+  LogHistogram b;
+  a.RecordN(500, 100);
+  for (int i = 0; i < 100; ++i) {
+    b.Record(500);
+  }
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.P50(), b.P50());
+  EXPECT_EQ(a.Mean(), b.Mean());
+}
+
+TEST(LogHistogramTest, MergeCombines) {
+  LogHistogram a;
+  LogHistogram b;
+  a.Record(10);
+  b.Record(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 1000u);
+}
+
+TEST(LogHistogramTest, ResetClears) {
+  LogHistogram h;
+  h.Record(42);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(LogHistogramTest, LargeValuesDoNotOverflowBuckets) {
+  LogHistogram h;
+  h.Record(UINT64_MAX / 2);
+  h.Record(UINT64_MAX);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), UINT64_MAX);
+  EXPECT_GE(h.Quantile(1.0), UINT64_MAX / 2);
+}
+
+TEST(RunningStatsTest, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.Variance(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownSequence) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Record(v);
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of this classic sequence is 32/7.
+  EXPECT_NEAR(s.Variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, SingleValueHasZeroVariance) {
+  RunningStats s;
+  s.Record(3.14);
+  EXPECT_EQ(s.Variance(), 0.0);
+  EXPECT_EQ(s.mean(), 3.14);
+}
+
+TEST(RunningStatsTest, NumericallyStableForLargeOffsets) {
+  RunningStats s;
+  // Welford handles a large common offset without catastrophic cancellation.
+  for (int i = 0; i < 1000; ++i) {
+    s.Record(1e9 + (i % 2 == 0 ? 1.0 : -1.0));
+  }
+  EXPECT_NEAR(s.mean(), 1e9, 1e-3);
+  EXPECT_NEAR(s.Variance(), 1.001, 0.01);
+}
+
+TEST(TimeSeriesTest, InterpolationBasics) {
+  TimeSeries ts("capacity");
+  ts.Add(0.0, 100.0);
+  ts.Add(10.0, 0.0);
+  EXPECT_DOUBLE_EQ(ts.Interpolate(5.0), 50.0);
+  EXPECT_DOUBLE_EQ(ts.Interpolate(-1.0), 100.0);  // clamp left
+  EXPECT_DOUBLE_EQ(ts.Interpolate(20.0), 0.0);    // clamp right
+}
+
+TEST(TimeSeriesTest, EmptySeries) {
+  TimeSeries ts("empty");
+  EXPECT_TRUE(ts.empty());
+  EXPECT_EQ(ts.Interpolate(1.0), 0.0);
+}
+
+TEST(TimeSeriesTest, DuplicateXHandled) {
+  TimeSeries ts("step");
+  ts.Add(1.0, 5.0);
+  ts.Add(1.0, 7.0);
+  EXPECT_DOUBLE_EQ(ts.Interpolate(1.0), 5.0);
+}
+
+}  // namespace
+}  // namespace salamander

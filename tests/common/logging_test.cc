@@ -1,0 +1,63 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace salamander {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(GetLogLevel()) {}
+  ~LogLevelGuard() { SetLogLevel(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(LoggingTest, DefaultLevelIsWarning) {
+  LogLevelGuard guard;
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+}
+
+TEST(LoggingTest, SetLevelRoundTrips) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+}
+
+TEST(LoggingTest, MacroCompilesAndStreams) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kError);  // suppress actual output
+  // The streamed expression must still be well-formed for all levels.
+  SALA_LOG(kDebug) << "value=" << 42;
+  SALA_LOG(kInfo) << "pi=" << 3.14;
+  SALA_LOG(kWarning) << "warn " << std::string("msg");
+}
+
+TEST(UnitsTest, ByteConstants) {
+  EXPECT_EQ(kKiB, 1024u);
+  EXPECT_EQ(kMiB, 1024u * 1024);
+  EXPECT_EQ(kGiB, 1024u * 1024 * 1024);
+  EXPECT_EQ(kTiB, 1024ull * kGiB);
+}
+
+TEST(UnitsTest, TimeConstants) {
+  EXPECT_EQ(kSecond, 1000000000ull);
+  EXPECT_EQ(kDay, 86400ull * kSecond);
+  EXPECT_EQ(kYear, 365ull * kDay);
+}
+
+TEST(UnitsTest, Conversions) {
+  EXPECT_DOUBLE_EQ(ToDays(kDay), 1.0);
+  EXPECT_DOUBLE_EQ(ToDays(kDay / 2), 0.5);
+  EXPECT_DOUBLE_EQ(ToYears(kYear), 1.0);
+  EXPECT_DOUBLE_EQ(ToGiB(kGiB), 1.0);
+  EXPECT_DOUBLE_EQ(ToGiB(512 * kMiB), 0.5);
+}
+
+}  // namespace
+}  // namespace salamander

@@ -1,0 +1,224 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace salamander {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, UniformU64RespectsBound) {
+  Rng rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.UniformU64(bound), bound);
+    }
+  }
+  EXPECT_EQ(rng.UniformU64(0), 0u);
+}
+
+TEST(RngTest, UniformU64IsRoughlyUniform) {
+  Rng rng(99);
+  constexpr uint64_t kBuckets = 10;
+  constexpr int kSamples = 100000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[rng.UniformU64(kBuckets)];
+  }
+  // Each bucket expects 10000; allow 5 sigma (~sqrt(9000) ~ 95 -> 475).
+  for (uint64_t b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(counts[b], kSamples / kBuckets, 500) << "bucket " << b;
+  }
+}
+
+TEST(RngTest, UniformInRangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.UniformInRange(10, 12);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 12u);
+    saw_lo |= (v == 10);
+    saw_hi |= (v == 12);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.UniformDouble();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, NormalHasExpectedMoments) {
+  Rng rng(11);
+  double sum = 0;
+  double sum_sq = 0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    double x = rng.Normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kN, 1.0, 0.03);
+}
+
+TEST(RngTest, NormalWithParams) {
+  Rng rng(13);
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    sum += rng.Normal(5.0, 2.0);
+  }
+  EXPECT_NEAR(sum / kN, 5.0, 0.05);
+}
+
+TEST(RngTest, LogNormalMedian) {
+  Rng rng(17);
+  // Median of LogNormal(mu, sigma) is exp(mu).
+  constexpr int kN = 100001;
+  std::vector<double> samples(kN);
+  for (auto& s : samples) {
+    s = rng.LogNormal(1.0, 0.5);
+  }
+  std::nth_element(samples.begin(), samples.begin() + kN / 2, samples.end());
+  EXPECT_NEAR(samples[kN / 2], std::exp(1.0), 0.1);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(19);
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    double x = rng.Exponential(2.0);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-0.5));
+    EXPECT_TRUE(rng.Bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(29);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    hits += rng.Bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(RngTest, BinomialEdgeCases) {
+  Rng rng(31);
+  EXPECT_EQ(rng.Binomial(0, 0.5), 0u);
+  EXPECT_EQ(rng.Binomial(100, 0.0), 0u);
+  EXPECT_EQ(rng.Binomial(100, 1.0), 100u);
+}
+
+// Binomial mean across all three internal sampling regimes
+// (exact trials, Poisson limit, normal approximation).
+struct BinomialCase {
+  uint64_t n;
+  double p;
+};
+
+class RngBinomialTest : public ::testing::TestWithParam<BinomialCase> {};
+
+TEST_P(RngBinomialTest, MeanMatches) {
+  const auto [n, p] = GetParam();
+  Rng rng(1234 + n);
+  double sum = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    uint64_t draw = rng.Binomial(n, p);
+    ASSERT_LE(draw, n);
+    sum += static_cast<double>(draw);
+  }
+  const double mean = static_cast<double>(n) * p;
+  const double sigma = std::sqrt(mean * (1 - p) / kTrials);
+  EXPECT_NEAR(sum / kTrials, mean, std::max(6 * sigma, 0.02 * mean + 0.05));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regimes, RngBinomialTest,
+    ::testing::Values(BinomialCase{32, 0.25},        // exact path
+                      BinomialCase{100000, 1e-4},    // Poisson path
+                      BinomialCase{100000, 0.002},   // normal path
+                      BinomialCase{131072, 0.001}),  // flash page regime
+    [](const ::testing::TestParamInfo<BinomialCase>& param_info) {
+      return "n" + std::to_string(param_info.param.n) + "_p" +
+             std::to_string(static_cast<int>(param_info.param.p * 1e6));
+    });
+
+TEST(RngTest, PoissonMean) {
+  Rng rng(37);
+  for (double lambda : {0.5, 5.0, 50.0}) {
+    double sum = 0;
+    constexpr int kN = 50000;
+    for (int i = 0; i < kN; ++i) {
+      sum += static_cast<double>(rng.Poisson(lambda));
+    }
+    EXPECT_NEAR(sum / kN, lambda, 0.05 * lambda + 0.05) << "lambda=" << lambda;
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentDeterministicStream) {
+  Rng parent1(55);
+  Rng parent2(55);
+  Rng child1 = parent1.Fork();
+  Rng child2 = parent2.Fork();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(child1.NextU64(), child2.NextU64());
+  }
+  // Child stream differs from parent's continued stream.
+  Rng parent3(55);
+  Rng child3 = parent3.Fork();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent3.NextU64() == child3.NextU64()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 2);
+}
+
+}  // namespace
+}  // namespace salamander

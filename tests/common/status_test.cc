@@ -1,0 +1,97 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace salamander {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = DataLossError("page 42 uncorrectable");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(s.message(), "page 42 uncorrectable");
+  EXPECT_EQ(s.ToString(), "DATA_LOSS: page 42 uncorrectable");
+}
+
+TEST(StatusTest, EqualityComparesCodeOnly) {
+  EXPECT_EQ(DataLossError("a"), DataLossError("b"));
+  EXPECT_FALSE(DataLossError("a") == NotFoundError("a"));
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_NE(StatusCodeName(static_cast<StatusCode>(c)), "UNKNOWN");
+  }
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> so(42);
+  ASSERT_TRUE(so.ok());
+  EXPECT_EQ(so.value(), 42);
+  EXPECT_EQ(*so, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> so = NotFoundError("nope");
+  EXPECT_FALSE(so.ok());
+  EXPECT_EQ(so.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(so.value_or(-1), -1);
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> so(std::make_unique<int>(7));
+  ASSERT_TRUE(so.ok());
+  auto ptr = std::move(so).value();
+  EXPECT_EQ(*ptr, 7);
+}
+
+StatusOr<int> Half(int x) {
+  if (x % 2 != 0) {
+    return InvalidArgumentError("odd");
+  }
+  return x / 2;
+}
+
+Status Quarter(int x, int* out) {
+  SALA_ASSIGN_OR_RETURN(int half, Half(x));
+  SALA_ASSIGN_OR_RETURN(int quarter, Half(half));
+  *out = quarter;
+  return OkStatus();
+}
+
+TEST(StatusMacrosTest, AssignOrReturnPropagates) {
+  int out = 0;
+  EXPECT_TRUE(Quarter(8, &out).ok());
+  EXPECT_EQ(out, 2);
+  EXPECT_EQ(Quarter(6, &out).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Quarter(7, &out).code(), StatusCode::kInvalidArgument);
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) {
+    return OutOfRangeError("negative");
+  }
+  return OkStatus();
+}
+
+Status CheckAll(int a, int b) {
+  SALA_RETURN_IF_ERROR(FailIfNegative(a));
+  SALA_RETURN_IF_ERROR(FailIfNegative(b));
+  return OkStatus();
+}
+
+TEST(StatusMacrosTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(CheckAll(1, 2).ok());
+  EXPECT_EQ(CheckAll(-1, 2).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(CheckAll(1, -2).code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace salamander

@@ -1,0 +1,209 @@
+// Grace-period (draining) decommissioning tests — §4.3 future work.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/minidisk_manager.h"
+#include "tests/testing/device_builder.h"
+
+namespace salamander {
+namespace {
+
+using testing_util::TestFtlConfig;
+using testing_util::TinyGeometry;
+
+struct Rig {
+  std::unique_ptr<Ftl> ftl;
+  std::unique_ptr<MinidiskManager> manager;
+};
+
+Rig MakeDrainRig(uint32_t nominal_pec, uint32_t max_draining = 4) {
+  Rig rig;
+  FtlConfig ftl_config = TestFtlConfig(TinyGeometry(), nominal_pec);
+  rig.ftl = std::make_unique<Ftl>(ftl_config);
+  MinidiskConfig md_config;
+  md_config.msize_opages = 64;
+  md_config.drain_before_decommission = true;
+  md_config.max_draining = max_draining;
+  rig.manager = std::make_unique<MinidiskManager>(rig.ftl.get(), md_config);
+  return rig;
+}
+
+// Ages until the first drain starts; returns the draining mDisk id.
+MinidiskId AgeUntilDraining(Rig& rig, uint64_t max_writes = 3000000) {
+  Rng rng(55);
+  uint64_t writes = 0;
+  while (rig.manager->draining_minidisks() == 0 && writes < max_writes) {
+    MinidiskId md = UINT32_MAX;
+    for (MinidiskId i = 0; i < rig.manager->total_minidisks(); ++i) {
+      if (rig.manager->IsLive(i)) {
+        md = i;
+        break;
+      }
+    }
+    if (md == UINT32_MAX) {
+      break;
+    }
+    (void)rig.manager->Write(md, rng.UniformU64(64));
+    ++writes;
+  }
+  for (MinidiskId i = 0; i < rig.manager->total_minidisks(); ++i) {
+    if (rig.manager->minidisk(i).state == MinidiskState::kDraining) {
+      return i;
+    }
+  }
+  return UINT32_MAX;
+}
+
+TEST(DrainTest, WearTriggersDrainingInsteadOfImmediateTrim) {
+  Rig rig = MakeDrainRig(/*nominal_pec=*/20);
+  const MinidiskId draining = AgeUntilDraining(rig);
+  ASSERT_NE(draining, UINT32_MAX) << "no drain started";
+  EXPECT_GE(rig.manager->draining_minidisks(), 1u);
+  // A kDraining event must have been emitted for it.
+  bool saw_draining_event = false;
+  for (const MinidiskEvent& event : rig.manager->TakeEvents()) {
+    if (event.type == MinidiskEventType::kDraining &&
+        event.mdisk == draining) {
+      saw_draining_event = true;
+    }
+  }
+  EXPECT_TRUE(saw_draining_event);
+}
+
+TEST(DrainTest, DrainingMinidiskIsReadOnly) {
+  Rig rig = MakeDrainRig(/*nominal_pec=*/20);
+  // Seed some data everywhere so the draining victim has content.
+  for (MinidiskId md = 0; md < rig.manager->total_minidisks(); ++md) {
+    for (uint64_t lba = 0; lba < 8; ++lba) {
+      ASSERT_TRUE(rig.manager->Write(md, lba).ok());
+    }
+  }
+  const MinidiskId draining = AgeUntilDraining(rig);
+  ASSERT_NE(draining, UINT32_MAX);
+  // Reads still work (data is maintained during the grace period)...
+  bool any_read_ok = false;
+  for (uint64_t lba = 0; lba < 64; ++lba) {
+    if (rig.manager->Read(draining, lba).ok()) {
+      any_read_ok = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_read_ok);
+  // ...but writes are rejected.
+  auto write = rig.manager->Write(draining, 0);
+  EXPECT_FALSE(write.ok());
+  EXPECT_EQ(write.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DrainTest, AckDrainReclaimsAndEmitsDecommissioned) {
+  Rig rig = MakeDrainRig(/*nominal_pec=*/20);
+  const MinidiskId draining = AgeUntilDraining(rig);
+  ASSERT_NE(draining, UINT32_MAX);
+  rig.manager->TakeEvents();
+
+  ASSERT_TRUE(rig.manager->AckDrain(draining).ok());
+  EXPECT_EQ(rig.manager->minidisk(draining).state,
+            MinidiskState::kDecommissioned);
+  EXPECT_EQ(rig.manager->Read(draining, 0).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(rig.manager->drains_forced(), 0u);
+
+  bool saw_decommissioned = false;
+  for (const MinidiskEvent& event : rig.manager->TakeEvents()) {
+    if (event.type == MinidiskEventType::kDecommissioned &&
+        event.mdisk == draining) {
+      saw_decommissioned = true;
+    }
+  }
+  EXPECT_TRUE(saw_decommissioned);
+}
+
+TEST(DrainTest, AckDrainValidation) {
+  Rig rig = MakeDrainRig(/*nominal_pec=*/1000000);
+  EXPECT_EQ(rig.manager->AckDrain(9999).code(), StatusCode::kNotFound);
+  EXPECT_EQ(rig.manager->AckDrain(0).code(),
+            StatusCode::kFailedPrecondition);  // live, not draining
+}
+
+TEST(DrainTest, UnackedDeviceEndsReadOnlyNotWedged) {
+  // Never ack; write until the device runs out of live capacity. Shedding
+  // prefers live victims over force-closing grace windows, so the device
+  // must end in a read-only state: zero live mDisks, the (bounded) set of
+  // draining mDisks still readable, and no wedge.
+  Rig rig = MakeDrainRig(/*nominal_pec=*/15, /*max_draining=*/2);
+  Rng rng(77);
+  uint64_t writes = 0;
+  for (; writes < 3000000; ++writes) {
+    MinidiskId md = UINT32_MAX;
+    for (MinidiskId i = 0; i < rig.manager->total_minidisks(); ++i) {
+      if (rig.manager->IsLive(i)) {
+        md = i;
+        break;
+      }
+    }
+    if (md == UINT32_MAX) {
+      break;  // no live mDisks left: end of writable life
+    }
+    (void)rig.manager->Write(md, rng.UniformU64(64));
+    ASSERT_LE(rig.manager->draining_minidisks(), 2u);
+  }
+  EXPECT_EQ(rig.manager->live_minidisks(), 0u);
+  EXPECT_GT(rig.manager->draining_minidisks(), 0u);
+  // The grace windows survived: acking them still works.
+  for (MinidiskId i = 0; i < rig.manager->total_minidisks(); ++i) {
+    if (rig.manager->minidisk(i).state == MinidiskState::kDraining) {
+      EXPECT_TRUE(rig.manager->AckDrain(i).ok());
+    }
+  }
+  EXPECT_EQ(rig.manager->draining_minidisks(), 0u);
+}
+
+TEST(DrainTest, DrainingBoundedByConfig) {
+  Rig rig = MakeDrainRig(/*nominal_pec=*/15, /*max_draining=*/3);
+  Rng rng(88);
+  for (uint64_t writes = 0; writes < 2000000; ++writes) {
+    MinidiskId md = UINT32_MAX;
+    for (MinidiskId i = 0; i < rig.manager->total_minidisks(); ++i) {
+      if (rig.manager->IsLive(i)) {
+        md = i;
+        break;
+      }
+    }
+    if (md == UINT32_MAX) {
+      break;
+    }
+    (void)rig.manager->Write(md, rng.UniformU64(64));
+    ASSERT_LE(rig.manager->draining_minidisks(), 3u);
+  }
+}
+
+TEST(DrainTest, DisabledByDefault) {
+  // Without the grace flag, decommissions go straight to kDecommissioned and
+  // no kDraining events appear (regression guard for the base design).
+  FtlConfig ftl_config = TestFtlConfig(TinyGeometry(), /*nominal_pec=*/15);
+  Ftl ftl(ftl_config);
+  MinidiskConfig md_config;
+  md_config.msize_opages = 64;
+  MinidiskManager manager(&ftl, md_config);
+  Rng rng(99);
+  uint64_t writes = 0;
+  while (manager.decommissioned_total() < 2 && writes < 2000000 &&
+         manager.live_minidisks() > 0) {
+    MinidiskId md = 0;
+    for (MinidiskId i = 0; i < manager.total_minidisks(); ++i) {
+      if (manager.IsLive(i)) {
+        md = i;
+        break;
+      }
+    }
+    (void)manager.Write(md, rng.UniformU64(64));
+    ++writes;
+  }
+  EXPECT_EQ(manager.draining_minidisks(), 0u);
+  for (const MinidiskEvent& event : manager.TakeEvents()) {
+    EXPECT_NE(event.type, MinidiskEventType::kDraining);
+  }
+}
+
+}  // namespace
+}  // namespace salamander

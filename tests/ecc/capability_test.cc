@@ -1,0 +1,139 @@
+#include "ecc/capability.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "ecc/bch.h"
+
+namespace salamander {
+namespace {
+
+TEST(EccStripeConfigTest, DefaultsMatchPaperRunningExample) {
+  EccStripeConfig cfg;
+  // 1 KiB data + 128 B parity (one quarter of a 512 B oPage spare share).
+  EXPECT_EQ(cfg.data_bits(), 8192u);
+  EXPECT_EQ(cfg.parity_bits(), 1024u);
+  EXPECT_EQ(cfg.codeword_bits(), 9216u);
+  EXPECT_EQ(cfg.correctable_bits(), 1024u / 14);
+  EXPECT_NEAR(cfg.code_rate(), 1024.0 / 1152.0, 1e-12);
+}
+
+TEST(StripeUncorrectableProbTest, ZeroRberIsZero) {
+  EXPECT_EQ(StripeUncorrectableProb(9216, 73, 0.0), 0.0);
+}
+
+TEST(StripeUncorrectableProbTest, FullRberIsOne) {
+  EXPECT_EQ(StripeUncorrectableProb(9216, 73, 1.0), 1.0);
+}
+
+TEST(StripeUncorrectableProbTest, MonotoneInRber) {
+  double prev = 0.0;
+  for (double rber = 1e-4; rber < 2e-2; rber *= 1.5) {
+    double p = StripeUncorrectableProb(9216, 73, rber);
+    EXPECT_GE(p, prev) << "rber=" << rber;
+    prev = p;
+  }
+}
+
+TEST(StripeUncorrectableProbTest, MonotoneDecreasingInT) {
+  double prev = 1.0;
+  for (uint32_t t = 10; t <= 200; t += 10) {
+    double p = StripeUncorrectableProb(9216, t, 5e-3);
+    EXPECT_LE(p, prev) << "t=" << t;
+    prev = p;
+  }
+}
+
+TEST(StripeUncorrectableProbTest, MatchesDirectSumForSmallCode) {
+  // n=15, t=2, p=0.1: tail = 1 - sum_{k=0..2} C(15,k) p^k q^(15-k).
+  const double p = 0.1;
+  const double q = 0.9;
+  double head = 0.0;
+  double c = 1.0;  // C(15, k)
+  for (uint32_t k = 0; k <= 2; ++k) {
+    head += c * std::pow(p, k) * std::pow(q, 15 - k);
+    c = c * (15.0 - k) / (k + 1.0);
+  }
+  EXPECT_NEAR(StripeUncorrectableProb(15, 2, p), 1.0 - head, 1e-12);
+}
+
+TEST(StripeUncorrectableProbTest, NearZeroWellBelowCapability) {
+  // mean errors = 9216 * 1e-4 ~ 0.9, t = 73: essentially never fails.
+  EXPECT_LT(StripeUncorrectableProb(9216, 73, 1e-4), 1e-30);
+}
+
+TEST(StripeUncorrectableProbTest, NearOneWellAboveCapability) {
+  // mean errors = 9216 * 0.05 ~ 460 >> t = 73.
+  EXPECT_GT(StripeUncorrectableProb(9216, 73, 0.05), 0.999999);
+}
+
+TEST(PageUncorrectableProbTest, SingleStripeMatches) {
+  const double per_stripe = StripeUncorrectableProb(9216, 73, 6e-3);
+  EXPECT_NEAR(PageUncorrectableProb(9216, 73, 1, 6e-3), per_stripe,
+              per_stripe * 1e-9);
+}
+
+TEST(PageUncorrectableProbTest, MultiStripeUnionBound) {
+  const double one = PageUncorrectableProb(9216, 73, 1, 6e-3);
+  const double sixteen = PageUncorrectableProb(9216, 73, 16, 6e-3);
+  EXPECT_GT(sixteen, one);
+  EXPECT_LE(sixteen, 16.0 * one * 1.0001);
+}
+
+TEST(MaxTolerableRberTest, InverseOfFailProbability) {
+  const uint32_t n = 9216;
+  const uint32_t t = 73;
+  const double target = 1e-11;
+  const double rber = MaxTolerableRber(n, t, target);
+  EXPECT_GT(rber, 0.0);
+  EXPECT_LT(rber, 0.5);
+  EXPECT_LE(StripeUncorrectableProb(n, t, rber), target * 1.01);
+  // Slightly above the threshold must violate the target.
+  EXPECT_GT(StripeUncorrectableProb(n, t, rber * 1.05), target);
+}
+
+TEST(MaxTolerableRberTest, MoreParityToleratesMoreErrors) {
+  const double rber_t73 = MaxTolerableRber(9216, 73, 1e-11);
+  const double rber_t292 = MaxTolerableRber(12288, 292, 1e-11);
+  // The L1 stripe (4x parity) must tolerate substantially higher RBER.
+  EXPECT_GT(rber_t292, 2.0 * rber_t73);
+}
+
+TEST(MaxTolerableRberTest, DegenerateFullCorrection) {
+  EXPECT_EQ(MaxTolerableRber(100, 100, 1e-11), 1.0);
+}
+
+// Cross-validation: the closed-form tolerable RBER, fed through the *real*
+// BCH codec as an error-injection rate, must essentially never produce a
+// decode failure (validated at a looser target for test runtime).
+TEST(CapabilityCrossValidationTest, RealCodecSurvivesModelRber) {
+  const unsigned m = 10;  // n = 1023
+  const unsigned t = 20;
+  BchCode code(m, t);
+  const double rber = MaxTolerableRber(code.n(), t, 1e-3);
+  Rng rng(31337);
+  unsigned failures = 0;
+  const int kTrials = 300;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    std::vector<uint8_t> data(code.k());
+    for (auto& b : data) {
+      b = static_cast<uint8_t>(rng.NextU64() & 1);
+    }
+    auto codeword = code.Encode(data);
+    for (auto& bit : codeword) {
+      if (rng.Bernoulli(rber)) {
+        bit ^= 1u;
+      }
+    }
+    if (!code.Decode(codeword).ok) {
+      ++failures;
+    }
+  }
+  // Expected failures ~ kTrials * 1e-3 = 0.3; allow a little slack.
+  EXPECT_LE(failures, 3u);
+}
+
+}  // namespace
+}  // namespace salamander

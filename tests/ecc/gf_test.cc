@@ -1,0 +1,124 @@
+#include "ecc/gf.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace salamander {
+namespace {
+
+TEST(GaloisFieldTest, OrderMatchesFieldSize) {
+  for (unsigned m = 3; m <= 15; ++m) {
+    GaloisField gf(m);
+    EXPECT_EQ(gf.order(), (1u << m) - 1) << "m=" << m;
+  }
+}
+
+TEST(GaloisFieldTest, RejectsOutOfRangeM) {
+  EXPECT_THROW(GaloisField(2), std::invalid_argument);
+  EXPECT_THROW(GaloisField(16), std::invalid_argument);
+}
+
+TEST(GaloisFieldTest, AlphaGeneratesFullGroup) {
+  GaloisField gf(8);
+  // alpha^i must hit each nonzero element exactly once over a full period.
+  std::vector<bool> seen(256, false);
+  for (uint32_t i = 0; i < gf.order(); ++i) {
+    uint16_t x = gf.AlphaPow(i);
+    ASSERT_NE(x, 0u);
+    ASSERT_LT(x, 256u);
+    EXPECT_FALSE(seen[x]) << "duplicate at exponent " << i;
+    seen[x] = true;
+  }
+}
+
+TEST(GaloisFieldTest, LogIsInverseOfAlphaPow) {
+  GaloisField gf(10);
+  for (uint32_t i = 0; i < gf.order(); ++i) {
+    EXPECT_EQ(gf.Log(gf.AlphaPow(i)), i);
+  }
+}
+
+TEST(GaloisFieldTest, AdditionIsXor) {
+  GaloisField gf(5);
+  EXPECT_EQ(gf.Add(0b10101, 0b01111), 0b11010);
+  EXPECT_EQ(gf.Add(7, 7), 0);  // char 2: x + x = 0
+}
+
+TEST(GaloisFieldTest, MultiplicationByZeroAndOne) {
+  GaloisField gf(8);
+  for (uint16_t x = 0; x < 256; ++x) {
+    EXPECT_EQ(gf.Mul(x, 0), 0);
+    EXPECT_EQ(gf.Mul(0, x), 0);
+    EXPECT_EQ(gf.Mul(x, 1), x);
+    EXPECT_EQ(gf.Mul(1, x), x);
+  }
+}
+
+TEST(GaloisFieldTest, MultiplicationCommutesAndAssociates) {
+  GaloisField gf(6);
+  for (uint16_t a = 1; a < 64; a += 5) {
+    for (uint16_t b = 1; b < 64; b += 7) {
+      EXPECT_EQ(gf.Mul(a, b), gf.Mul(b, a));
+      for (uint16_t c = 1; c < 64; c += 11) {
+        EXPECT_EQ(gf.Mul(gf.Mul(a, b), c), gf.Mul(a, gf.Mul(b, c)));
+      }
+    }
+  }
+}
+
+TEST(GaloisFieldTest, DistributivityOverAddition) {
+  GaloisField gf(7);
+  for (uint16_t a = 1; a < 128; a += 13) {
+    for (uint16_t b = 0; b < 128; b += 9) {
+      for (uint16_t c = 0; c < 128; c += 17) {
+        EXPECT_EQ(gf.Mul(a, gf.Add(b, c)),
+                  gf.Add(gf.Mul(a, b), gf.Mul(a, c)));
+      }
+    }
+  }
+}
+
+TEST(GaloisFieldTest, InverseRoundTrips) {
+  GaloisField gf(9);
+  for (uint16_t x = 1; x < (1u << 9); ++x) {
+    EXPECT_EQ(gf.Mul(x, gf.Inv(x)), 1) << "x=" << x;
+  }
+}
+
+TEST(GaloisFieldTest, DivisionIsMulByInverse) {
+  GaloisField gf(8);
+  for (uint16_t a = 1; a < 256; a += 3) {
+    for (uint16_t b = 1; b < 256; b += 5) {
+      EXPECT_EQ(gf.Div(a, b), gf.Mul(a, gf.Inv(b)));
+    }
+  }
+  EXPECT_EQ(gf.Div(0, 17), 0);
+}
+
+TEST(GaloisFieldTest, PowMatchesRepeatedMultiplication) {
+  GaloisField gf(8);
+  const uint16_t a = 0x53;
+  uint16_t acc = 1;
+  for (uint32_t e = 0; e < 300; ++e) {
+    EXPECT_EQ(gf.Pow(a, e), acc) << "e=" << e;
+    acc = gf.Mul(acc, a);
+  }
+}
+
+TEST(GaloisFieldTest, PowOfZero) {
+  GaloisField gf(4);
+  EXPECT_EQ(gf.Pow(0, 0), 1);
+  EXPECT_EQ(gf.Pow(0, 5), 0);
+}
+
+// Fermat's little theorem for GF(2^m): x^(2^m - 1) == 1 for x != 0.
+TEST(GaloisFieldTest, ElementOrderDividesGroupOrder) {
+  GaloisField gf(11);
+  for (uint16_t x = 1; x < (1u << 11); x += 37) {
+    EXPECT_EQ(gf.Pow(x, gf.order()), 1) << "x=" << x;
+  }
+}
+
+}  // namespace
+}  // namespace salamander

@@ -1,0 +1,100 @@
+#include "ecc/tiredness.h"
+
+#include <gtest/gtest.h>
+
+namespace salamander {
+namespace {
+
+TEST(TirednessTest, L0MatchesPaperRunningExample) {
+  FPageEccGeometry geo;
+  auto l0 = ComputeTirednessLevel(geo, 0);
+  EXPECT_EQ(l0.level, 0u);
+  EXPECT_EQ(l0.data_opages, 4u);
+  EXPECT_EQ(l0.data_bytes, 16384u);
+  EXPECT_EQ(l0.ecc_bytes, 2048u);
+  // Paper: "a typical flash page spare code rate is 88%" [13].
+  EXPECT_NEAR(l0.code_rate, 16384.0 / 18432.0, 1e-12);
+  EXPECT_NEAR(l0.code_rate, 0.888, 0.001);
+  EXPECT_EQ(l0.stripes, 16u);
+  EXPECT_EQ(l0.parity_bytes_per_stripe, 128u);
+}
+
+TEST(TirednessTest, L1SacrificesOneOPage) {
+  FPageEccGeometry geo;
+  auto l1 = ComputeTirednessLevel(geo, 1);
+  EXPECT_EQ(l1.data_opages, 3u);
+  EXPECT_EQ(l1.data_bytes, 12288u);
+  EXPECT_EQ(l1.ecc_bytes, 2048u + 4096u);
+  EXPECT_NEAR(l1.code_rate, 12288.0 / 18432.0, 1e-12);
+  EXPECT_EQ(l1.stripes, 12u);
+  EXPECT_EQ(l1.parity_bytes_per_stripe, 512u);
+}
+
+TEST(TirednessTest, TerminalLevelHasNoCapacity) {
+  FPageEccGeometry geo;
+  auto l4 = ComputeTirednessLevel(geo, 4);
+  EXPECT_EQ(l4.data_opages, 0u);
+  EXPECT_EQ(l4.data_bytes, 0u);
+  EXPECT_EQ(l4.max_tolerable_rber, 0.0);
+}
+
+TEST(TirednessTest, LevelsBeyondMaxClampToTerminal) {
+  FPageEccGeometry geo;
+  auto beyond = ComputeTirednessLevel(geo, 9);
+  EXPECT_EQ(beyond.level, geo.opages_per_fpage);
+  EXPECT_EQ(beyond.data_bytes, 0u);
+}
+
+TEST(TirednessTest, CodeRateStrictlyDecreasesWithLevel) {
+  FPageEccGeometry geo;
+  auto ladder = ComputeTirednessLadder(geo);
+  ASSERT_EQ(ladder.size(), 5u);
+  for (size_t l = 1; l + 1 < ladder.size(); ++l) {
+    EXPECT_LT(ladder[l].code_rate, ladder[l - 1].code_rate) << "L" << l;
+  }
+}
+
+TEST(TirednessTest, TolerableRberStrictlyIncreasesWithLevel) {
+  FPageEccGeometry geo;
+  auto ladder = ComputeTirednessLadder(geo);
+  for (size_t l = 1; l + 1 < ladder.size(); ++l) {
+    EXPECT_GT(ladder[l].max_tolerable_rber, ladder[l - 1].max_tolerable_rber)
+        << "L" << l;
+  }
+}
+
+TEST(TirednessTest, CorrectionCapabilityScalesWithRepurposedPages) {
+  FPageEccGeometry geo;
+  auto l0 = ComputeTirednessLevel(geo, 0);
+  auto l1 = ComputeTirednessLevel(geo, 1);
+  // L1 quadruples per-stripe parity (512 B vs 128 B) -> ~4x t.
+  EXPECT_NEAR(static_cast<double>(l1.correctable_bits_per_stripe) /
+                  static_cast<double>(l0.correctable_bits_per_stripe),
+              4.0, 0.15);
+}
+
+TEST(TirednessTest, AlternativeGeometrySmallFPage) {
+  // An 8 KiB fPage (2 oPages) with 1 KiB spare — §4.2 notes fPage < 16KB.
+  FPageEccGeometry geo;
+  geo.opages_per_fpage = 2;
+  geo.spare_bytes = 1024;
+  auto ladder = ComputeTirednessLadder(geo);
+  ASSERT_EQ(ladder.size(), 3u);
+  EXPECT_EQ(ladder[0].data_bytes, 8192u);
+  EXPECT_EQ(ladder[1].data_bytes, 4096u);
+  EXPECT_EQ(ladder[2].data_bytes, 0u);
+  EXPECT_GT(ladder[1].max_tolerable_rber, ladder[0].max_tolerable_rber);
+}
+
+TEST(TirednessTest, EccBytesConserveFPageArea) {
+  FPageEccGeometry geo;
+  auto ladder = ComputeTirednessLadder(geo);
+  const uint32_t total = geo.fpage_data_bytes() + geo.spare_bytes;
+  for (const auto& level : ladder) {
+    EXPECT_EQ(level.data_bytes + level.ecc_bytes, total)
+        << "L" << level.level;
+  }
+}
+
+}  // namespace
+}  // namespace salamander

@@ -1,0 +1,109 @@
+#include "flash/wear_model.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace salamander {
+namespace {
+
+TEST(WearModelTest, FreshPageSitsAtFloor) {
+  WearModelConfig config;
+  config.rber_floor = 1e-7;
+  WearModel model(config);
+  EXPECT_DOUBLE_EQ(model.Rber(0), 1e-7);
+  EXPECT_DOUBLE_EQ(model.Rber(-5.0), 1e-7);
+}
+
+TEST(WearModelTest, RberMonotoneInPec) {
+  WearModel model(WearModelConfig{});
+  double prev = 0.0;
+  for (double pec = 0; pec <= 5000; pec += 100) {
+    const double rber = model.Rber(pec);
+    EXPECT_GE(rber, prev) << "pec=" << pec;
+    prev = rber;
+  }
+}
+
+TEST(WearModelTest, WeakPagesWearFaster) {
+  WearModel model(WearModelConfig{});
+  EXPECT_GT(model.Rber(1000, /*page_factor=*/2.0),
+            model.Rber(1000, /*page_factor=*/1.0));
+  EXPECT_LT(model.Rber(1000, /*page_factor=*/0.5),
+            model.Rber(1000, /*page_factor=*/1.0));
+}
+
+TEST(WearModelTest, PecAtRberInvertsRber) {
+  WearModel model(WearModelConfig{});
+  for (double pec : {100.0, 1000.0, 3000.0, 10000.0}) {
+    const double rber = model.Rber(pec);
+    EXPECT_NEAR(model.PecAtRber(rber), pec, pec * 1e-9);
+  }
+}
+
+TEST(WearModelTest, PecAtRberWithPageFactor) {
+  WearModel model(WearModelConfig{});
+  const double rber = model.Rber(2000, 1.5);
+  EXPECT_NEAR(model.PecAtRber(rber, 1.5), 2000, 1e-6);
+  // A weaker page reaches the same RBER sooner.
+  EXPECT_LT(model.PecAtRber(rber, 3.0), 2000);
+}
+
+TEST(WearModelTest, PecAtRberBelowFloorIsZero) {
+  WearModelConfig config;
+  config.rber_floor = 1e-5;
+  WearModel model(config);
+  EXPECT_EQ(model.PecAtRber(1e-6), 0.0);
+}
+
+TEST(WearModelTest, CalibrateHitsNominalExactly) {
+  const double target_rber = 3e-3;
+  const uint32_t nominal = 3000;
+  WearModel model(WearModel::Calibrate(target_rber, nominal));
+  EXPECT_NEAR(model.Rber(nominal), target_rber, target_rber * 1e-12);
+  EXPECT_NEAR(model.PecAtRber(target_rber), nominal, 1e-6);
+}
+
+// The Fig. 2 mechanism: with exponent b, tolerating k x higher RBER extends
+// PEC by k^(1/b). For b = 2.7 and the L0->L1 tolerable-RBER ratio of ~3,
+// that is the paper's ~1.5x.
+TEST(WearModelTest, PecGainFollowsPowerLaw) {
+  WearModel model(WearModel::Calibrate(3e-3, 3000, /*exponent=*/2.7));
+  const double pec_l0 = model.PecAtRber(3e-3);
+  const double pec_l1 = model.PecAtRber(3.0 * 3e-3);
+  // The small rber_floor offset perturbs the pure power law slightly.
+  EXPECT_NEAR(pec_l1 / pec_l0, std::pow(3.0, 1.0 / 2.7), 1e-4);
+  EXPECT_NEAR(pec_l1 / pec_l0, 1.5, 0.05);
+}
+
+TEST(WearModelTest, PageFactorLognormalMedianOne) {
+  WearModelConfig config;
+  config.page_factor_sigma = 0.35;
+  WearModel model(config);
+  Rng rng(1);
+  std::vector<double> samples;
+  for (int i = 0; i < 20001; ++i) {
+    const double f = model.SamplePageFactor(rng);
+    EXPECT_GT(f, 0.0);
+    samples.push_back(f);
+  }
+  std::nth_element(samples.begin(), samples.begin() + samples.size() / 2,
+                   samples.end());
+  EXPECT_NEAR(samples[samples.size() / 2], 1.0, 0.03);
+}
+
+TEST(WearModelTest, ZeroSigmaDisablesVariance) {
+  WearModelConfig config;
+  config.page_factor_sigma = 0.0;
+  WearModel model(config);
+  Rng rng(2);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(model.SamplePageFactor(rng), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace salamander

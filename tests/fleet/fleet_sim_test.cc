@@ -1,0 +1,135 @@
+#include "fleet/fleet_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/device_builder.h"
+
+namespace salamander {
+namespace {
+
+FleetConfig TestFleet(SsdKind kind, uint32_t devices = 4,
+                      uint32_t nominal_pec = 25, uint32_t days = 200) {
+  FleetConfig config;
+  config.kind = kind;
+  config.devices = devices;
+  config.geometry = testing_util::TinyGeometry();
+  config.ecc = FPageEccGeometry{};
+  config.wear = testing_util::FastWear(config.ecc, nominal_pec);
+  config.msize_opages = 64;
+  config.dwpd = 2.0;
+  config.afr = 0.0;  // pure wear-out unless a test opts in
+  config.days = days;
+  config.sample_every_days = 5;
+  config.seed = 4242;
+  return config;
+}
+
+TEST(FleetSimTest, StartsFullyAlive) {
+  FleetSim sim(TestFleet(SsdKind::kBaseline));
+  auto snapshots = sim.Run();
+  ASSERT_FALSE(snapshots.empty());
+  EXPECT_EQ(snapshots.front().day, 0u);
+  EXPECT_EQ(snapshots.front().functioning_devices, 4u);
+  EXPECT_GT(snapshots.front().capacity_bytes, 0u);
+}
+
+TEST(FleetSimTest, WearKillsBaselineFleet) {
+  FleetSim sim(TestFleet(SsdKind::kBaseline, 4, /*nominal_pec=*/15,
+                         /*days=*/500));
+  auto snapshots = sim.Run();
+  EXPECT_EQ(snapshots.back().functioning_devices, 0u);
+  EXPECT_EQ(snapshots.back().capacity_bytes, 0u);
+}
+
+TEST(FleetSimTest, DeviceCountMonotoneWithoutReplacement) {
+  FleetSim sim(TestFleet(SsdKind::kShrinkS, 4, 15, 500));
+  auto snapshots = sim.Run();
+  uint32_t prev = UINT32_MAX;
+  for (const FleetSnapshot& snapshot : snapshots) {
+    EXPECT_LE(snapshot.functioning_devices, prev);
+    prev = snapshot.functioning_devices;
+  }
+}
+
+TEST(FleetSimTest, WritesAccumulate) {
+  FleetSim sim(TestFleet(SsdKind::kShrinkS, 2, 1000, /*days=*/20));
+  auto snapshots = sim.Run();
+  EXPECT_GT(snapshots.back().cumulative_host_writes, 0u);
+  // 2 devices x 2 DWPD x 768 oPages x 20 days.
+  EXPECT_EQ(snapshots.back().cumulative_host_writes, 2u * 2 * 768 * 20);
+}
+
+TEST(FleetSimTest, AfrKillsDevicesWithoutWear) {
+  FleetConfig config = TestFleet(SsdKind::kBaseline, 20, 1000000, 365);
+  config.dwpd = 0.01;   // negligible wear
+  config.afr = 0.9;     // extreme AFR so the effect is certain in 1 year
+  FleetSim sim(config);
+  auto snapshots = sim.Run();
+  EXPECT_LT(snapshots.back().functioning_devices, 20u);
+}
+
+TEST(FleetSimTest, SalamanderShrinksBeforeDying) {
+  // Use a longer endurance horizon with daily sampling so the gradual
+  // degradation phase is actually observable in the snapshots.
+  FleetConfig config = TestFleet(SsdKind::kShrinkS, 3, /*nominal_pec=*/60,
+                                 /*days=*/500);
+  config.sample_every_days = 1;
+  FleetSim sim(config);
+  auto snapshots = sim.Run();
+  // Find a snapshot with partial capacity: all devices alive but capacity
+  // below initial — the gradual degradation baseline cannot exhibit.
+  const uint64_t initial = snapshots.front().capacity_bytes;
+  bool saw_partial = false;
+  for (const FleetSnapshot& snapshot : snapshots) {
+    if (snapshot.functioning_devices == 3 &&
+        snapshot.capacity_bytes < initial && snapshot.capacity_bytes > 0) {
+      saw_partial = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_partial);
+  EXPECT_GT(snapshots.back().cumulative_decommissions, 0u);
+}
+
+TEST(FleetSimTest, RegenSOutlivesBaseline) {
+  // The Fig. 3a claim: RegenS flattens the device-failure slope.
+  FleetSim baseline(TestFleet(SsdKind::kBaseline, 4, 15, 1000));
+  FleetSim regens(TestFleet(SsdKind::kRegenS, 4, 15, 1000));
+  baseline.Run();
+  regens.Run();
+  const uint32_t baseline_half_dead = baseline.DayDevicesBelow(0.5);
+  const uint32_t regens_half_dead = regens.DayDevicesBelow(0.5);
+  ASSERT_GT(baseline_half_dead, 0u);
+  if (regens_half_dead != 0) {  // 0 = never dropped below half
+    EXPECT_GT(regens_half_dead, baseline_half_dead);
+  }
+}
+
+TEST(FleetSimTest, RegenSRegisteresRegenerations) {
+  FleetSim sim(TestFleet(SsdKind::kRegenS, 3, 15, 800));
+  auto snapshots = sim.Run();
+  EXPECT_GT(snapshots.back().cumulative_regenerations, 0u);
+}
+
+TEST(FleetSimTest, DeterministicRuns) {
+  auto run = [] {
+    FleetSim sim(TestFleet(SsdKind::kRegenS, 3, 20, 300));
+    auto snapshots = sim.Run();
+    return std::make_pair(snapshots.back().functioning_devices,
+                          snapshots.back().cumulative_host_writes);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(FleetSimTest, DayCapacityBelowFindsThreshold) {
+  FleetSim sim(TestFleet(SsdKind::kShrinkS, 3, 15, 800));
+  sim.Run();
+  const uint32_t day80 = sim.DayCapacityBelow(0.8);
+  const uint32_t day40 = sim.DayCapacityBelow(0.4);
+  ASSERT_GT(day80, 0u);
+  ASSERT_GT(day40, 0u);
+  EXPECT_LE(day80, day40);
+}
+
+}  // namespace
+}  // namespace salamander

@@ -1,0 +1,171 @@
+// Dedicated ECC placement tests (§4.2 mitigation): at tiredness level L >= 1
+// the extra parity lives in whole dedicated fPages instead of repurposed
+// oPages inside each data fPage.
+#include <gtest/gtest.h>
+
+#include "ftl/ftl.h"
+#include "tests/testing/device_builder.h"
+
+namespace salamander {
+namespace {
+
+using testing_util::TestFtlConfig;
+using testing_util::TinyGeometry;
+
+// A wear model that pushes every page past L0 (but within L1) on its first
+// erase cycle: rber(PEC >= 1) ~ 2x the L0 tolerance, well under the ~4.8x
+// L1 tolerance. Deterministic (no per-page variance).
+WearModelConfig InstantL1Wear() {
+  const double l0_tol =
+      ComputeTirednessLevel(FPageEccGeometry{}, 0).max_tolerable_rber;
+  WearModelConfig wear;
+  wear.exponent = 0.1;  // nearly flat: any PEC >= 1 lands at ~coefficient
+  wear.coefficient = 2.0 * l0_tol;
+  wear.rber_floor = 1e-9;
+  wear.page_factor_sigma = 0.0;
+  return wear;
+}
+
+// Builds an FTL where, after some churn, all recycled pages are L1 and back
+// in service. Returns it with `logical` oPages of space.
+Ftl MakeL1Ftl(EccPlacement placement, double cache_hit,
+              uint64_t logical = 400) {
+  FtlConfig config;
+  config.geometry = TinyGeometry();
+  config.ecc_geometry = FPageEccGeometry{};
+  config.wear = InstantL1Wear();
+  config.max_usable_level = 1;
+  config.ecc_placement = placement;
+  config.dedicated_ecc_cache_hit = cache_hit;
+  config.seed = 99;
+  Ftl ftl(config);
+  ftl.ExtendLogicalSpace(logical);
+  // Churn: overwrite the logical space so GC erases blocks; erased pages
+  // transition to L1 and pile up in limbo; claim them back into service.
+  for (int round = 0; round < 12; ++round) {
+    for (uint64_t lpo = 0; lpo < logical; ++lpo) {
+      if (!ftl.Write(lpo).ok()) {
+        break;
+      }
+    }
+    ftl.ClaimLimboCapacity(UINT64_MAX);
+  }
+  return ftl;
+}
+
+TEST(DedicatedEccTest, InlineModeNeverProgramsParityPages) {
+  Ftl ftl = MakeL1Ftl(EccPlacement::kInline, 0.9);
+  EXPECT_GT(ftl.limbo_fpages(1) + 1, 0u);  // churn happened
+  EXPECT_EQ(ftl.stats().parity_programs, 0u);
+  EXPECT_EQ(ftl.stats().ecc_page_reads, 0u);
+}
+
+TEST(DedicatedEccTest, DedicatedModeProgramsParityPages) {
+  Ftl ftl = MakeL1Ftl(EccPlacement::kDedicated, 0.9);
+  EXPECT_GT(ftl.stats().parity_programs, 0u);
+  // At L1 the cadence is one parity page per three data pages; allow slack
+  // for the L0 prefix before pages tired.
+  const double ratio = static_cast<double>(ftl.stats().parity_programs) /
+                       static_cast<double>(ftl.stats().flushes);
+  EXPECT_GT(ratio, 0.10);
+  EXPECT_LT(ratio, 0.40);
+}
+
+TEST(DedicatedEccTest, DataStillReadableAtL1) {
+  Ftl ftl = MakeL1Ftl(EccPlacement::kDedicated, 1.0);
+  ASSERT_TRUE(ftl.Flush().ok());
+  uint64_t l1_reads = 0;
+  for (uint64_t lpo = 0; lpo < 400; ++lpo) {
+    auto read = ftl.Read(lpo);
+    ASSERT_TRUE(read.ok()) << "lpo " << lpo;
+    l1_reads += read->tiredness_level == 1 ? 1 : 0;
+  }
+  EXPECT_GT(l1_reads, 0u);
+}
+
+TEST(DedicatedEccTest, PerfectCacheMeansNoReadPenalty) {
+  Ftl ftl = MakeL1Ftl(EccPlacement::kDedicated, /*cache_hit=*/1.0);
+  ASSERT_TRUE(ftl.Flush().ok());
+  const FlashLatencyConfig latency;
+  const SimDuration expected =
+      latency.read_fpage + latency.TransferTime(4096);
+  for (uint64_t lpo = 0; lpo < 400; ++lpo) {
+    auto read = ftl.Read(lpo);
+    ASSERT_TRUE(read.ok());
+    if (read->tiredness_level == 1 && read->retries == 0) {
+      EXPECT_EQ(read->latency, expected);
+    }
+  }
+  EXPECT_EQ(ftl.stats().ecc_page_reads, 0u);
+}
+
+TEST(DedicatedEccTest, ColdCachePaysOneExtraPageRead) {
+  Ftl ftl = MakeL1Ftl(EccPlacement::kDedicated, /*cache_hit=*/0.0);
+  ASSERT_TRUE(ftl.Flush().ok());
+  const FlashLatencyConfig latency;
+  const SimDuration expected =
+      2 * latency.read_fpage + latency.TransferTime(4096);
+  uint64_t checked = 0;
+  for (uint64_t lpo = 0; lpo < 400; ++lpo) {
+    auto read = ftl.Read(lpo);
+    ASSERT_TRUE(read.ok());
+    if (read->tiredness_level == 1 && read->retries == 0) {
+      EXPECT_EQ(read->latency, expected);
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+  EXPECT_GT(ftl.stats().ecc_page_reads, 0u);
+}
+
+TEST(DedicatedEccTest, RestoresLargeAccessGeometry) {
+  // Sequential 16 KiB over L1 data: dedicated placement keeps 4 oPages per
+  // data page, so an aligned 4-oPage read touches ONE flash page again
+  // (inline L1 would straddle two).
+  Ftl dedicated = MakeL1Ftl(EccPlacement::kDedicated, 1.0);
+  ASSERT_TRUE(dedicated.Flush().ok());
+  // Rewrite sequentially for clean packing, then flush.
+  for (uint64_t lpo = 0; lpo < 64; ++lpo) {
+    ASSERT_TRUE(dedicated.Write(lpo).ok());
+  }
+  ASSERT_TRUE(dedicated.Flush().ok());
+  auto range = dedicated.ReadRange(0, 64);
+  ASSERT_TRUE(range.ok());
+  // 64 oPages on full 4-oPage pages -> exactly 16 flash reads.
+  EXPECT_EQ(range->fpage_reads, 16u);
+
+  Ftl inline_ftl = MakeL1Ftl(EccPlacement::kInline, 1.0);
+  ASSERT_TRUE(inline_ftl.Flush().ok());
+  for (uint64_t lpo = 0; lpo < 64; ++lpo) {
+    ASSERT_TRUE(inline_ftl.Write(lpo).ok());
+  }
+  ASSERT_TRUE(inline_ftl.Flush().ok());
+  auto inline_range = inline_ftl.ReadRange(0, 64);
+  ASSERT_TRUE(inline_range.ok());
+  // Inline L1 pages hold 3 oPages: ~22 flash reads for the same data (some
+  // pages may still be L0, so require strictly more than dedicated).
+  EXPECT_GT(inline_range->fpage_reads, range->fpage_reads);
+}
+
+TEST(DedicatedEccTest, TotalWriteCostMatchesInline) {
+  // Both placements pay the same overall ECC space overhead at a given
+  // level — inline as reduced capacity per page, dedicated as whole parity
+  // pages. Flash programs per host write must therefore be comparable; the
+  // placements differ in *read* geometry, not total write cost.
+  Ftl dedicated = MakeL1Ftl(EccPlacement::kDedicated, 1.0);
+  Ftl inline_ftl = MakeL1Ftl(EccPlacement::kInline, 1.0);
+  ASSERT_GT(dedicated.stats().host_writes, 0u);
+  ASSERT_GT(inline_ftl.stats().host_writes, 0u);
+  EXPECT_GT(dedicated.stats().parity_programs, 0u);
+  const double dedicated_programs_per_write =
+      static_cast<double>(dedicated.chip().total_programs()) /
+      static_cast<double>(dedicated.stats().host_writes);
+  const double inline_programs_per_write =
+      static_cast<double>(inline_ftl.chip().total_programs()) /
+      static_cast<double>(inline_ftl.stats().host_writes);
+  EXPECT_NEAR(dedicated_programs_per_write / inline_programs_per_write, 1.0,
+              0.25);
+}
+
+}  // namespace
+}  // namespace salamander

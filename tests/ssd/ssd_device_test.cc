@@ -1,0 +1,182 @@
+#include "ssd/ssd_device.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/device_builder.h"
+#include "workload/aging.h"
+
+namespace salamander {
+namespace {
+
+using testing_util::TestSsdConfig;
+using testing_util::TinyGeometry;
+
+SsdDevice MakeDevice(SsdKind kind, uint32_t nominal_pec = 1000000,
+                     uint64_t seed = 7) {
+  return SsdDevice(kind, TestSsdConfig(kind, TinyGeometry(), nominal_pec,
+                                       seed));
+}
+
+// Ages a device until failure; returns total host oPages written (the
+// lifetime in writes).
+uint64_t AgeToDeath(SsdDevice& device, uint64_t seed, uint64_t cap = 5000000) {
+  AgingDriver driver(&device, seed);
+  while (!device.failed() && driver.total_written() < cap) {
+    AgingResult result = driver.WriteOPages(5000);
+    if (result.device_failed) {
+      break;
+    }
+  }
+  return driver.total_written();
+}
+
+TEST(SsdDeviceTest, KindNames) {
+  EXPECT_EQ(SsdKindName(SsdKind::kBaseline), "baseline");
+  EXPECT_EQ(SsdKindName(SsdKind::kCvss), "cvss");
+  EXPECT_EQ(SsdKindName(SsdKind::kShrinkS), "shrinks");
+  EXPECT_EQ(SsdKindName(SsdKind::kRegenS), "regens");
+}
+
+TEST(SsdDeviceTest, BaselineExposesSingleVolume) {
+  SsdDevice device = MakeDevice(SsdKind::kBaseline);
+  EXPECT_EQ(device.total_minidisks(), 1u);
+  EXPECT_EQ(device.live_capacity_bytes(), 768u * 4096);  // raw - reserve
+}
+
+TEST(SsdDeviceTest, CvssExposesBlockSizedUnits) {
+  SsdDevice device = MakeDevice(SsdKind::kCvss);
+  // 64 oPages per block, 768 available -> 12 units.
+  EXPECT_EQ(device.msize_opages(), 64u);
+  EXPECT_EQ(device.total_minidisks(), 12u);
+}
+
+TEST(SsdDeviceTest, SalamanderExposesMinidisks) {
+  SsdDevice shrinks = MakeDevice(SsdKind::kShrinkS);
+  SsdDevice regens = MakeDevice(SsdKind::kRegenS);
+  EXPECT_EQ(shrinks.total_minidisks(), 12u);
+  EXPECT_EQ(regens.total_minidisks(), 12u);
+  EXPECT_EQ(shrinks.ftl().config().max_usable_level, 0u);
+  EXPECT_EQ(regens.ftl().config().max_usable_level, 1u);
+}
+
+TEST(SsdDeviceTest, WriteReadThroughDevice) {
+  SsdDevice device = MakeDevice(SsdKind::kRegenS);
+  device.TakeEvents();
+  ASSERT_TRUE(device.Write(0, 1).ok());
+  EXPECT_TRUE(device.Read(0, 1).ok());
+  EXPECT_EQ(device.bytes_written(), 4096u);
+}
+
+TEST(SsdDeviceTest, BaselineBricksAtBadBlockThreshold) {
+  SsdDevice device = MakeDevice(SsdKind::kBaseline, /*nominal_pec=*/15);
+  AgeToDeath(device, 21);
+  EXPECT_TRUE(device.failed());
+  // Brick rule: 2.5% of 16 blocks is < 1 block, so the first retired block
+  // bricks the device.
+  EXPECT_GE(device.ftl().retired_blocks(), 1u);
+  EXPECT_EQ(device.live_capacity_bytes(), 0u);
+}
+
+TEST(SsdDeviceTest, BrickedDeviceRejectsIo) {
+  SsdDevice device = MakeDevice(SsdKind::kBaseline, /*nominal_pec=*/15);
+  AgeToDeath(device, 22);
+  ASSERT_TRUE(device.failed());
+  EXPECT_EQ(device.Write(0, 0).status().code(), StatusCode::kDeviceFailed);
+  EXPECT_EQ(device.Read(0, 0).status().code(), StatusCode::kDeviceFailed);
+  EXPECT_EQ(device.ReadRange(0, 0, 4).status().code(),
+            StatusCode::kDeviceFailed);
+}
+
+TEST(SsdDeviceTest, BrickEmitsEventsForAllLiveMinidisks) {
+  SsdDevice device = MakeDevice(SsdKind::kBaseline, /*nominal_pec=*/15);
+  AgingDriver driver(&device, 23);
+  while (!device.failed()) {
+    if (driver.WriteOPages(2000).device_failed) {
+      break;
+    }
+  }
+  driver.tracker();  // tracker consumed events including the brick fan-out
+  EXPECT_TRUE(driver.tracker().empty());
+  EXPECT_EQ(driver.tracker().decommissioned_seen(),
+            driver.tracker().created_seen());
+}
+
+TEST(SsdDeviceTest, ShrinkSLosesCapacityGradually) {
+  SsdDevice device = MakeDevice(SsdKind::kShrinkS, /*nominal_pec=*/15);
+  const uint64_t initial = device.live_capacity_bytes();
+  AgingDriver driver(&device, 31);
+  uint64_t mid_capacity = 0;
+  while (!device.failed() && !driver.tracker().empty()) {
+    if (driver.WriteOPages(5000).device_failed) {
+      break;
+    }
+    const uint64_t capacity = device.live_capacity_bytes();
+    if (capacity < initial && capacity > 0 && mid_capacity == 0) {
+      mid_capacity = capacity;  // witnessed a partially-degraded state
+    }
+  }
+  // Unlike baseline's cliff, ShrinkS passes through intermediate capacities.
+  EXPECT_GT(mid_capacity, 0u);
+  EXPECT_LT(mid_capacity, initial);
+}
+
+struct LifetimeRow {
+  SsdKind kind;
+  uint64_t writes;
+};
+
+// The paper's headline ordering (§4): baseline < CVSS <= ShrinkS < RegenS.
+// Uses the 64-block geometry: with very few blocks the retirement-granularity
+// differences between baseline and CVSS cannot express themselves.
+TEST(SsdDeviceLifetimeTest, LifetimeOrderingAcrossKinds) {
+  std::vector<LifetimeRow> rows;
+  for (SsdKind kind : {SsdKind::kBaseline, SsdKind::kCvss, SsdKind::kShrinkS,
+                       SsdKind::kRegenS}) {
+    // Average over a few seeds to damp variance from per-page lognormals.
+    uint64_t total = 0;
+    for (uint64_t seed : {101u, 202u, 303u}) {
+      SsdDevice device(kind,
+                       TestSsdConfig(kind, testing_util::SmallGeometry(),
+                                     /*nominal_pec=*/20, seed));
+      total += AgeToDeath(device, seed * 7);
+    }
+    rows.push_back({kind, total / 3});
+  }
+  ASSERT_EQ(rows.size(), 4u);
+  const uint64_t baseline = rows[0].writes;
+  const uint64_t cvss = rows[1].writes;
+  const uint64_t shrinks = rows[2].writes;
+  const uint64_t regens = rows[3].writes;
+  EXPECT_GT(cvss, baseline);
+  EXPECT_GT(shrinks, cvss);
+  EXPECT_GT(regens, shrinks);
+  // RegenS's gain over ShrinkS comes from L1 revival; the paper projects
+  // roughly +50% PEC for L1 pages, so demand a clearly material gain.
+  EXPECT_GT(static_cast<double>(regens) / static_cast<double>(shrinks), 1.1);
+}
+
+TEST(SsdDeviceTest, RegenSEmitsCreatedEventsUnderWear) {
+  SsdDevice device = MakeDevice(SsdKind::kRegenS, /*nominal_pec=*/15);
+  AgingDriver driver(&device, 41);
+  uint64_t created_initial = driver.tracker().created_seen();
+  while (!device.failed() && driver.total_written() < 3000000) {
+    if (driver.WriteOPages(5000).device_failed) {
+      break;
+    }
+    if (driver.tracker().created_seen() > created_initial) {
+      break;  // a regenerated mDisk appeared
+    }
+  }
+  EXPECT_GT(driver.tracker().created_seen(), created_initial);
+}
+
+TEST(SsdDeviceTest, DeterministicLifetimeForSameSeed) {
+  SsdDevice a(SsdKind::kShrinkS,
+              TestSsdConfig(SsdKind::kShrinkS, TinyGeometry(), 15, 99));
+  SsdDevice b(SsdKind::kShrinkS,
+              TestSsdConfig(SsdKind::kShrinkS, TinyGeometry(), 15, 99));
+  EXPECT_EQ(AgeToDeath(a, 5), AgeToDeath(b, 5));
+}
+
+}  // namespace
+}  // namespace salamander

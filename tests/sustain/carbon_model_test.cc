@@ -1,0 +1,92 @@
+#include "sustain/carbon_model.h"
+
+#include <gtest/gtest.h>
+
+namespace salamander {
+namespace {
+
+TEST(RuFromLifetimeGainTest, PaperAnchors) {
+  // §4.1: 20% lifetime gain -> Ru 0.9; 50% -> 0.8 (after the conservative
+  // 40% discount toward 1).
+  EXPECT_NEAR(RuFromLifetimeGain(0.20), 0.9, 1e-9);
+  EXPECT_NEAR(RuFromLifetimeGain(0.50), 0.8, 1e-9);
+}
+
+TEST(RuFromLifetimeGainTest, NoDiscountIsPureInverse) {
+  EXPECT_NEAR(RuFromLifetimeGain(0.20, 0.0), 1.0 / 1.2, 1e-12);
+  EXPECT_NEAR(RuFromLifetimeGain(0.50, 0.0), 1.0 / 1.5, 1e-12);
+}
+
+TEST(RuFromLifetimeGainTest, ZeroGainMeansNoChange) {
+  EXPECT_DOUBLE_EQ(RuFromLifetimeGain(0.0), 1.0);
+}
+
+TEST(RuFromLifetimeGainTest, MonotoneDecreasingInGain) {
+  double prev = 1.1;
+  for (double gain = 0.0; gain <= 2.0; gain += 0.1) {
+    const double ru = RuFromLifetimeGain(gain);
+    EXPECT_LT(ru, prev);
+    prev = ru;
+  }
+}
+
+TEST(CarbonModelTest, ShrinkSMatchesPaper) {
+  // Eq. 3 with f_op=0.46, PE=1.06, Ru=0.9:
+  // 0.46*1.06 + 0.54*0.9 = 0.9736 -> ~3% savings.
+  const CarbonParams params = ShrinkSCarbonParams();
+  EXPECT_NEAR(RelativeCarbon(params), 0.9736, 1e-9);
+  EXPECT_NEAR(CarbonSavings(params), 0.0264, 1e-9);
+}
+
+TEST(CarbonModelTest, RegenSMatchesPaper) {
+  // 0.46*1.06 + 0.54*0.8 = 0.9196 -> ~8% savings ("3-8% CO2e savings").
+  const CarbonParams params = RegenSCarbonParams();
+  EXPECT_NEAR(RelativeCarbon(params), 0.9196, 1e-9);
+  EXPECT_NEAR(CarbonSavings(params), 0.0804, 1e-9);
+}
+
+TEST(CarbonModelTest, RenewableScenarioMatchesPaper) {
+  // With operational carbon offset, only embodied remains: savings = 1-Ru,
+  // i.e. 10% / 20% ("these gains increase to 11-20%").
+  EXPECT_NEAR(CarbonSavingsRenewable(ShrinkSCarbonParams()), 0.10, 1e-9);
+  EXPECT_NEAR(CarbonSavingsRenewable(RegenSCarbonParams()), 0.20, 1e-9);
+}
+
+TEST(CarbonModelTest, RenewableAlwaysBeatsGridForSameRu) {
+  for (double ru = 0.5; ru < 1.0; ru += 0.05) {
+    CarbonParams params;
+    params.ru = ru;
+    EXPECT_GT(CarbonSavingsRenewable(params), CarbonSavings(params));
+  }
+}
+
+TEST(CarbonModelTest, SavingsMonotoneInRu) {
+  CarbonParams params;
+  double prev = -1.0;
+  for (double ru = 1.0; ru >= 0.5; ru -= 0.05) {
+    params.ru = ru;
+    const double savings = CarbonSavings(params);
+    EXPECT_GT(savings, prev);
+    prev = savings;
+  }
+}
+
+TEST(CarbonModelTest, PowerPenaltyCanOutweighEmbodiedGains) {
+  // If keeping old drives cost much more energy, savings can go negative —
+  // the model must reflect the trade-off, not assume a win.
+  CarbonParams params;
+  params.ru = 0.95;
+  params.pe = 1.25;
+  EXPECT_LT(CarbonSavings(params), 0.0);
+}
+
+TEST(CarbonModelTest, BaselineIsFixpoint) {
+  CarbonParams params;
+  params.pe = 1.0;
+  params.ru = 1.0;
+  EXPECT_DOUBLE_EQ(RelativeCarbon(params), 1.0);
+  EXPECT_DOUBLE_EQ(CarbonSavings(params), 0.0);
+}
+
+}  // namespace
+}  // namespace salamander

@@ -1,0 +1,72 @@
+#include "sustain/tco_model.h"
+
+#include <gtest/gtest.h>
+
+namespace salamander {
+namespace {
+
+TEST(TcoModelTest, CostUpgradeRateShrinkS) {
+  // CRu = 0.833 + 0.167 * 0.25 * 0.4 ~ 0.85.
+  const TcoParams params = ShrinkSTcoParams();
+  EXPECT_NEAR(CostUpgradeRate(params), 1.0 / 1.2 + (1 - 1.0 / 1.2) * 0.1,
+              1e-12);
+}
+
+TEST(TcoModelTest, ShrinkSMatchesPaperHeadline) {
+  // §4.4: "13% cost savings for ShrinkS".
+  EXPECT_NEAR(TcoSavings(ShrinkSTcoParams()), 0.13, 0.005);
+}
+
+TEST(TcoModelTest, RegenSMatchesPaperHeadline) {
+  // §4.4: "25% cost savings for RegenS".
+  EXPECT_NEAR(TcoSavings(RegenSTcoParams()), 0.25, 0.015);
+}
+
+TEST(TcoModelTest, HalfOpexSensitivityMatchesPaper) {
+  // "if we assume half the cost is operational costs, Salamander lowers
+  // costs by 6-14%".
+  TcoParams shrinks = ShrinkSTcoParams();
+  shrinks.f_opex = 0.5;
+  TcoParams regens = RegenSTcoParams();
+  regens.f_opex = 0.5;
+  EXPECT_NEAR(TcoSavings(shrinks), 0.076, 0.02);   // ~ lower bound
+  EXPECT_NEAR(TcoSavings(regens), 0.15, 0.02);     // ~ upper bound
+  EXPECT_GT(TcoSavings(shrinks), 0.05);
+  EXPECT_LT(TcoSavings(regens), 0.16);
+}
+
+TEST(TcoModelTest, SavingsShrinkAsOpexGrows) {
+  TcoParams params = RegenSTcoParams();
+  double prev = 1.0;
+  for (double f = 0.0; f <= 1.0; f += 0.1) {
+    params.f_opex = f;
+    const double savings = TcoSavings(params);
+    EXPECT_LT(savings, prev);
+    prev = savings;
+  }
+  // At 100% opex there is nothing to save.
+  EXPECT_NEAR(prev, 0.0, 1e-12);
+}
+
+TEST(TcoModelTest, BackfillCostReducesSavings) {
+  TcoParams with_backfill = RegenSTcoParams();
+  TcoParams no_backfill = RegenSTcoParams();
+  no_backfill.cap_new = 0.0;
+  EXPECT_LT(TcoSavings(with_backfill), TcoSavings(no_backfill));
+}
+
+TEST(TcoModelTest, ExpensiveReplacementsErodeSavings) {
+  TcoParams cheap = RegenSTcoParams();
+  TcoParams pricey = RegenSTcoParams();
+  pricey.ce_new = 1.0;  // replacements as expensive as originals
+  EXPECT_GT(TcoSavings(cheap), TcoSavings(pricey));
+}
+
+TEST(TcoModelTest, BaselineIsFixpoint) {
+  TcoParams params;
+  params.ru = 1.0;
+  EXPECT_DOUBLE_EQ(RelativeTco(params), 1.0);
+}
+
+}  // namespace
+}  // namespace salamander

@@ -1,0 +1,74 @@
+// Shared helpers for building small, fast-aging devices in tests.
+//
+// Real endurance numbers (thousands of P/E cycles over hundreds of GiB) would
+// make unit tests take hours; tests therefore use a small geometry and a wear
+// model calibrated to a tiny nominal PEC. The *dynamics* (tiredness ladders,
+// Eq. 1/2 bookkeeping, GC interactions) are identical — only the time axis is
+// compressed.
+#ifndef SALAMANDER_TESTS_TESTING_DEVICE_BUILDER_H_
+#define SALAMANDER_TESTS_TESTING_DEVICE_BUILDER_H_
+
+#include "ecc/tiredness.h"
+#include "flash/geometry.h"
+#include "flash/wear_model.h"
+#include "ftl/ftl.h"
+#include "ssd/ssd_device.h"
+
+namespace salamander {
+namespace testing_util {
+
+// 16 blocks x 16 fPages x 4 oPages = 1024 oPages = 4 MiB raw.
+inline FlashGeometry TinyGeometry() {
+  FlashGeometry g;
+  g.channels = 1;
+  g.dies_per_channel = 1;
+  g.planes_per_die = 1;
+  g.blocks_per_plane = 16;
+  g.fpages_per_block = 16;
+  return g;
+}
+
+// 64 blocks x 32 fPages x 4 oPages = 8192 oPages = 32 MiB raw.
+inline FlashGeometry SmallGeometry() {
+  return FlashGeometry::Small();
+}
+
+// Wear model whose median page reaches the L0 retirement threshold after
+// `nominal_pec` cycles, for the given ECC geometry.
+inline WearModelConfig FastWear(const FPageEccGeometry& ecc,
+                                uint32_t nominal_pec,
+                                double page_sigma = 0.35) {
+  const double l0_rber = ComputeTirednessLevel(ecc, 0).max_tolerable_rber;
+  return WearModel::Calibrate(l0_rber, nominal_pec, /*exponent=*/2.7,
+                              /*rber_floor=*/1e-7, page_sigma);
+}
+
+inline FtlConfig TestFtlConfig(const FlashGeometry& geometry,
+                               uint32_t nominal_pec, uint64_t seed = 7) {
+  FtlConfig config;
+  config.geometry = geometry;
+  config.ecc_geometry = FPageEccGeometry{};
+  config.wear = FastWear(config.ecc_geometry, nominal_pec);
+  config.seed = seed;
+  return config;
+}
+
+inline SsdConfig TestSsdConfig(SsdKind kind, const FlashGeometry& geometry,
+                               uint32_t nominal_pec, uint64_t seed = 7,
+                               unsigned regen_max_level = 1) {
+  FPageEccGeometry ecc;
+  SsdConfig config =
+      MakeSsdConfig(kind, geometry, FastWear(ecc, nominal_pec),
+                    FlashLatencyConfig{}, ecc, seed, regen_max_level);
+  // Small devices: mDisks of 64 oPages (256 KiB) so shrink/regeneration
+  // events occur at test scale.
+  if (kind == SsdKind::kShrinkS || kind == SsdKind::kRegenS) {
+    config.minidisk.msize_opages = 64;
+  }
+  return config;
+}
+
+}  // namespace testing_util
+}  // namespace salamander
+
+#endif  // SALAMANDER_TESTS_TESTING_DEVICE_BUILDER_H_

@@ -1,0 +1,89 @@
+#include "workload/aging.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/device_builder.h"
+
+namespace salamander {
+namespace {
+
+using testing_util::TestSsdConfig;
+using testing_util::TinyGeometry;
+
+TEST(LiveSetTrackerTest, AppliesCreations) {
+  LiveSetTracker tracker;
+  tracker.Apply({{MinidiskEventType::kCreated, 0},
+                 {MinidiskEventType::kCreated, 1},
+                 {MinidiskEventType::kCreated, 2}});
+  EXPECT_EQ(tracker.size(), 3u);
+  EXPECT_TRUE(tracker.Contains(1));
+}
+
+TEST(LiveSetTrackerTest, AppliesDecommissions) {
+  LiveSetTracker tracker;
+  tracker.Apply({{MinidiskEventType::kCreated, 0},
+                 {MinidiskEventType::kCreated, 1}});
+  tracker.Apply({{MinidiskEventType::kDecommissioned, 0}});
+  EXPECT_EQ(tracker.size(), 1u);
+  EXPECT_FALSE(tracker.Contains(0));
+  EXPECT_TRUE(tracker.Contains(1));
+}
+
+TEST(LiveSetTrackerTest, DuplicateDecommissionIgnored) {
+  LiveSetTracker tracker;
+  tracker.Apply({{MinidiskEventType::kCreated, 0}});
+  tracker.Apply({{MinidiskEventType::kDecommissioned, 0},
+                 {MinidiskEventType::kDecommissioned, 0}});
+  EXPECT_TRUE(tracker.empty());
+  EXPECT_EQ(tracker.decommissioned_seen(), 2u);
+}
+
+TEST(LiveSetTrackerTest, PickRandomReturnsLiveIds) {
+  LiveSetTracker tracker;
+  tracker.Apply({{MinidiskEventType::kCreated, 5},
+                 {MinidiskEventType::kCreated, 9}});
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    MinidiskId id = tracker.PickRandom(rng);
+    EXPECT_TRUE(id == 5 || id == 9);
+  }
+}
+
+TEST(AgingDriverTest, ConsumesInitialFormatEvents) {
+  SsdDevice device(SsdKind::kShrinkS,
+                   TestSsdConfig(SsdKind::kShrinkS, TinyGeometry(), 1000000));
+  AgingDriver driver(&device, 1);
+  EXPECT_EQ(driver.tracker().size(), 12u);
+}
+
+TEST(AgingDriverTest, WritesRequestedAmount) {
+  SsdDevice device(SsdKind::kShrinkS,
+                   TestSsdConfig(SsdKind::kShrinkS, TinyGeometry(), 1000000));
+  AgingDriver driver(&device, 2);
+  AgingResult result = driver.WriteOPages(1000);
+  EXPECT_EQ(result.opages_written, 1000u);
+  EXPECT_FALSE(result.device_failed);
+  EXPECT_EQ(device.ftl().stats().host_writes, 1000u);
+}
+
+TEST(AgingDriverTest, StopsWhenDeviceDies) {
+  SsdDevice device(SsdKind::kBaseline,
+                   TestSsdConfig(SsdKind::kBaseline, TinyGeometry(), 10));
+  AgingDriver driver(&device, 3);
+  AgingResult result = driver.WriteOPages(100000000);
+  EXPECT_TRUE(result.device_failed);
+  EXPECT_LT(result.opages_written, 100000000u);
+  EXPECT_TRUE(device.failed());
+}
+
+TEST(AgingDriverTest, TracksShrinkingLiveSet) {
+  SsdDevice device(SsdKind::kShrinkS,
+                   TestSsdConfig(SsdKind::kShrinkS, TinyGeometry(), 15));
+  AgingDriver driver(&device, 4);
+  const size_t initial = driver.tracker().size();
+  driver.WriteOPages(100000000);  // runs to device death
+  EXPECT_LT(driver.tracker().size(), initial);
+}
+
+}  // namespace
+}  // namespace salamander

@@ -1,0 +1,104 @@
+#include "workload/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace salamander {
+namespace {
+
+TEST(UniformGeneratorTest, StaysInRange) {
+  UniformGenerator gen(100);
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(gen.Next(rng), 100u);
+  }
+}
+
+TEST(SequentialGeneratorTest, WrapsAround) {
+  SequentialGenerator gen(5);
+  Rng rng(1);
+  std::vector<uint64_t> seen;
+  for (int i = 0; i < 12; ++i) {
+    seen.push_back(gen.Next(rng));
+  }
+  EXPECT_EQ(seen, (std::vector<uint64_t>{0, 1, 2, 3, 4, 0, 1, 2, 3, 4, 0, 1}));
+}
+
+TEST(SequentialGeneratorTest, StartOffset) {
+  SequentialGenerator gen(10, 7);
+  Rng rng(1);
+  EXPECT_EQ(gen.Next(rng), 7u);
+  EXPECT_EQ(gen.Next(rng), 8u);
+}
+
+TEST(ZipfianGeneratorTest, StaysInRange) {
+  ZipfianGenerator gen(1000);
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(gen.Next(rng), 1000u);
+  }
+}
+
+TEST(ZipfianGeneratorTest, HotItemsAreHot) {
+  ZipfianGenerator gen(1000, 0.99);
+  Rng rng(3);
+  std::vector<uint64_t> counts(1000, 0);
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[gen.Next(rng)];
+  }
+  // Item 0 should dominate; the top-10 items take a large share.
+  EXPECT_GT(counts[0], counts[100] * 5);
+  uint64_t top10 = 0;
+  for (int i = 0; i < 10; ++i) {
+    top10 += counts[i];
+  }
+  EXPECT_GT(static_cast<double>(top10) / kSamples, 0.25);
+}
+
+TEST(ZipfianGeneratorTest, LowerThetaIsFlatter) {
+  Rng rng_a(4);
+  Rng rng_b(4);
+  ZipfianGenerator skewed(1000, 0.99);
+  ZipfianGenerator flat(1000, 0.5);
+  uint64_t skewed_zero = 0;
+  uint64_t flat_zero = 0;
+  for (int i = 0; i < 100000; ++i) {
+    skewed_zero += skewed.Next(rng_a) == 0 ? 1 : 0;
+    flat_zero += flat.Next(rng_b) == 0 ? 1 : 0;
+  }
+  EXPECT_GT(skewed_zero, flat_zero * 2);
+}
+
+TEST(ZipfianGeneratorTest, SpaceOfOne) {
+  ZipfianGenerator gen(1, 0.9);
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(gen.Next(rng), 0u);
+  }
+}
+
+TEST(OpMixTest, RespectsReadFraction) {
+  OpMix mix(0.7);
+  Rng rng(6);
+  int reads = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    reads += mix.NextIsRead(rng) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(reads) / kN, 0.7, 0.01);
+}
+
+TEST(OpMixTest, DegenerateFractions) {
+  Rng rng(7);
+  OpMix all_reads(1.0);
+  OpMix all_writes(0.0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(all_reads.NextIsRead(rng));
+    EXPECT_FALSE(all_writes.NextIsRead(rng));
+  }
+}
+
+}  // namespace
+}  // namespace salamander
