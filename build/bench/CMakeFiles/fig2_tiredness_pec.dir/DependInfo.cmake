@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig2_tiredness_pec.cc" "bench/CMakeFiles/fig2_tiredness_pec.dir/fig2_tiredness_pec.cc.o" "gcc" "bench/CMakeFiles/fig2_tiredness_pec.dir/fig2_tiredness_pec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ecc/CMakeFiles/sala_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/flash/CMakeFiles/sala_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sala_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

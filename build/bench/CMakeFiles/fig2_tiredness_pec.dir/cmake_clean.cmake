@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_tiredness_pec.dir/fig2_tiredness_pec.cc.o"
+  "CMakeFiles/fig2_tiredness_pec.dir/fig2_tiredness_pec.cc.o.d"
+  "fig2_tiredness_pec"
+  "fig2_tiredness_pec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_tiredness_pec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

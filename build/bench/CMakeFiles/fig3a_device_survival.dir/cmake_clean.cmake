@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3a_device_survival.dir/fig3a_device_survival.cc.o"
+  "CMakeFiles/fig3a_device_survival.dir/fig3a_device_survival.cc.o.d"
+  "fig3a_device_survival"
+  "fig3a_device_survival.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3a_device_survival.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

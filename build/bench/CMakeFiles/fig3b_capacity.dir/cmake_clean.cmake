@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3b_capacity.dir/fig3b_capacity.cc.o"
+  "CMakeFiles/fig3b_capacity.dir/fig3b_capacity.cc.o.d"
+  "fig3b_capacity"
+  "fig3b_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3b_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3c_throughput.dir/fig3c_throughput.cc.o"
+  "CMakeFiles/fig3c_throughput.dir/fig3c_throughput.cc.o.d"
+  "fig3c_throughput"
+  "fig3c_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3c_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3d_latency.dir/fig3d_latency.cc.o"
+  "CMakeFiles/fig3d_latency.dir/fig3d_latency.cc.o.d"
+  "fig3d_latency"
+  "fig3d_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3d_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_carbon.dir/fig4_carbon.cc.o"
+  "CMakeFiles/fig4_carbon.dir/fig4_carbon.cc.o.d"
+  "fig4_carbon"
+  "fig4_carbon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_carbon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

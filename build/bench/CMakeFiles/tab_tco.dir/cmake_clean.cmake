@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_tco.dir/tab_tco.cc.o"
+  "CMakeFiles/tab_tco.dir/tab_tco.cc.o.d"
+  "tab_tco"
+  "tab_tco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_tco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

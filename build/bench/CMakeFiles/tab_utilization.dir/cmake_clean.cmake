@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_utilization.dir/tab_utilization.cc.o"
+  "CMakeFiles/tab_utilization.dir/tab_utilization.cc.o.d"
+  "tab_utilization"
+  "tab_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

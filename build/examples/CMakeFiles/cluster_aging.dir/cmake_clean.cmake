@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_aging.dir/cluster_aging.cpp.o"
+  "CMakeFiles/cluster_aging.dir/cluster_aging.cpp.o.d"
+  "cluster_aging"
+  "cluster_aging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_aging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

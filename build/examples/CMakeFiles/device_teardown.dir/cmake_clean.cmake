@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_teardown.dir/device_teardown.cpp.o"
+  "CMakeFiles/device_teardown.dir/device_teardown.cpp.o.d"
+  "device_teardown"
+  "device_teardown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_teardown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

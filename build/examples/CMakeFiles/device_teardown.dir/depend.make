@@ -1,0 +1,2 @@
+# Empty dependencies file for device_teardown.
+# This may be replaced when dependencies are built.

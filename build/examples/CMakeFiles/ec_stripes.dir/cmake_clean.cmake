@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ec_stripes.dir/ec_stripes.cpp.o"
+  "CMakeFiles/ec_stripes.dir/ec_stripes.cpp.o.d"
+  "ec_stripes"
+  "ec_stripes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ec_stripes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

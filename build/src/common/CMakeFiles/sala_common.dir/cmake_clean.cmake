@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sala_common.dir/bitmap.cc.o"
+  "CMakeFiles/sala_common.dir/bitmap.cc.o.d"
+  "CMakeFiles/sala_common.dir/event_queue.cc.o"
+  "CMakeFiles/sala_common.dir/event_queue.cc.o.d"
+  "CMakeFiles/sala_common.dir/histogram.cc.o"
+  "CMakeFiles/sala_common.dir/histogram.cc.o.d"
+  "CMakeFiles/sala_common.dir/logging.cc.o"
+  "CMakeFiles/sala_common.dir/logging.cc.o.d"
+  "CMakeFiles/sala_common.dir/rng.cc.o"
+  "CMakeFiles/sala_common.dir/rng.cc.o.d"
+  "libsala_common.a"
+  "libsala_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sala_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

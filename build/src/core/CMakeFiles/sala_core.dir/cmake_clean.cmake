@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sala_core.dir/minidisk_manager.cc.o"
+  "CMakeFiles/sala_core.dir/minidisk_manager.cc.o.d"
+  "libsala_core.a"
+  "libsala_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sala_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

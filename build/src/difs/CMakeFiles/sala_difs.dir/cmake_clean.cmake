@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sala_difs.dir/cluster.cc.o"
+  "CMakeFiles/sala_difs.dir/cluster.cc.o.d"
+  "CMakeFiles/sala_difs.dir/ec_cluster.cc.o"
+  "CMakeFiles/sala_difs.dir/ec_cluster.cc.o.d"
+  "libsala_difs.a"
+  "libsala_difs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sala_difs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

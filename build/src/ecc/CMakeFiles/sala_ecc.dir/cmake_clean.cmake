@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sala_ecc.dir/bch.cc.o"
+  "CMakeFiles/sala_ecc.dir/bch.cc.o.d"
+  "CMakeFiles/sala_ecc.dir/capability.cc.o"
+  "CMakeFiles/sala_ecc.dir/capability.cc.o.d"
+  "CMakeFiles/sala_ecc.dir/gf.cc.o"
+  "CMakeFiles/sala_ecc.dir/gf.cc.o.d"
+  "CMakeFiles/sala_ecc.dir/tiredness.cc.o"
+  "CMakeFiles/sala_ecc.dir/tiredness.cc.o.d"
+  "libsala_ecc.a"
+  "libsala_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sala_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flash/flash_chip.cc" "src/flash/CMakeFiles/sala_flash.dir/flash_chip.cc.o" "gcc" "src/flash/CMakeFiles/sala_flash.dir/flash_chip.cc.o.d"
+  "/root/repo/src/flash/wear_model.cc" "src/flash/CMakeFiles/sala_flash.dir/wear_model.cc.o" "gcc" "src/flash/CMakeFiles/sala_flash.dir/wear_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sala_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/sala_ecc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

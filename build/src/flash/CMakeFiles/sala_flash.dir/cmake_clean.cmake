@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sala_flash.dir/flash_chip.cc.o"
+  "CMakeFiles/sala_flash.dir/flash_chip.cc.o.d"
+  "CMakeFiles/sala_flash.dir/wear_model.cc.o"
+  "CMakeFiles/sala_flash.dir/wear_model.cc.o.d"
+  "libsala_flash.a"
+  "libsala_flash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sala_flash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

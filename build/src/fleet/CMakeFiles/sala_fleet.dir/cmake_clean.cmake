@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sala_fleet.dir/fleet_sim.cc.o"
+  "CMakeFiles/sala_fleet.dir/fleet_sim.cc.o.d"
+  "libsala_fleet.a"
+  "libsala_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sala_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

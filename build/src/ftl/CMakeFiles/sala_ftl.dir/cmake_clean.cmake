@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sala_ftl.dir/ftl.cc.o"
+  "CMakeFiles/sala_ftl.dir/ftl.cc.o.d"
+  "libsala_ftl.a"
+  "libsala_ftl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sala_ftl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sala_ssd.dir/ssd_device.cc.o"
+  "CMakeFiles/sala_ssd.dir/ssd_device.cc.o.d"
+  "libsala_ssd.a"
+  "libsala_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sala_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

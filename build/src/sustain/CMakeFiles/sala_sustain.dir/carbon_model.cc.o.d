@@ -1,0 +1,3 @@
+src/sustain/CMakeFiles/sala_sustain.dir/carbon_model.cc.o: \
+ /root/repo/src/sustain/carbon_model.cc /usr/include/stdc-predef.h \
+ /root/repo/src/sustain/carbon_model.h

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sala_sustain.dir/carbon_model.cc.o"
+  "CMakeFiles/sala_sustain.dir/carbon_model.cc.o.d"
+  "CMakeFiles/sala_sustain.dir/tco_model.cc.o"
+  "CMakeFiles/sala_sustain.dir/tco_model.cc.o.d"
+  "libsala_sustain.a"
+  "libsala_sustain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sala_sustain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

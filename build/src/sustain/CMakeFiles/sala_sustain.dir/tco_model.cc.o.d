@@ -1,0 +1,3 @@
+src/sustain/CMakeFiles/sala_sustain.dir/tco_model.cc.o: \
+ /root/repo/src/sustain/tco_model.cc /usr/include/stdc-predef.h \
+ /root/repo/src/sustain/tco_model.h

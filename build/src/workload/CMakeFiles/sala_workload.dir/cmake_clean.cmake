@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sala_workload.dir/aging.cc.o"
+  "CMakeFiles/sala_workload.dir/aging.cc.o.d"
+  "CMakeFiles/sala_workload.dir/generators.cc.o"
+  "CMakeFiles/sala_workload.dir/generators.cc.o.d"
+  "libsala_workload.a"
+  "libsala_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sala_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/bitmap_test.cc" "tests/CMakeFiles/sala_tests.dir/common/bitmap_test.cc.o" "gcc" "tests/CMakeFiles/sala_tests.dir/common/bitmap_test.cc.o.d"
+  "/root/repo/tests/common/event_queue_test.cc" "tests/CMakeFiles/sala_tests.dir/common/event_queue_test.cc.o" "gcc" "tests/CMakeFiles/sala_tests.dir/common/event_queue_test.cc.o.d"
+  "/root/repo/tests/common/histogram_test.cc" "tests/CMakeFiles/sala_tests.dir/common/histogram_test.cc.o" "gcc" "tests/CMakeFiles/sala_tests.dir/common/histogram_test.cc.o.d"
+  "/root/repo/tests/common/logging_test.cc" "tests/CMakeFiles/sala_tests.dir/common/logging_test.cc.o" "gcc" "tests/CMakeFiles/sala_tests.dir/common/logging_test.cc.o.d"
+  "/root/repo/tests/common/rng_test.cc" "tests/CMakeFiles/sala_tests.dir/common/rng_test.cc.o" "gcc" "tests/CMakeFiles/sala_tests.dir/common/rng_test.cc.o.d"
+  "/root/repo/tests/common/status_test.cc" "tests/CMakeFiles/sala_tests.dir/common/status_test.cc.o" "gcc" "tests/CMakeFiles/sala_tests.dir/common/status_test.cc.o.d"
+  "/root/repo/tests/core/drain_test.cc" "tests/CMakeFiles/sala_tests.dir/core/drain_test.cc.o" "gcc" "tests/CMakeFiles/sala_tests.dir/core/drain_test.cc.o.d"
+  "/root/repo/tests/core/minidisk_manager_test.cc" "tests/CMakeFiles/sala_tests.dir/core/minidisk_manager_test.cc.o" "gcc" "tests/CMakeFiles/sala_tests.dir/core/minidisk_manager_test.cc.o.d"
+  "/root/repo/tests/difs/cluster_reads_test.cc" "tests/CMakeFiles/sala_tests.dir/difs/cluster_reads_test.cc.o" "gcc" "tests/CMakeFiles/sala_tests.dir/difs/cluster_reads_test.cc.o.d"
+  "/root/repo/tests/difs/cluster_test.cc" "tests/CMakeFiles/sala_tests.dir/difs/cluster_test.cc.o" "gcc" "tests/CMakeFiles/sala_tests.dir/difs/cluster_test.cc.o.d"
+  "/root/repo/tests/difs/drain_protocol_test.cc" "tests/CMakeFiles/sala_tests.dir/difs/drain_protocol_test.cc.o" "gcc" "tests/CMakeFiles/sala_tests.dir/difs/drain_protocol_test.cc.o.d"
+  "/root/repo/tests/difs/ec_cluster_test.cc" "tests/CMakeFiles/sala_tests.dir/difs/ec_cluster_test.cc.o" "gcc" "tests/CMakeFiles/sala_tests.dir/difs/ec_cluster_test.cc.o.d"
+  "/root/repo/tests/ecc/bch_test.cc" "tests/CMakeFiles/sala_tests.dir/ecc/bch_test.cc.o" "gcc" "tests/CMakeFiles/sala_tests.dir/ecc/bch_test.cc.o.d"
+  "/root/repo/tests/ecc/capability_test.cc" "tests/CMakeFiles/sala_tests.dir/ecc/capability_test.cc.o" "gcc" "tests/CMakeFiles/sala_tests.dir/ecc/capability_test.cc.o.d"
+  "/root/repo/tests/ecc/gf_test.cc" "tests/CMakeFiles/sala_tests.dir/ecc/gf_test.cc.o" "gcc" "tests/CMakeFiles/sala_tests.dir/ecc/gf_test.cc.o.d"
+  "/root/repo/tests/ecc/tiredness_test.cc" "tests/CMakeFiles/sala_tests.dir/ecc/tiredness_test.cc.o" "gcc" "tests/CMakeFiles/sala_tests.dir/ecc/tiredness_test.cc.o.d"
+  "/root/repo/tests/flash/flash_chip_test.cc" "tests/CMakeFiles/sala_tests.dir/flash/flash_chip_test.cc.o" "gcc" "tests/CMakeFiles/sala_tests.dir/flash/flash_chip_test.cc.o.d"
+  "/root/repo/tests/flash/read_disturb_test.cc" "tests/CMakeFiles/sala_tests.dir/flash/read_disturb_test.cc.o" "gcc" "tests/CMakeFiles/sala_tests.dir/flash/read_disturb_test.cc.o.d"
+  "/root/repo/tests/flash/wear_model_test.cc" "tests/CMakeFiles/sala_tests.dir/flash/wear_model_test.cc.o" "gcc" "tests/CMakeFiles/sala_tests.dir/flash/wear_model_test.cc.o.d"
+  "/root/repo/tests/fleet/fleet_sim_test.cc" "tests/CMakeFiles/sala_tests.dir/fleet/fleet_sim_test.cc.o" "gcc" "tests/CMakeFiles/sala_tests.dir/fleet/fleet_sim_test.cc.o.d"
+  "/root/repo/tests/ftl/dedicated_ecc_test.cc" "tests/CMakeFiles/sala_tests.dir/ftl/dedicated_ecc_test.cc.o" "gcc" "tests/CMakeFiles/sala_tests.dir/ftl/dedicated_ecc_test.cc.o.d"
+  "/root/repo/tests/ftl/forecast_test.cc" "tests/CMakeFiles/sala_tests.dir/ftl/forecast_test.cc.o" "gcc" "tests/CMakeFiles/sala_tests.dir/ftl/forecast_test.cc.o.d"
+  "/root/repo/tests/ftl/ftl_test.cc" "tests/CMakeFiles/sala_tests.dir/ftl/ftl_test.cc.o" "gcc" "tests/CMakeFiles/sala_tests.dir/ftl/ftl_test.cc.o.d"
+  "/root/repo/tests/ftl/invariants_test.cc" "tests/CMakeFiles/sala_tests.dir/ftl/invariants_test.cc.o" "gcc" "tests/CMakeFiles/sala_tests.dir/ftl/invariants_test.cc.o.d"
+  "/root/repo/tests/ssd/ssd_device_extras_test.cc" "tests/CMakeFiles/sala_tests.dir/ssd/ssd_device_extras_test.cc.o" "gcc" "tests/CMakeFiles/sala_tests.dir/ssd/ssd_device_extras_test.cc.o.d"
+  "/root/repo/tests/ssd/ssd_device_test.cc" "tests/CMakeFiles/sala_tests.dir/ssd/ssd_device_test.cc.o" "gcc" "tests/CMakeFiles/sala_tests.dir/ssd/ssd_device_test.cc.o.d"
+  "/root/repo/tests/sustain/carbon_model_test.cc" "tests/CMakeFiles/sala_tests.dir/sustain/carbon_model_test.cc.o" "gcc" "tests/CMakeFiles/sala_tests.dir/sustain/carbon_model_test.cc.o.d"
+  "/root/repo/tests/sustain/tco_model_test.cc" "tests/CMakeFiles/sala_tests.dir/sustain/tco_model_test.cc.o" "gcc" "tests/CMakeFiles/sala_tests.dir/sustain/tco_model_test.cc.o.d"
+  "/root/repo/tests/workload/aging_test.cc" "tests/CMakeFiles/sala_tests.dir/workload/aging_test.cc.o" "gcc" "tests/CMakeFiles/sala_tests.dir/workload/aging_test.cc.o.d"
+  "/root/repo/tests/workload/generators_test.cc" "tests/CMakeFiles/sala_tests.dir/workload/generators_test.cc.o" "gcc" "tests/CMakeFiles/sala_tests.dir/workload/generators_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sala_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/sala_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/flash/CMakeFiles/sala_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftl/CMakeFiles/sala_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sala_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/sala_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sala_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/difs/CMakeFiles/sala_difs.dir/DependInfo.cmake"
+  "/root/repo/build/src/fleet/CMakeFiles/sala_fleet.dir/DependInfo.cmake"
+  "/root/repo/build/src/sustain/CMakeFiles/sala_sustain.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
