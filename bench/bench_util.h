@@ -6,7 +6,10 @@
 #ifndef SALAMANDER_BENCH_BENCH_UTIL_H_
 #define SALAMANDER_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
 namespace salamander {
@@ -23,6 +26,51 @@ inline void PrintHeader(const std::string& artifact,
 inline void PrintSection(const std::string& title) {
   std::printf("\n-- %s --\n", title.c_str());
 }
+
+// Parses `--threads N` / `--threads=N` from argv. 0 means "all hardware
+// threads"; results of every bench are identical for any value — the knob
+// only changes wall-clock.
+inline unsigned ParseThreads(int argc, char** argv,
+                             unsigned default_threads = 0) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      return static_cast<unsigned>(std::strtoul(argv[i + 1], nullptr, 10));
+    }
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      return static_cast<unsigned>(std::strtoul(argv[i] + 10, nullptr, 10));
+    }
+  }
+  return default_threads;
+}
+
+// Parses `--flag N` / `--flag=N` for a uint64 value.
+inline uint64_t ParseU64Flag(int argc, char** argv, const char* flag,
+                             uint64_t default_value) {
+  const size_t flag_len = std::strlen(flag);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
+      return std::strtoull(argv[i + 1], nullptr, 10);
+    }
+    if (std::strncmp(argv[i], flag, flag_len) == 0 &&
+        argv[i][flag_len] == '=') {
+      return std::strtoull(argv[i] + flag_len + 1, nullptr, 10);
+    }
+  }
+  return default_value;
+}
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
 
 }  // namespace bench
 }  // namespace salamander

@@ -49,21 +49,27 @@ FleetConfig BenchFleet(SsdKind kind) {
 }  // namespace
 }  // namespace salamander
 
-int main() {
+int main(int argc, char** argv) {
   using namespace salamander;
   bench::PrintHeader(
       "Figure 3a — functioning SSDs over time",
       "baseline devices brick in a narrow window; RegenS flattens the "
       "failure slope (green vs red in the paper)");
+  // Snapshot values are identical for any thread count; see DESIGN.md
+  // "Threading & determinism".
+  const unsigned threads = bench::ParseThreads(argc, argv);
 
   std::map<SsdKind, std::vector<FleetSnapshot>> runs;
   for (SsdKind kind :
        {SsdKind::kBaseline, SsdKind::kShrinkS, SsdKind::kRegenS}) {
-    FleetSim sim(BenchFleet(kind));
+    FleetConfig config = BenchFleet(kind);
+    config.threads = threads;
+    FleetSim sim(config);
     runs[kind] = sim.Run();
-    std::printf("[%s] half-fleet-dead day: %u\n",
+    const std::optional<uint32_t> half_dead = sim.DayDevicesBelow(0.5);
+    std::printf("[%s] half-fleet-dead day: %s\n",
                 std::string(SsdKindName(kind)).c_str(),
-                sim.DayDevicesBelow(0.5));
+                half_dead ? std::to_string(*half_dead).c_str() : "never");
   }
 
   bench::PrintSection("functioning devices (of 16) by day");

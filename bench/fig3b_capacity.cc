@@ -45,19 +45,22 @@ FleetConfig BenchFleet(SsdKind kind) {
 }  // namespace
 }  // namespace salamander
 
-int main() {
+int main(int argc, char** argv) {
   using namespace salamander;
   bench::PrintHeader(
       "Figure 3b — available capacity over time",
       "baseline capacity drops in whole-device cliffs; Salamander shrinks "
       "gradually and retains capacity longer");
+  const unsigned threads = bench::ParseThreads(argc, argv);
 
   std::map<SsdKind, std::vector<FleetSnapshot>> runs;
   std::map<SsdKind, FleetSim*> sims;
   std::vector<std::unique_ptr<FleetSim>> storage;
   for (SsdKind kind :
        {SsdKind::kBaseline, SsdKind::kShrinkS, SsdKind::kRegenS}) {
-    storage.push_back(std::make_unique<FleetSim>(BenchFleet(kind)));
+    FleetConfig config = BenchFleet(kind);
+    config.threads = threads;
+    storage.push_back(std::make_unique<FleetSim>(config));
     runs[kind] = storage.back()->Run();
     sims[kind] = storage.back().get();
   }
@@ -84,11 +87,18 @@ int main() {
 
   bench::PrintSection("day fleet capacity first fell below fraction");
   std::printf("fraction\tbaseline\tshrinks\tregens\n");
+  const auto day_or_never = [](std::optional<uint32_t> day) {
+    return day ? std::to_string(*day) : std::string("never");
+  };
   for (double fraction : {0.9, 0.75, 0.5, 0.25}) {
-    std::printf("%.2f\t%u\t%u\t%u\n", fraction,
-                sims[SsdKind::kBaseline]->DayCapacityBelow(fraction),
-                sims[SsdKind::kShrinkS]->DayCapacityBelow(fraction),
-                sims[SsdKind::kRegenS]->DayCapacityBelow(fraction));
+    std::printf(
+        "%.2f\t%s\t%s\t%s\n", fraction,
+        day_or_never(sims[SsdKind::kBaseline]->DayCapacityBelow(fraction))
+            .c_str(),
+        day_or_never(sims[SsdKind::kShrinkS]->DayCapacityBelow(fraction))
+            .c_str(),
+        day_or_never(sims[SsdKind::kRegenS]->DayCapacityBelow(fraction))
+            .c_str());
   }
   return 0;
 }

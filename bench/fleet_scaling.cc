@@ -1,0 +1,138 @@
+// Serial-vs-parallel wall-clock for the fleet simulator (the engine behind
+// Fig. 3a/3b), and the determinism cross-check that makes the parallel
+// numbers trustworthy: for each device kind the run is executed with
+// threads=1 and threads=N and the snapshot vectors must be byte-identical.
+//
+// Emits BENCH_fleet.json (cwd) with the measured times, the speedup, and
+// the machine's hardware concurrency, so results from different machines
+// are self-describing.
+//
+// Flags: --threads N (0 = all hardware threads; default), --devices N,
+//        --days N.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/thread_pool.h"
+#include "fleet/fleet_sim.h"
+
+namespace salamander {
+namespace {
+
+// Same calibration as fig3a, scaled out to a fleet large enough that
+// per-device stepping dominates scheduling overhead.
+FleetConfig BenchFleet(SsdKind kind, uint32_t devices, uint32_t days) {
+  FleetConfig config;
+  config.kind = kind;
+  config.devices = devices;
+  config.geometry.channels = 2;
+  config.geometry.dies_per_channel = 2;
+  config.geometry.planes_per_die = 1;
+  config.geometry.blocks_per_plane = 64;
+  config.geometry.fpages_per_block = 16;
+  config.ecc = FPageEccGeometry{};
+  config.wear = WearModel::Calibrate(
+      ComputeTirednessLevel(config.ecc, 0).max_tolerable_rber,
+      /*nominal_pec=*/640);
+  config.msize_opages = 256;
+  config.dwpd = 2.0;
+  config.dwpd_sigma = 0.25;
+  config.afr = 0.02;
+  config.days = days;
+  config.sample_every_days = 5;
+  config.seed = 20250514;
+  return config;
+}
+
+struct KindResult {
+  std::string kind;
+  double serial_seconds = 0.0;
+  double parallel_seconds = 0.0;
+  bool identical = false;
+};
+
+}  // namespace
+}  // namespace salamander
+
+int main(int argc, char** argv) {
+  using namespace salamander;
+  const unsigned requested = bench::ParseThreads(argc, argv);
+  const unsigned parallel_threads =
+      requested == 0 ? ThreadPool::HardwareThreads() : requested;
+  const uint32_t devices = static_cast<uint32_t>(
+      bench::ParseU64Flag(argc, argv, "--devices", 128));
+  const uint32_t days =
+      static_cast<uint32_t>(bench::ParseU64Flag(argc, argv, "--days", 60));
+
+  bench::PrintHeader(
+      "fleet scaling — serial vs parallel FleetSim::Run()",
+      "per-device RNG streams make the parallel fleet run bit-identical to "
+      "the serial one; threads only buy wall-clock");
+  std::printf("devices=%u days=%u threads=1 vs %u (hardware=%u)\n", devices,
+              days, parallel_threads, ThreadPool::HardwareThreads());
+
+  std::printf("\nkind\tserial_s\tparallel_s\tspeedup\tidentical\n");
+  std::vector<KindResult> results;
+  for (SsdKind kind : {SsdKind::kBaseline, SsdKind::kRegenS}) {
+    KindResult result;
+    result.kind = std::string(SsdKindName(kind));
+
+    FleetConfig serial_config = BenchFleet(kind, devices, days);
+    serial_config.threads = 1;
+    FleetSim serial_sim(serial_config);
+    bench::WallTimer serial_timer;
+    const std::vector<FleetSnapshot> serial_snaps = serial_sim.Run();
+    result.serial_seconds = serial_timer.Seconds();
+
+    FleetConfig parallel_config = BenchFleet(kind, devices, days);
+    parallel_config.threads = parallel_threads;
+    FleetSim parallel_sim(parallel_config);
+    bench::WallTimer parallel_timer;
+    const std::vector<FleetSnapshot> parallel_snaps = parallel_sim.Run();
+    result.parallel_seconds = parallel_timer.Seconds();
+
+    result.identical = serial_snaps == parallel_snaps;
+    std::printf("%s\t%.3f\t%.3f\t%.2fx\t%s\n", result.kind.c_str(),
+                result.serial_seconds, result.parallel_seconds,
+                result.serial_seconds / result.parallel_seconds,
+                result.identical ? "yes" : "NO — BUG");
+    results.push_back(result);
+  }
+
+  FILE* json = std::fopen("BENCH_fleet.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_fleet.json\n");
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n"
+               "  \"bench\": \"fleet_scaling\",\n"
+               "  \"devices\": %u,\n"
+               "  \"days\": %u,\n"
+               "  \"hardware_concurrency\": %u,\n"
+               "  \"parallel_threads\": %u,\n"
+               "  \"runs\": [\n",
+               devices, days, ThreadPool::HardwareThreads(),
+               parallel_threads);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const KindResult& r = results[i];
+    std::fprintf(json,
+                 "    {\"kind\": \"%s\", \"serial_seconds\": %.3f, "
+                 "\"parallel_seconds\": %.3f, \"speedup\": %.2f, "
+                 "\"snapshots_identical\": %s}%s\n",
+                 r.kind.c_str(), r.serial_seconds, r.parallel_seconds,
+                 r.serial_seconds / r.parallel_seconds,
+                 r.identical ? "true" : "false",
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("\nwrote BENCH_fleet.json\n");
+
+  bool all_identical = true;
+  for (const KindResult& r : results) {
+    all_identical &= r.identical;
+  }
+  return all_identical ? 0 : 1;
+}

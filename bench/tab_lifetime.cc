@@ -10,11 +10,13 @@
 // Also ablates the design decisions DESIGN.md calls out: the victim-
 // selection policy at decommission, the RegenS tiredness cap (L < 2 vs
 // deeper), and the firmware retirement margin.
+#include <array>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/thread_pool.h"
 #include "ecc/tiredness.h"
 #include "flash/wear_model.h"
 #include "ssd/ssd_device.h"
@@ -49,16 +51,26 @@ uint64_t AgeToDeath(SsdDevice& device, uint64_t seed) {
   return driver.total_written();
 }
 
-uint64_t MeanLifetime(SsdKind kind, unsigned regen_level = 1,
+// Ages the 5 seed-replicas on the pool (each owns an independent device and
+// RNG streams) and sums them in seed order, so the mean is identical for
+// every thread count.
+uint64_t MeanLifetime(ThreadPool& pool, SsdKind kind, unsigned regen_level = 1,
                       VictimPolicy policy = VictimPolicy::kLeastValid,
                       double retire_margin = 1.0) {
+  std::array<uint64_t, std::size(kSeeds)> lifetimes{};
+  pool.ParallelFor(std::size(kSeeds), [&](size_t begin, size_t end) {
+    for (size_t s = begin; s < end; ++s) {
+      const uint64_t seed = kSeeds[s];
+      SsdConfig config = BenchConfig(kind, seed, regen_level);
+      config.minidisk.victim_policy = policy;
+      config.ftl.retire_margin = retire_margin;
+      SsdDevice device(kind, config);
+      lifetimes[s] = AgeToDeath(device, seed * 13);
+    }
+  });
   uint64_t total = 0;
-  for (uint64_t seed : kSeeds) {
-    SsdConfig config = BenchConfig(kind, seed, regen_level);
-    config.minidisk.victim_policy = policy;
-    config.ftl.retire_margin = retire_margin;
-    SsdDevice device(kind, config);
-    total += AgeToDeath(device, seed * 13);
+  for (uint64_t lifetime : lifetimes) {
+    total += lifetime;
   }
   return total / std::size(kSeeds);
 }
@@ -66,25 +78,26 @@ uint64_t MeanLifetime(SsdKind kind, unsigned regen_level = 1,
 }  // namespace
 }  // namespace salamander
 
-int main() {
+int main(int argc, char** argv) {
   using namespace salamander;
   bench::PrintHeader(
       "Section 4 — device lifetime table",
       "lifetime ordering baseline < CVSS <= ShrinkS < RegenS; Salamander "
       "extends flash lifetime by up to ~1.5x");
+  ThreadPool pool(bench::ParseThreads(argc, argv));
 
   bench::PrintSection("lifetime in host oPage writes (mean of 5 seeds)");
   std::printf("device\tlifetime_writes\tvs_baseline\n");
-  const uint64_t baseline = MeanLifetime(SsdKind::kBaseline);
+  const uint64_t baseline = MeanLifetime(pool, SsdKind::kBaseline);
   struct Row {
     const char* name;
     uint64_t writes;
   };
   std::vector<Row> rows = {
       {"baseline", baseline},
-      {"cvss", MeanLifetime(SsdKind::kCvss)},
-      {"shrinks", MeanLifetime(SsdKind::kShrinkS)},
-      {"regens(L<2)", MeanLifetime(SsdKind::kRegenS, 1)},
+      {"cvss", MeanLifetime(pool, SsdKind::kCvss)},
+      {"shrinks", MeanLifetime(pool, SsdKind::kShrinkS)},
+      {"regens(L<2)", MeanLifetime(pool, SsdKind::kRegenS, 1)},
   };
   for (const Row& row : rows) {
     std::printf("%s\t%llu\t%.2fx\n", row.name,
@@ -99,7 +112,7 @@ int main() {
   for (unsigned level : {1u, 2u, 3u}) {
     const uint64_t writes = level == 1
                                 ? l1
-                                : MeanLifetime(SsdKind::kRegenS, level);
+                                : MeanLifetime(pool, SsdKind::kRegenS, level);
     std::printf("L<=%u\t%llu\t%.2fx\n", level,
                 static_cast<unsigned long long>(writes),
                 static_cast<double>(writes) / static_cast<double>(l1));
@@ -115,15 +128,16 @@ int main() {
                                              VictimPolicy::kLowestId}}) {
     std::printf("%s\t%llu\n", name,
                 static_cast<unsigned long long>(
-                    MeanLifetime(SsdKind::kShrinkS, 1, policy)));
+                    MeanLifetime(pool, SsdKind::kShrinkS, 1, policy)));
   }
 
   bench::PrintSection("ablation: firmware retirement margin (RegenS)");
   std::printf("margin\tlifetime_writes\n");
   for (double margin : {0.5, 0.8, 1.0}) {
     std::printf("%.1f\t%llu\n", margin,
-                static_cast<unsigned long long>(MeanLifetime(
-                    SsdKind::kRegenS, 1, VictimPolicy::kLeastValid, margin)));
+                static_cast<unsigned long long>(
+                    MeanLifetime(pool, SsdKind::kRegenS, 1,
+                                 VictimPolicy::kLeastValid, margin)));
   }
   return 0;
 }

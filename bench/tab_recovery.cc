@@ -8,12 +8,15 @@
 //    device bursts (lower max single-event traffic);
 //  * RegenS adds some extra recovery because regenerated mDisks are
 //    shorter-lived and re-fail.
+#include <array>
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/thread_pool.h"
 #include "difs/cluster.h"
 #include "difs/ec_cluster.h"
 #include "ecc/tiredness.h"
@@ -89,24 +92,34 @@ RunResult RunCluster(SsdKind kind, uint64_t target_lost_replicas,
 }  // namespace
 }  // namespace salamander
 
-int main() {
+int main(int argc, char** argv) {
   using namespace salamander;
   bench::PrintHeader(
       "Section 4.3 — recovery traffic",
       "mDisk recovery volume comparable to baseline, but spread over many "
       "small events instead of whole-device bursts");
+  ThreadPool pool(bench::ParseThreads(argc, argv));
 
   constexpr uint64_t kTargetLostReplicas = 50;   // ~50 MiB of failed LBAs
   constexpr uint64_t kForegroundBudget = 4000000;
   std::printf(
       "device\trecovered_MiB\tlost_replicas\trecovery_events\t"
       "max_burst_MiB\tforegroundK\tchunks_lost\tdevices_alive\n");
-  for (SsdKind kind :
-       {SsdKind::kBaseline, SsdKind::kShrinkS, SsdKind::kRegenS}) {
-    const RunResult result =
-        RunCluster(kind, kTargetLostReplicas, kForegroundBudget);
+  // Each cluster run owns its devices and RNG streams; run the three kinds
+  // on the pool and print rows in kind order afterwards.
+  constexpr SsdKind kKinds[] = {SsdKind::kBaseline, SsdKind::kShrinkS,
+                                SsdKind::kRegenS};
+  std::array<RunResult, std::size(kKinds)> results;
+  pool.ParallelFor(std::size(kKinds), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      results[i] = RunCluster(kKinds[i], kTargetLostReplicas,
+                              kForegroundBudget);
+    }
+  });
+  for (size_t i = 0; i < std::size(kKinds); ++i) {
+    const RunResult& result = results[i];
     std::printf("%s\t%.1f\t%llu\t%llu\t%.1f\t%llu\t%llu\t%u\n",
-                std::string(SsdKindName(kind)).c_str(),
+                std::string(SsdKindName(kKinds[i])).c_str(),
                 static_cast<double>(result.stats.recovery_bytes()) /
                     (1024.0 * 1024.0),
                 static_cast<unsigned long long>(result.stats.replicas_lost),
@@ -128,7 +141,7 @@ int main() {
   std::printf(
       "device\tcells_lost\trebuild_read_MiB\trebuild_write_MiB\t"
       "stripes_lost\tdegraded\n");
-  for (SsdKind kind : {SsdKind::kBaseline, SsdKind::kShrinkS}) {
+  const auto run_ec = [&](SsdKind kind) -> std::optional<EcStats> {
     EcConfig ec_config;
     ec_config.nodes = 9;
     ec_config.data_cells = 4;
@@ -165,7 +178,7 @@ int main() {
     };
     EcCluster ec_cluster(ec_config, ec_factory);
     if (!ec_cluster.Bootstrap().ok()) {
-      continue;
+      return std::nullopt;
     }
     // Run both kinds to the same loss milestone (~one device's worth of
     // cells) so the rebuild-traffic comparison is per failed byte.
@@ -179,9 +192,22 @@ int main() {
         break;
       }
     }
-    const EcStats& ec_stats = ec_cluster.stats();
+    return ec_cluster.stats();
+  };
+  constexpr SsdKind kEcKinds[] = {SsdKind::kBaseline, SsdKind::kShrinkS};
+  std::array<std::optional<EcStats>, std::size(kEcKinds)> ec_results;
+  pool.ParallelFor(std::size(kEcKinds), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      ec_results[i] = run_ec(kEcKinds[i]);
+    }
+  });
+  for (size_t i = 0; i < std::size(kEcKinds); ++i) {
+    if (!ec_results[i]) {
+      continue;
+    }
+    const EcStats& ec_stats = *ec_results[i];
     std::printf("%s\t%llu\t%.1f\t%.1f\t%llu\t%llu\n",
-                std::string(SsdKindName(kind)).c_str(),
+                std::string(SsdKindName(kEcKinds[i])).c_str(),
                 static_cast<unsigned long long>(ec_stats.cells_lost),
                 static_cast<double>(ec_stats.rebuild_read_bytes()) /
                     (1024.0 * 1024.0),
@@ -204,15 +230,21 @@ int main() {
     bool grace;
     double forecast;
   };
-  for (const GraceMode& mode :
-       {GraceMode{"immediate", false, 0.0},
-        GraceMode{"grace-reactive", true, 0.0},
-        GraceMode{"grace-proactive", true, 0.15}}) {
-    const RunResult result =
-        RunCluster(SsdKind::kShrinkS, /*target_lost_replicas=*/120,
-                   kForegroundBudget, mode.grace, /*replication=*/2,
-                   /*fill=*/0.55, mode.forecast);
-    std::printf("%s\t%llu\t%llu/%llu\t%llu\n", mode.name,
+  constexpr GraceMode kModes[] = {GraceMode{"immediate", false, 0.0},
+                                  GraceMode{"grace-reactive", true, 0.0},
+                                  GraceMode{"grace-proactive", true, 0.15}};
+  std::array<RunResult, std::size(kModes)> grace_results;
+  pool.ParallelFor(std::size(kModes), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      grace_results[i] =
+          RunCluster(SsdKind::kShrinkS, /*target_lost_replicas=*/120,
+                     kForegroundBudget, kModes[i].grace, /*replication=*/2,
+                     /*fill=*/0.55, kModes[i].forecast);
+    }
+  });
+  for (size_t i = 0; i < std::size(kModes); ++i) {
+    const RunResult& result = grace_results[i];
+    std::printf("%s\t%llu\t%llu/%llu\t%llu\n", kModes[i].name,
                 static_cast<unsigned long long>(result.stats.replicas_lost),
                 static_cast<unsigned long long>(result.stats.drains_acked),
                 static_cast<unsigned long long>(

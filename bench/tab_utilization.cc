@@ -12,10 +12,12 @@
 //    lowers WAF, so fewer physical writes per host write);
 //  * the *relative* advantage of ShrinkS/RegenS over baseline holds at every
 //    utilization — unlike CVSS-style designs, it does not depend on slack.
+#include <array>
 #include <cstdio>
 #include <string>
 
 #include "bench/bench_util.h"
+#include "common/thread_pool.h"
 #include "ecc/tiredness.h"
 #include "flash/wear_model.h"
 #include "ssd/ssd_device.h"
@@ -49,31 +51,53 @@ uint64_t LifetimeAtUtilization(SsdKind kind, double working_set,
   return driver.total_written();
 }
 
-uint64_t MeanLifetime(SsdKind kind, double working_set) {
-  uint64_t total = 0;
-  for (uint64_t seed : {3u, 5u, 7u}) {
-    total += LifetimeAtUtilization(kind, working_set, seed);
+constexpr uint64_t kSeeds[] = {3, 5, 7};
+constexpr SsdKind kKinds[] = {SsdKind::kBaseline, SsdKind::kCvss,
+                              SsdKind::kShrinkS, SsdKind::kRegenS};
+
+// Ages the whole 4-kind x 3-seed grid for one utilization point on the pool
+// (12 independent devices) and reduces each kind's mean in seed order, so
+// the table is identical for every thread count.
+std::array<uint64_t, std::size(kKinds)> MeanLifetimes(ThreadPool& pool,
+                                                      double working_set) {
+  std::array<uint64_t, std::size(kKinds) * std::size(kSeeds)> grid{};
+  pool.ParallelFor(grid.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const SsdKind kind = kKinds[i / std::size(kSeeds)];
+      const uint64_t seed = kSeeds[i % std::size(kSeeds)];
+      grid[i] = LifetimeAtUtilization(kind, working_set, seed);
+    }
+  });
+  std::array<uint64_t, std::size(kKinds)> means{};
+  for (size_t k = 0; k < std::size(kKinds); ++k) {
+    uint64_t total = 0;
+    for (size_t s = 0; s < std::size(kSeeds); ++s) {
+      total += grid[k * std::size(kSeeds) + s];
+    }
+    means[k] = total / std::size(kSeeds);
   }
-  return total / 3;
+  return means;
 }
 
 }  // namespace
 }  // namespace salamander
 
-int main() {
+int main(int argc, char** argv) {
   using namespace salamander;
   bench::PrintHeader(
       "utilization ablation — lifetime vs space utilization",
       "Salamander's lifetime gain does not hinge on free space (unlike "
       "CVSS-style shrinking, §4)");
+  ThreadPool pool(bench::ParseThreads(argc, argv));
 
   std::printf("utilization\tbaseline\tcvss\tshrinks\tregens\t"
               "shrinks/baseline\tregens/baseline\n");
   for (double utilization : {1.0, 0.75, 0.5, 0.25}) {
-    const uint64_t baseline = MeanLifetime(SsdKind::kBaseline, utilization);
-    const uint64_t cvss = MeanLifetime(SsdKind::kCvss, utilization);
-    const uint64_t shrinks = MeanLifetime(SsdKind::kShrinkS, utilization);
-    const uint64_t regens = MeanLifetime(SsdKind::kRegenS, utilization);
+    const auto means = MeanLifetimes(pool, utilization);
+    const uint64_t baseline = means[0];
+    const uint64_t cvss = means[1];
+    const uint64_t shrinks = means[2];
+    const uint64_t regens = means[3];
     std::printf("%.2f\t%llu\t%llu\t%llu\t%llu\t%.2fx\t%.2fx\n", utilization,
                 static_cast<unsigned long long>(baseline),
                 static_cast<unsigned long long>(cvss),

@@ -85,7 +85,9 @@ uint64_t LogHistogram::Quantile(double q) const {
   if (count_ == 0) {
     return 0;
   }
-  if (q <= 0.0) {
+  // `!(q > 0.0)` (rather than `q <= 0.0`) also routes NaN to the min,
+  // keeping the ceil/cast below on finite input only.
+  if (!(q > 0.0)) {
     return min();
   }
   if (q >= 1.0) {
@@ -104,11 +106,12 @@ uint64_t LogHistogram::Quantile(double q) const {
   return max_;
 }
 
-void LogHistogram::Merge(const LogHistogram& other) {
+bool LogHistogram::Merge(const LogHistogram& other) {
   // Merging requires identical bucket layouts; both ctors round to pow2 so
-  // a mismatch means caller error.
+  // a mismatch means caller error — reject it rather than aggregate counts
+  // into the wrong value ranges.
   if (other.buckets_.size() != buckets_.size()) {
-    return;
+    return false;
   }
   for (uint64_t i = 0; i < buckets_.size(); ++i) {
     buckets_[i] += other.buckets_[i];
@@ -123,6 +126,7 @@ void LogHistogram::Merge(const LogHistogram& other) {
       max_ = other.max_;
     }
   }
+  return true;
 }
 
 void LogHistogram::Reset() {

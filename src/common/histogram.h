@@ -26,19 +26,26 @@ class LogHistogram {
   void RecordN(uint64_t value, uint64_t count);
 
   uint64_t count() const { return count_; }
+  // Smallest / largest recorded value. An empty histogram reports 0 for
+  // both (a defined sentinel, not UINT64_MAX leaking out of min_).
   uint64_t min() const { return count_ == 0 ? 0 : min_; }
   uint64_t max() const { return max_; }
   double Mean() const;
 
   // Returns the smallest recorded-bucket upper bound v such that at least
-  // q*count() samples are <= v. q in [0, 1].
+  // q*count() samples are <= v. q is clamped to [0, 1]: q <= 0 (and NaN)
+  // yields min(), q >= 1 yields max(). An empty histogram yields 0 for
+  // every q.
   uint64_t Quantile(double q) const;
 
   uint64_t P50() const { return Quantile(0.50); }
   uint64_t P95() const { return Quantile(0.95); }
   uint64_t P99() const { return Quantile(0.99); }
 
-  void Merge(const LogHistogram& other);
+  // Adds `other`'s samples into this histogram. Both histograms must have
+  // the same sub_buckets_per_octave (after pow2 rounding); a mismatched
+  // layout is rejected — `this` is left untouched and Merge returns false.
+  bool Merge(const LogHistogram& other);
   void Reset();
 
   // One-line human-readable summary, e.g. for bench output.

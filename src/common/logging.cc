@@ -1,5 +1,6 @@
 #include "common/logging.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 
@@ -7,7 +8,10 @@ namespace salamander {
 
 namespace {
 
-LogLevel g_min_level = LogLevel::kWarning;
+// Atomic so worker threads (fleet stepping) can check the level while a
+// test or example adjusts it; each fprintf below is a single call, which
+// POSIX serializes per stream, so concurrent lines never interleave.
+std::atomic<LogLevel> g_min_level{LogLevel::kWarning};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -32,16 +36,16 @@ const char* Basename(const char* path) {
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
-  g_min_level = level;
+  g_min_level.store(level, std::memory_order_relaxed);
 }
 
 LogLevel GetLogLevel() {
-  return g_min_level;
+  return g_min_level.load(std::memory_order_relaxed);
 }
 
 void LogMessage(LogLevel level, const char* file, int line,
                 const std::string& message) {
-  if (level < g_min_level) {
+  if (level < GetLogLevel()) {
     return;
   }
   std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), Basename(file),

@@ -10,12 +10,14 @@ namespace salamander {
 
 enum class LogLevel { kDebug = 0, kInfo, kWarning, kError };
 
-// Process-wide minimum level; messages below it are dropped.
+// Process-wide minimum level; messages below it are dropped. Atomic, so it
+// may be read/written from any thread.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
-// Emits one formatted line to stderr (thread-compatible, not thread-safe;
-// the simulator is single-threaded by design — determinism requires it).
+// Emits one formatted line to stderr. Thread-safe: each line is a single
+// fprintf call, so concurrent messages never interleave mid-line (fleet
+// workers may log while stepping devices in parallel).
 void LogMessage(LogLevel level, const char* file, int line,
                 const std::string& message);
 

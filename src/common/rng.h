@@ -57,6 +57,13 @@ class Rng {
   // generator's output, so forking is itself deterministic.
   Rng Fork();
 
+  // Draws a 64-bit seed for a child subsystem whose API takes a raw seed
+  // instead of an Rng — Fork() by another name. Prefer this (or Fork())
+  // over arithmetic on the parent seed (`seed + i`, `seed * k + i`):
+  // additive derivation hands correlated SplitMix64 inputs to siblings and
+  // invites collisions between independently derived families of streams.
+  uint64_t ForkSeed() { return NextU64(); }
+
  private:
   uint64_t s_[4];
   double cached_normal_ = 0.0;

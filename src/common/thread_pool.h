@@ -1,0 +1,79 @@
+// Minimal fixed-size worker pool for embarrassingly parallel simulation
+// loops (fleet device stepping, multi-seed bench sweeps).
+//
+// Design constraints, in priority order:
+//   1. Determinism — the pool never makes scheduling decisions that can leak
+//      into simulation results. Callers partition work by index, each work
+//      item owns disjoint state, and results are merged in index order, so
+//      output is byte-identical for any thread count (including 1).
+//   2. Auditability under TSan — all handoff happens under one mutex /
+//      condition-variable pair; there is no lock-free cleverness to reason
+//      about.
+//   3. Zero surprise in the serial case — a pool with <= 1 thread creates no
+//      workers at all; Submit and ParallelFor then execute inline on the
+//      calling thread, so `threads = 1` behaves exactly like a plain loop.
+#ifndef SALAMANDER_COMMON_THREAD_POOL_H_
+#define SALAMANDER_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace salamander {
+
+class ThreadPool {
+ public:
+  // `threads == 0` resolves to HardwareThreads(); `threads <= 1` runs in
+  // inline mode (no workers are spawned).
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Number of spawned worker threads (0 in inline mode).
+  unsigned worker_count() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+  // Parallel width seen by callers: max(1, worker_count()).
+  unsigned width() const {
+    return workers_.empty() ? 1u : worker_count();
+  }
+
+  // Enqueues one task. Inline mode executes it before returning. Tasks must
+  // not call back into this pool (no nested Submit/ParallelFor from a
+  // worker): Wait() counts only the owner's submissions and a nested
+  // ParallelFor would deadlock waiting for a slot it occupies.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every task submitted so far has finished. Call from the
+  // owning thread only.
+  void Wait();
+
+  // Splits [0, n) into contiguous chunks — several per worker, so uneven
+  // per-item cost (e.g. dead devices finishing instantly) still balances —
+  // and runs `body(begin, end)` for each. Blocks until all chunks are done.
+  void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& body);
+
+  // std::thread::hardware_concurrency() with a floor of 1.
+  static unsigned HardwareThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // queued + currently executing
+  bool shutting_down_ = false;
+};
+
+}  // namespace salamander
+
+#endif  // SALAMANDER_COMMON_THREAD_POOL_H_

@@ -2,17 +2,26 @@
 
 #include <cmath>
 
+#include "common/thread_pool.h"
+
 namespace salamander {
 
-FleetSim::FleetSim(const FleetConfig& config)
-    : config_(config), rng_(config.seed ^ 0xf1ee7f1ee7f1ee70ULL) {
+FleetSim::FleetSim(const FleetConfig& config) : config_(config) {
+  // Root of the fleet's RNG tree. Every stream any device will ever use is
+  // forked from it here, in device-ID order, so stream identity depends only
+  // on (seed, device index) — never on how other devices consume randomness
+  // or on the order in which devices are later stepped.
+  Rng fleet_rng(config_.seed ^ 0xf1ee7f1ee7f1ee70ULL);
   slots_.reserve(config_.devices);
   for (uint32_t i = 0; i < config_.devices; ++i) {
     DeviceSlot slot;
+    slot.rng = fleet_rng.Fork();
+    const uint64_t device_seed = fleet_rng.ForkSeed();
+    const uint64_t driver_seed = fleet_rng.ForkSeed();
     SsdConfig ssd_config =
         MakeSsdConfig(config_.kind, config_.geometry, config_.wear,
-                      config_.latency, config_.ecc,
-                      config_.seed * 7919 + i, config_.regen_max_level);
+                      config_.latency, config_.ecc, device_seed,
+                      config_.regen_max_level);
     if (config_.msize_opages > 0 &&
         (config_.kind == SsdKind::kShrinkS ||
          config_.kind == SsdKind::kRegenS)) {
@@ -20,13 +29,13 @@ FleetSim::FleetSim(const FleetConfig& config)
     }
     slot.device = std::make_unique<SsdDevice>(config_.kind, ssd_config);
     slot.driver =
-        std::make_unique<AgingDriver>(slot.device.get(), config_.seed + i);
+        std::make_unique<AgingDriver>(slot.device.get(), driver_seed);
     initial_capacity_ += slot.device->live_capacity_bytes();
     const uint64_t per_device_opages =
         slot.device->initial_capacity_bytes() / config_.geometry.opage_bytes;
     const double imbalance =
         config_.dwpd_sigma > 0.0
-            ? rng_.LogNormal(0.0, config_.dwpd_sigma)
+            ? slot.rng.LogNormal(0.0, config_.dwpd_sigma)
             : 1.0;
     slot.writes_per_day = static_cast<uint64_t>(
         config_.dwpd * imbalance * static_cast<double>(per_device_opages));
@@ -51,31 +60,42 @@ FleetSnapshot FleetSim::Sample(uint32_t day) const {
   return snapshot;
 }
 
+void FleetSim::StepDevice(DeviceSlot& slot, double daily_failure) {
+  if (!slot.alive || slot.device->failed()) {
+    slot.alive = false;
+    return;
+  }
+  if (slot.rng.Bernoulli(daily_failure)) {
+    // Random infant/controller failure, independent of wear.
+    slot.random_failure = true;
+    slot.alive = false;
+    return;
+  }
+  AgingResult result = slot.driver->WriteOPages(slot.writes_per_day);
+  if (result.device_failed) {
+    slot.alive = false;
+  }
+}
+
 std::vector<FleetSnapshot> FleetSim::Run() {
   snapshots_.clear();
   snapshots_.push_back(Sample(0));
   // Convert the annual failure rate to a per-day hazard.
   const double daily_failure =
       1.0 - std::pow(1.0 - config_.afr, 1.0 / 365.0);
+  // Each worker owns a disjoint slice of slots between day barriers; the
+  // sampling/merge below runs on this thread after the barrier, in device-ID
+  // order. With threads == 1 the pool executes inline (a plain loop).
+  ThreadPool pool(config_.threads);
   for (uint32_t day = 1; day <= config_.days; ++day) {
+    pool.ParallelFor(slots_.size(), [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        StepDevice(slots_[i], daily_failure);
+      }
+    });
     uint32_t alive = 0;
-    for (DeviceSlot& slot : slots_) {
-      if (!slot.alive || slot.device->failed()) {
-        slot.alive = false;
-        continue;
-      }
-      if (rng_.Bernoulli(daily_failure)) {
-        // Random infant/controller failure, independent of wear.
-        slot.random_failure = true;
-        slot.alive = false;
-        continue;
-      }
-      AgingResult result = slot.driver->WriteOPages(slot.writes_per_day);
-      if (result.device_failed) {
-        slot.alive = false;
-        continue;
-      }
-      ++alive;
+    for (const DeviceSlot& slot : slots_) {
+      alive += slot.alive ? 1 : 0;
     }
     if (day % config_.sample_every_days == 0 || alive == 0 ||
         day == config_.days) {
@@ -88,17 +108,17 @@ std::vector<FleetSnapshot> FleetSim::Run() {
   return snapshots_;
 }
 
-uint32_t FleetSim::DayDevicesBelow(double fraction) const {
+std::optional<uint32_t> FleetSim::DayDevicesBelow(double fraction) const {
   const double threshold = fraction * static_cast<double>(config_.devices);
   for (const FleetSnapshot& snapshot : snapshots_) {
     if (static_cast<double>(snapshot.functioning_devices) < threshold) {
       return snapshot.day;
     }
   }
-  return 0;
+  return std::nullopt;
 }
 
-uint32_t FleetSim::DayCapacityBelow(double fraction) const {
+std::optional<uint32_t> FleetSim::DayCapacityBelow(double fraction) const {
   const double threshold =
       fraction * static_cast<double>(initial_capacity_);
   for (const FleetSnapshot& snapshot : snapshots_) {
@@ -106,7 +126,7 @@ uint32_t FleetSim::DayCapacityBelow(double fraction) const {
       return snapshot.day;
     }
   }
-  return 0;
+  return std::nullopt;
 }
 
 }  // namespace salamander

@@ -6,11 +6,18 @@
 // still function and how much capacity the fleet retains — the two curves
 // the paper contrasts between baseline (cliff-edge bricks) and Salamander
 // (gradual shrink + regeneration).
+//
+// Every device is an independent stochastic process: all of its randomness
+// (endurance variance, workload addresses, the AFR failure draw) comes from
+// streams forked off the fleet RNG in device-ID order at construction. Run()
+// can therefore step devices on a thread pool (`FleetConfig::threads`) and
+// still produce snapshots byte-identical to a serial run.
 #ifndef SALAMANDER_FLEET_FLEET_SIM_H_
 #define SALAMANDER_FLEET_FLEET_SIM_H_
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/rng.h"
@@ -43,6 +50,9 @@ struct FleetConfig {
   uint32_t days = 1000;
   uint32_t sample_every_days = 10;
   uint64_t seed = 1;
+  // Worker threads for Run(): 1 = serial, 0 = all hardware threads. Results
+  // are identical for every value — parallelism only changes wall-clock.
+  unsigned threads = 1;
 };
 
 struct FleetSnapshot {
@@ -52,6 +62,8 @@ struct FleetSnapshot {
   uint64_t cumulative_decommissions = 0;  // mDisk-level failures so far
   uint64_t cumulative_regenerations = 0;  // mDisks minted by RegenS
   uint64_t cumulative_host_writes = 0;    // oPages
+
+  friend bool operator==(const FleetSnapshot&, const FleetSnapshot&) = default;
 };
 
 class FleetSim {
@@ -63,10 +75,11 @@ class FleetSim {
   std::vector<FleetSnapshot> Run();
 
   // Day on which the fleet first dropped below `fraction` of its devices;
-  // 0 if it never did. Valid after Run().
-  uint32_t DayDevicesBelow(double fraction) const;
-  // Day on which fleet capacity first dropped below `fraction` of initial.
-  uint32_t DayCapacityBelow(double fraction) const;
+  // std::nullopt if it never did. Valid after Run().
+  std::optional<uint32_t> DayDevicesBelow(double fraction) const;
+  // Day on which fleet capacity first dropped below `fraction` of initial;
+  // std::nullopt if it never did.
+  std::optional<uint32_t> DayCapacityBelow(double fraction) const;
 
   const std::vector<FleetSnapshot>& snapshots() const { return snapshots_; }
 
@@ -74,15 +87,23 @@ class FleetSim {
   struct DeviceSlot {
     std::unique_ptr<SsdDevice> device;
     std::unique_ptr<AgingDriver> driver;
+    // Private stream for fleet-level draws against this device (today: the
+    // daily AFR trial). Owned by the slot so that stepping one device never
+    // consumes another device's randomness — the property that makes
+    // parallel runs bit-identical to serial ones.
+    Rng rng;
     uint64_t writes_per_day = 0;
     bool random_failure = false;  // killed by the AFR draw
     bool alive = true;
   };
 
+  // Advances one device by one day. Touches only `slot` state; safe to call
+  // concurrently for distinct slots.
+  static void StepDevice(DeviceSlot& slot, double daily_failure);
+
   FleetSnapshot Sample(uint32_t day) const;
 
   FleetConfig config_;
-  Rng rng_;
   std::vector<DeviceSlot> slots_;
   std::vector<FleetSnapshot> snapshots_;
   uint64_t initial_capacity_ = 0;

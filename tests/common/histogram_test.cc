@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/rng.h"
 
 namespace salamander {
@@ -70,6 +72,53 @@ TEST(LogHistogramTest, QuantileEdgeValues) {
   EXPECT_EQ(h.Quantile(1.0), 100u);
 }
 
+TEST(LogHistogramTest, QuantileOnEmptyHistogramIsZeroForAllQ) {
+  LogHistogram h;
+  for (double q : {0.0, 0.5, 1.0, -1.0, 2.0}) {
+    EXPECT_EQ(h.Quantile(q), 0u) << "q=" << q;
+  }
+}
+
+TEST(LogHistogramTest, QuantileClampsOutOfRangeAndNaN) {
+  LogHistogram h;
+  h.Record(10);
+  h.Record(1000);
+  EXPECT_EQ(h.Quantile(-0.5), h.min());
+  EXPECT_EQ(h.Quantile(1.5), h.max());
+  EXPECT_EQ(h.Quantile(std::numeric_limits<double>::quiet_NaN()), h.min());
+}
+
+TEST(LogHistogramTest, QuantileSingleSampleIsThatSampleAtEveryQ) {
+  LogHistogram h;
+  h.Record(777);
+  EXPECT_EQ(h.Quantile(0.0), 777u);
+  EXPECT_EQ(h.Quantile(1.0), 777u);
+  // Interior quantiles land in 777's bucket: bounded relative error.
+  EXPECT_NEAR(static_cast<double>(h.Quantile(0.5)), 777.0, 777.0 * 0.04);
+}
+
+TEST(LogHistogramTest, SingleSubBucketPerOctaveStillOrdered) {
+  // The coarsest legal layout (1 sub-bucket per octave) must keep
+  // min <= p50 <= p99 <= max and exact edge quantiles.
+  LogHistogram h(1);
+  for (uint64_t v : {1u, 2u, 4u, 100u, 5000u}) {
+    h.Record(v);
+  }
+  EXPECT_EQ(h.Quantile(0.0), 1u);
+  EXPECT_EQ(h.Quantile(1.0), 5000u);
+  EXPECT_LE(h.Quantile(0.0), h.P50());
+  EXPECT_LE(h.P50(), h.P99());
+  EXPECT_LE(h.P99(), h.max());
+}
+
+TEST(LogHistogramTest, MinOnEmptyHistogramIsZeroSentinel) {
+  LogHistogram h;
+  EXPECT_EQ(h.min(), 0u);  // not UINT64_MAX leaking out of the accumulator
+  h.Record(5);
+  h.Reset();
+  EXPECT_EQ(h.min(), 0u);
+}
+
 TEST(LogHistogramTest, RecordNEquivalentToLoop) {
   LogHistogram a;
   LogHistogram b;
@@ -87,10 +136,40 @@ TEST(LogHistogramTest, MergeCombines) {
   LogHistogram b;
   a.Record(10);
   b.Record(1000);
-  a.Merge(b);
+  EXPECT_TRUE(a.Merge(b));
   EXPECT_EQ(a.count(), 2u);
   EXPECT_EQ(a.min(), 10u);
   EXPECT_EQ(a.max(), 1000u);
+}
+
+TEST(LogHistogramTest, MergeMismatchedLayoutRejectedAndUntouched) {
+  LogHistogram a(32);
+  LogHistogram b(64);  // different sub-bucket layout → different resolution
+  a.Record(10);
+  b.Record(1000);
+  EXPECT_FALSE(a.Merge(b));
+  EXPECT_EQ(a.count(), 1u);  // a unchanged by the rejected merge
+  EXPECT_EQ(a.max(), 10u);
+}
+
+TEST(LogHistogramTest, MergeEquivalentRoundedLayoutsAccepted) {
+  // 20 and 25 both round up to 32 sub-buckets, so their layouts match.
+  LogHistogram a(20);
+  LogHistogram b(25);
+  a.Record(10);
+  b.Record(1000);
+  EXPECT_TRUE(a.Merge(b));
+  EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(LogHistogramTest, MergeEmptyOtherIsNoOp) {
+  LogHistogram a;
+  LogHistogram b;
+  a.Record(42);
+  EXPECT_TRUE(a.Merge(b));
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.min(), 42u);
+  EXPECT_EQ(a.max(), 42u);
 }
 
 TEST(LogHistogramTest, ResetClears) {

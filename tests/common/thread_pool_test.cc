@@ -1,0 +1,109 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace salamander {
+namespace {
+
+TEST(ThreadPoolTest, InlineModeSpawnsNoWorkers) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.worker_count(), 0u);
+  EXPECT_EQ(pool.width(), 1u);
+}
+
+TEST(ThreadPoolTest, ZeroResolvesToHardware) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.width(), ThreadPool::HardwareThreads());
+}
+
+TEST(ThreadPoolTest, SubmitRunsInline) {
+  ThreadPool pool(1);
+  int value = 0;
+  pool.Submit([&] { value = 42; });
+  // Inline mode executes before Submit returns; Wait is a no-op.
+  EXPECT_EQ(value, 42);
+  pool.Wait();
+}
+
+TEST(ThreadPoolTest, SubmitAndWaitRunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    constexpr size_t kN = 1000;
+    std::vector<std::atomic<int>> hits(kN);
+    pool.ParallelFor(kN, [&](size_t begin, size_t end) {
+      ASSERT_LE(begin, end);
+      ASSERT_LE(end, kN);
+      for (size_t i = begin; i < end; ++i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    for (size_t i = 0; i < kN; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesEmptyAndTinyRanges) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(0, [&](size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::atomic<uint64_t> sum{0};
+  // Fewer items than workers: every item still runs exactly once.
+  pool.ParallelFor(3, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      sum.fetch_add(i + 1, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_EQ(sum.load(), 6u);
+}
+
+TEST(ThreadPoolTest, ParallelForChunksAreContiguousAndOrderedPerWorkerMerge) {
+  // Deterministic merge pattern: results land in an index-addressed vector,
+  // so the outcome is identical for any thread count.
+  constexpr size_t kN = 257;  // deliberately not a multiple of any width
+  std::vector<uint64_t> reference(kN);
+  for (size_t i = 0; i < kN; ++i) {
+    reference[i] = i * i;
+  }
+  for (unsigned threads : {1u, 3u, 5u}) {
+    ThreadPool pool(threads);
+    std::vector<uint64_t> out(kN, 0);
+    pool.ParallelFor(kN, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        out[i] = i * i;
+      }
+    });
+    EXPECT_EQ(out, reference) << "threads " << threads;
+  }
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyRounds) {
+  // The fleet loop calls ParallelFor once per simulated day; make sure
+  // repeated rounds on one pool neither deadlock nor drop work.
+  ThreadPool pool(4);
+  std::atomic<uint64_t> total{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.ParallelFor(16, [&](size_t begin, size_t end) {
+      total.fetch_add(end - begin, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 200u * 16u);
+}
+
+}  // namespace
+}  // namespace salamander

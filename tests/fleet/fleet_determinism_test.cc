@@ -1,0 +1,96 @@
+// Determinism suite for the parallel fleet engine: for a fixed seed the
+// snapshot vector must be byte-identical (a) across repeated runs and
+// (b) across thread counts. This is the property that lets Fig. 3a/3b run
+// on all cores without changing a single reported value.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "fleet/fleet_sim.h"
+#include "tests/testing/device_builder.h"
+
+namespace salamander {
+namespace {
+
+FleetConfig TestFleet(SsdKind kind, unsigned threads) {
+  FleetConfig config;
+  config.kind = kind;
+  config.devices = 6;
+  config.geometry = testing_util::TinyGeometry();
+  config.ecc = FPageEccGeometry{};
+  config.wear = testing_util::FastWear(config.ecc, /*nominal_pec=*/20);
+  config.msize_opages = 64;
+  config.dwpd = 2.0;
+  config.dwpd_sigma = 0.3;  // exercise the per-device imbalance draw
+  config.afr = 0.05;        // exercise the per-device AFR stream
+  config.days = 250;
+  config.sample_every_days = 5;
+  config.seed = 987654321;
+  config.threads = threads;
+  return config;
+}
+
+std::vector<FleetSnapshot> RunOnce(SsdKind kind, unsigned threads) {
+  FleetSim sim(TestFleet(kind, threads));
+  return sim.Run();
+}
+
+TEST(FleetDeterminismTest, SameSeedSameSnapshotsSerial) {
+  const auto first = RunOnce(SsdKind::kShrinkS, 1);
+  const auto second = RunOnce(SsdKind::kShrinkS, 1);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+TEST(FleetDeterminismTest, ParallelMatchesSerialBaseline) {
+  const auto serial = RunOnce(SsdKind::kBaseline, 1);
+  const auto parallel = RunOnce(SsdKind::kBaseline, 4);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(FleetDeterminismTest, ParallelMatchesSerialRegenS) {
+  const auto serial = RunOnce(SsdKind::kRegenS, 1);
+  const auto parallel = RunOnce(SsdKind::kRegenS, 4);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(FleetDeterminismTest, ParallelMatchesSerialAtHardwareWidth) {
+  const auto serial = RunOnce(SsdKind::kShrinkS, 1);
+  const auto parallel =
+      RunOnce(SsdKind::kShrinkS, ThreadPool::HardwareThreads());
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(FleetDeterminismTest, ThreadCountInvariance) {
+  const auto reference = RunOnce(SsdKind::kShrinkS, 1);
+  for (unsigned threads : {2u, 3u, 8u}) {
+    EXPECT_EQ(RunOnce(SsdKind::kShrinkS, threads), reference)
+        << "threads=" << threads;
+  }
+}
+
+TEST(FleetDeterminismTest, DifferentSeedsDiverge) {
+  FleetConfig a = TestFleet(SsdKind::kShrinkS, 1);
+  FleetConfig b = a;
+  b.seed = a.seed + 1;
+  FleetSim sim_a(a);
+  FleetSim sim_b(b);
+  EXPECT_NE(sim_a.Run(), sim_b.Run());
+}
+
+TEST(FleetDeterminismTest, ThresholdQueriesAgreeAcrossThreadCounts) {
+  FleetSim serial(TestFleet(SsdKind::kBaseline, 1));
+  FleetSim parallel(TestFleet(SsdKind::kBaseline, 4));
+  serial.Run();
+  parallel.Run();
+  for (double fraction : {0.9, 0.5, 0.1}) {
+    EXPECT_EQ(serial.DayDevicesBelow(fraction),
+              parallel.DayDevicesBelow(fraction));
+    EXPECT_EQ(serial.DayCapacityBelow(fraction),
+              parallel.DayCapacityBelow(fraction));
+  }
+}
+
+}  // namespace
+}  // namespace salamander

@@ -97,11 +97,12 @@ TEST(FleetSimTest, RegenSOutlivesBaseline) {
   FleetSim regens(TestFleet(SsdKind::kRegenS, 4, 15, 1000));
   baseline.Run();
   regens.Run();
-  const uint32_t baseline_half_dead = baseline.DayDevicesBelow(0.5);
-  const uint32_t regens_half_dead = regens.DayDevicesBelow(0.5);
-  ASSERT_GT(baseline_half_dead, 0u);
-  if (regens_half_dead != 0) {  // 0 = never dropped below half
-    EXPECT_GT(regens_half_dead, baseline_half_dead);
+  const std::optional<uint32_t> baseline_half_dead =
+      baseline.DayDevicesBelow(0.5);
+  const std::optional<uint32_t> regens_half_dead = regens.DayDevicesBelow(0.5);
+  ASSERT_TRUE(baseline_half_dead.has_value());
+  if (regens_half_dead) {  // nullopt = never dropped below half
+    EXPECT_GT(*regens_half_dead, *baseline_half_dead);
   }
 }
 
@@ -124,11 +125,25 @@ TEST(FleetSimTest, DeterministicRuns) {
 TEST(FleetSimTest, DayCapacityBelowFindsThreshold) {
   FleetSim sim(TestFleet(SsdKind::kShrinkS, 3, 15, 800));
   sim.Run();
-  const uint32_t day80 = sim.DayCapacityBelow(0.8);
-  const uint32_t day40 = sim.DayCapacityBelow(0.4);
-  ASSERT_GT(day80, 0u);
-  ASSERT_GT(day40, 0u);
-  EXPECT_LE(day80, day40);
+  const std::optional<uint32_t> day80 = sim.DayCapacityBelow(0.8);
+  const std::optional<uint32_t> day40 = sim.DayCapacityBelow(0.4);
+  ASSERT_TRUE(day80.has_value());
+  ASSERT_TRUE(day40.has_value());
+  EXPECT_LE(*day80, *day40);
+}
+
+TEST(FleetSimTest, ThresholdQueriesDistinguishNeverFromDayZero) {
+  // A fleet that never drops below 1% of its devices reports nullopt — not
+  // day 0 — while an impossible threshold (> 100%) is breached at day 0.
+  FleetSim sim(TestFleet(SsdKind::kShrinkS, 3, /*nominal_pec=*/1000,
+                         /*days=*/10));
+  sim.Run();
+  EXPECT_EQ(sim.DayDevicesBelow(0.01), std::nullopt);
+  EXPECT_EQ(sim.DayCapacityBelow(0.01), std::nullopt);
+  ASSERT_TRUE(sim.DayDevicesBelow(1.5).has_value());
+  EXPECT_EQ(*sim.DayDevicesBelow(1.5), 0u);
+  ASSERT_TRUE(sim.DayCapacityBelow(1.5).has_value());
+  EXPECT_EQ(*sim.DayCapacityBelow(1.5), 0u);
 }
 
 }  // namespace
