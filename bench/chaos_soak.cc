@@ -1,0 +1,261 @@
+// Chaos soak: hammers diFS clusters with every fault the injector knows —
+// flash program/erase failures, silent read corruption, busy planes, event
+// drops/duplicates/delays, device crashes mid-drain, node outages, lost
+// drain acks — and asserts the robustness contract:
+//
+//  * zero chunk loss while concurrent failures stay below R;
+//  * recovery converges after every burst (no pending backlog left);
+//  * cluster invariants hold at every checkpoint;
+//  * output is byte-identical across runs and --threads values (each
+//    universe owns its devices, injectors, and RNG streams).
+//
+// Exits nonzero on any violation, so it can run as a CI gate.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/thread_pool.h"
+#include "difs/cluster.h"
+#include "ecc/tiredness.h"
+#include "faults/fault_injector.h"
+#include "flash/wear_model.h"
+
+namespace salamander {
+namespace {
+
+struct UniverseResult {
+  SsdKind kind = SsdKind::kShrinkS;
+  DifsStats stats;
+  uint64_t chunks = 0;
+  uint64_t under_replicated = 0;
+  uint64_t parked = 0;
+  uint32_t devices_alive = 0;
+  uint64_t injected_device_faults = 0;
+  uint64_t injected_cluster_faults = 0;
+  uint64_t injected_by_site[FaultStats::kSites] = {};
+  bool converged = true;
+  bool invariants_ok = true;
+  std::string first_violation;
+};
+
+// Per-device fault mix. Crash-mid-drain is drawn on every event poll of a
+// draining device, which happens once per device per foreground op — keep it
+// tiny or the whole fleet dies mid-soak.
+FaultConfig DeviceFaults(uint64_t seed) {
+  FaultConfig config;
+  config.program_fail = 0.01;
+  config.erase_fail = 0.01;
+  config.read_corrupt = 0.005;
+  config.transient_unavailable = 0.002;
+  config.event_drop = 0.02;
+  config.event_duplicate = 0.02;
+  config.event_delay = 0.02;
+  config.event_delay_waves_max = 3;
+  config.crash_during_drain = 0.00002;
+  config.seed = seed;
+  return config;
+}
+
+FaultConfig ClusterFaults(uint64_t seed) {
+  FaultConfig config;
+  config.node_outage = 0.05;  // per maintenance tick
+  config.node_outage_ticks_max = 4;
+  config.ack_drain_lost = 0.05;
+  config.seed = seed;
+  return config;
+}
+
+UniverseResult RunUniverse(uint64_t universe, uint64_t base_seed,
+                           uint64_t bursts) {
+  UniverseResult result;
+  result.kind = (universe % 2 == 0) ? SsdKind::kShrinkS : SsdKind::kRegenS;
+
+  DifsConfig config;
+  config.nodes = 6;
+  config.devices_per_node = 1;
+  config.replication = 3;
+  config.chunk_opages = 256;
+  config.fill_fraction = 0.45;
+  config.seed = base_seed + universe;
+  config.faults = std::make_shared<FaultInjector>(
+      ClusterFaults(base_seed + universe), /*stream_id=*/universe);
+
+  FPageEccGeometry ecc;
+  const WearModelConfig wear = WearModel::Calibrate(
+      ComputeTirednessLevel(ecc, 0).max_tolerable_rber, /*nominal_pec=*/40);
+  std::vector<std::shared_ptr<FaultInjector>> device_injectors;
+  auto factory = [&](uint32_t index) {
+    SsdConfig ssd_config =
+        MakeSsdConfig(result.kind, FlashGeometry::Small(), wear,
+                      FlashLatencyConfig{}, ecc, 5000 + index * 17);
+    ssd_config.minidisk.msize_opages = 256;
+    ssd_config.minidisk.drain_before_decommission = true;
+    ssd_config.minidisk.max_draining = 8;
+    ssd_config.faults = std::make_shared<FaultInjector>(
+        DeviceFaults(base_seed + universe),
+        /*stream_id=*/universe * 64 + index);
+    device_injectors.push_back(ssd_config.faults);
+    return std::make_unique<SsdDevice>(result.kind, ssd_config);
+  };
+
+  DifsCluster cluster(config, factory);
+  const auto note_violation = [&](const std::string& what) {
+    if (result.first_violation.empty()) {
+      result.first_violation = what;
+    }
+  };
+  if (!cluster.Bootstrap().ok()) {
+    result.converged = false;
+    note_violation("bootstrap failed");
+  }
+
+  constexpr uint64_t kWritesPerBurst = 500;
+  constexpr uint64_t kReadsPerBurst = 250;
+  for (uint64_t burst = 0; burst < bursts; ++burst) {
+    if (cluster.alive_devices() < config.replication + 1) {
+      break;  // fleet worn down to the edge; stop before losses are expected
+    }
+    if (burst == bursts / 2) {
+      // Crash drill: brick one device outright (one concurrent whole-device
+      // failure < R) and require recovery to re-replicate everything it
+      // hosted — through the same lossy event channel as everything else.
+      cluster.device(static_cast<uint32_t>(universe % config.nodes)).Crash();
+    }
+    (void)cluster.StepWrites(kWritesPerBurst);
+    (void)cluster.StepReads(kReadsPerBurst);
+    cluster.ForceReconcile();
+    const Status invariants = cluster.CheckInvariants();
+    if (!invariants.ok()) {
+      result.invariants_ok = false;
+      note_violation("burst " + std::to_string(burst) + ": " +
+                     invariants.ToString());
+    }
+    if (cluster.pending_recovery_backlog() != 0) {
+      result.converged = false;
+      note_violation("burst " + std::to_string(burst) +
+                     ": recovery backlog not drained");
+    }
+  }
+  // Let any active outage expire (maintenance ticks fire every 256 ops),
+  // then reconcile to final quiescence.
+  for (int i = 0; i < 64 && cluster.outage_node() >= 0; ++i) {
+    (void)cluster.StepWrites(256);
+  }
+  cluster.ForceReconcile();
+  const Status invariants = cluster.CheckInvariants();
+  if (!invariants.ok()) {
+    result.invariants_ok = false;
+    note_violation("final: " + invariants.ToString());
+  }
+  if (cluster.pending_recovery_backlog() != 0) {
+    result.converged = false;
+    note_violation("final: recovery backlog not drained");
+  }
+  // Every non-lost chunk is fully replicated or explicitly parked waiting
+  // for capacity — nothing falls through the cracks.
+  if (cluster.chunks_under_replicated() > cluster.chunks_waiting_capacity()) {
+    result.converged = false;
+    note_violation("final: under-replicated chunks not tracked");
+  }
+  // The soak must actually exercise the recovery machinery (the crash drill
+  // alone guarantees losses), or a regression that silently disables
+  // recovery would still "pass".
+  if (cluster.stats().replicas_recovered == 0) {
+    result.converged = false;
+    note_violation("final: soak exercised no recovery at all");
+  }
+
+  result.stats = cluster.stats();
+  result.chunks = cluster.total_chunks();
+  result.under_replicated = cluster.chunks_under_replicated();
+  result.parked = cluster.chunks_waiting_capacity();
+  result.devices_alive = cluster.alive_devices();
+  for (const auto& injector : device_injectors) {
+    result.injected_device_faults += injector->stats().total();
+    for (int site = 0; site < FaultStats::kSites; ++site) {
+      result.injected_by_site[site] += injector->stats().injected[site];
+    }
+  }
+  result.injected_cluster_faults = config.faults->stats().total();
+  for (int site = 0; site < FaultStats::kSites; ++site) {
+    result.injected_by_site[site] += config.faults->stats().injected[site];
+  }
+  return result;
+}
+
+}  // namespace
+}  // namespace salamander
+
+int main(int argc, char** argv) {
+  using namespace salamander;
+  bench::PrintHeader(
+      "Chaos soak — fault injection vs. diFS recovery",
+      "with concurrent failures < R, the cluster loses zero chunks and "
+      "recovery converges after every fault burst");
+  ThreadPool pool(bench::ParseThreads(argc, argv));
+  const uint64_t universes = bench::ParseU64Flag(argc, argv, "--universes", 6);
+  const uint64_t bursts = bench::ParseU64Flag(argc, argv, "--bursts", 12);
+  const uint64_t seed = bench::ParseU64Flag(argc, argv, "--seed", 20250805);
+
+  std::vector<UniverseResult> results(universes);
+  pool.ParallelFor(universes, [&](size_t begin, size_t end) {
+    for (size_t u = begin; u < end; ++u) {
+      results[u] = RunUniverse(u, seed, bursts);
+    }
+  });
+
+  std::printf(
+      "universe\tkind\tchunks\tlost\tunder_repl\tparked\trecovered\t"
+      "dev_faults\tclu_faults\tresyncs\trepairs\tretries\toutages\t"
+      "acks_lost\talive\tstatus\n");
+  bool pass = true;
+  for (uint64_t u = 0; u < universes; ++u) {
+    const UniverseResult& r = results[u];
+    const bool ok = r.invariants_ok && r.converged && r.stats.chunks_lost == 0;
+    pass = pass && ok;
+    std::printf(
+        "%llu\t%s\t%llu\t%llu\t%llu\t%llu\t%llu\t%llu\t%llu\t%llu\t%llu\t"
+        "%llu\t%llu\t%llu\t%u\t%s\n",
+        static_cast<unsigned long long>(u),
+        std::string(SsdKindName(r.kind)).c_str(),
+        static_cast<unsigned long long>(r.chunks),
+        static_cast<unsigned long long>(r.stats.chunks_lost),
+        static_cast<unsigned long long>(r.under_replicated),
+        static_cast<unsigned long long>(r.parked),
+        static_cast<unsigned long long>(r.stats.replicas_recovered),
+        static_cast<unsigned long long>(r.injected_device_faults),
+        static_cast<unsigned long long>(r.injected_cluster_faults),
+        static_cast<unsigned long long>(r.stats.resync_passes),
+        static_cast<unsigned long long>(r.stats.resync_repairs),
+        static_cast<unsigned long long>(r.stats.transient_retries),
+        static_cast<unsigned long long>(r.stats.node_outages),
+        static_cast<unsigned long long>(r.stats.acks_lost),
+        r.devices_alive, ok ? "OK" : "FAIL");
+    if (!ok) {
+      std::printf("  violation: %s\n", r.first_violation.c_str());
+    }
+  }
+
+  bench::PrintSection("injected fault mix (all universes)");
+  uint64_t by_site[FaultStats::kSites] = {};
+  for (const UniverseResult& r : results) {
+    for (int site = 0; site < FaultStats::kSites; ++site) {
+      by_site[site] += r.injected_by_site[site];
+    }
+  }
+  for (int site = 0; site < FaultStats::kSites; ++site) {
+    std::printf("%-22s\t%llu\n",
+                std::string(FaultSiteName(static_cast<FaultSite>(site)))
+                    .c_str(),
+                static_cast<unsigned long long>(by_site[site]));
+  }
+
+  bench::PrintSection("verdict");
+  std::printf("CHAOS SOAK: %s\n", pass ? "PASS" : "FAIL");
+  std::printf(
+      "Determinism contract: this output is byte-identical for any --threads\n"
+      "value and across repeated runs with the same --seed.\n");
+  return pass ? 0 : 1;
+}

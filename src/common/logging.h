@@ -3,6 +3,8 @@
 #ifndef SALAMANDER_COMMON_LOGGING_H_
 #define SALAMANDER_COMMON_LOGGING_H_
 
+#include <atomic>
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -47,6 +49,20 @@ struct Voidify {
   void operator&&(const LogStream&) const {}
 };
 
+// Per-call-site counter behind SALA_LOG_EVERY_N. Atomic so parallel fleet
+// workers hitting the same site race benignly (a rare off-by-one in *which*
+// occurrence logs, never a torn count).
+struct EveryNState {
+  std::atomic<uint64_t> count{0};
+
+  // True on occurrences 1, N+1, 2N+1, ... Sets `occurrence` to the running
+  // hit count so the emitted line can say how many were suppressed.
+  bool ShouldLog(uint64_t n, uint64_t& occurrence) {
+    occurrence = count.fetch_add(1, std::memory_order_relaxed) + 1;
+    return n <= 1 || (occurrence % n) == 1;
+  }
+};
+
 }  // namespace log_internal
 
 }  // namespace salamander
@@ -57,5 +73,20 @@ struct Voidify {
       : ::salamander::log_internal::Voidify() &&                           \
             ::salamander::log_internal::LogStream(                         \
                 ::salamander::LogLevel::severity, __FILE__, __LINE__)
+
+// Rate-limited variant: emits occurrences 1, N+1, 2N+1, ... of this call
+// site and silently counts the rest. For events that are individually
+// uninteresting but arrive in floods — e.g. every injected fault during a
+// chaos soak. The lambda gives each expansion its own static counter.
+//   SALA_LOG_EVERY_N(kWarning, 1000) << "injected fault: " << detail;
+#define SALA_LOG_EVERY_N(severity, n)                                      \
+  for (uint64_t sala_every_n_occurrence_ =                                 \
+           [] {                                                            \
+             static ::salamander::log_internal::EveryNState state;         \
+             uint64_t occurrence = 0;                                      \
+             return state.ShouldLog((n), occurrence) ? occurrence : 0;     \
+           }();                                                            \
+       sala_every_n_occurrence_ != 0; sala_every_n_occurrence_ = 0)        \
+  SALA_LOG(severity) << "[occurrence " << sala_every_n_occurrence_ << "] "
 
 #endif  // SALAMANDER_COMMON_LOGGING_H_

@@ -9,6 +9,8 @@
 #define SALAMANDER_COMMON_STATUS_H_
 
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <optional>
 #include <ostream>
 #include <string>
@@ -148,8 +150,17 @@ inline Status InternalError(std::string msg) {
   return Status(StatusCode::kInternal, std::move(msg));
 }
 
-// Value-or-error. Accessing value() on an error status asserts in debug
-// builds; callers are expected to check ok() first (the [[nodiscard]] on the
+// Terminates with the offending status. Accessing value() on an error state
+// is a caller bug; silently reading the empty optional would be UB, so this
+// aborts in every build mode (assert() would vanish under NDEBUG).
+[[noreturn]] inline void DieOnBadStatusOrAccess(const Status& status) {
+  std::fprintf(stderr, "StatusOr::value() called on error status: %s\n",
+               status.ToString().c_str());
+  std::abort();
+}
+
+// Value-or-error. Accessing value() on an error status aborts (in all build
+// modes); callers are expected to check ok() first (the [[nodiscard]] on the
 // factory functions plus tests enforce the discipline).
 template <typename T>
 class [[nodiscard]] StatusOr {
@@ -163,15 +174,21 @@ class [[nodiscard]] StatusOr {
   const Status& status() const { return status_; }
 
   const T& value() const& {
-    assert(ok());
+    if (!ok()) {
+      DieOnBadStatusOrAccess(status_);
+    }
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    if (!ok()) {
+      DieOnBadStatusOrAccess(status_);
+    }
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    if (!ok()) {
+      DieOnBadStatusOrAccess(status_);
+    }
     return *std::move(value_);
   }
 

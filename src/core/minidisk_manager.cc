@@ -46,7 +46,7 @@ MinidiskId MinidiskManager::CreateMinidisk(unsigned tiredness_level) {
   written_.emplace_back(config_.msize_opages, false);
   ++live_minidisks_;
   live_logical_opages_ += config_.msize_opages;
-  events_.push_back(MinidiskEvent{MinidiskEventType::kCreated, md.id});
+  PushEvent(MinidiskEvent{MinidiskEventType::kCreated, md.id});
   return md.id;
 }
 
@@ -272,14 +272,13 @@ void MinidiskManager::Decommission(MinidiskId victim) {
     md.state = MinidiskState::kDraining;
     draining_.push_back(victim);
     draining_logical_opages_ += md.size_opages;
-    events_.push_back(MinidiskEvent{MinidiskEventType::kDraining, victim});
+    PushEvent(MinidiskEvent{MinidiskEventType::kDraining, victim});
     return;
   }
   TrimMinidisk(victim);
   md.state = MinidiskState::kDecommissioned;
   ++decommissioned_total_;
-  events_.push_back(
-      MinidiskEvent{MinidiskEventType::kDecommissioned, victim});
+  PushEvent(MinidiskEvent{MinidiskEventType::kDecommissioned, victim});
 }
 
 void MinidiskManager::FinishDrain(MinidiskId mdisk, bool forced) {
@@ -295,8 +294,7 @@ void MinidiskManager::FinishDrain(MinidiskId mdisk, bool forced) {
   if (forced) {
     ++drains_forced_;
   }
-  events_.push_back(
-      MinidiskEvent{MinidiskEventType::kDecommissioned, mdisk});
+  PushEvent(MinidiskEvent{MinidiskEventType::kDecommissioned, mdisk});
 }
 
 bool MinidiskManager::ShedCapacityNow() {
@@ -315,8 +313,7 @@ bool MinidiskManager::ShedCapacityNow() {
       TrimMinidisk(victim);
       md.state = MinidiskState::kDecommissioned;
       ++decommissioned_total_;
-      events_.push_back(
-          MinidiskEvent{MinidiskEventType::kDecommissioned, victim});
+      PushEvent(MinidiskEvent{MinidiskEventType::kDecommissioned, victim});
       return true;
     }
     Decommission(victim);
@@ -340,6 +337,14 @@ Status MinidiskManager::AckDrain(MinidiskId mdisk) {
   }
   FinishDrain(mdisk, /*forced=*/false);
   return OkStatus();
+}
+
+void MinidiskManager::PushEvent(MinidiskEvent event) {
+  if (events_.size() >= config_.max_pending_events) {
+    ++dropped_events_;
+    return;
+  }
+  events_.push_back(event);
 }
 
 std::vector<MinidiskEvent> MinidiskManager::TakeEvents() {

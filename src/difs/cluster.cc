@@ -35,6 +35,9 @@ DifsCluster::DifsCluster(
 // ---------------------------------------------------------------------------
 
 size_t DifsCluster::ApplyDeviceEvents(uint32_t device_index) {
+  if (NodeOut(device_index)) {
+    return 0;  // unreachable node: its events wait until it rejoins
+  }
   DeviceState& state = devices_[device_index];
   const std::vector<MinidiskEvent> events = state.device->TakeEvents();
   for (const MinidiskEvent& event : events) {
@@ -50,14 +53,11 @@ size_t DifsCluster::ApplyDeviceEvents(uint32_t device_index) {
         break;
     }
   }
+  if (state.device->dropped_events() != state.observed_dropped_events) {
+    state.observed_dropped_events = state.device->dropped_events();
+    return events.size() + static_cast<size_t>(ResyncDevice(device_index));
+  }
   return events.size();
-}
-
-void DifsCluster::HandleMdiskCreated(uint32_t device_index, MinidiskId mdisk) {
-  DeviceState& state = devices_[device_index];
-  assert(state.slots.count(mdisk) == 0);
-  state.slots[mdisk].assign(state.slots_per_mdisk, kFreeSlot);
-  state.free_slot_count += state.slots_per_mdisk;
 }
 
 void DifsCluster::HandleMdiskLoss(uint32_t device_index, MinidiskId mdisk) {
@@ -105,12 +105,40 @@ void DifsCluster::HandleMdiskLoss(uint32_t device_index, MinidiskId mdisk) {
   state.slots.erase(it);
 }
 
+void DifsCluster::HandleMdiskCreated(uint32_t device_index, MinidiskId mdisk) {
+  DeviceState& state = devices_[device_index];
+  if (state.slots.count(mdisk) != 0) {
+    return;  // duplicate delivery (or resync already registered it)
+  }
+  // A delayed kCreated can arrive after the mDisk has already moved on (or
+  // the whole device bricked); registering capacity that no longer exists
+  // would corrupt placement, so verify against device ground truth.
+  const SsdDevice& device = *state.device;
+  if (device.failed() || mdisk >= device.total_minidisks()) {
+    return;
+  }
+  const MinidiskState mstate = device.manager().minidisk(mdisk).state;
+  if (mstate != MinidiskState::kLive && mstate != MinidiskState::kDraining) {
+    return;  // decommissioned (or never formatted) by the time we heard
+  }
+  state.slots[mdisk].assign(state.slots_per_mdisk, kFreeSlot);
+  state.free_slot_count += state.slots_per_mdisk;
+  if (mstate == MinidiskState::kDraining) {
+    // Created and already draining (both events in flight): process the
+    // drain transition immediately so the slots are never handed out.
+    HandleMdiskDraining(device_index, mdisk);
+  }
+}
+
 void DifsCluster::HandleMdiskDraining(uint32_t device_index,
                                       MinidiskId mdisk) {
   DeviceState& state = devices_[device_index];
   auto it = state.slots.find(mdisk);
   if (it == state.slots.end()) {
     return;
+  }
+  if (state.draining_pending.count(mdisk) != 0) {
+    return;  // duplicate delivery: the drain is already being worked
   }
   ++stats_.drains_started;
   uint32_t pending = 0;
@@ -139,8 +167,8 @@ void DifsCluster::HandleMdiskDraining(uint32_t device_index,
     }
   }
   if (pending == 0) {
-    // Nothing to migrate: ack immediately.
-    (void)state.device->AckDrain(mdisk);
+    // Nothing to migrate: ack immediately. A lost ack is re-sent by resync.
+    (void)SendAckDrain(device_index, mdisk);
     ++stats_.drains_acked;
     state.slots.erase(it);
   } else {
@@ -166,7 +194,7 @@ void DifsCluster::ReleaseDrainingReplicas(Chunk& chunk) {
         --pending_it->second == 0) {
       state.draining_pending.erase(pending_it);
       state.slots.erase(replica.mdisk);
-      if (state.device->AckDrain(replica.mdisk).ok()) {
+      if (SendAckDrain(replica.device, replica.mdisk)) {
         ++stats_.drains_acked;
       }
     }
@@ -196,6 +224,15 @@ void DifsCluster::ProcessEvents() {
     ++stats_.recovery_waves;
     stats_.max_wave_recovery_opages =
         std::max(stats_.max_wave_recovery_opages, wave);
+#ifndef NDEBUG
+    // Every recovery wave must leave the bookkeeping self-consistent; a
+    // violation here is a cluster bug, not an injected fault.
+    const Status invariants = CheckInvariants();
+    if (!invariants.ok()) {
+      SALA_LOG(kError) << "after recovery wave: " << invariants;
+      assert(false && "cluster invariants violated after recovery wave");
+    }
+#endif
   }
 }
 
@@ -250,11 +287,15 @@ bool DifsCluster::RecoverOneReplica(ChunkId chunk_id) {
       continue;
     }
     if (replica.draining) {
-      draining_source = &replica;
+      if (!NodeOut(replica.device)) {
+        draining_source = &replica;
+      }
       continue;
     }
+    // A replica on an out node still excludes its node (the data is there,
+    // just unreachable) but cannot serve as the copy source.
     exclude_nodes.push_back(node_of_device(replica.device));
-    if (source == nullptr) {
+    if (source == nullptr && !NodeOut(replica.device)) {
       source = &replica;
     }
   }
@@ -282,9 +323,12 @@ bool DifsCluster::RecoverOneReplica(ChunkId chunk_id) {
   // protected re-reads of other replicas in a real system; here it simply
   // counts, since the copy's content is tracked logically.
   DeviceState& source_state = devices_[source->device];
-  auto read = source_state.device->ReadRange(
-      source->mdisk, static_cast<uint64_t>(source->slot) * config_.chunk_opages,
-      config_.chunk_opages);
+  auto read = WithTransientRetry([&] {
+    return source_state.device->ReadRange(
+        source->mdisk,
+        static_cast<uint64_t>(source->slot) * config_.chunk_opages,
+        config_.chunk_opages);
+  });
   if (read.ok()) {
     stats_.recovery_opage_reads += config_.chunk_opages;
   } else {
@@ -296,7 +340,8 @@ bool DifsCluster::RecoverOneReplica(ChunkId chunk_id) {
   const uint64_t base =
       static_cast<uint64_t>(target_slot) * config_.chunk_opages;
   for (uint64_t offset = 0; offset < config_.chunk_opages; ++offset) {
-    auto write = target_state.device->Write(target_mdisk, base + offset);
+    auto write = WithTransientRetry(
+        [&] { return target_state.device->Write(target_mdisk, base + offset); });
     if (!write.ok()) {
       // Target died mid-copy (its own wear, or the write's wear): abandon.
       // If the target mDisk survived (failure had another cause), release
@@ -344,7 +389,8 @@ bool DifsCluster::PickTarget(const std::vector<uint32_t>& exclude_nodes,
     for (uint32_t probe = 0; probe < n; ++probe) {
       const uint32_t device_index = (start + probe) % n;
       DeviceState& state = devices_[device_index];
-      if (state.free_slot_count == 0 || state.device->failed()) {
+      if (state.free_slot_count == 0 || state.device->failed() ||
+          NodeOut(device_index)) {
         continue;
       }
       if (pass == 0 && !state.draining_pending.empty()) {
@@ -434,10 +480,18 @@ Status DifsCluster::WriteReplica(ReplicaLocation& replica, uint64_t offset) {
   if (!replica.live || replica.draining) {
     return FailedPreconditionError("replica not writable");
   }
+  if (NodeOut(replica.device)) {
+    // Unreachable node: the write is skipped, not queued; the replica goes
+    // stale and resync-driven recovery handles it if the mDisk dies out.
+    ++stats_.outage_write_skips;
+    return UnavailableError("WriteReplica: node under outage");
+  }
   DeviceState& state = devices_[replica.device];
-  auto write = state.device->Write(
-      replica.mdisk,
-      static_cast<uint64_t>(replica.slot) * config_.chunk_opages + offset);
+  auto write = WithTransientRetry([&] {
+    return state.device->Write(
+        replica.mdisk,
+        static_cast<uint64_t>(replica.slot) * config_.chunk_opages + offset);
+  });
   if (!write.ok()) {
     return write.status();
   }
@@ -465,6 +519,7 @@ Status DifsCluster::StepWrites(uint64_t opage_writes) {
     }
     ++stats_.foreground_opage_writes;
     ProcessEvents();
+    MaybeRunMaintenance();
   }
   return OkStatus();
 }
@@ -479,21 +534,31 @@ Status DifsCluster::StepReads(uint64_t opage_reads) {
     if (chunk.lost || chunk.readable_replicas() == 0) {
       continue;
     }
-    // Pick a random readable replica (draining ones still serve reads).
-    uint32_t live_index = static_cast<uint32_t>(
-        rng_.UniformU64(chunk.readable_replicas()));
+    // Pick a random readable replica (draining ones still serve reads),
+    // excluding replicas on an out node. Without an outage the candidate
+    // count equals readable_replicas(), so the RNG schedule is unchanged.
+    uint32_t candidates = 0;
+    for (const ReplicaLocation& r : chunk.replicas) {
+      candidates += (r.live && !NodeOut(r.device)) ? 1 : 0;
+    }
+    if (candidates == 0) {
+      continue;  // every readable copy is behind the outage
+    }
+    uint32_t live_index = static_cast<uint32_t>(rng_.UniformU64(candidates));
     ReplicaLocation* replica = nullptr;
     for (ReplicaLocation& r : chunk.replicas) {
-      if (r.live && live_index-- == 0) {
+      if (r.live && !NodeOut(r.device) && live_index-- == 0) {
         replica = &r;
         break;
       }
     }
     const uint64_t offset = rng_.UniformU64(config_.chunk_opages);
     DeviceState& state = devices_[replica->device];
-    auto read = state.device->Read(
-        replica->mdisk,
-        static_cast<uint64_t>(replica->slot) * config_.chunk_opages + offset);
+    auto read = WithTransientRetry([&] {
+      return state.device->Read(
+          replica->mdisk,
+          static_cast<uint64_t>(replica->slot) * config_.chunk_opages + offset);
+    });
     if (!read.ok() && read.status().code() == StatusCode::kDataLoss) {
       ++stats_.uncorrectable_reads;
       // Scrub: rewrite the page so future reads see freshly-programmed flash
@@ -502,6 +567,281 @@ Status DifsCluster::StepReads(uint64_t opage_reads) {
         ++stats_.scrub_repairs;
       }
       ProcessEvents();
+    }
+    MaybeRunMaintenance();
+  }
+  return OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// Maintenance, reconciliation, invariants
+// ---------------------------------------------------------------------------
+
+bool DifsCluster::SendAckDrain(uint32_t device_index, MinidiskId mdisk) {
+  FaultInjector* faults = config_.faults.get();
+  if (NodeOut(device_index) ||
+      (faults != nullptr && faults->LosesAckDrain())) {
+    // The ack never reaches the device: its mDisk stays in kDraining limbo
+    // until a later ResyncDevice notices and re-sends.
+    ++stats_.acks_lost;
+    return false;
+  }
+  DeviceState& state = devices_[device_index];
+  const Status status =
+      WithTransientRetry([&] { return state.device->AckDrain(mdisk); });
+  return status.ok();
+}
+
+void DifsCluster::MaybeRunMaintenance() {
+  uint64_t interval = config_.resync_interval_ops;
+  if (interval == 0) {
+    // Auto mode: periodic reconciliation only pays for itself when faults
+    // can desynchronize cluster and device state. Without any injector the
+    // maintenance path stays completely dormant, so the fault-free RNG
+    // schedule (and every bench output) is untouched.
+    if (config_.faults == nullptr) {
+      bool any_device_faults = false;
+      for (const DeviceState& state : devices_) {
+        any_device_faults =
+            any_device_faults || state.device->faults() != nullptr;
+      }
+      if (!any_device_faults) {
+        return;
+      }
+    }
+    interval = 256;
+  }
+  if (++ops_since_maintenance_ >= interval) {
+    ops_since_maintenance_ = 0;
+    MaintenanceTick();
+  }
+}
+
+void DifsCluster::MaintenanceTick() {
+  ++stats_.maintenance_ticks;
+  FaultInjector* faults = config_.faults.get();
+  if (outage_node_ >= 0) {
+    if (--outage_ticks_left_ == 0) {
+      // Rejoin: the node's devices are reachable again; the ReconcileAll
+      // below replays whatever state changed while it was dark.
+      outage_node_ = -1;
+    }
+  } else if (faults != nullptr && faults->StartsNodeOutage()) {
+    outage_node_ =
+        static_cast<int32_t>(faults->OutageNode(config_.nodes));
+    outage_ticks_left_ = faults->OutageTicks();
+    ++stats_.node_outages;
+  }
+  ReconcileAll();
+  // Reconciliation may have changed the placement landscape (new mDisks
+  // registered, drains acked): parked recoveries get another shot.
+  if (!waiting_capacity_.empty()) {
+    for (ChunkId chunk_id : waiting_capacity_) {
+      pending_recoveries_.push_back(chunk_id);
+    }
+    waiting_capacity_.clear();
+  }
+  ProcessEvents();
+}
+
+void DifsCluster::ReconcileAll() {
+  for (uint32_t i = 0; i < devices_.size(); ++i) {
+    if (NodeOut(i)) {
+      continue;
+    }
+    ResyncDevice(i);
+  }
+}
+
+uint64_t DifsCluster::ResyncDevice(uint32_t device_index) {
+  if (NodeOut(device_index)) {
+    return 0;
+  }
+  ++stats_.resync_passes;
+  DeviceState& state = devices_[device_index];
+  uint64_t repairs = 0;
+  // Pass 1: mDisks the cluster believes in whose device-side state moved on
+  // without us hearing (dropped/delayed kDecommissioned or kDraining).
+  // Sorted snapshot: handlers mutate state.slots, and unordered_map
+  // iteration order must never influence simulation behavior.
+  std::vector<MinidiskId> known;
+  known.reserve(state.slots.size());
+  for (const auto& [mdisk, slots] : state.slots) {
+    known.push_back(mdisk);
+  }
+  std::sort(known.begin(), known.end());
+  const SsdDevice& device = *state.device;
+  for (MinidiskId mdisk : known) {
+    if (device.failed() || mdisk >= device.total_minidisks() ||
+        device.manager().minidisk(mdisk).state ==
+            MinidiskState::kDecommissioned) {
+      HandleMdiskLoss(device_index, mdisk);
+      ++repairs;
+      continue;
+    }
+    if (device.manager().minidisk(mdisk).state == MinidiskState::kDraining &&
+        state.draining_pending.count(mdisk) == 0) {
+      HandleMdiskDraining(device_index, mdisk);
+      ++repairs;
+    }
+  }
+  // Pass 2: device-side mDisks the cluster has no record of — a missed
+  // kCreated (new capacity), or a drain whose ack was lost after the cluster
+  // finished migrating and forgot the mDisk.
+  if (!device.failed()) {
+    for (MinidiskId mdisk = 0; mdisk < device.total_minidisks(); ++mdisk) {
+      if (state.slots.count(mdisk) != 0) {
+        continue;
+      }
+      const MinidiskState mstate = device.manager().minidisk(mdisk).state;
+      if (mstate == MinidiskState::kLive) {
+        HandleMdiskCreated(device_index, mdisk);
+        ++repairs;
+      } else if (mstate == MinidiskState::kDraining) {
+        if (SendAckDrain(device_index, mdisk)) {
+          ++stats_.drains_acked;
+          ++repairs;
+        }
+      }
+    }
+  }
+  stats_.resync_repairs += repairs;
+  return repairs;
+}
+
+void DifsCluster::ForceReconcile() {
+  // A few rounds of reconcile + recover: recovery can itself change the
+  // landscape (wear out a target, finish a drain), so iterate until a round
+  // makes no progress. Bounded — parked chunks with genuinely no capacity
+  // (or capacity behind an outage) stay parked.
+  for (int round = 0; round < 8; ++round) {
+    ReconcileAll();
+    if (!waiting_capacity_.empty()) {
+      for (ChunkId chunk_id : waiting_capacity_) {
+        pending_recoveries_.push_back(chunk_id);
+      }
+      waiting_capacity_.clear();
+    }
+    const uint64_t recovered_before = stats_.replicas_recovered;
+    ProcessEvents();
+    if (stats_.replicas_recovered == recovered_before &&
+        pending_recoveries_.empty()) {
+      break;
+    }
+  }
+}
+
+Status DifsCluster::CheckInvariants() const {
+  // Direction 1: every slot-map entry points at a chunk with exactly one
+  // matching live replica record; free-slot counts and draining_pending
+  // match what the maps actually contain.
+  for (uint32_t d = 0; d < devices_.size(); ++d) {
+    const DeviceState& state = devices_[d];
+    uint64_t free_count = 0;
+    std::unordered_map<MinidiskId, uint32_t> occupied_per_mdisk;
+    for (const auto& [mdisk, slots] : state.slots) {
+      for (uint32_t slot = 0; slot < slots.size(); ++slot) {
+        const int64_t entry = slots[slot];
+        if (entry == kFreeSlot) {
+          ++free_count;
+          continue;
+        }
+        if (entry == kUnavailableSlot) {
+          continue;
+        }
+        if (entry < 0 || static_cast<uint64_t>(entry) >= chunks_.size()) {
+          return InternalError("slot maps unknown chunk id " +
+                               std::to_string(entry) + " (device " +
+                               std::to_string(d) + ")");
+        }
+        const Chunk& chunk = chunks_[static_cast<uint64_t>(entry)];
+        uint32_t matches = 0;
+        bool draining = false;
+        for (const ReplicaLocation& r : chunk.replicas) {
+          if (r.live && r.device == d && r.mdisk == mdisk && r.slot == slot) {
+            ++matches;
+            draining = r.draining;
+          }
+        }
+        if (matches != 1) {
+          return InternalError(
+              "slot (device " + std::to_string(d) + ", mdisk " +
+              std::to_string(mdisk) + ", slot " + std::to_string(slot) +
+              ") has " + std::to_string(matches) +
+              " live replica records for chunk " + std::to_string(entry));
+        }
+        ++occupied_per_mdisk[mdisk];
+        const bool mdisk_draining = state.draining_pending.count(mdisk) != 0;
+        if (mdisk_draining != draining) {
+          return InternalError("replica draining flag out of sync on device " +
+                               std::to_string(d) + " mdisk " +
+                               std::to_string(mdisk));
+        }
+      }
+    }
+    if (free_count != state.free_slot_count) {
+      return InternalError("device " + std::to_string(d) +
+                           " free_slot_count=" +
+                           std::to_string(state.free_slot_count) +
+                           " but slot maps hold " + std::to_string(free_count));
+    }
+    for (const auto& [mdisk, pending] : state.draining_pending) {
+      if (state.slots.count(mdisk) == 0) {
+        return InternalError("draining_pending for unmapped mdisk " +
+                             std::to_string(mdisk) + " on device " +
+                             std::to_string(d));
+      }
+      const auto occupied_it = occupied_per_mdisk.find(mdisk);
+      const uint32_t occupied =
+          occupied_it == occupied_per_mdisk.end() ? 0 : occupied_it->second;
+      if (pending != occupied) {
+        return InternalError("device " + std::to_string(d) + " mdisk " +
+                             std::to_string(mdisk) + " draining_pending=" +
+                             std::to_string(pending) + " but " +
+                             std::to_string(occupied) + " slots occupied");
+      }
+    }
+  }
+  // Direction 2: every live replica record is backed by its slot; live
+  // non-draining replicas are node-disjoint and within the replication
+  // bound; the lost flag agrees with readability.
+  for (const Chunk& chunk : chunks_) {
+    std::vector<uint32_t> nodes;
+    uint32_t live = 0;
+    for (const ReplicaLocation& r : chunk.replicas) {
+      if (!r.live) {
+        continue;
+      }
+      const DeviceState& state = devices_[r.device];
+      const auto it = state.slots.find(r.mdisk);
+      if (it == state.slots.end() ||
+          it->second[r.slot] != static_cast<int64_t>(chunk.id)) {
+        return InternalError("chunk " + std::to_string(chunk.id) +
+                             " live replica not backed by slot map (device " +
+                             std::to_string(r.device) + ")");
+      }
+      if (!r.draining) {
+        ++live;
+        nodes.push_back(node_of_device(r.device));
+      }
+    }
+    std::sort(nodes.begin(), nodes.end());
+    if (std::adjacent_find(nodes.begin(), nodes.end()) != nodes.end()) {
+      return InternalError("chunk " + std::to_string(chunk.id) +
+                           " has two live replicas on one node");
+    }
+    if (live > config_.replication) {
+      return InternalError("chunk " + std::to_string(chunk.id) +
+                           " over-replicated: " + std::to_string(live));
+    }
+    if (chunk.lost && chunk.readable_replicas() != 0) {
+      return InternalError("chunk " + std::to_string(chunk.id) +
+                           " marked lost but still readable");
+    }
+    if (!chunk.lost && !chunk.replicas.empty() &&
+        chunk.readable_replicas() == 0) {
+      return InternalError("chunk " + std::to_string(chunk.id) +
+                           " unreadable but not marked lost");
     }
   }
   return OkStatus();

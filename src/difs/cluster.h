@@ -30,6 +30,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "core/minidisk.h"
+#include "faults/fault_injector.h"
 #include "ssd/ssd_device.h"
 
 namespace salamander {
@@ -46,6 +47,24 @@ struct DifsConfig {
   // Fraction of initial cluster slots to fill with chunk replicas.
   double fill_fraction = 0.6;
   uint64_t seed = 1;
+
+  // ---- Robustness knobs ----------------------------------------------------
+
+  // Bounded retry with exponential backoff for kUnavailable device errors
+  // (busy planes). Backoff is simulated time, accumulated in stats.
+  uint32_t max_transient_retries = 4;
+  uint64_t transient_backoff_base_ns = 10000;  // 10 us, doubled per retry
+
+  // Every this many foreground ops the cluster runs a maintenance tick:
+  // event-channel reconciliation (ResyncDevice for every reachable device),
+  // node outage/rejoin processing, and a retry of parked recoveries.
+  // 0 = automatic: 256 when a fault injector is attached, never otherwise —
+  // so a fault-free cluster's behavior (and RNG schedule) is untouched.
+  uint64_t resync_interval_ops = 0;
+
+  // Cluster-level chaos injector (node outages, lost AckDrains). Distinct
+  // instance from the per-device injectors; nullptr disables.
+  std::shared_ptr<FaultInjector> faults;
 };
 
 struct DifsStats {
@@ -69,6 +88,17 @@ struct DifsStats {
   // whole-device failure forces one huge wave, mDisk failures many tiny ones.
   uint64_t max_wave_recovery_opages = 0;
   uint64_t recovery_waves = 0;         // waves with any recovery I/O
+
+  // ---- Robustness counters -------------------------------------------------
+  uint64_t transient_retries = 0;      // kUnavailable ops retried
+  uint64_t transient_giveups = 0;      // ops still kUnavailable after retries
+  uint64_t backoff_ns = 0;             // simulated backoff time accumulated
+  uint64_t resync_passes = 0;          // ResyncDevice invocations
+  uint64_t resync_repairs = 0;         // discrepancies repaired by resync
+  uint64_t acks_lost = 0;              // AckDrains that never reached a device
+  uint64_t node_outages = 0;           // outages started
+  uint64_t outage_write_skips = 0;     // replica writes skipped, node out
+  uint64_t maintenance_ticks = 0;
 
   uint64_t recovery_bytes() const { return recovery_opage_writes * 4096; }
 };
@@ -133,6 +163,20 @@ class DifsCluster {
   // internally by StepWrites/StepReads).
   void ProcessEvents();
 
+  // Full reconciliation: resyncs every reachable device against cluster
+  // bookkeeping, retries parked recoveries, and drives recovery to
+  // quiescence. Chaos tests call this after a fault burst to assert
+  // convergence; it is also what a maintenance tick runs periodically.
+  void ForceReconcile();
+
+  // Cross-checks the cluster's bookkeeping: slot maps <-> chunk replica
+  // records (both directions), free-slot accounting, node-disjointness of
+  // live non-draining replicas, replication bounds, draining_pending
+  // coherence, and lost <-> unreadable consistency. kInternal with a
+  // description on the first violation. O(cluster); run after every
+  // recovery wave in debug builds, and by tests/soaks at will.
+  Status CheckInvariants() const;
+
   // ---- Introspection -----------------------------------------------------
 
   const DifsStats& stats() const { return stats_; }
@@ -158,6 +202,13 @@ class DifsCluster {
     return device / config_.devices_per_node;
   }
   uint64_t free_slots() const;
+  // Chunks parked until placement capacity appears (recovery deferred).
+  uint64_t chunks_waiting_capacity() const { return waiting_capacity_.size(); }
+  uint64_t pending_recovery_backlog() const {
+    return pending_recoveries_.size();
+  }
+  // Node currently unreachable due to an injected outage, or -1.
+  int32_t outage_node() const { return outage_node_; }
 
  private:
   static constexpr int64_t kFreeSlot = -1;
@@ -173,6 +224,9 @@ class DifsCluster {
     uint64_t free_slot_count = 0;
     // Draining mDisks -> chunks still awaiting re-replication before ack.
     std::unordered_map<MinidiskId, uint32_t> draining_pending;
+    // Last value of device->dropped_events() the cluster has seen; when the
+    // counter moves, the event stream is incomplete and a resync runs.
+    uint64_t observed_dropped_events = 0;
   };
 
   // Returns the number of events processed.
@@ -194,6 +248,53 @@ class DifsCluster {
                   uint32_t* slot_out);
   Status WriteReplica(ReplicaLocation& replica, uint64_t offset);
 
+  // ---- Robustness machinery ----------------------------------------------
+
+  // True while `device_index`'s node is under an injected outage.
+  bool NodeOut(uint32_t device_index) const {
+    return outage_node_ >= 0 &&
+           node_of_device(device_index) == static_cast<uint32_t>(outage_node_);
+  }
+  // Diffs device-reported mDisk state against cluster bookkeeping and
+  // repairs discrepancies (missed kCreated/kDraining/kDecommissioned, lost
+  // AckDrain). Returns the number of repairs; also counts them in stats.
+  uint64_t ResyncDevice(uint32_t device_index);
+  // ResyncDevice over every reachable device.
+  void ReconcileAll();
+  // Outage lottery / rejoin countdown + ReconcileAll + parked-recovery
+  // retry; runs every resync_interval_ops foreground ops.
+  void MaintenanceTick();
+  void MaybeRunMaintenance();
+  // Delivers AckDrain to the device, subject to injected ack loss, node
+  // outage, and transient retry. True when the device accepted the ack.
+  bool SendAckDrain(uint32_t device_index, MinidiskId mdisk);
+
+  static StatusCode ResultCode(const Status& status) { return status.code(); }
+  template <typename T>
+  static StatusCode ResultCode(const StatusOr<T>& result) {
+    return result.status().code();
+  }
+  // Runs `op`, retrying kUnavailable up to max_transient_retries times with
+  // exponential (simulated-time) backoff.
+  template <typename Op>
+  auto WithTransientRetry(Op op) -> decltype(op()) {
+    auto result = op();
+    uint64_t backoff_ns = config_.transient_backoff_base_ns;
+    for (uint32_t retry = 0;
+         ResultCode(result) == StatusCode::kUnavailable &&
+         retry < config_.max_transient_retries;
+         ++retry) {
+      ++stats_.transient_retries;
+      stats_.backoff_ns += backoff_ns;
+      backoff_ns *= 2;
+      result = op();
+    }
+    if (ResultCode(result) == StatusCode::kUnavailable) {
+      ++stats_.transient_giveups;
+    }
+    return result;
+  }
+
   DifsConfig config_;
   Rng rng_;
   std::vector<DeviceState> devices_;
@@ -206,6 +307,10 @@ class DifsCluster {
   DifsStats stats_;
   uint64_t initial_capacity_bytes_ = 0;
   bool bootstrapped_ = false;
+  // Injected node outage: at most one node is out at a time.
+  int32_t outage_node_ = -1;
+  uint32_t outage_ticks_left_ = 0;
+  uint64_t ops_since_maintenance_ = 0;
 };
 
 }  // namespace salamander

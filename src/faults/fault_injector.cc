@@ -1,0 +1,120 @@
+#include "faults/fault_injector.h"
+
+namespace salamander {
+
+std::string_view FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kProgramFail:
+      return "program_fail";
+    case FaultSite::kEraseFail:
+      return "erase_fail";
+    case FaultSite::kReadCorrupt:
+      return "read_corrupt";
+    case FaultSite::kTransientUnavailable:
+      return "transient_unavailable";
+    case FaultSite::kEventDrop:
+      return "event_drop";
+    case FaultSite::kEventDuplicate:
+      return "event_duplicate";
+    case FaultSite::kEventDelay:
+      return "event_delay";
+    case FaultSite::kCrashDuringDrain:
+      return "crash_during_drain";
+    case FaultSite::kNodeOutage:
+      return "node_outage";
+    case FaultSite::kAckDrainLost:
+      return "ack_drain_lost";
+    case FaultSite::kSiteCount:
+      break;
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(const FaultConfig& config, uint64_t stream_id)
+    : config_(config), enabled_(true) {
+  // Same fork-in-id-order derivation the fleet uses for device streams:
+  // walk the root forward `stream_id` forks, then take ours. Each injector
+  // gets an independent family regardless of construction order.
+  Rng root(config.seed);
+  for (uint64_t i = 0; i < stream_id; ++i) {
+    (void)root.Fork();
+  }
+  Rng parent = root.Fork();
+  for (size_t site = 0; site < kSites; ++site) {
+    streams_[site] = parent.Fork();
+  }
+}
+
+bool FaultInjector::Draw(FaultSite site, double p) {
+  if (!enabled_ || p <= 0.0) {
+    return false;
+  }
+  if (!stream(site).Bernoulli(p)) {
+    return false;
+  }
+  ++stats_.injected[static_cast<size_t>(site)];
+  return true;
+}
+
+bool FaultInjector::ProgramFails() {
+  return Draw(FaultSite::kProgramFail, config_.program_fail);
+}
+
+bool FaultInjector::EraseFails() {
+  return Draw(FaultSite::kEraseFail, config_.erase_fail);
+}
+
+bool FaultInjector::CorruptsRead() {
+  return Draw(FaultSite::kReadCorrupt, config_.read_corrupt);
+}
+
+bool FaultInjector::TransientlyUnavailable() {
+  return Draw(FaultSite::kTransientUnavailable, config_.transient_unavailable);
+}
+
+bool FaultInjector::DropsEvent() {
+  return Draw(FaultSite::kEventDrop, config_.event_drop);
+}
+
+bool FaultInjector::DuplicatesEvent() {
+  return Draw(FaultSite::kEventDuplicate, config_.event_duplicate);
+}
+
+uint32_t FaultInjector::EventDelayWaves() {
+  if (!Draw(FaultSite::kEventDelay, config_.event_delay)) {
+    return 0;
+  }
+  const uint32_t max_waves =
+      config_.event_delay_waves_max > 0 ? config_.event_delay_waves_max : 1;
+  return static_cast<uint32_t>(
+      stream(FaultSite::kEventDelay).UniformInRange(1, max_waves));
+}
+
+bool FaultInjector::CrashesDuringDrain() {
+  return Draw(FaultSite::kCrashDuringDrain, config_.crash_during_drain);
+}
+
+bool FaultInjector::StartsNodeOutage() {
+  return Draw(FaultSite::kNodeOutage, config_.node_outage);
+}
+
+uint32_t FaultInjector::OutageNode(uint32_t node_count) {
+  if (node_count == 0) {
+    return 0;
+  }
+  return static_cast<uint32_t>(
+      stream(FaultSite::kNodeOutage).UniformU64(node_count));
+}
+
+uint32_t FaultInjector::OutageTicks() {
+  const uint32_t max_ticks =
+      config_.node_outage_ticks_max > 0 ? config_.node_outage_ticks_max : 1;
+  return static_cast<uint32_t>(
+      stream(FaultSite::kNodeOutage).UniformInRange(1, max_ticks));
+}
+
+bool FaultInjector::LosesAckDrain() {
+  return Draw(FaultSite::kAckDrainLost, config_.ack_drain_lost);
+}
+
+}  // namespace salamander

@@ -27,6 +27,12 @@ StatusOr<SimDuration> FlashChip::EraseBlock(BlockIndex block) {
   if (block >= geometry_.total_blocks()) {
     return OutOfRangeError("EraseBlock: block " + std::to_string(block));
   }
+  if (faults_ != nullptr && faults_->EraseFails()) {
+    // Erase-status failure: the block is left as-is (still un-erasable);
+    // the FTL is expected to retire it.
+    return DataLossError("EraseBlock: injected erase failure at block " +
+                         std::to_string(block));
+  }
   ++block_pec_[block];
   block_reads_[block] = 0;  // read-disturb charge dissipates with the erase
   next_program_[block] = 0;
@@ -61,6 +67,13 @@ StatusOr<SimDuration> FlashChip::ProgramFPage(FPageIndex fpage) {
   programmed_.Set(fpage);
   next_program_[block] = static_cast<uint16_t>(offset + 1);
   ++total_programs_;
+  if (faults_ != nullptr && faults_->ProgramFails()) {
+    // Program-status failure: the page is consumed (marked programmed so the
+    // ascending-order cursor stays honest) but holds no readable data; the
+    // FTL must re-place the batch elsewhere.
+    return DataLossError("ProgramFPage: injected program failure at fpage " +
+                         std::to_string(fpage));
+  }
   return latency_.program_fpage +
          latency_.TransferTime(geometry_.fpage_data_bytes() +
                                geometry_.spare_bytes_per_fpage);
@@ -103,6 +116,17 @@ StatusOr<ReadOutcome> FlashChip::ReadFPage(FPageIndex fpage,
   ++block_reads_[geometry_.BlockOfFPage(fpage)];
 
   ReadOutcome outcome;
+  if (faults_ != nullptr && faults_->CorruptsRead()) {
+    // Silent corruption beyond the ECC budget: every retry fails. The chip
+    // rng_ is intentionally not consulted, so with injection disabled the
+    // error-sampling stream is untouched.
+    outcome.correctable = false;
+    outcome.retries = latency_.max_read_retries;
+    outcome.latency =
+        latency_.read_fpage * (latency_.max_read_retries + 1) +
+        latency_.TransferTime(transfer_bytes);
+    return outcome;
+  }
   double rber = PageRber(fpage);
   for (uint32_t attempt = 0;; ++attempt) {
     outcome.latency += latency_.read_fpage;

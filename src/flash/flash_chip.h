@@ -16,6 +16,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/units.h"
+#include "faults/fault_injector.h"
 #include "flash/geometry.h"
 #include "flash/wear_model.h"
 
@@ -80,11 +81,17 @@ class FlashChip {
   uint64_t total_programs() const { return total_programs_; }
   uint64_t total_reads() const { return total_reads_; }
 
+  // Optional chaos hook. The chip does not own the injector; the caller
+  // guarantees it outlives the chip. nullptr (the default) disables
+  // injection with zero behavioral or RNG-stream impact.
+  void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
+
  private:
   FlashGeometry geometry_;
   WearModel wear_model_;
   FlashLatencyConfig latency_;
   Rng rng_;
+  FaultInjector* faults_ = nullptr;  // not owned
 
   std::vector<uint32_t> block_pec_;       // per block
   std::vector<uint32_t> block_reads_;     // per block, since last erase

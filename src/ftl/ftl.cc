@@ -240,68 +240,86 @@ Status Ftl::FlushIfReady(Stream stream, SimDuration& latency) {
 Status Ftl::FlushToTarget(Stream stream, bool allow_partial,
                           SimDuration& latency) {
   Frontier& f = frontier(stream);
-  FPageIndex target = 0;
-  for (;;) {
-    SALA_ASSIGN_OR_RETURN(target, NextProgramTarget(stream, latency));
-    bool consumed = false;
-    SALA_RETURN_IF_ERROR(
-        MaybeProgramParityPage(stream, target, consumed, latency));
-    if (!consumed) {
-      break;
+  for (bool first_attempt = true;; first_attempt = false) {
+    FPageIndex target = 0;
+    for (;;) {
+      SALA_ASSIGN_OR_RETURN(target, NextProgramTarget(stream, latency));
+      bool consumed = false;
+      SALA_RETURN_IF_ERROR(
+          MaybeProgramParityPage(stream, target, consumed, latency));
+      if (!consumed) {
+        break;
+      }
     }
-  }
-  const uint64_t capacity = PageCapacity(target);
-  if (!allow_partial && f.buffer_valid < capacity) {
-    return InternalError("FlushToTarget: buffer under-filled");
-  }
-  // Gather up to `capacity` live buffer entries, discarding stale ones.
-  // A trim-then-rewrite can leave two deque entries for one lpo that both
-  // still look "buffered" at pop time, so dedupe within the batch (it holds
-  // at most opages_per_fpage entries; linear scan is fine).
-  std::vector<uint64_t> batch;
-  batch.reserve(capacity);
-  while (batch.size() < capacity && !f.buffer.empty()) {
-    const uint64_t lpo = f.buffer.front();
-    f.buffer.pop_front();
-    if (lpo < mapping_.size() && mapping_[lpo] == BufferSentinel(stream) &&
-        std::find(batch.begin(), batch.end(), lpo) == batch.end()) {
-      batch.push_back(lpo);
+    const uint64_t capacity = PageCapacity(target);
+    // The under-fill check only applies to the first candidate page: a retry
+    // after a program failure may land on a larger page than the one the
+    // caller's readiness check was based on, and the batch is already
+    // committed to flushing.
+    if (first_attempt && !allow_partial && f.buffer_valid < capacity) {
+      return InternalError("FlushToTarget: buffer under-filled");
     }
-  }
-  if (batch.empty()) {
-    return OkStatus();  // everything was stale; nothing to program
-  }
-  StatusOr<SimDuration> program_time = chip_->ProgramFPage(target);
-  if (!program_time.ok()) {
-    // Keep the gathered entries flushable: restore them to the front of the
-    // deque in their original order.
-    for (auto it = batch.rbegin(); it != batch.rend(); ++it) {
-      f.buffer.push_front(*it);
+    // Gather up to `capacity` live buffer entries, discarding stale ones.
+    // A trim-then-rewrite can leave two deque entries for one lpo that both
+    // still look "buffered" at pop time, so dedupe within the batch (it holds
+    // at most opages_per_fpage entries; linear scan is fine).
+    std::vector<uint64_t> batch;
+    batch.reserve(capacity);
+    while (batch.size() < capacity && !f.buffer.empty()) {
+      const uint64_t lpo = f.buffer.front();
+      f.buffer.pop_front();
+      if (lpo < mapping_.size() && mapping_[lpo] == BufferSentinel(stream) &&
+          std::find(batch.begin(), batch.end(), lpo) == batch.end()) {
+        batch.push_back(lpo);
+      }
     }
-    return program_time.status();
-  }
-  latency += *program_time;
-  ++stats_.flushes;
-  if (config_.ecc_placement == EccPlacement::kDedicated) {
-    const unsigned level = page_level_[target];
-    if (level > 0 && level < 8) {
-      // Accrue parity debt: level L data pages need L parity pages per
-      // (4 - L) data pages to reach the same overall code rate as inline.
-      f.data_since_parity[level] += level;
+    if (batch.empty()) {
+      return OkStatus();  // everything was stale; nothing to program
     }
+    StatusOr<SimDuration> program_time = chip_->ProgramFPage(target);
+    if (!program_time.ok()) {
+      // Keep the gathered entries flushable: restore them to the front of
+      // the deque in their original order.
+      for (auto it = batch.rbegin(); it != batch.rend(); ++it) {
+        f.buffer.push_front(*it);
+      }
+      if (program_time.status().code() != StatusCode::kDataLoss) {
+        return program_time.status();
+      }
+      // Program-status failure: the target page is consumed but holds
+      // nothing readable. Retire it, step past it, and re-place the batch
+      // on the next programmable page.
+      ++stats_.program_failures;
+      RetireInServicePage(target, page_level_[target], kDeadLevel);
+      f.next_page = static_cast<uint32_t>(
+                        target - config_.geometry.FirstFPageOfBlock(
+                                     config_.geometry.BlockOfFPage(target))) +
+                    1;
+      continue;
+    }
+    latency += *program_time;
+    ++stats_.flushes;
+    if (config_.ecc_placement == EccPlacement::kDedicated) {
+      const unsigned level = page_level_[target];
+      if (level > 0 && level < 8) {
+        // Accrue parity debt: level L data pages need L parity pages per
+        // (4 - L) data pages to reach the same overall code rate as inline.
+        f.data_since_parity[level] += level;
+      }
+    }
+    const BlockIndex block = config_.geometry.BlockOfFPage(target);
+    for (size_t k = 0; k < batch.size(); ++k) {
+      const OPageSlot slot = config_.geometry.FirstSlotOfFPage(target) + k;
+      mapping_[batch[k]] = slot;
+      reverse_[slot] = batch[k];
+      ++block_valid_[block];
+    }
+    f.buffer_valid -= batch.size();
+    f.next_page = static_cast<uint32_t>(
+                      target - config_.geometry.FirstFPageOfBlock(block)) +
+                  1;
+    return OkStatus();
   }
-  const BlockIndex block = config_.geometry.BlockOfFPage(target);
-  for (size_t k = 0; k < batch.size(); ++k) {
-    const OPageSlot slot = config_.geometry.FirstSlotOfFPage(target) + k;
-    mapping_[batch[k]] = slot;
-    reverse_[slot] = batch[k];
-    ++block_valid_[block];
-  }
-  f.buffer_valid -= batch.size();
-  f.next_page =
-      static_cast<uint32_t>(target - config_.geometry.FirstFPageOfBlock(block)) +
-      1;
-  return OkStatus();
 }
 
 StatusOr<FPageIndex> Ftl::NextProgramTarget(Stream stream,
@@ -445,8 +463,29 @@ Status Ftl::GarbageCollectOnce(SimDuration& latency) {
 
 Status Ftl::EraseAndRecycle(BlockIndex block, SimDuration& latency) {
   assert(block_valid_[block] == 0 && "erasing a block with valid data");
-  SALA_ASSIGN_OR_RETURN(SimDuration erase_time, chip_->EraseBlock(block));
-  latency += erase_time;
+  StatusOr<SimDuration> erase_time = chip_->EraseBlock(block);
+  if (!erase_time.ok()) {
+    if (erase_time.status().code() != StatusCode::kDataLoss) {
+      return erase_time.status();
+    }
+    // Erase-status failure: the block can never be programmed again. Retire
+    // every remaining page (emitting the usual tiredness transitions so the
+    // minidisk layer accounts the capacity loss) and take it out of service.
+    ++stats_.erase_failures;
+    const FPageIndex first_page = config_.geometry.FirstFPageOfBlock(block);
+    for (uint32_t i = 0; i < config_.geometry.fpages_per_block; ++i) {
+      const FPageIndex fpage = first_page + i;
+      if (page_state_[fpage] == PageState::kInService) {
+        RetireInServicePage(fpage, page_level_[fpage], kDeadLevel);
+      } else if (page_state_[fpage] == PageState::kLimbo) {
+        AdvanceLimboPage(fpage, page_level_[fpage], kDeadLevel);
+      }
+    }
+    block_state_[block] = BlockState::kRetired;
+    ++retired_blocks_;
+    return OkStatus();
+  }
+  latency += *erase_time;
   ++stats_.erases;
   ApplyLevelTransitions(block);
 
@@ -670,12 +709,26 @@ Status Ftl::MaybeProgramParityPage(Stream stream, FPageIndex target,
   // This tired page becomes a dedicated parity page: a real program, but no
   // logical slots — GC sees it as holding nothing valid and simply erases it
   // with the block.
-  SALA_ASSIGN_OR_RETURN(SimDuration program_time,
-                        chip_->ProgramFPage(target));
-  latency += program_time;
+  StatusOr<SimDuration> program_time = chip_->ProgramFPage(target);
+  const BlockIndex block = config_.geometry.BlockOfFPage(target);
+  if (!program_time.ok()) {
+    if (program_time.status().code() != StatusCode::kDataLoss) {
+      return program_time.status();
+    }
+    // Injected program failure on the parity page: retire it and report the
+    // page consumed so the caller moves on; the parity debt stays owed and
+    // lands on the next eligible tired page.
+    ++stats_.program_failures;
+    RetireInServicePage(target, level, kDeadLevel);
+    f.next_page = static_cast<uint32_t>(
+                      target - config_.geometry.FirstFPageOfBlock(block)) +
+                  1;
+    consumed = true;
+    return OkStatus();
+  }
+  latency += *program_time;
   ++stats_.parity_programs;
   f.data_since_parity[level] -= threshold;
-  const BlockIndex block = config_.geometry.BlockOfFPage(target);
   f.next_page =
       static_cast<uint32_t>(target - config_.geometry.FirstFPageOfBlock(block)) +
       1;

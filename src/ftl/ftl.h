@@ -115,6 +115,8 @@ struct FtlStats {
   uint64_t read_retries = 0;
   uint64_t parity_programs = 0;   // dedicated ECC pages written
   uint64_t ecc_page_reads = 0;    // dedicated ECC page fetches (cache misses)
+  uint64_t program_failures = 0;  // fPage programs that failed (page retired)
+  uint64_t erase_failures = 0;    // block erases that failed (block retired)
   // Reads served from flash pages at each tiredness level (index = level).
   std::vector<uint64_t> reads_by_level;
 
@@ -151,6 +153,13 @@ class Ftl {
 
   const FtlConfig& config() const { return config_; }
   const FlashChip& chip() const { return *chip_; }
+
+  // Wires a chaos injector (not owned; may be nullptr) into the flash chip.
+  // Program/erase failures surface as retired pages/blocks; read corruption
+  // surfaces as kDataLoss host reads.
+  void SetFaultInjector(FaultInjector* faults) {
+    chip_->set_fault_injector(faults);
+  }
   const FtlStats& stats() const { return stats_; }
   const std::vector<TirednessLevelEcc>& tiredness_ladder() const {
     return ladder_;

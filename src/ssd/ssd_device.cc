@@ -83,6 +83,9 @@ SsdDevice::SsdDevice(SsdKind kind, const SsdConfig& config)
       manager_(std::make_unique<MinidiskManager>(ftl_.get(),
                                                  config.minidisk)) {
   initial_capacity_bytes_ = manager_->live_capacity_bytes();
+  if (config_.faults != nullptr) {
+    ftl_->SetFaultInjector(config_.faults.get());
+  }
 }
 
 uint64_t SsdDevice::live_capacity_bytes() const {
@@ -97,6 +100,9 @@ StatusOr<SimDuration> SsdDevice::Write(MinidiskId mdisk, uint64_t lba) {
   if (failed_) {
     return DeviceFailedError("Write: device bricked");
   }
+  if (config_.faults != nullptr && config_.faults->TransientlyUnavailable()) {
+    return UnavailableError("Write: busy plane (injected)");
+  }
   StatusOr<SimDuration> result = manager_->Write(mdisk, lba);
   CheckBrick();
   return result;
@@ -106,6 +112,9 @@ StatusOr<ReadResult> SsdDevice::Read(MinidiskId mdisk, uint64_t lba) {
   if (failed_) {
     return DeviceFailedError("Read: device bricked");
   }
+  if (config_.faults != nullptr && config_.faults->TransientlyUnavailable()) {
+    return UnavailableError("Read: busy plane (injected)");
+  }
   return manager_->Read(mdisk, lba);
 }
 
@@ -114,12 +123,18 @@ StatusOr<RangeReadResult> SsdDevice::ReadRange(MinidiskId mdisk, uint64_t lba,
   if (failed_) {
     return DeviceFailedError("ReadRange: device bricked");
   }
+  if (config_.faults != nullptr && config_.faults->TransientlyUnavailable()) {
+    return UnavailableError("ReadRange: busy plane (injected)");
+  }
   return manager_->ReadRange(mdisk, lba, count);
 }
 
 Status SsdDevice::AckDrain(MinidiskId mdisk) {
   if (failed_) {
     return DeviceFailedError("AckDrain: device bricked");
+  }
+  if (config_.faults != nullptr && config_.faults->TransientlyUnavailable()) {
+    return UnavailableError("AckDrain: busy plane (injected)");
   }
   Status status = manager_->AckDrain(mdisk);
   CheckBrick();
@@ -154,15 +169,32 @@ void SsdDevice::CheckBrick() {
     return;
   }
   failed_ = true;
-  if (!brick_events_emitted_) {
-    brick_events_emitted_ = true;
-    // Whole-device failure == all remaining mDisks fail at once (§4.3);
-    // draining mDisks lose their grace window along with everything else.
-    for (MinidiskId id = 0; id < manager_->total_minidisks(); ++id) {
-      if (manager_->minidisk(id).state != MinidiskState::kDecommissioned) {
-        pending_events_.push_back(
-            MinidiskEvent{MinidiskEventType::kDecommissioned, id});
+  EmitBrickEvents();
+}
+
+void SsdDevice::Crash() {
+  if (failed_) {
+    return;
+  }
+  failed_ = true;
+  EmitBrickEvents();
+}
+
+void SsdDevice::EmitBrickEvents() {
+  if (brick_events_emitted_) {
+    return;
+  }
+  brick_events_emitted_ = true;
+  // Whole-device failure == all remaining mDisks fail at once (§4.3);
+  // draining mDisks lose their grace window along with everything else.
+  for (MinidiskId id = 0; id < manager_->total_minidisks(); ++id) {
+    if (manager_->minidisk(id).state != MinidiskState::kDecommissioned) {
+      if (pending_events_.size() >= config_.minidisk.max_pending_events) {
+        ++dropped_events_;
+        continue;
       }
+      pending_events_.push_back(
+          MinidiskEvent{MinidiskEventType::kDecommissioned, id});
     }
   }
 }
@@ -170,10 +202,53 @@ void SsdDevice::CheckBrick() {
 std::vector<MinidiskEvent> SsdDevice::TakeEvents() {
   // Manager events first (decommissions that preceded a brick in the same
   // operation), then any synthesized whole-device-failure notifications.
-  std::vector<MinidiskEvent> events = manager_->TakeEvents();
-  events.insert(events.end(), pending_events_.begin(), pending_events_.end());
+  FaultInjector* faults = config_.faults.get();
+  // Crash mid-drain fires at the event-poll boundary: the host learns of the
+  // loss on the very poll that would have carried drain progress.
+  if (faults != nullptr && !failed_ && manager_->draining_minidisks() > 0 &&
+      faults->CrashesDuringDrain()) {
+    Crash();
+  }
+  std::vector<MinidiskEvent> incoming = manager_->TakeEvents();
+  incoming.insert(incoming.end(), pending_events_.begin(),
+                  pending_events_.end());
   pending_events_.clear();
-  return events;
+  if (faults == nullptr && delayed_events_.empty()) {
+    return incoming;
+  }
+  // Previously delayed events mature one wave per poll and are delivered
+  // ahead of fresh ones (they are older).
+  std::vector<MinidiskEvent> out;
+  for (DelayedEvent& delayed : delayed_events_) {
+    --delayed.waves_left;
+    if (delayed.waves_left == 0) {
+      out.push_back(delayed.event);
+    }
+  }
+  std::erase_if(delayed_events_,
+                [](const DelayedEvent& d) { return d.waves_left == 0; });
+  for (const MinidiskEvent& event : incoming) {
+    if (faults == nullptr) {
+      out.push_back(event);
+      continue;
+    }
+    // Fixed draw order per event — drop, delay, duplicate — so each site's
+    // schedule is independent of the others' outcomes.
+    if (faults->DropsEvent()) {
+      continue;
+    }
+    const uint32_t waves = faults->EventDelayWaves();
+    if (waves > 0 &&
+        delayed_events_.size() < config_.minidisk.max_pending_events) {
+      delayed_events_.push_back(DelayedEvent{event, waves});
+      continue;
+    }
+    out.push_back(event);
+    if (faults->DuplicatesEvent()) {
+      out.push_back(event);
+    }
+  }
+  return out;
 }
 
 }  // namespace salamander

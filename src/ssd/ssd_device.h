@@ -24,6 +24,7 @@
 #include "common/status.h"
 #include "core/minidisk.h"
 #include "core/minidisk_manager.h"
+#include "faults/fault_injector.h"
 #include "ftl/ftl.h"
 
 namespace salamander {
@@ -38,6 +39,10 @@ struct SsdConfig {
   // Brick when retired_blocks / total_blocks exceeds this (0 disables).
   // Conventional SSDs use ~2.5% [14].
   double brick_bad_block_fraction = 0.0;
+  // Chaos injector for this device (shared so the owner of the fleet can
+  // inspect stats). nullptr — the default — leaves every code path and RNG
+  // stream exactly as it was without injection.
+  std::shared_ptr<FaultInjector> faults;
 };
 
 // Builds the canonical configuration for a device kind on top of shared
@@ -76,6 +81,11 @@ class SsdDevice {
   // simultaneously", §4.3).
   std::vector<MinidiskEvent> TakeEvents();
 
+  // Immediate whole-device failure (chaos harness / fault drills): bricks
+  // the device and queues kDecommissioned for every non-decommissioned
+  // mDisk, exactly as a wear-driven brick would.
+  void Crash();
+
   // ---- State ---------------------------------------------------------------
 
   // True once the device can no longer serve I/O (bricked or zero capacity).
@@ -93,8 +103,19 @@ class SsdDevice {
   // Total host data written so far, in bytes (lifetime accounting).
   uint64_t bytes_written() const;
 
+  // Lifecycle events discarded because a queue hit
+  // minidisk.max_pending_events (manager queue + the device's own brick
+  // queue). Injected event drops are *not* counted here — those model
+  // channel loss, not overflow — they live in faults->stats().
+  uint64_t dropped_events() const {
+    return manager_->dropped_events() + dropped_events_;
+  }
+
+  const FaultInjector* faults() const { return config_.faults.get(); }
+
  private:
   void CheckBrick();
+  void EmitBrickEvents();
 
   SsdKind kind_;
   SsdConfig config_;
@@ -104,6 +125,14 @@ class SsdDevice {
   bool failed_ = false;
   bool brick_events_emitted_ = false;
   std::vector<MinidiskEvent> pending_events_;
+  // Events held back by injected delivery delay; each matures after
+  // `waves_left` further TakeEvents() calls.
+  struct DelayedEvent {
+    MinidiskEvent event;
+    uint32_t waves_left = 0;
+  };
+  std::vector<DelayedEvent> delayed_events_;
+  uint64_t dropped_events_ = 0;  // overflow drops (see dropped_events())
 };
 
 }  // namespace salamander

@@ -38,6 +38,59 @@ TEST(LoggingTest, MacroCompilesAndStreams) {
   SALA_LOG(kWarning) << "warn " << std::string("msg");
 }
 
+TEST(LoggingTest, EveryNStateLogsFirstOfEachWindow) {
+  log_internal::EveryNState state;
+  uint64_t occurrence = 0;
+  int logged = 0;
+  for (int i = 0; i < 25; ++i) {
+    if (state.ShouldLog(10, occurrence)) {
+      ++logged;
+      EXPECT_EQ(occurrence % 10, 1u);  // occurrences 1, 11, 21
+    }
+  }
+  EXPECT_EQ(logged, 3);
+  EXPECT_EQ(occurrence, 25u);  // every call counted, logged or not
+}
+
+TEST(LoggingTest, EveryNStateWithNOneLogsEverything) {
+  log_internal::EveryNState state;
+  uint64_t occurrence = 0;
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(state.ShouldLog(1, occurrence));
+  }
+  EXPECT_EQ(occurrence, 5u);
+}
+
+TEST(LoggingTest, LogEveryNEmitsFirstAndEveryNth) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kDebug);
+  ::testing::internal::CaptureStderr();
+  for (int i = 0; i < 25; ++i) {
+    SALA_LOG_EVERY_N(kWarning, 10) << "flood event";
+  }
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("[occurrence 1] flood event"), std::string::npos);
+  EXPECT_NE(out.find("[occurrence 11] flood event"), std::string::npos);
+  EXPECT_NE(out.find("[occurrence 21] flood event"), std::string::npos);
+  EXPECT_EQ(out.find("[occurrence 2]"), std::string::npos);
+  // Suppressed occurrences leave no line at all: exactly 3 emissions.
+  size_t lines = 0;
+  for (char c : out) {
+    lines += c == '\n' ? 1 : 0;
+  }
+  EXPECT_EQ(lines, 3u);
+}
+
+TEST(LoggingTest, LogEveryNRespectsLevelThreshold) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  for (int i = 0; i < 5; ++i) {
+    SALA_LOG_EVERY_N(kWarning, 2) << "should be invisible";
+  }
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+}
+
 TEST(UnitsTest, ByteConstants) {
   EXPECT_EQ(kKiB, 1024u);
   EXPECT_EQ(kMiB, 1024u * 1024);

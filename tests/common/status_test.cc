@@ -45,6 +45,21 @@ TEST(StatusOrTest, HoldsError) {
   EXPECT_EQ(so.value_or(-1), -1);
 }
 
+// value() on an error must abort in EVERY build mode with the offending
+// status on stderr — silently reading the empty optional would be UB, and
+// an assert() would vanish under NDEBUG (exactly the mode benches run in).
+TEST(StatusOrDeathTest, ValueOnErrorAborts) {
+  StatusOr<int> so = DataLossError("page 42 uncorrectable");
+  EXPECT_DEATH((void)so.value(),
+               "StatusOr::value\\(\\) called on error status: "
+               "DATA_LOSS: page 42 uncorrectable");
+}
+
+TEST(StatusOrDeathTest, DereferenceOnErrorAborts) {
+  StatusOr<int> so = UnavailableError("busy plane");
+  EXPECT_DEATH((void)*so, "UNAVAILABLE: busy plane");
+}
+
 TEST(StatusOrTest, MoveOnlyValue) {
   StatusOr<std::unique_ptr<int>> so(std::make_unique<int>(7));
   ASSERT_TRUE(so.ok());

@@ -1,0 +1,117 @@
+// Injected flash faults: how program/erase failures and silent read
+// corruption surface at the chip, and how the FTL absorbs them (retired
+// pages/blocks, kDataLoss host reads) while its accounting stays consistent.
+#include <gtest/gtest.h>
+
+#include "ecc/tiredness.h"
+#include "flash/flash_chip.h"
+#include "ftl/ftl.h"
+#include "tests/testing/device_builder.h"
+
+namespace salamander {
+namespace {
+
+using testing_util::TestFtlConfig;
+using testing_util::TinyGeometry;
+
+FlashChip MakeChip() {
+  FPageEccGeometry ecc;
+  return FlashChip(TinyGeometry(), testing_util::FastWear(ecc, 3000),
+                   FlashLatencyConfig{}, /*seed=*/11);
+}
+
+EccParams L0Ecc() {
+  const TirednessLevelEcc l0 = ComputeTirednessLevel(FPageEccGeometry{}, 0);
+  return EccParams{
+      .stripe_codeword_bits = l0.stripe_codeword_bits,
+      .correctable_bits_per_stripe = l0.correctable_bits_per_stripe,
+      .stripes = 4,
+  };
+}
+
+TEST(FlashFaultTest, InjectedProgramFailureIsDataLossAndConsumesPage) {
+  FlashChip chip = MakeChip();
+  FaultConfig faults;
+  faults.program_fail = 1.0;
+  FaultInjector injector(faults, /*stream_id=*/0);
+  chip.set_fault_injector(&injector);
+  const auto result = chip.ProgramFPage(0);
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+  // The page is consumed: the in-block program cursor moved past it, so the
+  // FTL can re-place the batch on the next page without violating order.
+  EXPECT_TRUE(chip.IsProgrammed(0));
+  EXPECT_TRUE(chip.ProgramFPage(1).status().code() == StatusCode::kDataLoss);
+}
+
+TEST(FlashFaultTest, InjectedEraseFailureIsDataLossAndKeepsPec) {
+  FlashChip chip = MakeChip();
+  FaultConfig faults;
+  faults.erase_fail = 1.0;
+  FaultInjector injector(faults, /*stream_id=*/0);
+  chip.set_fault_injector(&injector);
+  const uint32_t pec_before = chip.BlockPec(0);
+  EXPECT_EQ(chip.EraseBlock(0).status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(chip.BlockPec(0), pec_before);  // the erase did not happen
+}
+
+TEST(FlashFaultTest, InjectedCorruptionDefeatsEveryRetry) {
+  FlashChip chip = MakeChip();
+  ASSERT_TRUE(chip.ProgramFPage(0).ok());
+  FaultConfig faults;
+  faults.read_corrupt = 1.0;
+  FaultInjector injector(faults, /*stream_id=*/0);
+  chip.set_fault_injector(&injector);
+  const auto outcome = chip.ReadFPage(0, L0Ecc(), 4096);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome.value().correctable);
+  EXPECT_EQ(outcome.value().retries,
+            chip.latency_config().max_read_retries);
+}
+
+// Under a steady drizzle of program/erase failures the FTL keeps operating —
+// failed pages retire, failed blocks leave service, writes may start failing
+// only once the injected damage has eaten the capacity — and its internal
+// accounting never drifts.
+TEST(FlashFaultTest, FtlAbsorbsProgramAndEraseFailures) {
+  FtlConfig config = TestFtlConfig(TinyGeometry(), /*nominal_pec=*/1000000);
+  Ftl ftl(config);
+  FaultConfig faults;
+  faults.program_fail = 0.05;
+  faults.erase_fail = 0.05;
+  faults.seed = 21;
+  FaultInjector injector(faults, /*stream_id=*/0);
+  ftl.SetFaultInjector(&injector);
+
+  const uint64_t logical = 500;
+  ftl.ExtendLogicalSpace(logical);
+  uint64_t succeeded = 0;
+  for (uint64_t i = 0; i < 20000; ++i) {
+    succeeded += ftl.Write(i % logical).ok() ? 1 : 0;  // may fail near death
+    if (i % 1000 == 999) {
+      ftl.TakeTransitions();
+      ASSERT_EQ(ftl.CheckInvariants(), OkStatus())
+          << "write " << i << ": " << ftl.CheckInvariants().ToString();
+    }
+  }
+  EXPECT_GT(succeeded, 1000u);
+  EXPECT_GT(ftl.stats().program_failures, 0u);
+  EXPECT_GT(ftl.stats().erase_failures, 0u);
+}
+
+TEST(FlashFaultTest, FtlReadCorruptionSurfacesAsDataLoss) {
+  FtlConfig config = TestFtlConfig(TinyGeometry(), /*nominal_pec=*/1000000);
+  Ftl ftl(config);
+  FaultConfig faults;
+  faults.read_corrupt = 1.0;
+  FaultInjector injector(faults, /*stream_id=*/0);
+  ftl.SetFaultInjector(&injector);
+  ftl.ExtendLogicalSpace(8);
+  ASSERT_TRUE(ftl.Write(0).ok());
+  ASSERT_TRUE(ftl.Flush().ok());  // push it out of the NV buffer
+  const auto read = ftl.Read(0);
+  EXPECT_EQ(read.status().code(), StatusCode::kDataLoss);
+  EXPECT_GT(ftl.stats().uncorrectable_reads, 0u);
+}
+
+}  // namespace
+}  // namespace salamander
