@@ -6,7 +6,9 @@
 #ifndef SALAMANDER_BENCH_BENCH_UTIL_H_
 #define SALAMANDER_BENCH_BENCH_UTIL_H_
 
+#include <cerrno>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,36 +29,84 @@ inline void PrintSection(const std::string& title) {
   std::printf("\n-- %s --\n", title.c_str());
 }
 
+// Finds `--flag VALUE` / `--flag=VALUE` in argv and returns the raw value
+// string, or nullptr when the flag is absent. A flag given with no value
+// ("--threads" as the last token, or "--threads=") is an error: the bench
+// exits with a usage message rather than silently running a default config.
+inline const char* ParseFlagValue(int argc, char** argv, const char* flag) {
+  const size_t flag_len = std::strlen(flag);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s requires a value\n", flag);
+        std::exit(2);
+      }
+      return argv[i + 1];
+    }
+    if (std::strncmp(argv[i], flag, flag_len) == 0 &&
+        argv[i][flag_len] == '=') {
+      const char* value = argv[i] + flag_len + 1;
+      if (*value == '\0') {
+        std::fprintf(stderr, "error: %s requires a value\n", flag);
+        std::exit(2);
+      }
+      return value;
+    }
+  }
+  return nullptr;
+}
+
+// Strictly parses a non-negative integer: the whole token must be decimal
+// digits (no signs, no trailing garbage) and fit in a uint64. Exits with a
+// clear error naming the flag otherwise — "--threads -3" or
+// "--days banana" must not silently become a default.
+inline uint64_t ParseU64Value(const char* flag, const char* value) {
+  if (*value == '\0') {
+    std::fprintf(stderr, "error: %s requires a value\n", flag);
+    std::exit(2);
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (*value == '-' || *value == '+' || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr,
+                 "error: %s expects a non-negative integer, got \"%s\"\n",
+                 flag, value);
+    std::exit(2);
+  }
+  return static_cast<uint64_t>(parsed);
+}
+
+// Parses `--flag N` / `--flag=N` for a uint64 value; rejects garbage,
+// negative numbers, and overflow with a clear error.
+inline uint64_t ParseU64Flag(int argc, char** argv, const char* flag,
+                             uint64_t default_value) {
+  const char* value = ParseFlagValue(argc, argv, flag);
+  return value == nullptr ? default_value : ParseU64Value(flag, value);
+}
+
 // Parses `--threads N` / `--threads=N` from argv. 0 means "all hardware
 // threads"; results of every bench are identical for any value — the knob
 // only changes wall-clock.
 inline unsigned ParseThreads(int argc, char** argv,
                              unsigned default_threads = 0) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      return static_cast<unsigned>(std::strtoul(argv[i + 1], nullptr, 10));
-    }
-    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
-      return static_cast<unsigned>(std::strtoul(argv[i] + 10, nullptr, 10));
-    }
+  const uint64_t threads =
+      ParseU64Flag(argc, argv, "--threads", default_threads);
+  if (threads > 1024) {
+    std::fprintf(stderr,
+                 "error: --threads expects 0 (all cores) .. 1024, got %llu\n",
+                 static_cast<unsigned long long>(threads));
+    std::exit(2);
   }
-  return default_threads;
+  return static_cast<unsigned>(threads);
 }
 
-// Parses `--flag N` / `--flag=N` for a uint64 value.
-inline uint64_t ParseU64Flag(int argc, char** argv, const char* flag,
-                             uint64_t default_value) {
-  const size_t flag_len = std::strlen(flag);
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
-      return std::strtoull(argv[i + 1], nullptr, 10);
-    }
-    if (std::strncmp(argv[i], flag, flag_len) == 0 &&
-        argv[i][flag_len] == '=') {
-      return std::strtoull(argv[i] + flag_len + 1, nullptr, 10);
-    }
-  }
-  return default_value;
+// Parses `--flag PATH` / `--flag=PATH` for a string value (e.g. the
+// `--metrics-out` / `--trace-out` export paths). Empty string when absent.
+inline std::string ParseStringFlag(int argc, char** argv, const char* flag,
+                                   const std::string& default_value = "") {
+  const char* value = ParseFlagValue(argc, argv, flag);
+  return value == nullptr ? default_value : std::string(value);
 }
 
 class WallTimer {

@@ -21,6 +21,8 @@
 #include "ecc/tiredness.h"
 #include "faults/fault_injector.h"
 #include "flash/wear_model.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace salamander {
 namespace {
@@ -38,7 +40,15 @@ struct UniverseResult {
   bool converged = true;
   bool invariants_ok = true;
   std::string first_violation;
+  // Thread-confined telemetry, owned by the universe's worker and merged by
+  // the coordinator after the barrier, in universe order.
+  MetricRegistry registry;
+  TraceRecorder trace;
 };
+
+// One simulated fault burst = 1000 us of trace time (see DESIGN.md
+// "Telemetry").
+constexpr uint64_t kTraceUsPerBurst = 1000;
 
 // Per-device fault mix. Crash-mid-drain is drawn on every event poll of a
 // draining device, which happens once per device per foreground op — keep it
@@ -67,10 +77,15 @@ FaultConfig ClusterFaults(uint64_t seed) {
   return config;
 }
 
-UniverseResult RunUniverse(uint64_t universe, uint64_t base_seed,
-                           uint64_t bursts) {
-  UniverseResult result;
+// Writes into `result` (stable storage owned by the coordinator) so the
+// cluster's trace pointer stays valid for the whole soak.
+void RunUniverse(uint64_t universe, uint64_t base_seed, uint64_t bursts,
+                 UniverseResult& result) {
   result.kind = (universe % 2 == 0) ? SsdKind::kShrinkS : SsdKind::kRegenS;
+
+  const uint32_t lane = static_cast<uint32_t>(universe);
+  result.trace.NameLane(lane, "universe " + std::to_string(universe) + ":" +
+                                  std::string(SsdKindName(result.kind)));
 
   DifsConfig config;
   config.nodes = 6;
@@ -81,6 +96,8 @@ UniverseResult RunUniverse(uint64_t universe, uint64_t base_seed,
   config.seed = base_seed + universe;
   config.faults = std::make_shared<FaultInjector>(
       ClusterFaults(base_seed + universe), /*stream_id=*/universe);
+  config.trace = &result.trace;
+  config.trace_tid = lane;
 
   FPageEccGeometry ecc;
   const WearModelConfig wear = WearModel::Calibrate(
@@ -117,15 +134,28 @@ UniverseResult RunUniverse(uint64_t universe, uint64_t base_seed,
     if (cluster.alive_devices() < config.replication + 1) {
       break;  // fleet worn down to the edge; stop before losses are expected
     }
+    const uint64_t burst_start_us = burst * kTraceUsPerBurst;
+    cluster.set_trace_time_us(burst_start_us);
+    result.trace.Span("burst " + std::to_string(burst), "chaos",
+                      burst_start_us, kTraceUsPerBurst, lane);
     if (burst == bursts / 2) {
       // Crash drill: brick one device outright (one concurrent whole-device
       // failure < R) and require recovery to re-replicate everything it
       // hosted — through the same lossy event channel as everything else.
+      result.trace.Instant("crash_drill", "chaos", burst_start_us, lane);
       cluster.device(static_cast<uint32_t>(universe % config.nodes)).Crash();
     }
     (void)cluster.StepWrites(kWritesPerBurst);
     (void)cluster.StepReads(kReadsPerBurst);
     cluster.ForceReconcile();
+    result.trace.CounterSample("recovery_backlog",
+                               burst_start_us + kTraceUsPerBurst,
+                               static_cast<double>(
+                                   cluster.pending_recovery_backlog()),
+                               lane);
+    result.trace.CounterSample(
+        "alive_devices", burst_start_us + kTraceUsPerBurst,
+        static_cast<double>(cluster.alive_devices()), lane);
     const Status invariants = cluster.CheckInvariants();
     if (!invariants.ok()) {
       result.invariants_ok = false;
@@ -140,6 +170,7 @@ UniverseResult RunUniverse(uint64_t universe, uint64_t base_seed,
   }
   // Let any active outage expire (maintenance ticks fire every 256 ops),
   // then reconcile to final quiescence.
+  cluster.set_trace_time_us(bursts * kTraceUsPerBurst);
   for (int i = 0; i < 64 && cluster.outage_node() >= 0; ++i) {
     (void)cluster.StepWrites(256);
   }
@@ -182,7 +213,9 @@ UniverseResult RunUniverse(uint64_t universe, uint64_t base_seed,
   for (int site = 0; site < FaultStats::kSites; ++site) {
     result.injected_by_site[site] += config.faults->stats().injected[site];
   }
-  return result;
+  // Scrape the whole universe — difs stats, every device's subtree, and both
+  // injector tiers — into the universe's own (thread-confined) registry.
+  cluster.CollectMetrics(result.registry);
 }
 
 }  // namespace
@@ -198,13 +231,26 @@ int main(int argc, char** argv) {
   const uint64_t universes = bench::ParseU64Flag(argc, argv, "--universes", 6);
   const uint64_t bursts = bench::ParseU64Flag(argc, argv, "--bursts", 12);
   const uint64_t seed = bench::ParseU64Flag(argc, argv, "--seed", 20250805);
+  const std::string metrics_out = bench::ParseStringFlag(
+      argc, argv, "--metrics-out", "BENCH_chaos_metrics.json");
+  const std::string trace_out = bench::ParseStringFlag(
+      argc, argv, "--trace-out", "BENCH_chaos_trace.json");
 
   std::vector<UniverseResult> results(universes);
   pool.ParallelFor(universes, [&](size_t begin, size_t end) {
     for (size_t u = begin; u < end; ++u) {
-      results[u] = RunUniverse(u, seed, bursts);
+      RunUniverse(u, seed, bursts, results[u]);
     }
   });
+
+  // Barrier merge, in universe order: per-universe registries aggregate
+  // (counters add) into the exported fleet-wide registry; traces append.
+  MetricRegistry merged;
+  TraceRecorder merged_trace;
+  for (const UniverseResult& r : results) {
+    merged.MergeFrom(r.registry);
+    merged_trace.MergeFrom(r.trace);
+  }
 
   std::printf(
       "universe\tkind\tchunks\tlost\tunder_repl\tparked\trecovered\t"
@@ -245,11 +291,72 @@ int main(int argc, char** argv) {
       by_site[site] += r.injected_by_site[site];
     }
   }
+  // Reported from the merged registry — and cross-checked against the
+  // injectors' own counters, so a telemetry double-collect or missed site
+  // fails the soak.
   for (int site = 0; site < FaultStats::kSites; ++site) {
-    std::printf("%-22s\t%llu\n",
-                std::string(FaultSiteName(static_cast<FaultSite>(site)))
-                    .c_str(),
-                static_cast<unsigned long long>(by_site[site]));
+    const std::string site_name(FaultSiteName(static_cast<FaultSite>(site)));
+    const Counter* device_tier =
+        merged.FindCounter("faults.injected." + site_name);
+    const Counter* cluster_tier =
+        merged.FindCounter("cluster_faults.injected." + site_name);
+    const uint64_t from_registry =
+        (device_tier != nullptr ? device_tier->value() : 0) +
+        (cluster_tier != nullptr ? cluster_tier->value() : 0);
+    std::printf("%-22s\t%llu\n", site_name.c_str(),
+                static_cast<unsigned long long>(from_registry));
+    if (from_registry != by_site[site]) {
+      pass = false;
+      std::printf("  TELEMETRY MISMATCH: injector counted %llu\n",
+                  static_cast<unsigned long long>(by_site[site]));
+    }
+  }
+
+  if (!merged.WriteJsonFile(metrics_out)) {
+    std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
+    pass = false;
+  }
+  if (!merged_trace.WriteJsonFile(trace_out)) {
+    std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+    pass = false;
+  }
+  std::printf("\nwrote %s (%zu instruments), %s (%zu events)\n",
+              metrics_out.c_str(), merged.instrument_count(),
+              trace_out.c_str(), merged_trace.event_count());
+
+  FILE* summary = std::fopen("BENCH_chaos.json", "w");
+  if (summary == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_chaos.json\n");
+    pass = false;
+  } else {
+    std::fprintf(summary,
+                 "{\n"
+                 "  \"bench\": \"chaos_soak\",\n"
+                 "  \"universes\": %llu,\n"
+                 "  \"bursts\": %llu,\n"
+                 "  \"seed\": %llu,\n"
+                 "  \"chunks_lost\": %llu,\n"
+                 "  \"replicas_recovered\": %llu,\n"
+                 "  \"faults_injected_total\": %llu,\n"
+                 "  \"metrics_file\": \"%s\",\n"
+                 "  \"trace_file\": \"%s\",\n"
+                 "  \"pass\": %s\n"
+                 "}\n",
+                 static_cast<unsigned long long>(universes),
+                 static_cast<unsigned long long>(bursts),
+                 static_cast<unsigned long long>(seed),
+                 static_cast<unsigned long long>(
+                     merged.GetCounter("difs.chunks_lost").value()),
+                 static_cast<unsigned long long>(
+                     merged.GetCounter("difs.replicas_recovered").value()),
+                 static_cast<unsigned long long>(
+                     merged.GetCounter("faults.injected_total").value() +
+                     merged.GetCounter("cluster_faults.injected_total")
+                         .value()),
+                 metrics_out.c_str(), trace_out.c_str(),
+                 pass ? "true" : "false");
+    std::fclose(summary);
+    std::printf("wrote BENCH_chaos.json\n");
   }
 
   bench::PrintSection("verdict");

@@ -12,10 +12,14 @@
 // what reproduces the figure, not absolute days.
 #include <cstdio>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "fleet/fleet_sim.h"
+#include "telemetry/metrics.h"
+#include "telemetry/sampler.h"
+#include "telemetry/trace.h"
 
 namespace salamander {
 namespace {
@@ -58,14 +62,27 @@ int main(int argc, char** argv) {
   // Snapshot values are identical for any thread count; see DESIGN.md
   // "Threading & determinism".
   const unsigned threads = bench::ParseThreads(argc, argv);
+  const std::string metrics_out =
+      bench::ParseStringFlag(argc, argv, "--metrics-out");
+  const std::string trace_out =
+      bench::ParseStringFlag(argc, argv, "--trace-out");
 
+  // One registry across the three kinds; each kind's instruments live under
+  // its own "<kind>." prefix. The reported numbers below are pulled from
+  // here, not recomputed — the registry IS the bench's data source.
+  MetricRegistry registry;
+  TraceRecorder trace;
   std::map<SsdKind, std::vector<FleetSnapshot>> runs;
+  uint32_t lane = 0;
   for (SsdKind kind :
        {SsdKind::kBaseline, SsdKind::kShrinkS, SsdKind::kRegenS}) {
     FleetConfig config = BenchFleet(kind);
     config.threads = threads;
+    config.trace = &trace;
+    config.trace_tid = lane++;
     FleetSim sim(config);
     runs[kind] = sim.Run();
+    sim.CollectMetrics(registry, std::string(SsdKindName(kind)) + ".");
     const std::optional<uint32_t> half_dead = sim.DayDevicesBelow(0.5);
     std::printf("[%s] half-fleet-dead day: %s\n",
                 std::string(SsdKindName(kind)).c_str(),
@@ -96,12 +113,28 @@ int main(int argc, char** argv) {
   bench::PrintSection("cumulative mDisk events at horizon");
   for (SsdKind kind :
        {SsdKind::kBaseline, SsdKind::kShrinkS, SsdKind::kRegenS}) {
-    const FleetSnapshot& last = runs[kind].back();
+    // Reported straight from the registry: SsdDevice::CollectMetrics is
+    // additive, so the per-kind counters are already fleet totals.
+    const std::string prefix = std::string(SsdKindName(kind)) + ".";
+    const Counter* decommissions =
+        registry.FindCounter(prefix + "ssd.decommissioned_total");
+    const Counter* regenerations =
+        registry.FindCounter(prefix + "ssd.regenerated_total");
     std::printf("%s\tdecommissions=%llu\tregenerations=%llu\n",
                 std::string(SsdKindName(kind)).c_str(),
-                static_cast<unsigned long long>(last.cumulative_decommissions),
                 static_cast<unsigned long long>(
-                    last.cumulative_regenerations));
+                    decommissions != nullptr ? decommissions->value() : 0),
+                static_cast<unsigned long long>(
+                    regenerations != nullptr ? regenerations->value() : 0));
+  }
+
+  if (!metrics_out.empty() && !registry.WriteJsonFile(metrics_out)) {
+    std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
+    return 1;
+  }
+  if (!trace_out.empty() && !trace.WriteJsonFile(trace_out)) {
+    std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+    return 1;
   }
   return 0;
 }

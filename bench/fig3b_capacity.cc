@@ -7,11 +7,15 @@
 // revived pages keep contributing shrunken-but-usable capacity.
 #include <cstdio>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "common/units.h"
 #include "fleet/fleet_sim.h"
+#include "telemetry/metrics.h"
+#include "telemetry/sampler.h"
+#include "telemetry/trace.h"
 
 namespace salamander {
 namespace {
@@ -52,37 +56,56 @@ int main(int argc, char** argv) {
       "baseline capacity drops in whole-device cliffs; Salamander shrinks "
       "gradually and retains capacity longer");
   const unsigned threads = bench::ParseThreads(argc, argv);
+  const std::string metrics_out =
+      bench::ParseStringFlag(argc, argv, "--metrics-out");
+  const std::string trace_out =
+      bench::ParseStringFlag(argc, argv, "--trace-out");
 
+  MetricRegistry registry;
+  TraceRecorder trace;
   std::map<SsdKind, std::vector<FleetSnapshot>> runs;
   std::map<SsdKind, FleetSim*> sims;
+  // One sampler per kind: FleetSim registers its probe set on each (a shared
+  // sampler would register duplicate series names).
+  std::map<SsdKind, TimeSeriesSampler> samplers;
   std::vector<std::unique_ptr<FleetSim>> storage;
+  uint32_t lane = 0;
   for (SsdKind kind :
        {SsdKind::kBaseline, SsdKind::kShrinkS, SsdKind::kRegenS}) {
     FleetConfig config = BenchFleet(kind);
     config.threads = threads;
+    config.sampler = &samplers[kind];
+    config.trace = &trace;
+    config.trace_tid = lane++;
     storage.push_back(std::make_unique<FleetSim>(config));
     runs[kind] = storage.back()->Run();
     sims[kind] = storage.back().get();
+    storage.back()->CollectMetrics(registry,
+                                   std::string(SsdKindName(kind)) + ".");
   }
 
   bench::PrintSection("fleet capacity (GiB) by day");
   std::printf("day\tbaseline\tshrinks\tregens\n");
-  const auto value_at = [](const std::vector<FleetSnapshot>& snapshots,
-                           uint32_t day) {
-    uint64_t value = snapshots.front().capacity_bytes;
-    for (const FleetSnapshot& s : snapshots) {
-      if (s.day > day) {
+  // Reported from the telemetry time series (sampled once per simulated
+  // day): last-known value at the requested day, matching how a fleet
+  // dashboard would render the samples.
+  const auto value_at = [&samplers](SsdKind kind, uint32_t day) {
+    const TimeSeries* series =
+        samplers.at(kind).Find("fleet.capacity_bytes");
+    double value = 0.0;
+    for (const auto& [t, v] : series->points()) {
+      if (t > static_cast<double>(day)) {
         break;
       }
-      value = s.capacity_bytes;
+      value = v;
     }
-    return ToGiB(value);
+    return ToGiB(static_cast<uint64_t>(value));
   };
   for (uint32_t day = 0; day <= 300; day += 5) {
     std::printf("%u\t%.3f\t%.3f\t%.3f\n", day,
-                value_at(runs[SsdKind::kBaseline], day),
-                value_at(runs[SsdKind::kShrinkS], day),
-                value_at(runs[SsdKind::kRegenS], day));
+                value_at(SsdKind::kBaseline, day),
+                value_at(SsdKind::kShrinkS, day),
+                value_at(SsdKind::kRegenS, day));
   }
 
   bench::PrintSection("day fleet capacity first fell below fraction");
@@ -99,6 +122,15 @@ int main(int argc, char** argv) {
             .c_str(),
         day_or_never(sims[SsdKind::kRegenS]->DayCapacityBelow(fraction))
             .c_str());
+  }
+
+  if (!metrics_out.empty() && !registry.WriteJsonFile(metrics_out)) {
+    std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
+    return 1;
+  }
+  if (!trace_out.empty() && !trace.WriteJsonFile(trace_out)) {
+    std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+    return 1;
   }
   return 0;
 }

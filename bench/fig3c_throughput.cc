@@ -7,15 +7,20 @@
 // throughput) at f = 1. The measured curve additionally includes channel
 // transfer time, which dilutes the penalty slightly.
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "bench/perf_rig.h"
+#include "telemetry/metrics.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace salamander;
   bench::PrintHeader(
       "Figure 3c — sequential throughput vs fraction of L1 fPages",
       "throughput degrades by up to 4/(4-L) = 1.33x (25%) as pages reach L1");
+  const std::string metrics_out =
+      bench::ParseStringFlag(argc, argv, "--metrics-out");
+  MetricRegistry registry;
 
   bench::PerfRigConfig config;
   bench::PerfRig rig(config);
@@ -65,5 +70,14 @@ int main() {
   std::printf("f=1 (all L1): flash-read-bound relative throughput %.3f "
               "(paper: 0.75)\n",
               3.0 / 4.0);
+
+  if (!metrics_out.empty()) {
+    rig.device().CollectMetrics(registry, "inline.");
+    dedicated_rig.device().CollectMetrics(registry, "dedicated.");
+    if (!registry.WriteJsonFile(metrics_out)) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
+      return 1;
+    }
+  }
   return 0;
 }

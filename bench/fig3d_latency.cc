@@ -10,16 +10,21 @@
 // mitigation (dedicated ECC pages) addresses exactly this; we report the
 // honest measured number.
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "bench/perf_rig.h"
+#include "telemetry/metrics.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace salamander;
   bench::PrintHeader(
       "Figure 3d — random access latency vs fraction of L1 fPages",
       "16 KiB random reads slow by >= 4/(4-L) as pages reach L1; 4 KiB "
       "random reads stay flat");
+  const std::string metrics_out =
+      bench::ParseStringFlag(argc, argv, "--metrics-out");
+  MetricRegistry registry;
 
   bench::PerfRigConfig config;
   config.seed = 11;
@@ -87,5 +92,14 @@ int main() {
   std::printf("4 KiB relative latency should stay ~1.0 at every f\n");
   std::printf("16 KiB relative latency should exceed 1 + f/3 (paper's "
               "amortized bound)\n");
+
+  if (!metrics_out.empty()) {
+    rig.device().CollectMetrics(registry, "inline.");
+    dedicated_rig.device().CollectMetrics(registry, "dedicated.");
+    if (!registry.WriteJsonFile(metrics_out)) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
+      return 1;
+    }
+  }
   return 0;
 }

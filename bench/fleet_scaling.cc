@@ -16,6 +16,7 @@
 #include "bench/bench_util.h"
 #include "common/thread_pool.h"
 #include "fleet/fleet_sim.h"
+#include "telemetry/metrics.h"
 
 namespace salamander {
 namespace {
@@ -49,7 +50,8 @@ struct KindResult {
   std::string kind;
   double serial_seconds = 0.0;
   double parallel_seconds = 0.0;
-  bool identical = false;
+  bool identical = false;        // snapshot vectors byte-identical
+  bool metrics_identical = false;  // registry JSON byte-identical
 };
 
 }  // namespace
@@ -65,6 +67,9 @@ int main(int argc, char** argv) {
   const uint32_t days =
       static_cast<uint32_t>(bench::ParseU64Flag(argc, argv, "--days", 60));
 
+  const std::string metrics_out = bench::ParseStringFlag(
+      argc, argv, "--metrics-out", "BENCH_fleet_metrics.json");
+
   bench::PrintHeader(
       "fleet scaling — serial vs parallel FleetSim::Run()",
       "per-device RNG streams make the parallel fleet run bit-identical to "
@@ -72,31 +77,43 @@ int main(int argc, char** argv) {
   std::printf("devices=%u days=%u threads=1 vs %u (hardware=%u)\n", devices,
               days, parallel_threads, ThreadPool::HardwareThreads());
 
-  std::printf("\nkind\tserial_s\tparallel_s\tspeedup\tidentical\n");
+  std::printf("\nkind\tserial_s\tparallel_s\tspeedup\tidentical\tmetrics\n");
   std::vector<KindResult> results;
+  MetricRegistry exported;
   for (SsdKind kind : {SsdKind::kBaseline, SsdKind::kRegenS}) {
     KindResult result;
     result.kind = std::string(SsdKindName(kind));
 
+    // Both runs carry an attached registry: the cross-check below proves
+    // telemetry collection is itself bit-identical at any thread count.
+    MetricRegistry serial_metrics;
     FleetConfig serial_config = BenchFleet(kind, devices, days);
     serial_config.threads = 1;
+    serial_config.metrics = &serial_metrics;
     FleetSim serial_sim(serial_config);
     bench::WallTimer serial_timer;
     const std::vector<FleetSnapshot> serial_snaps = serial_sim.Run();
     result.serial_seconds = serial_timer.Seconds();
 
+    MetricRegistry parallel_metrics;
     FleetConfig parallel_config = BenchFleet(kind, devices, days);
     parallel_config.threads = parallel_threads;
+    parallel_config.metrics = &parallel_metrics;
     FleetSim parallel_sim(parallel_config);
     bench::WallTimer parallel_timer;
     const std::vector<FleetSnapshot> parallel_snaps = parallel_sim.Run();
     result.parallel_seconds = parallel_timer.Seconds();
 
     result.identical = serial_snaps == parallel_snaps;
-    std::printf("%s\t%.3f\t%.3f\t%.2fx\t%s\n", result.kind.c_str(),
+    result.metrics_identical =
+        serial_metrics.ToJson() == parallel_metrics.ToJson();
+    std::printf("%s\t%.3f\t%.3f\t%.2fx\t%s\t%s\n", result.kind.c_str(),
                 result.serial_seconds, result.parallel_seconds,
                 result.serial_seconds / result.parallel_seconds,
-                result.identical ? "yes" : "NO — BUG");
+                result.identical ? "yes" : "NO — BUG",
+                result.metrics_identical ? "yes" : "NO — BUG");
+    // Export under a per-kind prefix so the two fleets stay distinguishable.
+    parallel_sim.CollectMetrics(exported, result.kind + ".");
     results.push_back(result);
   }
 
@@ -120,19 +137,26 @@ int main(int argc, char** argv) {
     std::fprintf(json,
                  "    {\"kind\": \"%s\", \"serial_seconds\": %.3f, "
                  "\"parallel_seconds\": %.3f, \"speedup\": %.2f, "
-                 "\"snapshots_identical\": %s}%s\n",
+                 "\"snapshots_identical\": %s, \"metrics_identical\": %s}%s\n",
                  r.kind.c_str(), r.serial_seconds, r.parallel_seconds,
                  r.serial_seconds / r.parallel_seconds,
                  r.identical ? "true" : "false",
+                 r.metrics_identical ? "true" : "false",
                  i + 1 < results.size() ? "," : "");
   }
   std::fprintf(json, "  ]\n}\n");
   std::fclose(json);
   std::printf("\nwrote BENCH_fleet.json\n");
 
+  if (!exported.WriteJsonFile(metrics_out)) {
+    std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", metrics_out.c_str());
+
   bool all_identical = true;
   for (const KindResult& r : results) {
-    all_identical &= r.identical;
+    all_identical &= r.identical && r.metrics_identical;
   }
   return all_identical ? 0 : 1;
 }

@@ -3,6 +3,10 @@
 // error sampling, and the FTL write/read path of the simulator itself.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "common/rng.h"
 #include "ecc/bch.h"
 #include "ftl/ftl.h"
@@ -100,4 +104,29 @@ BENCHMARK(BM_FtlReadPath);
 }  // namespace
 }  // namespace salamander
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): unless the caller already chose a
+// --benchmark_out, results are additionally written to BENCH_micro.json
+// (google-benchmark's JSON schema) so CI can collect them as an artifact.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_micro.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) {
+      has_out = true;
+    }
+  }
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

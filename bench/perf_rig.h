@@ -70,6 +70,9 @@ class PerfRig {
     return samples;
   }
 
+  // Telemetry scrape target (see SsdDevice::CollectMetrics).
+  const SsdDevice& device() const { return *device_; }
+
  private:
   PerfSample Measure() {
     PerfSample sample;

@@ -163,6 +163,29 @@ void RunningStats::Record(double value) {
   m2_ += delta * (value - mean_);
 }
 
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  count_ += other.count_;
+  if (other.min_ < min_) {
+    min_ = other.min_;
+  }
+  if (other.max_ > max_) {
+    max_ = other.max_;
+  }
+}
+
 double RunningStats::Variance() const {
   return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
 }

@@ -76,6 +76,10 @@ class RunningStats {
   double min() const { return count_ == 0 ? 0.0 : min_; }
   double max() const { return count_ == 0 ? 0.0 : max_; }
 
+  // Folds `other`'s samples into this accumulator (Chan et al.'s parallel
+  // variance combination), as if every value had been Record()ed here.
+  void Merge(const RunningStats& other);
+
   void Reset();
 
  private:

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/logging.h"
+#include "telemetry/collect.h"
 
 namespace salamander {
 
@@ -95,6 +96,10 @@ void DifsCluster::HandleMdiskLoss(uint32_t device_index, MinidiskId mdisk) {
         chunk.lost = true;
         ++stats_.chunks_lost;
         SALA_LOG(kWarning) << "chunk " << chunk.id << " lost all replicas";
+        if (config_.trace != nullptr) {
+          config_.trace->Instant("chunk_lost", "difs", trace_time_us_,
+                                 config_.trace_tid);
+        }
       } else if (chunk.live_replicas() < config_.replication) {
         pending_recoveries_.push_back(chunk.id);
       }
@@ -224,6 +229,13 @@ void DifsCluster::ProcessEvents() {
     ++stats_.recovery_waves;
     stats_.max_wave_recovery_opages =
         std::max(stats_.max_wave_recovery_opages, wave);
+    if (config_.trace != nullptr) {
+      config_.trace->Instant("recovery_wave", "difs", trace_time_us_,
+                             config_.trace_tid);
+      config_.trace->CounterSample("recovery_wave_opages", trace_time_us_,
+                                   static_cast<double>(wave),
+                                   config_.trace_tid);
+    }
 #ifndef NDEBUG
     // Every recovery wave must leave the bookkeeping self-consistent; a
     // violation here is a cluster bug, not an injected fault.
@@ -625,12 +637,20 @@ void DifsCluster::MaintenanceTick() {
       // Rejoin: the node's devices are reachable again; the ReconcileAll
       // below replays whatever state changed while it was dark.
       outage_node_ = -1;
+      if (config_.trace != nullptr) {
+        config_.trace->Instant("node_rejoin", "difs", trace_time_us_,
+                               config_.trace_tid);
+      }
     }
   } else if (faults != nullptr && faults->StartsNodeOutage()) {
     outage_node_ =
         static_cast<int32_t>(faults->OutageNode(config_.nodes));
     outage_ticks_left_ = faults->OutageTicks();
     ++stats_.node_outages;
+    if (config_.trace != nullptr) {
+      config_.trace->Instant("node_outage", "difs", trace_time_us_,
+                             config_.trace_tid);
+    }
   }
   ReconcileAll();
   // Reconciliation may have changed the placement landscape (new mDisks
@@ -728,6 +748,79 @@ void DifsCluster::ForceReconcile() {
         pending_recoveries_.empty()) {
       break;
     }
+  }
+}
+
+void DifsCluster::CollectMetrics(MetricRegistry& registry,
+                                 const std::string& prefix) const {
+  registry.GetCounter(prefix + "difs.foreground_opage_writes")
+      .Add(stats_.foreground_opage_writes);
+  registry.GetCounter(prefix + "difs.recovery_opage_writes")
+      .Add(stats_.recovery_opage_writes);
+  registry.GetCounter(prefix + "difs.recovery_opage_reads")
+      .Add(stats_.recovery_opage_reads);
+  registry.GetCounter(prefix + "difs.recovery_bytes")
+      .Add(stats_.recovery_bytes());
+  registry.GetCounter(prefix + "difs.replicas_recovered")
+      .Add(stats_.replicas_recovered);
+  registry.GetCounter(prefix + "difs.replicas_lost")
+      .Add(stats_.replicas_lost);
+  registry.GetCounter(prefix + "difs.drains_started")
+      .Add(stats_.drains_started);
+  registry.GetCounter(prefix + "difs.drains_acked").Add(stats_.drains_acked);
+  registry.GetCounter(prefix + "difs.drain_window_losses")
+      .Add(stats_.drain_window_losses);
+  registry.GetCounter(prefix + "difs.chunks_lost").Add(stats_.chunks_lost);
+  registry.GetCounter(prefix + "difs.recovery_deferred")
+      .Add(stats_.recovery_deferred);
+  registry.GetCounter(prefix + "difs.uncorrectable_reads")
+      .Add(stats_.uncorrectable_reads);
+  registry.GetCounter(prefix + "difs.scrub_repairs")
+      .Add(stats_.scrub_repairs);
+  registry.GetCounter(prefix + "difs.recovery_waves")
+      .Add(stats_.recovery_waves);
+  registry.GetCounter(prefix + "difs.transient_retries")
+      .Add(stats_.transient_retries);
+  registry.GetCounter(prefix + "difs.transient_giveups")
+      .Add(stats_.transient_giveups);
+  registry.GetCounter(prefix + "difs.backoff_ns").Add(stats_.backoff_ns);
+  registry.GetCounter(prefix + "difs.resync_passes")
+      .Add(stats_.resync_passes);
+  registry.GetCounter(prefix + "difs.resync_repairs")
+      .Add(stats_.resync_repairs);
+  registry.GetCounter(prefix + "difs.acks_lost").Add(stats_.acks_lost);
+  registry.GetCounter(prefix + "difs.node_outages")
+      .Add(stats_.node_outages);
+  registry.GetCounter(prefix + "difs.outage_write_skips")
+      .Add(stats_.outage_write_skips);
+  registry.GetCounter(prefix + "difs.maintenance_ticks")
+      .Add(stats_.maintenance_ticks);
+  registry.GetGauge(prefix + "difs.max_wave_recovery_opages")
+      .Add(static_cast<double>(stats_.max_wave_recovery_opages));
+  registry.GetGauge(prefix + "difs.alive_devices")
+      .Add(static_cast<double>(alive_devices()));
+  registry.GetGauge(prefix + "difs.total_chunks")
+      .Add(static_cast<double>(total_chunks()));
+  registry.GetGauge(prefix + "difs.chunks_fully_replicated")
+      .Add(static_cast<double>(chunks_fully_replicated()));
+  registry.GetGauge(prefix + "difs.chunks_under_replicated")
+      .Add(static_cast<double>(chunks_under_replicated()));
+  registry.GetGauge(prefix + "difs.chunks_waiting_capacity")
+      .Add(static_cast<double>(chunks_waiting_capacity()));
+  registry.GetGauge(prefix + "difs.pending_recovery_backlog")
+      .Add(static_cast<double>(pending_recovery_backlog()));
+  registry.GetGauge(prefix + "difs.free_slots")
+      .Add(static_cast<double>(free_slots()));
+  registry.GetGauge(prefix + "difs.live_capacity_bytes")
+      .Add(static_cast<double>(live_capacity_bytes()));
+  for (const DeviceState& state : devices_) {
+    state.device->CollectMetrics(registry, prefix);
+  }
+  if (config_.faults != nullptr) {
+    // Distinct prefix: the per-device injector counters collected by
+    // SsdDevice::CollectMetrics live under "<prefix>faults.".
+    CollectFaultMetrics(registry, config_.faults->stats(),
+                        prefix + "cluster_");
   }
 }
 

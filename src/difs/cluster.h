@@ -32,6 +32,8 @@
 #include "core/minidisk.h"
 #include "faults/fault_injector.h"
 #include "ssd/ssd_device.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace salamander {
 
@@ -65,6 +67,17 @@ struct DifsConfig {
   // Cluster-level chaos injector (node outages, lost AckDrains). Distinct
   // instance from the per-device injectors; nullptr disables.
   std::shared_ptr<FaultInjector> faults;
+
+  // ---- Telemetry hooks -----------------------------------------------------
+
+  // Optional trace recorder (not owned; must outlive the cluster). The
+  // cluster emits instant events — recovery waves, chunk losses, node
+  // outages/rejoins — on lane `trace_tid`, timestamped with the simulated
+  // time last passed to DifsCluster::set_trace_time_us() (the harness
+  // advances it once per day / burst). nullptr disables recording with no
+  // behavioral or RNG-stream impact.
+  TraceRecorder* trace = nullptr;
+  uint32_t trace_tid = 0;
 };
 
 struct DifsStats {
@@ -210,6 +223,18 @@ class DifsCluster {
   // Node currently unreachable due to an injected outage, or -1.
   int32_t outage_node() const { return outage_node_; }
 
+  // Simulated timestamp stamped onto trace events the cluster emits (see
+  // DifsConfig::trace). The harness advances it once per day / burst.
+  void set_trace_time_us(uint64_t ts_us) { trace_time_us_ = ts_us; }
+
+  // Scrapes DifsStats (re-replication bytes, resync rounds, retry/backoff,
+  // drain outcomes), replication-health gauges, and every device's
+  // "<prefix>ssd.*" subtree into "<prefix>difs.*". Cluster-level injected
+  // faults land under "<prefix>cluster_faults.". Additive — collect once per
+  // cluster (see telemetry/collect.h).
+  void CollectMetrics(MetricRegistry& registry,
+                      const std::string& prefix = "") const;
+
  private:
   static constexpr int64_t kFreeSlot = -1;
 
@@ -311,6 +336,7 @@ class DifsCluster {
   int32_t outage_node_ = -1;
   uint32_t outage_ticks_left_ = 0;
   uint64_t ops_since_maintenance_ = 0;
+  uint64_t trace_time_us_ = 0;  // stamp for emitted trace events
 };
 
 }  // namespace salamander

@@ -125,6 +125,7 @@ StatusOr<ReadOutcome> FlashChip::ReadFPage(FPageIndex fpage,
     outcome.latency =
         latency_.read_fpage * (latency_.max_read_retries + 1) +
         latency_.TransferTime(transfer_bytes);
+    total_read_retries_ += outcome.retries;
     return outcome;
   }
   double rber = PageRber(fpage);
@@ -153,7 +154,21 @@ StatusOr<ReadOutcome> FlashChip::ReadFPage(FPageIndex fpage,
     rber *= latency_.retry_rber_factor;
   }
   outcome.latency += latency_.TransferTime(transfer_bytes);
+  total_read_retries_ += outcome.retries;
   return outcome;
+}
+
+void FlashChip::CollectMetrics(MetricRegistry& registry,
+                               const std::string& prefix) const {
+  registry.GetCounter(prefix + "flash.programs").Add(total_programs_);
+  registry.GetCounter(prefix + "flash.erases").Add(total_erases_);
+  registry.GetCounter(prefix + "flash.reads").Add(total_reads_);
+  registry.GetCounter(prefix + "flash.read_retries")
+      .Add(total_read_retries_);
+  Histogram& pec = registry.GetHistogram(prefix + "flash.block_pec");
+  for (const uint32_t block_pec : block_pec_) {
+    pec.Record(block_pec);
+  }
 }
 
 }  // namespace salamander

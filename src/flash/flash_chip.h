@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <vector>
 
+#include <string>
+
 #include "common/bitmap.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -19,6 +21,7 @@
 #include "faults/fault_injector.h"
 #include "flash/geometry.h"
 #include "flash/wear_model.h"
+#include "telemetry/metrics.h"
 
 namespace salamander {
 
@@ -80,6 +83,14 @@ class FlashChip {
   uint64_t total_erases() const { return total_erases_; }
   uint64_t total_programs() const { return total_programs_; }
   uint64_t total_reads() const { return total_reads_; }
+  // Read retries (voltage-adjust re-reads) across all ReadFPage calls.
+  uint64_t total_read_retries() const { return total_read_retries_; }
+
+  // Scrapes op totals and the block-PEC distribution into
+  // "<prefix>flash.*" instruments. Additive — collect once per chip (see
+  // telemetry/collect.h).
+  void CollectMetrics(MetricRegistry& registry,
+                      const std::string& prefix = "") const;
 
   // Optional chaos hook. The chip does not own the injector; the caller
   // guarantees it outlives the chip. nullptr (the default) disables
@@ -101,6 +112,7 @@ class FlashChip {
   uint64_t total_erases_ = 0;
   uint64_t total_programs_ = 0;
   uint64_t total_reads_ = 0;
+  uint64_t total_read_retries_ = 0;
 };
 
 }  // namespace salamander

@@ -1,8 +1,10 @@
 #include "fleet/fleet_sim.h"
 
 #include <cmath>
+#include <string>
 
 #include "common/thread_pool.h"
+#include "telemetry/collect.h"
 
 namespace salamander {
 
@@ -60,7 +62,9 @@ FleetSnapshot FleetSim::Sample(uint32_t day) const {
   return snapshot;
 }
 
-void FleetSim::StepDevice(DeviceSlot& slot, double daily_failure) {
+void FleetSim::StepDevice(DeviceSlot& slot, double daily_failure,
+                          size_t shard, ShardedCounter* steps,
+                          ShardedCounter* opages) {
   if (!slot.alive || slot.device->failed()) {
     slot.alive = false;
     return;
@@ -75,11 +79,33 @@ void FleetSim::StepDevice(DeviceSlot& slot, double daily_failure) {
   if (result.device_failed) {
     slot.alive = false;
   }
+  // Telemetry counting touches only this slot's shard; null when detached.
+  if (steps != nullptr) {
+    steps->Increment(shard);
+  }
+  if (opages != nullptr) {
+    opages->Add(shard, result.opages_written);
+  }
 }
 
 std::vector<FleetSnapshot> FleetSim::Run() {
   snapshots_.clear();
   snapshots_.push_back(Sample(0));
+  if (telemetry_attached()) {
+    // One shard per slot: worker threads never share a shard, and the owner
+    // drains them at the day barrier below.
+    day_steps_ = std::make_unique<ShardedCounter>(slots_.size());
+    day_opages_ = std::make_unique<ShardedCounter>(slots_.size());
+    RegisterSamplerProbes();
+    if (config_.sampler != nullptr) {
+      config_.sampler->Sample(0.0);
+    }
+    if (config_.trace != nullptr) {
+      config_.trace->NameLane(config_.trace_tid,
+                              std::string("fleet:") +
+                                  std::string(SsdKindName(config_.kind)));
+    }
+  }
   // Convert the annual failure rate to a per-day hazard.
   const double daily_failure =
       1.0 - std::pow(1.0 - config_.afr, 1.0 / 365.0);
@@ -87,12 +113,23 @@ std::vector<FleetSnapshot> FleetSim::Run() {
   // sampling/merge below runs on this thread after the barrier, in device-ID
   // order. With threads == 1 the pool executes inline (a plain loop).
   ThreadPool pool(config_.threads);
+  std::vector<uint8_t> alive_before;
   for (uint32_t day = 1; day <= config_.days; ++day) {
+    if (telemetry_attached()) {
+      alive_before.resize(slots_.size());
+      for (size_t i = 0; i < slots_.size(); ++i) {
+        alive_before[i] = slots_[i].alive ? 1 : 0;
+      }
+    }
     pool.ParallelFor(slots_.size(), [&](size_t begin, size_t end) {
       for (size_t i = begin; i < end; ++i) {
-        StepDevice(slots_[i], daily_failure);
+        StepDevice(slots_[i], daily_failure, i, day_steps_.get(),
+                   day_opages_.get());
       }
     });
+    if (telemetry_attached()) {
+      RecordDayTelemetry(day, alive_before);
+    }
     uint32_t alive = 0;
     for (const DeviceSlot& slot : slots_) {
       alive += slot.alive ? 1 : 0;
@@ -105,7 +142,161 @@ std::vector<FleetSnapshot> FleetSim::Run() {
       break;
     }
   }
+  if (config_.metrics != nullptr) {
+    CollectMetrics(*config_.metrics);
+  }
   return snapshots_;
+}
+
+void FleetSim::RegisterSamplerProbes() {
+  if (config_.sampler == nullptr) {
+    return;
+  }
+  TimeSeriesSampler& sampler = *config_.sampler;
+  sampler.AddProbe("fleet.functioning_devices", [this] {
+    uint32_t alive = 0;
+    for (const DeviceSlot& slot : slots_) {
+      alive += (slot.alive && !slot.device->failed()) ? 1 : 0;
+    }
+    return static_cast<double>(alive);
+  });
+  sampler.AddProbe("fleet.capacity_bytes", [this] {
+    uint64_t capacity = 0;
+    for (const DeviceSlot& slot : slots_) {
+      if (slot.alive && !slot.device->failed()) {
+        capacity += slot.device->live_capacity_bytes();
+      }
+    }
+    return static_cast<double>(capacity);
+  });
+  sampler.AddProbe("fleet.live_minidisks", [this] {
+    uint64_t live = 0;
+    for (const DeviceSlot& slot : slots_) {
+      live += slot.device->live_minidisks();
+    }
+    return static_cast<double>(live);
+  });
+  sampler.AddProbe("fleet.decommissioned_total", [this] {
+    uint64_t total = 0;
+    for (const DeviceSlot& slot : slots_) {
+      total += slot.device->manager().decommissioned_total();
+    }
+    return static_cast<double>(total);
+  });
+  // Revived capacity: mDisks minted by RegenS, in bytes.
+  sampler.AddProbe("fleet.regenerated_bytes", [this] {
+    uint64_t total = 0;
+    for (const DeviceSlot& slot : slots_) {
+      total += slot.device->manager().regenerated_total() *
+               slot.device->msize_opages() *
+               config_.geometry.opage_bytes;
+    }
+    return static_cast<double>(total);
+  });
+  sampler.AddProbe("fleet.pending_event_depth", [this] {
+    return static_cast<double>(TotalPendingEventDepth());
+  });
+  sampler.AddProbe("fleet.faults_injected_total", [this] {
+    return static_cast<double>(TotalFaultsInjected());
+  });
+}
+
+void FleetSim::RecordDayTelemetry(uint32_t day,
+                                  const std::vector<uint8_t>& alive_before) {
+  // Owner thread, after the day barrier: drain the per-slot shards into the
+  // cumulative totals (shard order, so totals are reproducible bit for bit).
+  device_days_stepped_ += day_steps_->Total();
+  host_opages_written_ += day_opages_->Total();
+  day_steps_->Reset();
+  day_opages_->Reset();
+  if (config_.trace != nullptr) {
+    const uint64_t start_us = static_cast<uint64_t>(day - 1) * kTraceUsPerDay;
+    config_.trace->Span("day " + std::to_string(day), "fleet", start_us,
+                        kTraceUsPerDay, config_.trace_tid);
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      if (alive_before[i] != 0 && !slots_[i].alive) {
+        config_.trace->Instant(
+            (slots_[i].random_failure ? "device_death:random:"
+                                      : "device_death:wear:") +
+                std::to_string(i),
+            "fleet", start_us + kTraceUsPerDay, config_.trace_tid);
+      }
+    }
+    uint32_t alive = 0;
+    uint64_t capacity = 0;
+    for (const DeviceSlot& slot : slots_) {
+      if (slot.alive && !slot.device->failed()) {
+        ++alive;
+        capacity += slot.device->live_capacity_bytes();
+      }
+    }
+    config_.trace->CounterSample("functioning_devices",
+                                 start_us + kTraceUsPerDay,
+                                 static_cast<double>(alive),
+                                 config_.trace_tid);
+    config_.trace->CounterSample("capacity_bytes", start_us + kTraceUsPerDay,
+                                 static_cast<double>(capacity),
+                                 config_.trace_tid);
+  }
+  if (config_.sampler != nullptr) {
+    config_.sampler->Sample(static_cast<double>(day));
+  }
+}
+
+uint64_t FleetSim::TotalPendingEventDepth() const {
+  uint64_t depth = 0;
+  for (const DeviceSlot& slot : slots_) {
+    depth += slot.device->pending_event_depth();
+  }
+  return depth;
+}
+
+uint64_t FleetSim::TotalFaultsInjected() const {
+  uint64_t total = 0;
+  for (const DeviceSlot& slot : slots_) {
+    if (slot.device->faults() != nullptr) {
+      total += slot.device->faults()->stats().total();
+    }
+  }
+  return total;
+}
+
+void FleetSim::CollectMetrics(MetricRegistry& registry,
+                              const std::string& prefix) const {
+  registry.GetGauge(prefix + "fleet.devices")
+      .Add(static_cast<double>(config_.devices));
+  uint32_t alive = 0;
+  uint64_t capacity = 0;
+  uint64_t random_failures = 0;
+  uint64_t wear_failures = 0;
+  for (const DeviceSlot& slot : slots_) {
+    const bool functioning = slot.alive && !slot.device->failed();
+    if (functioning) {
+      ++alive;
+      capacity += slot.device->live_capacity_bytes();
+    } else if (slot.random_failure) {
+      ++random_failures;
+    } else {
+      ++wear_failures;
+    }
+  }
+  registry.GetGauge(prefix + "fleet.functioning_devices")
+      .Add(static_cast<double>(alive));
+  registry.GetGauge(prefix + "fleet.capacity_bytes")
+      .Add(static_cast<double>(capacity));
+  registry.GetGauge(prefix + "fleet.initial_capacity_bytes")
+      .Add(static_cast<double>(initial_capacity_));
+  registry.GetCounter(prefix + "fleet.random_failures").Add(random_failures);
+  registry.GetCounter(prefix + "fleet.wear_failures").Add(wear_failures);
+  registry.GetCounter(prefix + "fleet.device_days_stepped")
+      .Add(device_days_stepped_);
+  registry.GetCounter(prefix + "fleet.host_opages_written")
+      .Add(host_opages_written_);
+  registry.GetGauge(prefix + "fleet.pending_event_depth")
+      .Add(static_cast<double>(TotalPendingEventDepth()));
+  for (const DeviceSlot& slot : slots_) {
+    slot.device->CollectMetrics(registry, prefix);
+  }
 }
 
 std::optional<uint32_t> FleetSim::DayDevicesBelow(double fraction) const {

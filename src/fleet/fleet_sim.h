@@ -22,6 +22,9 @@
 
 #include "common/rng.h"
 #include "ssd/ssd_device.h"
+#include "telemetry/metrics.h"
+#include "telemetry/sampler.h"
+#include "telemetry/trace.h"
 #include "workload/aging.h"
 
 namespace salamander {
@@ -53,6 +56,22 @@ struct FleetConfig {
   // Worker threads for Run(): 1 = serial, 0 = all hardware threads. Results
   // are identical for every value — parallelism only changes wall-clock.
   unsigned threads = 1;
+
+  // ---- Telemetry hooks (not owned; nullptr = zero-cost detached) -----------
+  // All recording happens on the owning thread at day barriers (per-slot
+  // sharded counters aside, which workers write race-free), so attached
+  // telemetry is bit-identical at any `threads` value.
+
+  // Scraped with CollectMetrics() ("fleet.*" plus the per-device subtrees)
+  // when Run() finishes.
+  MetricRegistry* metrics = nullptr;
+  // Sampled once per simulated day: device health, live mDisk count,
+  // revived capacity, event-queue depth, injected-fault totals.
+  TimeSeriesSampler* sampler = nullptr;
+  // Day spans, device-death instants, and fleet counter tracks
+  // (1 simulated day = kTraceUsPerDay of trace time).
+  TraceRecorder* trace = nullptr;
+  uint32_t trace_tid = 0;
 };
 
 struct FleetSnapshot {
@@ -68,6 +87,10 @@ struct FleetSnapshot {
 
 class FleetSim {
  public:
+  // Trace-time scale: one simulated day = 1000 us, so a full 4000-day run
+  // spans 4 ms of viewer time (see DESIGN.md "Telemetry").
+  static constexpr uint64_t kTraceUsPerDay = 1000;
+
   explicit FleetSim(const FleetConfig& config);
 
   // Runs the full horizon (or until every device is dead) and returns one
@@ -83,6 +106,14 @@ class FleetSim {
 
   const std::vector<FleetSnapshot>& snapshots() const { return snapshots_; }
 
+  // Scrapes fleet-level instruments into "<prefix>fleet.*" and every
+  // device's "<prefix>ssd.*"/"<prefix>ftl.*"/"<prefix>flash.*" subtree
+  // (additive, so N devices aggregate into fleet totals — see
+  // telemetry/collect.h). Called automatically at the end of Run() when
+  // FleetConfig::metrics is attached.
+  void CollectMetrics(MetricRegistry& registry,
+                      const std::string& prefix = "") const;
+
  private:
   struct DeviceSlot {
     std::unique_ptr<SsdDevice> device;
@@ -97,16 +128,41 @@ class FleetSim {
     bool alive = true;
   };
 
-  // Advances one device by one day. Touches only `slot` state; safe to call
-  // concurrently for distinct slots.
-  static void StepDevice(DeviceSlot& slot, double daily_failure);
+  // Advances one device by one day. Touches only `slot` state plus shard
+  // `shard` of the counters (each slot has its own shard); safe to call
+  // concurrently for distinct slots. The counters may be null (telemetry
+  // detached).
+  static void StepDevice(DeviceSlot& slot, double daily_failure, size_t shard,
+                         ShardedCounter* steps, ShardedCounter* opages);
 
   FleetSnapshot Sample(uint32_t day) const;
+
+  bool telemetry_attached() const {
+    return config_.metrics != nullptr || config_.sampler != nullptr ||
+           config_.trace != nullptr;
+  }
+  // Registers the daily probes on config_.sampler (no-op when detached).
+  void RegisterSamplerProbes();
+  // Owner-thread telemetry for one finished day: drains the sharded
+  // counters, emits the day span / death instants / counter tracks, and
+  // samples the time series. `alive_before` is each slot's liveness at the
+  // start of the day, in slot order.
+  void RecordDayTelemetry(uint32_t day, const std::vector<uint8_t>& alive_before);
+
+  uint64_t TotalPendingEventDepth() const;
+  uint64_t TotalFaultsInjected() const;
 
   FleetConfig config_;
   std::vector<DeviceSlot> slots_;
   std::vector<FleetSnapshot> snapshots_;
   uint64_t initial_capacity_ = 0;
+
+  // Per-slot sharded day counters, allocated only while telemetry is
+  // attached; drained into the cumulative totals below at each day barrier.
+  std::unique_ptr<ShardedCounter> day_steps_;
+  std::unique_ptr<ShardedCounter> day_opages_;
+  uint64_t device_days_stepped_ = 0;
+  uint64_t host_opages_written_ = 0;
 };
 
 }  // namespace salamander

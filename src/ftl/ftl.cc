@@ -781,6 +781,46 @@ std::vector<PageTransition> Ftl::TakeTransitions() {
   return out;
 }
 
+void Ftl::CollectMetrics(MetricRegistry& registry,
+                         const std::string& prefix) const {
+  registry.GetCounter(prefix + "ftl.host_writes").Add(stats_.host_writes);
+  registry.GetCounter(prefix + "ftl.host_reads").Add(stats_.host_reads);
+  registry.GetCounter(prefix + "ftl.buffer_hits").Add(stats_.buffer_hits);
+  registry.GetCounter(prefix + "ftl.gc_relocations")
+      .Add(stats_.gc_relocations);
+  registry.GetCounter(prefix + "ftl.flushes").Add(stats_.flushes);
+  registry.GetCounter(prefix + "ftl.erases").Add(stats_.erases);
+  registry.GetCounter(prefix + "ftl.uncorrectable_reads")
+      .Add(stats_.uncorrectable_reads);
+  registry.GetCounter(prefix + "ftl.read_retries").Add(stats_.read_retries);
+  registry.GetCounter(prefix + "ftl.parity_programs")
+      .Add(stats_.parity_programs);
+  registry.GetCounter(prefix + "ftl.ecc_page_reads")
+      .Add(stats_.ecc_page_reads);
+  registry.GetCounter(prefix + "ftl.program_failures")
+      .Add(stats_.program_failures);
+  registry.GetCounter(prefix + "ftl.erase_failures")
+      .Add(stats_.erase_failures);
+  for (size_t level = 0; level < stats_.reads_by_level.size(); ++level) {
+    registry
+        .GetCounter(prefix + "ftl.reads_at_level." + std::to_string(level))
+        .Add(stats_.reads_by_level[level]);
+  }
+  registry.GetGauge(prefix + "ftl.usable_opages")
+      .Add(static_cast<double>(usable_opages_));
+  registry.GetGauge(prefix + "ftl.mapped_opages")
+      .Add(static_cast<double>(mapped_opages_));
+  registry.GetGauge(prefix + "ftl.dead_fpages")
+      .Add(static_cast<double>(dead_fpages_));
+  registry.GetGauge(prefix + "ftl.retired_blocks")
+      .Add(static_cast<double>(retired_blocks_));
+  registry.GetGauge(prefix + "ftl.free_blocks")
+      .Add(static_cast<double>(free_blocks_));
+  registry.GetGauge(prefix + "ftl.reclaimable_limbo_opages")
+      .Add(static_cast<double>(reclaimable_limbo_opages()));
+  chip_->CollectMetrics(registry, prefix);
+}
+
 Status Ftl::CheckInvariants() const {
   const FlashGeometry& geometry = config_.geometry;
 

@@ -28,6 +28,7 @@
 #include "flash/flash_chip.h"
 #include "flash/geometry.h"
 #include "flash/wear_model.h"
+#include "telemetry/metrics.h"
 
 namespace salamander {
 
@@ -239,6 +240,12 @@ class Ftl {
   std::vector<PageTransition> TakeTransitions();
 
   // ---- Introspection for tests ----------------------------------------------
+
+  // Scrapes FtlStats, capacity/limbo gauges, and the underlying chip's
+  // "<prefix>flash.*" instruments into "<prefix>ftl.*". Additive — collect
+  // once per device (see telemetry/collect.h).
+  void CollectMetrics(MetricRegistry& registry,
+                      const std::string& prefix = "") const;
 
   // Full-consistency audit of the FTL's internal accounting (mapping <->
   // reverse map, per-block valid counts, usable/limbo/dead tallies, buffer

@@ -251,4 +251,30 @@ std::vector<MinidiskEvent> SsdDevice::TakeEvents() {
   return out;
 }
 
+void SsdDevice::CollectMetrics(MetricRegistry& registry,
+                               const std::string& prefix) const {
+  registry.GetGauge(prefix + "ssd.failed").Add(failed_ ? 1.0 : 0.0);
+  registry.GetGauge(prefix + "ssd.live_minidisks")
+      .Add(static_cast<double>(manager_->live_minidisks()));
+  registry.GetGauge(prefix + "ssd.total_minidisks")
+      .Add(static_cast<double>(manager_->total_minidisks()));
+  registry.GetGauge(prefix + "ssd.draining_minidisks")
+      .Add(static_cast<double>(manager_->draining_minidisks()));
+  registry.GetGauge(prefix + "ssd.live_capacity_bytes")
+      .Add(static_cast<double>(live_capacity_bytes()));
+  registry.GetGauge(prefix + "ssd.pending_event_depth")
+      .Add(static_cast<double>(pending_event_depth()));
+  registry.GetCounter(prefix + "ssd.decommissioned_total")
+      .Add(manager_->decommissioned_total());
+  registry.GetCounter(prefix + "ssd.regenerated_total")
+      .Add(manager_->regenerated_total());
+  registry.GetCounter(prefix + "ssd.drains_forced")
+      .Add(manager_->drains_forced());
+  registry.GetCounter(prefix + "ssd.dropped_events").Add(dropped_events());
+  ftl_->CollectMetrics(registry, prefix);
+  if (config_.faults != nullptr) {
+    CollectFaultMetrics(registry, config_.faults->stats(), prefix);
+  }
+}
+
 }  // namespace salamander

@@ -26,6 +26,8 @@
 #include "core/minidisk_manager.h"
 #include "faults/fault_injector.h"
 #include "ftl/ftl.h"
+#include "telemetry/collect.h"
+#include "telemetry/metrics.h"
 
 namespace salamander {
 
@@ -112,6 +114,21 @@ class SsdDevice {
   }
 
   const FaultInjector* faults() const { return config_.faults.get(); }
+
+  // Lifecycle events queued and not yet taken, across the manager queue, the
+  // device's brick queue, and injected-delay holdbacks.
+  uint64_t pending_event_depth() const {
+    return manager_->pending_events() + pending_events_.size() +
+           delayed_events_.size();
+  }
+
+  // Scrapes device state — event-queue depth/overflow, mDisk lifecycle
+  // totals, capacity gauges — plus the FTL's "<prefix>ftl.*"/"<prefix>flash.*"
+  // instruments and this device's injected-fault counters into
+  // "<prefix>ssd.*". Additive — collect once per device (see
+  // telemetry/collect.h).
+  void CollectMetrics(MetricRegistry& registry,
+                      const std::string& prefix = "") const;
 
  private:
   void CheckBrick();

@@ -1,0 +1,16 @@
+#include "telemetry/collect.h"
+
+namespace salamander {
+
+void CollectFaultMetrics(MetricRegistry& registry, const FaultStats& stats,
+                         const std::string& prefix) {
+  for (int site = 0; site < FaultStats::kSites; ++site) {
+    registry
+        .GetCounter(prefix + "faults.injected." +
+                    std::string(FaultSiteName(static_cast<FaultSite>(site))))
+        .Add(stats.injected[site]);
+  }
+  registry.GetCounter(prefix + "faults.injected_total").Add(stats.total());
+}
+
+}  // namespace salamander

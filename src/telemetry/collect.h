@@ -1,0 +1,25 @@
+// Collection helpers shared by the layer CollectMetrics() implementations.
+//
+// Collection is *additive*: every value is Add()ed into its instrument, so
+// collecting N devices under the same prefix aggregates them (the fleet and
+// diFS harnesses rely on this). The flip side: collect each object exactly
+// once, at a barrier or at end of run — re-collecting double-counts.
+#ifndef SALAMANDER_TELEMETRY_COLLECT_H_
+#define SALAMANDER_TELEMETRY_COLLECT_H_
+
+#include <string>
+
+#include "faults/fault_injector.h"
+#include "telemetry/metrics.h"
+
+namespace salamander {
+
+// Scrapes per-site injection counts as "<prefix>faults.injected.<site>"
+// counters plus "<prefix>faults.injected_total". Additive, so device and
+// cluster injectors collected under one prefix sum into per-site totals.
+void CollectFaultMetrics(MetricRegistry& registry, const FaultStats& stats,
+                         const std::string& prefix = "");
+
+}  // namespace salamander
+
+#endif  // SALAMANDER_TELEMETRY_COLLECT_H_

@@ -1,0 +1,84 @@
+#include "telemetry/trace.h"
+
+#include <sstream>
+
+#include "telemetry/metrics.h"
+
+namespace salamander {
+
+void TraceRecorder::Span(std::string_view name, std::string_view category,
+                         uint64_t start_us, uint64_t duration_us,
+                         uint32_t tid) {
+  events_.push_back(Event{Phase::kComplete, std::string(name),
+                          std::string(category), start_us, duration_us, 0.0,
+                          tid});
+}
+
+void TraceRecorder::Instant(std::string_view name, std::string_view category,
+                            uint64_t ts_us, uint32_t tid) {
+  events_.push_back(Event{Phase::kInstant, std::string(name),
+                          std::string(category), ts_us, 0, 0.0, tid});
+}
+
+void TraceRecorder::CounterSample(std::string_view name, uint64_t ts_us,
+                                  double value, uint32_t tid) {
+  events_.push_back(
+      Event{Phase::kCounter, std::string(name), "counter", ts_us, 0, value,
+            tid});
+}
+
+void TraceRecorder::NameLane(uint32_t tid, std::string_view name) {
+  lane_names_.push_back(LaneName{tid, std::string(name)});
+}
+
+void TraceRecorder::MergeFrom(const TraceRecorder& other) {
+  events_.insert(events_.end(), other.events_.begin(), other.events_.end());
+  lane_names_.insert(lane_names_.end(), other.lane_names_.begin(),
+                     other.lane_names_.end());
+}
+
+void TraceRecorder::Reset() {
+  events_.clear();
+  lane_names_.clear();
+}
+
+std::string TraceRecorder::ToJson() const {
+  std::ostringstream os;
+  os << "{\"traceEvents\": [";
+  bool first = true;
+  for (const LaneName& lane : lane_names_) {
+    os << (first ? "\n" : ",\n")
+       << "  {\"ph\": \"M\", \"pid\": 1, \"tid\": " << lane.tid
+       << ", \"name\": \"thread_name\", \"args\": {\"name\": \""
+       << JsonEscapeString(lane.name) << "\"}}";
+    first = false;
+  }
+  for (const Event& e : events_) {
+    os << (first ? "\n" : ",\n") << "  {\"name\": \""
+       << JsonEscapeString(e.name) << "\", \"cat\": \""
+       << JsonEscapeString(e.category) << "\", \"pid\": 1, \"tid\": " << e.tid
+       << ", \"ts\": " << e.ts_us;
+    switch (e.phase) {
+      case Phase::kComplete:
+        os << ", \"ph\": \"X\", \"dur\": " << e.dur_us;
+        break;
+      case Phase::kInstant:
+        os << ", \"ph\": \"i\", \"s\": \"t\"";
+        break;
+      case Phase::kCounter:
+        os << ", \"ph\": \"C\", \"args\": {\"value\": "
+           << FormatMetricValue(e.value) << "}";
+        break;
+    }
+    os << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n") << "], \"displayTimeUnit\": \"ms\"}\n";
+  return os.str();
+}
+
+bool TraceRecorder::WriteJsonFile(const std::string& path) const {
+  return WriteTextFile(path, ToJson());
+}
+
+}  // namespace salamander

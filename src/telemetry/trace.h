@@ -1,0 +1,85 @@
+// Chrome trace-format recording of coarse simulation phases.
+//
+// TraceRecorder accumulates trace events — scoped spans ("X" complete
+// events), instant events ("i"), and counter tracks ("C") — and serializes
+// them as Chrome trace-format JSON ({"traceEvents": [...]}), loadable in
+// Perfetto (ui.perfetto.dev) or chrome://tracing. Harnesses trace
+// coarse-grained phases only: fleet day steps, recovery waves, ShrinkS /
+// RegenS lifecycle transitions, chaos bursts — not per-oPage I/O.
+//
+// Timestamps are *simulated* time in microseconds, supplied by the caller
+// (the simulator has no wall clock in its state). Each harness documents its
+// mapping — the fleet sim uses 1 simulated day = 1000 us of trace time, the
+// chaos soak 1 burst = 1000 us — so traces are bit-identical across
+// --threads values and repeated runs.
+//
+// Thread discipline mirrors MetricRegistry: a recorder is thread-confined;
+// parallel harnesses record into one recorder per worker-owned unit and
+// MergeFrom() them at a barrier in unit-ID order. The `tid` field is a
+// logical lane (device kind, universe id), not an OS thread.
+#ifndef SALAMANDER_TELEMETRY_TRACE_H_
+#define SALAMANDER_TELEMETRY_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace salamander {
+
+class TraceRecorder {
+ public:
+  // A complete span: [start_us, start_us + duration_us) on lane `tid`.
+  void Span(std::string_view name, std::string_view category,
+            uint64_t start_us, uint64_t duration_us, uint32_t tid);
+
+  // A zero-duration marker (scope "t": thread-local in the viewer).
+  void Instant(std::string_view name, std::string_view category,
+               uint64_t ts_us, uint32_t tid);
+
+  // One sample of a counter track (rendered as an area chart in Perfetto).
+  void CounterSample(std::string_view name, uint64_t ts_us, double value,
+                     uint32_t tid);
+
+  // Names a lane (emitted as a thread_name metadata event).
+  void NameLane(uint32_t tid, std::string_view name);
+
+  size_t event_count() const { return events_.size(); }
+  bool empty() const { return events_.empty() && lane_names_.empty(); }
+
+  // Appends `other`'s events after this recorder's (callers merge in unit-ID
+  // order at a barrier; the viewer orders by timestamp anyway).
+  void MergeFrom(const TraceRecorder& other);
+
+  void Reset();
+
+  // {"traceEvents": [...], "displayTimeUnit": "ms"} — the JSON Array Format
+  // wrapped in the object form Perfetto and chrome://tracing both accept.
+  std::string ToJson() const;
+  bool WriteJsonFile(const std::string& path) const;
+
+ private:
+  enum class Phase : uint8_t { kComplete, kInstant, kCounter };
+
+  struct Event {
+    Phase phase;
+    std::string name;
+    std::string category;
+    uint64_t ts_us = 0;
+    uint64_t dur_us = 0;   // kComplete only
+    double value = 0.0;    // kCounter only
+    uint32_t tid = 0;
+  };
+
+  struct LaneName {
+    uint32_t tid;
+    std::string name;
+  };
+
+  std::vector<Event> events_;
+  std::vector<LaneName> lane_names_;
+};
+
+}  // namespace salamander
+
+#endif  // SALAMANDER_TELEMETRY_TRACE_H_

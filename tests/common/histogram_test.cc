@@ -225,6 +225,75 @@ TEST(RunningStatsTest, NumericallyStableForLargeOffsets) {
   EXPECT_NEAR(s.Variance(), 1.001, 0.01);
 }
 
+TEST(RunningStatsTest, MergeWithEmptyOtherIsNoOp) {
+  RunningStats a;
+  a.Record(1.0);
+  a.Record(3.0);
+  RunningStats b;
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  EXPECT_EQ(a.min(), 1.0);
+  EXPECT_EQ(a.max(), 3.0);
+}
+
+TEST(RunningStatsTest, MergeIntoEmptyAdoptsOther) {
+  RunningStats a;
+  RunningStats b;
+  b.Record(5.0);
+  b.Record(7.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 6.0);
+  EXPECT_DOUBLE_EQ(a.Variance(), 2.0);
+}
+
+TEST(RunningStatsTest, MergeTwoEmptiesStaysEmpty) {
+  RunningStats a;
+  RunningStats b;
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.Variance(), 0.0);
+  EXPECT_EQ(a.min(), 0.0);
+  EXPECT_EQ(a.max(), 0.0);
+}
+
+TEST(RunningStatsTest, MergeSingleSampleEachSide) {
+  RunningStats a;
+  a.Record(2.0);
+  RunningStats b;
+  b.Record(4.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(a.Variance(), 2.0);  // sample variance of {2, 4}
+  EXPECT_EQ(a.min(), 2.0);
+  EXPECT_EQ(a.max(), 4.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequentialRecording) {
+  // Splitting a stream across two accumulators and merging must reproduce
+  // the single-accumulator result (this is what the parallel harnesses do
+  // at their barriers).
+  const std::vector<double> values = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  RunningStats whole;
+  for (double v : values) {
+    whole.Record(v);
+  }
+  RunningStats left;
+  RunningStats right;
+  for (size_t i = 0; i < values.size(); ++i) {
+    (i < 3 ? left : right).Record(values[i]);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.Variance(), whole.Variance(), 1e-12);
+  EXPECT_EQ(left.min(), whole.min());
+  EXPECT_EQ(left.max(), whole.max());
+}
+
 TEST(TimeSeriesTest, InterpolationBasics) {
   TimeSeries ts("capacity");
   ts.Add(0.0, 100.0);
@@ -238,6 +307,28 @@ TEST(TimeSeriesTest, EmptySeries) {
   TimeSeries ts("empty");
   EXPECT_TRUE(ts.empty());
   EXPECT_EQ(ts.Interpolate(1.0), 0.0);
+}
+
+TEST(TimeSeriesTest, SinglePointClampsEverywhere) {
+  TimeSeries ts("one");
+  ts.Add(5.0, 42.0);
+  EXPECT_FALSE(ts.empty());
+  EXPECT_EQ(ts.points().size(), 1u);
+  EXPECT_DOUBLE_EQ(ts.Interpolate(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(ts.Interpolate(5.0), 42.0);
+  EXPECT_DOUBLE_EQ(ts.Interpolate(100.0), 42.0);
+}
+
+TEST(TimeSeriesTest, PointsPreserveInsertionOrder) {
+  TimeSeries ts("ordered");
+  ts.Add(0.0, 1.0);
+  ts.Add(1.0, 2.0);
+  ts.Add(2.0, 4.0);
+  const auto& points = ts.points();
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_DOUBLE_EQ(points[1].first, 1.0);
+  EXPECT_DOUBLE_EQ(points[1].second, 2.0);
+  EXPECT_DOUBLE_EQ(points[2].second, 4.0);
 }
 
 TEST(TimeSeriesTest, DuplicateXHandled) {

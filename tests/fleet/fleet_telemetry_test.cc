@@ -1,0 +1,121 @@
+// Telemetry attachment suite for the fleet engine: attaching a registry,
+// sampler, or trace recorder must not perturb the simulation (snapshots
+// stay byte-identical to a detached run), and the collected telemetry must
+// itself be bit-identical across thread counts — the acceptance bar for
+// exporting Fig. 3a/3b numbers straight from the registry.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fleet/fleet_sim.h"
+#include "telemetry/metrics.h"
+#include "telemetry/sampler.h"
+#include "telemetry/trace.h"
+#include "tests/telemetry/json_lite.h"
+#include "tests/testing/device_builder.h"
+
+namespace salamander {
+namespace {
+
+FleetConfig TelemetryFleet(SsdKind kind, unsigned threads) {
+  FleetConfig config;
+  config.kind = kind;
+  config.devices = 6;
+  config.geometry = testing_util::TinyGeometry();
+  config.ecc = FPageEccGeometry{};
+  config.wear = testing_util::FastWear(config.ecc, /*nominal_pec=*/20);
+  config.msize_opages = 64;
+  config.dwpd = 2.0;
+  config.dwpd_sigma = 0.3;
+  config.afr = 0.05;
+  config.days = 120;
+  config.sample_every_days = 5;
+  config.seed = 24680;
+  config.threads = threads;
+  return config;
+}
+
+TEST(FleetTelemetryTest, AttachingTelemetryDoesNotPerturbSnapshots) {
+  FleetSim detached(TelemetryFleet(SsdKind::kRegenS, 1));
+  const std::vector<FleetSnapshot> baseline = detached.Run();
+
+  MetricRegistry registry;
+  TimeSeriesSampler sampler;
+  TraceRecorder trace;
+  FleetConfig config = TelemetryFleet(SsdKind::kRegenS, 1);
+  config.metrics = &registry;
+  config.sampler = &sampler;
+  config.trace = &trace;
+  FleetSim attached(config);
+  EXPECT_EQ(attached.Run(), baseline);
+  EXPECT_GT(registry.instrument_count(), 0u);
+  EXPECT_GT(sampler.sample_count(), 0u);
+  EXPECT_GT(trace.event_count(), 0u);
+}
+
+TEST(FleetTelemetryTest, MetricsBitIdenticalAcrossThreadCounts) {
+  auto run = [](unsigned threads) {
+    MetricRegistry registry;
+    FleetConfig config = TelemetryFleet(SsdKind::kShrinkS, threads);
+    config.metrics = &registry;
+    FleetSim sim(config);
+    sim.Run();
+    return registry.ToJson();
+  };
+  const std::string serial = run(1);
+  EXPECT_EQ(run(3), serial);
+  EXPECT_EQ(run(8), serial);
+}
+
+TEST(FleetTelemetryTest, SamplerAndTraceBitIdenticalAcrossThreadCounts) {
+  auto run = [](unsigned threads) {
+    TimeSeriesSampler sampler;
+    TraceRecorder trace;
+    FleetConfig config = TelemetryFleet(SsdKind::kBaseline, threads);
+    config.sampler = &sampler;
+    config.trace = &trace;
+    FleetSim sim(config);
+    sim.Run();
+    return sampler.ToJson() + trace.ToJson();
+  };
+  EXPECT_EQ(run(1), run(4));
+}
+
+TEST(FleetTelemetryTest, RegistryCountsMatchSnapshotTotals) {
+  MetricRegistry registry;
+  FleetConfig config = TelemetryFleet(SsdKind::kBaseline, 2);
+  config.metrics = &registry;
+  FleetSim sim(config);
+  const std::vector<FleetSnapshot> snaps = sim.Run();
+  ASSERT_FALSE(snaps.empty());
+  const FleetSnapshot& last = snaps.back();
+
+  const Gauge* functioning = registry.FindGauge("fleet.functioning_devices");
+  ASSERT_NE(functioning, nullptr);
+  EXPECT_EQ(static_cast<uint32_t>(functioning->value()),
+            last.functioning_devices);
+
+  const Gauge* capacity = registry.FindGauge("fleet.capacity_bytes");
+  ASSERT_NE(capacity, nullptr);
+  EXPECT_EQ(static_cast<uint64_t>(capacity->value()), last.capacity_bytes);
+
+  // Every simulated device-day passes through the sharded step counter.
+  const Counter* stepped = registry.FindCounter("fleet.device_days_stepped");
+  ASSERT_NE(stepped, nullptr);
+  EXPECT_GT(stepped->value(), 0u);
+  EXPECT_LE(stepped->value(),
+            static_cast<uint64_t>(config.devices) * config.days);
+}
+
+TEST(FleetTelemetryTest, TraceJsonIsWellFormed) {
+  TraceRecorder trace;
+  FleetConfig config = TelemetryFleet(SsdKind::kRegenS, 1);
+  config.trace = &trace;
+  FleetSim sim(config);
+  sim.Run();
+  EXPECT_TRUE(json_lite::IsWellFormed(trace.ToJson()));
+}
+
+}  // namespace
+}  // namespace salamander

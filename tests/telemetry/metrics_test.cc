@@ -1,0 +1,224 @@
+#include "telemetry/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "tests/telemetry/json_lite.h"
+
+namespace salamander {
+namespace {
+
+TEST(CounterTest, IncrementAddSet) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Add(9);
+  EXPECT_EQ(c.value(), 10u);
+  c.Set(3);
+  EXPECT_EQ(c.value(), 3u);
+}
+
+TEST(GaugeTest, SetAdd) {
+  Gauge g;
+  g.Set(2.5);
+  g.Add(0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);
+}
+
+TEST(ShardedCounterTest, ShardsAreIndependent) {
+  ShardedCounter c(4);
+  c.Add(0, 10);
+  c.Increment(2);
+  c.Increment(2);
+  EXPECT_EQ(c.shard_count(), 4u);
+  EXPECT_EQ(c.shard_value(0), 10u);
+  EXPECT_EQ(c.shard_value(1), 0u);
+  EXPECT_EQ(c.shard_value(2), 2u);
+  EXPECT_EQ(c.Total(), 12u);
+}
+
+TEST(ShardedCounterTest, TotalIsOrderIndependent) {
+  // The sum must not depend on which worker touched which shard first —
+  // any permutation of the same per-shard contributions totals the same.
+  ShardedCounter a(3);
+  a.Add(0, 5);
+  a.Add(1, 7);
+  a.Add(2, 11);
+  ShardedCounter b(3);
+  b.Add(2, 11);
+  b.Add(0, 5);
+  b.Add(1, 7);
+  EXPECT_EQ(a.Total(), b.Total());
+}
+
+TEST(ShardedCounterTest, ResetClearsAllShards) {
+  ShardedCounter c(2);
+  c.Add(0, 1);
+  c.Add(1, 2);
+  c.Reset();
+  EXPECT_EQ(c.Total(), 0u);
+  EXPECT_EQ(c.shard_value(1), 0u);
+}
+
+TEST(MetricRegistryTest, GetCreatesFindDoesNot) {
+  MetricRegistry registry;
+  EXPECT_EQ(registry.FindCounter("x"), nullptr);
+  EXPECT_EQ(registry.FindGauge("x"), nullptr);
+  EXPECT_EQ(registry.FindHistogram("x"), nullptr);
+  EXPECT_EQ(registry.instrument_count(), 0u);
+
+  registry.GetCounter("flash.programs").Add(7);
+  registry.GetGauge("ssd.live_minidisks").Set(12.0);
+  registry.GetHistogram("ftl.read_latency").Record(100);
+  EXPECT_EQ(registry.instrument_count(), 3u);
+
+  ASSERT_NE(registry.FindCounter("flash.programs"), nullptr);
+  EXPECT_EQ(registry.FindCounter("flash.programs")->value(), 7u);
+  ASSERT_NE(registry.FindGauge("ssd.live_minidisks"), nullptr);
+  EXPECT_DOUBLE_EQ(registry.FindGauge("ssd.live_minidisks")->value(), 12.0);
+  ASSERT_NE(registry.FindHistogram("ftl.read_latency"), nullptr);
+  EXPECT_EQ(registry.FindHistogram("ftl.read_latency")->data().count(), 1u);
+}
+
+TEST(MetricRegistryTest, GetReturnsSameInstrument) {
+  MetricRegistry registry;
+  registry.GetCounter("a").Increment();
+  registry.GetCounter("a").Increment();
+  EXPECT_EQ(registry.GetCounter("a").value(), 2u);
+  EXPECT_EQ(registry.instrument_count(), 1u);
+}
+
+TEST(MetricRegistryTest, MergeFromAddsCountersAndHistograms) {
+  MetricRegistry a;
+  MetricRegistry b;
+  a.GetCounter("n").Add(3);
+  b.GetCounter("n").Add(4);
+  b.GetCounter("only_b").Add(1);
+  a.GetHistogram("h").Record(10);
+  b.GetHistogram("h").Record(1000);
+  EXPECT_TRUE(a.MergeFrom(b));
+  EXPECT_EQ(a.FindCounter("n")->value(), 7u);
+  EXPECT_EQ(a.FindCounter("only_b")->value(), 1u);
+  EXPECT_EQ(a.FindHistogram("h")->data().count(), 2u);
+  EXPECT_EQ(a.FindHistogram("h")->data().max(), 1000u);
+}
+
+TEST(MetricRegistryTest, MergeFromGaugeLastWins) {
+  MetricRegistry a;
+  MetricRegistry b;
+  a.GetGauge("depth").Set(5.0);
+  b.GetGauge("depth").Set(9.0);
+  EXPECT_TRUE(a.MergeFrom(b));
+  EXPECT_DOUBLE_EQ(a.FindGauge("depth")->value(), 9.0);
+}
+
+TEST(MetricRegistryTest, MergeFromMismatchedHistogramLayoutReportsFalse) {
+  MetricRegistry a;
+  MetricRegistry b;
+  a.GetHistogram("h", 32).Record(1);
+  b.GetHistogram("h", 64).Record(2);
+  a.GetCounter("n").Add(1);
+  b.GetCounter("n").Add(1);
+  EXPECT_FALSE(a.MergeFrom(b));
+  // Everything mergeable still merged.
+  EXPECT_EQ(a.FindCounter("n")->value(), 2u);
+  EXPECT_EQ(a.FindHistogram("h")->data().count(), 1u);
+}
+
+TEST(MetricRegistryTest, ExportIsRegistrationOrderIndependent) {
+  // The determinism contract: two registries holding the same values export
+  // byte-identical documents regardless of the order instruments were
+  // created in (parallel workers touch instruments in different orders).
+  MetricRegistry a;
+  a.GetCounter("z.last").Add(1);
+  a.GetGauge("m.middle").Set(2.0);
+  a.GetCounter("a.first").Add(3);
+  a.GetHistogram("h.lat").Record(50);
+
+  MetricRegistry b;
+  b.GetHistogram("h.lat").Record(50);
+  b.GetCounter("a.first").Add(3);
+  b.GetCounter("z.last").Add(1);
+  b.GetGauge("m.middle").Set(2.0);
+
+  EXPECT_EQ(a.ToJson(), b.ToJson());
+  EXPECT_EQ(a.ToCsv(), b.ToCsv());
+}
+
+TEST(MetricRegistryTest, MergeOrderOfDisjointShardsIsDeterministic) {
+  // Merging per-unit registries at a barrier in unit-ID order must yield
+  // identical exports no matter how work was distributed, as long as each
+  // unit's contribution is the same — the bench-level cross-check in
+  // fleet_scaling relies on exactly this.
+  MetricRegistry unit0;
+  unit0.GetCounter("steps").Add(10);
+  MetricRegistry unit1;
+  unit1.GetCounter("steps").Add(20);
+
+  MetricRegistry run_a;
+  EXPECT_TRUE(run_a.MergeFrom(unit0));
+  EXPECT_TRUE(run_a.MergeFrom(unit1));
+
+  MetricRegistry run_b;  // same units, same order, different worker split
+  EXPECT_TRUE(run_b.MergeFrom(unit0));
+  EXPECT_TRUE(run_b.MergeFrom(unit1));
+
+  EXPECT_EQ(run_a.ToJson(), run_b.ToJson());
+  EXPECT_EQ(run_a.FindCounter("steps")->value(), 30u);
+}
+
+TEST(MetricRegistryTest, ResetClearsEverything) {
+  MetricRegistry registry;
+  registry.GetCounter("a").Add(1);
+  registry.GetGauge("b").Set(2.0);
+  registry.Reset();
+  EXPECT_EQ(registry.instrument_count(), 0u);
+  EXPECT_EQ(registry.FindCounter("a"), nullptr);
+}
+
+TEST(MetricRegistryTest, JsonExportIsWellFormed) {
+  MetricRegistry registry;
+  registry.GetCounter("flash.programs").Add(123);
+  registry.GetGauge("fleet.capacity_bytes").Set(1.5e12);
+  registry.GetHistogram("difs.wave_opages").Record(42);
+  EXPECT_TRUE(json_lite::IsWellFormed(registry.ToJson()));
+}
+
+TEST(MetricRegistryTest, EmptyRegistryJsonIsWellFormed) {
+  MetricRegistry registry;
+  EXPECT_TRUE(json_lite::IsWellFormed(registry.ToJson()));
+}
+
+TEST(MetricRegistryTest, HostileInstrumentNamesStillExportValidJson) {
+  // Names are dot-identifiers by convention, but the exporter must emit
+  // valid JSON for any input.
+  MetricRegistry registry;
+  registry.GetCounter("quote\"backslash\\newline\ntab\t").Add(1);
+  registry.GetGauge("control\x01char").Set(2.0);
+  EXPECT_TRUE(json_lite::IsWellFormed(registry.ToJson()));
+}
+
+TEST(FormatMetricValueTest, NonFiniteValuesStayParseable) {
+  EXPECT_TRUE(json_lite::IsWellFormed(FormatMetricValue(NAN)));
+  EXPECT_TRUE(json_lite::IsWellFormed(FormatMetricValue(INFINITY)));
+  EXPECT_TRUE(json_lite::IsWellFormed(FormatMetricValue(-INFINITY)));
+  EXPECT_TRUE(json_lite::IsWellFormed(FormatMetricValue(3.25)));
+}
+
+TEST(FormatMetricValueTest, RoundTripsExactly) {
+  for (double v : {0.0, 1.0, -2.5, 1e12, 0.1, 1.0 / 3.0}) {
+    EXPECT_EQ(std::stod(FormatMetricValue(v)), v) << v;
+  }
+}
+
+TEST(JsonEscapeStringTest, EscapesSpecials) {
+  EXPECT_EQ(JsonEscapeString("plain"), "plain");
+  EXPECT_EQ(JsonEscapeString("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscapeString("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscapeString("a\nb"), "a\\nb");
+}
+
+}  // namespace
+}  // namespace salamander

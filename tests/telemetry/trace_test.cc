@@ -1,0 +1,106 @@
+#include "telemetry/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "tests/telemetry/json_lite.h"
+
+namespace salamander {
+namespace {
+
+TEST(TraceRecorderTest, EmptyRecorderExportsWellFormedDocument) {
+  TraceRecorder trace;
+  EXPECT_TRUE(trace.empty());
+  EXPECT_EQ(trace.event_count(), 0u);
+  const std::string json = trace.ToJson();
+  EXPECT_TRUE(json_lite::IsWellFormed(json));
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(TraceRecorderTest, RecordsAllEventKinds) {
+  TraceRecorder trace;
+  trace.Span("day 1", "fleet", 0, 1000, 0);
+  trace.Instant("device_death:wear:3", "fleet", 500, 0);
+  trace.CounterSample("functioning_devices", 1000, 63.0, 0);
+  trace.NameLane(0, "fleet:baseline");
+  EXPECT_EQ(trace.event_count(), 3u);  // lane names are metadata, not events
+  EXPECT_FALSE(trace.empty());
+
+  const std::string json = trace.ToJson();
+  EXPECT_TRUE(json_lite::IsWellFormed(json));
+  // Chrome trace-format phase codes for each event kind.
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"M\""), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  EXPECT_NE(json.find("fleet:baseline"), std::string::npos);
+}
+
+TEST(TraceRecorderTest, HostileNamesStillExportValidJson) {
+  TraceRecorder trace;
+  trace.Span("span \"quoted\"\n", "cat\\egory", 0, 10, 1);
+  trace.Instant("tab\there", "c", 5, 1);
+  trace.NameLane(1, "lane\nname");
+  EXPECT_TRUE(json_lite::IsWellFormed(trace.ToJson()));
+}
+
+TEST(TraceRecorderTest, MergeFromAppendsInOrder) {
+  TraceRecorder a;
+  a.Span("burst 0", "chaos", 0, 1000, 0);
+  TraceRecorder b;
+  b.Span("burst 0", "chaos", 0, 1000, 1);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.event_count(), 2u);
+  const std::string json = a.ToJson();
+  EXPECT_TRUE(json_lite::IsWellFormed(json));
+  // a's event serializes before b's (merge order is unit-ID order).
+  EXPECT_LT(json.find("\"tid\": 0"), json.find("\"tid\": 1"));
+}
+
+TEST(TraceRecorderTest, MergeFromCarriesLaneNames) {
+  TraceRecorder a;
+  TraceRecorder b;
+  b.NameLane(1, "universe 1");
+  b.Span("burst 0", "chaos", 0, 1000, 1);
+  a.MergeFrom(b);
+  const std::string json = a.ToJson();
+  EXPECT_TRUE(json_lite::IsWellFormed(json));
+  EXPECT_NE(json.find("universe 1"), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+}
+
+TEST(TraceRecorderTest, MergeIsDeterministic) {
+  auto build = [] {
+    TraceRecorder unit0;
+    unit0.Span("day 1", "fleet", 0, 1000, 0);
+    TraceRecorder unit1;
+    unit1.Instant("recovery_wave", "difs", 500, 1);
+    TraceRecorder merged;
+    merged.MergeFrom(unit0);
+    merged.MergeFrom(unit1);
+    return merged.ToJson();
+  };
+  EXPECT_EQ(build(), build());
+}
+
+TEST(TraceRecorderTest, ResetClearsEventsAndLanes) {
+  TraceRecorder trace;
+  trace.Span("s", "c", 0, 1, 0);
+  trace.NameLane(0, "lane");
+  trace.Reset();
+  EXPECT_TRUE(trace.empty());
+  EXPECT_EQ(trace.event_count(), 0u);
+}
+
+TEST(TraceRecorderTest, TimestampsAreCallerSuppliedSimulatedTime) {
+  TraceRecorder trace;
+  trace.Span("day 3", "fleet", 2000, 1000, 0);
+  const std::string json = trace.ToJson();
+  EXPECT_NE(json.find("\"ts\": 2000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": 1000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace salamander
