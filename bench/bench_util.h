@@ -85,6 +85,16 @@ inline uint64_t ParseU64Flag(int argc, char** argv, const char* flag,
   return value == nullptr ? default_value : ParseU64Value(flag, value);
 }
 
+// Parses `--scrub-opages-per-day N` / `--scrub-opages-per-day=N`: the
+// background-scrub pacing knob shared by the fleet and soak benches. 0 is a
+// *valid* value meaning "scrub disabled" (not a usage error — only signs,
+// garbage, and overflow exit 2), and it is the default everywhere so that
+// scrub-free runs stay byte-identical to builds without the scrubber.
+inline uint64_t ParseScrubOPagesPerDay(int argc, char** argv,
+                                       uint64_t default_value = 0) {
+  return ParseU64Flag(argc, argv, "--scrub-opages-per-day", default_value);
+}
+
 // Parses `--threads N` / `--threads=N` from argv. 0 means "all hardware
 // threads"; results of every bench are identical for any value — the knob
 // only changes wall-clock.

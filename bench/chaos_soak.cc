@@ -6,6 +6,11 @@
 //  * zero chunk loss while concurrent failures stay below R;
 //  * recovery converges after every burst (no pending backlog left);
 //  * cluster invariants hold at every checkpoint;
+//  * end-to-end integrity accounting is *exact*: every silently corrupt
+//    read the injector produced is observed by the cluster's checksum
+//    verification (difs.integrity.detected == faults.injected.read_corrupt,
+//    per universe and fleet-wide), and with the background scrubber on
+//    (--scrub-opages-per-day > 0) corruption still loses zero chunks;
 //  * output is byte-identical across runs and --threads values (each
 //    universe owns its devices, injectors, and RNG streams).
 //
@@ -21,6 +26,7 @@
 #include "ecc/tiredness.h"
 #include "faults/fault_injector.h"
 #include "flash/wear_model.h"
+#include "integrity/checksum.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 
@@ -80,7 +86,7 @@ FaultConfig ClusterFaults(uint64_t seed) {
 // Writes into `result` (stable storage owned by the coordinator) so the
 // cluster's trace pointer stays valid for the whole soak.
 void RunUniverse(uint64_t universe, uint64_t base_seed, uint64_t bursts,
-                 UniverseResult& result) {
+                 uint64_t scrub_opages_per_day, UniverseResult& result) {
   result.kind = (universe % 2 == 0) ? SsdKind::kShrinkS : SsdKind::kRegenS;
 
   const uint32_t lane = static_cast<uint32_t>(universe);
@@ -147,6 +153,10 @@ void RunUniverse(uint64_t universe, uint64_t base_seed, uint64_t bursts,
     }
     (void)cluster.StepWrites(kWritesPerBurst);
     (void)cluster.StepReads(kReadsPerBurst);
+    // Background scrub slice for this "day": walks the deterministic cursor,
+    // catches latent corruption foreground reads missed, repairs through the
+    // same read-repair path. 0 = disabled, zero extra work.
+    (void)cluster.ScrubStep(scrub_opages_per_day);
     cluster.ForceReconcile();
     result.trace.CounterSample("recovery_backlog",
                                burst_start_us + kTraceUsPerBurst,
@@ -197,6 +207,21 @@ void RunUniverse(uint64_t universe, uint64_t base_seed, uint64_t bursts,
     result.converged = false;
     note_violation("final: soak exercised no recovery at all");
   }
+  // Exact end-to-end integrity accounting: the FTL counts silent corruption
+  // at the observation point and the cluster folds the counter after every
+  // read it issues, so detection must equal injection to the last event —
+  // any gap means a read path without checksum verification.
+  uint64_t injected_read_corrupt = 0;
+  for (const auto& injector : device_injectors) {
+    injected_read_corrupt += injector->stats().count(FaultSite::kReadCorrupt);
+  }
+  if (cluster.stats().integrity_detected != injected_read_corrupt) {
+    result.converged = false;
+    note_violation(
+        "final: integrity_detected " +
+        std::to_string(cluster.stats().integrity_detected) +
+        " != injected read_corrupt " + std::to_string(injected_read_corrupt));
+  }
 
   result.stats = cluster.stats();
   result.chunks = cluster.total_chunks();
@@ -231,15 +256,27 @@ int main(int argc, char** argv) {
   const uint64_t universes = bench::ParseU64Flag(argc, argv, "--universes", 6);
   const uint64_t bursts = bench::ParseU64Flag(argc, argv, "--bursts", 12);
   const uint64_t seed = bench::ParseU64Flag(argc, argv, "--seed", 20250805);
+  // oPages each universe scrubs per burst; 0 (the default) disables scrub.
+  const uint64_t scrub_opages_per_day =
+      bench::ParseScrubOPagesPerDay(argc, argv);
   const std::string metrics_out = bench::ParseStringFlag(
       argc, argv, "--metrics-out", "BENCH_chaos_metrics.json");
   const std::string trace_out = bench::ParseStringFlag(
       argc, argv, "--trace-out", "BENCH_chaos_trace.json");
 
+  // The integrity machinery the soak leans on is only as good as the codec:
+  // gate the run on the codec's randomized self-test.
+  const Status codec_ok = ChecksumSelfTest(seed, /*rounds=*/256);
+  if (!codec_ok.ok()) {
+    std::fprintf(stderr, "checksum self-test failed: %s\n",
+                 codec_ok.ToString().c_str());
+    return 1;
+  }
+
   std::vector<UniverseResult> results(universes);
   pool.ParallelFor(universes, [&](size_t begin, size_t end) {
     for (size_t u = begin; u < end; ++u) {
-      RunUniverse(u, seed, bursts, results[u]);
+      RunUniverse(u, seed, bursts, scrub_opages_per_day, results[u]);
     }
   });
 
@@ -255,7 +292,8 @@ int main(int argc, char** argv) {
   std::printf(
       "universe\tkind\tchunks\tlost\tunder_repl\tparked\trecovered\t"
       "dev_faults\tclu_faults\tresyncs\trepairs\tretries\toutages\t"
-      "acks_lost\talive\tstatus\n");
+      "acks_lost\tcorrupt\tmarked_bad\tscrub_reads\tscrub_hits\talive\t"
+      "status\n");
   bool pass = true;
   for (uint64_t u = 0; u < universes; ++u) {
     const UniverseResult& r = results[u];
@@ -263,7 +301,7 @@ int main(int argc, char** argv) {
     pass = pass && ok;
     std::printf(
         "%llu\t%s\t%llu\t%llu\t%llu\t%llu\t%llu\t%llu\t%llu\t%llu\t%llu\t"
-        "%llu\t%llu\t%llu\t%u\t%s\n",
+        "%llu\t%llu\t%llu\t%llu\t%llu\t%llu\t%llu\t%u\t%s\n",
         static_cast<unsigned long long>(u),
         std::string(SsdKindName(r.kind)).c_str(),
         static_cast<unsigned long long>(r.chunks),
@@ -278,6 +316,10 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(r.stats.transient_retries),
         static_cast<unsigned long long>(r.stats.node_outages),
         static_cast<unsigned long long>(r.stats.acks_lost),
+        static_cast<unsigned long long>(r.stats.integrity_detected),
+        static_cast<unsigned long long>(r.stats.integrity_marked_bad),
+        static_cast<unsigned long long>(r.stats.scrub_opage_reads),
+        static_cast<unsigned long long>(r.stats.scrub_detected),
         r.devices_alive, ok ? "OK" : "FAIL");
     if (!ok) {
       std::printf("  violation: %s\n", r.first_violation.c_str());
@@ -312,6 +354,41 @@ int main(int argc, char** argv) {
     }
   }
 
+  bench::PrintSection("end-to-end integrity reconciliation");
+  // Fleet-wide exactness, from the merged registry alone: every silently
+  // corrupt read the device injectors produced was caught by checksum
+  // verification somewhere — foreground read-repair, recovery, or scrub.
+  const Counter* detected_counter =
+      merged.FindCounter("difs.integrity.detected");
+  const Counter* injected_counter =
+      merged.FindCounter("faults.injected.read_corrupt");
+  const uint64_t detected_total =
+      detected_counter != nullptr ? detected_counter->value() : 0;
+  const uint64_t injected_total =
+      injected_counter != nullptr ? injected_counter->value() : 0;
+  std::printf("read_corrupt injected\t%llu\n",
+              static_cast<unsigned long long>(injected_total));
+  std::printf("integrity detected\t%llu\n",
+              static_cast<unsigned long long>(detected_total));
+  std::printf("replicas marked bad\t%llu\n",
+              static_cast<unsigned long long>(
+                  merged.GetCounter("difs.integrity.marked_bad").value()));
+  std::printf("last copies retained\t%llu\n",
+              static_cast<unsigned long long>(
+                  merged.GetCounter("difs.integrity.retained_last_copies")
+                      .value()));
+  std::printf("scrub reads / hits / passes\t%llu / %llu / %llu\n",
+              static_cast<unsigned long long>(
+                  merged.GetCounter("difs.scrub.opage_reads").value()),
+              static_cast<unsigned long long>(
+                  merged.GetCounter("difs.scrub.detected").value()),
+              static_cast<unsigned long long>(
+                  merged.GetCounter("difs.scrub.passes").value()));
+  if (detected_total != injected_total) {
+    pass = false;
+    std::printf("  INTEGRITY MISMATCH: detection must equal injection\n");
+  }
+
   if (!merged.WriteJsonFile(metrics_out)) {
     std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
     pass = false;
@@ -335,9 +412,15 @@ int main(int argc, char** argv) {
                  "  \"universes\": %llu,\n"
                  "  \"bursts\": %llu,\n"
                  "  \"seed\": %llu,\n"
+                 "  \"scrub_opages_per_day\": %llu,\n"
                  "  \"chunks_lost\": %llu,\n"
                  "  \"replicas_recovered\": %llu,\n"
                  "  \"faults_injected_total\": %llu,\n"
+                 "  \"read_corrupt_injected\": %llu,\n"
+                 "  \"integrity_detected\": %llu,\n"
+                 "  \"integrity_marked_bad\": %llu,\n"
+                 "  \"scrub_opage_reads\": %llu,\n"
+                 "  \"scrub_detected\": %llu,\n"
                  "  \"metrics_file\": \"%s\",\n"
                  "  \"trace_file\": \"%s\",\n"
                  "  \"pass\": %s\n"
@@ -345,6 +428,7 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(universes),
                  static_cast<unsigned long long>(bursts),
                  static_cast<unsigned long long>(seed),
+                 static_cast<unsigned long long>(scrub_opages_per_day),
                  static_cast<unsigned long long>(
                      merged.GetCounter("difs.chunks_lost").value()),
                  static_cast<unsigned long long>(
@@ -353,6 +437,14 @@ int main(int argc, char** argv) {
                      merged.GetCounter("faults.injected_total").value() +
                      merged.GetCounter("cluster_faults.injected_total")
                          .value()),
+                 static_cast<unsigned long long>(injected_total),
+                 static_cast<unsigned long long>(detected_total),
+                 static_cast<unsigned long long>(
+                     merged.GetCounter("difs.integrity.marked_bad").value()),
+                 static_cast<unsigned long long>(
+                     merged.GetCounter("difs.scrub.opage_reads").value()),
+                 static_cast<unsigned long long>(
+                     merged.GetCounter("difs.scrub.detected").value()),
                  metrics_out.c_str(), trace_out.c_str(),
                  pass ? "true" : "false");
     std::fclose(summary);

@@ -12,7 +12,9 @@ namespace salamander {
 DifsCluster::DifsCluster(
     const DifsConfig& config,
     const std::function<std::unique_ptr<SsdDevice>(uint32_t)>& device_factory)
-    : config_(config), rng_(config.seed ^ 0xd1f5d1f5d1f5d1f5ULL) {
+    : config_(config),
+      rng_(config.seed ^ 0xd1f5d1f5d1f5d1f5ULL),
+      codec_(config.seed ^ 0xc8ec5a17c8ec5a17ULL) {
   assert(config_.replication >= 1);
   assert(config_.nodes >= config_.replication &&
          "need at least R nodes for node-distinct placement");
@@ -267,8 +269,17 @@ uint64_t DifsCluster::DrainPendingRecoveries() {
     // Bring back to full replication, one replica at a time.
     bool stuck = false;
     while (chunk.live_replicas() < config_.replication && !chunk.lost) {
+      const uint32_t live_before = chunk.live_replicas();
       if (RecoverOneReplica(chunk_id)) {
         ++recovered;
+        if (chunk.live_replicas() <= live_before) {
+          // The copy succeeded but read-repair retired a corrupt source in
+          // the same call: net-zero progress. With every source failing its
+          // checksum (pathological blanket corruption) this would loop
+          // forever — park instead and retry on the next event wave.
+          stuck = true;
+          break;
+        }
       } else {
         stuck = true;
         break;
@@ -287,64 +298,87 @@ uint64_t DifsCluster::DrainPendingRecoveries() {
 
 bool DifsCluster::RecoverOneReplica(ChunkId chunk_id) {
   Chunk& chunk = chunks_[chunk_id];
-  // Source: prefer a non-draining replica (guaranteed fresh); fall back to a
-  // draining one (the §4.3 grace window exists precisely so this fallback is
-  // available). Only non-draining replicas exclude their node — the draining
-  // copy is about to vanish, so its node may host the new replica.
-  const ReplicaLocation* source = nullptr;
-  const ReplicaLocation* draining_source = nullptr;
-  std::vector<uint32_t> exclude_nodes;
-  for (const ReplicaLocation& replica : chunk.replicas) {
-    if (!replica.live) {
-      continue;
-    }
-    if (replica.draining) {
-      if (!NodeOut(replica.device)) {
-        draining_source = &replica;
-      }
-      continue;
-    }
-    // A replica on an out node still excludes its node (the data is there,
-    // just unreachable) but cannot serve as the copy source.
-    exclude_nodes.push_back(node_of_device(replica.device));
-    if (source == nullptr && !NodeOut(replica.device)) {
-      source = &replica;
-    }
-  }
-  if (source == nullptr) {
-    source = draining_source;
-  }
-  if (source == nullptr) {
-    return false;
-  }
   uint32_t target_device = 0;
   MinidiskId target_mdisk = 0;
   uint32_t target_slot = 0;
-  if (!PickTarget(exclude_nodes, &target_device, &target_mdisk,
-                  &target_slot)) {
-    return false;
-  }
-  // Claim the slot immediately so concurrent placements in this event wave
-  // cannot double-book it.
-  devices_[target_device].slots[target_mdisk][target_slot] =
-      static_cast<int64_t>(chunk_id);
-  --devices_[target_device].free_slot_count;
+  // Source-selection loop: a survivor whose copy fails its end-to-end
+  // checksum is retired on the spot (read-repair) and another survivor is
+  // tried. Bounded — every retry removes one replica.
+  for (;;) {
+    // Source: prefer a non-draining replica (guaranteed fresh); fall back to
+    // a draining one (the §4.3 grace window exists precisely so this fallback
+    // is available). Only non-draining replicas exclude their node — the
+    // draining copy is about to vanish, so its node may host the new replica.
+    ReplicaLocation* source = nullptr;
+    ReplicaLocation* draining_source = nullptr;
+    std::vector<uint32_t> exclude_nodes;
+    for (ReplicaLocation& replica : chunk.replicas) {
+      if (!replica.live) {
+        continue;
+      }
+      if (replica.draining) {
+        if (!NodeOut(replica.device)) {
+          draining_source = &replica;
+        }
+        continue;
+      }
+      // A replica on an out node still excludes its node (the data is there,
+      // just unreachable) but cannot serve as the copy source.
+      exclude_nodes.push_back(node_of_device(replica.device));
+      if (source == nullptr && !NodeOut(replica.device)) {
+        source = &replica;
+      }
+    }
+    if (source == nullptr) {
+      source = draining_source;
+    }
+    if (source == nullptr) {
+      return false;
+    }
+    if (!PickTarget(exclude_nodes, &target_device, &target_mdisk,
+                    &target_slot)) {
+      return false;
+    }
+    // Claim the slot immediately so concurrent placements in this event wave
+    // cannot double-book it.
+    devices_[target_device].slots[target_mdisk][target_slot] =
+        static_cast<int64_t>(chunk_id);
+    --devices_[target_device].free_slot_count;
 
-  // Read the chunk from the survivor (latency/traffic accounting only; the
-  // simulator carries no payload bytes). A failed read falls back to ECC-
-  // protected re-reads of other replicas in a real system; here it simply
-  // counts, since the copy's content is tracked logically.
-  DeviceState& source_state = devices_[source->device];
-  auto read = WithTransientRetry([&] {
-    return source_state.device->ReadRange(
-        source->mdisk,
-        static_cast<uint64_t>(source->slot) * config_.chunk_opages,
-        config_.chunk_opages);
-  });
-  if (read.ok()) {
-    stats_.recovery_opage_reads += config_.chunk_opages;
-  } else {
-    ++stats_.uncorrectable_reads;
+    // Read the chunk from the survivor (latency/traffic accounting only; the
+    // simulator carries no payload bytes). A failed read falls back to ECC-
+    // protected re-reads of other replicas in a real system; here it simply
+    // counts, since the copy's content is tracked logically.
+    DeviceState& source_state = devices_[source->device];
+    auto read = WithTransientRetry([&] {
+      return source_state.device->ReadRange(
+          source->mdisk,
+          static_cast<uint64_t>(source->slot) * config_.chunk_opages,
+          config_.chunk_opages);
+    });
+    if (read.ok()) {
+      stats_.recovery_opage_reads += config_.chunk_opages;
+    } else {
+      ++stats_.uncorrectable_reads;
+    }
+    if (ObserveCorruption(source->device) == 0) {
+      break;  // clean copy source
+    }
+    // The survivor's checksum does not verify: the copy would propagate
+    // corruption. Retire the source (the recovery loop already owns this
+    // chunk, so no re-enqueue) and try the next survivor.
+    if (MarkReplicaBad(chunk, *source, /*enqueue=*/false)) {
+      DeviceState& target_state = devices_[target_device];
+      auto it = target_state.slots.find(target_mdisk);
+      if (it != target_state.slots.end() &&
+          it->second[target_slot] == static_cast<int64_t>(chunk_id)) {
+        it->second[target_slot] = kFreeSlot;
+        ++target_state.free_slot_count;
+      }
+      continue;
+    }
+    // Last readable copy: corrupt data beats no data — copy it anyway.
+    break;
   }
 
   // Write every LBA of the new replica.
@@ -451,6 +485,7 @@ Status DifsCluster::Bootstrap() {
   for (uint64_t c = 0; c < target_chunks; ++c) {
     Chunk chunk;
     chunk.id = c;
+    chunk.checksum = codec_.Stamp(c, chunk.generation);
     std::vector<uint32_t> used_nodes;
     for (uint32_t r = 0; r < config_.replication; ++r) {
       uint32_t device_index = 0;
@@ -521,6 +556,10 @@ Status DifsCluster::StepWrites(uint64_t opage_writes) {
       continue;
     }
     const uint64_t offset = rng_.UniformU64(config_.chunk_opages);
+    // The write changes the chunk's contents: restamp its checksum metadata
+    // (every replica carries the new generation).
+    ++chunk.generation;
+    chunk.checksum = codec_.Stamp(chunk.id, chunk.generation);
     for (ReplicaLocation& replica : chunk.replicas) {
       if (!replica.live) {
         continue;
@@ -571,7 +610,42 @@ Status DifsCluster::StepReads(uint64_t opage_reads) {
           replica->mdisk,
           static_cast<uint64_t>(replica->slot) * config_.chunk_opages + offset);
     });
-    if (!read.ok() && read.status().code() == StatusCode::kDataLoss) {
+    const uint64_t corrupt = ObserveCorruption(replica->device);
+    if (read.ok() && corrupt > 0) {
+      // End-to-end verify: the device said the read succeeded, but the
+      // checksum computed over the delivered payload does not match the
+      // stamp in chunk metadata.
+      const uint64_t observed = codec_.CorruptObservation(chunk.checksum);
+      if (!ChecksumCodec::Verify(chunk.checksum, observed)) {
+        // Read-repair: retire the corrupt replica, re-serve the read from a
+        // survivor (retiring any survivor that also fails its checksum), and
+        // let the recovery scheduler re-replicate.
+        if (MarkReplicaBad(chunk, *replica, /*enqueue=*/true)) {
+          for (ReplicaLocation& survivor : chunk.replicas) {
+            if (!survivor.live || NodeOut(survivor.device)) {
+              continue;
+            }
+            DeviceState& sstate = devices_[survivor.device];
+            auto reread = WithTransientRetry([&] {
+              return sstate.device->Read(
+                  survivor.mdisk,
+                  static_cast<uint64_t>(survivor.slot) * config_.chunk_opages +
+                      offset);
+            });
+            const uint64_t again = ObserveCorruption(survivor.device);
+            if (reread.ok() && again == 0) {
+              ++stats_.integrity_survivor_reads;
+              break;
+            }
+            if (again > 0 &&
+                !MarkReplicaBad(chunk, survivor, /*enqueue=*/true)) {
+              break;  // last readable copy retained; nothing cleaner exists
+            }
+          }
+        }
+        ProcessEvents();
+      }
+    } else if (!read.ok() && read.status().code() == StatusCode::kDataLoss) {
       ++stats_.uncorrectable_reads;
       // Scrub: rewrite the page so future reads see freshly-programmed flash
       // (content restored from a healthy replica in a real system).
@@ -583,6 +657,142 @@ Status DifsCluster::StepReads(uint64_t opage_reads) {
     MaybeRunMaintenance();
   }
   return OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end integrity & background scrub
+// ---------------------------------------------------------------------------
+
+uint64_t DifsCluster::ObserveCorruption(uint32_t device_index) {
+  DeviceState& state = devices_[device_index];
+  const uint64_t now = state.device->ftl().stats().silent_corrupt_fpage_reads;
+  const uint64_t delta = now - state.observed_silent_corrupt;
+  state.observed_silent_corrupt = now;
+  stats_.integrity_detected += delta;
+  return delta;
+}
+
+bool DifsCluster::MarkReplicaBad(Chunk& chunk, ReplicaLocation& replica,
+                                 bool enqueue) {
+  if (!replica.live) {
+    return false;
+  }
+  if (!chunk.lost && chunk.readable_replicas() <= 1) {
+    // Last readable copy: a real system keeps the corrupt bytes and attempts
+    // partial recovery rather than deleting the only copy (Tai et al.'s
+    // live-recovery argument) — and losing the chunk here would turn every
+    // detected corruption into data loss.
+    ++stats_.integrity_retained_last_copies;
+    return false;
+  }
+  DeviceState& state = devices_[replica.device];
+  auto it = state.slots.find(replica.mdisk);
+  if (it != state.slots.end() &&
+      it->second[replica.slot] == static_cast<int64_t>(chunk.id)) {
+    if (replica.draining) {
+      // Mirror ReleaseDrainingReplicas: the slot can take no new data, and
+      // the mDisk's drain completes once its last pending chunk is gone.
+      it->second[replica.slot] = kUnavailableSlot;
+      auto pending_it = state.draining_pending.find(replica.mdisk);
+      if (pending_it != state.draining_pending.end() &&
+          --pending_it->second == 0) {
+        state.draining_pending.erase(pending_it);
+        state.slots.erase(replica.mdisk);
+        if (SendAckDrain(replica.device, replica.mdisk)) {
+          ++stats_.drains_acked;
+        }
+      }
+    } else {
+      it->second[replica.slot] = kFreeSlot;
+      ++state.free_slot_count;
+    }
+  }
+  replica.live = false;
+  ++stats_.replicas_lost;
+  ++stats_.integrity_marked_bad;
+  if (config_.trace != nullptr) {
+    config_.trace->Instant("replica_marked_bad", "difs", trace_time_us_,
+                           config_.trace_tid);
+  }
+  if (!chunk.lost && enqueue && chunk.live_replicas() < config_.replication) {
+    pending_recoveries_.push_back(chunk.id);
+  }
+  return true;
+}
+
+uint64_t DifsCluster::ScrubStep(uint64_t opage_budget) {
+  if (opage_budget == 0 || chunks_.empty()) {
+    return 0;
+  }
+  uint64_t reads = 0;
+  // Positions that turned out unreadable (dead replicas, out nodes, lost
+  // chunks) cost no budget; bound them so a mostly-dead cluster cannot spin.
+  uint64_t skipped = 0;
+  const uint64_t skip_limit =
+      chunks_.size() * (static_cast<uint64_t>(config_.replication) + 2);
+  while (reads < opage_budget && skipped <= skip_limit) {
+    if (scrub_cursor_.major >= chunks_.size()) {
+      scrub_cursor_.major = 0;
+      scrub_cursor_.minor = 0;
+    }
+    Chunk& chunk = chunks_[scrub_cursor_.major];
+    const uint64_t minor_size =
+        chunk.replicas.size() * config_.chunk_opages;
+    if (chunk.lost || minor_size == 0 ||
+        scrub_cursor_.minor >= minor_size) {
+      ++skipped;
+      if (scrub_cursor_.SkipMajor(chunks_.size())) {
+        ++stats_.scrub_passes;
+      }
+      continue;
+    }
+    const uint32_t replica_index =
+        static_cast<uint32_t>(scrub_cursor_.minor / config_.chunk_opages);
+    const uint64_t offset = scrub_cursor_.minor % config_.chunk_opages;
+    ReplicaLocation& replica = chunk.replicas[replica_index];
+    if (!replica.live || NodeOut(replica.device)) {
+      // Skip the rest of this replica's oPages.
+      ++skipped;
+      scrub_cursor_.minor =
+          (static_cast<uint64_t>(replica_index) + 1) * config_.chunk_opages;
+      if (scrub_cursor_.minor >= minor_size &&
+          scrub_cursor_.SkipMajor(chunks_.size())) {
+        ++stats_.scrub_passes;
+      } else if (scrub_cursor_.minor >= minor_size) {
+        scrub_cursor_.minor = 0;
+      }
+      continue;
+    }
+    DeviceState& state = devices_[replica.device];
+    auto read = WithTransientRetry([&] {
+      return state.device->Read(
+          replica.mdisk,
+          static_cast<uint64_t>(replica.slot) * config_.chunk_opages + offset);
+    });
+    ++reads;
+    ++stats_.scrub_opage_reads;
+    const uint64_t corrupt = ObserveCorruption(replica.device);
+    if (read.ok() && corrupt > 0) {
+      const uint64_t observed = codec_.CorruptObservation(chunk.checksum);
+      if (!ChecksumCodec::Verify(chunk.checksum, observed)) {
+        stats_.scrub_detected += corrupt;
+        // Latent corruption caught before a foreground read (or the loss of
+        // the last good replica): repair through the same read-repair path.
+        MarkReplicaBad(chunk, replica, /*enqueue=*/true);
+        ProcessEvents();
+      }
+    } else if (!read.ok() && read.status().code() == StatusCode::kDataLoss) {
+      ++stats_.uncorrectable_reads;
+      if (WriteReplica(replica, offset).ok()) {
+        ++stats_.scrub_repairs;
+      }
+      ProcessEvents();
+    }
+    if (scrub_cursor_.Advance(chunks_.size(), minor_size)) {
+      ++stats_.scrub_passes;
+    }
+  }
+  return reads;
 }
 
 // ---------------------------------------------------------------------------
@@ -795,6 +1005,20 @@ void DifsCluster::CollectMetrics(MetricRegistry& registry,
       .Add(stats_.outage_write_skips);
   registry.GetCounter(prefix + "difs.maintenance_ticks")
       .Add(stats_.maintenance_ticks);
+  registry.GetCounter(prefix + "difs.integrity.detected")
+      .Add(stats_.integrity_detected);
+  registry.GetCounter(prefix + "difs.integrity.marked_bad")
+      .Add(stats_.integrity_marked_bad);
+  registry.GetCounter(prefix + "difs.integrity.retained_last_copies")
+      .Add(stats_.integrity_retained_last_copies);
+  registry.GetCounter(prefix + "difs.integrity.survivor_reads")
+      .Add(stats_.integrity_survivor_reads);
+  registry.GetCounter(prefix + "difs.scrub.opage_reads")
+      .Add(stats_.scrub_opage_reads);
+  registry.GetCounter(prefix + "difs.scrub.detected")
+      .Add(stats_.scrub_detected);
+  registry.GetCounter(prefix + "difs.scrub.passes")
+      .Add(stats_.scrub_passes);
   registry.GetGauge(prefix + "difs.max_wave_recovery_opages")
       .Add(static_cast<double>(stats_.max_wave_recovery_opages));
   registry.GetGauge(prefix + "difs.alive_devices")

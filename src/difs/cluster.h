@@ -31,6 +31,8 @@
 #include "common/status.h"
 #include "core/minidisk.h"
 #include "faults/fault_injector.h"
+#include "integrity/checksum.h"
+#include "integrity/scrub_cursor.h"
 #include "ssd/ssd_device.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
@@ -113,6 +115,21 @@ struct DifsStats {
   uint64_t outage_write_skips = 0;     // replica writes skipped, node out
   uint64_t maintenance_ticks = 0;
 
+  // ---- End-to-end integrity & scrub ---------------------------------------
+  // Silently corrupt fpage reads observed (checksum mismatches). Exact:
+  // equals the sum of the per-device injectors' read_corrupt site counters,
+  // because every injected draw happens under a cluster-issued read and the
+  // cluster snapshots each device's FTL corruption counter after every read.
+  uint64_t integrity_detected = 0;
+  uint64_t integrity_marked_bad = 0;   // replicas retired for corruption
+  // Corrupt replica NOT retired because it was the chunk's last readable
+  // copy — corrupt data beats no data (cf. Tai et al., live recovery).
+  uint64_t integrity_retained_last_copies = 0;
+  uint64_t integrity_survivor_reads = 0;  // foreground reads re-served
+  uint64_t scrub_opage_reads = 0;      // background scrub device reads
+  uint64_t scrub_detected = 0;         // corruptions first seen by scrub
+  uint64_t scrub_passes = 0;           // full scrub sweeps completed
+
   uint64_t recovery_bytes() const { return recovery_opage_writes * 4096; }
 };
 
@@ -131,6 +148,11 @@ struct Chunk {
   ChunkId id = 0;
   std::vector<ReplicaLocation> replicas;
   bool lost = false;
+  // End-to-end integrity metadata: checksum stamped over the chunk's logical
+  // contents (id + write generation) at bootstrap and restamped on every
+  // foreground write; recovery copies it verbatim with the data.
+  uint64_t checksum = 0;
+  uint64_t generation = 0;
 
   // Replicas counting toward the replication factor (live, not draining).
   uint32_t live_replicas() const {
@@ -169,8 +191,17 @@ class DifsCluster {
 
   // Reads `opage_reads` random chunk pages from random live replicas.
   // Uncorrectable reads are repaired by rewriting the page from RAM state
-  // (scrub), counted in stats.
+  // (scrub), counted in stats. Every read verifies the chunk's end-to-end
+  // checksum: a mismatch retires the replica, re-serves the read from a
+  // survivor, and re-replicates through the recovery scheduler (read-repair).
   Status StepReads(uint64_t opage_reads);
+
+  // Background scrub: walks up to `opage_budget` replica oPages behind a
+  // deterministic cursor (no RNG draws), performing real device reads — so
+  // scrub traffic wears flash per §4.3 — and repairing any corruption it
+  // detects through the same read-repair path. Returns the number of oPages
+  // actually read. A zero budget is a no-op.
+  uint64_t ScrubStep(uint64_t opage_budget);
 
   // Drains device events and runs the recovery scheduler (also invoked
   // internally by StepWrites/StepReads).
@@ -252,6 +283,9 @@ class DifsCluster {
     // Last value of device->dropped_events() the cluster has seen; when the
     // counter moves, the event stream is incomplete and a resync runs.
     uint64_t observed_dropped_events = 0;
+    // Last value of the device FTL's silent_corrupt_fpage_reads counter the
+    // cluster has reconciled into integrity_detected.
+    uint64_t observed_silent_corrupt = 0;
   };
 
   // Returns the number of events processed.
@@ -272,6 +306,20 @@ class DifsCluster {
                   uint32_t* device_out, MinidiskId* mdisk_out,
                   uint32_t* slot_out);
   Status WriteReplica(ReplicaLocation& replica, uint64_t offset);
+
+  // ---- End-to-end integrity ------------------------------------------------
+
+  // Folds the device FTL's silent-corruption counter into integrity_detected
+  // and returns how many corrupt fpage reads the last operation performed.
+  // Called after every device read so the accounting is exact even when a
+  // range read aborts partway.
+  uint64_t ObserveCorruption(uint32_t device_index);
+  // Retires a corrupt replica: frees (or drain-releases) its slot, marks it
+  // dead, and queues the chunk for re-replication unless `enqueue` is false
+  // (recovery already has it in hand). Refuses to retire the chunk's last
+  // readable copy — corrupt data beats no data — returning false and
+  // counting integrity_retained_last_copies instead.
+  bool MarkReplicaBad(Chunk& chunk, ReplicaLocation& replica, bool enqueue);
 
   // ---- Robustness machinery ----------------------------------------------
 
@@ -322,6 +370,10 @@ class DifsCluster {
 
   DifsConfig config_;
   Rng rng_;
+  ChecksumCodec codec_;
+  // Scrub position: major = chunk id, minor = replica * chunk_opages +
+  // offset (flattened so the two-level cursor covers all three axes).
+  ScrubCursor scrub_cursor_;
   std::vector<DeviceState> devices_;
   std::vector<Chunk> chunks_;
   std::deque<ChunkId> pending_recoveries_;

@@ -4,13 +4,16 @@
 #include <cassert>
 
 #include "common/logging.h"
+#include "telemetry/collect.h"
 
 namespace salamander {
 
 EcCluster::EcCluster(
     const EcConfig& config,
     const std::function<std::unique_ptr<SsdDevice>(uint32_t)>& device_factory)
-    : config_(config), rng_(config.seed ^ 0xececececececececULL) {
+    : config_(config),
+      rng_(config.seed ^ 0xececececececececULL),
+      codec_(config.seed ^ 0xc8ec5a17c8ec5a17ULL) {
   assert(config_.data_cells >= 1);
   assert(config_.parity_cells >= 1);
   assert(config_.data_cells + config_.parity_cells <= 0xff &&
@@ -35,6 +38,9 @@ EcCluster::EcCluster(
 // ---------------------------------------------------------------------------
 
 size_t EcCluster::ApplyDeviceEvents(uint32_t device_index) {
+  if (NodeOut(device_index)) {
+    return 0;  // unreachable node: its events wait until it rejoins
+  }
   DeviceState& state = devices_[device_index];
   const std::vector<MinidiskEvent> events = state.device->TakeEvents();
   for (const MinidiskEvent& event : events) {
@@ -46,9 +52,10 @@ size_t EcCluster::ApplyDeviceEvents(uint32_t device_index) {
         HandleMdiskLoss(device_index, event.mdisk);
         break;
       case MinidiskEventType::kDraining:
-        // EC mode runs without the grace protocol (see header); a draining
-        // notice is treated as an immediate retirement hint and the loss
-        // arrives with the subsequent kDecommissioned event.
+        // EC forgoes replication's grace window: parity can reconstruct any
+        // cell, so a draining mDisk is retired immediately, its cells are
+        // queued for rebuild, and the drain is acked on the spot.
+        HandleMdiskDraining(device_index, event.mdisk);
         break;
     }
   }
@@ -57,9 +64,65 @@ size_t EcCluster::ApplyDeviceEvents(uint32_t device_index) {
 
 void EcCluster::HandleMdiskCreated(uint32_t device_index, MinidiskId mdisk) {
   DeviceState& state = devices_[device_index];
-  assert(state.slots.count(mdisk) == 0);
+  if (state.slots.count(mdisk) != 0) {
+    return;  // duplicate delivery (injected event duplication)
+  }
+  // A delayed or replayed kCreated can outlive the mDisk it announces;
+  // registering capacity that no longer exists would corrupt placement, so
+  // verify against device ground truth (mirrors DifsCluster).
+  const SsdDevice& device = *state.device;
+  if (device.failed() || mdisk >= device.total_minidisks()) {
+    return;
+  }
+  const MinidiskState mstate = device.manager().minidisk(mdisk).state;
+  if (mstate != MinidiskState::kLive && mstate != MinidiskState::kDraining) {
+    return;
+  }
   state.slots[mdisk].assign(state.slots_per_mdisk, kFreeSlot);
   state.free_slot_count += state.slots_per_mdisk;
+  if (mstate == MinidiskState::kDraining) {
+    HandleMdiskDraining(device_index, mdisk);
+  }
+}
+
+void EcCluster::HandleMdiskDraining(uint32_t device_index, MinidiskId mdisk) {
+  DeviceState& state = devices_[device_index];
+  auto it = state.slots.find(mdisk);
+  if (it == state.slots.end()) {
+    return;  // duplicate delivery: the drain was already processed
+  }
+  ++stats_.drains_started;
+  // Retire every cell on the mDisk and queue its stripe for rebuild — the
+  // same bookkeeping a decommission performs, just ahead of the deadline.
+  for (uint32_t slot = 0; slot < it->second.size(); ++slot) {
+    const int64_t ref = it->second[slot];
+    if (ref == kFreeSlot) {
+      --state.free_slot_count;
+      continue;
+    }
+    Stripe& stripe = stripes_[RefStripe(ref)];
+    CellLocation& cell = stripe.cells[RefCell(ref)];
+    if (cell.live && cell.device == device_index && cell.mdisk == mdisk &&
+        cell.slot == slot) {
+      cell.live = false;
+      ++stats_.cells_lost;
+    }
+    if (!stripe.lost) {
+      if (stripe.live_cells() < config_.data_cells) {
+        stripe.lost = true;
+        ++stats_.stripes_lost;
+        SALA_LOG(kWarning) << "stripe " << stripe.id
+                           << " lost more than m cells";
+      } else if (stripe.live_cells() <
+                 config_.data_cells + config_.parity_cells) {
+        pending_rebuilds_.push_back(stripe.id);
+      }
+    }
+  }
+  state.slots.erase(it);
+  if (SendAckDrain(device_index, mdisk)) {
+    ++stats_.drains_acked;
+  }
 }
 
 void EcCluster::HandleMdiskLoss(uint32_t device_index, MinidiskId mdisk) {
@@ -132,8 +195,16 @@ uint64_t EcCluster::DrainPendingRebuilds() {
     while (!stripe.lost &&
            stripe.live_cells() <
                config_.data_cells + config_.parity_cells) {
+      const uint32_t live_before = stripe.live_cells();
       if (RebuildOneCell(stripe_id)) {
         ++rebuilt;
+        if (stripe.live_cells() <= live_before) {
+          // Rebuild succeeded but retired a corrupt source on the way: net-
+          // zero progress (blanket corruption would loop forever). Park and
+          // retry on the next event wave.
+          stuck = true;
+          break;
+        }
       } else {
         stuck = true;
         break;
@@ -150,75 +221,102 @@ uint64_t EcCluster::DrainPendingRebuilds() {
 
 bool EcCluster::RebuildOneCell(StripeId stripe_id) {
   Stripe& stripe = stripes_[stripe_id];
-  // Reconstruction needs any k live cells; the rebuilt cell must land on a
-  // node hosting none of the stripe's live cells.
-  std::vector<const CellLocation*> sources;
-  std::vector<uint32_t> exclude_nodes;
-  uint32_t missing_cell = UINT32_MAX;
-  for (const CellLocation& cell : stripe.cells) {
-    if (cell.live) {
-      exclude_nodes.push_back(node_of_device(cell.device));
-      if (sources.size() < config_.data_cells) {
-        sources.push_back(&cell);
+  // Outer retry: a source whose read comes back corrupt is retired (it is
+  // itself reconstructable from parity) and reconstruction restarts with a
+  // fresh source set. Bounded — each retry permanently removes a live cell.
+  for (;;) {
+    // Reconstruction needs any k live cells; the rebuilt cell must land on a
+    // node hosting none of the stripe's live cells.
+    std::vector<CellLocation*> sources;
+    std::vector<uint32_t> exclude_nodes;
+    uint32_t missing_cell = UINT32_MAX;
+    for (CellLocation& cell : stripe.cells) {
+      if (cell.live) {
+        exclude_nodes.push_back(node_of_device(cell.device));
+        if (sources.size() < config_.data_cells && !NodeOut(cell.device)) {
+          sources.push_back(&cell);
+        }
+      } else if (missing_cell == UINT32_MAX) {
+        missing_cell = cell.cell;
       }
-    } else if (missing_cell == UINT32_MAX) {
-      missing_cell = cell.cell;
     }
-  }
-  if (missing_cell == UINT32_MAX ||
-      sources.size() < config_.data_cells) {
-    return false;
-  }
-  uint32_t target_device = 0;
-  MinidiskId target_mdisk = 0;
-  uint32_t target_slot = 0;
-  if (!PickTarget(exclude_nodes, &target_device, &target_mdisk,
-                  &target_slot)) {
-    return false;
-  }
-  DeviceState& target_state = devices_[target_device];
-  target_state.slots[target_mdisk][target_slot] =
-      PackRef(stripe_id, missing_cell);
-  --target_state.free_slot_count;
-
-  // Read k surviving cells in full: the k-fold reconstruction traffic.
-  for (const CellLocation* source : sources) {
-    auto read = devices_[source->device].device->ReadRange(
-        source->mdisk,
-        static_cast<uint64_t>(source->slot) * config_.cell_opages,
-        config_.cell_opages);
-    if (read.ok()) {
-      stats_.rebuild_opage_reads += config_.cell_opages;
+    if (missing_cell == UINT32_MAX ||
+        sources.size() < config_.data_cells) {
+      return false;
     }
-  }
-
-  // Write the reconstructed cell.
-  CellLocation rebuilt{.cell = missing_cell,
-                       .device = target_device,
-                       .mdisk = target_mdisk,
-                       .slot = target_slot,
-                       .live = true};
-  const uint64_t base =
-      static_cast<uint64_t>(target_slot) * config_.cell_opages;
-  for (uint64_t offset = 0; offset < config_.cell_opages; ++offset) {
-    auto write =
-        target_state.device->Write(target_mdisk, base + offset);
-    if (!write.ok()) {
-      ApplyDeviceEvents(target_device);
+    uint32_t target_device = 0;
+    MinidiskId target_mdisk = 0;
+    uint32_t target_slot = 0;
+    if (!PickTarget(exclude_nodes, &target_device, &target_mdisk,
+                    &target_slot)) {
+      return false;
+    }
+    DeviceState& target_state = devices_[target_device];
+    target_state.slots[target_mdisk][target_slot] =
+        PackRef(stripe_id, missing_cell);
+    --target_state.free_slot_count;
+    const auto release_target = [&] {
       auto it = target_state.slots.find(target_mdisk);
       if (it != target_state.slots.end() &&
           it->second[target_slot] == PackRef(stripe_id, missing_cell)) {
         it->second[target_slot] = kFreeSlot;
         ++target_state.free_slot_count;
       }
-      return false;
+    };
+
+    // Read k surviving cells in full: the k-fold reconstruction traffic.
+    bool retry = false;
+    for (CellLocation* source : sources) {
+      auto read = devices_[source->device].device->ReadRange(
+          source->mdisk,
+          static_cast<uint64_t>(source->slot) * config_.cell_opages,
+          config_.cell_opages);
+      if (read.ok()) {
+        stats_.rebuild_opage_reads += config_.cell_opages;
+      }
+      if (ObserveCorruption(source->device) > 0) {
+        const uint64_t observed = codec_.CorruptObservation(stripe.checksum);
+        if (!ChecksumCodec::Verify(stripe.checksum, observed) &&
+            MarkCellBad(stripe, *source, /*enqueue=*/false)) {
+          // Feeding a silently-corrupt cell into reconstruction would bake
+          // the corruption into the rebuilt cell: drop the source and start
+          // over (the rebuild loop already owns this stripe — no re-enqueue,
+          // or blanket corruption would keep the queue alive forever). If
+          // MarkCellBad refused (stripe at the reconstruction floor),
+          // proceed — corrupt bytes beat no bytes.
+          release_target();
+          retry = true;
+          break;
+        }
+      }
     }
-    ++stats_.rebuild_opage_writes;
+    if (retry) {
+      continue;
+    }
+
+    // Write the reconstructed cell.
+    CellLocation rebuilt{.cell = missing_cell,
+                         .device = target_device,
+                         .mdisk = target_mdisk,
+                         .slot = target_slot,
+                         .live = true};
+    const uint64_t base =
+        static_cast<uint64_t>(target_slot) * config_.cell_opages;
+    for (uint64_t offset = 0; offset < config_.cell_opages; ++offset) {
+      auto write =
+          target_state.device->Write(target_mdisk, base + offset);
+      if (!write.ok()) {
+        ApplyDeviceEvents(target_device);
+        release_target();
+        return false;
+      }
+      ++stats_.rebuild_opage_writes;
+    }
+    stripe.cells[missing_cell] = rebuilt;
+    ++stats_.cells_rebuilt;
+    ApplyDeviceEvents(target_device);
+    return true;
   }
-  stripe.cells[missing_cell] = rebuilt;
-  ++stats_.cells_rebuilt;
-  ApplyDeviceEvents(target_device);
-  return true;
 }
 
 bool EcCluster::PickTarget(const std::vector<uint32_t>& exclude_nodes,
@@ -229,7 +327,8 @@ bool EcCluster::PickTarget(const std::vector<uint32_t>& exclude_nodes,
   for (uint32_t probe = 0; probe < n; ++probe) {
     const uint32_t device_index = (start + probe) % n;
     DeviceState& state = devices_[device_index];
-    if (state.free_slot_count == 0 || state.device->failed()) {
+    if (state.free_slot_count == 0 || state.device->failed() ||
+        NodeOut(device_index)) {
       continue;
     }
     const uint32_t node = node_of_device(device_index);
@@ -272,6 +371,7 @@ Status EcCluster::Bootstrap() {
   for (uint64_t s = 0; s < target_stripes; ++s) {
     Stripe stripe;
     stripe.id = s;
+    stripe.checksum = codec_.Stamp(s, stripe.generation);
     std::vector<uint32_t> used_nodes;
     bool placed_all = true;
     for (uint32_t c = 0; c < width; ++c) {
@@ -317,6 +417,12 @@ Status EcCluster::WriteCell(CellLocation& cell, uint64_t offset) {
   if (!cell.live) {
     return FailedPreconditionError("cell not live");
   }
+  if (NodeOut(cell.device)) {
+    // Unreachable node: the write is skipped, not queued; the cell goes
+    // stale and maintenance-driven rebuild handles it if the mDisk dies out.
+    ++stats_.outage_write_skips;
+    return UnavailableError("WriteCell: node under outage");
+  }
   DeviceState& state = devices_[cell.device];
   auto write = state.device->Write(
       cell.mdisk,
@@ -342,6 +448,9 @@ Status EcCluster::StepWrites(uint64_t logical_writes) {
     const uint32_t data_cell =
         static_cast<uint32_t>(rng_.UniformU64(config_.data_cells));
     const uint64_t offset = rng_.UniformU64(config_.cell_opages);
+    // Re-stamp the stripe's end-to-end checksum over the new contents.
+    ++stripe.generation;
+    stripe.checksum = codec_.Stamp(stripe.id, stripe.generation);
     if (stripe.cells[data_cell].live) {
       (void)WriteCell(stripe.cells[data_cell], offset);
     }
@@ -353,6 +462,7 @@ Status EcCluster::StepWrites(uint64_t logical_writes) {
     }
     ++stats_.foreground_logical_writes;
     ProcessEvents();
+    MaybeRunMaintenance();
   }
   return OkStatus();
 }
@@ -370,26 +480,303 @@ Status EcCluster::StepReads(uint64_t reads) {
         static_cast<uint32_t>(rng_.UniformU64(config_.data_cells));
     const uint64_t offset = rng_.UniformU64(config_.cell_opages);
     CellLocation& cell = stripe.cells[data_cell];
-    if (cell.live) {
-      (void)devices_[cell.device].device->Read(
+    if (cell.live && !NodeOut(cell.device)) {
+      auto read = devices_[cell.device].device->Read(
           cell.mdisk,
           static_cast<uint64_t>(cell.slot) * config_.cell_opages + offset);
+      const uint64_t corrupt = ObserveCorruption(cell.device);
+      if (read.ok() && corrupt > 0) {
+        // End-to-end verify against the stripe's checksum stamp. EC
+        // read-repair: retire the corrupt data cell, re-serve the read
+        // degraded from k clean cells, and let the rebuild queue restore
+        // full redundancy.
+        const uint64_t observed = codec_.CorruptObservation(stripe.checksum);
+        if (!ChecksumCodec::Verify(stripe.checksum, observed) &&
+            MarkCellBad(stripe, cell)) {
+          ++stats_.degraded_reads;
+          uint32_t refetched = 0;
+          for (CellLocation& source : stripe.cells) {
+            if (!source.live || NodeOut(source.device) ||
+                refetched == config_.data_cells) {
+              continue;
+            }
+            (void)devices_[source.device].device->Read(
+                source.mdisk,
+                static_cast<uint64_t>(source.slot) * config_.cell_opages +
+                    offset);
+            (void)ObserveCorruption(source.device);
+            ++refetched;
+          }
+          ProcessEvents();
+        }
+      }
+      MaybeRunMaintenance();
       continue;
     }
     // Degraded read: reconstruct from k live cells (same offset in each).
     ++stats_.degraded_reads;
+    bool marked_bad = false;
     uint32_t fetched = 0;
     for (CellLocation& source : stripe.cells) {
-      if (!source.live || fetched == config_.data_cells) {
+      if (!source.live || NodeOut(source.device) ||
+          fetched == config_.data_cells) {
         continue;
       }
-      (void)devices_[source.device].device->Read(
+      auto read = devices_[source.device].device->Read(
           source.mdisk,
           static_cast<uint64_t>(source.slot) * config_.cell_opages + offset);
       ++fetched;
+      if (ObserveCorruption(source.device) > 0 && read.ok()) {
+        const uint64_t observed = codec_.CorruptObservation(stripe.checksum);
+        if (!ChecksumCodec::Verify(stripe.checksum, observed)) {
+          // A corrupt reconstruction input: retire it (rebuild will replace
+          // it from parity) — a real system retries with another of the m
+          // spare combinations.
+          marked_bad = MarkCellBad(stripe, source) || marked_bad;
+        }
+      }
     }
+    if (marked_bad) {
+      ProcessEvents();
+    }
+    MaybeRunMaintenance();
   }
   return OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// Chaos machinery, integrity, maintenance
+// ---------------------------------------------------------------------------
+
+bool EcCluster::SendAckDrain(uint32_t device_index, MinidiskId mdisk) {
+  FaultInjector* faults = config_.faults.get();
+  if (NodeOut(device_index) ||
+      (faults != nullptr && faults->LosesAckDrain())) {
+    // The ack never reaches the device: its mDisk stays in kDraining limbo
+    // until a later MaintenanceTick notices and re-sends.
+    ++stats_.acks_lost;
+    return false;
+  }
+  DeviceState& state = devices_[device_index];
+  return state.device->AckDrain(mdisk).ok();
+}
+
+void EcCluster::MaybeRunMaintenance() {
+  uint64_t interval = config_.maintenance_interval_ops;
+  if (interval == 0) {
+    // Auto mode: periodic reconciliation only pays for itself when faults
+    // can desynchronize cluster and device state. Without any injector the
+    // maintenance path stays completely dormant, so the fault-free RNG
+    // schedule (and every bench output) is untouched.
+    if (config_.faults == nullptr) {
+      bool any_device_faults = false;
+      for (const DeviceState& state : devices_) {
+        any_device_faults =
+            any_device_faults || state.device->faults() != nullptr;
+      }
+      if (!any_device_faults) {
+        return;
+      }
+    }
+    interval = 256;
+  }
+  if (++ops_since_maintenance_ >= interval) {
+    ops_since_maintenance_ = 0;
+    MaintenanceTick();
+  }
+}
+
+void EcCluster::MaintenanceTick() {
+  ++stats_.maintenance_ticks;
+  FaultInjector* faults = config_.faults.get();
+  if (outage_node_ >= 0) {
+    if (--outage_ticks_left_ == 0) {
+      // Rejoin: the node's devices are reachable again; ReconcileAll below
+      // replays whatever state changed while it was dark.
+      outage_node_ = -1;
+    }
+  } else if (faults != nullptr && faults->StartsNodeOutage()) {
+    outage_node_ = static_cast<int32_t>(faults->OutageNode(config_.nodes));
+    outage_ticks_left_ = faults->OutageTicks();
+    ++stats_.node_outages;
+  }
+  ReconcileAll();
+  // Reconciliation may have changed the placement landscape (new mDisks
+  // registered, drains acked): parked rebuilds get another shot.
+  if (!waiting_capacity_.empty()) {
+    for (StripeId stripe_id : waiting_capacity_) {
+      pending_rebuilds_.push_back(stripe_id);
+    }
+    waiting_capacity_.clear();
+  }
+  ProcessEvents();
+}
+
+void EcCluster::ReconcileAll() {
+  for (uint32_t d = 0; d < devices_.size(); ++d) {
+    if (NodeOut(d)) {
+      continue;
+    }
+    DeviceState& state = devices_[d];
+    const SsdDevice& device = *state.device;
+    // Pass 1: mDisks the cluster believes in whose device-side state moved
+    // on without us hearing (dropped/delayed kDecommissioned or kDraining).
+    // Sorted snapshot: handlers mutate state.slots, and unordered_map
+    // iteration order must never influence simulation behavior.
+    std::vector<MinidiskId> known;
+    known.reserve(state.slots.size());
+    for (const auto& [mdisk, slots] : state.slots) {
+      known.push_back(mdisk);
+    }
+    std::sort(known.begin(), known.end());
+    for (MinidiskId mdisk : known) {
+      if (device.failed() || mdisk >= device.total_minidisks() ||
+          device.manager().minidisk(mdisk).state ==
+              MinidiskState::kDecommissioned) {
+        HandleMdiskLoss(d, mdisk);
+      } else if (device.manager().minidisk(mdisk).state ==
+                 MinidiskState::kDraining) {
+        // The kDraining event was dropped: retire and ack it now.
+        HandleMdiskDraining(d, mdisk);
+      }
+    }
+    // Pass 2: device-side mDisks the cluster has no record of — a missed
+    // kCreated (new capacity), or a drain the cluster already retired whose
+    // AckDrain was lost in flight.
+    if (!device.failed()) {
+      for (MinidiskId mdisk = 0; mdisk < device.total_minidisks(); ++mdisk) {
+        if (state.slots.count(mdisk) != 0) {
+          continue;
+        }
+        const MinidiskState mstate = device.manager().minidisk(mdisk).state;
+        if (mstate == MinidiskState::kLive) {
+          HandleMdiskCreated(d, mdisk);
+        } else if (mstate == MinidiskState::kDraining) {
+          if (SendAckDrain(d, mdisk)) {
+            ++stats_.drains_acked;
+          }
+        }
+      }
+    }
+  }
+}
+
+void EcCluster::ForceReconcile() {
+  // A few rounds of reconcile + rebuild: a rebuild can itself change the
+  // landscape (wear out a target, finish a drain), so iterate until a round
+  // makes no progress. Bounded — stripes with genuinely no capacity (or
+  // capacity behind an outage) stay parked.
+  for (int round = 0; round < 8; ++round) {
+    ReconcileAll();
+    if (!waiting_capacity_.empty()) {
+      for (StripeId stripe_id : waiting_capacity_) {
+        pending_rebuilds_.push_back(stripe_id);
+      }
+      waiting_capacity_.clear();
+    }
+    const uint64_t rebuilt_before = stats_.cells_rebuilt;
+    ProcessEvents();
+    if (stats_.cells_rebuilt == rebuilt_before && pending_rebuilds_.empty()) {
+      break;
+    }
+  }
+}
+
+uint64_t EcCluster::ObserveCorruption(uint32_t device_index) {
+  DeviceState& state = devices_[device_index];
+  const uint64_t now = state.device->ftl().stats().silent_corrupt_fpage_reads;
+  const uint64_t delta = now - state.observed_silent_corrupt;
+  state.observed_silent_corrupt = now;
+  stats_.integrity_detected += delta;
+  return delta;
+}
+
+bool EcCluster::MarkCellBad(Stripe& stripe, CellLocation& cell,
+                            bool enqueue) {
+  if (!cell.live) {
+    return false;
+  }
+  if (!stripe.lost && stripe.live_cells() <= config_.data_cells) {
+    // Reconstruction floor: dropping this cell leaves fewer than k live
+    // cells and loses the whole stripe. Keep the corrupt bytes — partial
+    // data beats total loss (the same retention rule DifsCluster applies to
+    // a chunk's last readable copy).
+    ++stats_.integrity_retained_cells;
+    return false;
+  }
+  DeviceState& state = devices_[cell.device];
+  auto it = state.slots.find(cell.mdisk);
+  if (it != state.slots.end() &&
+      it->second[cell.slot] == PackRef(stripe.id, cell.cell)) {
+    it->second[cell.slot] = kFreeSlot;
+    ++state.free_slot_count;
+  }
+  cell.live = false;
+  ++stats_.cells_lost;
+  ++stats_.integrity_marked_bad;
+  if (enqueue && !stripe.lost &&
+      stripe.live_cells() < config_.data_cells + config_.parity_cells) {
+    pending_rebuilds_.push_back(stripe.id);
+  }
+  return true;
+}
+
+void EcCluster::CollectMetrics(MetricRegistry& registry,
+                               const std::string& prefix) const {
+  registry.GetCounter(prefix + "ec.foreground_logical_writes")
+      .Add(stats_.foreground_logical_writes);
+  registry.GetCounter(prefix + "ec.foreground_device_writes")
+      .Add(stats_.foreground_device_writes);
+  registry.GetCounter(prefix + "ec.rebuild_opage_reads")
+      .Add(stats_.rebuild_opage_reads);
+  registry.GetCounter(prefix + "ec.rebuild_opage_writes")
+      .Add(stats_.rebuild_opage_writes);
+  registry.GetCounter(prefix + "ec.rebuild_read_bytes")
+      .Add(stats_.rebuild_read_bytes());
+  registry.GetCounter(prefix + "ec.cells_lost").Add(stats_.cells_lost);
+  registry.GetCounter(prefix + "ec.cells_rebuilt").Add(stats_.cells_rebuilt);
+  registry.GetCounter(prefix + "ec.degraded_reads")
+      .Add(stats_.degraded_reads);
+  registry.GetCounter(prefix + "ec.stripes_lost").Add(stats_.stripes_lost);
+  registry.GetCounter(prefix + "ec.rebuild_deferred")
+      .Add(stats_.rebuild_deferred);
+  registry.GetCounter(prefix + "ec.drains_started")
+      .Add(stats_.drains_started);
+  registry.GetCounter(prefix + "ec.drains_acked").Add(stats_.drains_acked);
+  registry.GetCounter(prefix + "ec.acks_lost").Add(stats_.acks_lost);
+  registry.GetCounter(prefix + "ec.node_outages").Add(stats_.node_outages);
+  registry.GetCounter(prefix + "ec.outage_write_skips")
+      .Add(stats_.outage_write_skips);
+  registry.GetCounter(prefix + "ec.maintenance_ticks")
+      .Add(stats_.maintenance_ticks);
+  registry.GetCounter(prefix + "ec.integrity.detected")
+      .Add(stats_.integrity_detected);
+  registry.GetCounter(prefix + "ec.integrity.marked_bad")
+      .Add(stats_.integrity_marked_bad);
+  registry.GetCounter(prefix + "ec.integrity.retained_cells")
+      .Add(stats_.integrity_retained_cells);
+  registry.GetGauge(prefix + "ec.alive_devices")
+      .Add(static_cast<double>(alive_devices()));
+  registry.GetGauge(prefix + "ec.total_stripes")
+      .Add(static_cast<double>(total_stripes()));
+  registry.GetGauge(prefix + "ec.stripes_fully_redundant")
+      .Add(static_cast<double>(stripes_fully_redundant()));
+  registry.GetGauge(prefix + "ec.stripes_degraded")
+      .Add(static_cast<double>(stripes_degraded()));
+  registry.GetGauge(prefix + "ec.pending_rebuild_backlog")
+      .Add(static_cast<double>(pending_rebuilds_.size() +
+                               waiting_capacity_.size()));
+  registry.GetGauge(prefix + "ec.free_slots")
+      .Add(static_cast<double>(free_slots()));
+  for (const DeviceState& state : devices_) {
+    state.device->CollectMetrics(registry, prefix);
+  }
+  if (config_.faults != nullptr) {
+    // Distinct prefix: the per-device injector counters collected by
+    // SsdDevice::CollectMetrics live under "<prefix>faults.".
+    CollectFaultMetrics(registry, config_.faults->stats(),
+                        prefix + "cluster_");
+  }
 }
 
 // ---------------------------------------------------------------------------

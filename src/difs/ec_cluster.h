@@ -26,7 +26,10 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "core/minidisk.h"
+#include "faults/fault_injector.h"
+#include "integrity/checksum.h"
 #include "ssd/ssd_device.h"
+#include "telemetry/metrics.h"
 
 namespace salamander {
 
@@ -43,6 +46,15 @@ struct EcConfig {
   // Fraction of initial cluster slots to fill with stripe cells.
   double fill_fraction = 0.6;
   uint64_t seed = 1;
+
+  // Cluster-level chaos injector (node outages, lost AckDrains) — distinct
+  // from the per-device injectors; nullptr disables. Same contract as
+  // DifsConfig::faults.
+  std::shared_ptr<FaultInjector> faults;
+  // Every this many foreground ops: outage lottery/rejoin + lost-ack resend.
+  // 0 = automatic (256 when any injector is attached, dormant otherwise, so
+  // the fault-free RNG schedule is untouched).
+  uint64_t maintenance_interval_ops = 0;
 };
 
 struct EcStats {
@@ -55,6 +67,19 @@ struct EcStats {
   uint64_t degraded_reads = 0;             // reads served via reconstruction
   uint64_t stripes_lost = 0;               // > m concurrent cell losses
   uint64_t rebuild_deferred = 0;
+
+  // ---- Chaos parity with DifsStats ----------------------------------------
+  uint64_t drains_started = 0;   // kDraining events observed
+  uint64_t drains_acked = 0;     // drains answered with AckDrain
+  uint64_t acks_lost = 0;        // AckDrains that never reached a device
+  uint64_t node_outages = 0;     // injected outages started
+  uint64_t outage_write_skips = 0;  // cell writes skipped, node out
+  uint64_t maintenance_ticks = 0;
+
+  // ---- End-to-end integrity (same contract as DifsStats) ------------------
+  uint64_t integrity_detected = 0;     // corrupt fpage reads observed
+  uint64_t integrity_marked_bad = 0;   // cells retired for corruption
+  uint64_t integrity_retained_cells = 0;  // corrupt cell kept: stripe at k
 
   uint64_t rebuild_read_bytes() const { return rebuild_opage_reads * 4096; }
   uint64_t rebuild_write_bytes() const { return rebuild_opage_writes * 4096; }
@@ -74,6 +99,9 @@ struct Stripe {
   StripeId id = 0;
   std::vector<CellLocation> cells;  // indexed by cell number, stable
   bool lost = false;
+  // End-to-end integrity metadata (see Chunk::checksum).
+  uint64_t checksum = 0;
+  uint64_t generation = 0;
 
   uint32_t live_cells() const {
     uint32_t n = 0;
@@ -103,7 +131,13 @@ class EcCluster {
 
   void ProcessEvents();
 
+  // Lost-ack resend + outage expiry + rebuild retry, driven to quiescence.
+  // Chaos tests call this after a fault burst to assert convergence.
+  void ForceReconcile();
+
   const EcStats& stats() const { return stats_; }
+  // Node currently unreachable due to an injected outage, or -1.
+  int32_t outage_node() const { return outage_node_; }
   uint64_t total_stripes() const { return stripes_.size(); }
   uint64_t stripes_fully_redundant() const;
   uint64_t stripes_degraded() const;
@@ -118,6 +152,13 @@ class EcCluster {
     return static_cast<uint32_t>(devices_.size());
   }
 
+  // Scrapes EcStats with difs.*-parity names ("<prefix>ec.*"), replication-
+  // health gauges, and every device's "<prefix>ssd.*" subtree. Cluster-level
+  // injected faults land under "<prefix>cluster_faults.". Additive — collect
+  // once per cluster (see telemetry/collect.h).
+  void CollectMetrics(MetricRegistry& registry,
+                      const std::string& prefix = "") const;
+
  private:
   static constexpr int64_t kFreeSlot = -1;
 
@@ -127,6 +168,8 @@ class EcCluster {
     // slot -> packed (stripe, cell) or kFreeSlot.
     std::unordered_map<MinidiskId, std::vector<int64_t>> slots;
     uint64_t free_slot_count = 0;
+    // Last FTL silent-corruption count reconciled into integrity_detected.
+    uint64_t observed_silent_corrupt = 0;
   };
 
   static int64_t PackRef(StripeId stripe, uint32_t cell) {
@@ -142,6 +185,7 @@ class EcCluster {
   size_t ApplyDeviceEvents(uint32_t device_index);
   void HandleMdiskLoss(uint32_t device_index, MinidiskId mdisk);
   void HandleMdiskCreated(uint32_t device_index, MinidiskId mdisk);
+  void HandleMdiskDraining(uint32_t device_index, MinidiskId mdisk);
   uint64_t DrainPendingRebuilds();
   bool RebuildOneCell(StripeId stripe_id);
   bool PickTarget(const std::vector<uint32_t>& exclude_nodes,
@@ -149,14 +193,42 @@ class EcCluster {
                   uint32_t* slot_out);
   Status WriteCell(CellLocation& cell, uint64_t offset);
 
+  // ---- Chaos & integrity machinery ----------------------------------------
+
+  bool NodeOut(uint32_t device_index) const {
+    return outage_node_ >= 0 &&
+           node_of_device(device_index) == static_cast<uint32_t>(outage_node_);
+  }
+  // Delivers AckDrain, subject to injected ack loss and node outage; a lost
+  // ack leaves the mDisk in kDraining limbo until maintenance re-sends it.
+  bool SendAckDrain(uint32_t device_index, MinidiskId mdisk);
+  void MaybeRunMaintenance();
+  void MaintenanceTick();
+  // Resyncs cluster slot maps against device ground truth: missed drains and
+  // decommissions, missed kCreated capacity, and kDraining mDisks whose ack
+  // was lost (re-sent here). Skips out-node devices.
+  void ReconcileAll();
+  // Folds the device FTL's silent-corruption counter into integrity_detected;
+  // returns the last operation's corrupt fpage reads (see DifsCluster).
+  uint64_t ObserveCorruption(uint32_t device_index);
+  // Retires a corrupt cell and (unless `enqueue` is false — the rebuild loop
+  // already owns the stripe) queues the stripe for rebuild. Refuses when the
+  // stripe is already at its reconstruction floor (k live cells) — dropping
+  // the cell would lose the stripe; counts integrity_retained_cells.
+  bool MarkCellBad(Stripe& stripe, CellLocation& cell, bool enqueue = true);
+
   EcConfig config_;
   Rng rng_;
+  ChecksumCodec codec_;
   std::vector<DeviceState> devices_;
   std::vector<Stripe> stripes_;
   std::deque<StripeId> pending_rebuilds_;
   std::vector<StripeId> waiting_capacity_;
   EcStats stats_;
   bool bootstrapped_ = false;
+  int32_t outage_node_ = -1;
+  uint32_t outage_ticks_left_ = 0;
+  uint64_t ops_since_maintenance_ = 0;
 };
 
 }  // namespace salamander

@@ -117,15 +117,13 @@ StatusOr<ReadOutcome> FlashChip::ReadFPage(FPageIndex fpage,
 
   ReadOutcome outcome;
   if (faults_ != nullptr && faults_->CorruptsRead()) {
-    // Silent corruption beyond the ECC budget: every retry fails. The chip
-    // rng_ is intentionally not consulted, so with injection disabled the
-    // error-sampling stream is untouched.
-    outcome.correctable = false;
-    outcome.retries = latency_.max_read_retries;
-    outcome.latency =
-        latency_.read_fpage * (latency_.max_read_retries + 1) +
-        latency_.TransferTime(transfer_bytes);
-    total_read_retries_ += outcome.retries;
+    // ECC miscorrection: the decoder converges on a wrong codeword, so the
+    // read completes "cleanly" in one attempt and the corruption is invisible
+    // at this layer — only end-to-end checksums above the device catch it.
+    // The chip rng_ is intentionally not consulted, so with injection
+    // disabled the error-sampling stream is untouched.
+    outcome.silent_corrupt = true;
+    outcome.latency = latency_.read_fpage + latency_.TransferTime(transfer_bytes);
     return outcome;
   }
   double rber = PageRber(fpage);

@@ -38,6 +38,10 @@ struct ReadOutcome {
   uint32_t worst_stripe_errors = 0;  // raw bit errors in the worst stripe
   uint32_t retries = 0;           // voltage-adjust retries performed
   SimDuration latency = 0;        // tR * (1 + retries) + transfer
+  // ECC miscorrection: the read "succeeded" but delivered wrong bytes. Only
+  // end-to-end checksums above the device can catch this (injected via
+  // FaultSite::kReadCorrupt; the chip itself never detects it).
+  bool silent_corrupt = false;
 };
 
 class FlashChip {

@@ -29,9 +29,22 @@ FleetSim::FleetSim(const FleetConfig& config) : config_(config) {
          config_.kind == SsdKind::kRegenS)) {
       ssd_config.minidisk.msize_opages = config_.msize_opages;
     }
+    if (config_.inject_device_faults) {
+      ssd_config.faults =
+          std::make_shared<FaultInjector>(config_.device_faults, i);
+    }
     slot.device = std::make_unique<SsdDevice>(config_.kind, ssd_config);
     slot.driver =
         std::make_unique<AgingDriver>(slot.device.get(), driver_seed);
+    if (config_.scrub_opages_per_day > 0) {
+      // 4th fork per device, still in device-ID order. Disabled scrub forks
+      // nothing, keeping every pre-existing stream byte-identical.
+      slot.scrub_rng = fleet_rng.Fork();
+      // Staggered start: without it every device scrubs the same mDisk the
+      // same day and detection clumps artificially.
+      slot.scrub_cursor.major =
+          slot.scrub_rng.UniformU64(slot.device->total_minidisks());
+    }
     initial_capacity_ += slot.device->live_capacity_bytes();
     const uint64_t per_device_opages =
         slot.device->initial_capacity_bytes() / config_.geometry.opage_bytes;
@@ -63,8 +76,8 @@ FleetSnapshot FleetSim::Sample(uint32_t day) const {
 }
 
 void FleetSim::StepDevice(DeviceSlot& slot, double daily_failure,
-                          size_t shard, ShardedCounter* steps,
-                          ShardedCounter* opages) {
+                          uint64_t scrub_budget, size_t shard,
+                          ShardedCounter* steps, ShardedCounter* opages) {
   if (!slot.alive || slot.device->failed()) {
     slot.alive = false;
     return;
@@ -79,12 +92,73 @@ void FleetSim::StepDevice(DeviceSlot& slot, double daily_failure,
   if (result.device_failed) {
     slot.alive = false;
   }
+  if (scrub_budget > 0 && slot.alive && !slot.device->failed()) {
+    ScrubDevice(slot, scrub_budget);
+    if (slot.device->failed()) {
+      // Scrub wears flash too: the day's reads (or repair writes) can push
+      // a near-dead device over the edge, same as foreground traffic.
+      slot.alive = false;
+    }
+  }
   // Telemetry counting touches only this slot's shard; null when detached.
   if (steps != nullptr) {
     steps->Increment(shard);
   }
   if (opages != nullptr) {
     opages->Add(shard, result.opages_written);
+  }
+}
+
+void FleetSim::ScrubDevice(DeviceSlot& slot, uint64_t budget) {
+  SsdDevice& device = *slot.device;
+  const uint64_t mdisks = device.total_minidisks();
+  const uint64_t msize = device.msize_opages();
+  if (mdisks == 0 || msize == 0) {
+    return;
+  }
+  slot.scrub_cursor.Normalize(mdisks, msize);
+  uint64_t reads = 0;
+  // Dead mDisks cost no budget; bound consecutive skips so a mostly-
+  // decommissioned device cannot spin.
+  uint64_t skipped = 0;
+  while (reads < budget && skipped <= mdisks && !device.failed()) {
+    const MinidiskId mdisk = static_cast<MinidiskId>(slot.scrub_cursor.major);
+    const MinidiskState mstate = device.manager().minidisk(mdisk).state;
+    if (mstate != MinidiskState::kLive && mstate != MinidiskState::kDraining) {
+      ++skipped;
+      if (slot.scrub_cursor.SkipMajor(mdisks)) {
+        ++slot.scrub_passes;
+      }
+      continue;
+    }
+    skipped = 0;
+    const uint64_t lba = slot.scrub_cursor.minor;
+    auto read = device.Read(mdisk, lba);
+    ++reads;
+    ++slot.scrub_reads;
+    // Fold the FTL's silent-corruption counter delta: scrub reads are the
+    // only host reads the fleet issues, so over a run the summed deltas
+    // equal the injector's kReadCorrupt count exactly.
+    const uint64_t now = device.ftl().stats().silent_corrupt_fpage_reads;
+    const uint64_t corrupt = now - slot.observed_silent_corrupt;
+    slot.observed_silent_corrupt = now;
+    if (corrupt > 0) {
+      slot.scrub_detected += corrupt;
+      // Repair in place: rewrite the oPage so future reads see freshly
+      // programmed flash (content restored from host-level redundancy in a
+      // real deployment).
+      if (read.ok() && device.Write(mdisk, lba).ok()) {
+        ++slot.scrub_repairs;
+      }
+    } else if (!read.ok() &&
+               read.status().code() == StatusCode::kDataLoss) {
+      if (device.Write(mdisk, lba).ok()) {
+        ++slot.scrub_repairs;
+      }
+    }
+    if (slot.scrub_cursor.Advance(mdisks, msize)) {
+      ++slot.scrub_passes;
+    }
   }
 }
 
@@ -123,8 +197,8 @@ std::vector<FleetSnapshot> FleetSim::Run() {
     }
     pool.ParallelFor(slots_.size(), [&](size_t begin, size_t end) {
       for (size_t i = begin; i < end; ++i) {
-        StepDevice(slots_[i], daily_failure, i, day_steps_.get(),
-                   day_opages_.get());
+        StepDevice(slots_[i], daily_failure, config_.scrub_opages_per_day, i,
+                   day_steps_.get(), day_opages_.get());
       }
     });
     if (telemetry_attached()) {
@@ -199,6 +273,19 @@ void FleetSim::RegisterSamplerProbes() {
   sampler.AddProbe("fleet.faults_injected_total", [this] {
     return static_cast<double>(TotalFaultsInjected());
   });
+  // Scrub probes only exist when scrub runs: a disabled scrubber must leave
+  // sampler CSVs (and thus every existing bench artifact) byte-identical.
+  if (config_.scrub_opages_per_day > 0) {
+    sampler.AddProbe("fleet.scrub_reads_total", [this] {
+      return static_cast<double>(scrub_reads_total());
+    });
+    sampler.AddProbe("fleet.scrub_detected_total", [this] {
+      return static_cast<double>(scrub_detected_total());
+    });
+    sampler.AddProbe("fleet.scrub_repairs_total", [this] {
+      return static_cast<double>(scrub_repairs_total());
+    });
+  }
 }
 
 void FleetSim::RecordDayTelemetry(uint32_t day,
@@ -294,9 +381,63 @@ void FleetSim::CollectMetrics(MetricRegistry& registry,
       .Add(host_opages_written_);
   registry.GetGauge(prefix + "fleet.pending_event_depth")
       .Add(static_cast<double>(TotalPendingEventDepth()));
+  // Scrub counters only exist when scrub runs, so a disabled scrubber leaves
+  // metric dumps byte-identical to a scrub-free build.
+  if (config_.scrub_opages_per_day > 0) {
+    registry.GetCounter(prefix + "fleet.scrub.opage_reads")
+        .Add(scrub_reads_total());
+    registry.GetCounter(prefix + "fleet.scrub.detected")
+        .Add(scrub_detected_total());
+    registry.GetCounter(prefix + "fleet.scrub.repairs")
+        .Add(scrub_repairs_total());
+    registry.GetCounter(prefix + "fleet.scrub.passes")
+        .Add(scrub_passes_total());
+  }
   for (const DeviceSlot& slot : slots_) {
     slot.device->CollectMetrics(registry, prefix);
   }
+}
+
+uint64_t FleetSim::scrub_reads_total() const {
+  uint64_t total = 0;
+  for (const DeviceSlot& slot : slots_) {
+    total += slot.scrub_reads;
+  }
+  return total;
+}
+
+uint64_t FleetSim::scrub_detected_total() const {
+  uint64_t total = 0;
+  for (const DeviceSlot& slot : slots_) {
+    total += slot.scrub_detected;
+  }
+  return total;
+}
+
+uint64_t FleetSim::scrub_repairs_total() const {
+  uint64_t total = 0;
+  for (const DeviceSlot& slot : slots_) {
+    total += slot.scrub_repairs;
+  }
+  return total;
+}
+
+uint64_t FleetSim::scrub_passes_total() const {
+  uint64_t total = 0;
+  for (const DeviceSlot& slot : slots_) {
+    total += slot.scrub_passes;
+  }
+  return total;
+}
+
+uint64_t FleetSim::read_corrupt_injected_total() const {
+  uint64_t total = 0;
+  for (const DeviceSlot& slot : slots_) {
+    if (slot.device->faults() != nullptr) {
+      total += slot.device->faults()->stats().count(FaultSite::kReadCorrupt);
+    }
+  }
+  return total;
 }
 
 std::optional<uint32_t> FleetSim::DayDevicesBelow(double fraction) const {

@@ -21,6 +21,8 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "faults/fault_injector.h"
+#include "integrity/scrub_cursor.h"
 #include "ssd/ssd_device.h"
 #include "telemetry/metrics.h"
 #include "telemetry/sampler.h"
@@ -56,6 +58,22 @@ struct FleetConfig {
   // Worker threads for Run(): 1 = serial, 0 = all hardware threads. Results
   // are identical for every value — parallelism only changes wall-clock.
   unsigned threads = 1;
+
+  // ---- Background scrub ----------------------------------------------------
+  // oPages each device reads back per simulated day to catch latent (silent)
+  // corruption; a detected-corrupt or uncorrectable oPage is repaired by a
+  // rewrite. Scrub reads are real device reads and wear flash (§4.3's
+  // recovery-wear accounting applies). 0 disables scrub entirely: no extra
+  // RNG forks, no extra reads — every output byte-identical to a scrub-free
+  // build. Pacing: ScrubFullPassDays(device_opages, scrub_opages_per_day).
+  uint64_t scrub_opages_per_day = 0;
+
+  // ---- Per-device fault injection ------------------------------------------
+  // When true, every device gets its own FaultInjector built from
+  // `device_faults` with stream_id = device index (the PR-1 fork-in-id-order
+  // discipline, so injection schedules are bit-identical at any `threads`).
+  bool inject_device_faults = false;
+  FaultConfig device_faults;
 
   // ---- Telemetry hooks (not owned; nullptr = zero-cost detached) -----------
   // All recording happens on the owning thread at day barriers (per-slot
@@ -106,6 +124,15 @@ class FleetSim {
 
   const std::vector<FleetSnapshot>& snapshots() const { return snapshots_; }
 
+  // Fleet-wide scrub totals (sums over devices). Valid after Run(); all zero
+  // when scrub is disabled.
+  uint64_t scrub_reads_total() const;
+  uint64_t scrub_detected_total() const;
+  uint64_t scrub_repairs_total() const;
+  uint64_t scrub_passes_total() const;
+  // Total silent corruptions injected across all device injectors.
+  uint64_t read_corrupt_injected_total() const;
+
   // Scrapes fleet-level instruments into "<prefix>fleet.*" and every
   // device's "<prefix>ssd.*"/"<prefix>ftl.*"/"<prefix>flash.*" subtree
   // (additive, so N devices aggregate into fleet totals — see
@@ -126,14 +153,31 @@ class FleetSim {
     uint64_t writes_per_day = 0;
     bool random_failure = false;  // killed by the AFR draw
     bool alive = true;
+
+    // ---- Background scrub state (used only when scrub is enabled) ----------
+    // Forked 4th per device in device-ID order, so enabling scrub never
+    // perturbs another device's streams; used once, for the staggered start.
+    Rng scrub_rng;
+    ScrubCursor scrub_cursor;  // (mdisk, lba) — pure state, no draws
+    uint64_t observed_silent_corrupt = 0;  // last FTL counter reconciled
+    uint64_t scrub_reads = 0;
+    uint64_t scrub_detected = 0;  // silently-corrupt oPages caught by scrub
+    uint64_t scrub_repairs = 0;   // oPages rewritten (corrupt + uncorrectable)
+    uint64_t scrub_passes = 0;    // full device sweeps completed
   };
 
   // Advances one device by one day. Touches only `slot` state plus shard
   // `shard` of the counters (each slot has its own shard); safe to call
   // concurrently for distinct slots. The counters may be null (telemetry
   // detached).
-  static void StepDevice(DeviceSlot& slot, double daily_failure, size_t shard,
+  static void StepDevice(DeviceSlot& slot, double daily_failure,
+                         uint64_t scrub_budget, size_t shard,
                          ShardedCounter* steps, ShardedCounter* opages);
+  // One day of background scrub on one device: walks `budget` oPages from
+  // the slot's cursor, folds the FTL's silent-corruption counter into the
+  // slot's scrub totals, and repairs flagged oPages by rewriting them.
+  // Same thread-safety contract as StepDevice (slot-local state only).
+  static void ScrubDevice(DeviceSlot& slot, uint64_t budget);
 
   FleetSnapshot Sample(uint32_t day) const;
 

@@ -99,11 +99,15 @@ StatusOr<ReadResult> Ftl::Read(uint64_t lpo) {
     ++stats_.uncorrectable_reads;
     return DataLossError("Read: uncorrectable at lpo " + std::to_string(lpo));
   }
+  if (outcome.silent_corrupt) {
+    ++stats_.silent_corrupt_fpage_reads;
+  }
   return ReadResult{.latency =
                         outcome.latency + DedicatedEccReadPenalty(level),
                     .tiredness_level = level,
                     .retries = outcome.retries,
-                    .buffer_hit = false};
+                    .buffer_hit = false,
+                    .payload_corrupt = outcome.silent_corrupt};
 }
 
 StatusOr<RangeReadResult> Ftl::ReadRange(uint64_t first_lpo, uint64_t count) {
@@ -148,6 +152,12 @@ StatusOr<RangeReadResult> Ftl::ReadRange(uint64_t first_lpo, uint64_t count) {
       ++stats_.uncorrectable_reads;
       return DataLossError("ReadRange: uncorrectable at lpo " +
                            std::to_string(lpo));
+    }
+    if (outcome.silent_corrupt) {
+      // Counted at observation time so corrupt reads performed before a later
+      // abort (natural kDataLoss / kNotFound) are never lost from the stat.
+      ++stats_.silent_corrupt_fpage_reads;
+      ++result.corrupt_fpage_reads;
     }
     ++result.fpage_reads;
     result.latency += outcome.latency + DedicatedEccReadPenalty(level);
@@ -793,6 +803,8 @@ void Ftl::CollectMetrics(MetricRegistry& registry,
   registry.GetCounter(prefix + "ftl.uncorrectable_reads")
       .Add(stats_.uncorrectable_reads);
   registry.GetCounter(prefix + "ftl.read_retries").Add(stats_.read_retries);
+  registry.GetCounter(prefix + "ftl.silent_corrupt_fpage_reads")
+      .Add(stats_.silent_corrupt_fpage_reads);
   registry.GetCounter(prefix + "ftl.parity_programs")
       .Add(stats_.parity_programs);
   registry.GetCounter(prefix + "ftl.ecc_page_reads")

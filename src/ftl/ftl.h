@@ -118,6 +118,11 @@ struct FtlStats {
   uint64_t ecc_page_reads = 0;    // dedicated ECC page fetches (cache misses)
   uint64_t program_failures = 0;  // fPage programs that failed (page retired)
   uint64_t erase_failures = 0;    // block erases that failed (block retired)
+  // Flash reads that completed "cleanly" but delivered miscorrected data
+  // (FaultSite::kReadCorrupt). Exact by construction: every injected draw
+  // happens under a host read, so this always equals the injector's
+  // read_corrupt site count for this device.
+  uint64_t silent_corrupt_fpage_reads = 0;
   // Reads served from flash pages at each tiredness level (index = level).
   std::vector<uint64_t> reads_by_level;
 
@@ -134,6 +139,9 @@ struct ReadResult {
   unsigned tiredness_level = 0;
   uint32_t retries = 0;
   bool buffer_hit = false;
+  // The backing flash read was silently miscorrected; the caller holds wrong
+  // bytes and only an end-to-end checksum can tell.
+  bool payload_corrupt = false;
 };
 
 // Result of a multi-oPage (large host I/O) read.
@@ -142,6 +150,7 @@ struct RangeReadResult {
   uint32_t fpage_reads = 0;    // distinct flash page reads performed
   unsigned max_level = 0;      // most-tired page touched
   uint32_t buffer_hits = 0;
+  uint32_t corrupt_fpage_reads = 0;  // of fpage_reads, silently miscorrected
 };
 
 class Ftl {
@@ -157,7 +166,9 @@ class Ftl {
 
   // Wires a chaos injector (not owned; may be nullptr) into the flash chip.
   // Program/erase failures surface as retired pages/blocks; read corruption
-  // surfaces as kDataLoss host reads.
+  // is *silent* (ECC miscorrection): the read succeeds with
+  // ReadResult::payload_corrupt set and silent_corrupt_fpage_reads counted —
+  // only the end-to-end checksum layer above can act on it.
   void SetFaultInjector(FaultInjector* faults) {
     chip_->set_fault_injector(faults);
   }
@@ -182,7 +193,8 @@ class Ftl {
   StatusOr<SimDuration> Write(uint64_t lpo);
 
   // Reads one logical oPage. kNotFound if never written or trimmed;
-  // kDataLoss if the flash read was uncorrectable after retries.
+  // kDataLoss if the flash read was uncorrectable after retries. Injected
+  // silent corruption instead succeeds with payload_corrupt set.
   StatusOr<ReadResult> Read(uint64_t lpo);
 
   // Reads `count` consecutive logical oPages as one host I/O. Consecutive

@@ -1,0 +1,89 @@
+// Strict flag parsing in the bench harness: 0 is a first-class value for
+// --scrub-opages-per-day ("scrub disabled", not a usage error), while signs,
+// garbage, overflow, and missing values exit 2 with a clear message — no
+// bench ever silently runs a default config off a mistyped flag.
+#include <gtest/gtest.h>
+
+#include "bench/bench_util.h"
+
+namespace salamander {
+namespace bench {
+namespace {
+
+// argv helper: the arrays below decay to char** via this cast-away of the
+// string literals' constness (argv is mutable by POSIX signature only; the
+// parsers never write through it).
+template <size_t N>
+char** Argv(const char* (&args)[N]) {
+  return const_cast<char**>(args);
+}
+
+TEST(BenchUtilTest, ScrubFlagDefaultsToDisabled) {
+  const char* args[] = {"bench"};
+  EXPECT_EQ(ParseScrubOPagesPerDay(1, Argv(args)), 0u);
+  EXPECT_EQ(ParseScrubOPagesPerDay(1, Argv(args), /*default_value=*/7), 7u);
+}
+
+TEST(BenchUtilTest, ScrubFlagZeroIsValidNotAnError) {
+  const char* separate[] = {"bench", "--scrub-opages-per-day", "0"};
+  EXPECT_EQ(ParseScrubOPagesPerDay(3, Argv(separate), /*default_value=*/99),
+            0u);
+  const char* equals[] = {"bench", "--scrub-opages-per-day=0"};
+  EXPECT_EQ(ParseScrubOPagesPerDay(2, Argv(equals), /*default_value=*/99),
+            0u);
+}
+
+TEST(BenchUtilTest, ScrubFlagParsesBothSpellings) {
+  const char* separate[] = {"bench", "--scrub-opages-per-day", "4096"};
+  EXPECT_EQ(ParseScrubOPagesPerDay(3, Argv(separate)), 4096u);
+  const char* equals[] = {"bench", "--scrub-opages-per-day=4096"};
+  EXPECT_EQ(ParseScrubOPagesPerDay(2, Argv(equals)), 4096u);
+}
+
+TEST(BenchUtilTest, NegativeValueExitsWithUsageError) {
+  const char* args[] = {"bench", "--scrub-opages-per-day", "-3"};
+  EXPECT_EXIT(ParseScrubOPagesPerDay(3, Argv(args)),
+              ::testing::ExitedWithCode(2), "non-negative integer");
+}
+
+TEST(BenchUtilTest, PlusSignExitsWithUsageError) {
+  const char* args[] = {"bench", "--scrub-opages-per-day", "+3"};
+  EXPECT_EXIT(ParseScrubOPagesPerDay(3, Argv(args)),
+              ::testing::ExitedWithCode(2), "non-negative integer");
+}
+
+TEST(BenchUtilTest, GarbageExitsWithUsageError) {
+  const char* args[] = {"bench", "--scrub-opages-per-day", "banana"};
+  EXPECT_EXIT(ParseScrubOPagesPerDay(3, Argv(args)),
+              ::testing::ExitedWithCode(2), "non-negative integer");
+  const char* trailing[] = {"bench", "--scrub-opages-per-day", "64oops"};
+  EXPECT_EXIT(ParseScrubOPagesPerDay(3, Argv(trailing)),
+              ::testing::ExitedWithCode(2), "non-negative integer");
+}
+
+TEST(BenchUtilTest, OverflowExitsWithUsageError) {
+  // One past UINT64_MAX.
+  const char* args[] = {"bench", "--scrub-opages-per-day",
+                        "18446744073709551616"};
+  EXPECT_EXIT(ParseScrubOPagesPerDay(3, Argv(args)),
+              ::testing::ExitedWithCode(2), "non-negative integer");
+}
+
+TEST(BenchUtilTest, MissingValueExitsWithUsageError) {
+  const char* dangling[] = {"bench", "--scrub-opages-per-day"};
+  EXPECT_EXIT(ParseScrubOPagesPerDay(2, Argv(dangling)),
+              ::testing::ExitedWithCode(2), "requires a value");
+  const char* empty[] = {"bench", "--scrub-opages-per-day="};
+  EXPECT_EXIT(ParseScrubOPagesPerDay(2, Argv(empty)),
+              ::testing::ExitedWithCode(2), "requires a value");
+}
+
+TEST(BenchUtilTest, ThreadsFlagStillRejectsOutOfRange) {
+  const char* args[] = {"bench", "--threads", "4096"};
+  EXPECT_EXIT(ParseThreads(3, Argv(args)), ::testing::ExitedWithCode(2),
+              "0 \\(all cores\\) .. 1024");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace salamander

@@ -1,0 +1,202 @@
+// End-to-end integrity tests for the diFS: checksum-verified replica reads
+// (read-repair), the paced background scrubber, exact detected==injected
+// corruption accounting, last-copy retention, and scrub determinism.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "difs/cluster.h"
+#include "faults/fault_injector.h"
+#include "telemetry/metrics.h"
+#include "tests/testing/device_builder.h"
+
+namespace salamander {
+namespace {
+
+using testing_util::TestSsdConfig;
+using testing_util::TinyGeometry;
+
+// A small wear-free cluster where only the devices listed in
+// `corrupt_below` (indices < that bound) silently corrupt reads with
+// probability `read_corrupt`.
+DifsCluster MakeCorruptingCluster(double read_corrupt, uint32_t corrupt_below,
+                                  uint64_t seed = 424242) {
+  DifsConfig config;
+  config.nodes = 6;
+  config.devices_per_node = 1;
+  config.replication = 3;
+  config.chunk_opages = 64;
+  config.fill_fraction = 0.5;
+  config.seed = seed;
+  auto factory = [read_corrupt, corrupt_below](uint32_t index) {
+    SsdConfig ssd_config =
+        TestSsdConfig(SsdKind::kShrinkS, TinyGeometry(),
+                      /*nominal_pec=*/1000000, /*seed=*/1000 + index);
+    FaultConfig faults;
+    if (index < corrupt_below) {
+      faults.read_corrupt = read_corrupt;
+      faults.seed = 9;
+    }
+    ssd_config.faults =
+        std::make_shared<FaultInjector>(faults, /*stream_id=*/index);
+    return std::make_unique<SsdDevice>(SsdKind::kShrinkS, ssd_config);
+  };
+  return DifsCluster(config, factory);
+}
+
+// Exported counter value, or UINT64_MAX when the instrument is missing —
+// a sentinel no real counter reaches in these tests, so a renamed metric
+// fails the comparison instead of silently passing as 0 == 0.
+uint64_t CounterOf(const MetricRegistry& registry, std::string_view name) {
+  const Counter* counter = registry.FindCounter(name);
+  return counter == nullptr ? ~uint64_t{0} : counter->value();
+}
+
+uint64_t InjectedReadCorrupt(const DifsCluster& cluster) {
+  uint64_t injected = 0;
+  for (uint32_t i = 0; i < cluster.device_count(); ++i) {
+    const FaultInjector* injector = cluster.device(i).faults();
+    if (injector != nullptr) {
+      injected += injector->stats().count(FaultSite::kReadCorrupt);
+    }
+  }
+  return injected;
+}
+
+// One device corrupts every read it serves. Foreground reads must detect
+// each hit via the end-to-end checksum, retire the replica, re-serve from a
+// survivor, and re-replicate — with zero chunk loss and full convergence.
+TEST(ReadRepairTest, ForegroundReadsRepairCorruptReplicas) {
+  DifsCluster cluster =
+      MakeCorruptingCluster(/*read_corrupt=*/1.0, /*corrupt_below=*/1);
+  ASSERT_TRUE(cluster.Bootstrap().ok());
+  const uint64_t total = cluster.total_chunks();
+  ASSERT_GT(total, 0u);
+
+  ASSERT_TRUE(cluster.StepReads(400).ok());
+  ASSERT_TRUE(cluster.CheckInvariants().ok());
+  EXPECT_GT(cluster.stats().integrity_detected, 0u);
+  EXPECT_GT(cluster.stats().integrity_marked_bad, 0u);
+  EXPECT_GT(cluster.stats().integrity_survivor_reads, 0u);
+  EXPECT_EQ(cluster.chunks_lost(), 0u);
+
+  cluster.ForceReconcile();
+  ASSERT_TRUE(cluster.CheckInvariants().ok());
+  EXPECT_EQ(cluster.pending_recovery_backlog(), 0u);
+  EXPECT_EQ(cluster.chunks_lost(), 0u);
+}
+
+// The exactness invariant: every injected kReadCorrupt draw happens under a
+// cluster-issued read and is folded into integrity_detected right after that
+// read — so the two counters agree exactly, across foreground reads,
+// recovery reads, and scrub reads alike.
+TEST(ReadRepairTest, DetectedCorruptionEqualsInjectedExactly) {
+  DifsCluster cluster =
+      MakeCorruptingCluster(/*read_corrupt=*/0.05, /*corrupt_below=*/6);
+  ASSERT_TRUE(cluster.Bootstrap().ok());
+
+  for (int burst = 0; burst < 4; ++burst) {
+    ASSERT_TRUE(cluster.StepWrites(100).ok());
+    ASSERT_TRUE(cluster.StepReads(200).ok());
+    EXPECT_GT(cluster.ScrubStep(128), 0u);
+    ASSERT_TRUE(cluster.CheckInvariants().ok());
+  }
+  cluster.ForceReconcile();
+  ASSERT_TRUE(cluster.CheckInvariants().ok());
+
+  const uint64_t injected = InjectedReadCorrupt(cluster);
+  EXPECT_GT(injected, 0u);
+  EXPECT_EQ(cluster.stats().integrity_detected, injected);
+  EXPECT_GT(cluster.stats().scrub_opage_reads, 0u);
+}
+
+// With every device corrupting every read, retiring replicas would destroy
+// all the data. The cluster must refuse to retire a chunk's last readable
+// copy: corrupt data beats no data, and chunk loss from corruption alone is
+// impossible by construction.
+TEST(ReadRepairTest, LastReadableCopyIsNeverRetired) {
+  DifsCluster cluster =
+      MakeCorruptingCluster(/*read_corrupt=*/1.0, /*corrupt_below=*/6);
+  ASSERT_TRUE(cluster.Bootstrap().ok());
+
+  ASSERT_TRUE(cluster.StepReads(600).ok());
+  (void)cluster.ScrubStep(512);
+  ASSERT_TRUE(cluster.CheckInvariants().ok());
+  EXPECT_GT(cluster.stats().integrity_retained_last_copies, 0u);
+  EXPECT_EQ(cluster.chunks_lost(), 0u);
+}
+
+// The scrubber walks real device reads behind a pure-state cursor: two
+// identical clusters fed the identical op sequence must end with identical
+// stats, including the scrub and integrity counters.
+TEST(ReadRepairTest, ScrubIsDeterministic) {
+  auto run = [] {
+    DifsCluster cluster =
+        MakeCorruptingCluster(/*read_corrupt=*/0.05, /*corrupt_below=*/6);
+    EXPECT_TRUE(cluster.Bootstrap().ok());
+    for (int burst = 0; burst < 3; ++burst) {
+      EXPECT_TRUE(cluster.StepWrites(80).ok());
+      EXPECT_TRUE(cluster.StepReads(120).ok());
+      (void)cluster.ScrubStep(256);
+    }
+    cluster.ForceReconcile();
+    return cluster.stats();
+  };
+  const DifsStats a = run();
+  const DifsStats b = run();
+  EXPECT_EQ(a.foreground_opage_writes, b.foreground_opage_writes);
+  EXPECT_EQ(a.integrity_detected, b.integrity_detected);
+  EXPECT_EQ(a.integrity_marked_bad, b.integrity_marked_bad);
+  EXPECT_EQ(a.integrity_survivor_reads, b.integrity_survivor_reads);
+  EXPECT_EQ(a.scrub_opage_reads, b.scrub_opage_reads);
+  EXPECT_EQ(a.scrub_detected, b.scrub_detected);
+  EXPECT_EQ(a.scrub_passes, b.scrub_passes);
+  EXPECT_EQ(a.replicas_recovered, b.replicas_recovered);
+  EXPECT_EQ(a.chunks_lost, b.chunks_lost);
+}
+
+// A zero budget is a no-op, and a fault-free cluster's scrub detects nothing
+// while still doing real reads (wear accounting per §4.3).
+TEST(ReadRepairTest, ScrubOnCleanClusterDetectsNothing) {
+  DifsCluster cluster =
+      MakeCorruptingCluster(/*read_corrupt=*/0.0, /*corrupt_below=*/0);
+  ASSERT_TRUE(cluster.Bootstrap().ok());
+  EXPECT_EQ(cluster.ScrubStep(0), 0u);
+  EXPECT_EQ(cluster.stats().scrub_opage_reads, 0u);
+  const uint64_t read = cluster.ScrubStep(256);
+  EXPECT_EQ(read, 256u);
+  EXPECT_EQ(cluster.stats().scrub_opage_reads, 256u);
+  EXPECT_EQ(cluster.stats().scrub_detected, 0u);
+  EXPECT_EQ(cluster.stats().integrity_detected, 0u);
+  ASSERT_TRUE(cluster.CheckInvariants().ok());
+}
+
+// The difs.integrity.* / difs.scrub.* metric names the dashboards (and the
+// chaos soak's reconciliation check) scrape.
+TEST(ReadRepairTest, IntegrityMetricsAreExported) {
+  DifsCluster cluster =
+      MakeCorruptingCluster(/*read_corrupt=*/0.05, /*corrupt_below=*/6);
+  ASSERT_TRUE(cluster.Bootstrap().ok());
+  ASSERT_TRUE(cluster.StepReads(200).ok());
+  (void)cluster.ScrubStep(128);
+
+  MetricRegistry registry;
+  cluster.CollectMetrics(registry);
+  EXPECT_EQ(CounterOf(registry, "difs.integrity.detected"),
+            cluster.stats().integrity_detected);
+  EXPECT_EQ(CounterOf(registry, "difs.integrity.marked_bad"),
+            cluster.stats().integrity_marked_bad);
+  EXPECT_EQ(CounterOf(registry, "difs.integrity.retained_last_copies"),
+            cluster.stats().integrity_retained_last_copies);
+  EXPECT_EQ(CounterOf(registry, "difs.integrity.survivor_reads"),
+            cluster.stats().integrity_survivor_reads);
+  EXPECT_EQ(CounterOf(registry, "difs.scrub.opage_reads"),
+            cluster.stats().scrub_opage_reads);
+  EXPECT_EQ(CounterOf(registry, "difs.scrub.detected"),
+            cluster.stats().scrub_detected);
+  EXPECT_EQ(CounterOf(registry, "difs.scrub.passes"),
+            cluster.stats().scrub_passes);
+}
+
+}  // namespace
+}  // namespace salamander

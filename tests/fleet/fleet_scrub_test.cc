@@ -1,0 +1,142 @@
+// Fleet-level background scrub: paced daily reads from the day barrier,
+// exact detected==injected accounting against the per-device injectors,
+// thread-count invariance of the scrub totals, and the disabled-scrub
+// byte-identity guarantee (no extra RNG forks, no extra reads).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "fleet/fleet_sim.h"
+#include "telemetry/metrics.h"
+#include "tests/testing/device_builder.h"
+
+namespace salamander {
+namespace {
+
+FleetConfig ScrubFleet(unsigned threads) {
+  FleetConfig config;
+  config.kind = SsdKind::kShrinkS;
+  config.devices = 6;
+  config.geometry = testing_util::TinyGeometry();
+  config.ecc = FPageEccGeometry{};
+  config.wear = testing_util::FastWear(config.ecc, /*nominal_pec=*/1000);
+  config.msize_opages = 64;
+  config.dwpd = 1.0;
+  config.afr = 0.0;
+  config.days = 60;
+  config.sample_every_days = 5;
+  config.seed = 13579;
+  config.threads = threads;
+  return config;
+}
+
+TEST(FleetScrubTest, ScrubReadsArePacedPerDay) {
+  FleetConfig config = ScrubFleet(1);
+  config.scrub_opages_per_day = 32;
+  FleetSim sim(config);
+  sim.Run();
+  // Every device is alive the whole run (no AFR, high endurance), so the
+  // pacing is exact: devices x days x budget.
+  EXPECT_EQ(sim.scrub_reads_total(), 6u * 60 * 32);
+  EXPECT_EQ(sim.scrub_detected_total(), 0u);  // nothing injected
+  EXPECT_EQ(sim.scrub_repairs_total(), 0u);
+}
+
+// The tentpole's end-to-end accounting at fleet scale: with injected silent
+// corruption and the scrubber as the *only* reader in the fleet (the aging
+// workload is write-only), every injected kReadCorrupt draw happens under a
+// scrub read — so detected equals injected exactly, and each detection is
+// repaired by a rewrite.
+TEST(FleetScrubTest, ScrubDetectionEqualsInjectedExactly) {
+  FleetConfig config = ScrubFleet(1);
+  config.scrub_opages_per_day = 64;
+  config.inject_device_faults = true;
+  config.device_faults.read_corrupt = 0.01;
+  config.device_faults.seed = 5;
+  FleetSim sim(config);
+  sim.Run();
+  EXPECT_GT(sim.scrub_reads_total(), 0u);
+  EXPECT_GT(sim.scrub_detected_total(), 0u);
+  EXPECT_EQ(sim.scrub_detected_total(), sim.read_corrupt_injected_total());
+  // Each detection attempts exactly one in-place rewrite.
+  EXPECT_GT(sim.scrub_repairs_total(), 0u);
+  EXPECT_LE(sim.scrub_repairs_total(), sim.scrub_detected_total());
+}
+
+TEST(FleetScrubTest, ScrubTotalsAreThreadCountInvariant) {
+  auto run = [](unsigned threads) {
+    FleetConfig config = ScrubFleet(threads);
+    config.scrub_opages_per_day = 48;
+    config.inject_device_faults = true;
+    config.device_faults.read_corrupt = 0.01;
+    config.device_faults.seed = 5;
+    FleetSim sim(config);
+    const std::vector<FleetSnapshot> snapshots = sim.Run();
+    return std::make_tuple(snapshots, sim.scrub_reads_total(),
+                           sim.scrub_detected_total(),
+                           sim.scrub_repairs_total(),
+                           sim.scrub_passes_total());
+  };
+  const auto serial = run(1);
+  EXPECT_EQ(run(3), serial);
+  EXPECT_EQ(run(8), serial);
+}
+
+// scrub_opages_per_day == 0 is a first-class "off" state: no scrub RNG is
+// forked, no read is issued, and the snapshots are byte-identical to a run
+// of the same config — the invariant that keeps all pre-scrub bench outputs
+// stable.
+TEST(FleetScrubTest, DisabledScrubLeavesRunUntouched) {
+  FleetConfig config = ScrubFleet(1);
+  FleetSim plain(config);
+  const std::vector<FleetSnapshot> baseline = plain.Run();
+
+  FleetConfig off = ScrubFleet(1);
+  off.scrub_opages_per_day = 0;
+  FleetSim sim(off);
+  EXPECT_EQ(sim.Run(), baseline);
+  EXPECT_EQ(sim.scrub_reads_total(), 0u);
+  EXPECT_EQ(sim.scrub_detected_total(), 0u);
+  EXPECT_EQ(sim.scrub_passes_total(), 0u);
+}
+
+// Scrub reads are real device reads: they wear flash (§4.3), so a scrubbed
+// fleet's flash read counters exceed an unscrubbed one's.
+TEST(FleetScrubTest, ScrubMetricsAreExportedOnlyWhenEnabled) {
+  auto run = [](uint64_t scrub_budget) {
+    MetricRegistry registry;
+    FleetConfig config = ScrubFleet(1);
+    config.scrub_opages_per_day = scrub_budget;
+    config.metrics = &registry;
+    FleetSim sim(config);
+    sim.Run();
+    return std::make_tuple(
+        registry.FindCounter("fleet.scrub.opage_reads") != nullptr,
+        registry.FindCounter("fleet.scrub.detected") != nullptr,
+        registry.FindCounter("fleet.scrub.repairs") != nullptr,
+        registry.FindCounter("fleet.scrub.passes") != nullptr);
+  };
+  // Enabled: the whole fleet.scrub.* subtree exists; disabled: none of it
+  // does, so metric dumps of scrub-free runs stay byte-identical.
+  EXPECT_EQ(run(16), std::make_tuple(true, true, true, true));
+  EXPECT_EQ(run(0), std::make_tuple(false, false, false, false));
+}
+
+TEST(FleetScrubTest, ScrubWearIsRealPerSection43) {
+  auto flash_reads = [](uint64_t scrub_budget) {
+    MetricRegistry registry;
+    FleetConfig config = ScrubFleet(1);
+    config.scrub_opages_per_day = scrub_budget;
+    config.metrics = &registry;
+    FleetSim sim(config);
+    sim.Run();
+    const Counter* reads = registry.FindCounter("ftl.host_reads");
+    return reads == nullptr ? uint64_t{0} : reads->value();
+  };
+  EXPECT_GT(flash_reads(64), flash_reads(0));
+}
+
+}  // namespace
+}  // namespace salamander

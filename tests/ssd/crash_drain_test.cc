@@ -1,0 +1,148 @@
+// Crash-during-drain at the device boundary: an explicit Crash() while
+// mDisks sit in their grace window must fan out kDecommissioned for every
+// non-decommissioned mDisk (draining ones lose the window), and TakeEvents()
+// must be idempotent — each event delivered once, re-drains empty, and
+// injected duplication bounded to exactly one extra copy per event.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "ssd/ssd_device.h"
+#include "tests/testing/device_builder.h"
+
+namespace salamander {
+namespace {
+
+using testing_util::TestSsdConfig;
+using testing_util::TinyGeometry;
+
+// A fast-wearing ShrinkS device with grace-period drains; `faults` may be
+// empty (injector attached either way, mirroring production wiring).
+SsdDevice MakeDrainingDevice(const FaultConfig& faults) {
+  SsdConfig config = TestSsdConfig(SsdKind::kShrinkS, TinyGeometry(),
+                                   /*nominal_pec=*/25);
+  config.minidisk.drain_before_decommission = true;
+  config.minidisk.max_draining = 3;
+  config.faults = std::make_shared<FaultInjector>(faults, /*stream_id=*/0);
+  return SsdDevice(SsdKind::kShrinkS, config);
+}
+
+// Ages the device until wear opens the first grace window (a drain starts).
+// Polls events along the way like a real host would.
+void AgeUntilDraining(SsdDevice& device,
+                      std::vector<MinidiskEvent>* drained_events) {
+  uint64_t step = 0;
+  while (device.manager().draining_minidisks() == 0 && step < 2000000 &&
+         !device.failed()) {
+    const MinidiskId mdisk = static_cast<MinidiskId>(step % 12);
+    if (device.IsMinidiskLive(mdisk)) {
+      (void)device.Write(mdisk, step % 64);
+    }
+    if (step % 4096 == 0) {
+      const std::vector<MinidiskEvent> events = device.TakeEvents();
+      drained_events->insert(drained_events->end(), events.begin(),
+                             events.end());
+    }
+    ++step;
+  }
+  ASSERT_GT(device.manager().draining_minidisks(), 0u);
+  ASSERT_FALSE(device.failed());
+}
+
+TEST(CrashDrainTest, CrashMidDrainDecommissionsDrainingMdisks) {
+  SsdDevice device = MakeDrainingDevice(FaultConfig{});
+  std::vector<MinidiskEvent> pre_crash;
+  AgeUntilDraining(device, &pre_crash);
+  const uint64_t draining = device.manager().draining_minidisks();
+
+  device.Crash();
+  EXPECT_TRUE(device.failed());
+  EXPECT_EQ(device.live_capacity_bytes(), 0u);
+
+  // The brick fan-out covers every mDisk not already decommissioned —
+  // including the ones whose grace window the crash just destroyed.
+  const std::vector<MinidiskEvent> events = device.TakeEvents();
+  uint64_t decommissions = 0;
+  for (const MinidiskEvent& event : events) {
+    decommissions += event.type == MinidiskEventType::kDecommissioned ? 1 : 0;
+  }
+  EXPECT_GE(decommissions, draining);
+  EXPECT_GT(decommissions, 0u);
+
+  // Post-crash I/O fails closed with the device-failed code.
+  EXPECT_EQ(device.Write(0, 0).status().code(), StatusCode::kDeviceFailed);
+  EXPECT_EQ(device.Read(0, 0).status().code(), StatusCode::kDeviceFailed);
+  EXPECT_EQ(device.AckDrain(0).code(), StatusCode::kDeviceFailed);
+}
+
+TEST(CrashDrainTest, TakeEventsAfterCrashIsIdempotent) {
+  SsdDevice device = MakeDrainingDevice(FaultConfig{});
+  std::vector<MinidiskEvent> pre_crash;
+  AgeUntilDraining(device, &pre_crash);
+
+  device.Crash();
+  const std::vector<MinidiskEvent> first = device.TakeEvents();
+  EXPECT_FALSE(first.empty());
+  // Events are consumed by delivery: re-drains return nothing, and a second
+  // Crash() is a no-op that must not re-emit the brick fan-out.
+  EXPECT_TRUE(device.TakeEvents().empty());
+  device.Crash();
+  EXPECT_TRUE(device.TakeEvents().empty());
+  EXPECT_TRUE(device.TakeEvents().empty());
+}
+
+// Injected duplication on the brick fan-out: every kDecommissioned arrives
+// exactly twice, back to back, and the re-drain is still empty — the
+// duplicate is created at delivery time, not left in the queue.
+TEST(CrashDrainTest, DuplicatedBrickEventsDrainIdempotently) {
+  FaultConfig faults;
+  faults.event_duplicate = 1.0;
+  SsdDevice device = MakeDrainingDevice(faults);
+  std::vector<MinidiskEvent> pre_crash;
+  AgeUntilDraining(device, &pre_crash);
+
+  device.Crash();
+  const std::vector<MinidiskEvent> events = device.TakeEvents();
+  ASSERT_FALSE(events.empty());
+  ASSERT_EQ(events.size() % 2, 0u);
+  for (size_t i = 0; i < events.size(); i += 2) {
+    EXPECT_EQ(events[i].mdisk, events[i + 1].mdisk);
+    EXPECT_EQ(events[i].type, events[i + 1].type);
+  }
+  EXPECT_TRUE(device.TakeEvents().empty());
+}
+
+// The injected crash (kCrashDuringDrain at the poll boundary) and an
+// explicit Crash() race to the same brick path; whichever fires first, the
+// fan-out is emitted exactly once.
+TEST(CrashDrainTest, InjectedAndExplicitCrashEmitBrickEventsOnce) {
+  FaultConfig faults;
+  faults.crash_during_drain = 1.0;
+  SsdDevice device = MakeDrainingDevice(faults);
+  uint64_t step = 0;
+  while (device.manager().draining_minidisks() == 0 && step < 2000000 &&
+         !device.failed()) {
+    const MinidiskId mdisk = static_cast<MinidiskId>(step % 12);
+    if (device.IsMinidiskLive(mdisk)) {
+      (void)device.Write(mdisk, step % 64);
+    }
+    ++step;
+  }
+  ASSERT_GT(device.manager().draining_minidisks(), 0u);
+  ASSERT_FALSE(device.failed());
+
+  // This poll finds a draining mDisk and fires the injected crash.
+  const std::vector<MinidiskEvent> events = device.TakeEvents();
+  EXPECT_TRUE(device.failed());
+  uint64_t decommissions = 0;
+  for (const MinidiskEvent& event : events) {
+    decommissions += event.type == MinidiskEventType::kDecommissioned ? 1 : 0;
+  }
+  EXPECT_GT(decommissions, 0u);
+  // An explicit crash afterwards adds nothing.
+  device.Crash();
+  EXPECT_TRUE(device.TakeEvents().empty());
+}
+
+}  // namespace
+}  // namespace salamander
