@@ -8,6 +8,7 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -83,6 +84,35 @@ inline uint64_t ParseU64Flag(int argc, char** argv, const char* flag,
                              uint64_t default_value) {
   const char* value = ParseFlagValue(argc, argv, flag);
   return value == nullptr ? default_value : ParseU64Value(flag, value);
+}
+
+// Strictly parses a non-negative finite decimal: the whole token must parse
+// (no signs, no trailing garbage, no inf/nan) — same contract as
+// ParseU64Value, for probability/rate flags. 0 is a valid value.
+inline double ParseF64Value(const char* flag, const char* value) {
+  if (*value == '\0') {
+    std::fprintf(stderr, "error: %s requires a value\n", flag);
+    std::exit(2);
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  if (*value == '-' || *value == '+' || *end != '\0' || errno == ERANGE ||
+      !std::isfinite(parsed)) {
+    std::fprintf(stderr,
+                 "error: %s expects a non-negative number, got \"%s\"\n",
+                 flag, value);
+    std::exit(2);
+  }
+  return parsed;
+}
+
+// Parses `--flag X` / `--flag=X` for a non-negative finite double; rejects
+// garbage, signs, and overflow with a clear error.
+inline double ParseF64Flag(int argc, char** argv, const char* flag,
+                           double default_value) {
+  const char* value = ParseFlagValue(argc, argv, flag);
+  return value == nullptr ? default_value : ParseF64Value(flag, value);
 }
 
 // Parses `--scrub-opages-per-day N` / `--scrub-opages-per-day=N`: the

@@ -46,6 +46,11 @@ struct UniverseResult {
   bool converged = true;
   bool invariants_ok = true;
   std::string first_violation;
+  // Power-loss drill accounting (--power-loss-per-burst > 0 only): every
+  // injected power loss must end as a restart or a permanent upgrade.
+  uint64_t power_losses = 0;
+  uint64_t power_restarts = 0;
+  uint64_t permanent_upgrades = 0;
   // Thread-confined telemetry, owned by the universe's worker and merged by
   // the coordinator after the barrier, in universe order.
   MetricRegistry registry;
@@ -59,7 +64,7 @@ constexpr uint64_t kTraceUsPerBurst = 1000;
 // Per-device fault mix. Crash-mid-drain is drawn on every event poll of a
 // draining device, which happens once per device per foreground op — keep it
 // tiny or the whole fleet dies mid-soak.
-FaultConfig DeviceFaults(uint64_t seed) {
+FaultConfig DeviceFaults(uint64_t seed, double power_loss_per_burst) {
   FaultConfig config;
   config.program_fail = 0.01;
   config.erase_fail = 0.01;
@@ -70,6 +75,14 @@ FaultConfig DeviceFaults(uint64_t seed) {
   config.event_delay = 0.02;
   config.event_delay_waves_max = 3;
   config.crash_during_drain = 0.00002;
+  // Power-loss mode only: the harness draws LosesPower() once per device per
+  // burst, and every resulting crash tears the journal tail more often than
+  // not. Both stay 0.0 by default, which draws nothing — the fault schedule
+  // (and every output byte) of a power-loss-free soak is untouched.
+  config.power_loss = power_loss_per_burst;
+  if (power_loss_per_burst > 0.0) {
+    config.torn_journal_write = 0.6;
+  }
   config.seed = seed;
   return config;
 }
@@ -86,7 +99,8 @@ FaultConfig ClusterFaults(uint64_t seed) {
 // Writes into `result` (stable storage owned by the coordinator) so the
 // cluster's trace pointer stays valid for the whole soak.
 void RunUniverse(uint64_t universe, uint64_t base_seed, uint64_t bursts,
-                 uint64_t scrub_opages_per_day, UniverseResult& result) {
+                 uint64_t scrub_opages_per_day, double power_loss_per_burst,
+                 UniverseResult& result) {
   result.kind = (universe % 2 == 0) ? SsdKind::kShrinkS : SsdKind::kRegenS;
 
   const uint32_t lane = static_cast<uint32_t>(universe);
@@ -104,6 +118,12 @@ void RunUniverse(uint64_t universe, uint64_t base_seed, uint64_t bursts,
       ClusterFaults(base_seed + universe), /*stream_id=*/universe);
   config.trace = &result.trace;
   config.trace_tid = lane;
+  // Power-loss mode: a dark device gets a grace window long enough to span a
+  // burst's maintenance ticks, so the same-burst restart reconciles it in
+  // place instead of triggering a full re-replication wave.
+  if (power_loss_per_burst > 0.0) {
+    config.suspect_grace_ticks = 8;
+  }
 
   FPageEccGeometry ecc;
   const WearModelConfig wear = WearModel::Calibrate(
@@ -117,7 +137,7 @@ void RunUniverse(uint64_t universe, uint64_t base_seed, uint64_t bursts,
     ssd_config.minidisk.drain_before_decommission = true;
     ssd_config.minidisk.max_draining = 8;
     ssd_config.faults = std::make_shared<FaultInjector>(
-        DeviceFaults(base_seed + universe),
+        DeviceFaults(base_seed + universe, power_loss_per_burst),
         /*stream_id=*/universe * 64 + index);
     device_injectors.push_back(ssd_config.faults);
     return std::make_unique<SsdDevice>(result.kind, ssd_config);
@@ -151,12 +171,54 @@ void RunUniverse(uint64_t universe, uint64_t base_seed, uint64_t bursts,
       result.trace.Instant("crash_drill", "chaos", burst_start_us, lane);
       cluster.device(static_cast<uint32_t>(universe % config.nodes)).Crash();
     }
+    // Power-loss lottery: each functioning device may go dark for the rest
+    // of the burst (rack power cut). Most outages are transient — the device
+    // restarts, replays its journal, and is reconciled in place before the
+    // burst's convergence check — but every 4th turns out fatal, and only
+    // while enough devices survive to keep concurrent failures under R.
+    std::vector<uint32_t> dark_devices;
+    if (power_loss_per_burst > 0.0) {
+      for (uint32_t d = 0; d < cluster.device_count(); ++d) {
+        if (cluster.device(d).failed() ||
+            !device_injectors[d]->LosesPower()) {
+          continue;
+        }
+        ++result.power_losses;
+        result.trace.Instant("power_loss", "chaos", burst_start_us, lane);
+        cluster.device(d).Crash(SsdDevice::CrashKind::kPowerLoss);
+        if (result.power_losses % 4 == 0 &&
+            cluster.alive_devices() > config.replication + 1) {
+          // The outage turns out fatal: upgrade the dark device to a brick
+          // (exercises the mid-window upgrade path).
+          cluster.device(d).Crash(SsdDevice::CrashKind::kPermanent);
+          ++result.permanent_upgrades;
+        } else {
+          dark_devices.push_back(d);
+        }
+      }
+    }
     (void)cluster.StepWrites(kWritesPerBurst);
     (void)cluster.StepReads(kReadsPerBurst);
     // Background scrub slice for this "day": walks the deterministic cursor,
     // catches latent corruption foreground reads missed, repairs through the
     // same read-repair path. 0 = disabled, zero extra work.
     (void)cluster.ScrubStep(scrub_opages_per_day);
+    // Power restored: every still-dark device restarts (journal replay) so
+    // the convergence check below sees the whole fleet reachable. A device
+    // the crash drill upgraded meanwhile stays bricked.
+    for (uint32_t d : dark_devices) {
+      if (!cluster.device(d).transiently_dark()) {
+        ++result.permanent_upgrades;
+        continue;
+      }
+      if (cluster.device(d).Restart().ok()) {
+        ++result.power_restarts;
+      } else {
+        result.converged = false;
+        note_violation("burst " + std::to_string(burst) +
+                       ": post-power-loss restart failed");
+      }
+    }
     cluster.ForceReconcile();
     result.trace.CounterSample("recovery_backlog",
                                burst_start_us + kTraceUsPerBurst,
@@ -183,6 +245,12 @@ void RunUniverse(uint64_t universe, uint64_t base_seed, uint64_t bursts,
   cluster.set_trace_time_us(bursts * kTraceUsPerBurst);
   for (int i = 0; i < 64 && cluster.outage_node() >= 0; ++i) {
     (void)cluster.StepWrites(256);
+  }
+  if (power_loss_per_burst > 0.0) {
+    // Suspect windows resolve on maintenance ticks: give the last burst's
+    // restarted devices a few so every window ends as returned or expired
+    // before the final counters are reported.
+    (void)cluster.StepWrites(768);
   }
   cluster.ForceReconcile();
   const Status invariants = cluster.CheckInvariants();
@@ -222,6 +290,37 @@ void RunUniverse(uint64_t universe, uint64_t base_seed, uint64_t bursts,
         std::to_string(cluster.stats().integrity_detected) +
         " != injected read_corrupt " + std::to_string(injected_read_corrupt));
   }
+  // Exact power-loss accounting: every injector draw became exactly one
+  // Crash(kPowerLoss), and every one of those ended as a successful restart
+  // or a permanent upgrade — no outage can leak out of the ledger.
+  if (power_loss_per_burst > 0.0) {
+    uint64_t injected_power_loss = 0;
+    for (const auto& injector : device_injectors) {
+      injected_power_loss += injector->stats().count(FaultSite::kPowerLoss);
+    }
+    if (injected_power_loss != result.power_losses) {
+      result.converged = false;
+      note_violation("final: power_loss crashes " +
+                     std::to_string(result.power_losses) +
+                     " != injected power_loss " +
+                     std::to_string(injected_power_loss));
+    }
+    uint64_t device_restarts = 0;
+    for (uint32_t d = 0; d < cluster.device_count(); ++d) {
+      device_restarts += cluster.device(d).restarts();
+    }
+    if (device_restarts != result.power_restarts) {
+      result.converged = false;
+      note_violation("final: device restarts " +
+                     std::to_string(device_restarts) + " != harness restarts " +
+                     std::to_string(result.power_restarts));
+    }
+    if (result.power_restarts + result.permanent_upgrades !=
+        result.power_losses) {
+      result.converged = false;
+      note_violation("final: power-loss ledger does not balance");
+    }
+  }
 
   result.stats = cluster.stats();
   result.chunks = cluster.total_chunks();
@@ -259,6 +358,12 @@ int main(int argc, char** argv) {
   // oPages each universe scrubs per burst; 0 (the default) disables scrub.
   const uint64_t scrub_opages_per_day =
       bench::ParseScrubOPagesPerDay(argc, argv);
+  // Per-device, per-burst transient power-loss probability. 0 (the default)
+  // draws nothing: the soak is byte-identical to one without the
+  // crash-restart machinery. > 0 adds the power-loss lottery, torn journal
+  // writes on every crash, and suspect-window reconciliation.
+  const double power_loss_per_burst =
+      bench::ParseF64Flag(argc, argv, "--power-loss-per-burst", 0.0);
   const std::string metrics_out = bench::ParseStringFlag(
       argc, argv, "--metrics-out", "BENCH_chaos_metrics.json");
   const std::string trace_out = bench::ParseStringFlag(
@@ -276,7 +381,8 @@ int main(int argc, char** argv) {
   std::vector<UniverseResult> results(universes);
   pool.ParallelFor(universes, [&](size_t begin, size_t end) {
     for (size_t u = begin; u < end; ++u) {
-      RunUniverse(u, seed, bursts, scrub_opages_per_day, results[u]);
+      RunUniverse(u, seed, bursts, scrub_opages_per_day, power_loss_per_burst,
+                  results[u]);
     }
   });
 
@@ -345,6 +451,12 @@ int main(int argc, char** argv) {
     const uint64_t from_registry =
         (device_tier != nullptr ? device_tier->value() : 0) +
         (cluster_tier != nullptr ? cluster_tier->value() : 0);
+    // Sites appended after the output format froze only print once they
+    // actually fire (matches the CollectFaultMetrics gating).
+    if (site >= static_cast<int>(FaultSite::kPowerLoss) &&
+        from_registry == 0 && by_site[site] == 0) {
+      continue;
+    }
     std::printf("%-22s\t%llu\n", site_name.c_str(),
                 static_cast<unsigned long long>(from_registry));
     if (from_registry != by_site[site]) {
@@ -389,6 +501,38 @@ int main(int argc, char** argv) {
     std::printf("  INTEGRITY MISMATCH: detection must equal injection\n");
   }
 
+  uint64_t power_losses_total = 0;
+  uint64_t power_restarts_total = 0;
+  uint64_t permanent_upgrades_total = 0;
+  if (power_loss_per_burst > 0.0) {
+    bench::PrintSection("power-loss reconciliation");
+    for (const UniverseResult& r : results) {
+      power_losses_total += r.power_losses;
+      power_restarts_total += r.power_restarts;
+      permanent_upgrades_total += r.permanent_upgrades;
+    }
+    const Counter* power_loss_counter =
+        merged.FindCounter("faults.injected.power_loss");
+    const uint64_t power_loss_injected =
+        power_loss_counter != nullptr ? power_loss_counter->value() : 0;
+    std::printf("power_loss injected\t%llu\n",
+                static_cast<unsigned long long>(power_loss_injected));
+    std::printf("crashes / restarts / fatal\t%llu / %llu / %llu\n",
+                static_cast<unsigned long long>(power_losses_total),
+                static_cast<unsigned long long>(power_restarts_total),
+                static_cast<unsigned long long>(permanent_upgrades_total));
+    std::printf("journal replays\t%llu\n",
+                static_cast<unsigned long long>(
+                    merged.GetCounter("ftl.journal.replays").value()));
+    if (power_loss_injected != power_losses_total ||
+        power_restarts_total + permanent_upgrades_total !=
+            power_losses_total) {
+      pass = false;
+      std::printf("  POWER-LOSS MISMATCH: every injected outage must end as "
+                  "a restart or a brick\n");
+    }
+  }
+
   if (!merged.WriteJsonFile(metrics_out)) {
     std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
     pass = false;
@@ -420,11 +564,7 @@ int main(int argc, char** argv) {
                  "  \"integrity_detected\": %llu,\n"
                  "  \"integrity_marked_bad\": %llu,\n"
                  "  \"scrub_opage_reads\": %llu,\n"
-                 "  \"scrub_detected\": %llu,\n"
-                 "  \"metrics_file\": \"%s\",\n"
-                 "  \"trace_file\": \"%s\",\n"
-                 "  \"pass\": %s\n"
-                 "}\n",
+                 "  \"scrub_detected\": %llu,\n",
                  static_cast<unsigned long long>(universes),
                  static_cast<unsigned long long>(bursts),
                  static_cast<unsigned long long>(seed),
@@ -444,7 +584,26 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(
                      merged.GetCounter("difs.scrub.opage_reads").value()),
                  static_cast<unsigned long long>(
-                     merged.GetCounter("difs.scrub.detected").value()),
+                     merged.GetCounter("difs.scrub.detected").value()));
+    if (power_loss_per_burst > 0.0) {
+      std::fprintf(summary,
+                   "  \"power_loss_per_burst\": %g,\n"
+                   "  \"power_losses\": %llu,\n"
+                   "  \"power_restarts\": %llu,\n"
+                   "  \"power_loss_bricks\": %llu,\n"
+                   "  \"journal_replays\": %llu,\n",
+                   power_loss_per_burst,
+                   static_cast<unsigned long long>(power_losses_total),
+                   static_cast<unsigned long long>(power_restarts_total),
+                   static_cast<unsigned long long>(permanent_upgrades_total),
+                   static_cast<unsigned long long>(
+                       merged.GetCounter("ftl.journal.replays").value()));
+    }
+    std::fprintf(summary,
+                 "  \"metrics_file\": \"%s\",\n"
+                 "  \"trace_file\": \"%s\",\n"
+                 "  \"pass\": %s\n"
+                 "}\n",
                  metrics_out.c_str(), trace_out.c_str(),
                  pass ? "true" : "false");
     std::fclose(summary);

@@ -8,7 +8,10 @@
 // are self-describing.
 //
 // Flags: --threads N (0 = all hardware threads; default), --devices N,
-//        --days N.
+//        --days N, --power-loss-per-device-day P (transient power-loss
+//        probability per device-day; 0 = off, the default, which keeps
+//        output byte-identical to builds without the crash-restart path),
+//        --power-loss-restart-days N (outage length before Restart()).
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -23,7 +26,9 @@ namespace {
 
 // Same calibration as fig3a, scaled out to a fleet large enough that
 // per-device stepping dominates scheduling overhead.
-FleetConfig BenchFleet(SsdKind kind, uint32_t devices, uint32_t days) {
+FleetConfig BenchFleet(SsdKind kind, uint32_t devices, uint32_t days,
+                       double power_loss_per_device_day,
+                       uint32_t power_loss_restart_days) {
   FleetConfig config;
   config.kind = kind;
   config.devices = devices;
@@ -43,6 +48,8 @@ FleetConfig BenchFleet(SsdKind kind, uint32_t devices, uint32_t days) {
   config.days = days;
   config.sample_every_days = 5;
   config.seed = 20250514;
+  config.power_loss_per_device_day = power_loss_per_device_day;
+  config.power_loss_restart_days = power_loss_restart_days;
   return config;
 }
 
@@ -66,6 +73,10 @@ int main(int argc, char** argv) {
       bench::ParseU64Flag(argc, argv, "--devices", 128));
   const uint32_t days =
       static_cast<uint32_t>(bench::ParseU64Flag(argc, argv, "--days", 60));
+  const double power_loss = bench::ParseF64Flag(
+      argc, argv, "--power-loss-per-device-day", 0.0);
+  const uint32_t restart_days = static_cast<uint32_t>(
+      bench::ParseU64Flag(argc, argv, "--power-loss-restart-days", 1));
 
   const std::string metrics_out = bench::ParseStringFlag(
       argc, argv, "--metrics-out", "BENCH_fleet_metrics.json");
@@ -76,6 +87,10 @@ int main(int argc, char** argv) {
       "the serial one; threads only buy wall-clock");
   std::printf("devices=%u days=%u threads=1 vs %u (hardware=%u)\n", devices,
               days, parallel_threads, ThreadPool::HardwareThreads());
+  if (power_loss > 0.0) {
+    std::printf("power_loss_per_device_day=%g restart_days=%u\n", power_loss,
+                restart_days);
+  }
 
   std::printf("\nkind\tserial_s\tparallel_s\tspeedup\tidentical\tmetrics\n");
   std::vector<KindResult> results;
@@ -87,7 +102,8 @@ int main(int argc, char** argv) {
     // Both runs carry an attached registry: the cross-check below proves
     // telemetry collection is itself bit-identical at any thread count.
     MetricRegistry serial_metrics;
-    FleetConfig serial_config = BenchFleet(kind, devices, days);
+    FleetConfig serial_config =
+        BenchFleet(kind, devices, days, power_loss, restart_days);
     serial_config.threads = 1;
     serial_config.metrics = &serial_metrics;
     FleetSim serial_sim(serial_config);
@@ -96,7 +112,8 @@ int main(int argc, char** argv) {
     result.serial_seconds = serial_timer.Seconds();
 
     MetricRegistry parallel_metrics;
-    FleetConfig parallel_config = BenchFleet(kind, devices, days);
+    FleetConfig parallel_config =
+        BenchFleet(kind, devices, days, power_loss, restart_days);
     parallel_config.threads = parallel_threads;
     parallel_config.metrics = &parallel_metrics;
     FleetSim parallel_sim(parallel_config);
@@ -112,6 +129,18 @@ int main(int argc, char** argv) {
                 result.serial_seconds / result.parallel_seconds,
                 result.identical ? "yes" : "NO — BUG",
                 result.metrics_identical ? "yes" : "NO — BUG");
+    if (power_loss > 0.0) {
+      std::printf("  %s: power_losses=%llu restarts=%llu "
+                  "restart_failures=%llu dark_now=%u\n",
+                  result.kind.c_str(),
+                  static_cast<unsigned long long>(
+                      parallel_sim.power_losses_total()),
+                  static_cast<unsigned long long>(
+                      parallel_sim.restarts_total()),
+                  static_cast<unsigned long long>(
+                      parallel_sim.restart_failures_total()),
+                  parallel_sim.dark_devices());
+    }
     // Export under a per-kind prefix so the two fleets stay distinguishable.
     parallel_sim.CollectMetrics(exported, result.kind + ".");
     results.push_back(result);

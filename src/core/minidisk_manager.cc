@@ -34,7 +34,8 @@ void MinidiskManager::FormatDevice() {
   }
 }
 
-MinidiskId MinidiskManager::CreateMinidisk(unsigned tiredness_level) {
+MinidiskId MinidiskManager::CreateMinidisk(unsigned tiredness_level,
+                                           bool regenerated) {
   Minidisk md;
   md.id = static_cast<MinidiskId>(minidisks_.size());
   md.state = MinidiskState::kLive;
@@ -47,6 +48,13 @@ MinidiskId MinidiskManager::CreateMinidisk(unsigned tiredness_level) {
   ++live_minidisks_;
   live_logical_opages_ += config_.msize_opages;
   PushEvent(MinidiskEvent{MinidiskEventType::kCreated, md.id});
+  // An mDisk must never be announced and then forgotten by a power loss, so
+  // the create record is synced immediately.
+  ftl_->AppendJournalRecord(JournalRecord{
+      JournalRecordType::kMdiskCreate, md.id, md.first_lpo, md.size_opages,
+      static_cast<uint64_t>(tiredness_level) |
+          (static_cast<uint64_t>(regenerated) << 8)});
+  ftl_->SyncJournal();
   return md.id;
 }
 
@@ -202,7 +210,8 @@ void MinidiskManager::RunCapacityMaintenance() {
     ++regenerated_total_;
     // Regenerated capacity comes predominantly from level >= 1 pages.
     CreateMinidisk(/*tiredness_level=*/std::min(
-        ftl_->config().max_usable_level, 1u));
+                       ftl_->config().max_usable_level, 1u),
+                   /*regenerated=*/true);
     // If claiming overshot into the reserve, shed immediately.
     if (CapacityDeficit()) {
       ShedCapacityNow();
@@ -273,12 +282,16 @@ void MinidiskManager::Decommission(MinidiskId victim) {
     draining_.push_back(victim);
     draining_logical_opages_ += md.size_opages;
     PushEvent(MinidiskEvent{MinidiskEventType::kDraining, victim});
+    ftl_->AppendJournalRecord(
+        JournalRecord{JournalRecordType::kMdiskDrain, victim, 0, 0, 0});
     return;
   }
   TrimMinidisk(victim);
   md.state = MinidiskState::kDecommissioned;
   ++decommissioned_total_;
   PushEvent(MinidiskEvent{MinidiskEventType::kDecommissioned, victim});
+  ftl_->AppendJournalRecord(
+      JournalRecord{JournalRecordType::kMdiskDrop, victim, 0, 0, 0});
 }
 
 void MinidiskManager::FinishDrain(MinidiskId mdisk, bool forced) {
@@ -295,6 +308,9 @@ void MinidiskManager::FinishDrain(MinidiskId mdisk, bool forced) {
     ++drains_forced_;
   }
   PushEvent(MinidiskEvent{MinidiskEventType::kDecommissioned, mdisk});
+  ftl_->AppendJournalRecord(JournalRecord{JournalRecordType::kMdiskDrop,
+                                          mdisk, static_cast<uint64_t>(forced),
+                                          0, 0});
 }
 
 bool MinidiskManager::ShedCapacityNow() {
@@ -314,6 +330,8 @@ bool MinidiskManager::ShedCapacityNow() {
       md.state = MinidiskState::kDecommissioned;
       ++decommissioned_total_;
       PushEvent(MinidiskEvent{MinidiskEventType::kDecommissioned, victim});
+      ftl_->AppendJournalRecord(
+          JournalRecord{JournalRecordType::kMdiskDrop, victim, 0, 0, 0});
       return true;
     }
     Decommission(victim);
@@ -351,6 +369,89 @@ std::vector<MinidiskEvent> MinidiskManager::TakeEvents() {
   std::vector<MinidiskEvent> out;
   out.swap(events_);
   return out;
+}
+
+void MinidiskManager::Replay() {
+  minidisks_.clear();
+  valid_counts_.clear();
+  written_.clear();
+  draining_.clear();
+  events_.clear();  // a restarted host resyncs from state, not a stale queue
+  live_minidisks_ = 0;
+  live_logical_opages_ = 0;
+  draining_logical_opages_ = 0;
+  decommissioned_total_ = 0;
+  regenerated_total_ = 0;
+  drains_forced_ = 0;
+  forecast_tiring_opages_ = 0;
+  writes_since_forecast_ = 0;
+  // dropped_events_ survives: it is the monotone overflow signal hosts
+  // reconcile against, and forgetting it would hide a pre-crash overflow.
+
+  // mDisk lifecycle records replay in append order; the compactor preserves
+  // per-mDisk create -> drain/drop ordering, so states converge either way.
+  for (const JournalRecord& r : ftl_->journal().records()) {
+    switch (r.type) {
+      case JournalRecordType::kMdiskCreate: {
+        assert(minidisks_.size() == r.a && "mDisk ids must be sequential");
+        Minidisk md;
+        md.id = static_cast<MinidiskId>(r.a);
+        md.state = MinidiskState::kLive;
+        md.first_lpo = r.b;
+        md.size_opages = r.c;
+        md.tiredness_level = static_cast<unsigned>(r.d & 0xff);
+        minidisks_.push_back(md);
+        valid_counts_.push_back(0);
+        written_.emplace_back(md.size_opages, false);
+        ++live_minidisks_;
+        live_logical_opages_ += md.size_opages;
+        regenerated_total_ += (r.d >> 8) & 1;
+        break;
+      }
+      case JournalRecordType::kMdiskDrain: {
+        Minidisk& md = minidisks_[r.a];
+        md.state = MinidiskState::kDraining;
+        --live_minidisks_;
+        live_logical_opages_ -= md.size_opages;
+        draining_.push_back(md.id);
+        draining_logical_opages_ += md.size_opages;
+        break;
+      }
+      case JournalRecordType::kMdiskDrop: {
+        Minidisk& md = minidisks_[r.a];
+        if (md.state == MinidiskState::kDraining) {
+          auto it = std::find(draining_.begin(), draining_.end(), md.id);
+          assert(it != draining_.end());
+          draining_.erase(it);
+          draining_logical_opages_ -= md.size_opages;
+        } else if (md.state == MinidiskState::kLive) {
+          --live_minidisks_;
+          live_logical_opages_ -= md.size_opages;
+        }
+        md.state = MinidiskState::kDecommissioned;
+        ++decommissioned_total_;
+        drains_forced_ += r.b != 0 ? 1 : 0;
+        break;
+      }
+      default:
+        break;  // FTL-level records; Ftl::Replay() already consumed them
+    }
+  }
+
+  // Written-LBA bitmaps come from the replayed mapping: an LBA is valid iff
+  // its logical page survived on flash (buffered and rolled-back writes are
+  // gone, exactly matching what a read would now return).
+  for (const Minidisk& md : minidisks_) {
+    if (md.state == MinidiskState::kDecommissioned) {
+      continue;
+    }
+    for (uint64_t lba = 0; lba < md.size_opages; ++lba) {
+      if (ftl_->PhysicalSlot(md.first_lpo + lba) != Ftl::kUnmappedSlot) {
+        written_[md.id].Set(lba);
+        ++valid_counts_[md.id];
+      }
+    }
+  }
 }
 
 }  // namespace salamander

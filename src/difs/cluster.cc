@@ -42,6 +42,9 @@ size_t DifsCluster::ApplyDeviceEvents(uint32_t device_index) {
     return 0;  // unreachable node: its events wait until it rejoins
   }
   DeviceState& state = devices_[device_index];
+  if (state.device->transiently_dark()) {
+    return 0;  // powered off: unreachable, delivers nothing until restart
+  }
   const std::vector<MinidiskEvent> events = state.device->TakeEvents();
   for (const MinidiskEvent& event : events) {
     switch (event.type) {
@@ -411,7 +414,8 @@ bool DifsCluster::RecoverOneReplica(ChunkId chunk_id) {
   chunk.replicas.push_back(ReplicaLocation{.device = target_device,
                                            .mdisk = target_mdisk,
                                            .slot = target_slot,
-                                           .live = true});
+                                           .live = true,
+                                           .generation = chunk.generation});
   ++stats_.replicas_recovered;
   if (chunk.live_replicas() >= config_.replication) {
     // Fully replicated again: draining copies are no longer needed.
@@ -565,8 +569,12 @@ Status DifsCluster::StepWrites(uint64_t opage_writes) {
         continue;
       }
       // Failures are tolerated: the replica's device just decommissioned or
-      // bricked and the event wave below repairs the chunk.
-      (void)WriteReplica(replica, offset);
+      // bricked and the event wave below repairs the chunk. Successful writes
+      // stamp the replica with the new generation — a replica that misses
+      // writes (dark device) keeps its old stamp and is stale on return.
+      if (WriteReplica(replica, offset).ok()) {
+        replica.generation = chunk.generation;
+      }
     }
     ++stats_.foreground_opage_writes;
     ProcessEvents();
@@ -862,6 +870,7 @@ void DifsCluster::MaintenanceTick() {
                              config_.trace_tid);
     }
   }
+  UpdateSuspectWindows();
   ReconcileAll();
   // Reconciliation may have changed the placement landscape (new mDisks
   // registered, drains acked): parked recoveries get another shot.
@@ -887,8 +896,26 @@ uint64_t DifsCluster::ResyncDevice(uint32_t device_index) {
   if (NodeOut(device_index)) {
     return 0;
   }
-  ++stats_.resync_passes;
   DeviceState& state = devices_[device_index];
+  // A transiently dark device with a grace window configured is suspect, not
+  // dead: hold all bookkeeping (no loss declarations, no recovery) until the
+  // window resolves — UpdateSuspectWindows() owns both outcomes. With the
+  // window already expired (down_handled) the normal flow below applies,
+  // which is the legacy treat-as-brick path.
+  if (config_.suspect_grace_ticks > 0 && state.device->transiently_dark() &&
+      !state.down_handled) {
+    if (!state.suspect) {
+      state.suspect = true;
+      state.suspect_ticks_left = config_.suspect_grace_ticks;
+      ++stats_.suspect_windows_started;
+      if (config_.trace != nullptr) {
+        config_.trace->Instant("suspect_window_open", "difs", trace_time_us_,
+                               config_.trace_tid);
+      }
+    }
+    return 0;
+  }
+  ++stats_.resync_passes;
   uint64_t repairs = 0;
   // Pass 1: mDisks the cluster believes in whose device-side state moved on
   // without us hearing (dropped/delayed kDecommissioned or kDraining).
@@ -937,6 +964,150 @@ uint64_t DifsCluster::ResyncDevice(uint32_t device_index) {
   }
   stats_.resync_repairs += repairs;
   return repairs;
+}
+
+void DifsCluster::UpdateSuspectWindows() {
+  for (uint32_t i = 0; i < devices_.size(); ++i) {
+    DeviceState& state = devices_[i];
+    if (!state.device->failed()) {
+      // Serving again: a post-expiry return goes through the normal resync
+      // path (its mDisks re-register as fresh capacity), so the outage is no
+      // longer "handled" state worth remembering.
+      state.down_handled = false;
+    }
+    if (!state.suspect) {
+      continue;
+    }
+    if (!state.device->transiently_dark()) {
+      // Restarted within the window (or upgraded to a brick, in which case
+      // the emitted brick events / resync declare the losses right after).
+      state.suspect = false;
+      state.suspect_ticks_left = 0;
+      if (!state.device->failed()) {
+        ++stats_.suspect_devices_returned;
+        ResolveSuspect(i);
+      }
+      continue;
+    }
+    if (--state.suspect_ticks_left == 0) {
+      // Grace expired: from here the device is treated exactly like a brick.
+      state.suspect = false;
+      state.down_handled = true;
+      ++stats_.suspect_windows_expired;
+      if (config_.trace != nullptr) {
+        config_.trace->Instant("suspect_window_expired", "difs",
+                               trace_time_us_, config_.trace_tid);
+      }
+      std::vector<MinidiskId> known;
+      known.reserve(state.slots.size());
+      for (const auto& [mdisk, slots] : state.slots) {
+        known.push_back(mdisk);
+      }
+      std::sort(known.begin(), known.end());
+      for (MinidiskId mdisk : known) {
+        HandleMdiskLoss(i, mdisk);
+      }
+    }
+  }
+}
+
+void DifsCluster::ResolveSuspect(uint32_t device_index) {
+  DeviceState& state = devices_[device_index];
+  if (config_.trace != nullptr) {
+    config_.trace->Instant("suspect_device_returned", "difs", trace_time_us_,
+                           config_.trace_tid);
+  }
+  // The restart queued re-announcements (kCreated per survivor); drain them
+  // first. HandleMdiskCreated dedupes against mDisks the cluster still
+  // tracks, so this only registers capacity the cluster had forgotten.
+  ApplyDeviceEvents(device_index);
+  // Reconcile every replica the cluster still records on this device against
+  // the replayed device state. A replica is fresh iff its mDisk survived,
+  // its generation matches the chunk's (it missed no foreground writes), and
+  // the device reports no rolled-back page in its LBA range (its last
+  // pre-crash writes were made durable). Anything else is pruned and
+  // re-replicated through the normal recovery path.
+  const SsdDevice& device = *state.device;
+  std::vector<MinidiskId> known;
+  known.reserve(state.slots.size());
+  for (const auto& [mdisk, slots] : state.slots) {
+    known.push_back(mdisk);
+  }
+  std::sort(known.begin(), known.end());
+  for (MinidiskId mdisk : known) {
+    if (mdisk >= device.total_minidisks() ||
+        device.manager().minidisk(mdisk).state ==
+            MinidiskState::kDecommissioned) {
+      HandleMdiskLoss(device_index, mdisk);
+      continue;
+    }
+    auto it = state.slots.find(mdisk);
+    if (it == state.slots.end()) {
+      continue;
+    }
+    for (uint32_t slot = 0; slot < it->second.size(); ++slot) {
+      const int64_t chunk_id = it->second[slot];
+      if (chunk_id < 0) {
+        continue;  // free or unavailable slot: nothing stored
+      }
+      Chunk& chunk = chunks_[static_cast<uint64_t>(chunk_id)];
+      ReplicaLocation* replica = nullptr;
+      for (ReplicaLocation& r : chunk.replicas) {
+        if (r.live && r.device == device_index && r.mdisk == mdisk &&
+            r.slot == slot) {
+          replica = &r;
+          break;
+        }
+      }
+      if (replica == nullptr) {
+        continue;
+      }
+      const bool fresh =
+          replica->generation == chunk.generation &&
+          !device.AnyRolledBackInRange(
+              mdisk, static_cast<uint64_t>(slot) * config_.chunk_opages,
+              config_.chunk_opages);
+      if (fresh) {
+        ++stats_.suspect_replicas_revived;
+        continue;
+      }
+      ++stats_.suspect_replicas_stale;
+      if (!chunk.lost && chunk.readable_replicas() <= 1) {
+        // Last readable copy: stale data beats no data. Keep it; a later
+        // foreground write will freshen it in place.
+        continue;
+      }
+      // Prune: release the slot and re-replicate from a fresh survivor.
+      if (replica->draining) {
+        it->second[slot] = kUnavailableSlot;
+        auto pending_it = state.draining_pending.find(mdisk);
+        if (pending_it != state.draining_pending.end() &&
+            --pending_it->second == 0) {
+          state.draining_pending.erase(pending_it);
+          state.slots.erase(mdisk);
+          if (SendAckDrain(device_index, mdisk)) {
+            ++stats_.drains_acked;
+          }
+        }
+      } else {
+        it->second[slot] = kFreeSlot;
+        ++state.free_slot_count;
+      }
+      replica->live = false;
+      ++stats_.replicas_lost;
+      if (!chunk.lost && chunk.live_replicas() < config_.replication) {
+        pending_recoveries_.push_back(chunk.id);
+      }
+      // The map may have been erased by the drain-ack above.
+      it = state.slots.find(mdisk);
+      if (it == state.slots.end()) {
+        break;
+      }
+    }
+  }
+  // The device's remaining resync discrepancies (e.g. a drain it finished
+  // while dark) go through the normal path now that it serves again.
+  ResyncDevice(device_index);
 }
 
 void DifsCluster::ForceReconcile() {
@@ -1019,6 +1190,20 @@ void DifsCluster::CollectMetrics(MetricRegistry& registry,
       .Add(stats_.scrub_detected);
   registry.GetCounter(prefix + "difs.scrub.passes")
       .Add(stats_.scrub_passes);
+  // Suspect-window instruments only exist when the feature is on, keeping
+  // legacy metric exports byte-identical.
+  if (config_.suspect_grace_ticks > 0) {
+    registry.GetCounter(prefix + "difs.suspect.windows_started")
+        .Add(stats_.suspect_windows_started);
+    registry.GetCounter(prefix + "difs.suspect.windows_expired")
+        .Add(stats_.suspect_windows_expired);
+    registry.GetCounter(prefix + "difs.suspect.devices_returned")
+        .Add(stats_.suspect_devices_returned);
+    registry.GetCounter(prefix + "difs.suspect.replicas_revived")
+        .Add(stats_.suspect_replicas_revived);
+    registry.GetCounter(prefix + "difs.suspect.replicas_stale")
+        .Add(stats_.suspect_replicas_stale);
+  }
   registry.GetGauge(prefix + "difs.max_wave_recovery_opages")
       .Add(static_cast<double>(stats_.max_wave_recovery_opages));
   registry.GetGauge(prefix + "difs.alive_devices")

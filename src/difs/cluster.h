@@ -70,6 +70,17 @@ struct DifsConfig {
   // instance from the per-device injectors; nullptr disables.
   std::shared_ptr<FaultInjector> faults;
 
+  // ---- Suspect windows (crash-restart) -------------------------------------
+
+  // When > 0, a device that goes dark from a transient power loss is held
+  // "suspect" for this many maintenance ticks instead of having its replicas
+  // declared lost immediately. If it restarts within the window, surviving
+  // replicas are reconciled in place (generation stamps + the device's
+  // rolled-back set decide freshness) and no recovery traffic is spent; on
+  // expiry the device is treated exactly like a brick. 0 (default) keeps the
+  // legacy declare-immediately behavior and touches no code path.
+  uint64_t suspect_grace_ticks = 0;
+
   // ---- Telemetry hooks -----------------------------------------------------
 
   // Optional trace recorder (not owned; must outlive the cluster). The
@@ -130,6 +141,13 @@ struct DifsStats {
   uint64_t scrub_detected = 0;         // corruptions first seen by scrub
   uint64_t scrub_passes = 0;           // full scrub sweeps completed
 
+  // ---- Suspect windows (crash-restart) ------------------------------------
+  uint64_t suspect_windows_started = 0;   // devices that went dark on grace
+  uint64_t suspect_windows_expired = 0;   // windows that ended in loss
+  uint64_t suspect_devices_returned = 0;  // devices back within the window
+  uint64_t suspect_replicas_revived = 0;  // replicas reconciled as fresh
+  uint64_t suspect_replicas_stale = 0;    // replicas pruned as stale
+
   uint64_t recovery_bytes() const { return recovery_opage_writes * 4096; }
 };
 
@@ -142,6 +160,10 @@ struct ReplicaLocation {
   // The mDisk is draining (grace-period decommissioning): still readable,
   // no longer counted toward the replication target.
   bool draining = false;
+  // Chunk generation last successfully written to this replica. A replica on
+  // a device that went dark misses foreground writes; after the device
+  // returns, generation != chunk.generation marks the replica stale.
+  uint64_t generation = 0;
 };
 
 struct Chunk {
@@ -286,6 +308,14 @@ class DifsCluster {
     // Last value of the device FTL's silent_corrupt_fpage_reads counter the
     // cluster has reconciled into integrity_detected.
     uint64_t observed_silent_corrupt = 0;
+    // ---- Suspect window (crash-restart) ----
+    // Device is dark but within its grace window: bookkeeping untouched.
+    bool suspect = false;
+    uint64_t suspect_ticks_left = 0;
+    // The darkness has been fully handled (window expired -> losses
+    // declared); prevents re-opening a window for the same outage. Cleared
+    // when the device serves again.
+    bool down_handled = false;
   };
 
   // Returns the number of events processed.
@@ -332,6 +362,14 @@ class DifsCluster {
   // repairs discrepancies (missed kCreated/kDraining/kDecommissioned, lost
   // AckDrain). Returns the number of repairs; also counts them in stats.
   uint64_t ResyncDevice(uint32_t device_index);
+  // Ticks open suspect windows: resolves devices that returned, declares
+  // losses for windows that expired. Runs first in every maintenance tick.
+  void UpdateSuspectWindows();
+  // A suspect device restarted within its window: drain its re-announcement
+  // events, then reconcile every replica the cluster still records there —
+  // fresh (generation matches and no LBA rolled back) replicas stay, stale
+  // ones are pruned and re-replicated.
+  void ResolveSuspect(uint32_t device_index);
   // ResyncDevice over every reachable device.
   void ReconcileAll();
   // Outage lottery / rejoin countdown + ReconcileAll + parked-recovery

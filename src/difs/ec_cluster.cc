@@ -42,6 +42,9 @@ size_t EcCluster::ApplyDeviceEvents(uint32_t device_index) {
     return 0;  // unreachable node: its events wait until it rejoins
   }
   DeviceState& state = devices_[device_index];
+  if (state.device->transiently_dark()) {
+    return 0;  // powered off: unreachable, delivers nothing until restart
+  }
   const std::vector<MinidiskEvent> events = state.device->TakeEvents();
   for (const MinidiskEvent& event : events) {
     switch (event.type) {
@@ -58,6 +61,13 @@ size_t EcCluster::ApplyDeviceEvents(uint32_t device_index) {
         HandleMdiskDraining(device_index, event.mdisk);
         break;
     }
+  }
+  if (state.device->dropped_events() != state.observed_dropped_events) {
+    // Queue overflow dropped lifecycle events (a brick under a full queue
+    // drops kDecommissioned): resync against ground truth immediately so no
+    // stripe is left pointing at capacity that no longer exists.
+    state.observed_dropped_events = state.device->dropped_events();
+    ResyncDevice(device_index);
   }
   return events.size();
 }
@@ -299,7 +309,8 @@ bool EcCluster::RebuildOneCell(StripeId stripe_id) {
                          .device = target_device,
                          .mdisk = target_mdisk,
                          .slot = target_slot,
-                         .live = true};
+                         .live = true,
+                         .generation = stripe.generation};
     const uint64_t base =
         static_cast<uint64_t>(target_slot) * config_.cell_opages;
     for (uint64_t offset = 0; offset < config_.cell_opages; ++offset) {
@@ -448,16 +459,31 @@ Status EcCluster::StepWrites(uint64_t logical_writes) {
     const uint32_t data_cell =
         static_cast<uint32_t>(rng_.UniformU64(config_.data_cells));
     const uint64_t offset = rng_.UniformU64(config_.cell_opages);
-    // Re-stamp the stripe's end-to-end checksum over the new contents.
+    // Re-stamp the stripe's end-to-end checksum over the new contents. Each
+    // targeted cell that takes the write records the new generation; one
+    // that misses it (node outage, dark device) is marked stale so a later
+    // suspect-window reconciliation knows its bytes lag the stripe.
     ++stripe.generation;
     stripe.checksum = codec_.Stamp(stripe.id, stripe.generation);
     if (stripe.cells[data_cell].live) {
-      (void)WriteCell(stripe.cells[data_cell], offset);
+      CellLocation& cell = stripe.cells[data_cell];
+      if (WriteCell(cell, offset).ok()) {
+        cell.generation = stripe.generation;
+        cell.stale = false;
+      } else {
+        cell.stale = true;
+      }
     }
     for (uint32_t p = config_.data_cells;
          p < config_.data_cells + config_.parity_cells; ++p) {
       if (stripe.cells[p].live) {
-        (void)WriteCell(stripe.cells[p], offset);
+        CellLocation& cell = stripe.cells[p];
+        if (WriteCell(cell, offset).ok()) {
+          cell.generation = stripe.generation;
+          cell.stale = false;
+        } else {
+          cell.stale = true;
+        }
       }
     }
     ++stats_.foreground_logical_writes;
@@ -600,6 +626,7 @@ void EcCluster::MaintenanceTick() {
     outage_ticks_left_ = faults->OutageTicks();
     ++stats_.node_outages;
   }
+  UpdateSuspectWindows();
   ReconcileAll();
   // Reconciliation may have changed the placement landscape (new mDisks
   // registered, drains acked): parked rebuilds get another shot.
@@ -614,51 +641,184 @@ void EcCluster::MaintenanceTick() {
 
 void EcCluster::ReconcileAll() {
   for (uint32_t d = 0; d < devices_.size(); ++d) {
-    if (NodeOut(d)) {
-      continue;
+    ResyncDevice(d);
+  }
+}
+
+void EcCluster::ResyncDevice(uint32_t device_index) {
+  if (NodeOut(device_index)) {
+    return;
+  }
+  DeviceState& state = devices_[device_index];
+  // A transiently dark device with a grace window configured is suspect, not
+  // dead: hold all bookkeeping (no loss declarations, no rebuilds) until the
+  // window resolves — UpdateSuspectWindows() owns both outcomes. Once the
+  // window has expired (down_handled) the normal flow below applies, which
+  // is the legacy treat-as-brick path.
+  if (config_.suspect_grace_ticks > 0 && state.device->transiently_dark() &&
+      !state.down_handled) {
+    if (!state.suspect) {
+      state.suspect = true;
+      state.suspect_ticks_left = config_.suspect_grace_ticks;
+      ++stats_.suspect_windows_started;
     }
-    DeviceState& state = devices_[d];
-    const SsdDevice& device = *state.device;
-    // Pass 1: mDisks the cluster believes in whose device-side state moved
-    // on without us hearing (dropped/delayed kDecommissioned or kDraining).
-    // Sorted snapshot: handlers mutate state.slots, and unordered_map
-    // iteration order must never influence simulation behavior.
-    std::vector<MinidiskId> known;
-    known.reserve(state.slots.size());
-    for (const auto& [mdisk, slots] : state.slots) {
-      known.push_back(mdisk);
+    return;
+  }
+  const SsdDevice& device = *state.device;
+  // Pass 1: mDisks the cluster believes in whose device-side state moved
+  // on without us hearing (dropped/delayed kDecommissioned or kDraining).
+  // Sorted snapshot: handlers mutate state.slots, and unordered_map
+  // iteration order must never influence simulation behavior.
+  std::vector<MinidiskId> known;
+  known.reserve(state.slots.size());
+  for (const auto& [mdisk, slots] : state.slots) {
+    known.push_back(mdisk);
+  }
+  std::sort(known.begin(), known.end());
+  for (MinidiskId mdisk : known) {
+    if (device.failed() || mdisk >= device.total_minidisks() ||
+        device.manager().minidisk(mdisk).state ==
+            MinidiskState::kDecommissioned) {
+      HandleMdiskLoss(device_index, mdisk);
+    } else if (device.manager().minidisk(mdisk).state ==
+               MinidiskState::kDraining) {
+      // The kDraining event was dropped: retire and ack it now.
+      HandleMdiskDraining(device_index, mdisk);
     }
-    std::sort(known.begin(), known.end());
-    for (MinidiskId mdisk : known) {
-      if (device.failed() || mdisk >= device.total_minidisks() ||
-          device.manager().minidisk(mdisk).state ==
-              MinidiskState::kDecommissioned) {
-        HandleMdiskLoss(d, mdisk);
-      } else if (device.manager().minidisk(mdisk).state ==
-                 MinidiskState::kDraining) {
-        // The kDraining event was dropped: retire and ack it now.
-        HandleMdiskDraining(d, mdisk);
+  }
+  // Pass 2: device-side mDisks the cluster has no record of — a missed
+  // kCreated (new capacity), or a drain the cluster already retired whose
+  // AckDrain was lost in flight.
+  if (!device.failed()) {
+    for (MinidiskId mdisk = 0; mdisk < device.total_minidisks(); ++mdisk) {
+      if (state.slots.count(mdisk) != 0) {
+        continue;
       }
-    }
-    // Pass 2: device-side mDisks the cluster has no record of — a missed
-    // kCreated (new capacity), or a drain the cluster already retired whose
-    // AckDrain was lost in flight.
-    if (!device.failed()) {
-      for (MinidiskId mdisk = 0; mdisk < device.total_minidisks(); ++mdisk) {
-        if (state.slots.count(mdisk) != 0) {
-          continue;
-        }
-        const MinidiskState mstate = device.manager().minidisk(mdisk).state;
-        if (mstate == MinidiskState::kLive) {
-          HandleMdiskCreated(d, mdisk);
-        } else if (mstate == MinidiskState::kDraining) {
-          if (SendAckDrain(d, mdisk)) {
-            ++stats_.drains_acked;
-          }
+      const MinidiskState mstate = device.manager().minidisk(mdisk).state;
+      if (mstate == MinidiskState::kLive) {
+        HandleMdiskCreated(device_index, mdisk);
+      } else if (mstate == MinidiskState::kDraining) {
+        if (SendAckDrain(device_index, mdisk)) {
+          ++stats_.drains_acked;
         }
       }
     }
   }
+}
+
+void EcCluster::UpdateSuspectWindows() {
+  for (uint32_t d = 0; d < devices_.size(); ++d) {
+    DeviceState& state = devices_[d];
+    if (!state.device->failed()) {
+      // Serving again: a post-expiry return goes through the normal resync
+      // path (its mDisks re-register as fresh capacity), so the outage is
+      // no longer "handled" state worth remembering.
+      state.down_handled = false;
+    }
+    if (!state.suspect) {
+      continue;
+    }
+    if (!state.device->transiently_dark()) {
+      // Restarted within the window (or upgraded to a brick, in which case
+      // the emitted brick events / resync declare the losses right after).
+      state.suspect = false;
+      state.suspect_ticks_left = 0;
+      if (!state.device->failed()) {
+        ++stats_.suspect_devices_returned;
+        ResolveSuspect(d);
+      }
+      continue;
+    }
+    if (--state.suspect_ticks_left == 0) {
+      // Grace expired: from here the device is treated exactly like a brick.
+      state.suspect = false;
+      state.down_handled = true;
+      ++stats_.suspect_windows_expired;
+      std::vector<MinidiskId> known;
+      known.reserve(state.slots.size());
+      for (const auto& [mdisk, slots] : state.slots) {
+        known.push_back(mdisk);
+      }
+      std::sort(known.begin(), known.end());
+      for (MinidiskId mdisk : known) {
+        HandleMdiskLoss(d, mdisk);
+      }
+    }
+  }
+}
+
+void EcCluster::ResolveSuspect(uint32_t device_index) {
+  DeviceState& state = devices_[device_index];
+  // The restart queued re-announcements (kCreated per survivor); drain them
+  // first. HandleMdiskCreated dedupes against mDisks the cluster still
+  // tracks, so this only registers capacity the cluster had forgotten.
+  ApplyDeviceEvents(device_index);
+  // Reconcile every cell the cluster still records on this device against
+  // the replayed device state. A cell is fresh iff its mDisk survived, it
+  // missed no foreground write while dark (not `stale`), and the device
+  // reports no rolled-back page in its LBA range (its last pre-crash writes
+  // were made durable). Stale cells are retired and rebuilt from parity —
+  // unless the stripe sits at its reconstruction floor, where stale bytes
+  // beat losing the stripe.
+  const SsdDevice& device = *state.device;
+  std::vector<MinidiskId> known;
+  known.reserve(state.slots.size());
+  for (const auto& [mdisk, slots] : state.slots) {
+    known.push_back(mdisk);
+  }
+  std::sort(known.begin(), known.end());
+  for (MinidiskId mdisk : known) {
+    if (mdisk >= device.total_minidisks() ||
+        device.manager().minidisk(mdisk).state ==
+            MinidiskState::kDecommissioned) {
+      HandleMdiskLoss(device_index, mdisk);
+      continue;
+    }
+    auto it = state.slots.find(mdisk);
+    if (it == state.slots.end()) {
+      continue;
+    }
+    for (uint32_t slot = 0; slot < it->second.size(); ++slot) {
+      const int64_t ref = it->second[slot];
+      if (ref == kFreeSlot) {
+        continue;
+      }
+      Stripe& stripe = stripes_[RefStripe(ref)];
+      CellLocation& cell = stripe.cells[RefCell(ref)];
+      if (!cell.live || cell.device != device_index || cell.mdisk != mdisk ||
+          cell.slot != slot) {
+        continue;
+      }
+      const bool fresh =
+          !cell.stale &&
+          !device.AnyRolledBackInRange(
+              mdisk, static_cast<uint64_t>(slot) * config_.cell_opages,
+              config_.cell_opages);
+      if (fresh) {
+        ++stats_.suspect_cells_revived;
+        continue;
+      }
+      ++stats_.suspect_cells_stale;
+      if (!stripe.lost && stripe.live_cells() <= config_.data_cells) {
+        // Reconstruction floor: dropping this cell would lose the stripe.
+        // Keep the stale bytes live; a later foreground write (or the
+        // stripe's rebuild once capacity appears) freshens it in place.
+        continue;
+      }
+      // Prune: release the slot and rebuild the cell from parity.
+      it->second[slot] = kFreeSlot;
+      ++state.free_slot_count;
+      cell.live = false;
+      ++stats_.cells_lost;
+      if (!stripe.lost &&
+          stripe.live_cells() < config_.data_cells + config_.parity_cells) {
+        pending_rebuilds_.push_back(stripe.id);
+      }
+    }
+  }
+  // The device's remaining resync discrepancies (e.g. a drain it finished
+  // while dark) go through the normal path now that it serves again.
+  ResyncDevice(device_index);
 }
 
 void EcCluster::ForceReconcile() {
@@ -755,6 +915,18 @@ void EcCluster::CollectMetrics(MetricRegistry& registry,
       .Add(stats_.integrity_marked_bad);
   registry.GetCounter(prefix + "ec.integrity.retained_cells")
       .Add(stats_.integrity_retained_cells);
+  if (config_.suspect_grace_ticks > 0) {
+    registry.GetCounter(prefix + "ec.suspect.windows_started")
+        .Add(stats_.suspect_windows_started);
+    registry.GetCounter(prefix + "ec.suspect.windows_expired")
+        .Add(stats_.suspect_windows_expired);
+    registry.GetCounter(prefix + "ec.suspect.devices_returned")
+        .Add(stats_.suspect_devices_returned);
+    registry.GetCounter(prefix + "ec.suspect.cells_revived")
+        .Add(stats_.suspect_cells_revived);
+    registry.GetCounter(prefix + "ec.suspect.cells_stale")
+        .Add(stats_.suspect_cells_stale);
+  }
   registry.GetGauge(prefix + "ec.alive_devices")
       .Add(static_cast<double>(alive_devices()));
   registry.GetGauge(prefix + "ec.total_stripes")

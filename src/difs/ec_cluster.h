@@ -55,6 +55,15 @@ struct EcConfig {
   // 0 = automatic (256 when any injector is attached, dormant otherwise, so
   // the fault-free RNG schedule is untouched).
   uint64_t maintenance_interval_ops = 0;
+  // Grace window for transiently dark devices (power loss), in maintenance
+  // ticks. While a device is suspect the cluster neither declares its cells
+  // lost nor queues rebuilds; if it restarts within the window its cells are
+  // reconciled (fresh ones revived, stale ones rebuilt), otherwise the
+  // window expires into the ordinary loss path. 0 — the default — disables
+  // the window entirely: a dark device is treated like a brick immediately,
+  // which preserves the legacy behavior bit for bit. Same contract as
+  // DifsConfig::suspect_grace_ticks.
+  uint32_t suspect_grace_ticks = 0;
 };
 
 struct EcStats {
@@ -81,6 +90,13 @@ struct EcStats {
   uint64_t integrity_marked_bad = 0;   // cells retired for corruption
   uint64_t integrity_retained_cells = 0;  // corrupt cell kept: stripe at k
 
+  // ---- Suspect windows (transient power loss; same contract as DifsStats) -
+  uint64_t suspect_windows_started = 0;
+  uint64_t suspect_windows_expired = 0;   // grace ran out: treated as brick
+  uint64_t suspect_devices_returned = 0;  // restarted within the window
+  uint64_t suspect_cells_revived = 0;     // survived the power loss intact
+  uint64_t suspect_cells_stale = 0;       // missed/lost writes: rebuilt
+
   uint64_t rebuild_read_bytes() const { return rebuild_opage_reads * 4096; }
   uint64_t rebuild_write_bytes() const { return rebuild_opage_writes * 4096; }
 };
@@ -93,6 +109,14 @@ struct CellLocation {
   MinidiskId mdisk = 0;
   uint32_t slot = 0;
   bool live = false;
+  // Stripe generation of the last write that durably landed on this cell
+  // (the PR-4 stamp). Cells the update stream never targeted keep an older
+  // generation and are still fresh — see EcCluster suspect reconciliation.
+  uint64_t generation = 0;
+  // True when the most recent write targeting this cell did not land (node
+  // outage skip, dark device): the on-flash bytes lag the stripe's
+  // checksum generation.
+  bool stale = false;
 };
 
 struct Stripe {
@@ -170,6 +194,14 @@ class EcCluster {
     uint64_t free_slot_count = 0;
     // Last FTL silent-corruption count reconciled into integrity_detected.
     uint64_t observed_silent_corrupt = 0;
+    // Last SsdDevice::dropped_events() value reconciled; a delta means the
+    // event queue overflowed (e.g. a brick under a full queue) and the slot
+    // map must resync against ground truth (see ApplyDeviceEvents).
+    uint64_t observed_dropped_events = 0;
+    // ---- Suspect window (transient power loss) ----------------------------
+    bool suspect = false;            // inside a grace window right now
+    uint32_t suspect_ticks_left = 0;
+    bool down_handled = false;       // window expired: losses declared
   };
 
   static int64_t PackRef(StripeId stripe, uint32_t cell) {
@@ -208,6 +240,17 @@ class EcCluster {
   // decommissions, missed kCreated capacity, and kDraining mDisks whose ack
   // was lost (re-sent here). Skips out-node devices.
   void ReconcileAll();
+  // Per-device body of ReconcileAll; also the suspect-window interception
+  // point — a transiently dark device with a grace window configured opens
+  // (or keeps) its window here instead of being treated as failed.
+  void ResyncDevice(uint32_t device_index);
+  // Ticks suspect windows: devices that restarted are reconciled via
+  // ResolveSuspect, expired windows fall back to the ordinary loss path.
+  void UpdateSuspectWindows();
+  // A suspect device returned within its window: drain its re-announcements,
+  // revive cells that survived the power loss intact (no missed writes, no
+  // rolled-back LBAs) and retire-and-rebuild the stale ones.
+  void ResolveSuspect(uint32_t device_index);
   // Folds the device FTL's silent-corruption counter into integrity_detected;
   // returns the last operation's corrupt fpage reads (see DifsCluster).
   uint64_t ObserveCorruption(uint32_t device_index);

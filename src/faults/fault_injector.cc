@@ -24,6 +24,10 @@ std::string_view FaultSiteName(FaultSite site) {
       return "node_outage";
     case FaultSite::kAckDrainLost:
       return "ack_drain_lost";
+    case FaultSite::kPowerLoss:
+      return "power_loss";
+    case FaultSite::kTornJournalWrite:
+      return "torn_journal_write";
     case FaultSite::kSiteCount:
       break;
   }
@@ -115,6 +119,21 @@ uint32_t FaultInjector::OutageTicks() {
 
 bool FaultInjector::LosesAckDrain() {
   return Draw(FaultSite::kAckDrainLost, config_.ack_drain_lost);
+}
+
+bool FaultInjector::LosesPower() {
+  return Draw(FaultSite::kPowerLoss, config_.power_loss);
+}
+
+uint64_t FaultInjector::TornJournalRecords(uint64_t unsynced_count) {
+  if (unsynced_count == 0) {
+    return 0;
+  }
+  if (!Draw(FaultSite::kTornJournalWrite, config_.torn_journal_write)) {
+    return 0;
+  }
+  return stream(FaultSite::kTornJournalWrite)
+      .UniformInRange(1, unsynced_count);
 }
 
 }  // namespace salamander

@@ -47,6 +47,8 @@ enum class FaultSite : uint8_t {
   kCrashDuringDrain,       // device: whole-device crash mid-drain
   kNodeOutage,             // diFS: node unreachable, rejoins later
   kAckDrainLost,           // diFS: AckDrain never reaches the device
+  kPowerLoss,              // device: transient power loss (restartable)
+  kTornJournalWrite,       // ftl: unsynced journal tail torn at power loss
   kSiteCount,
 };
 
@@ -76,6 +78,12 @@ struct FaultConfig {
   // An outage lasts Uniform[1, node_outage_ticks_max] maintenance ticks.
   uint32_t node_outage_ticks_max = 4;
   double ack_drain_lost = 0.0;  // per AckDrain send
+
+  // ---- Crash-restart (consulted by the fleet sim / SsdDevice) ------------
+  double power_loss = 0.0;  // per device-day: transient power loss
+  // On power loss: probability that the unsynced journal tail is torn; when
+  // it hits, Uniform[1, unsynced] trailing records are discarded.
+  double torn_journal_write = 0.0;
 
   uint64_t seed = 0xc4a05f0011ec7edULL;
 };
@@ -131,6 +139,11 @@ class FaultInjector {
   uint32_t OutageNode(uint32_t node_count);
   uint32_t OutageTicks();
   bool LosesAckDrain();
+  bool LosesPower();
+  // 0 = journal tail intact; N > 0 = the N most recent unsynced records are
+  // torn (never more than `unsynced_count`). Zero draws when the site is
+  // dormant or there is nothing unsynced to tear.
+  uint64_t TornJournalRecords(uint64_t unsynced_count);
 
  private:
   static constexpr size_t kSites = static_cast<size_t>(FaultSite::kSiteCount);

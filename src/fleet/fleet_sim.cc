@@ -29,9 +29,17 @@ FleetSim::FleetSim(const FleetConfig& config) : config_(config) {
          config_.kind == SsdKind::kRegenS)) {
       ssd_config.minidisk.msize_opages = config_.msize_opages;
     }
-    if (config_.inject_device_faults) {
-      ssd_config.faults =
-          std::make_shared<FaultInjector>(config_.device_faults, i);
+    if (config_.inject_device_faults ||
+        config_.power_loss_per_device_day > 0.0) {
+      // Power loss rides the per-device injector so its draws follow the
+      // fork-in-id-order discipline; with only power loss requested the
+      // other sites keep probability 0 and therefore draw nothing.
+      FaultConfig faults = config_.device_faults;
+      if (config_.power_loss_per_device_day > 0.0) {
+        faults.power_loss = config_.power_loss_per_device_day;
+      }
+      slot.faults = std::make_shared<FaultInjector>(faults, i);
+      ssd_config.faults = slot.faults;
     }
     slot.device = std::make_unique<SsdDevice>(config_.kind, ssd_config);
     slot.driver =
@@ -75,9 +83,28 @@ FleetSnapshot FleetSim::Sample(uint32_t day) const {
   return snapshot;
 }
 
-void FleetSim::StepDevice(DeviceSlot& slot, double daily_failure,
-                          uint64_t scrub_budget, size_t shard,
+void FleetSim::StepDevice(DeviceSlot& slot, uint32_t day,
+                          double daily_failure, uint64_t scrub_budget,
+                          uint32_t restart_days, size_t shard,
                           ShardedCounter* steps, ShardedCounter* opages) {
+  if (slot.dark) {
+    // Dark from a transient power loss: powered off, so no I/O and no RNG
+    // draws — the device's streams stay frozen until the restart day, which
+    // keeps outage schedules bit-identical at any `threads`.
+    if (day < slot.dark_until_day) {
+      return;
+    }
+    slot.dark = false;
+    if (slot.device->Restart().ok()) {
+      ++slot.restarts;
+    } else {
+      // Journal replay failed (or the outage was upgraded to a brick while
+      // dark): the device never comes back.
+      ++slot.restart_failures;
+      slot.alive = false;
+      return;
+    }
+  }
   if (!slot.alive || slot.device->failed()) {
     slot.alive = false;
     return;
@@ -86,6 +113,15 @@ void FleetSim::StepDevice(DeviceSlot& slot, double daily_failure,
     // Random infant/controller failure, independent of wear.
     slot.random_failure = true;
     slot.alive = false;
+    return;
+  }
+  if (slot.faults != nullptr && slot.faults->LosesPower()) {
+    // Rack power pulled: the device goes dark silently for `restart_days`;
+    // the rest of this day (writes, scrub) is lost to the outage.
+    slot.device->Crash(SsdDevice::CrashKind::kPowerLoss);
+    slot.dark = true;
+    slot.dark_until_day = day + restart_days;
+    ++slot.power_losses;
     return;
   }
   AgingResult result = slot.driver->WriteOPages(slot.writes_per_day);
@@ -197,8 +233,10 @@ std::vector<FleetSnapshot> FleetSim::Run() {
     }
     pool.ParallelFor(slots_.size(), [&](size_t begin, size_t end) {
       for (size_t i = begin; i < end; ++i) {
-        StepDevice(slots_[i], daily_failure, config_.scrub_opages_per_day, i,
-                   day_steps_.get(), day_opages_.get());
+        StepDevice(slots_[i], day, daily_failure,
+                   config_.scrub_opages_per_day,
+                   config_.power_loss_restart_days, i, day_steps_.get(),
+                   day_opages_.get());
       }
     });
     if (telemetry_attached()) {
@@ -284,6 +322,19 @@ void FleetSim::RegisterSamplerProbes() {
     });
     sampler.AddProbe("fleet.scrub_repairs_total", [this] {
       return static_cast<double>(scrub_repairs_total());
+    });
+  }
+  // Power-loss probes only exist when power loss is injected, for the same
+  // byte-identity reason as the scrub probes above.
+  if (config_.power_loss_per_device_day > 0.0) {
+    sampler.AddProbe("fleet.dark_devices", [this] {
+      return static_cast<double>(dark_devices());
+    });
+    sampler.AddProbe("fleet.power_losses_total", [this] {
+      return static_cast<double>(power_losses_total());
+    });
+    sampler.AddProbe("fleet.restarts_total", [this] {
+      return static_cast<double>(restarts_total());
     });
   }
 }
@@ -393,6 +444,17 @@ void FleetSim::CollectMetrics(MetricRegistry& registry,
     registry.GetCounter(prefix + "fleet.scrub.passes")
         .Add(scrub_passes_total());
   }
+  // Power-loss counters follow the same rule: absent unless injected.
+  if (config_.power_loss_per_device_day > 0.0) {
+    registry.GetCounter(prefix + "fleet.power_loss.events")
+        .Add(power_losses_total());
+    registry.GetCounter(prefix + "fleet.power_loss.restarts")
+        .Add(restarts_total());
+    registry.GetCounter(prefix + "fleet.power_loss.restart_failures")
+        .Add(restart_failures_total());
+    registry.GetGauge(prefix + "fleet.power_loss.dark_devices")
+        .Add(static_cast<double>(dark_devices()));
+  }
   for (const DeviceSlot& slot : slots_) {
     slot.device->CollectMetrics(registry, prefix);
   }
@@ -428,6 +490,38 @@ uint64_t FleetSim::scrub_passes_total() const {
     total += slot.scrub_passes;
   }
   return total;
+}
+
+uint64_t FleetSim::power_losses_total() const {
+  uint64_t total = 0;
+  for (const DeviceSlot& slot : slots_) {
+    total += slot.power_losses;
+  }
+  return total;
+}
+
+uint64_t FleetSim::restarts_total() const {
+  uint64_t total = 0;
+  for (const DeviceSlot& slot : slots_) {
+    total += slot.restarts;
+  }
+  return total;
+}
+
+uint64_t FleetSim::restart_failures_total() const {
+  uint64_t total = 0;
+  for (const DeviceSlot& slot : slots_) {
+    total += slot.restart_failures;
+  }
+  return total;
+}
+
+uint32_t FleetSim::dark_devices() const {
+  uint32_t dark = 0;
+  for (const DeviceSlot& slot : slots_) {
+    dark += slot.dark ? 1 : 0;
+  }
+  return dark;
 }
 
 uint64_t FleetSim::read_corrupt_injected_total() const {

@@ -75,6 +75,18 @@ struct FleetConfig {
   bool inject_device_faults = false;
   FaultConfig device_faults;
 
+  // ---- Transient power loss (crash-restart recovery) -----------------------
+  // Daily probability that a functioning device loses power and goes dark
+  // (SsdDevice::Crash(kPowerLoss)) — distinct from `afr`, which models
+  // permanent failures. The draw comes from the device's own injector
+  // (FaultSite::kPowerLoss, forked in device-ID order), so outage schedules
+  // are bit-identical at any `threads`. 0 — the default — attaches nothing
+  // and draws nothing: every pre-existing output stays byte-identical.
+  double power_loss_per_device_day = 0.0;
+  // Simulated days a power-lost device stays dark before Restart() is
+  // attempted (rack power restoration latency, at day granularity).
+  uint32_t power_loss_restart_days = 1;
+
   // ---- Telemetry hooks (not owned; nullptr = zero-cost detached) -----------
   // All recording happens on the owning thread at day barriers (per-slot
   // sharded counters aside, which workers write race-free), so attached
@@ -133,6 +145,14 @@ class FleetSim {
   // Total silent corruptions injected across all device injectors.
   uint64_t read_corrupt_injected_total() const;
 
+  // Power-loss totals (sums over devices). Valid after Run(); all zero when
+  // power loss is not injected.
+  uint64_t power_losses_total() const;
+  uint64_t restarts_total() const;
+  uint64_t restart_failures_total() const;
+  // Devices currently dark from a transient power loss.
+  uint32_t dark_devices() const;
+
   // Scrapes fleet-level instruments into "<prefix>fleet.*" and every
   // device's "<prefix>ssd.*"/"<prefix>ftl.*"/"<prefix>flash.*" subtree
   // (additive, so N devices aggregate into fleet totals — see
@@ -150,9 +170,20 @@ class FleetSim {
     // consumes another device's randomness — the property that makes
     // parallel runs bit-identical to serial ones.
     Rng rng;
+    // The device's injector, when one is attached (fault injection or power
+    // loss); same object SsdConfig::faults holds. Kept here because the
+    // fleet draws LosesPower() from it, which mutates the site stream.
+    std::shared_ptr<FaultInjector> faults;
     uint64_t writes_per_day = 0;
     bool random_failure = false;  // killed by the AFR draw
     bool alive = true;
+
+    // ---- Transient power loss (used only when power loss is injected) ------
+    bool dark = false;            // powered off, waiting out the outage
+    uint32_t dark_until_day = 0;  // first day Restart() is attempted
+    uint64_t power_losses = 0;
+    uint64_t restarts = 0;
+    uint64_t restart_failures = 0;  // journal replay failed: device gone
 
     // ---- Background scrub state (used only when scrub is enabled) ----------
     // Forked 4th per device in device-ID order, so enabling scrub never
@@ -169,10 +200,13 @@ class FleetSim {
   // Advances one device by one day. Touches only `slot` state plus shard
   // `shard` of the counters (each slot has its own shard); safe to call
   // concurrently for distinct slots. The counters may be null (telemetry
-  // detached).
-  static void StepDevice(DeviceSlot& slot, double daily_failure,
-                         uint64_t scrub_budget, size_t shard,
-                         ShardedCounter* steps, ShardedCounter* opages);
+  // detached). `restart_days` is the power-loss outage length; a dark day
+  // performs zero RNG draws so outage schedules stay bit-identical across
+  // `threads`.
+  static void StepDevice(DeviceSlot& slot, uint32_t day, double daily_failure,
+                         uint64_t scrub_budget, uint32_t restart_days,
+                         size_t shard, ShardedCounter* steps,
+                         ShardedCounter* opages);
   // One day of background scrub on one device: walks `budget` oPages from
   // the slot's cursor, folds the FTL's silent-corruption counter into the
   // slot's scrub totals, and repairs flagged oPages by rewriting them.

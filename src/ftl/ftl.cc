@@ -12,6 +12,17 @@ namespace {
 // single trigger cannot reach the watermark (e.g. near-full device).
 constexpr uint32_t kMaxGcRoundsPerTrigger = 16;
 
+// Journal capacity: a full compacted snapshot (one kMap per oPage, one
+// kPageState per fPage, three records per mDisk — bounded by oPages) plus
+// slack so compaction is not retriggered immediately.
+uint64_t JournalCapacity(const FtlConfig& config) {
+  if (config.journal_capacity_records > 0) {
+    return config.journal_capacity_records;
+  }
+  return config.geometry.total_opages() + config.geometry.total_fpages() +
+         config.geometry.total_blocks() + 4096;
+}
+
 }  // namespace
 
 Ftl::Ftl(const FtlConfig& config)
@@ -19,7 +30,8 @@ Ftl::Ftl(const FtlConfig& config)
       chip_(std::make_unique<FlashChip>(config.geometry, config.wear,
                                         config.latency, config.seed)),
       ladder_(ComputeTirednessLadder(config.ecc_geometry)),
-      rng_(config.seed ^ 0x9e3779b97f4a7c15ULL) {
+      rng_(config.seed ^ 0x9e3779b97f4a7c15ULL),
+      journal_(JournalCapacity(config)) {
   assert(config_.geometry.Valid());
   assert(config_.geometry.opages_per_fpage ==
              config_.ecc_geometry.opages_per_fpage &&
@@ -52,6 +64,7 @@ Ftl::Ftl(const FtlConfig& config)
 uint64_t Ftl::ExtendLogicalSpace(uint64_t opages) {
   const uint64_t first = mapping_.size();
   mapping_.resize(mapping_.size() + opages, kUnmapped);
+  JournalAppend(JournalRecord{JournalRecordType::kExtend, opages, 0, 0, 0});
   return first;
 }
 
@@ -170,6 +183,9 @@ Status Ftl::Trim(uint64_t lpo) {
   if (lpo >= mapping_.size()) {
     return OutOfRangeError("Trim: lpo " + std::to_string(lpo));
   }
+  if (!rolled_back_.empty()) {
+    rolled_back_.erase(lpo);  // the trim supersedes the lost write
+  }
   const uint64_t entry = mapping_[lpo];
   if (entry == kUnmapped) {
     return OkStatus();
@@ -183,6 +199,7 @@ Status Ftl::Trim(uint64_t lpo) {
   }
   mapping_[lpo] = kUnmapped;
   --mapped_opages_;
+  JournalAppend(JournalRecord{JournalRecordType::kTrim, lpo, 0, 0, 0});
   return OkStatus();
 }
 
@@ -194,6 +211,9 @@ Status Ftl::Flush() {
           FlushToTarget(stream, /*allow_partial=*/true, latency));
     }
   }
+  // Host flush is the durability barrier: everything journaled so far
+  // (including the kMap records the drain above produced) becomes durable.
+  journal_.Sync();
   return OkStatus();
 }
 
@@ -202,6 +222,9 @@ Status Ftl::Flush() {
 // ---------------------------------------------------------------------------
 
 Status Ftl::BufferWrite(uint64_t lpo, Stream stream, SimDuration& latency) {
+  if (stream == Stream::kHost && !rolled_back_.empty()) {
+    rolled_back_.erase(lpo);  // fresh host data supersedes the lost write
+  }
   const uint64_t entry = mapping_[lpo];
   if (IsBuffered(entry)) {
     // Overwrite of a still-buffered page: coalesces in place (wherever it
@@ -323,6 +346,11 @@ Status Ftl::FlushToTarget(Stream stream, bool allow_partial,
       mapping_[batch[k]] = slot;
       reverse_[slot] = batch[k];
       ++block_valid_[block];
+    }
+    for (size_t k = 0; k < batch.size(); ++k) {
+      JournalAppend(JournalRecord{JournalRecordType::kMap, batch[k],
+                                  config_.geometry.FirstSlotOfFPage(target) + k,
+                                  0, 0});
     }
     f.buffer_valid -= batch.size();
     f.next_page = static_cast<uint32_t>(
@@ -493,6 +521,11 @@ Status Ftl::EraseAndRecycle(BlockIndex block, SimDuration& latency) {
     }
     block_state_[block] = BlockState::kRetired;
     ++retired_blocks_;
+    // Retirement is rare and irreversible; make it durable immediately (the
+    // page retirements above journaled their own kPageState records).
+    JournalAppend(JournalRecord{JournalRecordType::kBlockRetire,
+                                static_cast<uint64_t>(block), 0, 0, 0});
+    journal_.Sync();
     return OkStatus();
   }
   latency += *erase_time;
@@ -596,6 +629,7 @@ void Ftl::RetireInServicePage(FPageIndex fpage, unsigned old_level,
     ++dead_fpages_;
   }
   transitions_.push_back(PageTransition{fpage, old_level, new_level});
+  JournalPageState(fpage);
 }
 
 void Ftl::AdvanceLimboPage(FPageIndex fpage, unsigned old_level,
@@ -614,6 +648,7 @@ void Ftl::AdvanceLimboPage(FPageIndex fpage, unsigned old_level,
     ++dead_fpages_;
   }
   transitions_.push_back(PageTransition{fpage, old_level, new_level});
+  JournalPageState(fpage);
 }
 
 // ---------------------------------------------------------------------------
@@ -650,6 +685,7 @@ uint64_t Ftl::ClaimLimboCapacity(uint64_t opages) {
       usable_opages_ += capacity;
       claimed += capacity;
       --limbo_counts_[level];
+      JournalPageState(fpage);
       ReactivateIfParked(config_.geometry.BlockOfFPage(fpage));
     }
   }
@@ -791,6 +827,328 @@ std::vector<PageTransition> Ftl::TakeTransitions() {
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Crash-restart recovery
+// ---------------------------------------------------------------------------
+
+void Ftl::JournalAppend(const JournalRecord& record) {
+  if (journal_.AtCapacity()) {
+    CompactJournal();
+  }
+  journal_.Append(record);
+  if (journal_.unsynced() >= config_.journal_max_unsynced) {
+    journal_.Sync();
+  }
+}
+
+void Ftl::JournalPageState(FPageIndex fpage) {
+  JournalAppend(JournalRecord{
+      JournalRecordType::kPageState, fpage,
+      static_cast<uint64_t>(page_state_[fpage]), page_level_[fpage], 0});
+}
+
+void Ftl::CompactJournal() {
+  std::vector<JournalRecord> out;
+  // mDisk lifecycle history, compacted to at most two records per mDisk ever
+  // created: the create, plus its terminal drain/drop if any. Creates appear
+  // in id order because ids are assigned sequentially.
+  struct MdiskHistory {
+    JournalRecord create;
+    bool draining = false;
+    bool dropped = false;
+    JournalRecord drop;
+  };
+  std::vector<MdiskHistory> history;
+  for (const JournalRecord& r : journal_.records()) {
+    switch (r.type) {
+      case JournalRecordType::kMdiskCreate:
+        assert(history.size() == r.a && "mDisk ids must be sequential");
+        history.push_back(MdiskHistory{r, false, false, JournalRecord{}});
+        break;
+      case JournalRecordType::kMdiskDrain:
+        history[r.a].draining = true;
+        break;
+      case JournalRecordType::kMdiskDrop:
+        history[r.a].dropped = true;
+        history[r.a].drop = r;
+        break;
+      default:
+        break;
+    }
+  }
+  out.push_back(JournalRecord{JournalRecordType::kExtend, mapping_.size(), 0,
+                              0, 0});
+  for (const MdiskHistory& h : history) {
+    out.push_back(h.create);
+    if (h.dropped) {
+      out.push_back(h.drop);
+    } else if (h.draining) {
+      out.push_back(JournalRecord{JournalRecordType::kMdiskDrain, h.create.a,
+                                  0, 0, 0});
+    }
+  }
+  // L2P snapshot. Buffered pages have no durable version by definition and
+  // are omitted — they roll back if power is lost before their flush.
+  for (uint64_t lpo = 0; lpo < mapping_.size(); ++lpo) {
+    const uint64_t entry = mapping_[lpo];
+    if (entry != kUnmapped && !IsBuffered(entry)) {
+      out.push_back(JournalRecord{JournalRecordType::kMap, lpo, entry, 0, 0});
+    }
+  }
+  // Non-pristine page states and permanently retired blocks.
+  for (FPageIndex fpage = 0; fpage < config_.geometry.total_fpages();
+       ++fpage) {
+    if (page_state_[fpage] != PageState::kInService ||
+        page_level_[fpage] != 0) {
+      out.push_back(JournalRecord{
+          JournalRecordType::kPageState, fpage,
+          static_cast<uint64_t>(page_state_[fpage]), page_level_[fpage], 0});
+    }
+  }
+  for (BlockIndex block = 0; block < config_.geometry.total_blocks();
+       ++block) {
+    if (block_state_[block] == BlockState::kRetired) {
+      out.push_back(JournalRecord{JournalRecordType::kBlockRetire,
+                                  static_cast<uint64_t>(block), 0, 0, 0});
+    }
+  }
+  journal_.ReplaceWith(std::move(out));
+}
+
+void Ftl::SimulatePowerLoss(uint64_t torn_records) {
+  ++power_losses_;
+  // The volatile write buffers are lost: every logical page whose newest
+  // version was still buffered rolls back — to an older durable version if
+  // one survives on flash, else to unmapped. (GC-relocated pages whose
+  // victim block was already erased are the "else" case.)
+  for (size_t s = 0; s < kStreams; ++s) {
+    const uint64_t sentinel = BufferSentinel(static_cast<Stream>(s));
+    for (uint64_t lpo : frontiers_[s].buffer) {
+      if (lpo < mapping_.size() && mapping_[lpo] == sentinel) {
+        rolled_back_.insert(lpo);
+      }
+    }
+  }
+  // Torn journal tail: the affected pages' newest durable records are gone,
+  // so they roll back as well (the physical programs may have happened, but
+  // no surviving metadata acknowledges them).
+  for (const JournalRecord& r : journal_.TearTail(torn_records)) {
+    if (r.type == JournalRecordType::kMap ||
+        r.type == JournalRecordType::kTrim) {
+      rolled_back_.insert(r.a);
+    }
+  }
+  // The FTL is now inconsistent by design; Replay() must run before any I/O.
+}
+
+Status Ftl::Replay() {
+  ++journal_replays_;
+  const FlashGeometry& geometry = config_.geometry;
+  const uint64_t fpages = geometry.total_fpages();
+  const uint64_t blocks = geometry.total_blocks();
+
+  // Reset to the pristine post-construction state; the journal plus the
+  // surviving physical chip state (PECs, programmed bitmap) rebuild
+  // everything below.
+  mapping_.clear();
+  reverse_.assign(geometry.total_opages(), kSlotFree);
+  mapped_opages_ = 0;
+  page_level_.assign(fpages, 0);
+  page_state_.assign(fpages, PageState::kInService);
+
+  // Pass 1: apply records in append order. A kMap landing on an occupied
+  // slot evicts the stale occupant — its invalidation record died with the
+  // write buffer or the torn tail — and the evictee rolls back.
+  for (const JournalRecord& r : journal_.records()) {
+    switch (r.type) {
+      case JournalRecordType::kExtend:
+        mapping_.resize(mapping_.size() + r.a, kUnmapped);
+        break;
+      case JournalRecordType::kMap: {
+        const uint64_t lpo = r.a;
+        const uint64_t slot = r.b;
+        if (lpo >= mapping_.size() || slot >= reverse_.size()) {
+          return InternalError("Replay: kMap record out of range");
+        }
+        const uint64_t old = mapping_[lpo];
+        if (old != kUnmapped) {
+          reverse_[old] = kSlotFree;
+          --mapped_opages_;
+        }
+        const uint64_t evicted = reverse_[slot];
+        if (evicted != kSlotFree && evicted != lpo) {
+          mapping_[evicted] = kUnmapped;
+          --mapped_opages_;
+          rolled_back_.insert(evicted);
+        }
+        mapping_[lpo] = slot;
+        reverse_[slot] = lpo;
+        ++mapped_opages_;
+        break;
+      }
+      case JournalRecordType::kTrim: {
+        if (r.a >= mapping_.size()) {
+          return InternalError("Replay: kTrim record out of range");
+        }
+        const uint64_t old = mapping_[r.a];
+        if (old != kUnmapped) {
+          reverse_[old] = kSlotFree;
+          mapping_[r.a] = kUnmapped;
+          --mapped_opages_;
+        }
+        break;
+      }
+      case JournalRecordType::kPageState: {
+        if (r.a >= fpages || r.b > 2) {
+          return InternalError("Replay: bad kPageState record");
+        }
+        page_state_[r.a] = static_cast<PageState>(r.b);
+        page_level_[r.a] = static_cast<uint8_t>(
+            page_state_[r.a] == PageState::kDead ? kDeadLevel : r.c);
+        break;
+      }
+      case JournalRecordType::kBlockRetire:
+      case JournalRecordType::kMdiskCreate:
+      case JournalRecordType::kMdiskDrain:
+      case JournalRecordType::kMdiskDrop:
+        // Block states are re-derived below; mDisk records belong to the
+        // minidisk layer's replay.
+        break;
+    }
+  }
+
+  // Pass 2: discard mappings whose backing slot no longer holds data — the
+  // block was erased (and possibly reused) after the mapping record, and
+  // the superseding record died with the buffer or the torn tail.
+  for (uint64_t lpo = 0; lpo < mapping_.size(); ++lpo) {
+    const uint64_t entry = mapping_[lpo];
+    if (entry == kUnmapped) {
+      continue;
+    }
+    const FPageIndex fpage = geometry.FPageOfSlot(entry);
+    if (!chip_->IsProgrammed(fpage) ||
+        page_state_[fpage] != PageState::kInService) {
+      mapping_[lpo] = kUnmapped;
+      reverse_[entry] = kSlotFree;
+      --mapped_opages_;
+      rolled_back_.insert(lpo);
+    }
+  }
+
+  // Pass 3: rebuild every derived structure from the replayed ground truth.
+  limbo_counts_.assign(geometry.opages_per_fpage, 0);
+  limbo_pages_.assign(geometry.opages_per_fpage, {});
+  usable_opages_ = 0;
+  dead_fpages_ = 0;
+  for (FPageIndex fpage = 0; fpage < fpages; ++fpage) {
+    switch (page_state_[fpage]) {
+      case PageState::kInService:
+        usable_opages_ += geometry.opages_per_fpage - page_level_[fpage];
+        break;
+      case PageState::kLimbo:
+        ++limbo_counts_[page_level_[fpage]];
+        limbo_pages_[page_level_[fpage]].push_back(fpage);
+        break;
+      case PageState::kDead:
+        ++dead_fpages_;
+        break;
+    }
+  }
+  block_valid_.assign(blocks, 0);
+  for (uint64_t slot = 0; slot < reverse_.size(); ++slot) {
+    if (reverse_[slot] != kSlotFree) {
+      ++block_valid_[geometry.BlockOfFPage(geometry.FPageOfSlot(slot))];
+    }
+  }
+  // Block states from page states and the programmed bitmap:
+  //  * all pages dead -> retired (fully worn, or an erase-status failure);
+  //  * any programmed page -> sealed kInUse: NAND forbids resuming a
+  //    partially-written block's program order, so ex-active blocks join the
+  //    GC candidates instead of a write frontier;
+  //  * otherwise (erased) -> kFree if any page can store data, else kParked.
+  block_state_.assign(blocks, BlockState::kFree);
+  free_pool_ = decltype(free_pool_)();
+  in_use_blocks_.clear();
+  in_use_listed_.assign(blocks, 0);
+  free_blocks_ = 0;
+  retired_blocks_ = 0;
+  for (BlockIndex block = 0; block < blocks; ++block) {
+    const FPageIndex first = geometry.FirstFPageOfBlock(block);
+    bool any_programmed = false;
+    bool any_in_service = false;
+    bool all_dead = true;
+    for (uint32_t i = 0; i < geometry.fpages_per_block; ++i) {
+      const FPageIndex fpage = first + i;
+      any_programmed |= chip_->IsProgrammed(fpage);
+      any_in_service |= page_state_[fpage] == PageState::kInService;
+      all_dead &= page_state_[fpage] == PageState::kDead;
+    }
+    if (all_dead) {
+      block_state_[block] = BlockState::kRetired;
+      ++retired_blocks_;
+    } else if (any_programmed) {
+      block_state_[block] = BlockState::kInUse;
+      in_use_blocks_.push_back(block);
+      in_use_listed_[block] = 1;
+    } else if (any_in_service) {
+      free_pool_.emplace(chip_->BlockPec(block), block);
+      ++free_blocks_;
+    } else {
+      block_state_[block] = BlockState::kParked;
+    }
+  }
+  // Write frontiers restart empty (the buffers died with the power); rng_
+  // deliberately keeps its process-lifetime state — it only feeds read-path
+  // cache lotteries and GC victim sampling, never durable metadata.
+  for (size_t s = 0; s < kStreams; ++s) {
+    frontiers_[s] = Frontier{};
+  }
+  transitions_.clear();
+  in_gc_ = false;
+  return CheckInvariants();
+}
+
+uint64_t Ftl::StateDigest() const {
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
+  const auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(mapping_.size());
+  for (uint64_t lpo = 0; lpo < mapping_.size(); ++lpo) {
+    mix(mapping_[lpo]);
+    mix(rolled_back_.count(lpo));
+  }
+  for (FPageIndex fpage = 0; fpage < config_.geometry.total_fpages();
+       ++fpage) {
+    mix(static_cast<uint64_t>(page_level_[fpage]) |
+        (static_cast<uint64_t>(page_state_[fpage]) << 8) |
+        (static_cast<uint64_t>(chip_->IsProgrammed(fpage)) << 16));
+  }
+  for (BlockIndex block = 0; block < config_.geometry.total_blocks();
+       ++block) {
+    mix(static_cast<uint64_t>(block_state_[block]) |
+        (static_cast<uint64_t>(block_valid_[block]) << 8) |
+        (static_cast<uint64_t>(chip_->BlockPec(block)) << 40));
+  }
+  mix(mapped_opages_);
+  mix(usable_opages_);
+  mix(free_blocks_);
+  mix(dead_fpages_);
+  mix(retired_blocks_);
+  for (size_t s = 0; s < kStreams; ++s) {
+    mix(frontiers_[s].buffer_valid);
+    mix(frontiers_[s].has_active_block
+            ? static_cast<uint64_t>(frontiers_[s].active_block) + 1
+            : 0);
+  }
+  mix(journal_.size());
+  mix(journal_.synced_count());
+  return h;
+}
+
 void Ftl::CollectMetrics(MetricRegistry& registry,
                          const std::string& prefix) const {
   registry.GetCounter(prefix + "ftl.host_writes").Add(stats_.host_writes);
@@ -830,6 +1188,25 @@ void Ftl::CollectMetrics(MetricRegistry& registry,
       .Add(static_cast<double>(free_blocks_));
   registry.GetGauge(prefix + "ftl.reclaimable_limbo_opages")
       .Add(static_cast<double>(reclaimable_limbo_opages()));
+  // Journal instruments only materialize once a power loss or replay has
+  // actually happened, keeping metric exports from crash-free configurations
+  // byte-identical to pre-journal builds.
+  if (power_losses_ + journal_replays_ > 0) {
+    registry.GetCounter(prefix + "ftl.journal.appends")
+        .Add(journal_.appends());
+    registry.GetCounter(prefix + "ftl.journal.syncs").Add(journal_.syncs());
+    registry.GetCounter(prefix + "ftl.journal.compactions")
+        .Add(journal_.compactions());
+    registry.GetCounter(prefix + "ftl.journal.torn_records")
+        .Add(journal_.torn_records());
+    registry.GetCounter(prefix + "ftl.journal.replays").Add(journal_replays_);
+    registry.GetCounter(prefix + "ftl.journal.power_losses")
+        .Add(power_losses_);
+    registry.GetGauge(prefix + "ftl.journal.rolled_back_opages")
+        .Add(static_cast<double>(rolled_back_.size()));
+    registry.GetGauge(prefix + "ftl.journal.records")
+        .Add(static_cast<double>(journal_.size()));
+  }
   chip_->CollectMetrics(registry, prefix);
 }
 

@@ -19,6 +19,7 @@
 #include <deque>
 #include <memory>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "common/rng.h"
@@ -28,6 +29,7 @@
 #include "flash/flash_chip.h"
 #include "flash/geometry.h"
 #include "flash/wear_model.h"
+#include "ftl/journal.h"
 #include "telemetry/metrics.h"
 
 namespace salamander {
@@ -94,6 +96,14 @@ struct FtlConfig {
 
   // Serving a read from the NV buffer.
   SimDuration buffer_read_latency = 2 * kMicrosecond;
+
+  // ---- Metadata journal (crash-restart recovery) -------------------------
+  // Journal region capacity in records; 0 = auto (sized to hold a full state
+  // snapshot plus slack). The FTL compacts when the region fills.
+  uint64_t journal_capacity_records = 0;
+  // Auto-sync the journal once this many records are unsynced; the unsynced
+  // tail is the bounded torn-write window at power loss.
+  uint64_t journal_max_unsynced = 32;
 
   uint64_t seed = 1;
 };
@@ -266,6 +276,53 @@ class Ftl {
   // violation found.
   Status CheckInvariants() const;
 
+  // ---- Crash-restart recovery ---------------------------------------------
+
+  // Appends a record through the FTL's sync/compaction policy. Used by the
+  // minidisk layer for mDisk lifecycle records; everything else is journaled
+  // internally at the mutation sites.
+  void AppendJournalRecord(const JournalRecord& record) {
+    JournalAppend(record);
+  }
+  // Explicit durability barrier (also taken on every host Flush()).
+  void SyncJournal() { journal_.Sync(); }
+  const FtlJournal& journal() const { return journal_; }
+
+  // Models a power loss: the volatile write buffers are dropped (their
+  // logical pages roll back to their last durable version, or to unmapped),
+  // and `torn_records` unsynced journal-tail records are discarded (never
+  // crossing the sync barrier). Deterministic — performs no Rng draws; the
+  // caller decides the torn count (e.g. FaultInjector::TornJournalRecords).
+  // The FTL must not serve I/O until Replay() rebuilds it.
+  void SimulatePowerLoss(uint64_t torn_records);
+
+  // Rebuilds the full FTL state from the journal and the surviving physical
+  // flash state (PECs, programmed bitmap): mapping and reverse map, page
+  // levels/states and their tallies, block states, free pool and GC
+  // candidate list. Write frontiers restart empty; partially-programmed
+  // ex-active blocks are sealed (NAND forbids resuming their program order).
+  // Mappings whose backing slot was destroyed are discarded and flagged
+  // rolled back. Returns CheckInvariants() on the rebuilt state.
+  Status Replay();
+
+  // True if the last acknowledged write (or trim) of `lpo` was lost to a
+  // power loss — its content reverted to an older durable version or to
+  // unmapped. Cleared by the next write or trim of the page. The diFS uses
+  // this as the device-side staleness signal when reconciling a returned
+  // device (the simulator stores no user bytes to checksum).
+  bool LpoRolledBack(uint64_t lpo) const {
+    return rolled_back_.count(lpo) != 0;
+  }
+  uint64_t rolled_back_count() const { return rolled_back_.size(); }
+  uint64_t journal_replays() const { return journal_replays_; }
+  uint64_t power_losses() const { return power_losses_; }
+
+  // Order-independent FNV-1a digest over the complete logical state
+  // (mapping, page levels/states, block states, tallies, rolled-back set,
+  // journal position). Two FTLs with equal digests behave identically;
+  // replay determinism tests compare digests.
+  uint64_t StateDigest() const;
+
   unsigned PageLevel(FPageIndex fpage) const { return page_level_[fpage]; }
   bool PageInService(FPageIndex fpage) const {
     return page_state_[fpage] == PageState::kInService;
@@ -348,6 +405,13 @@ class Ftl {
   BlockIndex PickGcVictim();
   void ReactivateIfParked(BlockIndex block);
 
+  // --- journal ---
+  // Append with the auto-sync and at-capacity compaction policy applied.
+  void JournalAppend(const JournalRecord& record);
+  void JournalPageState(FPageIndex fpage);
+  // Rewrites the journal as a minimal description of current state.
+  void CompactJournal();
+
   FtlConfig config_;
   std::unique_ptr<FlashChip> chip_;
   std::vector<TirednessLevelEcc> ladder_;
@@ -398,6 +462,13 @@ class Ftl {
 
   std::vector<PageTransition> transitions_;
   bool in_gc_ = false;
+
+  // --- crash-restart recovery ---
+  FtlJournal journal_;
+  // Logical pages whose acknowledged content was lost at a power loss.
+  std::unordered_set<uint64_t> rolled_back_;
+  uint64_t journal_replays_ = 0;
+  uint64_t power_losses_ = 0;
 };
 
 }  // namespace salamander

@@ -172,12 +172,92 @@ void SsdDevice::CheckBrick() {
   EmitBrickEvents();
 }
 
-void SsdDevice::Crash() {
-  if (failed_) {
+void SsdDevice::Crash(CrashKind kind) {
+  if (kind == CrashKind::kPowerLoss) {
+    if (failed_) {
+      return;  // already dark or bricked; nothing further to lose
+    }
+    failed_ = true;
+    transient_ = true;
+    // Silent darkness: no events — peers only observe unreachability. The
+    // volatile write buffers die with the power; the unsynced journal tail
+    // may additionally tear when an injector is attached.
+    const uint64_t torn =
+        config_.faults != nullptr
+            ? config_.faults->TornJournalRecords(ftl_->journal().unsynced())
+            : 0;
+    ftl_->SimulatePowerLoss(torn);
     return;
   }
+  if (failed_ && !transient_) {
+    return;
+  }
+  // Brick — possibly upgrading a transient outage to a permanent one, in
+  // which case the whole-device-failure events fire now.
   failed_ = true;
+  transient_ = false;
   EmitBrickEvents();
+}
+
+Status SsdDevice::Restart() {
+  if (!failed_) {
+    return FailedPreconditionError("Restart: device is not crashed");
+  }
+  if (!transient_) {
+    return FailedPreconditionError("Restart: device permanently bricked");
+  }
+  Status replay = ftl_->Replay();
+  if (!replay.ok()) {
+    return replay;  // stays dark; the caller may treat it as bricked
+  }
+  manager_->Replay();
+  // Anything queued before the outage is stale relative to the replayed
+  // state; the re-announcements below are the authoritative resync. The
+  // overflow counter survives (it is monotone by contract).
+  pending_events_.clear();
+  delayed_events_.clear();
+  brick_events_emitted_ = false;
+  for (MinidiskId id = 0; id < manager_->total_minidisks(); ++id) {
+    const MinidiskState state = manager_->minidisk(id).state;
+    if (state == MinidiskState::kDecommissioned) {
+      continue;
+    }
+    // kCreated re-announces existence; a still-draining mDisk immediately
+    // follows with kDraining so live-set trackers (which treat kCreated as
+    // add and kDraining as remove) converge to the true live set.
+    if (pending_events_.size() >= config_.minidisk.max_pending_events) {
+      ++dropped_events_;
+      continue;
+    }
+    pending_events_.push_back(
+        MinidiskEvent{MinidiskEventType::kCreated, id});
+    if (state == MinidiskState::kDraining) {
+      if (pending_events_.size() >= config_.minidisk.max_pending_events) {
+        ++dropped_events_;
+        continue;
+      }
+      pending_events_.push_back(
+          MinidiskEvent{MinidiskEventType::kDraining, id});
+    }
+  }
+  failed_ = false;
+  transient_ = false;
+  ++restarts_;
+  return OkStatus();
+}
+
+bool SsdDevice::AnyRolledBackInRange(MinidiskId mdisk, uint64_t lba,
+                                     uint64_t count) const {
+  if (ftl_->rolled_back_count() == 0 || mdisk >= manager_->total_minidisks()) {
+    return false;
+  }
+  const uint64_t first = manager_->minidisk(mdisk).first_lpo;
+  for (uint64_t i = 0; i < count; ++i) {
+    if (ftl_->LpoRolledBack(first + lba + i)) {
+      return true;
+    }
+  }
+  return false;
 }
 
 void SsdDevice::EmitBrickEvents() {
@@ -271,6 +351,13 @@ void SsdDevice::CollectMetrics(MetricRegistry& registry,
   registry.GetCounter(prefix + "ssd.drains_forced")
       .Add(manager_->drains_forced());
   registry.GetCounter(prefix + "ssd.dropped_events").Add(dropped_events());
+  // Crash-restart instruments only materialize once a power loss happened,
+  // keeping crash-free metric exports byte-identical to older builds.
+  if (ftl_->power_losses() > 0 || restarts_ > 0) {
+    registry.GetCounter(prefix + "ssd.restarts").Add(restarts_);
+    registry.GetGauge(prefix + "ssd.transiently_dark")
+        .Add(transiently_dark() ? 1.0 : 0.0);
+  }
   ftl_->CollectMetrics(registry, prefix);
   if (config_.faults != nullptr) {
     CollectFaultMetrics(registry, config_.faults->stats(), prefix);

@@ -83,15 +83,48 @@ class SsdDevice {
   // simultaneously", §4.3).
   std::vector<MinidiskEvent> TakeEvents();
 
-  // Immediate whole-device failure (chaos harness / fault drills): bricks
-  // the device and queues kDecommissioned for every non-decommissioned
-  // mDisk, exactly as a wear-driven brick would.
-  void Crash();
+  // How a crash ends: for good, or until someone plugs the rack back in.
+  enum class CrashKind : uint8_t {
+    kPermanent,  // brick: all mDisks fail at once, never comes back
+    kPowerLoss,  // transient: goes dark silently, restartable via Restart()
+  };
+
+  // Immediate whole-device failure (chaos harness / fault drills).
+  //
+  // kPermanent bricks the device and queues kDecommissioned for every
+  // non-decommissioned mDisk, exactly as a wear-driven brick would. Calling
+  // it on a transiently dark device upgrades the outage to a brick (the
+  // events fire then). Idempotent once permanent.
+  //
+  // kPowerLoss models pulled power: the device goes dark *silently* (no
+  // events — peers only observe unreachability), the FTL's volatile write
+  // buffers are lost, and — when a fault injector is attached — the unsynced
+  // journal tail may tear (FaultSite::kTornJournalWrite). A no-op on an
+  // already-failed device.
+  void Crash(CrashKind kind = CrashKind::kPermanent);
+
+  // Brings a transiently dark device back: replays the FTL journal, rebuilds
+  // the mDisk table, and queues re-announcement events (kCreated per
+  // surviving live mDisk; kCreated + kDraining per still-draining one) so a
+  // host can resync from announced state. kFailedPrecondition if the device
+  // is not crashed or is permanently bricked. If journal replay itself fails
+  // the error is returned and the device stays dark.
+  Status Restart();
 
   // ---- State ---------------------------------------------------------------
 
   // True once the device can no longer serve I/O (bricked or zero capacity).
   bool failed() const { return failed_; }
+  // True while dark from a transient power loss (restartable); a bricked
+  // device is failed() but not transiently dark.
+  bool transiently_dark() const { return failed_ && transient_; }
+  uint64_t restarts() const { return restarts_; }
+
+  // True if any LBA in [lba, lba + count) of `mdisk` lost its last
+  // acknowledged write to a power loss — the device-side staleness signal a
+  // diFS uses when reconciling a returned device (see Ftl::LpoRolledBack).
+  bool AnyRolledBackInRange(MinidiskId mdisk, uint64_t lba,
+                            uint64_t count) const;
   uint64_t live_capacity_bytes() const;
   uint32_t live_minidisks() const { return manager_->live_minidisks(); }
   uint32_t total_minidisks() const { return manager_->total_minidisks(); }
@@ -140,6 +173,8 @@ class SsdDevice {
   std::unique_ptr<MinidiskManager> manager_;
   uint64_t initial_capacity_bytes_ = 0;
   bool failed_ = false;
+  bool transient_ = false;  // dark from power loss, not bricked
+  uint64_t restarts_ = 0;
   bool brick_events_emitted_ = false;
   std::vector<MinidiskEvent> pending_events_;
   // Events held back by injected delivery delay; each matures after

@@ -5,6 +5,13 @@ namespace salamander {
 void CollectFaultMetrics(MetricRegistry& registry, const FaultStats& stats,
                          const std::string& prefix) {
   for (int site = 0; site < FaultStats::kSites; ++site) {
+    // Sites appended after the PR-3 telemetry freeze only materialize once
+    // they actually fire, so metric exports from older configurations stay
+    // byte-identical.
+    if (site >= static_cast<int>(FaultSite::kPowerLoss) &&
+        stats.injected[site] == 0) {
+      continue;
+    }
     registry
         .GetCounter(prefix + "faults.injected." +
                     std::string(FaultSiteName(static_cast<FaultSite>(site))))

@@ -1,0 +1,104 @@
+// Transient power loss in the fleet engine: the per-device outage lottery
+// keeps the parallel run bit-identical to the serial one, the ledger
+// (losses == restarts + failures + still-dark) always balances, and a
+// zero probability performs zero draws — output stays byte-identical to a
+// build without the crash-restart path.
+//
+// Test names carry the FleetPowerLoss prefix so the TSan CI job can select
+// them alongside the other fleet determinism suites.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fleet/fleet_sim.h"
+#include "telemetry/metrics.h"
+#include "tests/testing/device_builder.h"
+
+namespace salamander {
+namespace {
+
+FleetConfig TestFleet(unsigned threads, double power_loss_per_device_day,
+                      uint32_t restart_days = 2) {
+  FleetConfig config;
+  config.kind = SsdKind::kRegenS;
+  config.devices = 6;
+  config.geometry = testing_util::TinyGeometry();
+  config.ecc = FPageEccGeometry{};
+  config.wear = testing_util::FastWear(config.ecc, /*nominal_pec=*/20);
+  config.msize_opages = 64;
+  config.dwpd = 2.0;
+  config.dwpd_sigma = 0.3;
+  config.afr = 0.05;
+  config.days = 120;
+  config.sample_every_days = 5;
+  config.seed = 424242;
+  config.threads = threads;
+  config.power_loss_per_device_day = power_loss_per_device_day;
+  config.power_loss_restart_days = restart_days;
+  return config;
+}
+
+TEST(FleetPowerLossTest, ParallelMatchesSerial) {
+  FleetSim serial(TestFleet(1, /*power_loss_per_device_day=*/0.05));
+  const std::vector<FleetSnapshot> serial_snaps = serial.Run();
+  FleetSim parallel(TestFleet(4, 0.05));
+  const std::vector<FleetSnapshot> parallel_snaps = parallel.Run();
+
+  ASSERT_FALSE(serial_snaps.empty());
+  EXPECT_EQ(serial_snaps, parallel_snaps);
+  EXPECT_EQ(serial.power_losses_total(), parallel.power_losses_total());
+  EXPECT_EQ(serial.restarts_total(), parallel.restarts_total());
+  EXPECT_EQ(serial.restart_failures_total(),
+            parallel.restart_failures_total());
+  // The outage path actually ran: otherwise this test proves nothing.
+  EXPECT_GT(serial.power_losses_total(), 0u);
+  EXPECT_GT(serial.restarts_total(), 0u);
+}
+
+TEST(FleetPowerLossTest, OutageLedgerBalances) {
+  FleetSim sim(TestFleet(3, /*power_loss_per_device_day=*/0.08));
+  (void)sim.Run();
+  ASSERT_GT(sim.power_losses_total(), 0u);
+  // Every power loss resolves exactly one way: a successful restart, a
+  // replay failure (device gone), or the device is still waiting out the
+  // outage when the simulation ends.
+  EXPECT_EQ(sim.power_losses_total(),
+            sim.restarts_total() + sim.restart_failures_total() +
+                sim.dark_devices());
+}
+
+TEST(FleetPowerLossTest, RepeatedRunsAreDeterministic) {
+  FleetSim first(TestFleet(4, /*power_loss_per_device_day=*/0.05));
+  const std::vector<FleetSnapshot> first_snaps = first.Run();
+  FleetSim second(TestFleet(4, 0.05));
+  const std::vector<FleetSnapshot> second_snaps = second.Run();
+  EXPECT_EQ(first_snaps, second_snaps);
+  EXPECT_EQ(first.power_losses_total(), second.power_losses_total());
+}
+
+// power_loss_per_device_day = 0 must perform zero Rng draws: the snapshots
+// AND the metrics registry stay byte-identical whatever the restart knob
+// says, which is what keeps pre-existing seeds reproducible after the
+// crash-restart path landed.
+TEST(FleetPowerLossTest, ZeroProbabilityIsInert) {
+  MetricRegistry metrics_a;
+  FleetConfig config_a = TestFleet(4, /*power_loss_per_device_day=*/0.0,
+                                   /*restart_days=*/1);
+  config_a.metrics = &metrics_a;
+  FleetSim sim_a(config_a);
+  const std::vector<FleetSnapshot> snaps_a = sim_a.Run();
+
+  MetricRegistry metrics_b;
+  FleetConfig config_b = TestFleet(4, 0.0, /*restart_days=*/30);
+  config_b.metrics = &metrics_b;
+  FleetSim sim_b(config_b);
+  const std::vector<FleetSnapshot> snaps_b = sim_b.Run();
+
+  EXPECT_EQ(snaps_a, snaps_b);
+  EXPECT_EQ(metrics_a.ToJson(), metrics_b.ToJson());
+  EXPECT_EQ(sim_a.power_losses_total(), 0u);
+  EXPECT_EQ(sim_a.dark_devices(), 0u);
+}
+
+}  // namespace
+}  // namespace salamander

@@ -1,0 +1,177 @@
+// Device-level crash/restart contracts: power loss is silent and idempotent,
+// a brick upgrade fires the decommission fan-out exactly once, Restart() is
+// fenced to transiently dark devices, restart re-announces the surviving
+// mDisk set (kCreated, plus kDraining for still-draining ones), and the
+// brick fan-out honors the bounded event queue via dropped_events().
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "ssd/ssd_device.h"
+#include "tests/testing/device_builder.h"
+
+namespace salamander {
+namespace {
+
+using testing_util::TestSsdConfig;
+using testing_util::TinyGeometry;
+
+// High-endurance ShrinkS device: wear never interferes with these tests.
+SsdDevice MakeDevice(uint64_t max_pending_events = 0) {
+  SsdConfig config = TestSsdConfig(SsdKind::kShrinkS, TinyGeometry(),
+                                   /*nominal_pec=*/1000000);
+  if (max_pending_events != 0) {
+    config.minidisk.max_pending_events = max_pending_events;
+  }
+  return SsdDevice(SsdKind::kShrinkS, config);
+}
+
+TEST(CrashRestartTest, PowerLossIsSilentAndIdempotent) {
+  SsdDevice device = MakeDevice();
+  (void)device.TakeEvents();  // drain the initial kCreated announcements
+  ASSERT_TRUE(device.Write(0, 0).ok());
+
+  device.Crash(SsdDevice::CrashKind::kPowerLoss);
+  EXPECT_TRUE(device.failed());
+  EXPECT_TRUE(device.transiently_dark());
+  // Silent darkness: peers observe unreachability, never an event.
+  EXPECT_TRUE(device.TakeEvents().empty());
+  EXPECT_EQ(device.Write(0, 1).status().code(), StatusCode::kDeviceFailed);
+  EXPECT_EQ(device.Read(0, 0).status().code(), StatusCode::kDeviceFailed);
+
+  // A second power loss on a dark device is a no-op — the FTL must not
+  // double-count the outage or tear the journal again.
+  device.Crash(SsdDevice::CrashKind::kPowerLoss);
+  EXPECT_TRUE(device.transiently_dark());
+  EXPECT_EQ(device.ftl().power_losses(), 1u);
+}
+
+TEST(CrashRestartTest, PowerLossUpgradesToBrickExactlyOnce) {
+  SsdDevice device = MakeDevice();
+  (void)device.TakeEvents();
+  const uint32_t live = device.live_minidisks();
+  ASSERT_GT(live, 0u);
+
+  device.Crash(SsdDevice::CrashKind::kPowerLoss);
+  ASSERT_TRUE(device.TakeEvents().empty());
+  // Someone declares the outage permanent: the whole-device failure events
+  // fire now, one kDecommissioned per live mDisk.
+  device.Crash(SsdDevice::CrashKind::kPermanent);
+  EXPECT_TRUE(device.failed());
+  EXPECT_FALSE(device.transiently_dark());
+  const std::vector<MinidiskEvent> events = device.TakeEvents();
+  uint32_t decommissions = 0;
+  for (const MinidiskEvent& event : events) {
+    decommissions += event.type == MinidiskEventType::kDecommissioned;
+  }
+  EXPECT_EQ(decommissions, live);
+
+  // Idempotent once permanent: no re-emission, and no way back.
+  device.Crash(SsdDevice::CrashKind::kPermanent);
+  device.Crash(SsdDevice::CrashKind::kPowerLoss);
+  EXPECT_TRUE(device.TakeEvents().empty());
+  EXPECT_EQ(device.Restart().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CrashRestartTest, RestartIsFencedToDarkDevices) {
+  SsdDevice device = MakeDevice();
+  EXPECT_EQ(device.Restart().code(), StatusCode::kFailedPrecondition);
+  device.Crash(SsdDevice::CrashKind::kPermanent);
+  EXPECT_EQ(device.Restart().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(device.restarts(), 0u);
+}
+
+TEST(CrashRestartTest, RestartReannouncesLiveMinidisks) {
+  SsdDevice device = MakeDevice();
+  (void)device.TakeEvents();
+  const uint32_t live = device.live_minidisks();
+  for (uint64_t lba = 0; lba < 8; ++lba) {
+    ASSERT_TRUE(device.Write(0, lba).ok());
+  }
+
+  device.Crash(SsdDevice::CrashKind::kPowerLoss);
+  ASSERT_TRUE(device.Restart().ok());
+  EXPECT_FALSE(device.failed());
+  EXPECT_EQ(device.restarts(), 1u);
+  EXPECT_EQ(device.live_minidisks(), live);
+
+  // The authoritative resync: exactly one kCreated per surviving mDisk
+  // (nothing was draining), and the device serves I/O again.
+  const std::vector<MinidiskEvent> events = device.TakeEvents();
+  uint32_t created = 0;
+  for (const MinidiskEvent& event : events) {
+    created += event.type == MinidiskEventType::kCreated;
+  }
+  EXPECT_EQ(created, live);
+  EXPECT_EQ(created, events.size());
+  EXPECT_TRUE(device.Write(0, 0).ok());
+  EXPECT_TRUE(device.TakeEvents().empty());
+}
+
+// A still-draining mDisk re-announces as a kCreated + kDraining pair so a
+// live-set tracker (kCreated adds, kDraining removes) converges to the true
+// live set after the outage.
+TEST(CrashRestartTest, RestartReannouncesDrainingPairs) {
+  SsdConfig config = TestSsdConfig(SsdKind::kShrinkS, TinyGeometry(),
+                                   /*nominal_pec=*/25);
+  config.minidisk.drain_before_decommission = true;
+  config.minidisk.max_draining = 3;
+  SsdDevice device(SsdKind::kShrinkS, config);
+
+  // Age until wear opens a grace window, polling events like a real host.
+  uint64_t step = 0;
+  while (device.manager().draining_minidisks() == 0 && step < 2000000 &&
+         !device.failed()) {
+    const MinidiskId mdisk = static_cast<MinidiskId>(step % 12);
+    if (device.IsMinidiskLive(mdisk)) {
+      (void)device.Write(mdisk, step % 64);
+    }
+    if (step % 4096 == 0) {
+      (void)device.TakeEvents();
+    }
+    ++step;
+  }
+  ASSERT_GT(device.manager().draining_minidisks(), 0u);
+  ASSERT_FALSE(device.failed());
+  (void)device.TakeEvents();
+  const uint32_t draining = device.manager().draining_minidisks();
+
+  device.Crash(SsdDevice::CrashKind::kPowerLoss);
+  ASSERT_TRUE(device.Restart().ok());
+  const std::vector<MinidiskEvent> events = device.TakeEvents();
+  uint32_t draining_events = 0;
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (events[i].type != MinidiskEventType::kDraining) {
+      continue;
+    }
+    ++draining_events;
+    // The pair arrives back to back: kCreated for the same mDisk first.
+    ASSERT_GT(i, 0u);
+    EXPECT_EQ(events[i - 1].type, MinidiskEventType::kCreated);
+    EXPECT_EQ(events[i - 1].mdisk, events[i].mdisk);
+  }
+  EXPECT_EQ(draining_events, draining);
+}
+
+TEST(CrashRestartTest, BrickFanOutHonorsEventQueueBound) {
+  SsdDevice device = MakeDevice(/*max_pending_events=*/4);
+  // The initial announcements may already overflow the tiny queue; what
+  // matters is that the brick fan-out keeps counting instead of growing
+  // the queue without bound.
+  (void)device.TakeEvents();
+  const uint64_t dropped_before = device.dropped_events();
+  const uint32_t live = device.live_minidisks();
+  ASSERT_GT(live, 4u);
+
+  device.Crash(SsdDevice::CrashKind::kPermanent);
+  const std::vector<MinidiskEvent> events = device.TakeEvents();
+  EXPECT_LE(events.size(), 4u);
+  // Every mDisk that did not fit in the queue is accounted as a drop — the
+  // dirty-state watch peers use to trigger a full reconcile.
+  EXPECT_EQ(device.dropped_events() - dropped_before, live - events.size());
+  EXPECT_TRUE(device.TakeEvents().empty());
+}
+
+}  // namespace
+}  // namespace salamander
