@@ -149,6 +149,23 @@ inline std::string ParseStringFlag(int argc, char** argv, const char* flag,
   return value == nullptr ? default_value : std::string(value);
 }
 
+// Parses --sched, the fleet engine selector: "event" (discrete-event
+// scheduler, the default) or "lockstep" (the per-day reference engine).
+// Anything else exits 2. Callers map the validated name onto
+// FleetSchedulerMode; the string keeps this header fleet-agnostic.
+inline std::string ParseSchedFlag(int argc, char** argv,
+                                  const std::string& default_mode = "event") {
+  const std::string mode =
+      ParseStringFlag(argc, argv, "--sched", default_mode);
+  if (mode != "event" && mode != "lockstep") {
+    std::fprintf(stderr,
+                 "error: --sched expects 'event' or 'lockstep', got '%s'\n",
+                 mode.c_str());
+    std::exit(2);
+  }
+  return mode;
+}
+
 class WallTimer {
  public:
   WallTimer() : start_(std::chrono::steady_clock::now()) {}

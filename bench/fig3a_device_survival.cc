@@ -59,9 +59,11 @@ int main(int argc, char** argv) {
       "Figure 3a — functioning SSDs over time",
       "baseline devices brick in a narrow window; RegenS flattens the "
       "failure slope (green vs red in the paper)");
-  // Snapshot values are identical for any thread count; see DESIGN.md
-  // "Threading & determinism".
+  // Snapshot values are identical for any thread count and either scheduler
+  // engine; see DESIGN.md "Threading & determinism" and "Event-driven fleet
+  // core".
   const unsigned threads = bench::ParseThreads(argc, argv);
+  const std::string sched = bench::ParseSchedFlag(argc, argv);
   const std::string metrics_out =
       bench::ParseStringFlag(argc, argv, "--metrics-out");
   const std::string trace_out =
@@ -78,6 +80,8 @@ int main(int argc, char** argv) {
        {SsdKind::kBaseline, SsdKind::kShrinkS, SsdKind::kRegenS}) {
     FleetConfig config = BenchFleet(kind);
     config.threads = threads;
+    config.scheduler = sched == "lockstep" ? FleetSchedulerMode::kLockstep
+                                           : FleetSchedulerMode::kEventDriven;
     config.trace = &trace;
     config.trace_tid = lane++;
     FleetSim sim(config);

@@ -56,6 +56,7 @@ int main(int argc, char** argv) {
       "baseline capacity drops in whole-device cliffs; Salamander shrinks "
       "gradually and retains capacity longer");
   const unsigned threads = bench::ParseThreads(argc, argv);
+  const std::string sched = bench::ParseSchedFlag(argc, argv);
   const std::string metrics_out =
       bench::ParseStringFlag(argc, argv, "--metrics-out");
   const std::string trace_out =
@@ -74,6 +75,8 @@ int main(int argc, char** argv) {
        {SsdKind::kBaseline, SsdKind::kShrinkS, SsdKind::kRegenS}) {
     FleetConfig config = BenchFleet(kind);
     config.threads = threads;
+    config.scheduler = sched == "lockstep" ? FleetSchedulerMode::kLockstep
+                                           : FleetSchedulerMode::kEventDriven;
     config.sampler = &samplers[kind];
     config.trace = &trace;
     config.trace_tid = lane++;

@@ -11,9 +11,7 @@ unsigned ThreadPool::HardwareThreads() {
 }
 
 ThreadPool::ThreadPool(unsigned threads) {
-  if (threads == 0) {
-    threads = HardwareThreads();
-  }
+  threads = ResolveThreads(threads);
   if (threads <= 1) {
     return;  // inline mode
   }

@@ -62,6 +62,22 @@ class ThreadPool {
   // std::thread::hardware_concurrency() with a floor of 1.
   static unsigned HardwareThreads();
 
+  // Canonical resolution of a requested thread count: 0 ("all hardware
+  // threads") maps to HardwareThreads(), everything else passes through
+  // unchanged. Always returns >= 1, including on hosts where
+  // hardware_concurrency() reports 0. The constructor and every `--threads`
+  // flag consumer share this so "0" means the same thing everywhere.
+  static unsigned ResolveThreads(unsigned requested) {
+    return requested == 0 ? HardwareThreads() : requested;
+  }
+
+  // True when `requested` resolves to more threads than the host has
+  // hardware threads for — the regime where measured "speedups" are
+  // scheduler noise, not parallelism (e.g. 4 workers on a 1-core host).
+  static bool Oversubscribed(unsigned requested) {
+    return ResolveThreads(requested) > HardwareThreads();
+  }
+
  private:
   void WorkerLoop();
 

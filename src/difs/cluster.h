@@ -276,6 +276,17 @@ class DifsCluster {
   // Node currently unreachable due to an injected outage, or -1.
   int32_t outage_node() const { return outage_node_; }
 
+  // ---- Tick scheduling (discrete-event drivers) ---------------------------
+  // Instead of polling MaybeRunMaintenance after every op, an event-driven
+  // harness asks once when the next maintenance tick is due and jumps there.
+
+  // True when maintenance can never fire: auto interval (0) with no injector
+  // attached anywhere. A dormant cluster posts no maintenance events at all.
+  bool MaintenanceDormant() const;
+  // Foreground ops until the next maintenance tick fires (>= 1);
+  // UINT64_MAX when dormant.
+  uint64_t OpsUntilMaintenanceTick() const;
+
   // Simulated timestamp stamped onto trace events the cluster emits (see
   // DifsConfig::trace). The harness advances it once per day / burst.
   void set_trace_time_us(uint64_t ts_us) { trace_time_us_ = ts_us; }
@@ -376,6 +387,9 @@ class DifsCluster {
   // retry; runs every resync_interval_ops foreground ops.
   void MaintenanceTick();
   void MaybeRunMaintenance();
+  // Effective tick interval: resync_interval_ops, or the auto default (256)
+  // when 0. Dormancy is decided separately by MaintenanceDormant().
+  uint64_t MaintenanceIntervalOps() const;
   // Delivers AckDrain to the device, subject to injected ack loss, node
   // outage, and transient retry. True when the device accepted the ack.
   bool SendAckDrain(uint32_t device_index, MinidiskId mdisk);

@@ -587,26 +587,44 @@ bool EcCluster::SendAckDrain(uint32_t device_index, MinidiskId mdisk) {
   return state.device->AckDrain(mdisk).ok();
 }
 
-void EcCluster::MaybeRunMaintenance() {
-  uint64_t interval = config_.maintenance_interval_ops;
-  if (interval == 0) {
-    // Auto mode: periodic reconciliation only pays for itself when faults
-    // can desynchronize cluster and device state. Without any injector the
-    // maintenance path stays completely dormant, so the fault-free RNG
-    // schedule (and every bench output) is untouched.
-    if (config_.faults == nullptr) {
-      bool any_device_faults = false;
-      for (const DeviceState& state : devices_) {
-        any_device_faults =
-            any_device_faults || state.device->faults() != nullptr;
-      }
-      if (!any_device_faults) {
-        return;
-      }
-    }
-    interval = 256;
+bool EcCluster::MaintenanceDormant() const {
+  // Auto mode: periodic reconciliation only pays for itself when faults can
+  // desynchronize cluster and device state. Without any injector the
+  // maintenance path stays completely dormant, so the fault-free RNG
+  // schedule (and every bench output) is untouched.
+  if (config_.maintenance_interval_ops != 0 || config_.faults != nullptr) {
+    return false;
   }
-  if (++ops_since_maintenance_ >= interval) {
+  for (const DeviceState& state : devices_) {
+    if (state.device->faults() != nullptr) {
+      return false;
+    }
+  }
+  return true;
+}
+
+uint64_t EcCluster::MaintenanceIntervalOps() const {
+  return config_.maintenance_interval_ops == 0
+             ? 256
+             : config_.maintenance_interval_ops;
+}
+
+uint64_t EcCluster::OpsUntilMaintenanceTick() const {
+  if (MaintenanceDormant()) {
+    return UINT64_MAX;
+  }
+  const uint64_t interval = MaintenanceIntervalOps();
+  // The tick fires on the op that brings the counter up to `interval`.
+  return interval > ops_since_maintenance_
+             ? interval - ops_since_maintenance_
+             : 1;
+}
+
+void EcCluster::MaybeRunMaintenance() {
+  if (MaintenanceDormant()) {
+    return;
+  }
+  if (++ops_since_maintenance_ >= MaintenanceIntervalOps()) {
     ops_since_maintenance_ = 0;
     MaintenanceTick();
   }

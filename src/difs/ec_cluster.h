@@ -162,6 +162,15 @@ class EcCluster {
   const EcStats& stats() const { return stats_; }
   // Node currently unreachable due to an injected outage, or -1.
   int32_t outage_node() const { return outage_node_; }
+
+  // ---- Tick scheduling (discrete-event drivers) ---------------------------
+  // Same contract as DifsCluster: when the next maintenance tick is due, so
+  // an event-driven harness can jump instead of polling per op.
+
+  // True when maintenance can never fire (auto interval, no injector).
+  bool MaintenanceDormant() const;
+  // Foreground ops until the next tick fires (>= 1); UINT64_MAX when dormant.
+  uint64_t OpsUntilMaintenanceTick() const;
   uint64_t total_stripes() const { return stripes_.size(); }
   uint64_t stripes_fully_redundant() const;
   uint64_t stripes_degraded() const;
@@ -236,6 +245,9 @@ class EcCluster {
   bool SendAckDrain(uint32_t device_index, MinidiskId mdisk);
   void MaybeRunMaintenance();
   void MaintenanceTick();
+  // Effective tick interval: maintenance_interval_ops, or the auto default
+  // (256) when 0. Dormancy is decided separately by MaintenanceDormant().
+  uint64_t MaintenanceIntervalOps() const;
   // Resyncs cluster slot maps against device ground truth: missed drains and
   // decommissions, missed kCreated capacity, and kDraining mDisks whose ack
   // was lost (re-sent here). Skips out-node devices.

@@ -1,0 +1,14 @@
+#include "fleet/event_scheduler.h"
+
+namespace salamander {
+
+std::vector<FleetEvent> FleetEventQueue::PopThrough(uint32_t through) {
+  std::vector<FleetEvent> batch;
+  while (!heap_.empty() && heap_.top().day <= through) {
+    batch.push_back(heap_.top());
+    heap_.pop();
+  }
+  return batch;
+}
+
+}  // namespace salamander

@@ -1,5 +1,6 @@
 #include "fleet/fleet_sim.h"
 
+#include <algorithm>
 #include <cmath>
 #include <string>
 
@@ -199,11 +200,18 @@ void FleetSim::ScrubDevice(DeviceSlot& slot, uint64_t budget) {
 }
 
 std::vector<FleetSnapshot> FleetSim::Run() {
+  return config_.scheduler == FleetSchedulerMode::kLockstep
+             ? RunLockstep()
+             : RunEventDriven();
+}
+
+double FleetSim::PrepareRun() {
   snapshots_.clear();
   snapshots_.push_back(Sample(0));
+  scheduler_stats_ = FleetSchedulerStats{};
   if (telemetry_attached()) {
     // One shard per slot: worker threads never share a shard, and the owner
-    // drains them at the day barrier below.
+    // drains them at the day barrier.
     day_steps_ = std::make_unique<ShardedCounter>(slots_.size());
     day_opages_ = std::make_unique<ShardedCounter>(slots_.size());
     RegisterSamplerProbes();
@@ -217,8 +225,11 @@ std::vector<FleetSnapshot> FleetSim::Run() {
     }
   }
   // Convert the annual failure rate to a per-day hazard.
-  const double daily_failure =
-      1.0 - std::pow(1.0 - config_.afr, 1.0 / 365.0);
+  return 1.0 - std::pow(1.0 - config_.afr, 1.0 / 365.0);
+}
+
+std::vector<FleetSnapshot> FleetSim::RunLockstep() {
+  const double daily_failure = PrepareRun();
   // Each worker owns a disjoint slice of slots between day barriers; the
   // sampling/merge below runs on this thread after the barrier, in device-ID
   // order. With threads == 1 the pool executes inline (a plain loop).
@@ -258,6 +269,206 @@ std::vector<FleetSnapshot> FleetSim::Run() {
     CollectMetrics(*config_.metrics);
   }
   return snapshots_;
+}
+
+void FleetSim::ExecuteEvent(DeviceSlot& slot, const FleetEvent& event,
+                            uint32_t window_end, uint32_t horizon_days,
+                            double daily_failure, uint64_t scrub_budget,
+                            uint32_t restart_days, ShardedCounter* steps,
+                            ShardedCounter* opages) {
+  const size_t shard = event.device;
+  uint32_t day = event.day;
+  while (day <= window_end) {
+    StepDevice(slot, day, daily_failure, scrub_budget, restart_days, shard,
+               steps, opages);
+    ++slot.days_stepped;
+    if (!slot.alive) {
+      // Terminal: dead devices post no further events, so the rest of the
+      // horizon costs this slot zero work (lockstep keeps visiting it).
+      slot.death_day = day;
+      return;
+    }
+    if (slot.dark) {
+      // Power pulled this day. Lockstep burns a draw-free no-op call per
+      // dark day; jump straight to the restart day instead. With
+      // restart_days == 0 the restart still lands on the *next* day, exactly
+      // as lockstep's `day < dark_until_day` guard resolves it.
+      const uint32_t wake = std::max(day + 1, slot.dark_until_day);
+      slot.dark_days_skipped += wake - (day + 1);
+      if (wake > window_end) {
+        slot.next_event =
+            FleetEvent{wake, event.device, FleetEventKind::kRestart};
+        slot.has_next_event = true;
+        return;
+      }
+      day = wake;
+      continue;
+    }
+    ++day;
+  }
+  if (window_end < horizon_days) {
+    slot.next_event =
+        FleetEvent{window_end + 1, event.device, FleetEventKind::kStep};
+    slot.has_next_event = true;
+  }
+}
+
+std::vector<FleetSnapshot> FleetSim::RunEventDriven() {
+  const double daily_failure = PrepareRun();
+  const bool telemetry = telemetry_attached();
+  const uint32_t sample_every = std::max(1u, config_.sample_every_days);
+  if (slots_.empty()) {
+    // Degenerate fleet: lockstep's day-1 pass sees alive == 0 immediately.
+    if (config_.days >= 1) {
+      snapshots_.push_back(Sample(1));
+    }
+    if (config_.metrics != nullptr) {
+      CollectMetrics(*config_.metrics);
+    }
+    return snapshots_;
+  }
+  ThreadPool pool(config_.threads);
+
+  // Every device posts its first event; from here on a slot is visited only
+  // when its event comes due. Dead devices post nothing, dark devices post
+  // their restart day — the jumps that make idle days free.
+  FleetEventQueue queue;
+  uint32_t alive = 0;
+  for (uint32_t i = 0; i < static_cast<uint32_t>(slots_.size()); ++i) {
+    queue.Post(FleetEvent{1, i, FleetEventKind::kStep});
+    ++alive;
+  }
+  // Observation stride: with telemetry attached every day is a drain
+  // boundary (daily sampler/trace semantics); detached runs only need to
+  // synchronize at snapshot days.
+  const uint32_t stride = telemetry ? 1 : sample_every;
+
+  std::vector<uint8_t> alive_before;
+  const auto capture_alive = [&] {
+    alive_before.resize(slots_.size());
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      alive_before[i] = slots_[i].alive ? 1 : 0;
+    }
+  };
+
+  uint32_t day_cursor = 0;
+  uint32_t last_death_day = 0;
+  while (day_cursor < config_.days && alive > 0) {
+    const uint32_t window_end = static_cast<uint32_t>(std::min<uint64_t>(
+        config_.days, (static_cast<uint64_t>(day_cursor) / stride + 1) *
+                          static_cast<uint64_t>(stride)));
+    const bool events_due = !queue.empty() && queue.NextDay() <= window_end;
+    if (!events_due) {
+      // Idle window: every device is dead, or dark beyond this window.
+      // No draws and no state changes happen — only the observations
+      // lockstep would also make (daily telemetry, periodic snapshots).
+      ++scheduler_stats_.idle_windows;
+      if (telemetry) {
+        capture_alive();
+        RecordDayTelemetry(window_end, alive_before);
+      }
+      if (window_end % sample_every == 0 || window_end == config_.days) {
+        snapshots_.push_back(Sample(window_end));
+      }
+      day_cursor = window_end;
+      continue;
+    }
+
+    if (telemetry) {
+      capture_alive();
+    }
+    const std::vector<FleetEvent> batch = queue.PopThrough(window_end);
+    ++scheduler_stats_.batches;
+    scheduler_stats_.events += batch.size();
+    // Same-day event batches execute on the pool: each event touches only
+    // its own slot (plus that slot's counter shard), and follow-up events
+    // are posted by the owner below in canonical batch order, so the run is
+    // bit-identical at any thread count.
+    pool.ParallelFor(batch.size(), [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        ExecuteEvent(slots_[batch[i].device], batch[i], window_end,
+                     config_.days, daily_failure,
+                     config_.scrub_opages_per_day,
+                     config_.power_loss_restart_days, day_steps_.get(),
+                     day_opages_.get());
+      }
+    });
+    for (const FleetEvent& event : batch) {
+      DeviceSlot& slot = slots_[event.device];
+      if (slot.has_next_event) {
+        queue.Post(slot.next_event);
+        slot.has_next_event = false;
+      } else if (!slot.alive) {
+        --alive;
+        last_death_day = std::max(last_death_day, slot.death_day);
+      }
+    }
+    if (telemetry) {
+      RecordDayTelemetry(window_end, alive_before);
+    }
+    uint32_t sample_day = window_end;
+    if (alive == 0) {
+      // Exact lockstep early-stop semantics: the reported day is the day the
+      // last device died, which can precede the window barrier — stepping
+      // past it was all dead-device no-ops, so state already matches.
+      sample_day = last_death_day;
+    }
+    if (sample_day % sample_every == 0 || alive == 0 ||
+        sample_day == config_.days) {
+      snapshots_.push_back(Sample(sample_day));
+    }
+    day_cursor = window_end;
+  }
+  if (config_.metrics != nullptr) {
+    CollectMetrics(*config_.metrics);
+  }
+  return snapshots_;
+}
+
+FleetSchedulerStats FleetSim::scheduler_stats() const {
+  FleetSchedulerStats stats = scheduler_stats_;
+  for (const DeviceSlot& slot : slots_) {
+    stats.days_stepped += slot.days_stepped;
+    stats.dark_days_skipped += slot.dark_days_skipped;
+  }
+  return stats;
+}
+
+uint64_t FleetSim::DeviceDigest(uint32_t device) const {
+  const DeviceSlot& slot = slots_[device];
+  uint64_t digest = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  const auto mix = [&digest](uint64_t value) {
+    for (int byte = 0; byte < 8; ++byte) {
+      digest ^= (value >> (byte * 8)) & 0xff;
+      digest *= 0x100000001b3ULL;
+    }
+  };
+  mix(slot.device->ftl().StateDigest());
+  mix(slot.alive ? 1 : 0);
+  mix(slot.dark ? 1 : 0);
+  mix(slot.random_failure ? 1 : 0);
+  mix(slot.dark_until_day);
+  mix(slot.power_losses);
+  mix(slot.restarts);
+  mix(slot.restart_failures);
+  mix(slot.scrub_reads);
+  mix(slot.scrub_detected);
+  mix(slot.scrub_repairs);
+  mix(slot.scrub_passes);
+  mix(slot.device->live_capacity_bytes());
+  mix(slot.device->manager().decommissioned_total());
+  mix(slot.device->manager().regenerated_total());
+  mix(slot.device->ftl().stats().host_writes);
+  return digest;
+}
+
+std::vector<uint64_t> FleetSim::DeviceDigests() const {
+  std::vector<uint64_t> digests;
+  digests.reserve(slots_.size());
+  for (uint32_t i = 0; i < static_cast<uint32_t>(slots_.size()); ++i) {
+    digests.push_back(DeviceDigest(i));
+  }
+  return digests;
 }
 
 void FleetSim::RegisterSamplerProbes() {
@@ -443,6 +654,20 @@ void FleetSim::CollectMetrics(MetricRegistry& registry,
         .Add(scrub_repairs_total());
     registry.GetCounter(prefix + "fleet.scrub.passes")
         .Add(scrub_passes_total());
+  }
+  // Scheduler counters exist only in event-driven mode, so lockstep runs —
+  // the golden reference — keep their metric dumps byte-identical to the
+  // pre-scheduler output.
+  if (config_.scheduler == FleetSchedulerMode::kEventDriven) {
+    const FleetSchedulerStats sched = scheduler_stats();
+    registry.GetCounter(prefix + "fleet.scheduler.batches").Add(sched.batches);
+    registry.GetCounter(prefix + "fleet.scheduler.events").Add(sched.events);
+    registry.GetCounter(prefix + "fleet.scheduler.idle_windows")
+        .Add(sched.idle_windows);
+    registry.GetCounter(prefix + "fleet.scheduler.days_stepped")
+        .Add(sched.days_stepped);
+    registry.GetCounter(prefix + "fleet.scheduler.dark_days_skipped")
+        .Add(sched.dark_days_skipped);
   }
   // Power-loss counters follow the same rule: absent unless injected.
   if (config_.power_loss_per_device_day > 0.0) {

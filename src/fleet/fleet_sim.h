@@ -22,6 +22,7 @@
 
 #include "common/rng.h"
 #include "faults/fault_injector.h"
+#include "fleet/event_scheduler.h"
 #include "integrity/scrub_cursor.h"
 #include "ssd/ssd_device.h"
 #include "telemetry/metrics.h"
@@ -30,6 +31,20 @@
 #include "workload/aging.h"
 
 namespace salamander {
+
+// Which engine advances simulated time.
+enum class FleetSchedulerMode : uint8_t {
+  // Reference engine: one global barrier per simulated day, every slot
+  // visited every day (dead and dark ones included). Kept as the golden
+  // implementation the event-driven core is diffed against.
+  kLockstep = 0,
+  // Discrete-event engine: devices post their next interesting event into a
+  // (day, device, kind)-ordered queue and time advances in jumps, so days on
+  // which a device is dead or dark cost zero stepping work. Produces
+  // bit-identical snapshots, metrics, and per-device state — the
+  // FleetEquivalence/FleetScheduler suites enforce it.
+  kEventDriven = 1,
+};
 
 struct FleetConfig {
   SsdKind kind = SsdKind::kBaseline;
@@ -55,9 +70,15 @@ struct FleetConfig {
   uint32_t days = 1000;
   uint32_t sample_every_days = 10;
   uint64_t seed = 1;
-  // Worker threads for Run(): 1 = serial, 0 = all hardware threads. Results
-  // are identical for every value — parallelism only changes wall-clock.
+  // Worker threads for Run(): 1 = serial, 0 = all hardware threads (resolved
+  // via ThreadPool::ResolveThreads, floor of 1). Results are identical for
+  // every value — parallelism only changes wall-clock.
   unsigned threads = 1;
+
+  // Simulation engine. Event-driven is the default; lockstep remains as the
+  // reference implementation for the exact-equivalence gate. Snapshots and
+  // telemetry are bit-identical between the two at any `threads`.
+  FleetSchedulerMode scheduler = FleetSchedulerMode::kEventDriven;
 
   // ---- Background scrub ----------------------------------------------------
   // oPages each device reads back per simulated day to catch latent (silent)
@@ -153,6 +174,17 @@ class FleetSim {
   // Devices currently dark from a transient power loss.
   uint32_t dark_devices() const;
 
+  // Event-scheduler accounting. Valid after Run(); all zero under lockstep.
+  FleetSchedulerStats scheduler_stats() const;
+
+  // Order-independent digest of one device's complete post-run state: the
+  // FTL StateDigest plus the fleet-level flags and counters the slot owns
+  // (liveness, darkness, outage ledger, scrub totals). Two engines that
+  // agree on every digest simulated identical histories; the lockstep-vs-
+  // event-driven equivalence gate diffs these per device.
+  uint64_t DeviceDigest(uint32_t device) const;
+  std::vector<uint64_t> DeviceDigests() const;
+
   // Scrapes fleet-level instruments into "<prefix>fleet.*" and every
   // device's "<prefix>ssd.*"/"<prefix>ftl.*"/"<prefix>flash.*" subtree
   // (additive, so N devices aggregate into fleet totals — see
@@ -195,6 +227,14 @@ class FleetSim {
     uint64_t scrub_detected = 0;  // silently-corrupt oPages caught by scrub
     uint64_t scrub_repairs = 0;   // oPages rewritten (corrupt + uncorrectable)
     uint64_t scrub_passes = 0;    // full device sweeps completed
+
+    // ---- Event-scheduler state (slot-local; written only by the worker
+    // executing this slot's event, read by the owner at batch barriers) -----
+    uint32_t death_day = 0;        // day `alive` flipped false (if it did)
+    uint64_t days_stepped = 0;     // device-days this slot actually simulated
+    uint64_t dark_days_skipped = 0;  // dark device-days jumped over
+    bool has_next_event = false;   // follow-up event to post at the barrier
+    FleetEvent next_event;
   };
 
   // Advances one device by one day. Touches only `slot` state plus shard
@@ -212,6 +252,27 @@ class FleetSim {
   // slot's scrub totals, and repairs flagged oPages by rewriting them.
   // Same thread-safety contract as StepDevice (slot-local state only).
   static void ScrubDevice(DeviceSlot& slot, uint64_t budget);
+
+  // Executes one scheduler event: advances the device day by day from
+  // `event.day` through `window_end` with exact lockstep per-day semantics
+  // (same draws, in the same order), jumping over dark days (which lockstep
+  // makes draw-free no-ops) in O(1). Leaves the follow-up event, if any, in
+  // slot.next_event for the owner to post at the barrier. Same thread-safety
+  // contract as StepDevice.
+  static void ExecuteEvent(DeviceSlot& slot, const FleetEvent& event,
+                           uint32_t window_end, uint32_t horizon_days,
+                           double daily_failure, uint64_t scrub_budget,
+                           uint32_t restart_days, ShardedCounter* steps,
+                           ShardedCounter* opages);
+
+  // The two engines behind Run(). Both produce identical snapshots_ and
+  // telemetry; the event-driven one skips dead/dark device-days.
+  std::vector<FleetSnapshot> RunLockstep();
+  std::vector<FleetSnapshot> RunEventDriven();
+
+  // Shared Run() prologue: clears snapshots_, records day 0, arms the
+  // telemetry plumbing. Returns the per-day AFR hazard.
+  double PrepareRun();
 
   FleetSnapshot Sample(uint32_t day) const;
 
@@ -241,6 +302,9 @@ class FleetSim {
   std::unique_ptr<ShardedCounter> day_opages_;
   uint64_t device_days_stepped_ = 0;
   uint64_t host_opages_written_ = 0;
+
+  // Queue-level scheduler accounting (owner thread only; zero in lockstep).
+  FleetSchedulerStats scheduler_stats_;
 };
 
 }  // namespace salamander

@@ -721,6 +721,47 @@ uint64_t Ftl::ForecastTiringOPages(double pec_horizon_fraction) const {
   return tiring;
 }
 
+Ftl::EventEstimate Ftl::EstimateNextEvent() const {
+  EventEstimate estimate;
+  const uint64_t block_opages =
+      static_cast<uint64_t>(config_.geometry.fpages_per_block) *
+      config_.geometry.opages_per_fpage;
+  const uint64_t watermark = config_.gc_low_watermark_blocks;
+  estimate.opages_to_gc_pressure =
+      free_blocks_ > watermark ? (free_blocks_ - watermark) * block_opages
+                               : 0;
+  // Wear horizon: P/E cycles of headroom on the most-worn in-service page.
+  // One more cycle on a block costs at least block_opages host writes (a
+  // full block program), so headroom-in-cycles converts to a write budget.
+  double min_cycles = -1.0;
+  for (FPageIndex fpage = 0; fpage < config_.geometry.total_fpages();
+       ++fpage) {
+    if (page_state_[fpage] != PageState::kInService) {
+      continue;
+    }
+    const unsigned level = page_level_[fpage];
+    const double retire_rber =
+        config_.retire_margin * ladder_[level].max_tolerable_rber;
+    const double retire_pec = chip_->PecUntilRber(fpage, retire_rber);
+    const double current_pec = static_cast<double>(
+        chip_->BlockPec(config_.geometry.BlockOfFPage(fpage)));
+    const double cycles = std::max(0.0, retire_pec - current_pec);
+    if (min_cycles < 0.0 || cycles < min_cycles) {
+      min_cycles = cycles;
+    }
+  }
+  if (min_cycles < 0.0) {
+    estimate.opages_to_wear_event = UINT64_MAX;
+  } else {
+    // Clamp before multiplying so pathological wear curves cannot overflow.
+    const double budget =
+        std::min(min_cycles, 1.0e15) * static_cast<double>(block_opages);
+    estimate.opages_to_wear_event =
+        budget >= 1.8e19 ? UINT64_MAX : static_cast<uint64_t>(budget);
+  }
+  return estimate;
+}
+
 uint64_t Ftl::gc_reserve_opages() const {
   return static_cast<uint64_t>(config_.gc_low_watermark_blocks + 1) *
          config_.geometry.fpages_per_block * config_.geometry.opages_per_fpage;

@@ -246,6 +246,26 @@ class Ftl {
   // O(total fPages); callers should cache between maintenance rounds.
   uint64_t ForecastTiringOPages(double pec_horizon_fraction) const;
 
+  // Next-event estimate for a discrete-event driver (see
+  // fleet/event_scheduler.h): how many more host oPage writes this FTL can
+  // absorb before each class of "interesting" state change could fire.
+  // Heuristics, not bounds — GC write amplification can bring an event
+  // forward, reclaim can push it back — so schedulers use them to *size*
+  // windows and diagnostics, never to skip the per-day draws that determinism
+  // depends on. O(total fPages), same cost as ForecastTiringOPages; callers
+  // should cache between maintenance rounds.
+  struct EventEstimate {
+    // Host oPage writes before free blocks could shrink to the GC low
+    // watermark, counting fresh-block programs only.
+    uint64_t opages_to_gc_pressure = 0;
+    // Host oPage writes before the most-worn in-service page could cross its
+    // retire threshold, if every write landed on that page's block.
+    // UINT64_MAX when no page is in service (all retired, revived-out, or
+    // dead) — no wear event is ever due then.
+    uint64_t opages_to_wear_event = 0;
+  };
+  EventEstimate EstimateNextEvent() const;
+
   // Currently mapped (live) logical oPages, including buffered ones.
   uint64_t mapped_opages() const { return mapped_opages_; }
 

@@ -96,6 +96,27 @@ uint64_t SsdDevice::bytes_written() const {
   return ftl_->stats().host_writes * config_.ftl.geometry.opage_bytes;
 }
 
+SsdDevice::EventEstimate SsdDevice::EstimateNextEvent() const {
+  EventEstimate estimate;
+  if (failed_) {
+    return estimate;
+  }
+  const Ftl::EventEstimate ftl_estimate = ftl_->EstimateNextEvent();
+  estimate.opages_to_gc_pressure = ftl_estimate.opages_to_gc_pressure;
+  estimate.opages_to_wear_event = ftl_estimate.opages_to_wear_event;
+  if (pending_event_depth() > 0) {
+    estimate.lifecycle_pending = true;
+  } else {
+    for (MinidiskId id = 0; id < manager_->total_minidisks(); ++id) {
+      if (manager_->minidisk(id).state == MinidiskState::kDraining) {
+        estimate.lifecycle_pending = true;
+        break;
+      }
+    }
+  }
+  return estimate;
+}
+
 StatusOr<SimDuration> SsdDevice::Write(MinidiskId mdisk, uint64_t lba) {
   if (failed_) {
     return DeviceFailedError("Write: device bricked");

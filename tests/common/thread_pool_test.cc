@@ -20,6 +20,51 @@ TEST(ThreadPoolTest, ZeroResolvesToHardware) {
   EXPECT_EQ(pool.width(), ThreadPool::HardwareThreads());
 }
 
+// Regression: "0 = all hardware threads" must resolve through one shared
+// helper, with a floor of 1 even when hardware_concurrency() reports 0, and
+// the pool constructor must agree with it exactly.
+TEST(ThreadPoolTest, ResolveThreadsClampsAndPassesThrough) {
+  EXPECT_GE(ThreadPool::HardwareThreads(), 1u);
+  EXPECT_EQ(ThreadPool::ResolveThreads(0), ThreadPool::HardwareThreads());
+  EXPECT_EQ(ThreadPool::ResolveThreads(1), 1u);
+  EXPECT_EQ(ThreadPool::ResolveThreads(7), 7u);
+  for (unsigned requested : {0u, 1u, 3u}) {
+    ThreadPool pool(requested);
+    EXPECT_EQ(pool.width(), ThreadPool::ResolveThreads(requested))
+        << "requested " << requested;
+  }
+}
+
+TEST(ThreadPoolTest, OversubscriptionIsDetectedRelativeToHardware) {
+  const unsigned hardware = ThreadPool::HardwareThreads();
+  // Requesting exactly the hardware width (directly or via 0) is never
+  // oversubscribed; one past it always is.
+  EXPECT_FALSE(ThreadPool::Oversubscribed(0));
+  EXPECT_FALSE(ThreadPool::Oversubscribed(hardware));
+  EXPECT_TRUE(ThreadPool::Oversubscribed(hardware + 1));
+  if (hardware > 1) {
+    EXPECT_FALSE(ThreadPool::Oversubscribed(1));
+  }
+}
+
+// An oversubscribed pool (more workers than cores) must still run every task
+// exactly once — correctness cannot depend on the host's core count.
+TEST(ThreadPoolTest, OversubscribedPoolStillCoversAllWork) {
+  const unsigned threads = ThreadPool::HardwareThreads() + 3;
+  ThreadPool pool(threads);
+  EXPECT_EQ(pool.worker_count(), threads);
+  constexpr size_t kN = 500;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
 TEST(ThreadPoolTest, SubmitRunsInline) {
   ThreadPool pool(1);
   int value = 0;

@@ -175,5 +175,46 @@ TEST(DifsClusterTest, RegenSRegenerationAddsPlacementCapacity) {
   EXPECT_GT(regenerations, 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Tick scheduling — the discrete-event hooks behind MaybeRunMaintenance
+// ---------------------------------------------------------------------------
+
+TEST(DifsClusterTest, MaintenanceDormantWithoutInjectors) {
+  DifsCluster cluster(TestConfig(), Factory(SsdKind::kShrinkS, 1000000));
+  ASSERT_TRUE(cluster.Bootstrap().ok());
+  EXPECT_TRUE(cluster.MaintenanceDormant());
+  EXPECT_EQ(cluster.OpsUntilMaintenanceTick(), UINT64_MAX);
+  // Dormant means dormant: foreground traffic never wakes maintenance.
+  ASSERT_TRUE(cluster.StepWrites(600).ok());
+  EXPECT_EQ(cluster.stats().maintenance_ticks, 0u);
+}
+
+TEST(DifsClusterTest, ExplicitIntervalSchedulesTicks) {
+  DifsConfig config = TestConfig();
+  config.resync_interval_ops = 8;
+  DifsCluster cluster(config, Factory(SsdKind::kShrinkS, 1000000));
+  ASSERT_TRUE(cluster.Bootstrap().ok());
+  EXPECT_FALSE(cluster.MaintenanceDormant());
+  // A fresh cluster is a full interval away from its first tick; the
+  // countdown shrinks as foreground ops land and the tick fires on schedule.
+  EXPECT_EQ(cluster.OpsUntilMaintenanceTick(), 8u);
+  ASSERT_TRUE(cluster.StepWrites(3).ok());
+  EXPECT_EQ(cluster.OpsUntilMaintenanceTick(), 5u);
+  const uint64_t before = cluster.stats().maintenance_ticks;
+  ASSERT_TRUE(cluster.StepWrites(5).ok());
+  EXPECT_EQ(cluster.stats().maintenance_ticks, before + 1);
+  EXPECT_EQ(cluster.OpsUntilMaintenanceTick(), 8u);
+}
+
+TEST(DifsClusterTest, ClusterInjectorWakesAutoMaintenance) {
+  DifsConfig config = TestConfig();
+  config.faults = std::make_shared<FaultInjector>(FaultConfig{}, 7);
+  DifsCluster cluster(config, Factory(SsdKind::kShrinkS, 1000000));
+  ASSERT_TRUE(cluster.Bootstrap().ok());
+  EXPECT_FALSE(cluster.MaintenanceDormant());
+  // Auto interval is 256 ops.
+  EXPECT_LE(cluster.OpsUntilMaintenanceTick(), 256u);
+}
+
 }  // namespace
 }  // namespace salamander

@@ -147,5 +147,42 @@ TEST(EcClusterTest, DeterministicForSameSeed) {
   EXPECT_EQ(run(), run());
 }
 
+// ---------------------------------------------------------------------------
+// Tick scheduling — the discrete-event hooks behind MaybeRunMaintenance
+// ---------------------------------------------------------------------------
+
+TEST(EcClusterTest, MaintenanceDormantWithoutInjectors) {
+  EcCluster cluster(TestConfig(), Factory(1000000));
+  ASSERT_TRUE(cluster.Bootstrap().ok());
+  EXPECT_TRUE(cluster.MaintenanceDormant());
+  EXPECT_EQ(cluster.OpsUntilMaintenanceTick(), UINT64_MAX);
+  ASSERT_TRUE(cluster.StepWrites(600).ok());
+  EXPECT_EQ(cluster.stats().maintenance_ticks, 0u);
+}
+
+TEST(EcClusterTest, ExplicitIntervalSchedulesTicks) {
+  EcConfig config = TestConfig();
+  config.maintenance_interval_ops = 8;
+  EcCluster cluster(config, Factory(1000000));
+  ASSERT_TRUE(cluster.Bootstrap().ok());
+  EXPECT_FALSE(cluster.MaintenanceDormant());
+  EXPECT_EQ(cluster.OpsUntilMaintenanceTick(), 8u);
+  ASSERT_TRUE(cluster.StepWrites(3).ok());
+  EXPECT_EQ(cluster.OpsUntilMaintenanceTick(), 5u);
+  const uint64_t before = cluster.stats().maintenance_ticks;
+  ASSERT_TRUE(cluster.StepWrites(5).ok());
+  EXPECT_EQ(cluster.stats().maintenance_ticks, before + 1);
+  EXPECT_EQ(cluster.OpsUntilMaintenanceTick(), 8u);
+}
+
+TEST(EcClusterTest, ClusterInjectorWakesAutoMaintenance) {
+  EcConfig config = TestConfig();
+  config.faults = std::make_shared<FaultInjector>(FaultConfig{}, 7);
+  EcCluster cluster(config, Factory(1000000));
+  ASSERT_TRUE(cluster.Bootstrap().ok());
+  EXPECT_FALSE(cluster.MaintenanceDormant());
+  EXPECT_LE(cluster.OpsUntilMaintenanceTick(), 256u);
+}
+
 }  // namespace
 }  // namespace salamander
