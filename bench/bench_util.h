@@ -125,6 +125,16 @@ inline uint64_t ParseScrubOPagesPerDay(int argc, char** argv,
   return ParseU64Flag(argc, argv, "--scrub-opages-per-day", default_value);
 }
 
+// Parses `--l2p-cache-entries N` / `--l2p-cache-entries=N`: the DRAM-bounded
+// L2P map cache knob shared by the fleet/soak/crash benches. 0 is a *valid*
+// value meaning "legacy unbounded in-DRAM map" (only signs, garbage, and
+// overflow exit 2), and it is the default everywhere so cache-free runs stay
+// byte-identical to builds without the bounded cache.
+inline uint64_t ParseL2pCacheEntries(int argc, char** argv,
+                                     uint64_t default_value = 0) {
+  return ParseU64Flag(argc, argv, "--l2p-cache-entries", default_value);
+}
+
 // Parses `--threads N` / `--threads=N` from argv. 0 means "all hardware
 // threads"; results of every bench are identical for any value — the knob
 // only changes wall-clock.

@@ -21,11 +21,13 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/rng.h"
 #include "common/thread_pool.h"
 #include "difs/cluster.h"
 #include "ecc/tiredness.h"
 #include "faults/fault_injector.h"
 #include "flash/wear_model.h"
+#include "ftl/ftl.h"
 #include "integrity/checksum.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
@@ -342,6 +344,118 @@ void RunUniverse(uint64_t universe, uint64_t base_seed, uint64_t bursts,
   cluster.CollectMetrics(result.registry);
 }
 
+// Bounded-L2P cross-check (--l2p-cache-entries > 0 only): an identical op
+// sequence runs on a legacy (unbounded-map) FTL and a bounded one, in a
+// configuration roomy enough that GC never fires — so map-page write-back is
+// the *only* source of extra flash programs, and the wear delta must equal
+// ftl.l2p.map_writes exactly. The exported ftl.l2p.* registry values are
+// then reconciled against the FTL's internal ledger, counter by counter.
+struct L2pCrossCheckResult {
+  uint64_t map_writes = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t legacy_programs = 0;
+  uint64_t bounded_programs = 0;
+  bool wear_exact = false;
+  bool telemetry_exact = false;
+  std::string violation;
+};
+
+L2pCrossCheckResult RunL2pCrossCheck(uint64_t cache_entries, uint64_t seed) {
+  L2pCrossCheckResult out;
+  FtlConfig config;
+  config.geometry.channels = 1;
+  config.geometry.dies_per_channel = 1;
+  config.geometry.planes_per_die = 1;
+  config.geometry.blocks_per_plane = 16;
+  config.geometry.fpages_per_block = 16;
+  config.ecc_geometry = FPageEccGeometry{};
+  config.wear = WearModel::Calibrate(
+      ComputeTirednessLevel(config.ecc_geometry, 0).max_tolerable_rber,
+      /*nominal_pec=*/1000000);
+  config.seed = seed;
+  Ftl legacy(config);
+  FtlConfig bounded_config = config;
+  bounded_config.l2p_cache_entries = cache_entries;
+  bounded_config.l2p_entries_per_map_page = 64;  // 4 map pages over 256 lpos
+  Ftl bounded(bounded_config);
+
+  constexpr uint64_t kLogicalOPages = 256;
+  legacy.ExtendLogicalSpace(kLogicalOPages);
+  bounded.ExtendLogicalSpace(kLogicalOPages);
+  Rng ops(seed ^ 0x12bca);
+  for (uint64_t i = 0; i < 384; ++i) {
+    const uint64_t lpo = i % kLogicalOPages;  // strided map-page transitions
+    const uint64_t kind = ops.UniformInRange(0, 99);
+    if (kind < 80) {
+      if (!legacy.Write(lpo).ok() || !bounded.Write(lpo).ok()) {
+        out.violation = "l2p cross-check: write failed at op " +
+                        std::to_string(i);
+        return out;
+      }
+    } else if (kind < 90) {
+      (void)legacy.Read(lpo);
+      (void)bounded.Read(lpo);
+    } else if (kind < 96) {
+      if (!legacy.Trim(lpo).ok() || !bounded.Trim(lpo).ok()) {
+        out.violation = "l2p cross-check: trim failed at op " +
+                        std::to_string(i);
+        return out;
+      }
+    } else {
+      if (!legacy.Flush().ok() || !bounded.Flush().ok()) {
+        out.violation = "l2p cross-check: flush failed at op " +
+                        std::to_string(i);
+        return out;
+      }
+    }
+  }
+  // The exact-wear argument requires GC-free runs on both sides.
+  if (legacy.stats().gc_relocations != 0 ||
+      bounded.stats().gc_relocations != 0) {
+    out.violation = "l2p cross-check: GC fired in the roomy config";
+    return out;
+  }
+
+  const Ftl::L2pStats& ledger = bounded.l2p_stats();
+  out.map_writes = ledger.map_writes;
+  out.hits = ledger.hits;
+  out.misses = ledger.misses;
+  out.evictions = ledger.evictions;
+  out.legacy_programs = legacy.chip().total_programs();
+  out.bounded_programs = bounded.chip().total_programs();
+  out.wear_exact =
+      out.bounded_programs == out.legacy_programs + ledger.map_writes &&
+      ledger.map_writes > 0;
+  if (!out.wear_exact) {
+    out.violation = "l2p cross-check: program delta " +
+                    std::to_string(out.bounded_programs -
+                                   out.legacy_programs) +
+                    " != map_writes " + std::to_string(ledger.map_writes);
+    return out;
+  }
+
+  // Exported metrics must mirror the internal ledger to the last event.
+  MetricRegistry registry;
+  bounded.CollectMetrics(registry, "");
+  const auto counter = [&](const char* name) {
+    const Counter* c = registry.FindCounter(name);
+    return c != nullptr ? c->value() : 0;
+  };
+  out.telemetry_exact =
+      counter("ftl.l2p.hits") == ledger.hits &&
+      counter("ftl.l2p.misses") == ledger.misses &&
+      counter("ftl.l2p.evictions") == ledger.evictions &&
+      counter("ftl.l2p.map_writes") == ledger.map_writes &&
+      counter("ftl.l2p.replay_rebuilt_pages") == ledger.replay_rebuilt_pages;
+  if (!out.telemetry_exact) {
+    out.violation =
+        "l2p cross-check: exported ftl.l2p.* diverge from the ledger";
+  }
+  return out;
+}
+
 }  // namespace
 }  // namespace salamander
 
@@ -364,6 +478,10 @@ int main(int argc, char** argv) {
   // writes on every crash, and suspect-window reconciliation.
   const double power_loss_per_burst =
       bench::ParseF64Flag(argc, argv, "--power-loss-per-burst", 0.0);
+  // DRAM window for the bounded L2P cross-check. 0 (the default) skips the
+  // cross-check entirely: the soak output stays byte-identical to builds
+  // without the bounded cache.
+  const uint64_t l2p_cache_entries = bench::ParseL2pCacheEntries(argc, argv);
   const std::string metrics_out = bench::ParseStringFlag(
       argc, argv, "--metrics-out", "BENCH_chaos_metrics.json");
   const std::string trace_out = bench::ParseStringFlag(
@@ -533,6 +651,30 @@ int main(int argc, char** argv) {
     }
   }
 
+  L2pCrossCheckResult l2p;
+  if (l2p_cache_entries > 0) {
+    bench::PrintSection("bounded-L2P cross-check");
+    l2p = RunL2pCrossCheck(l2p_cache_entries, seed);
+    std::printf("l2p_cache_entries\t%llu\n",
+                static_cast<unsigned long long>(l2p_cache_entries));
+    std::printf("hits / misses / evictions\t%llu / %llu / %llu\n",
+                static_cast<unsigned long long>(l2p.hits),
+                static_cast<unsigned long long>(l2p.misses),
+                static_cast<unsigned long long>(l2p.evictions));
+    std::printf("map-page programs\t%llu\n",
+                static_cast<unsigned long long>(l2p.map_writes));
+    std::printf("flash programs (legacy / bounded)\t%llu / %llu\n",
+                static_cast<unsigned long long>(l2p.legacy_programs),
+                static_cast<unsigned long long>(l2p.bounded_programs));
+    std::printf("map-write wear exact\t%s\n", l2p.wear_exact ? "YES" : "NO");
+    std::printf("exported == ledger\t%s\n",
+                l2p.telemetry_exact ? "YES" : "NO");
+    if (!l2p.wear_exact || !l2p.telemetry_exact) {
+      pass = false;
+      std::printf("  L2P MISMATCH: %s\n", l2p.violation.c_str());
+    }
+  }
+
   if (!merged.WriteJsonFile(metrics_out)) {
     std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
     pass = false;
@@ -598,6 +740,23 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(permanent_upgrades_total),
                    static_cast<unsigned long long>(
                        merged.GetCounter("ftl.journal.replays").value()));
+    }
+    if (l2p_cache_entries > 0) {
+      std::fprintf(summary,
+                   "  \"l2p_cache_entries\": %llu,\n"
+                   "  \"l2p_hits\": %llu,\n"
+                   "  \"l2p_misses\": %llu,\n"
+                   "  \"l2p_evictions\": %llu,\n"
+                   "  \"l2p_map_writes\": %llu,\n"
+                   "  \"l2p_wear_exact\": %s,\n"
+                   "  \"l2p_telemetry_exact\": %s,\n",
+                   static_cast<unsigned long long>(l2p_cache_entries),
+                   static_cast<unsigned long long>(l2p.hits),
+                   static_cast<unsigned long long>(l2p.misses),
+                   static_cast<unsigned long long>(l2p.evictions),
+                   static_cast<unsigned long long>(l2p.map_writes),
+                   l2p.wear_exact ? "true" : "false",
+                   l2p.telemetry_exact ? "true" : "false");
     }
     std::fprintf(summary,
                  "  \"metrics_file\": \"%s\",\n"

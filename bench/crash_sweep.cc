@@ -78,7 +78,7 @@ struct SweepOp {
   uint64_t lpo = 0;
 };
 
-FtlConfig SweepFtlConfig() {
+FtlConfig SweepFtlConfig(uint64_t l2p_cache_entries = 0) {
   FtlConfig config;
   // 16 blocks x 16 fPages x 4 oPages = 1024 physical oPages: large enough
   // for GC and journal compaction to engage, small enough that thousands of
@@ -95,6 +95,14 @@ FtlConfig SweepFtlConfig() {
       ComputeTirednessLevel(config.ecc_geometry, 0).max_tolerable_rber,
       /*nominal_pec=*/1000000);
   config.seed = 20260805;
+  if (l2p_cache_entries > 0) {
+    // Bounded-L2P universe: tiny (8-entry) map pages spread the logical
+    // space across many map pages, so dirty-map write-back — and therefore
+    // unsynced kMapFlush records — lands between most op boundaries, putting
+    // torn map flushes squarely inside the tau sweep.
+    config.l2p_cache_entries = l2p_cache_entries;
+    config.l2p_entries_per_map_page = 8;
+  }
   return config;
 }
 
@@ -115,8 +123,9 @@ std::vector<SweepOp> MakeOps(uint64_t count, uint64_t logical_opages,
   return ops;
 }
 
-std::unique_ptr<Ftl> BuildSweepFtl(uint64_t logical_opages) {
-  auto ftl = std::make_unique<Ftl>(SweepFtlConfig());
+std::unique_ptr<Ftl> BuildSweepFtl(uint64_t logical_opages,
+                                   uint64_t l2p_cache_entries = 0) {
+  auto ftl = std::make_unique<Ftl>(SweepFtlConfig(l2p_cache_entries));
   ftl->ExtendLogicalSpace(logical_opages);
   // The space extension models an mDisk carve: durable before first use, so
   // a torn tail can never shrink the logical space mid-sweep.
@@ -173,7 +182,8 @@ void Violation(PointResult& out, uint64_t point, uint64_t tau,
 // Sweeps one crash point: every torn-tail length tau against the state after
 // ops [0, point).
 void SweepPoint(const std::vector<SweepOp>& ops, uint64_t point,
-                uint64_t logical_opages, PointResult& out) {
+                uint64_t logical_opages, uint64_t l2p_cache_entries,
+                PointResult& out) {
   out.digest = FoldU64(kFnvOffset, point);
 
   // Oracle, captured once: the prefix execution is deterministic, so every
@@ -183,7 +193,8 @@ void SweepPoint(const std::vector<SweepOp>& ops, uint64_t point,
   uint64_t unsynced = 0;
 
   for (uint64_t tau = 0; tau == 0 || tau <= unsynced; ++tau) {
-    std::unique_ptr<Ftl> ftl = BuildSweepFtl(logical_opages);
+    std::unique_ptr<Ftl> ftl =
+        BuildSweepFtl(logical_opages, l2p_cache_entries);
     std::string error;
     std::vector<uint8_t> run_acked(logical_opages, 0);
     if (!ApplyPrefix(*ftl, ops, point, run_acked, error)) {
@@ -562,6 +573,7 @@ int main(int argc, char** argv) {
   const uint64_t op_count = bench::ParseU64Flag(argc, argv, "--ops", 160);
   const uint64_t logical_opages =
       bench::ParseU64Flag(argc, argv, "--logical-opages", 256);
+  const uint64_t l2p_cache_entries = bench::ParseL2pCacheEntries(argc, argv);
 
   bench::PrintHeader(
       "crash sweep — power-loss replay at every journal record boundary",
@@ -570,6 +582,11 @@ int main(int argc, char** argv) {
   std::printf("ops=%llu logical_opages=%llu threads=%u\n",
               static_cast<unsigned long long>(op_count),
               static_cast<unsigned long long>(logical_opages), threads);
+  if (l2p_cache_entries > 0) {
+    std::printf("l2p_cache_entries=%llu (bounded-L2P universe: torn-tail "
+                "sweep across map-flush boundaries)\n",
+                static_cast<unsigned long long>(l2p_cache_entries));
+  }
 
   // ---- Phase A: FTL replay sweep -----------------------------------------
   bench::PrintSection("FTL replay sweep");
@@ -579,14 +596,16 @@ int main(int argc, char** argv) {
 
   std::vector<PointResult> serial_points(points);
   for (size_t o = 0; o < points; ++o) {
-    SweepPoint(ops, o, logical_opages, serial_points[o]);
+    SweepPoint(ops, o, logical_opages, /*l2p_cache_entries=*/0,
+               serial_points[o]);
   }
   std::vector<PointResult> parallel_points(points);
   {
     ThreadPool pool(threads);
     pool.ParallelFor(points, [&](size_t begin, size_t end) {
       for (size_t o = begin; o < end; ++o) {
-        SweepPoint(ops, o, logical_opages, parallel_points[o]);
+        SweepPoint(ops, o, logical_opages, /*l2p_cache_entries=*/0,
+                   parallel_points[o]);
       }
     });
   }
@@ -609,6 +628,47 @@ int main(int argc, char** argv) {
               points, static_cast<unsigned long long>(ftl_replays),
               ftl_violations, ftl_identical ? "yes" : "NO — BUG",
               static_cast<unsigned long long>(ftl_digest));
+
+  // ---- Phase A2: bounded-L2P replay sweep (--l2p-cache-entries > 0) ------
+  // Same every-boundary × every-tear grid, but the FTL pages its map to
+  // flash: dirty cache pages at the crash, torn kMapFlush records, and
+  // replayed map-page reconstruction all land inside the sweep. The default
+  // (0) skips this phase entirely, keeping output byte-identical.
+  uint64_t l2p_replays = 0;
+  uint64_t l2p_digest = kFnvOffset;
+  size_t l2p_violations = 0;
+  bool l2p_identical = true;
+  if (l2p_cache_entries > 0) {
+    bench::PrintSection("FTL replay sweep (bounded L2P)");
+    std::vector<PointResult> l2p_serial(points);
+    for (size_t o = 0; o < points; ++o) {
+      SweepPoint(ops, o, logical_opages, l2p_cache_entries, l2p_serial[o]);
+    }
+    std::vector<PointResult> l2p_parallel(points);
+    {
+      ThreadPool pool(threads);
+      pool.ParallelFor(points, [&](size_t begin, size_t end) {
+        for (size_t o = begin; o < end; ++o) {
+          SweepPoint(ops, o, logical_opages, l2p_cache_entries,
+                     l2p_parallel[o]);
+        }
+      });
+    }
+    for (size_t o = 0; o < points; ++o) {
+      l2p_replays += l2p_parallel[o].replays;
+      l2p_digest = FoldU64(l2p_digest, l2p_parallel[o].digest);
+      l2p_violations += l2p_parallel[o].violations.size();
+      l2p_identical &= l2p_serial[o].digest == l2p_parallel[o].digest;
+      for (const std::string& v : l2p_parallel[o].violations) {
+        std::printf("VIOLATION: %s\n", v.c_str());
+      }
+    }
+    std::printf("crash_points=%zu replays=%llu violations=%zu "
+                "serial_parallel_identical=%s digest=0x%016llx\n",
+                points, static_cast<unsigned long long>(l2p_replays),
+                l2p_violations, l2p_identical ? "yes" : "NO — BUG",
+                static_cast<unsigned long long>(l2p_digest));
+  }
 
   // ---- Phase B: cluster crash scenarios ----------------------------------
   bench::PrintSection("cluster crash scenarios");
@@ -670,13 +730,26 @@ int main(int argc, char** argv) {
                "  \"replays\": %llu,\n"
                "  \"ftl_violations\": %zu,\n"
                "  \"ftl_digest\": \"0x%016llx\",\n"
-               "  \"ftl_serial_parallel_identical\": %s,\n"
-               "  \"scenarios\": [\n",
+               "  \"ftl_serial_parallel_identical\": %s,\n",
                static_cast<unsigned long long>(op_count),
                static_cast<unsigned long long>(logical_opages), points,
                static_cast<unsigned long long>(ftl_replays), ftl_violations,
                static_cast<unsigned long long>(ftl_digest),
                ftl_identical ? "true" : "false");
+  if (l2p_cache_entries > 0) {
+    // Gated so the default-knob document stays byte-identical.
+    std::fprintf(json,
+                 "  \"l2p\": {\"cache_entries\": %llu, "
+                 "\"crash_points\": %zu, \"replays\": %llu, "
+                 "\"violations\": %zu, \"digest\": \"0x%016llx\", "
+                 "\"serial_parallel_identical\": %s},\n",
+                 static_cast<unsigned long long>(l2p_cache_entries), points,
+                 static_cast<unsigned long long>(l2p_replays),
+                 l2p_violations,
+                 static_cast<unsigned long long>(l2p_digest),
+                 l2p_identical ? "true" : "false");
+  }
+  std::fprintf(json, "  \"scenarios\": [\n");
   for (size_t i = 0; i < scenario_count; ++i) {
     const ScenarioResult& r = first_run[i];
     std::fprintf(json,
@@ -704,6 +777,7 @@ int main(int argc, char** argv) {
   std::printf("\nwrote BENCH_crash_sweep.json\n");
 
   const bool ok = ftl_violations == 0 && cluster_violations == 0 &&
-                  data_lost == 0 && ftl_identical && cluster_identical;
+                  data_lost == 0 && ftl_identical && cluster_identical &&
+                  l2p_violations == 0 && l2p_identical;
   return ok ? 0 : 1;
 }

@@ -143,15 +143,19 @@ int main(int argc, char** argv) {
       argc, argv, "--power-loss-per-device-day", 0.0);
   const uint32_t restart_days = static_cast<uint32_t>(
       bench::ParseU64Flag(argc, argv, "--power-loss-restart-days", 1));
+  const uint64_t l2p_cache_entries = bench::ParseL2pCacheEntries(argc, argv);
 
   const std::string metrics_out = bench::ParseStringFlag(
       argc, argv, "--metrics-out", "BENCH_fleet_metrics.json");
 
   const auto make_config = [&](SsdKind kind) {
-    return datacenter ? DatacenterFleet(kind, devices, days, power_loss,
-                                        restart_days)
-                      : BenchFleet(kind, devices, days, power_loss,
-                                   restart_days);
+    FleetConfig config =
+        datacenter ? DatacenterFleet(kind, devices, days, power_loss,
+                                     restart_days)
+                   : BenchFleet(kind, devices, days, power_loss,
+                                restart_days);
+    config.l2p_cache_entries = l2p_cache_entries;
+    return config;
   };
 
   bench::PrintHeader(
@@ -171,6 +175,11 @@ int main(int argc, char** argv) {
   if (power_loss > 0.0) {
     std::printf("power_loss_per_device_day=%g restart_days=%u\n", power_loss,
                 restart_days);
+  }
+  if (l2p_cache_entries > 0) {
+    std::printf("l2p_cache_entries=%llu (DRAM-bounded L2P map, paged to "
+                "flash with wear accounting)\n",
+                static_cast<unsigned long long>(l2p_cache_entries));
   }
 
   std::printf("\nkind\tserial_s\tparallel_s\tspeedup\tidentical\tmetrics\n");
@@ -289,13 +298,20 @@ int main(int argc, char** argv) {
                "  \"profile\": \"%s\",\n"
                "  \"sched\": \"%s\",\n"
                "  \"devices\": %u,\n"
-               "  \"days\": %u,\n"
+               "  \"days\": %u,\n",
+               profile.c_str(), sched.c_str(), devices, days);
+  if (l2p_cache_entries > 0) {
+    // Emitted only when the bounded cache is on, so default-knob JSON stays
+    // byte-identical to pre-cache builds.
+    std::fprintf(json, "  \"l2p_cache_entries\": %llu,\n",
+                 static_cast<unsigned long long>(l2p_cache_entries));
+  }
+  std::fprintf(json,
                "  \"hardware_concurrency\": %u,\n"
                "  \"parallel_threads\": %u,\n"
                "  \"oversubscribed\": %s,\n"
                "  \"speedup_meaningful\": %s,\n"
                "  \"runs\": [\n",
-               profile.c_str(), sched.c_str(), devices, days,
                ThreadPool::HardwareThreads(), parallel_threads,
                oversubscribed ? "true" : "false",
                oversubscribed ? "false" : "true");

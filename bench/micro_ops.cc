@@ -101,6 +101,72 @@ void BM_FtlReadPath(benchmark::State& state) {
 }
 BENCHMARK(BM_FtlReadPath);
 
+void BM_FtlL2pHit(benchmark::State& state) {
+  // Bounded L2P map cache, hot path: the DRAM window covers the whole map,
+  // so after warm-up every lookup is a cache hit — measures the dispatch
+  // overhead the bounded cache adds on top of BM_FtlReadPath.
+  FtlConfig config;
+  config.geometry = FlashGeometry::Small();
+  config.ecc_geometry = FPageEccGeometry{};
+  config.wear = WearModel::Calibrate(1e-2, 1000000);
+  const uint64_t logical = 4096;
+  config.l2p_cache_entries = logical;  // whole map resident: no evictions
+  Ftl ftl(config);
+  ftl.ExtendLogicalSpace(logical);
+  for (uint64_t lpo = 0; lpo < logical; ++lpo) {
+    if (!ftl.Write(lpo).ok()) {
+      state.SkipWithError("setup write failed");
+      return;
+    }
+  }
+  Rng rng(6);
+  for (auto _ : state) {
+    auto result = ftl.Read(rng.UniformU64(logical));
+    benchmark::DoNotOptimize(result);
+  }
+  if (ftl.l2p_stats().evictions != 0) {
+    state.SkipWithError("whole-map cache must never evict");
+    return;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["l2p_hits"] =
+      static_cast<double>(ftl.l2p_stats().hits);
+}
+BENCHMARK(BM_FtlL2pHit);
+
+void BM_FtlL2pMiss(benchmark::State& state) {
+  // Bounded L2P map cache, cold path: a one-map-page DRAM window with reads
+  // striding across map pages, so nearly every lookup faults a map page in
+  // (simulated flash read + eviction) — the worst-case miss cost.
+  FtlConfig config;
+  config.geometry = FlashGeometry::Small();
+  config.ecc_geometry = FPageEccGeometry{};
+  config.wear = WearModel::Calibrate(1e-2, 1000000);
+  const uint64_t logical = 4096;
+  config.l2p_cache_entries = 1;        // rounds up to a single-page window
+  config.l2p_entries_per_map_page = 64;  // 64 map pages over the space
+  Ftl ftl(config);
+  ftl.ExtendLogicalSpace(logical);
+  for (uint64_t lpo = 0; lpo < logical; ++lpo) {
+    if (!ftl.Write(lpo).ok()) {
+      state.SkipWithError("setup write failed");
+      return;
+    }
+  }
+  // Stride one entry past the map-page size: consecutive reads always land
+  // on different map pages, defeating the single-page window.
+  uint64_t lpo = 0;
+  for (auto _ : state) {
+    auto result = ftl.Read(lpo);
+    benchmark::DoNotOptimize(result);
+    lpo = (lpo + 65) % logical;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["l2p_misses"] =
+      static_cast<double>(ftl.l2p_stats().misses);
+}
+BENCHMARK(BM_FtlL2pMiss);
+
 }  // namespace
 }  // namespace salamander
 

@@ -30,6 +30,7 @@ FleetSim::FleetSim(const FleetConfig& config) : config_(config) {
          config_.kind == SsdKind::kRegenS)) {
       ssd_config.minidisk.msize_opages = config_.msize_opages;
     }
+    ssd_config.ftl.l2p_cache_entries = config_.l2p_cache_entries;
     if (config_.inject_device_faults ||
         config_.power_loss_per_device_day > 0.0) {
       // Power loss rides the per-device injector so its draws follow the

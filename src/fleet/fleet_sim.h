@@ -56,6 +56,10 @@ struct FleetConfig {
   unsigned regen_max_level = 1;
   // mDisk size for Salamander kinds (oPages); 0 keeps the factory default.
   uint64_t msize_opages = 0;
+  // DRAM-resident L2P window per device (FtlConfig::l2p_cache_entries).
+  // 0 — the default — keeps the legacy unbounded in-DRAM map: no map-page
+  // writes, no extra wear, every output byte-identical.
+  uint64_t l2p_cache_entries = 0;
 
   // Host writes per device per day, as a fraction of *initial* capacity
   // (drive-writes-per-day). The absolute rate stays constant as devices

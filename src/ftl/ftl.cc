@@ -19,8 +19,17 @@ uint64_t JournalCapacity(const FtlConfig& config) {
   if (config.journal_capacity_records > 0) {
     return config.journal_capacity_records;
   }
-  return config.geometry.total_opages() + config.geometry.total_fpages() +
-         config.geometry.total_blocks() + 4096;
+  uint64_t capacity = config.geometry.total_opages() +
+                      config.geometry.total_fpages() +
+                      config.geometry.total_blocks() + 4096;
+  if (config.l2p_cache_entries > 0) {
+    // Bounded-L2P compaction additionally emits one kMapFlush per map page.
+    const uint64_t entries = config.l2p_entries_per_map_page > 0
+                                 ? config.l2p_entries_per_map_page
+                                 : config.geometry.opage_bytes / 8;
+    capacity += (config.geometry.total_opages() + entries - 1) / entries;
+  }
+  return capacity;
 }
 
 }  // namespace
@@ -59,11 +68,23 @@ Ftl::Ftl(const FtlConfig& config)
   }
   free_blocks_ = blocks;
   stats_.reads_by_level.assign(config_.geometry.opages_per_fpage, 0);
+
+  if (config_.l2p_cache_entries > 0) {
+    l2p_entries_per_page_ = config_.l2p_entries_per_map_page > 0
+                                ? config_.l2p_entries_per_map_page
+                                : config_.geometry.opage_bytes / 8;
+    assert(l2p_entries_per_page_ > 0 && "map pages must hold >= 1 entry");
+    l2p_capacity_pages_ = std::max<uint64_t>(
+        1, config_.l2p_cache_entries / l2p_entries_per_page_);
+  }
 }
 
 uint64_t Ftl::ExtendLogicalSpace(uint64_t opages) {
   const uint64_t first = mapping_.size();
   mapping_.resize(mapping_.size() + opages, kUnmapped);
+  if (l2p_enabled()) {
+    L2pGrow();
+  }
   JournalAppend(JournalRecord{JournalRecordType::kExtend, opages, 0, 0, 0});
   return first;
 }
@@ -78,7 +99,13 @@ StatusOr<SimDuration> Ftl::Write(uint64_t lpo) {
   }
   SimDuration latency = 0;
   ++stats_.host_writes;
+  if (l2p_enabled()) {
+    L2pTouch(lpo, /*make_dirty=*/true, latency);
+  }
   SALA_RETURN_IF_ERROR(BufferWrite(lpo, Stream::kHost, latency));
+  if (l2p_enabled()) {
+    L2pEvictToCapacity(latency);
+  }
   return latency;
 }
 
@@ -87,13 +114,20 @@ StatusOr<ReadResult> Ftl::Read(uint64_t lpo) {
     return OutOfRangeError("Read: lpo " + std::to_string(lpo));
   }
   ++stats_.host_reads;
+  SimDuration l2p_latency = 0;
+  if (l2p_enabled()) {
+    L2pTouch(lpo, /*make_dirty=*/false, l2p_latency);
+    L2pEvictToCapacity(l2p_latency);
+  }
+  // Re-read after the L2P access: a dirty-map write-back above can trigger
+  // GC, which may relocate this very page into the buffer.
   const uint64_t entry = mapping_[lpo];
   if (entry == kUnmapped) {
     return NotFoundError("Read: lpo " + std::to_string(lpo) + " unmapped");
   }
   if (IsBuffered(entry)) {
     ++stats_.buffer_hits;
-    return ReadResult{.latency = config_.buffer_read_latency,
+    return ReadResult{.latency = config_.buffer_read_latency + l2p_latency,
                       .tiredness_level = 0,
                       .retries = 0,
                       .buffer_hit = true};
@@ -115,8 +149,8 @@ StatusOr<ReadResult> Ftl::Read(uint64_t lpo) {
   if (outcome.silent_corrupt) {
     ++stats_.silent_corrupt_fpage_reads;
   }
-  return ReadResult{.latency =
-                        outcome.latency + DedicatedEccReadPenalty(level),
+  return ReadResult{.latency = outcome.latency +
+                               DedicatedEccReadPenalty(level) + l2p_latency,
                     .tiredness_level = level,
                     .retries = outcome.retries,
                     .buffer_hit = false,
@@ -133,6 +167,10 @@ StatusOr<RangeReadResult> Ftl::ReadRange(uint64_t first_lpo, uint64_t count) {
   for (uint64_t i = 0; i < count; ++i) {
     const uint64_t lpo = first_lpo + i;
     ++stats_.host_reads;
+    if (l2p_enabled()) {
+      // Over-admit across the range; one eviction pass runs after the loop.
+      L2pTouch(lpo, /*make_dirty=*/false, result.latency);
+    }
     const uint64_t entry = mapping_[lpo];
     if (entry == kUnmapped) {
       return NotFoundError("ReadRange: lpo " + std::to_string(lpo));
@@ -176,6 +214,9 @@ StatusOr<RangeReadResult> Ftl::ReadRange(uint64_t first_lpo, uint64_t count) {
     result.latency += outcome.latency + DedicatedEccReadPenalty(level);
     last_fpage = fpage;
   }
+  if (l2p_enabled()) {
+    L2pEvictToCapacity(result.latency);
+  }
   return result;
 }
 
@@ -185,6 +226,13 @@ Status Ftl::Trim(uint64_t lpo) {
   }
   if (!rolled_back_.empty()) {
     rolled_back_.erase(lpo);  // the trim supersedes the lost write
+  }
+  if (l2p_enabled()) {
+    // Trim has no latency channel; the map-fault and write-back costs of
+    // this access are modeled for wear and cache state but not billed.
+    SimDuration l2p_latency = 0;
+    L2pTouch(lpo, /*make_dirty=*/mapping_[lpo] != kUnmapped, l2p_latency);
+    L2pEvictToCapacity(l2p_latency);
   }
   const uint64_t entry = mapping_[lpo];
   if (entry == kUnmapped) {
@@ -210,6 +258,12 @@ Status Ftl::Flush() {
       SALA_RETURN_IF_ERROR(
           FlushToTarget(stream, /*allow_partial=*/true, latency));
     }
+  }
+  if (l2p_enabled()) {
+    // Restore the window bound before the barrier so any kMapFlush records
+    // written back here are covered by the sync below.
+    SimDuration l2p_latency = 0;  // Flush() reports no latency
+    L2pEvictToCapacity(l2p_latency);
   }
   // Host flush is the durability barrier: everything journaled so far
   // (including the kMap records the drain above produced) becomes durable.
@@ -352,6 +406,14 @@ Status Ftl::FlushToTarget(Stream stream, bool allow_partial,
                                   config_.geometry.FirstSlotOfFPage(target) + k,
                                   0, 0});
     }
+    if (l2p_enabled()) {
+      // The batch's L2P entries changed (buffered -> flash slot); mark their
+      // map pages dirty. Internal touch: over-admits, never evicts — the
+      // enclosing public op restores the window bound.
+      for (size_t k = 0; k < batch.size(); ++k) {
+        L2pTouch(batch[k], /*make_dirty=*/true, latency);
+      }
+    }
     f.buffer_valid -= batch.size();
     f.next_page = static_cast<uint32_t>(
                       target - config_.geometry.FirstFPageOfBlock(block)) +
@@ -488,7 +550,15 @@ Status Ftl::GarbageCollectOnce(SimDuration& latency) {
   Status status = OkStatus();
   for (uint64_t s = 0; s < slots && status.ok(); ++s) {
     const uint64_t lpo = reverse_[first_slot + s];
-    if (lpo != kSlotFree) {
+    if (lpo == kSlotFree) {
+      continue;
+    }
+    if (IsMapLpo(lpo)) {
+      // Relocate a live map-page image: re-flush the page's current durable
+      // content to a fresh slot (a real program plus journaled kMapFlush);
+      // the old slot in the victim is invalidated by the flush.
+      status = FlushMapPage(lpo - kMapLpoBase, latency);
+    } else {
       status = BufferWrite(lpo, Stream::kGc, latency);
     }
   }
@@ -501,6 +571,12 @@ Status Ftl::GarbageCollectOnce(SimDuration& latency) {
 
 Status Ftl::EraseAndRecycle(BlockIndex block, SimDuration& latency) {
   assert(block_valid_[block] == 0 && "erasing a block with valid data");
+  if (l2p_enabled() && UnsyncedTailHasMapFlush()) {
+    // An unsynced kMapFlush can still be torn at power loss, rolling its map
+    // page back to the *previous* flash image — which this erase might be
+    // about to destroy. Make the newest image durable before any erase.
+    journal_.Sync();
+  }
   StatusOr<SimDuration> erase_time = chip_->EraseBlock(block);
   if (!erase_time.ok()) {
     if (erase_time.status().code() != StatusCode::kDataLoss) {
@@ -759,6 +835,22 @@ Ftl::EventEstimate Ftl::EstimateNextEvent() const {
     estimate.opages_to_wear_event =
         budget >= 1.8e19 ? UINT64_MAX : static_cast<uint64_t>(budget);
   }
+  // Bounded L2P: map-page write-back consumes program budget alongside host
+  // data, so N host oPages of headroom arrive sooner. Derate both horizons
+  // by the observed host share of total programs.
+  if (l2p_enabled() && l2p_stats_.map_writes > 0 && stats_.host_writes > 0) {
+    const double host = static_cast<double>(stats_.host_writes);
+    const double map_opages =
+        static_cast<double>(l2p_stats_.map_writes) *
+        config_.geometry.opages_per_fpage;
+    const double share = host / (host + map_opages);
+    estimate.opages_to_gc_pressure = static_cast<uint64_t>(
+        static_cast<double>(estimate.opages_to_gc_pressure) * share);
+    if (estimate.opages_to_wear_event != UINT64_MAX) {
+      estimate.opages_to_wear_event = static_cast<uint64_t>(
+          static_cast<double>(estimate.opages_to_wear_event) * share);
+    }
+  }
   return estimate;
 }
 
@@ -869,6 +961,226 @@ std::vector<PageTransition> Ftl::TakeTransitions() {
 }
 
 // ---------------------------------------------------------------------------
+// Bounded L2P map cache
+// ---------------------------------------------------------------------------
+
+void Ftl::L2pGrow() {
+  const uint64_t pages =
+      (mapping_.size() + l2p_entries_per_page_ - 1) / l2p_entries_per_page_;
+  if (pages <= map_slot_.size()) {
+    return;
+  }
+  map_slot_.resize(pages, kUnmappedSlot);
+  map_image_.resize(pages);
+  l2p_resident_.resize(pages, 0);
+  l2p_dirty_.resize(pages, 0);
+  l2p_lru_prev_.resize(pages, kLruNil);
+  l2p_lru_next_.resize(pages, kLruNil);
+}
+
+void Ftl::L2pLruRemove(uint64_t map_index) {
+  const uint64_t prev = l2p_lru_prev_[map_index];
+  const uint64_t next = l2p_lru_next_[map_index];
+  if (prev != kLruNil) {
+    l2p_lru_next_[prev] = next;
+  } else {
+    l2p_lru_head_ = next;
+  }
+  if (next != kLruNil) {
+    l2p_lru_prev_[next] = prev;
+  } else {
+    l2p_lru_tail_ = prev;
+  }
+  l2p_lru_prev_[map_index] = kLruNil;
+  l2p_lru_next_[map_index] = kLruNil;
+}
+
+void Ftl::L2pLruPushFront(uint64_t map_index) {
+  l2p_lru_prev_[map_index] = kLruNil;
+  l2p_lru_next_[map_index] = l2p_lru_head_;
+  if (l2p_lru_head_ != kLruNil) {
+    l2p_lru_prev_[l2p_lru_head_] = map_index;
+  }
+  l2p_lru_head_ = map_index;
+  if (l2p_lru_tail_ == kLruNil) {
+    l2p_lru_tail_ = map_index;
+  }
+}
+
+void Ftl::L2pTouch(uint64_t lpo, bool make_dirty, SimDuration& latency) {
+  const uint64_t map_index = MapPageOf(lpo);
+  if (l2p_resident_[map_index]) {
+    ++l2p_stats_.hits;
+    if (l2p_lru_head_ != map_index) {
+      L2pLruRemove(map_index);
+      L2pLruPushFront(map_index);
+    }
+  } else {
+    ++l2p_stats_.misses;
+    if (map_slot_[map_index] != kUnmappedSlot) {
+      // Fault the flushed image in. Modeled as a deterministic flash-read
+      // latency — no FlashChip call, so map paging never perturbs the
+      // read-path Rng stream. A never-flushed page faults in for free (a
+      // real FTL treats a missing map page as all-unmapped).
+      latency += config_.latency.read_fpage +
+                 config_.latency.TransferTime(config_.geometry.opage_bytes);
+    }
+    l2p_resident_[map_index] = 1;
+    ++l2p_resident_pages_;
+    L2pLruPushFront(map_index);
+  }
+  if (make_dirty && !l2p_dirty_[map_index]) {
+    l2p_dirty_[map_index] = 1;
+    ++l2p_dirty_pages_;
+  }
+}
+
+void Ftl::L2pEvictToCapacity(SimDuration& latency) {
+  // Bounded pass: a dirty write-back can run GC, which over-admits more map
+  // pages; any overshoot left behind drains on a later op instead of looping
+  // here forever.
+  uint64_t budget = l2p_resident_pages_ > l2p_capacity_pages_
+                        ? l2p_resident_pages_ - l2p_capacity_pages_
+                        : 0;
+  while (budget-- > 0 && l2p_resident_pages_ > l2p_capacity_pages_) {
+    const uint64_t victim = l2p_lru_tail_;
+    if (victim == kLruNil) {
+      break;
+    }
+    if (l2p_dirty_[victim] && !FlushMapPage(victim, latency).ok()) {
+      // Out of space (or a transient chip fault) mid write-back: keep the
+      // page resident and dirty; a later op retries the eviction.
+      break;
+    }
+    L2pLruRemove(victim);
+    l2p_resident_[victim] = 0;
+    --l2p_resident_pages_;
+    ++l2p_stats_.evictions;
+  }
+}
+
+std::vector<uint64_t> Ftl::L2pDurableContent(uint64_t map_index) const {
+  const uint64_t first = map_index * l2p_entries_per_page_;
+  const uint64_t last =
+      std::min(first + l2p_entries_per_page_, static_cast<uint64_t>(mapping_.size()));
+  std::vector<uint64_t> content;
+  content.reserve(last > first ? last - first : 0);
+  bool any_mapped = false;
+  for (uint64_t lpo = first; lpo < last; ++lpo) {
+    const uint64_t entry = mapping_[lpo];
+    const uint64_t durable =
+        (entry == kUnmapped || IsBuffered(entry)) ? kUnmapped : entry;
+    any_mapped |= durable != kUnmapped;
+    content.push_back(durable);
+  }
+  if (!any_mapped) {
+    content.clear();  // canonical form for an all-unmapped page
+  }
+  return content;
+}
+
+bool Ftl::UnsyncedTailHasMapFlush() const {
+  const std::vector<JournalRecord>& records = journal_.records();
+  for (uint64_t i = journal_.synced_count(); i < records.size(); ++i) {
+    if (records[i].type == JournalRecordType::kMapFlush) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Status Ftl::FlushMapPage(uint64_t map_index, SimDuration& latency) {
+  // Write-ahead: every delta since this page's previous image must be
+  // durable before the new image can supersede it — a torn kMapFlush then
+  // rolls back to the previous image and the surviving deltas patch it
+  // forward to exactly the new image's content.
+  journal_.Sync();
+  FPageIndex target = 0;
+  for (;;) {
+    SALA_ASSIGN_OR_RETURN(target, NextProgramTarget(Stream::kMap, latency));
+    StatusOr<SimDuration> program_time = chip_->ProgramFPage(target);
+    if (!program_time.ok()) {
+      if (program_time.status().code() != StatusCode::kDataLoss) {
+        return program_time.status();
+      }
+      // Program-status failure: retire the page and re-place, as on the
+      // data path.
+      ++stats_.program_failures;
+      RetireInServicePage(target, page_level_[target], kDeadLevel);
+      map_frontier_.next_page =
+          static_cast<uint32_t>(
+              target - config_.geometry.FirstFPageOfBlock(
+                           config_.geometry.BlockOfFPage(target))) +
+          1;
+      continue;
+    }
+    latency += *program_time;
+    break;
+  }
+  const BlockIndex block = config_.geometry.BlockOfFPage(target);
+  // One map oPage per fPage (the rest is padding): slot 0 carries the image.
+  const OPageSlot slot = config_.geometry.FirstSlotOfFPage(target);
+  if (map_slot_[map_index] != kUnmappedSlot) {
+    InvalidateSlot(map_slot_[map_index]);  // the old image dies
+  }
+  map_slot_[map_index] = slot;
+  reverse_[slot] = kMapLpoBase + map_index;
+  ++block_valid_[block];
+  map_frontier_.next_page =
+      static_cast<uint32_t>(target -
+                            config_.geometry.FirstFPageOfBlock(block)) +
+      1;
+  map_image_[map_index] = L2pDurableContent(map_index);
+  if (l2p_dirty_[map_index]) {
+    l2p_dirty_[map_index] = 0;
+    --l2p_dirty_pages_;
+  }
+  ++l2p_stats_.map_writes;
+  // Deliberately left unsynced: this record is the torn-map-page crash
+  // surface. EraseAndRecycle syncs before destroying any previous image it
+  // could roll back to.
+  JournalAppend(
+      JournalRecord{JournalRecordType::kMapFlush, map_index, slot, 0, 0});
+  return OkStatus();
+}
+
+void Ftl::ReplayRestoreMapPage(uint64_t map_index) {
+  const uint64_t first = map_index * l2p_entries_per_page_;
+  const uint64_t last =
+      std::min(first + l2p_entries_per_page_, static_cast<uint64_t>(mapping_.size()));
+  const std::vector<uint64_t>& image = map_image_[map_index];
+  for (uint64_t lpo = first; lpo < last; ++lpo) {
+    const uint64_t offset = lpo - first;
+    const uint64_t want = offset < image.size() ? image[offset] : kUnmapped;
+    const uint64_t old = mapping_[lpo];
+    if (old == want) {
+      continue;
+    }
+    if (old != kUnmapped) {
+      reverse_[old] = kSlotFree;
+      --mapped_opages_;
+    }
+    if (want == kUnmapped) {
+      mapping_[lpo] = kUnmapped;
+      continue;
+    }
+    const uint64_t evicted = reverse_[want];
+    if (evicted != kSlotFree && evicted != lpo) {
+      if (IsMapLpo(evicted)) {
+        map_slot_[evicted - kMapLpoBase] = kUnmappedSlot;
+      } else {
+        mapping_[evicted] = kUnmapped;
+        --mapped_opages_;
+        rolled_back_.insert(evicted);
+      }
+    }
+    mapping_[lpo] = want;
+    reverse_[want] = lpo;
+    ++mapped_opages_;
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Crash-restart recovery
 // ---------------------------------------------------------------------------
 
@@ -930,10 +1242,44 @@ void Ftl::CompactJournal() {
   }
   // L2P snapshot. Buffered pages have no durable version by definition and
   // are omitted — they roll back if power is lost before their flush.
-  for (uint64_t lpo = 0; lpo < mapping_.size(); ++lpo) {
-    const uint64_t entry = mapping_[lpo];
-    if (entry != kUnmapped && !IsBuffered(entry)) {
-      out.push_back(JournalRecord{JournalRecordType::kMap, lpo, entry, 0, 0});
+  if (!l2p_enabled()) {
+    for (uint64_t lpo = 0; lpo < mapping_.size(); ++lpo) {
+      const uint64_t entry = mapping_[lpo];
+      if (entry != kUnmapped && !IsBuffered(entry)) {
+        out.push_back(
+            JournalRecord{JournalRecordType::kMap, lpo, entry, 0, 0});
+      }
+    }
+  } else {
+    // Bounded-L2P snapshot: per map page, its newest flushed image (if any)
+    // followed by the delta records reconciling that image with the current
+    // durable mapping — exactly the shape Replay() consumes.
+    for (uint64_t p = 0; p < map_slot_.size(); ++p) {
+      if (map_slot_[p] != kUnmappedSlot) {
+        out.push_back(JournalRecord{JournalRecordType::kMapFlush, p,
+                                    map_slot_[p], 0, 0});
+      }
+      const uint64_t first = p * l2p_entries_per_page_;
+      const uint64_t last = std::min(first + l2p_entries_per_page_,
+                                     static_cast<uint64_t>(mapping_.size()));
+      const std::vector<uint64_t>& image = map_image_[p];
+      for (uint64_t lpo = first; lpo < last; ++lpo) {
+        const uint64_t entry = mapping_[lpo];
+        const uint64_t durable =
+            (entry == kUnmapped || IsBuffered(entry)) ? kUnmapped : entry;
+        const uint64_t offset = lpo - first;
+        const uint64_t imaged =
+            offset < image.size() ? image[offset] : kUnmapped;
+        if (durable == imaged) {
+          continue;
+        }
+        if (durable == kUnmapped) {
+          out.push_back(JournalRecord{JournalRecordType::kTrim, lpo, 0, 0, 0});
+        } else {
+          out.push_back(
+              JournalRecord{JournalRecordType::kMap, lpo, durable, 0, 0});
+        }
+      }
     }
   }
   // Non-pristine page states and permanently retired blocks.
@@ -996,6 +1342,18 @@ Status Ftl::Replay() {
   mapped_opages_ = 0;
   page_level_.assign(fpages, 0);
   page_state_.assign(fpages, PageState::kInService);
+  // Bounded L2P: remember the pre-crash flush slots (for the rebuilt-pages
+  // stat), reset the slot table, and keep the image shadows — each surviving
+  // kMapFlush restores its page's entries from the shadow, then the (always
+  // synced-before-flush) delta records patch it forward. The shadow may be
+  // newer than the literal flash bytes after a torn kMapFlush, but it is
+  // delta-closed: restoring it and re-applying the same deltas is
+  // value-idempotent, so the rebuilt mapping is identical either way.
+  std::vector<uint64_t> pre_map_slot;
+  if (l2p_enabled()) {
+    pre_map_slot = map_slot_;
+    std::fill(map_slot_.begin(), map_slot_.end(), kUnmappedSlot);
+  }
 
   // Pass 1: apply records in append order. A kMap landing on an occupied
   // slot evicts the stale occupant — its invalidation record died with the
@@ -1004,6 +1362,9 @@ Status Ftl::Replay() {
     switch (r.type) {
       case JournalRecordType::kExtend:
         mapping_.resize(mapping_.size() + r.a, kUnmapped);
+        if (l2p_enabled()) {
+          L2pGrow();
+        }
         break;
       case JournalRecordType::kMap: {
         const uint64_t lpo = r.a;
@@ -1018,13 +1379,50 @@ Status Ftl::Replay() {
         }
         const uint64_t evicted = reverse_[slot];
         if (evicted != kSlotFree && evicted != lpo) {
-          mapping_[evicted] = kUnmapped;
-          --mapped_opages_;
-          rolled_back_.insert(evicted);
+          if (IsMapLpo(evicted)) {
+            // The slot was reused for data after its map image died; the
+            // superseding kMapFlush is later in the journal (or torn, in
+            // which case deltas alone rebuild that map page).
+            map_slot_[evicted - kMapLpoBase] = kUnmappedSlot;
+          } else {
+            mapping_[evicted] = kUnmapped;
+            --mapped_opages_;
+            rolled_back_.insert(evicted);
+          }
         }
         mapping_[lpo] = slot;
         reverse_[slot] = lpo;
         ++mapped_opages_;
+        break;
+      }
+      case JournalRecordType::kMapFlush: {
+        if (!l2p_enabled()) {
+          return InternalError("Replay: kMapFlush with bounded L2P disabled");
+        }
+        const uint64_t map_index = r.a;
+        const uint64_t slot = r.b;
+        if (map_index >= map_slot_.size() || slot >= reverse_.size()) {
+          return InternalError("Replay: kMapFlush record out of range");
+        }
+        if (!chip_->IsProgrammed(geometry.FPageOfSlot(slot))) {
+          break;  // image physically gone; the delta records alone rebuild it
+        }
+        if (map_slot_[map_index] != kUnmappedSlot) {
+          reverse_[map_slot_[map_index]] = kSlotFree;  // superseded image
+        }
+        const uint64_t evicted = reverse_[slot];
+        if (evicted != kSlotFree) {
+          if (IsMapLpo(evicted)) {
+            map_slot_[evicted - kMapLpoBase] = kUnmappedSlot;
+          } else {
+            mapping_[evicted] = kUnmapped;
+            --mapped_opages_;
+            rolled_back_.insert(evicted);
+          }
+        }
+        map_slot_[map_index] = slot;
+        reverse_[slot] = kMapLpoBase + map_index;
+        ReplayRestoreMapPage(map_index);
         break;
       }
       case JournalRecordType::kTrim: {
@@ -1073,6 +1471,23 @@ Status Ftl::Replay() {
       reverse_[entry] = kSlotFree;
       --mapped_opages_;
       rolled_back_.insert(lpo);
+    }
+  }
+  // Same viability check for surviving map-page images: a kMapFlush whose
+  // slot was erased after the record (and whose superseding flush was torn)
+  // leaves a stale pointer; the delta records already rebuilt the content.
+  if (l2p_enabled()) {
+    for (uint64_t p = 0; p < map_slot_.size(); ++p) {
+      const uint64_t slot = map_slot_[p];
+      if (slot == kUnmappedSlot) {
+        continue;
+      }
+      const FPageIndex fpage = geometry.FPageOfSlot(slot);
+      if (!chip_->IsProgrammed(fpage) ||
+          page_state_[fpage] != PageState::kInService) {
+        map_slot_[p] = kUnmappedSlot;
+        reverse_[slot] = kSlotFree;
+      }
     }
   }
 
@@ -1144,6 +1559,33 @@ Status Ftl::Replay() {
   for (size_t s = 0; s < kStreams; ++s) {
     frontiers_[s] = Frontier{};
   }
+  if (l2p_enabled()) {
+    // The cache itself is volatile: restart cold, with every page clean —
+    // the replayed mapping_ IS the rebuilt truth, so refresh each page's
+    // shadow to match and count the pages whose durable image no longer
+    // tells the whole story (torn/stale flush, or content patched forward
+    // by delta records).
+    map_frontier_ = Frontier{};
+    std::fill(l2p_resident_.begin(), l2p_resident_.end(), 0);
+    std::fill(l2p_dirty_.begin(), l2p_dirty_.end(), 0);
+    std::fill(l2p_lru_prev_.begin(), l2p_lru_prev_.end(), kLruNil);
+    std::fill(l2p_lru_next_.begin(), l2p_lru_next_.end(), kLruNil);
+    l2p_lru_head_ = kLruNil;
+    l2p_lru_tail_ = kLruNil;
+    l2p_resident_pages_ = 0;
+    l2p_dirty_pages_ = 0;
+    uint64_t rebuilt = 0;
+    for (uint64_t p = 0; p < map_slot_.size(); ++p) {
+      std::vector<uint64_t> durable = L2pDurableContent(p);
+      const uint64_t pre_slot =
+          p < pre_map_slot.size() ? pre_map_slot[p] : kUnmappedSlot;
+      if (durable != map_image_[p] || pre_slot != map_slot_[p]) {
+        ++rebuilt;
+      }
+      map_image_[p] = std::move(durable);
+    }
+    l2p_stats_.replay_rebuilt_pages += rebuilt;
+  }
   transitions_.clear();
   in_gc_ = false;
   return CheckInvariants();
@@ -1187,6 +1629,25 @@ uint64_t Ftl::StateDigest() const {
   }
   mix(journal_.size());
   mix(journal_.synced_count());
+  if (l2p_enabled()) {
+    mix(map_slot_.size());
+    for (uint64_t p = 0; p < map_slot_.size(); ++p) {
+      mix(map_slot_[p]);
+      mix(static_cast<uint64_t>(l2p_dirty_[p]) |
+          (static_cast<uint64_t>(l2p_resident_[p]) << 1));
+    }
+    // LRU recency order is observable (it picks eviction victims), so walk
+    // it into the digest; +1 keeps page 0 distinct from the hash of nothing.
+    for (uint64_t p = l2p_lru_head_; p != kLruNil; p = l2p_lru_next_[p]) {
+      mix(p + 1);
+    }
+    mix(l2p_resident_pages_);
+    mix(l2p_dirty_pages_);
+    mix(map_frontier_.buffer_valid);
+    mix(map_frontier_.has_active_block
+            ? static_cast<uint64_t>(map_frontier_.active_block) + 1
+            : 0);
+  }
   return h;
 }
 
@@ -1248,6 +1709,24 @@ void Ftl::CollectMetrics(MetricRegistry& registry,
     registry.GetGauge(prefix + "ftl.journal.records")
         .Add(static_cast<double>(journal_.size()));
   }
+  // Bounded-L2P instruments exist only when the cache is enabled, keeping
+  // legacy (unbounded-map) metric exports byte-identical.
+  if (l2p_enabled()) {
+    registry.GetCounter(prefix + "ftl.l2p.hits").Add(l2p_stats_.hits);
+    registry.GetCounter(prefix + "ftl.l2p.misses").Add(l2p_stats_.misses);
+    registry.GetCounter(prefix + "ftl.l2p.evictions")
+        .Add(l2p_stats_.evictions);
+    registry.GetCounter(prefix + "ftl.l2p.map_writes")
+        .Add(l2p_stats_.map_writes);
+    registry.GetCounter(prefix + "ftl.l2p.replay_rebuilt_pages")
+        .Add(l2p_stats_.replay_rebuilt_pages);
+    registry.GetGauge(prefix + "ftl.l2p.resident_pages")
+        .Add(static_cast<double>(l2p_resident_pages_));
+    registry.GetGauge(prefix + "ftl.l2p.dirty_pages")
+        .Add(static_cast<double>(l2p_dirty_pages_));
+    registry.GetGauge(prefix + "ftl.l2p.map_pages")
+        .Add(static_cast<double>(map_slot_.size()));
+  }
   chip_->CollectMetrics(registry, prefix);
 }
 
@@ -1299,7 +1778,13 @@ Status Ftl::CheckInvariants() const {
     if (lpo == kSlotFree) {
       continue;
     }
-    if (lpo >= mapping_.size() || mapping_[lpo] != slot) {
+    if (IsMapLpo(lpo)) {
+      const uint64_t p = lpo - kMapLpoBase;
+      if (p >= map_slot_.size() || map_slot_[p] != slot) {
+        return InternalError("dangling map-page reverse entry at slot " +
+                             std::to_string(slot));
+      }
+    } else if (lpo >= mapping_.size() || mapping_[lpo] != slot) {
       return InternalError("dangling reverse entry at slot " +
                            std::to_string(slot));
     }
@@ -1373,6 +1858,57 @@ Status Ftl::CheckInvariants() const {
   }
   if (retired != retired_blocks_) {
     return InternalError("retired_blocks tally off");
+  }
+
+  // 5. Bounded-L2P cache bookkeeping. Capacity is deliberately NOT asserted:
+  // internal touch points over-admit and evictions can be deferred past an
+  // out-of-space flush failure, so transient overshoot is legal.
+  if (l2p_enabled()) {
+    uint64_t resident = 0;
+    uint64_t dirty = 0;
+    for (uint64_t p = 0; p < map_slot_.size(); ++p) {
+      if (l2p_dirty_[p] && !l2p_resident_[p]) {
+        return InternalError("dirty non-resident map page " +
+                             std::to_string(p));
+      }
+      resident += l2p_resident_[p];
+      dirty += l2p_dirty_[p];
+      const uint64_t slot = map_slot_[p];
+      if (slot != kUnmappedSlot) {
+        if (slot >= reverse_.size() ||
+            reverse_[slot] != kMapLpoBase + p) {
+          return InternalError("map page " + std::to_string(p) +
+                               " flash slot not owned in reverse map");
+        }
+      }
+    }
+    if (resident != l2p_resident_pages_) {
+      return InternalError("l2p resident_pages tally off");
+    }
+    if (dirty != l2p_dirty_pages_) {
+      return InternalError("l2p dirty_pages tally off");
+    }
+    uint64_t walked = 0;
+    uint64_t prev = kLruNil;
+    for (uint64_t p = l2p_lru_head_; p != kLruNil; p = l2p_lru_next_[p]) {
+      if (++walked > l2p_resident_pages_) {
+        return InternalError("l2p LRU list cycle or overrun");
+      }
+      if (!l2p_resident_[p]) {
+        return InternalError("non-resident map page on LRU list");
+      }
+      if (l2p_lru_prev_[p] != prev) {
+        return InternalError("l2p LRU prev link broken at page " +
+                             std::to_string(p));
+      }
+      prev = p;
+    }
+    if (walked != l2p_resident_pages_) {
+      return InternalError("l2p LRU list length off");
+    }
+    if (l2p_lru_tail_ != prev) {
+      return InternalError("l2p LRU tail mismatch");
+    }
   }
   return OkStatus();
 }

@@ -105,6 +105,19 @@ struct FtlConfig {
   // tail is the bounded torn-write window at power loss.
   uint64_t journal_max_unsynced = 32;
 
+  // ---- Bounded L2P map cache (DRAM-resident map window) ------------------
+  // Maximum L2P entries resident in DRAM at once. 0 = legacy unbounded map
+  // (byte-identical behavior: no map pages, no extra wear, no extra latency,
+  // no Rng perturbation). When > 0 the full map lives on flash as map pages
+  // written through the normal flash path (wear-accounted), DRAM holds an
+  // LRU window of whole map pages, and dirty map pages are written back on
+  // eviction under a journaled kMapFlush durability protocol.
+  uint64_t l2p_cache_entries = 0;
+  // L2P entries per on-flash map page; 0 = auto (opage_bytes / 8, i.e. 8 B
+  // per entry packed into one oPage). Tests use small values to exercise
+  // eviction and map-flush boundaries on tiny devices.
+  uint64_t l2p_entries_per_map_page = 0;
+
   uint64_t seed = 1;
 };
 
@@ -168,6 +181,11 @@ class Ftl {
   // Sentinel level for pages permanently out of service.
   static constexpr unsigned kDeadLevel = 255;
   static constexpr uint64_t kUnmappedSlot = UINT64_MAX;
+  // Map pages occupy physical slots like data, but their reverse-map entries
+  // carry kMapLpoBase + map_page_index instead of a host lpo. Host lpos are
+  // bounded by logical_opages(), far below this base, so the two namespaces
+  // can never collide.
+  static constexpr uint64_t kMapLpoBase = 1ULL << 62;
 
   explicit Ftl(const FtlConfig& config);
 
@@ -265,6 +283,32 @@ class Ftl {
     uint64_t opages_to_wear_event = 0;
   };
   EventEstimate EstimateNextEvent() const;
+
+  // ---- Bounded L2P map cache ----------------------------------------------
+
+  struct L2pStats {
+    uint64_t hits = 0;        // map-page lookups served from the DRAM window
+    uint64_t misses = 0;      // lookups that had to fault the map page in
+    uint64_t evictions = 0;   // map pages evicted from the DRAM window
+    uint64_t map_writes = 0;  // map-page fPage programs (wear-accounted)
+    uint64_t replay_rebuilt_pages = 0;  // map pages reconstructed by Replay()
+  };
+
+  bool l2p_enabled() const { return config_.l2p_cache_entries > 0; }
+  const L2pStats& l2p_stats() const { return l2p_stats_; }
+  // L2P entries per on-flash map page (resolved from config; 0 when the
+  // bounded cache is disabled).
+  uint64_t l2p_entries_per_map_page() const { return l2p_entries_per_page_; }
+  uint64_t l2p_map_pages() const { return map_slot_.size(); }
+  // DRAM window size in whole map pages (>= 1 when enabled).
+  uint64_t l2p_cache_capacity_pages() const { return l2p_capacity_pages_; }
+  uint64_t l2p_resident_pages() const { return l2p_resident_pages_; }
+  uint64_t l2p_dirty_pages() const { return l2p_dirty_pages_; }
+  // Physical slot of map page `map_index`'s newest flushed image, or
+  // kUnmappedSlot if the page has never been flushed.
+  uint64_t MapPageSlot(uint64_t map_index) const {
+    return map_index < map_slot_.size() ? map_slot_[map_index] : kUnmappedSlot;
+  }
 
   // Currently mapped (live) logical oPages, including buffered ones.
   uint64_t mapped_opages() const { return mapped_opages_; }
@@ -372,7 +416,10 @@ class Ftl {
   // each fill their own active block, as in production FTLs. This keeps
   // host-sequential data physically contiguous (GC churn does not splice
   // into it) and gives a mild hot/cold separation that lowers WAF.
-  enum class Stream : uint8_t { kHost = 0, kGc = 1 };
+  // kMap is the metadata stream for L2P map-page programs (bounded cache
+  // only); it bypasses the NV buffer, so kStreams keeps counting only the
+  // two buffered data streams and every loop over them stays untouched.
+  enum class Stream : uint8_t { kHost = 0, kGc = 1, kMap = 2 };
   static constexpr size_t kStreams = 2;
 
   static constexpr uint64_t kInBufferHost = UINT64_MAX - 2;
@@ -386,6 +433,8 @@ class Ftl {
   static constexpr uint64_t BufferSentinel(Stream stream) {
     return stream == Stream::kHost ? kInBufferHost : kInBufferGc;
   }
+  static constexpr bool IsMapLpo(uint64_t lpo) { return lpo >= kMapLpoBase; }
+  static constexpr uint64_t kLruNil = UINT64_MAX;
 
   // --- write path ---
   Status BufferWrite(uint64_t lpo, Stream stream, SimDuration& latency);
@@ -424,6 +473,37 @@ class Ftl {
                                 bool& consumed, SimDuration& latency);
   BlockIndex PickGcVictim();
   void ReactivateIfParked(BlockIndex block);
+
+  // --- bounded L2P map cache ---
+  uint64_t MapPageOf(uint64_t lpo) const { return lpo / l2p_entries_per_page_; }
+  // Grows the map-page arrays to cover the logical space (constructor,
+  // ExtendLogicalSpace, and kExtend replay).
+  void L2pGrow();
+  // Registers a map-page access: LRU bump, hit/miss accounting, and the
+  // deterministic fault-in latency of a non-resident flashed page. Never
+  // evicts — public ops call L2pEvictToCapacity afterwards, internal touches
+  // (GC relocation, buffer flush) over-admit and leave eviction to the
+  // enclosing public op.
+  void L2pTouch(uint64_t lpo, bool make_dirty, SimDuration& latency);
+  // Evicts LRU-tail map pages (dirty ones flush to flash first) until the
+  // window is back within capacity. Single bounded pass; on an eviction
+  // flush error the pass stops and the overshoot drains on a later op.
+  void L2pEvictToCapacity(SimDuration& latency);
+  // Writes map page `map_index`'s current durable content to flash under the
+  // kMapFlush protocol: journal sync (write-ahead) -> fPage program on the
+  // kMap stream -> old-image slot invalidated -> unsynced kMapFlush record
+  // (the torn-map-page crash surface).
+  Status FlushMapPage(uint64_t map_index, SimDuration& latency);
+  // Durable (flash-acknowledged) content of a map page: one entry per lpo in
+  // its range; buffered entries read as unmapped. Canonical form: an
+  // all-unmapped page returns an empty vector.
+  std::vector<uint64_t> L2pDurableContent(uint64_t map_index) const;
+  bool UnsyncedTailHasMapFlush() const;
+  void L2pLruRemove(uint64_t map_index);
+  void L2pLruPushFront(uint64_t map_index);
+  // Replay pass 1: overwrite a map page's entries from its DRAM image shadow
+  // (the bytes of its newest flushed flash copy).
+  void ReplayRestoreMapPage(uint64_t map_index);
 
   // --- journal ---
   // Append with the auto-sync and at-capacity compaction policy applied.
@@ -477,11 +557,35 @@ class Ftl {
   };
   Frontier frontiers_[kStreams];
   Frontier& frontier(Stream stream) {
-    return frontiers_[static_cast<size_t>(stream)];
+    return stream == Stream::kMap ? map_frontier_
+                                  : frontiers_[static_cast<size_t>(stream)];
   }
 
   std::vector<PageTransition> transitions_;
   bool in_gc_ = false;
+
+  // --- bounded L2P map cache state (all empty/zero when disabled) ---
+  uint64_t l2p_entries_per_page_ = 0;  // resolved from config at construction
+  uint64_t l2p_capacity_pages_ = 0;
+  // Per map page: physical slot of the newest flushed image (kUnmappedSlot if
+  // never flushed) and the DRAM shadow of that image's content (empty inner
+  // vector = all-unmapped). The shadow models the bytes on flash; Replay()
+  // uses it as the reconstruction base under each surviving kMapFlush.
+  std::vector<uint64_t> map_slot_;
+  std::vector<std::vector<uint64_t>> map_image_;
+  std::vector<uint8_t> l2p_resident_;
+  std::vector<uint8_t> l2p_dirty_;  // diverged from the flushed image
+  // Intrusive LRU over resident map pages; head = most recent.
+  std::vector<uint64_t> l2p_lru_prev_;
+  std::vector<uint64_t> l2p_lru_next_;
+  uint64_t l2p_lru_head_ = kLruNil;
+  uint64_t l2p_lru_tail_ = kLruNil;
+  uint64_t l2p_resident_pages_ = 0;
+  uint64_t l2p_dirty_pages_ = 0;
+  // Map-page programs bypass the NV buffer but still fill their own active
+  // block through the shared target-selection path.
+  Frontier map_frontier_;
+  L2pStats l2p_stats_;
 
   // --- crash-restart recovery ---
   FtlJournal journal_;

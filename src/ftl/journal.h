@@ -35,6 +35,12 @@ enum class JournalRecordType : uint8_t {
   kMdiskCreate,  // a = id, b = first_lpo, c = size, d = level | regen << 8
   kMdiskDrain,   // a = id (grace period opened)
   kMdiskDrop,    // a = id, b = forced (decommission completed)
+  kMapFlush,     // a = map page index, b = physical slot of the flushed
+                 // L2P map-page image (bounded-L2P mode only). Appended
+                 // *unsynced* after the map-page program — the torn-map-page
+                 // crash surface: tearing it rolls the map page back to its
+                 // previous flash image, which replay patches forward from
+                 // the (already durable) delta records.
 };
 
 struct JournalRecord {

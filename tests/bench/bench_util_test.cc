@@ -40,6 +40,48 @@ TEST(BenchUtilTest, ScrubFlagParsesBothSpellings) {
   EXPECT_EQ(ParseScrubOPagesPerDay(2, Argv(equals)), 4096u);
 }
 
+TEST(BenchUtilTest, L2pCacheEntriesDefaultsToUnbounded) {
+  const char* args[] = {"bench"};
+  EXPECT_EQ(ParseL2pCacheEntries(1, Argv(args)), 0u);
+  EXPECT_EQ(ParseL2pCacheEntries(1, Argv(args), /*default_value=*/64), 64u);
+}
+
+TEST(BenchUtilTest, L2pCacheEntriesZeroIsValidNotAnError) {
+  const char* separate[] = {"bench", "--l2p-cache-entries", "0"};
+  EXPECT_EQ(ParseL2pCacheEntries(3, Argv(separate), /*default_value=*/99),
+            0u);
+  const char* equals[] = {"bench", "--l2p-cache-entries=0"};
+  EXPECT_EQ(ParseL2pCacheEntries(2, Argv(equals), /*default_value=*/99), 0u);
+}
+
+TEST(BenchUtilTest, L2pCacheEntriesParsesBothSpellings) {
+  const char* separate[] = {"bench", "--l2p-cache-entries", "4096"};
+  EXPECT_EQ(ParseL2pCacheEntries(3, Argv(separate)), 4096u);
+  const char* equals[] = {"bench", "--l2p-cache-entries=4096"};
+  EXPECT_EQ(ParseL2pCacheEntries(2, Argv(equals)), 4096u);
+}
+
+TEST(BenchUtilTest, L2pCacheEntriesRejectsGarbage) {
+  const char* garbage[] = {"bench", "--l2p-cache-entries", "banana"};
+  EXPECT_EXIT(ParseL2pCacheEntries(3, Argv(garbage)),
+              ::testing::ExitedWithCode(2), "non-negative integer");
+  const char* negative[] = {"bench", "--l2p-cache-entries", "-16"};
+  EXPECT_EXIT(ParseL2pCacheEntries(3, Argv(negative)),
+              ::testing::ExitedWithCode(2), "non-negative integer");
+  const char* trailing[] = {"bench", "--l2p-cache-entries", "64oops"};
+  EXPECT_EXIT(ParseL2pCacheEntries(3, Argv(trailing)),
+              ::testing::ExitedWithCode(2), "non-negative integer");
+}
+
+TEST(BenchUtilTest, L2pCacheEntriesRejectsMissingValue) {
+  const char* dangling[] = {"bench", "--l2p-cache-entries"};
+  EXPECT_EXIT(ParseL2pCacheEntries(2, Argv(dangling)),
+              ::testing::ExitedWithCode(2), "requires a value");
+  const char* empty[] = {"bench", "--l2p-cache-entries="};
+  EXPECT_EXIT(ParseL2pCacheEntries(2, Argv(empty)),
+              ::testing::ExitedWithCode(2), "requires a value");
+}
+
 TEST(BenchUtilTest, NegativeValueExitsWithUsageError) {
   const char* args[] = {"bench", "--scrub-opages-per-day", "-3"};
   EXPECT_EXIT(ParseScrubOPagesPerDay(3, Argv(args)),

@@ -1,0 +1,124 @@
+// Fleet-level determinism with the bounded L2P cache enabled: map-page
+// write-back adds flash programs and journal records on every device, and
+// the event scheduler derates its horizons by the map-write share — none of
+// which may perturb the parallel == serial == lockstep identity. Suites are
+// named FleetL2p* so CI's TSan job picks them up by filter.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fleet/fleet_sim.h"
+#include "tests/testing/device_builder.h"
+
+namespace salamander {
+namespace {
+
+// TinyGeometry devices expose ~hundreds of logical oPages; with the auto map
+// page size (opage_bytes / 8 = 512 entries) a 512-entry cache holds exactly
+// one map page in DRAM, forcing steady eviction traffic.
+FleetConfig L2pFleet(SsdKind kind, unsigned threads,
+                     FleetSchedulerMode scheduler,
+                     uint64_t cache_entries = 512) {
+  FleetConfig config;
+  config.kind = kind;
+  config.devices = 6;
+  config.geometry = testing_util::TinyGeometry();
+  config.ecc = FPageEccGeometry{};
+  config.wear = testing_util::FastWear(config.ecc, /*nominal_pec=*/20);
+  config.msize_opages = 64;
+  config.dwpd = 2.0;
+  config.dwpd_sigma = 0.3;
+  config.afr = 0.05;
+  config.days = 200;
+  config.sample_every_days = 5;
+  config.seed = 246813579;
+  config.threads = threads;
+  config.scheduler = scheduler;
+  config.l2p_cache_entries = cache_entries;
+  return config;
+}
+
+std::vector<FleetSnapshot> RunOnce(SsdKind kind, unsigned threads,
+                                   FleetSchedulerMode scheduler,
+                                   uint64_t cache_entries = 512) {
+  FleetSim sim(L2pFleet(kind, threads, scheduler, cache_entries));
+  return sim.Run();
+}
+
+TEST(FleetL2pDeterminismTest, ParallelMatchesSerial) {
+  const auto serial =
+      RunOnce(SsdKind::kShrinkS, 1, FleetSchedulerMode::kEventDriven);
+  const auto parallel =
+      RunOnce(SsdKind::kShrinkS, 4, FleetSchedulerMode::kEventDriven);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(FleetL2pDeterminismTest, EventDrivenMatchesLockstep) {
+  const auto event =
+      RunOnce(SsdKind::kRegenS, 1, FleetSchedulerMode::kEventDriven);
+  const auto lockstep =
+      RunOnce(SsdKind::kRegenS, 1, FleetSchedulerMode::kLockstep);
+  EXPECT_EQ(event, lockstep);
+}
+
+TEST(FleetL2pDeterminismTest, LockstepParallelMatchesEventSerial) {
+  const auto event =
+      RunOnce(SsdKind::kBaseline, 1, FleetSchedulerMode::kEventDriven);
+  const auto lockstep =
+      RunOnce(SsdKind::kBaseline, 4, FleetSchedulerMode::kLockstep);
+  EXPECT_EQ(event, lockstep);
+}
+
+TEST(FleetL2pDeterminismTest, ThreadCountInvariance) {
+  const auto reference =
+      RunOnce(SsdKind::kShrinkS, 1, FleetSchedulerMode::kEventDriven);
+  for (unsigned threads : {2u, 3u, 8u}) {
+    EXPECT_EQ(RunOnce(SsdKind::kShrinkS, threads,
+                      FleetSchedulerMode::kEventDriven),
+              reference)
+        << "threads=" << threads;
+  }
+}
+
+TEST(FleetL2pDeterminismTest, SurvivesPowerLossInjection) {
+  FleetConfig serial_config =
+      L2pFleet(SsdKind::kShrinkS, 1, FleetSchedulerMode::kEventDriven);
+  serial_config.power_loss_per_device_day = 0.02;
+  FleetConfig parallel_config = serial_config;
+  parallel_config.threads = 4;
+  FleetSim serial(serial_config);
+  FleetSim parallel(parallel_config);
+  const auto serial_snapshots = serial.Run();
+  ASSERT_FALSE(serial_snapshots.empty());
+  EXPECT_EQ(serial_snapshots, parallel.Run());
+}
+
+TEST(FleetL2pDeterminismTest, DisabledCacheMatchesLegacyConfig) {
+  // l2p_cache_entries = 0 must be indistinguishable from a config that
+  // never mentions the knob — same snapshots, same RNG consumption.
+  FleetConfig untouched =
+      L2pFleet(SsdKind::kShrinkS, 1, FleetSchedulerMode::kEventDriven,
+               /*cache_entries=*/0);
+  FleetSim a(untouched);
+  FleetConfig explicit_zero = untouched;
+  explicit_zero.l2p_cache_entries = 0;
+  FleetSim b(explicit_zero);
+  EXPECT_EQ(a.Run(), b.Run());
+}
+
+TEST(FleetL2pDeterminismTest, CacheSizeChangesOutcomes) {
+  // Sanity that the knob is actually plumbed: bounded-cache fleets wear
+  // differently (map-write amplification), so snapshots must diverge from
+  // the unbounded run.
+  const auto unbounded = RunOnce(SsdKind::kShrinkS, 1,
+                                 FleetSchedulerMode::kEventDriven,
+                                 /*cache_entries=*/0);
+  const auto bounded = RunOnce(SsdKind::kShrinkS, 1,
+                               FleetSchedulerMode::kEventDriven,
+                               /*cache_entries=*/512);
+  EXPECT_NE(unbounded, bounded);
+}
+
+}  // namespace
+}  // namespace salamander
