@@ -135,6 +135,20 @@ inline uint64_t ParseL2pCacheEntries(int argc, char** argv,
   return ParseU64Flag(argc, argv, "--l2p-cache-entries", default_value);
 }
 
+// Parses `--flag X` / `--flag=X` for a probability/fraction: a finite
+// decimal in [0, 1]. Garbage, signs, overflow, and out-of-range values all
+// exit 2 — "--read-fraction 1.5" must not silently clamp.
+inline double ParseFractionFlag(int argc, char** argv, const char* flag,
+                                double default_value) {
+  const double parsed = ParseF64Flag(argc, argv, flag, default_value);
+  if (parsed < 0.0 || parsed > 1.0) {
+    std::fprintf(stderr, "error: %s expects a fraction in [0, 1], got %g\n",
+                 flag, parsed);
+    std::exit(2);
+  }
+  return parsed;
+}
+
 // Parses `--threads N` / `--threads=N` from argv. 0 means "all hardware
 // threads"; results of every bench are identical for any value — the knob
 // only changes wall-clock.
@@ -157,6 +171,41 @@ inline std::string ParseStringFlag(int argc, char** argv, const char* flag,
                                    const std::string& default_value = "") {
   const char* value = ParseFlagValue(argc, argv, flag);
   return value == nullptr ? default_value : std::string(value);
+}
+
+// Parses --cluster, the traffic-bench target selector: "difs" (replicated
+// chunk cluster, the default) or "ec" (erasure-coded stripes). Anything else
+// exits 2.
+inline std::string ParseClusterFlag(int argc, char** argv,
+                                    const std::string& default_kind = "difs") {
+  const std::string kind =
+      ParseStringFlag(argc, argv, "--cluster", default_kind);
+  if (kind != "difs" && kind != "ec") {
+    std::fprintf(stderr, "error: --cluster expects 'difs' or 'ec', got '%s'\n",
+                 kind.c_str());
+    std::exit(2);
+  }
+  return kind;
+}
+
+// Parses --arrival, the tenant arrival-shape selector: one of "steady",
+// "diurnal", "bursty", or "mixed" (rotate shapes across tenants, the
+// default). Anything else exits 2. The validated string is mapped onto
+// ArrivalShape by the caller, keeping this header workload-agnostic.
+inline std::string ParseArrivalFlag(int argc, char** argv,
+                                    const std::string& default_shape =
+                                        "mixed") {
+  const std::string shape =
+      ParseStringFlag(argc, argv, "--arrival", default_shape);
+  if (shape != "steady" && shape != "diurnal" && shape != "bursty" &&
+      shape != "mixed") {
+    std::fprintf(stderr,
+                 "error: --arrival expects 'steady', 'diurnal', 'bursty', or "
+                 "'mixed', got '%s'\n",
+                 shape.c_str());
+    std::exit(2);
+  }
+  return shape;
 }
 
 // Parses --sched, the fleet engine selector: "event" (discrete-event

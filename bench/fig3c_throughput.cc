@@ -6,11 +6,17 @@
 // 16 KiB grows by (1 + f/3) — up to the paper's 4/(4-L) = 4/3 (-25%
 // throughput) at f = 1. The measured curve additionally includes channel
 // transfer time, which dilutes the penalty slightly.
+// Cluster traffic mode (--traffic-tenants N, default 0 = off, output
+// byte-identical to the device-only bench): additionally drives N
+// Zipf-skewed tenants end-to-end through a replicated diFS cluster and an
+// EC cluster and reports the aggregate serial-issue throughput each
+// sustains — the cluster-level companion to the device-level curve.
 #include <cstdio>
 #include <string>
 
 #include "bench/bench_util.h"
 #include "bench/perf_rig.h"
+#include "bench/traffic_rig.h"
 #include "telemetry/metrics.h"
 
 int main(int argc, char** argv) {
@@ -20,6 +26,10 @@ int main(int argc, char** argv) {
       "throughput degrades by up to 4/(4-L) = 1.33x (25%) as pages reach L1");
   const std::string metrics_out =
       bench::ParseStringFlag(argc, argv, "--metrics-out");
+  const uint32_t traffic_tenants = static_cast<uint32_t>(
+      bench::ParseU64Flag(argc, argv, "--traffic-tenants", 0));
+  const uint32_t traffic_days = static_cast<uint32_t>(
+      bench::ParseU64Flag(argc, argv, "--traffic-days", 15));
   MetricRegistry registry;
 
   bench::PerfRigConfig config;
@@ -70,6 +80,36 @@ int main(int argc, char** argv) {
   std::printf("f=1 (all L1): flash-read-bound relative throughput %.3f "
               "(paper: 0.75)\n",
               3.0 / 4.0);
+
+  if (traffic_tenants > 0) {
+    bench::PrintSection(
+        "cluster traffic mode — multi-tenant end-to-end throughput");
+    std::printf("cluster\tops\terrors\tops_per_s\n");
+    for (const char* cluster : {"difs", "ec"}) {
+      bench::TrafficRigConfig traffic_config;
+      traffic_config.cluster = cluster;
+      traffic_config.tenants = traffic_tenants;
+      traffic_config.days = traffic_days;
+      bench::TrafficRig traffic_rig(traffic_config);
+      const bench::TrafficRigResult traffic = traffic_rig.Run();
+      if (!traffic.bootstrapped) {
+        std::printf("%s\tbootstrap failed\n", cluster);
+        continue;
+      }
+      std::printf("%s\t%llu\t%llu\t%.0f\n", cluster,
+                  static_cast<unsigned long long>(traffic.ops),
+                  static_cast<unsigned long long>(traffic.read_errors +
+                                                  traffic.write_errors),
+                  bench::TrafficOpsPerSecond(traffic));
+      if (!metrics_out.empty() && traffic_rig.engine() != nullptr) {
+        traffic_rig.engine()->CollectMetrics(registry,
+                                             std::string(cluster) + ".");
+      }
+    }
+    std::printf("(replica fan-out makes diFS writes ~R device writes; EC "
+                "pays k+m-cell read-modify-write — throughput is the\n"
+                "serial-issue rate over each op's simulated service cost)\n");
+  }
 
   if (!metrics_out.empty()) {
     rig.device().CollectMetrics(registry, "inline.");

@@ -9,11 +9,17 @@
 // two fPages, so unaligned large reads see ~2 flash reads. The paper's own
 // mitigation (dedicated ECC pages) addresses exactly this; we report the
 // honest measured number.
+// Cluster traffic mode (--traffic-tenants N, default 0 = off, output
+// byte-identical to the device-only bench): additionally drives N
+// Zipf-skewed tenants end-to-end through a replicated diFS cluster and an
+// EC cluster and reports the p50/p99/p999 of each op's simulated service
+// cost — the tail-latency companion to the device-level curve.
 #include <cstdio>
 #include <string>
 
 #include "bench/bench_util.h"
 #include "bench/perf_rig.h"
+#include "bench/traffic_rig.h"
 #include "telemetry/metrics.h"
 
 int main(int argc, char** argv) {
@@ -24,6 +30,10 @@ int main(int argc, char** argv) {
       "random reads stay flat");
   const std::string metrics_out =
       bench::ParseStringFlag(argc, argv, "--metrics-out");
+  const uint32_t traffic_tenants = static_cast<uint32_t>(
+      bench::ParseU64Flag(argc, argv, "--traffic-tenants", 0));
+  const uint32_t traffic_days = static_cast<uint32_t>(
+      bench::ParseU64Flag(argc, argv, "--traffic-days", 15));
   MetricRegistry registry;
 
   bench::PerfRigConfig config;
@@ -92,6 +102,40 @@ int main(int argc, char** argv) {
   std::printf("4 KiB relative latency should stay ~1.0 at every f\n");
   std::printf("16 KiB relative latency should exceed 1 + f/3 (paper's "
               "amortized bound)\n");
+
+  if (traffic_tenants > 0) {
+    bench::PrintSection(
+        "cluster traffic mode — multi-tenant end-to-end tail latency");
+    std::printf("cluster\top\tn\tp50_us\tp99_us\tp999_us\n");
+    for (const char* cluster : {"difs", "ec"}) {
+      bench::TrafficRigConfig traffic_config;
+      traffic_config.cluster = cluster;
+      traffic_config.tenants = traffic_tenants;
+      traffic_config.days = traffic_days;
+      traffic_config.seed = 11;
+      bench::TrafficRig traffic_rig(traffic_config);
+      const bench::TrafficRigResult traffic = traffic_rig.Run();
+      if (!traffic.bootstrapped) {
+        std::printf("%s\tbootstrap failed\n", cluster);
+        continue;
+      }
+      const auto row = [&](const char* op, const LogHistogram& hist) {
+        std::printf("%s\t%s\t%llu\t%.1f\t%.1f\t%.1f\n", cluster, op,
+                    static_cast<unsigned long long>(hist.count()),
+                    static_cast<double>(hist.P50()) / 1000.0,
+                    static_cast<double>(hist.P99()) / 1000.0,
+                    static_cast<double>(hist.P999()) / 1000.0);
+      };
+      row("read", traffic.read_ns);
+      row("write", traffic.write_ns);
+      if (!metrics_out.empty() && traffic_rig.engine() != nullptr) {
+        traffic_rig.engine()->CollectMetrics(registry,
+                                             std::string(cluster) + ".");
+      }
+    }
+    std::printf("(write tails carry the replica/parity fan-out; read tails "
+                "show reconstruction and retry backoff)\n");
+  }
 
   if (!metrics_out.empty()) {
     rig.device().CollectMetrics(registry, "inline.");

@@ -21,7 +21,12 @@
 //        --power-loss-per-device-day P (transient power-loss probability
 //        per device-day; 0 = off, the default, which keeps output
 //        byte-identical to builds without the crash-restart path),
-//        --power-loss-restart-days N (outage length before Restart()).
+//        --power-loss-restart-days N (outage length before Restart()),
+//        --traffic-tenants-per-device N (multi-tenant traffic engine as the
+//        write-demand source; 0 = off, the default, keeping output
+//        byte-identical to flat-dwpd builds),
+//        --traffic-ops-per-day X (mean ops per tenant-day),
+//        --traffic-read-fraction F (tenant read mix, in [0,1]).
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -144,6 +149,12 @@ int main(int argc, char** argv) {
   const uint32_t restart_days = static_cast<uint32_t>(
       bench::ParseU64Flag(argc, argv, "--power-loss-restart-days", 1));
   const uint64_t l2p_cache_entries = bench::ParseL2pCacheEntries(argc, argv);
+  const uint32_t traffic_tenants = static_cast<uint32_t>(bench::ParseU64Flag(
+      argc, argv, "--traffic-tenants-per-device", 0));
+  const double traffic_ops_per_day =
+      bench::ParseF64Flag(argc, argv, "--traffic-ops-per-day", 200.0);
+  const double traffic_read_fraction =
+      bench::ParseFractionFlag(argc, argv, "--traffic-read-fraction", 0.5);
 
   const std::string metrics_out = bench::ParseStringFlag(
       argc, argv, "--metrics-out", "BENCH_fleet_metrics.json");
@@ -155,6 +166,9 @@ int main(int argc, char** argv) {
                    : BenchFleet(kind, devices, days, power_loss,
                                 restart_days);
     config.l2p_cache_entries = l2p_cache_entries;
+    config.traffic.tenants_per_device = traffic_tenants;
+    config.traffic.tenant.ops_per_day = traffic_ops_per_day;
+    config.traffic.tenant.read_fraction = traffic_read_fraction;
     return config;
   };
 
@@ -180,6 +194,12 @@ int main(int argc, char** argv) {
     std::printf("l2p_cache_entries=%llu (DRAM-bounded L2P map, paged to "
                 "flash with wear accounting)\n",
                 static_cast<unsigned long long>(l2p_cache_entries));
+  }
+  if (traffic_tenants > 0) {
+    std::printf("traffic: %u tenants/device, %g ops/tenant-day, "
+                "read_fraction=%g (mixed arrivals; write demand replaces "
+                "the flat dwpd budget)\n",
+                traffic_tenants, traffic_ops_per_day, traffic_read_fraction);
   }
 
   std::printf("\nkind\tserial_s\tparallel_s\tspeedup\tidentical\tmetrics\n");
@@ -305,6 +325,16 @@ int main(int argc, char** argv) {
     // byte-identical to pre-cache builds.
     std::fprintf(json, "  \"l2p_cache_entries\": %llu,\n",
                  static_cast<unsigned long long>(l2p_cache_entries));
+  }
+  if (traffic_tenants > 0) {
+    // Same rule as the cache knob: emitted only when the traffic engine is
+    // on, so default-knob JSON stays byte-identical to pre-traffic builds.
+    std::fprintf(json,
+                 "  \"traffic_tenants_per_device\": %u,\n"
+                 "  \"traffic_ops_per_day\": %g,\n"
+                 "  \"traffic_read_fraction\": %g,\n",
+                 traffic_tenants, traffic_ops_per_day,
+                 traffic_read_fraction);
   }
   std::fprintf(json,
                "  \"hardware_concurrency\": %u,\n"

@@ -1,0 +1,205 @@
+// Shared harness: multi-tenant traffic driven end-to-end through a storage
+// cluster (replicated diFS chunks or erasure-coded stripes).
+//
+// The rig builds a small cluster, attaches a TrafficEngine whose address
+// space is the cluster's logical oPage space, and replays each simulated
+// day's op stream through the cluster's targeted entry points
+// (WriteChunkAt/ReadChunkAt, WriteLogicalAt/ReadLogicalAt). Every op's
+// simulated service cost — replica/parity fan-out, reconstruction,
+// transient-retry backoff — lands in read/write LogHistograms, giving the
+// end-to-end p50/p95/p99/p999 the figure benches report.
+//
+// Determinism: the engine's op stream depends only on (seed, tenant id) and
+// the cluster consumes its own seeded streams, so two rigs built from the
+// same config replay bit-identical op sequences (same StreamDigest) with
+// bit-identical service costs. workload_replay runs the rig twice and diffs
+// the digests as a self-check.
+#ifndef SALAMANDER_BENCH_TRAFFIC_RIG_H_
+#define SALAMANDER_BENCH_TRAFFIC_RIG_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "difs/cluster.h"
+#include "difs/ec_cluster.h"
+#include "ssd/ssd_device.h"
+#include "workload/traffic.h"
+
+namespace salamander {
+namespace bench {
+
+struct TrafficRigConfig {
+  // "difs" (replicated chunks) or "ec" (RS(k+m) stripes).
+  std::string cluster = "difs";
+  SsdKind kind = SsdKind::kRegenS;
+  uint32_t tenants = 4;
+  uint32_t days = 20;
+  // Template applied to every tenant (MakeUniformTraffic).
+  TenantConfig tenant;
+  bool mixed_arrivals = true;
+  uint64_t seed = 42;
+  // Cluster sizing. Chunk/cell size doubles as the devices' mSize.
+  uint32_t nodes = 6;
+  uint64_t unit_opages = 64;  // chunk_opages (difs) / cell_opages (ec)
+  double fill_fraction = 0.5;
+  uint64_t nominal_pec = 640;
+};
+
+struct TrafficDayRow {
+  uint32_t day = 0;
+  uint64_t ops = 0;
+  uint64_t read_p99_ns = 0;
+  uint64_t write_p99_ns = 0;
+};
+
+struct TrafficRigResult {
+  bool bootstrapped = false;
+  uint64_t ops = 0;
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  // Ops the cluster could not serve (lost chunk/stripe, giveups). Expected
+  // to be 0 on a healthy rig; nonzero means devices wore out mid-replay.
+  uint64_t read_errors = 0;
+  uint64_t write_errors = 0;
+  uint64_t stream_digest = 0;  // TrafficEngine::StreamDigest after replay
+  LogHistogram read_ns;
+  LogHistogram write_ns;
+  uint64_t total_cost_ns = 0;  // sum of every served op's service cost
+  std::vector<TrafficDayRow> days;
+};
+
+// Serial-issue throughput in oPage-ops per simulated second: the rate one
+// issuer would sustain replaying the stream back to back.
+inline double TrafficOpsPerSecond(const TrafficRigResult& result) {
+  if (result.total_cost_ns == 0) {
+    return 0.0;
+  }
+  const uint64_t served =
+      result.ops - result.read_errors - result.write_errors;
+  return static_cast<double>(served) * 1e9 /
+         static_cast<double>(result.total_cost_ns);
+}
+
+class TrafficRig {
+ public:
+  explicit TrafficRig(const TrafficRigConfig& config) : config_(config) {
+    const FPageEccGeometry ecc;
+    const WearModelConfig wear = WearModel::Calibrate(
+        ComputeTirednessLevel(ecc, 0).max_tolerable_rber, config.nominal_pec);
+    const auto factory = [&](uint32_t index) {
+      SsdConfig ssd_config = MakeSsdConfig(
+          config_.kind, FlashGeometry::Small(), wear, FlashLatencyConfig{},
+          ecc, config_.seed * 977 + 31 + index * 17);
+      ssd_config.minidisk.msize_opages = config_.unit_opages;
+      return std::make_unique<SsdDevice>(config_.kind, ssd_config);
+    };
+    if (config_.cluster == "ec") {
+      EcConfig ec;
+      ec.nodes = config_.nodes < 6 ? 6 : config_.nodes;
+      ec.cell_opages = config_.unit_opages;
+      ec.fill_fraction = config_.fill_fraction;
+      ec.seed = config_.seed;
+      ec_ = std::make_unique<EcCluster>(ec, factory);
+    } else {
+      DifsConfig difs;
+      difs.nodes = config_.nodes;
+      difs.chunk_opages = config_.unit_opages;
+      difs.fill_fraction = config_.fill_fraction;
+      difs.seed = config_.seed;
+      difs_ = std::make_unique<DifsCluster>(difs, factory);
+    }
+  }
+
+  // Bootstraps the cluster, replays `days` of traffic, returns the totals.
+  TrafficRigResult Run() {
+    TrafficRigResult result;
+    const Status boot = ec_ != nullptr ? ec_->Bootstrap() : difs_->Bootstrap();
+    if (!boot.ok()) {
+      return result;
+    }
+    result.bootstrapped = true;
+    const uint64_t space =
+        ec_ != nullptr ? ec_->logical_opages() : difs_->logical_opages();
+    engine_ = std::make_unique<TrafficEngine>(
+        MakeUniformTraffic(config_.tenants, config_.tenant, config_.seed,
+                           config_.mixed_arrivals),
+        space == 0 ? 1 : space);
+    TrafficEngine& engine = *engine_;
+    std::vector<TrafficOp> ops;
+    for (uint32_t day = 0; day < config_.days; ++day) {
+      ops.clear();
+      engine.EmitDay(day, &ops);
+      LogHistogram day_reads;
+      LogHistogram day_writes;
+      for (const TrafficOp& op : ops) {
+        SimDuration cost = 0;
+        const Status status = Apply(op, &cost);
+        ++result.ops;
+        if (op.is_read) {
+          ++result.reads;
+        } else {
+          ++result.writes;
+        }
+        if (!status.ok()) {
+          // Lost data / exhausted retries: the op was not served, so its
+          // (partial) cost is not a service latency — count it as an error.
+          (op.is_read ? result.read_errors : result.write_errors) += 1;
+          continue;
+        }
+        result.total_cost_ns += cost;
+        if (op.is_read) {
+          result.read_ns.Record(cost);
+          day_reads.Record(cost);
+        } else {
+          result.write_ns.Record(cost);
+          day_writes.Record(cost);
+        }
+      }
+      TrafficDayRow row;
+      row.day = day;
+      row.ops = ops.size();
+      row.read_p99_ns = day_reads.P99();
+      row.write_p99_ns = day_writes.P99();
+      result.days.push_back(row);
+    }
+    result.stream_digest = engine.StreamDigest();
+    return result;
+  }
+
+  DifsCluster* difs() { return difs_.get(); }
+  EcCluster* ec() { return ec_.get(); }
+  // The engine that drove the last Run() (nullptr before the first Run):
+  // per-tenant skew and workload.* metric collection outlive the replay.
+  const TrafficEngine* engine() const { return engine_.get(); }
+
+ private:
+  Status Apply(const TrafficOp& op, SimDuration* cost) {
+    if (ec_ != nullptr) {
+      const uint64_t cell = op.address / ec_->cell_opages();
+      const StripeId stripe = cell / ec_->data_cells();
+      const uint32_t data_cell =
+          static_cast<uint32_t>(cell % ec_->data_cells());
+      const uint64_t offset = op.address % ec_->cell_opages();
+      return op.is_read
+                 ? ec_->ReadLogicalAt(stripe, data_cell, offset, cost)
+                 : ec_->WriteLogicalAt(stripe, data_cell, offset, cost);
+    }
+    const ChunkId chunk = op.address / difs_->chunk_opages();
+    const uint64_t offset = op.address % difs_->chunk_opages();
+    return op.is_read ? difs_->ReadChunkAt(chunk, offset, cost)
+                      : difs_->WriteChunkAt(chunk, offset, cost);
+  }
+
+  TrafficRigConfig config_;
+  std::unique_ptr<DifsCluster> difs_;
+  std::unique_ptr<EcCluster> ec_;
+  std::unique_ptr<TrafficEngine> engine_;
+};
+
+}  // namespace bench
+}  // namespace salamander
+
+#endif  // SALAMANDER_BENCH_TRAFFIC_RIG_H_

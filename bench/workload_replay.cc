@@ -1,0 +1,192 @@
+// Multi-tenant traffic replayed end-to-end through a storage cluster.
+//
+// The TrafficEngine emits each simulated day's Zipf-skewed, shaped op
+// stream (steady / diurnal / bursty tenants); every op is served by the
+// cluster's targeted entry points and its simulated service cost — replica
+// or parity fan-out, reconstruction, retry backoff — is recorded. The bench
+// prints per-day demand with that day's p99s, the end-to-end latency
+// distribution (p50/p95/p99/p999), serial-issue throughput, and per-tenant
+// skew, then replays the identical config a second time and diffs the op-
+// stream digests: a mismatch means the engine's determinism contract broke.
+//
+// Flags: --cluster difs|ec (storage backend; default difs),
+//        --tenants N, --days N, --ops-per-day X (mean per tenant),
+//        --read-fraction F (in [0,1]), --zipf-theta F,
+//        --arrival steady|diurnal|bursty|mixed (default mixed),
+//        --churn-per-day F (popularity drift), --seed N,
+//        --metrics-out PATH (registry JSON export).
+// Emits BENCH_workload.json (cwd) with the summary numbers.
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "bench/traffic_rig.h"
+#include "telemetry/metrics.h"
+#include "workload/traffic.h"
+
+int main(int argc, char** argv) {
+  using namespace salamander;
+  bench::PrintHeader(
+      "workload replay — multi-tenant traffic through a cluster",
+      "tenant skew and shaped arrivals drive end-to-end service cost; the "
+      "op stream is bit-identical on every replay of the same config");
+
+  bench::TrafficRigConfig config;
+  config.cluster = bench::ParseClusterFlag(argc, argv);
+  config.tenants = static_cast<uint32_t>(
+      bench::ParseU64Flag(argc, argv, "--tenants", 4));
+  config.days =
+      static_cast<uint32_t>(bench::ParseU64Flag(argc, argv, "--days", 20));
+  config.seed = bench::ParseU64Flag(argc, argv, "--seed", 42);
+  config.tenant.ops_per_day =
+      bench::ParseF64Flag(argc, argv, "--ops-per-day", 400.0);
+  config.tenant.read_fraction =
+      bench::ParseFractionFlag(argc, argv, "--read-fraction", 0.5);
+  config.tenant.zipf_theta =
+      bench::ParseF64Flag(argc, argv, "--zipf-theta", 0.99);
+  config.tenant.churn_per_day =
+      bench::ParseFractionFlag(argc, argv, "--churn-per-day", 0.0);
+  const std::string arrival = bench::ParseArrivalFlag(argc, argv);
+  config.mixed_arrivals = arrival == "mixed";
+  if (arrival == "diurnal") {
+    config.tenant.arrival = ArrivalShape::kDiurnal;
+  } else if (arrival == "bursty") {
+    config.tenant.arrival = ArrivalShape::kBursty;
+  }
+  const std::string metrics_out =
+      bench::ParseStringFlag(argc, argv, "--metrics-out");
+
+  {
+    TrafficConfig probe = MakeUniformTraffic(config.tenants, config.tenant,
+                                             config.seed,
+                                             config.mixed_arrivals);
+    const Status valid = ValidateTrafficConfig(probe);
+    if (!valid.ok()) {
+      std::fprintf(stderr, "error: invalid traffic config: %s\n",
+                   valid.message().c_str());
+      return 2;
+    }
+  }
+
+  std::printf("cluster=%s tenants=%u days=%u ops_per_day=%g "
+              "read_fraction=%g zipf_theta=%g arrival=%s churn=%g seed=%llu\n",
+              config.cluster.c_str(), config.tenants, config.days,
+              config.tenant.ops_per_day, config.tenant.read_fraction,
+              config.tenant.zipf_theta, arrival.c_str(),
+              config.tenant.churn_per_day,
+              static_cast<unsigned long long>(config.seed));
+
+  bench::TrafficRig rig(config);
+  const bench::TrafficRigResult result = rig.Run();
+  if (!result.bootstrapped) {
+    std::fprintf(stderr, "error: cluster bootstrap failed\n");
+    return 1;
+  }
+
+  bench::PrintSection("per-day demand (shaped arrivals)");
+  std::printf("day\tops\tread_p99_us\twrite_p99_us\n");
+  for (const bench::TrafficDayRow& row : result.days) {
+    std::printf("%u\t%llu\t%.1f\t%.1f\n", row.day,
+                static_cast<unsigned long long>(row.ops),
+                static_cast<double>(row.read_p99_ns) / 1000.0,
+                static_cast<double>(row.write_p99_ns) / 1000.0);
+  }
+
+  bench::PrintSection("end-to-end service cost");
+  const auto print_hist = [](const char* name, const LogHistogram& hist) {
+    std::printf("%s\tn=%llu\tp50=%.1fus\tp95=%.1fus\tp99=%.1fus\t"
+                "p999=%.1fus\tmax=%.1fus\n",
+                name, static_cast<unsigned long long>(hist.count()),
+                static_cast<double>(hist.P50()) / 1000.0,
+                static_cast<double>(hist.P95()) / 1000.0,
+                static_cast<double>(hist.P99()) / 1000.0,
+                static_cast<double>(hist.P999()) / 1000.0,
+                static_cast<double>(hist.max()) / 1000.0);
+  };
+  print_hist("reads", result.read_ns);
+  print_hist("writes", result.write_ns);
+  std::printf("serial-issue throughput: %.0f oPage-ops/s "
+              "(%llu ops, %llu read errors, %llu write errors)\n",
+              bench::TrafficOpsPerSecond(result),
+              static_cast<unsigned long long>(result.ops),
+              static_cast<unsigned long long>(result.read_errors),
+              static_cast<unsigned long long>(result.write_errors));
+
+  bench::PrintSection("per-tenant skew");
+  std::printf("tenant\thot_set_objects\tachieved_skew(top-1%% ranks)\n");
+  const TrafficEngine* engine = rig.engine();
+  for (uint32_t t = 0; t < engine->tenant_count(); ++t) {
+    std::printf("%u\t%llu\t%.3f\n", t,
+                static_cast<unsigned long long>(
+                    engine->TenantHotSetObjects(t)),
+                engine->TenantAchievedSkew(t));
+  }
+
+  bench::PrintSection("determinism self-check (second replay, same config)");
+  bench::TrafficRig replay_rig(config);
+  const bench::TrafficRigResult replay = replay_rig.Run();
+  const bool deterministic =
+      replay.stream_digest == result.stream_digest && replay.ops == result.ops;
+  std::printf("stream_digest=%016llx replay=%016llx identical=%s\n",
+              static_cast<unsigned long long>(result.stream_digest),
+              static_cast<unsigned long long>(replay.stream_digest),
+              deterministic ? "yes" : "NO — BUG");
+
+  FILE* json = std::fopen("BENCH_workload.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_workload.json\n");
+    return 1;
+  }
+  std::fprintf(
+      json,
+      "{\n"
+      "  \"bench\": \"workload_replay\",\n"
+      "  \"cluster\": \"%s\",\n"
+      "  \"tenants\": %u,\n"
+      "  \"days\": %u,\n"
+      "  \"arrival\": \"%s\",\n"
+      "  \"ops\": %llu,\n"
+      "  \"reads\": %llu,\n"
+      "  \"writes\": %llu,\n"
+      "  \"read_errors\": %llu,\n"
+      "  \"write_errors\": %llu,\n"
+      "  \"ops_per_second\": %.1f,\n"
+      "  \"read_p99_ns\": %llu,\n"
+      "  \"read_p999_ns\": %llu,\n"
+      "  \"write_p99_ns\": %llu,\n"
+      "  \"write_p999_ns\": %llu,\n"
+      "  \"stream_digest\": \"%016llx\",\n"
+      "  \"deterministic\": %s\n"
+      "}\n",
+      config.cluster.c_str(), config.tenants, config.days, arrival.c_str(),
+      static_cast<unsigned long long>(result.ops),
+      static_cast<unsigned long long>(result.reads),
+      static_cast<unsigned long long>(result.writes),
+      static_cast<unsigned long long>(result.read_errors),
+      static_cast<unsigned long long>(result.write_errors),
+      bench::TrafficOpsPerSecond(result),
+      static_cast<unsigned long long>(result.read_ns.P99()),
+      static_cast<unsigned long long>(result.read_ns.P999()),
+      static_cast<unsigned long long>(result.write_ns.P99()),
+      static_cast<unsigned long long>(result.write_ns.P999()),
+      static_cast<unsigned long long>(result.stream_digest),
+      deterministic ? "true" : "false");
+  std::fclose(json);
+  std::printf("\nwrote BENCH_workload.json\n");
+
+  if (!metrics_out.empty()) {
+    MetricRegistry registry;
+    engine->CollectMetrics(registry);
+    if (rig.difs() != nullptr) {
+      rig.difs()->CollectMetrics(registry, "difs.");
+    } else if (rig.ec() != nullptr) {
+      rig.ec()->CollectMetrics(registry, "ec.");
+    }
+    if (!registry.WriteJsonFile(metrics_out)) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", metrics_out.c_str());
+  }
+  return deterministic ? 0 : 1;
+}

@@ -41,6 +41,7 @@ class LogHistogram {
   uint64_t P50() const { return Quantile(0.50); }
   uint64_t P95() const { return Quantile(0.95); }
   uint64_t P99() const { return Quantile(0.99); }
+  uint64_t P999() const { return Quantile(0.999); }
 
   // Adds `other`'s samples into this histogram. Both histograms must have
   // the same sub_buckets_per_octave (after pow2 rounding); a mismatched

@@ -527,7 +527,8 @@ Status DifsCluster::Bootstrap() {
   return OkStatus();
 }
 
-Status DifsCluster::WriteReplica(ReplicaLocation& replica, uint64_t offset) {
+StatusOr<SimDuration> DifsCluster::WriteReplica(ReplicaLocation& replica,
+                                                uint64_t offset) {
   if (!replica.live || replica.draining) {
     return FailedPreconditionError("replica not writable");
   }
@@ -538,15 +539,47 @@ Status DifsCluster::WriteReplica(ReplicaLocation& replica, uint64_t offset) {
     return UnavailableError("WriteReplica: node under outage");
   }
   DeviceState& state = devices_[replica.device];
-  auto write = WithTransientRetry([&] {
+  return WithTransientRetry([&] {
     return state.device->Write(
         replica.mdisk,
         static_cast<uint64_t>(replica.slot) * config_.chunk_opages + offset);
   });
-  if (!write.ok()) {
-    return write.status();
+}
+
+bool DifsCluster::WriteChunkBody(Chunk& chunk, uint64_t offset,
+                                 SimDuration* cost_ns) {
+  if (chunk.lost) {
+    return false;
   }
-  return OkStatus();
+  const uint64_t backoff_before = stats_.backoff_ns;
+  SimDuration slowest = 0;
+  // The write changes the chunk's contents: restamp its checksum metadata
+  // (every replica carries the new generation).
+  ++chunk.generation;
+  chunk.checksum = codec_.Stamp(chunk.id, chunk.generation);
+  for (ReplicaLocation& replica : chunk.replicas) {
+    if (!replica.live) {
+      continue;
+    }
+    // Failures are tolerated: the replica's device just decommissioned or
+    // bricked and the event wave below repairs the chunk. Successful writes
+    // stamp the replica with the new generation — a replica that misses
+    // writes (dark device) keeps its old stamp and is stale on return.
+    auto write = WriteReplica(replica, offset);
+    if (write.ok()) {
+      replica.generation = chunk.generation;
+      // Replica writes fan out in parallel; the logical write completes when
+      // the slowest one does.
+      slowest = std::max(slowest, write.value());
+    }
+  }
+  if (cost_ns != nullptr) {
+    *cost_ns = slowest + (stats_.backoff_ns - backoff_before);
+  }
+  ++stats_.foreground_opage_writes;
+  ProcessEvents();
+  MaybeRunMaintenance();
+  return true;
 }
 
 Status DifsCluster::StepWrites(uint64_t opage_writes) {
@@ -560,27 +593,123 @@ Status DifsCluster::StepWrites(uint64_t opage_writes) {
       continue;
     }
     const uint64_t offset = rng_.UniformU64(config_.chunk_opages);
-    // The write changes the chunk's contents: restamp its checksum metadata
-    // (every replica carries the new generation).
-    ++chunk.generation;
-    chunk.checksum = codec_.Stamp(chunk.id, chunk.generation);
-    for (ReplicaLocation& replica : chunk.replicas) {
-      if (!replica.live) {
-        continue;
-      }
-      // Failures are tolerated: the replica's device just decommissioned or
-      // bricked and the event wave below repairs the chunk. Successful writes
-      // stamp the replica with the new generation — a replica that misses
-      // writes (dark device) keeps its old stamp and is stale on return.
-      if (WriteReplica(replica, offset).ok()) {
-        replica.generation = chunk.generation;
-      }
-    }
-    ++stats_.foreground_opage_writes;
-    ProcessEvents();
-    MaybeRunMaintenance();
+    WriteChunkBody(chunk, offset, nullptr);
   }
   return OkStatus();
+}
+
+Status DifsCluster::WriteChunkAt(ChunkId chunk_id, uint64_t offset,
+                                 SimDuration* cost_ns) {
+  if (chunks_.empty()) {
+    return FailedPreconditionError("WriteChunkAt: bootstrap first");
+  }
+  if (chunk_id >= chunks_.size()) {
+    return InvalidArgumentError("WriteChunkAt: chunk id out of range");
+  }
+  if (offset >= config_.chunk_opages) {
+    return InvalidArgumentError("WriteChunkAt: offset out of range");
+  }
+  if (!WriteChunkBody(chunks_[chunk_id], offset, cost_ns)) {
+    return DataLossError("WriteChunkAt: chunk lost");
+  }
+  return OkStatus();
+}
+
+Status DifsCluster::ReadChunkImpl(ChunkId chunk_id, const uint64_t* offset_ptr,
+                                  SimDuration* cost_ns) {
+  Chunk& chunk = chunks_[chunk_id];
+  if (chunk.lost || chunk.readable_replicas() == 0) {
+    return DataLossError("chunk unreadable");
+  }
+  // Pick a random readable replica (draining ones still serve reads),
+  // excluding replicas on an out node. Without an outage the candidate
+  // count equals readable_replicas(), so the RNG schedule is unchanged.
+  uint32_t candidates = 0;
+  for (const ReplicaLocation& r : chunk.replicas) {
+    candidates += (r.live && !NodeOut(r.device)) ? 1 : 0;
+  }
+  if (candidates == 0) {
+    return UnavailableError("every readable copy behind the outage");
+  }
+  uint32_t live_index = static_cast<uint32_t>(rng_.UniformU64(candidates));
+  ReplicaLocation* replica = nullptr;
+  for (ReplicaLocation& r : chunk.replicas) {
+    if (r.live && !NodeOut(r.device) && live_index-- == 0) {
+      replica = &r;
+      break;
+    }
+  }
+  // Legacy draw order: the offset is drawn *after* the replica pick. A
+  // targeted caller supplies it instead, skipping the draw.
+  const uint64_t offset =
+      offset_ptr != nullptr ? *offset_ptr : rng_.UniformU64(config_.chunk_opages);
+  const uint64_t backoff_before = stats_.backoff_ns;
+  SimDuration latency = 0;
+  DeviceState& state = devices_[replica->device];
+  auto read = WithTransientRetry([&] {
+    return state.device->Read(
+        replica->mdisk,
+        static_cast<uint64_t>(replica->slot) * config_.chunk_opages + offset);
+  });
+  if (read.ok()) {
+    latency = read.value().latency;
+  }
+  const uint64_t corrupt = ObserveCorruption(replica->device);
+  if (read.ok() && corrupt > 0) {
+    // End-to-end verify: the device said the read succeeded, but the
+    // checksum computed over the delivered payload does not match the
+    // stamp in chunk metadata.
+    const uint64_t observed = codec_.CorruptObservation(chunk.checksum);
+    if (!ChecksumCodec::Verify(chunk.checksum, observed)) {
+      // Read-repair: retire the corrupt replica, re-serve the read from a
+      // survivor (retiring any survivor that also fails its checksum), and
+      // let the recovery scheduler re-replicate.
+      if (MarkReplicaBad(chunk, *replica, /*enqueue=*/true)) {
+        for (ReplicaLocation& survivor : chunk.replicas) {
+          if (!survivor.live || NodeOut(survivor.device)) {
+            continue;
+          }
+          DeviceState& sstate = devices_[survivor.device];
+          auto reread = WithTransientRetry([&] {
+            return sstate.device->Read(
+                survivor.mdisk,
+                static_cast<uint64_t>(survivor.slot) * config_.chunk_opages +
+                    offset);
+          });
+          if (reread.ok()) {
+            // The re-serve happens after the corrupt read returned:
+            // sequential, so its latency adds to the op's service time.
+            latency += reread.value().latency;
+          }
+          const uint64_t again = ObserveCorruption(survivor.device);
+          if (reread.ok() && again == 0) {
+            ++stats_.integrity_survivor_reads;
+            break;
+          }
+          if (again > 0 &&
+              !MarkReplicaBad(chunk, survivor, /*enqueue=*/true)) {
+            break;  // last readable copy retained; nothing cleaner exists
+          }
+        }
+      }
+      ProcessEvents();
+    }
+  } else if (!read.ok() && read.status().code() == StatusCode::kDataLoss) {
+    ++stats_.uncorrectable_reads;
+    // Scrub: rewrite the page so future reads see freshly-programmed flash
+    // (content restored from a healthy replica in a real system).
+    auto repair = WriteReplica(*replica, offset);
+    if (repair.ok()) {
+      ++stats_.scrub_repairs;
+      latency += repair.value();
+    }
+    ProcessEvents();
+  }
+  if (cost_ns != nullptr) {
+    *cost_ns = latency + (stats_.backoff_ns - backoff_before);
+  }
+  MaybeRunMaintenance();
+  return read.ok() ? OkStatus() : read.status();
 }
 
 Status DifsCluster::StepReads(uint64_t opage_reads) {
@@ -589,82 +718,25 @@ Status DifsCluster::StepReads(uint64_t opage_reads) {
   }
   for (uint64_t i = 0; i < opage_reads; ++i) {
     const ChunkId chunk_id = rng_.UniformU64(chunks_.size());
-    Chunk& chunk = chunks_[chunk_id];
-    if (chunk.lost || chunk.readable_replicas() == 0) {
-      continue;
-    }
-    // Pick a random readable replica (draining ones still serve reads),
-    // excluding replicas on an out node. Without an outage the candidate
-    // count equals readable_replicas(), so the RNG schedule is unchanged.
-    uint32_t candidates = 0;
-    for (const ReplicaLocation& r : chunk.replicas) {
-      candidates += (r.live && !NodeOut(r.device)) ? 1 : 0;
-    }
-    if (candidates == 0) {
-      continue;  // every readable copy is behind the outage
-    }
-    uint32_t live_index = static_cast<uint32_t>(rng_.UniformU64(candidates));
-    ReplicaLocation* replica = nullptr;
-    for (ReplicaLocation& r : chunk.replicas) {
-      if (r.live && !NodeOut(r.device) && live_index-- == 0) {
-        replica = &r;
-        break;
-      }
-    }
-    const uint64_t offset = rng_.UniformU64(config_.chunk_opages);
-    DeviceState& state = devices_[replica->device];
-    auto read = WithTransientRetry([&] {
-      return state.device->Read(
-          replica->mdisk,
-          static_cast<uint64_t>(replica->slot) * config_.chunk_opages + offset);
-    });
-    const uint64_t corrupt = ObserveCorruption(replica->device);
-    if (read.ok() && corrupt > 0) {
-      // End-to-end verify: the device said the read succeeded, but the
-      // checksum computed over the delivered payload does not match the
-      // stamp in chunk metadata.
-      const uint64_t observed = codec_.CorruptObservation(chunk.checksum);
-      if (!ChecksumCodec::Verify(chunk.checksum, observed)) {
-        // Read-repair: retire the corrupt replica, re-serve the read from a
-        // survivor (retiring any survivor that also fails its checksum), and
-        // let the recovery scheduler re-replicate.
-        if (MarkReplicaBad(chunk, *replica, /*enqueue=*/true)) {
-          for (ReplicaLocation& survivor : chunk.replicas) {
-            if (!survivor.live || NodeOut(survivor.device)) {
-              continue;
-            }
-            DeviceState& sstate = devices_[survivor.device];
-            auto reread = WithTransientRetry([&] {
-              return sstate.device->Read(
-                  survivor.mdisk,
-                  static_cast<uint64_t>(survivor.slot) * config_.chunk_opages +
-                      offset);
-            });
-            const uint64_t again = ObserveCorruption(survivor.device);
-            if (reread.ok() && again == 0) {
-              ++stats_.integrity_survivor_reads;
-              break;
-            }
-            if (again > 0 &&
-                !MarkReplicaBad(chunk, survivor, /*enqueue=*/true)) {
-              break;  // last readable copy retained; nothing cleaner exists
-            }
-          }
-        }
-        ProcessEvents();
-      }
-    } else if (!read.ok() && read.status().code() == StatusCode::kDataLoss) {
-      ++stats_.uncorrectable_reads;
-      // Scrub: rewrite the page so future reads see freshly-programmed flash
-      // (content restored from a healthy replica in a real system).
-      if (WriteReplica(*replica, offset).ok()) {
-        ++stats_.scrub_repairs;
-      }
-      ProcessEvents();
-    }
-    MaybeRunMaintenance();
+    // Unreadable / fully-outaged chunks return early without drawing — the
+    // same skip the legacy loop's `continue` performed.
+    (void)ReadChunkImpl(chunk_id, nullptr, nullptr);
   }
   return OkStatus();
+}
+
+Status DifsCluster::ReadChunkAt(ChunkId chunk_id, uint64_t offset,
+                                SimDuration* cost_ns) {
+  if (chunks_.empty()) {
+    return FailedPreconditionError("ReadChunkAt: bootstrap first");
+  }
+  if (chunk_id >= chunks_.size()) {
+    return InvalidArgumentError("ReadChunkAt: chunk id out of range");
+  }
+  if (offset >= config_.chunk_opages) {
+    return InvalidArgumentError("ReadChunkAt: offset out of range");
+  }
+  return ReadChunkImpl(chunk_id, &offset, cost_ns);
 }
 
 // ---------------------------------------------------------------------------

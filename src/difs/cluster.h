@@ -218,6 +218,33 @@ class DifsCluster {
   // survivor, and re-replicates through the recovery scheduler (read-repair).
   Status StepReads(uint64_t opage_reads);
 
+  // ---- Targeted foreground ops (the traffic engine's entry points) --------
+  // Same semantics as one StepWrites/StepReads iteration, but the caller
+  // chooses (chunk, offset) — a TrafficEngine address maps as
+  // chunk = addr / chunk_opages(), offset = addr % chunk_opages(). When
+  // `cost_ns` is non-null it receives the op's simulated service time:
+  // replicas are written in parallel so a write costs its slowest replica
+  // write plus any transient-retry backoff; a read costs the replica read
+  // (plus the survivor re-serve after read-repair) plus backoff.
+
+  // Writes `offset` of chunk `chunk_id` through all live replicas.
+  // kDataLoss when the chunk is lost; kInvalidArgument out of range.
+  Status WriteChunkAt(ChunkId chunk_id, uint64_t offset,
+                      SimDuration* cost_ns = nullptr);
+  // Reads `offset` of chunk `chunk_id` from a randomly chosen readable
+  // replica (the replica draw comes from the cluster RNG, exactly as in
+  // StepReads). kDataLoss when the chunk is lost or unreadable;
+  // kUnavailable when every readable copy is behind a node outage.
+  Status ReadChunkAt(ChunkId chunk_id, uint64_t offset,
+                     SimDuration* cost_ns = nullptr);
+
+  // Logical oPage address space a traffic engine should target:
+  // total_chunks() * chunk_opages().
+  uint64_t chunk_opages() const { return config_.chunk_opages; }
+  uint64_t logical_opages() const {
+    return chunks_.size() * config_.chunk_opages;
+  }
+
   // Background scrub: walks up to `opage_budget` replica oPages behind a
   // deterministic cursor (no RNG draws), performing real device reads — so
   // scrub traffic wears flash per §4.3 — and repairing any corruption it
@@ -346,7 +373,19 @@ class DifsCluster {
   bool PickTarget(const std::vector<uint32_t>& exclude_nodes,
                   uint32_t* device_out, MinidiskId* mdisk_out,
                   uint32_t* slot_out);
-  Status WriteReplica(ReplicaLocation& replica, uint64_t offset);
+  // Writes one replica oPage; on success returns the device write latency.
+  StatusOr<SimDuration> WriteReplica(ReplicaLocation& replica,
+                                     uint64_t offset);
+  // Shared body of StepWrites and WriteChunkAt: stamps the new generation
+  // and writes every live replica. Returns false (and does nothing further)
+  // when the chunk is lost. Draws no RNG values.
+  bool WriteChunkBody(Chunk& chunk, uint64_t offset, SimDuration* cost_ns);
+  // Shared body of StepReads and ReadChunkAt. Preserves the legacy RNG draw
+  // order exactly: candidates -> live_index -> offset — when `offset_ptr` is
+  // null the offset is drawn from the cluster RNG *after* the replica pick,
+  // as StepReads always has; a caller-provided offset skips that draw.
+  Status ReadChunkImpl(ChunkId chunk_id, const uint64_t* offset_ptr,
+                       SimDuration* cost_ns);
 
   // ---- End-to-end integrity ------------------------------------------------
 

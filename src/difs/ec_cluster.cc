@@ -424,7 +424,8 @@ Status EcCluster::Bootstrap() {
   return OkStatus();
 }
 
-Status EcCluster::WriteCell(CellLocation& cell, uint64_t offset) {
+StatusOr<SimDuration> EcCluster::WriteCell(CellLocation& cell,
+                                           uint64_t offset) {
   if (!cell.live) {
     return FailedPreconditionError("cell not live");
   }
@@ -442,7 +443,55 @@ Status EcCluster::WriteCell(CellLocation& cell, uint64_t offset) {
     return write.status();
   }
   ++stats_.foreground_device_writes;
-  return OkStatus();
+  return write;
+}
+
+bool EcCluster::WriteLogicalBody(Stripe& stripe, uint32_t data_cell,
+                                 uint64_t offset, SimDuration* cost_ns) {
+  if (stripe.lost) {
+    return false;
+  }
+  SimDuration slowest = 0;
+  // Re-stamp the stripe's end-to-end checksum over the new contents. Each
+  // targeted cell that takes the write records the new generation; one
+  // that misses it (node outage, dark device) is marked stale so a later
+  // suspect-window reconciliation knows its bytes lag the stripe.
+  ++stripe.generation;
+  stripe.checksum = codec_.Stamp(stripe.id, stripe.generation);
+  if (stripe.cells[data_cell].live) {
+    CellLocation& cell = stripe.cells[data_cell];
+    auto write = WriteCell(cell, offset);
+    if (write.ok()) {
+      cell.generation = stripe.generation;
+      cell.stale = false;
+      slowest = std::max(slowest, write.value());
+    } else {
+      cell.stale = true;
+    }
+  }
+  for (uint32_t p = config_.data_cells;
+       p < config_.data_cells + config_.parity_cells; ++p) {
+    if (stripe.cells[p].live) {
+      CellLocation& cell = stripe.cells[p];
+      auto write = WriteCell(cell, offset);
+      if (write.ok()) {
+        cell.generation = stripe.generation;
+        cell.stale = false;
+        // Data and parity updates fan out in parallel; the logical write
+        // completes when the slowest device does.
+        slowest = std::max(slowest, write.value());
+      } else {
+        cell.stale = true;
+      }
+    }
+  }
+  if (cost_ns != nullptr) {
+    *cost_ns = slowest;
+  }
+  ++stats_.foreground_logical_writes;
+  ProcessEvents();
+  MaybeRunMaintenance();
+  return true;
 }
 
 Status EcCluster::StepWrites(uint64_t logical_writes) {
@@ -459,38 +508,113 @@ Status EcCluster::StepWrites(uint64_t logical_writes) {
     const uint32_t data_cell =
         static_cast<uint32_t>(rng_.UniformU64(config_.data_cells));
     const uint64_t offset = rng_.UniformU64(config_.cell_opages);
-    // Re-stamp the stripe's end-to-end checksum over the new contents. Each
-    // targeted cell that takes the write records the new generation; one
-    // that misses it (node outage, dark device) is marked stale so a later
-    // suspect-window reconciliation knows its bytes lag the stripe.
-    ++stripe.generation;
-    stripe.checksum = codec_.Stamp(stripe.id, stripe.generation);
-    if (stripe.cells[data_cell].live) {
-      CellLocation& cell = stripe.cells[data_cell];
-      if (WriteCell(cell, offset).ok()) {
-        cell.generation = stripe.generation;
-        cell.stale = false;
-      } else {
-        cell.stale = true;
-      }
-    }
-    for (uint32_t p = config_.data_cells;
-         p < config_.data_cells + config_.parity_cells; ++p) {
-      if (stripe.cells[p].live) {
-        CellLocation& cell = stripe.cells[p];
-        if (WriteCell(cell, offset).ok()) {
-          cell.generation = stripe.generation;
-          cell.stale = false;
-        } else {
-          cell.stale = true;
-        }
-      }
-    }
-    ++stats_.foreground_logical_writes;
-    ProcessEvents();
-    MaybeRunMaintenance();
+    WriteLogicalBody(stripe, data_cell, offset, nullptr);
   }
   return OkStatus();
+}
+
+Status EcCluster::WriteLogicalAt(StripeId stripe_id, uint32_t data_cell,
+                                 uint64_t offset, SimDuration* cost_ns) {
+  if (stripes_.empty()) {
+    return FailedPreconditionError("WriteLogicalAt: bootstrap first");
+  }
+  if (stripe_id >= stripes_.size() || data_cell >= config_.data_cells ||
+      offset >= config_.cell_opages) {
+    return InvalidArgumentError("WriteLogicalAt: location out of range");
+  }
+  if (!WriteLogicalBody(stripes_[stripe_id], data_cell, offset, cost_ns)) {
+    return DataLossError("WriteLogicalAt: stripe lost");
+  }
+  return OkStatus();
+}
+
+Status EcCluster::ReadLogicalBody(Stripe& stripe, uint32_t data_cell,
+                                  uint64_t offset, SimDuration* cost_ns) {
+  SimDuration latency = 0;
+  CellLocation& cell = stripe.cells[data_cell];
+  if (cell.live && !NodeOut(cell.device)) {
+    auto read = devices_[cell.device].device->Read(
+        cell.mdisk,
+        static_cast<uint64_t>(cell.slot) * config_.cell_opages + offset);
+    if (read.ok()) {
+      latency = read.value().latency;
+    }
+    const uint64_t corrupt = ObserveCorruption(cell.device);
+    if (read.ok() && corrupt > 0) {
+      // End-to-end verify against the stripe's checksum stamp. EC
+      // read-repair: retire the corrupt data cell, re-serve the read
+      // degraded from k clean cells, and let the rebuild queue restore
+      // full redundancy.
+      const uint64_t observed = codec_.CorruptObservation(stripe.checksum);
+      if (!ChecksumCodec::Verify(stripe.checksum, observed) &&
+          MarkCellBad(stripe, cell)) {
+        ++stats_.degraded_reads;
+        SimDuration slowest_source = 0;
+        uint32_t refetched = 0;
+        for (CellLocation& source : stripe.cells) {
+          if (!source.live || NodeOut(source.device) ||
+              refetched == config_.data_cells) {
+            continue;
+          }
+          auto refetch = devices_[source.device].device->Read(
+              source.mdisk,
+              static_cast<uint64_t>(source.slot) * config_.cell_opages +
+                  offset);
+          if (refetch.ok()) {
+            slowest_source = std::max(slowest_source, refetch.value().latency);
+          }
+          (void)ObserveCorruption(source.device);
+          ++refetched;
+        }
+        // The degraded re-serve fans its k source reads out in parallel,
+        // after the corrupt read already returned: sequential with it.
+        latency += slowest_source;
+        ProcessEvents();
+      }
+    }
+    if (cost_ns != nullptr) {
+      *cost_ns = latency;
+    }
+    MaybeRunMaintenance();
+    return read.ok() ? OkStatus() : read.status();
+  }
+  // Degraded read: reconstruct from k live cells (same offset in each).
+  ++stats_.degraded_reads;
+  bool marked_bad = false;
+  uint32_t fetched = 0;
+  for (CellLocation& source : stripe.cells) {
+    if (!source.live || NodeOut(source.device) ||
+        fetched == config_.data_cells) {
+      continue;
+    }
+    auto read = devices_[source.device].device->Read(
+        source.mdisk,
+        static_cast<uint64_t>(source.slot) * config_.cell_opages + offset);
+    ++fetched;
+    if (read.ok()) {
+      // Reconstruction reads fan out in parallel: slowest source wins.
+      latency = std::max(latency, read.value().latency);
+    }
+    if (ObserveCorruption(source.device) > 0 && read.ok()) {
+      const uint64_t observed = codec_.CorruptObservation(stripe.checksum);
+      if (!ChecksumCodec::Verify(stripe.checksum, observed)) {
+        // A corrupt reconstruction input: retire it (rebuild will replace
+        // it from parity) — a real system retries with another of the m
+        // spare combinations.
+        marked_bad = MarkCellBad(stripe, source) || marked_bad;
+      }
+    }
+  }
+  if (marked_bad) {
+    ProcessEvents();
+  }
+  if (cost_ns != nullptr) {
+    *cost_ns = latency;
+  }
+  MaybeRunMaintenance();
+  return fetched >= config_.data_cells
+             ? OkStatus()
+             : DataLossError("degraded read below k sources");
 }
 
 Status EcCluster::StepReads(uint64_t reads) {
@@ -505,69 +629,25 @@ Status EcCluster::StepReads(uint64_t reads) {
     const uint32_t data_cell =
         static_cast<uint32_t>(rng_.UniformU64(config_.data_cells));
     const uint64_t offset = rng_.UniformU64(config_.cell_opages);
-    CellLocation& cell = stripe.cells[data_cell];
-    if (cell.live && !NodeOut(cell.device)) {
-      auto read = devices_[cell.device].device->Read(
-          cell.mdisk,
-          static_cast<uint64_t>(cell.slot) * config_.cell_opages + offset);
-      const uint64_t corrupt = ObserveCorruption(cell.device);
-      if (read.ok() && corrupt > 0) {
-        // End-to-end verify against the stripe's checksum stamp. EC
-        // read-repair: retire the corrupt data cell, re-serve the read
-        // degraded from k clean cells, and let the rebuild queue restore
-        // full redundancy.
-        const uint64_t observed = codec_.CorruptObservation(stripe.checksum);
-        if (!ChecksumCodec::Verify(stripe.checksum, observed) &&
-            MarkCellBad(stripe, cell)) {
-          ++stats_.degraded_reads;
-          uint32_t refetched = 0;
-          for (CellLocation& source : stripe.cells) {
-            if (!source.live || NodeOut(source.device) ||
-                refetched == config_.data_cells) {
-              continue;
-            }
-            (void)devices_[source.device].device->Read(
-                source.mdisk,
-                static_cast<uint64_t>(source.slot) * config_.cell_opages +
-                    offset);
-            (void)ObserveCorruption(source.device);
-            ++refetched;
-          }
-          ProcessEvents();
-        }
-      }
-      MaybeRunMaintenance();
-      continue;
-    }
-    // Degraded read: reconstruct from k live cells (same offset in each).
-    ++stats_.degraded_reads;
-    bool marked_bad = false;
-    uint32_t fetched = 0;
-    for (CellLocation& source : stripe.cells) {
-      if (!source.live || NodeOut(source.device) ||
-          fetched == config_.data_cells) {
-        continue;
-      }
-      auto read = devices_[source.device].device->Read(
-          source.mdisk,
-          static_cast<uint64_t>(source.slot) * config_.cell_opages + offset);
-      ++fetched;
-      if (ObserveCorruption(source.device) > 0 && read.ok()) {
-        const uint64_t observed = codec_.CorruptObservation(stripe.checksum);
-        if (!ChecksumCodec::Verify(stripe.checksum, observed)) {
-          // A corrupt reconstruction input: retire it (rebuild will replace
-          // it from parity) — a real system retries with another of the m
-          // spare combinations.
-          marked_bad = MarkCellBad(stripe, source) || marked_bad;
-        }
-      }
-    }
-    if (marked_bad) {
-      ProcessEvents();
-    }
-    MaybeRunMaintenance();
+    (void)ReadLogicalBody(stripe, data_cell, offset, nullptr);
   }
   return OkStatus();
+}
+
+Status EcCluster::ReadLogicalAt(StripeId stripe_id, uint32_t data_cell,
+                                uint64_t offset, SimDuration* cost_ns) {
+  if (stripes_.empty()) {
+    return FailedPreconditionError("ReadLogicalAt: bootstrap first");
+  }
+  if (stripe_id >= stripes_.size() || data_cell >= config_.data_cells ||
+      offset >= config_.cell_opages) {
+    return InvalidArgumentError("ReadLogicalAt: location out of range");
+  }
+  Stripe& stripe = stripes_[stripe_id];
+  if (stripe.lost) {
+    return DataLossError("ReadLogicalAt: stripe lost");
+  }
+  return ReadLogicalBody(stripe, data_cell, offset, cost_ns);
 }
 
 // ---------------------------------------------------------------------------

@@ -153,6 +153,29 @@ class EcCluster {
   // missing is served degraded: k surviving cells are read to reconstruct.
   Status StepReads(uint64_t reads);
 
+  // ---- Targeted foreground ops (the traffic engine's entry points) --------
+  // Same semantics as one StepWrites/StepReads iteration with the caller
+  // choosing the logical location. A TrafficEngine address maps as
+  //   stripe    = addr / (data_cells * cell_opages)
+  //   data_cell = (addr / cell_opages) % data_cells
+  //   offset    = addr % cell_opages
+  // When `cost_ns` is non-null it receives the op's simulated service time:
+  // the data and parity cells are written in parallel (slowest wins); a
+  // degraded read waits for its slowest reconstruction source.
+
+  // kDataLoss when the stripe is lost; kInvalidArgument out of range.
+  Status WriteLogicalAt(StripeId stripe_id, uint32_t data_cell,
+                        uint64_t offset, SimDuration* cost_ns = nullptr);
+  Status ReadLogicalAt(StripeId stripe_id, uint32_t data_cell,
+                       uint64_t offset, SimDuration* cost_ns = nullptr);
+
+  uint32_t data_cells() const { return config_.data_cells; }
+  uint64_t cell_opages() const { return config_.cell_opages; }
+  // Logical oPage address space a traffic engine should target.
+  uint64_t logical_opages() const {
+    return stripes_.size() * config_.data_cells * config_.cell_opages;
+  }
+
   void ProcessEvents();
 
   // Lost-ack resend + outage expiry + rebuild retry, driven to quiescence.
@@ -232,7 +255,16 @@ class EcCluster {
   bool PickTarget(const std::vector<uint32_t>& exclude_nodes,
                   uint32_t* device_out, MinidiskId* mdisk_out,
                   uint32_t* slot_out);
-  Status WriteCell(CellLocation& cell, uint64_t offset);
+  // Writes one cell oPage; on success returns the device write latency.
+  StatusOr<SimDuration> WriteCell(CellLocation& cell, uint64_t offset);
+  // Shared body of StepWrites and WriteLogicalAt: stamps the new stripe
+  // generation and writes the data cell plus all parity cells. Returns
+  // false (doing nothing further) when the stripe is lost. Draws no RNG.
+  bool WriteLogicalBody(Stripe& stripe, uint32_t data_cell, uint64_t offset,
+                        SimDuration* cost_ns);
+  // Shared body of StepReads and ReadLogicalAt. Draws no RNG.
+  Status ReadLogicalBody(Stripe& stripe, uint32_t data_cell, uint64_t offset,
+                         SimDuration* cost_ns);
 
   // ---- Chaos & integrity machinery ----------------------------------------
 

@@ -44,8 +44,16 @@ FleetSim::FleetSim(const FleetConfig& config) : config_(config) {
       ssd_config.faults = slot.faults;
     }
     slot.device = std::make_unique<SsdDevice>(config_.kind, ssd_config);
+    AgingConfig aging;
+    if (config_.traffic.enabled()) {
+      // Tenant skew reaches flash through the driver's address stream: the
+      // zipfian-hot fraction of oPage writes lands on a hot subset of live
+      // mDisks at the tenant template's theta.
+      aging.zipfian_fraction = config_.traffic.device_zipfian_fraction;
+      aging.zipfian_theta = config_.traffic.tenant.zipf_theta;
+    }
     slot.driver =
-        std::make_unique<AgingDriver>(slot.device.get(), driver_seed);
+        std::make_unique<AgingDriver>(slot.device.get(), driver_seed, aging);
     if (config_.scrub_opages_per_day > 0) {
       // 4th fork per device, still in device-ID order. Disabled scrub forks
       // nothing, keeping every pre-existing stream byte-identical.
@@ -64,6 +72,16 @@ FleetSim::FleetSim(const FleetConfig& config) : config_(config) {
             : 1.0;
     slot.writes_per_day = static_cast<uint64_t>(
         config_.dwpd * imbalance * static_cast<double>(per_device_opages));
+    if (config_.traffic.enabled()) {
+      // 5th fork per device, still in device-ID order; disabled traffic
+      // forks nothing, keeping every pre-existing stream byte-identical.
+      const uint64_t traffic_seed = fleet_rng.ForkSeed();
+      slot.traffic = std::make_unique<TrafficEngine>(
+          MakeUniformTraffic(config_.traffic.tenants_per_device,
+                             config_.traffic.tenant, traffic_seed,
+                             config_.traffic.mixed_arrivals),
+          std::max<uint64_t>(1, per_device_opages));
+    }
     slots_.push_back(std::move(slot));
   }
 }
@@ -126,7 +144,15 @@ void FleetSim::StepDevice(DeviceSlot& slot, uint32_t day,
     ++slot.power_losses;
     return;
   }
-  AgingResult result = slot.driver->WriteOPages(slot.writes_per_day);
+  // Traffic-driven fleets take the day's write demand from the slot's
+  // tenant engine (variable: diurnal swings, bursts, churn); flat fleets
+  // keep the fixed dwpd-derived budget. Only days that reach this point
+  // advance the engine, so lockstep and event scheduling — which step the
+  // same alive-day sequence — see identical demand streams.
+  const uint64_t day_writes = slot.traffic != nullptr
+                                  ? slot.traffic->DayWriteDemand(day)
+                                  : slot.writes_per_day;
+  AgingResult result = slot.driver->WriteOPages(day_writes);
   if (result.device_failed) {
     slot.alive = false;
   }
@@ -460,6 +486,13 @@ uint64_t FleetSim::DeviceDigest(uint32_t device) const {
   mix(slot.device->manager().decommissioned_total());
   mix(slot.device->manager().regenerated_total());
   mix(slot.device->ftl().stats().host_writes);
+  if (slot.traffic != nullptr) {
+    // Mixed only when traffic is enabled so disabled-fleet digests stay
+    // byte-identical to pre-traffic builds.
+    mix(slot.traffic->StreamDigest());
+    mix(slot.traffic->ops_emitted());
+    mix(slot.traffic->writes_emitted());
+  }
   return digest;
 }
 
@@ -669,6 +702,23 @@ void FleetSim::CollectMetrics(MetricRegistry& registry,
         .Add(sched.days_stepped);
     registry.GetCounter(prefix + "fleet.scheduler.dark_days_skipped")
         .Add(sched.dark_days_skipped);
+  }
+  // Traffic counters follow the scrub rule: absent unless the traffic
+  // engine is enabled, keeping flat-dwpd metric dumps byte-identical.
+  if (config_.traffic.enabled()) {
+    uint64_t traffic_ops = 0;
+    uint64_t traffic_reads = 0;
+    uint64_t traffic_writes = 0;
+    for (const DeviceSlot& slot : slots_) {
+      traffic_ops += slot.traffic->ops_emitted();
+      traffic_reads += slot.traffic->reads_emitted();
+      traffic_writes += slot.traffic->writes_emitted();
+    }
+    registry.GetCounter(prefix + "fleet.traffic.ops").Add(traffic_ops);
+    registry.GetCounter(prefix + "fleet.traffic.reads").Add(traffic_reads);
+    registry.GetCounter(prefix + "fleet.traffic.writes").Add(traffic_writes);
+    registry.GetGauge(prefix + "fleet.traffic.tenants_per_device")
+        .Add(static_cast<double>(config_.traffic.tenants_per_device));
   }
   // Power-loss counters follow the same rule: absent unless injected.
   if (config_.power_loss_per_device_day > 0.0) {

@@ -29,6 +29,7 @@
 #include "telemetry/sampler.h"
 #include "telemetry/trace.h"
 #include "workload/aging.h"
+#include "workload/traffic.h"
 
 namespace salamander {
 
@@ -44,6 +45,31 @@ enum class FleetSchedulerMode : uint8_t {
   // bit-identical snapshots, metrics, and per-device state — the
   // FleetEquivalence/FleetScheduler suites enforce it.
   kEventDriven = 1,
+};
+
+// Multi-tenant traffic as the fleet's demand source (alternative to the flat
+// `dwpd` knob). When enabled, every device slot owns a TrafficEngine whose
+// per-day *write* demand replaces `writes_per_day`, so per-device load
+// varies over time (diurnal swings, bursts) and tenant skew concentrates
+// wear through the AgingDriver's zipfian address stream.
+struct FleetTrafficConfig {
+  // 0 — the default — disables the traffic engine entirely: no extra RNG
+  // forks, no per-slot engines, every pre-existing output byte-identical.
+  uint32_t tenants_per_device = 0;
+  // Template applied to every tenant. `ops_per_day` is per tenant in oPages;
+  // a device's mean daily write demand is
+  // tenants_per_device * ops_per_day * (1 - read_fraction).
+  TenantConfig tenant;
+  // Rotate tenant arrival shapes steady/diurnal/bursty (with staggered
+  // phases) instead of cloning the template's shape.
+  bool mixed_arrivals = true;
+  // Address skew the tenants impose within each device: the fraction of
+  // oPage writes drawn zipfian-hot (AgingConfig::zipfian_fraction) at the
+  // tenant template's theta. 1.0 = fully skewed (the regime where hot-spot
+  // wear concentrates and ShrinkS/RegenS diverge from CVSS).
+  double device_zipfian_fraction = 1.0;
+
+  bool enabled() const { return tenants_per_device > 0; }
 };
 
 struct FleetConfig {
@@ -69,6 +95,11 @@ struct FleetConfig {
   // lognormal(0, dwpd_sigma) draw (shard skew in real deployments). This is
   // what spreads wear-out deaths over a window instead of a cliff.
   double dwpd_sigma = 0.0;
+  // Multi-tenant traffic source; disabled (every byte identical) by default.
+  // When enabled it supersedes `dwpd`/`dwpd_sigma` as the write-demand
+  // source (the imbalance draw still happens, keeping disabled streams
+  // untouched, but its product is unused).
+  FleetTrafficConfig traffic;
   // Annual rate of random (non-wear) whole-device failures, e.g. 0.01 [28].
   double afr = 0.01;
   uint32_t days = 1000;
@@ -226,6 +257,11 @@ class FleetSim {
     // perturbs another device's streams; used once, for the staggered start.
     Rng scrub_rng;
     ScrubCursor scrub_cursor;  // (mdisk, lba) — pure state, no draws
+
+    // ---- Traffic engine (allocated only when traffic is enabled) -----------
+    // Seeded by the 5th per-device fork (after scrub's), still in device-ID
+    // order; slot-local, touched only by the worker stepping this slot.
+    std::unique_ptr<TrafficEngine> traffic;
     uint64_t observed_silent_corrupt = 0;  // last FTL counter reconciled
     uint64_t scrub_reads = 0;
     uint64_t scrub_detected = 0;  // silently-corrupt oPages caught by scrub

@@ -1,10 +1,33 @@
 #include "workload/aging.h"
 
 #include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 #include "workload/generators.h"
 
 namespace salamander {
+
+Status ValidateAgingConfig(const AgingConfig& config) {
+  if (!std::isfinite(config.zipfian_fraction) ||
+      config.zipfian_fraction < 0.0 || config.zipfian_fraction > 1.0) {
+    return InvalidArgumentError(
+        "AgingConfig: zipfian_fraction must be in [0, 1]");
+  }
+  if (!std::isfinite(config.zipfian_theta) || config.zipfian_theta <= 0.0 ||
+      config.zipfian_theta >= 1.0) {
+    return InvalidArgumentError(
+        "AgingConfig: zipfian_theta must be in (0, 1)");
+  }
+  if (!std::isfinite(config.working_set_fraction) ||
+      config.working_set_fraction <= 0.0 ||
+      config.working_set_fraction > 1.0) {
+    return InvalidArgumentError(
+        "AgingConfig: working_set_fraction must be in (0, 1]");
+  }
+  return OkStatus();
+}
 
 void LiveSetTracker::Apply(const std::vector<MinidiskEvent>& events) {
   for (const MinidiskEvent& event : events) {
@@ -54,6 +77,15 @@ AgingDriver::AgingDriver(SsdDevice* device, uint64_t seed,
                          const AgingConfig& config)
     : device_(device), rng_(seed), config_(config) {
   assert(device_ != nullptr);
+  Status status = ValidateAgingConfig(config_);
+  if (!status.ok()) {
+    // Dying beats silently aging a device with a nonsense workload: a
+    // zipfian_fraction of 1.3 would quietly clamp inside Rng::Bernoulli and
+    // skew every lifetime figure downstream.
+    std::fprintf(stderr, "AgingDriver: invalid config: %s\n",
+                 status.message().c_str());
+    std::abort();
+  }
   tracker_.Apply(device_->TakeEvents());  // any pending events first
   tracker_.BootstrapFromDevice(*device_);  // then the current live set
 }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "core/minidisk.h"
 #include "ssd/ssd_device.h"
 
@@ -58,6 +59,12 @@ struct AgingConfig {
   // lifetime gain.
   double working_set_fraction = 1.0;
 };
+
+// Field validation: zipfian_fraction outside [0, 1], zipfian_theta outside
+// (0, 1), or working_set_fraction outside (0, 1] are InvalidArgument — not
+// silent misbehavior downstream. AgingDriver's constructor dies on an
+// invalid config; callers holding untrusted input validate first.
+Status ValidateAgingConfig(const AgingConfig& config);
 
 struct AgingResult {
   uint64_t opages_written = 0;

@@ -56,9 +56,17 @@ class ZipfianGenerator final : public AddressGenerator {
   uint64_t space() const override { return space_; }
   double theta() const { return theta_; }
 
- private:
-  static double Zeta(uint64_t n, double theta);
+  // Zeta(n, theta) = sum_{i=1..n} i^-theta, memoized per (n, theta) behind a
+  // mutex: the O(n) partial sum runs once per distinct geometry, so
+  // constructing many same-shaped generators (one per tenant, one per
+  // AgingDriver::WriteOPages call) is O(1) after the first. The cached value
+  // is a pure function of its key, so sharing it across threads cannot
+  // perturb determinism.
+  static double CachedZeta(uint64_t n, double theta);
+  // Number of distinct (n, theta) keys currently cached (test hook).
+  static size_t ZetaCacheSize();
 
+ private:
   uint64_t space_;
   double theta_;
   double alpha_;

@@ -126,6 +126,66 @@ TEST(BenchUtilTest, ThreadsFlagStillRejectsOutOfRange) {
               "0 \\(all cores\\) .. 1024");
 }
 
+TEST(BenchUtilTest, FractionFlagParsesAndDefaults) {
+  const char* args[] = {"bench", "--read-fraction", "0.25"};
+  EXPECT_DOUBLE_EQ(ParseFractionFlag(3, Argv(args), "--read-fraction", 0.5),
+                   0.25);
+  const char* none[] = {"bench"};
+  EXPECT_DOUBLE_EQ(ParseFractionFlag(1, Argv(none), "--read-fraction", 0.5),
+                   0.5);
+  const char* zero[] = {"bench", "--read-fraction=0"};
+  EXPECT_DOUBLE_EQ(ParseFractionFlag(2, Argv(zero), "--read-fraction", 0.5),
+                   0.0);
+  const char* one[] = {"bench", "--read-fraction=1"};
+  EXPECT_DOUBLE_EQ(ParseFractionFlag(2, Argv(one), "--read-fraction", 0.5),
+                   1.0);
+}
+
+TEST(BenchUtilTest, FractionFlagRejectsOutOfRangeAndGarbage) {
+  const char* big[] = {"bench", "--read-fraction", "1.5"};
+  EXPECT_EXIT(ParseFractionFlag(3, Argv(big), "--read-fraction", 0.5),
+              ::testing::ExitedWithCode(2), "fraction in \\[0, 1\\]");
+  const char* negative[] = {"bench", "--read-fraction", "-0.1"};
+  EXPECT_EXIT(ParseFractionFlag(3, Argv(negative), "--read-fraction", 0.5),
+              ::testing::ExitedWithCode(2), "non-negative number");
+  const char* garbage[] = {"bench", "--read-fraction", "halfish"};
+  EXPECT_EXIT(ParseFractionFlag(3, Argv(garbage), "--read-fraction", 0.5),
+              ::testing::ExitedWithCode(2), "non-negative number");
+  const char* dangling[] = {"bench", "--read-fraction"};
+  EXPECT_EXIT(ParseFractionFlag(2, Argv(dangling), "--read-fraction", 0.5),
+              ::testing::ExitedWithCode(2), "requires a value");
+}
+
+TEST(BenchUtilTest, ClusterFlagAcceptsBothBackends) {
+  const char* none[] = {"bench"};
+  EXPECT_EQ(ParseClusterFlag(1, Argv(none)), "difs");
+  const char* difs[] = {"bench", "--cluster", "difs"};
+  EXPECT_EQ(ParseClusterFlag(3, Argv(difs)), "difs");
+  const char* ec[] = {"bench", "--cluster=ec"};
+  EXPECT_EQ(ParseClusterFlag(2, Argv(ec)), "ec");
+}
+
+TEST(BenchUtilTest, ClusterFlagRejectsUnknownBackend) {
+  const char* args[] = {"bench", "--cluster", "raid5"};
+  EXPECT_EXIT(ParseClusterFlag(3, Argv(args)), ::testing::ExitedWithCode(2),
+              "'difs' or 'ec'");
+}
+
+TEST(BenchUtilTest, ArrivalFlagAcceptsAllShapes) {
+  const char* none[] = {"bench"};
+  EXPECT_EQ(ParseArrivalFlag(1, Argv(none)), "mixed");
+  for (const char* shape : {"steady", "diurnal", "bursty", "mixed"}) {
+    const char* args[] = {"bench", "--arrival", shape};
+    EXPECT_EQ(ParseArrivalFlag(3, Argv(args)), shape);
+  }
+}
+
+TEST(BenchUtilTest, ArrivalFlagRejectsUnknownShape) {
+  const char* args[] = {"bench", "--arrival", "chaotic"};
+  EXPECT_EXIT(ParseArrivalFlag(3, Argv(args)), ::testing::ExitedWithCode(2),
+              "'steady', 'diurnal', 'bursty', or 'mixed'");
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace salamander
