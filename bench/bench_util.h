@@ -135,6 +135,65 @@ inline uint64_t ParseL2pCacheEntries(int argc, char** argv,
   return ParseU64Flag(argc, argv, "--l2p-cache-entries", default_value);
 }
 
+// Queueing / graceful-degradation knobs shared by the traffic, figure, and
+// soak benches (mapped onto sched/queueing.h's SchedConfig by each caller;
+// plain integers keep this header dependency-free). All values parse
+// strictly — signs, garbage, and overflow exit 2. `--queue-depth 0` (the
+// default) disables the whole layer, keeping every pre-existing output
+// byte-identical.
+struct SchedFlagValues {
+  uint64_t queue_depth = 0;          // bounded per-device depth; 0 = off
+  uint64_t arrival_interval_us = 8;  // simulated gap between foreground ops
+  uint64_t hedge_threshold_us = 0;   // hedge reads past this estimate; 0 = off
+  uint64_t slo_p99_us = 0;           // brownout SLO target; 0 = off
+  uint64_t brownout_window_ops = 256;
+  uint64_t retry_jitter_us = 0;      // deterministic retry jitter; 0 = none
+
+  bool enabled() const { return queue_depth > 0; }
+};
+
+// Parses --queue-depth, --arrival-interval-us, --hedge-threshold-us,
+// --slo-p99-us, --brownout-window-ops, and --retry-jitter-us.
+inline SchedFlagValues ParseSchedFlags(int argc, char** argv) {
+  SchedFlagValues values;
+  values.queue_depth = ParseU64Flag(argc, argv, "--queue-depth", 0);
+  values.arrival_interval_us =
+      ParseU64Flag(argc, argv, "--arrival-interval-us", 8);
+  values.hedge_threshold_us =
+      ParseU64Flag(argc, argv, "--hedge-threshold-us", 0);
+  values.slo_p99_us = ParseU64Flag(argc, argv, "--slo-p99-us", 0);
+  values.brownout_window_ops =
+      ParseU64Flag(argc, argv, "--brownout-window-ops", 256);
+  values.retry_jitter_us = ParseU64Flag(argc, argv, "--retry-jitter-us", 0);
+  if (values.enabled() && values.arrival_interval_us == 0) {
+    std::fprintf(stderr,
+                 "error: --queue-depth > 0 requires --arrival-interval-us > 0 "
+                 "(the queue needs an arrival clock)\n");
+    std::exit(2);
+  }
+  if (values.enabled() && values.slo_p99_us > 0 &&
+      values.brownout_window_ops == 0) {
+    std::fprintf(stderr,
+                 "error: --slo-p99-us > 0 requires --brownout-window-ops > 0\n");
+    std::exit(2);
+  }
+  return values;
+}
+
+// Parses `--service-opages-per-day N` / `--queue-opages N`: the fleet-level
+// day-granular admission-control knobs (FleetQueueConfig). 0 service
+// capacity — the default — disables the queue, keeping fleet outputs
+// byte-identical to builds without it.
+inline uint64_t ParseServiceOPagesPerDay(int argc, char** argv,
+                                         uint64_t default_value = 0) {
+  return ParseU64Flag(argc, argv, "--service-opages-per-day", default_value);
+}
+
+inline uint64_t ParseQueueOPages(int argc, char** argv,
+                                 uint64_t default_value = 0) {
+  return ParseU64Flag(argc, argv, "--queue-opages", default_value);
+}
+
 // Parses `--flag X` / `--flag=X` for a probability/fraction: a finite
 // decimal in [0, 1]. Garbage, signs, overflow, and out-of-range values all
 // exit 2 — "--read-fraction 1.5" must not silently clamp.

@@ -12,7 +12,13 @@
 //    per universe and fleet-wide), and with the background scrubber on
 //    (--scrub-opages-per-day > 0) corruption still loses zero chunks;
 //  * output is byte-identical across runs and --threads values (each
-//    universe owns its devices, injectors, and RNG streams).
+//    universe owns its devices, injectors, and RNG streams);
+//  * with the queueing layer on (--queue-depth > 0), the shed/hedge ledger
+//    reconciles exactly: every foreground/recovery/scrub shed the clusters
+//    counted appears as a per-device queue giveup, the exported sched.*
+//    registry matches the harness sums to the last event, and corruption +
+//    power loss + traffic + admission control together still lose zero
+//    chunks.
 //
 // Exits nonzero on any violation, so it can run as a CI gate.
 #include <cstdio>
@@ -23,7 +29,9 @@
 #include "bench/bench_util.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "common/units.h"
 #include "difs/cluster.h"
+#include "sched/queueing.h"
 #include "ecc/tiredness.h"
 #include "faults/fault_injector.h"
 #include "flash/wear_model.h"
@@ -102,7 +110,7 @@ FaultConfig ClusterFaults(uint64_t seed) {
 // cluster's trace pointer stays valid for the whole soak.
 void RunUniverse(uint64_t universe, uint64_t base_seed, uint64_t bursts,
                  uint64_t scrub_opages_per_day, double power_loss_per_burst,
-                 UniverseResult& result) {
+                 const SchedConfig& sched, UniverseResult& result) {
   result.kind = (universe % 2 == 0) ? SsdKind::kShrinkS : SsdKind::kRegenS;
 
   const uint32_t lane = static_cast<uint32_t>(universe);
@@ -126,6 +134,9 @@ void RunUniverse(uint64_t universe, uint64_t base_seed, uint64_t bursts,
   if (power_loss_per_burst > 0.0) {
     config.suspect_grace_ticks = 8;
   }
+  // Queueing layer: disabled by default (zero queues, zero forked streams),
+  // so a queue-free soak stays byte-identical to pre-queueing builds.
+  config.sched = sched;
 
   FPageEccGeometry ecc;
   const WearModelConfig wear = WearModel::Calibrate(
@@ -482,6 +493,26 @@ int main(int argc, char** argv) {
   // cross-check entirely: the soak output stays byte-identical to builds
   // without the bounded cache.
   const uint64_t l2p_cache_entries = bench::ParseL2pCacheEntries(argc, argv);
+  // Per-device queueing / graceful degradation (--queue-depth > 0 only).
+  // Microsecond knobs map onto SchedConfig's ns fields; shed-retry policy
+  // keeps the library defaults.
+  const bench::SchedFlagValues sched_flags =
+      bench::ParseSchedFlags(argc, argv);
+  SchedConfig sched;
+  sched.queue_depth = sched_flags.queue_depth;
+  sched.arrival_interval_ns = sched_flags.arrival_interval_us * kMicrosecond;
+  sched.hedge_threshold_ns = sched_flags.hedge_threshold_us * kMicrosecond;
+  sched.slo_p99_ns = sched_flags.slo_p99_us * kMicrosecond;
+  sched.brownout_window_ops = sched_flags.brownout_window_ops;
+  sched.retry_jitter_ns = sched_flags.retry_jitter_us * kMicrosecond;
+  {
+    const Status sched_valid = ValidateSchedConfig(sched);
+    if (!sched_valid.ok()) {
+      std::fprintf(stderr, "error: invalid sched config: %s\n",
+                   sched_valid.message().c_str());
+      return 2;
+    }
+  }
   const std::string metrics_out = bench::ParseStringFlag(
       argc, argv, "--metrics-out", "BENCH_chaos_metrics.json");
   const std::string trace_out = bench::ParseStringFlag(
@@ -500,7 +531,7 @@ int main(int argc, char** argv) {
   pool.ParallelFor(universes, [&](size_t begin, size_t end) {
     for (size_t u = begin; u < end; ++u) {
       RunUniverse(u, seed, bursts, scrub_opages_per_day, power_loss_per_burst,
-                  results[u]);
+                  sched, results[u]);
     }
   });
 
@@ -651,6 +682,97 @@ int main(int argc, char** argv) {
     }
   }
 
+  uint64_t sched_sheds_total = 0;
+  uint64_t sched_giveups_total = 0;
+  uint64_t sched_hedged_total = 0;
+  uint64_t sched_hedge_wins_total = 0;
+  bool sched_ledger_exact = true;
+  if (sched.enabled()) {
+    bench::PrintSection("queueing & graceful degradation reconciliation");
+    // Harness-side sums, straight from each universe's DifsStats.
+    uint64_t harness_read_sheds = 0;
+    uint64_t harness_write_sheds = 0;
+    uint64_t harness_recovery_sheds = 0;
+    uint64_t harness_scrub_sheds = 0;
+    uint64_t harness_wait_ns = 0;
+    for (const UniverseResult& r : results) {
+      harness_read_sheds += r.stats.sched_read_sheds;
+      harness_write_sheds += r.stats.sched_write_sheds;
+      harness_recovery_sheds += r.stats.sched_recovery_sheds;
+      harness_scrub_sheds += r.stats.sched_scrub_sheds;
+      harness_wait_ns += r.stats.sched_wait_ns;
+      sched_hedged_total += r.stats.sched_hedged_reads;
+      sched_hedge_wins_total += r.stats.sched_hedge_wins;
+    }
+    sched_sheds_total = harness_read_sheds + harness_write_sheds +
+                        harness_recovery_sheds + harness_scrub_sheds;
+    // Registry side: cluster-level shed classes and the per-device queue
+    // giveup counter, both merged additively across universes.
+    const auto counter = [&](const char* name) {
+      const Counter* c = merged.FindCounter(name);
+      return c != nullptr ? c->value() : 0;
+    };
+    const uint64_t exported_sheds = counter("difs.sched.read_sheds") +
+                                    counter("difs.sched.write_sheds") +
+                                    counter("difs.sched.recovery_sheds") +
+                                    counter("difs.sched.scrub_sheds");
+    sched_giveups_total = counter("ssd.sched.shed_giveups");
+    std::printf("queue_depth=%llu arrival_interval_us=%llu "
+                "hedge_threshold_us=%llu slo_p99_us=%llu\n",
+                static_cast<unsigned long long>(sched_flags.queue_depth),
+                static_cast<unsigned long long>(
+                    sched_flags.arrival_interval_us),
+                static_cast<unsigned long long>(
+                    sched_flags.hedge_threshold_us),
+                static_cast<unsigned long long>(sched_flags.slo_p99_us));
+    std::printf("sheds (read/write/recovery/scrub)\t%llu / %llu / %llu / "
+                "%llu\n",
+                static_cast<unsigned long long>(harness_read_sheds),
+                static_cast<unsigned long long>(harness_write_sheds),
+                static_cast<unsigned long long>(harness_recovery_sheds),
+                static_cast<unsigned long long>(harness_scrub_sheds));
+    std::printf("device queue giveups\t%llu\n",
+                static_cast<unsigned long long>(sched_giveups_total));
+    std::printf("hedged reads / wins\t%llu / %llu\n",
+                static_cast<unsigned long long>(sched_hedged_total),
+                static_cast<unsigned long long>(sched_hedge_wins_total));
+    std::printf("brownout entered / exited\t%llu / %llu\n",
+                static_cast<unsigned long long>(
+                    counter("difs.sched.brownout_entered")),
+                static_cast<unsigned long long>(
+                    counter("difs.sched.brownout_exited")));
+    // Exactness, not plausibility: every shed the clusters counted is one
+    // giveup at exactly one device queue (hedges pre-check room and
+    // ForceReconcile bypasses admission, so neither produces giveups), and
+    // the exported registry mirrors the harness ledger event for event.
+    if (exported_sheds != sched_sheds_total) {
+      sched_ledger_exact = false;
+      std::printf("  SCHED MISMATCH: exported sheds %llu != harness %llu\n",
+                  static_cast<unsigned long long>(exported_sheds),
+                  static_cast<unsigned long long>(sched_sheds_total));
+    }
+    if (sched_giveups_total != sched_sheds_total) {
+      sched_ledger_exact = false;
+      std::printf("  SCHED MISMATCH: device giveups %llu != cluster sheds "
+                  "%llu\n",
+                  static_cast<unsigned long long>(sched_giveups_total),
+                  static_cast<unsigned long long>(sched_sheds_total));
+    }
+    if (counter("difs.sched.wait_ns") != harness_wait_ns) {
+      sched_ledger_exact = false;
+      std::printf("  SCHED MISMATCH: exported wait_ns != harness ledger\n");
+    }
+    if (counter("difs.sched.hedged_reads") != sched_hedged_total ||
+        counter("difs.sched.hedge_wins") != sched_hedge_wins_total ||
+        sched_hedge_wins_total > sched_hedged_total) {
+      sched_ledger_exact = false;
+      std::printf("  SCHED MISMATCH: hedge ledger does not reconcile\n");
+    }
+    std::printf("shed/hedge ledger exact\t%s\n",
+                sched_ledger_exact ? "YES" : "NO");
+    pass = pass && sched_ledger_exact;
+  }
+
   L2pCrossCheckResult l2p;
   if (l2p_cache_entries > 0) {
     bench::PrintSection("bounded-L2P cross-check");
@@ -740,6 +862,21 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(permanent_upgrades_total),
                    static_cast<unsigned long long>(
                        merged.GetCounter("ftl.journal.replays").value()));
+    }
+    if (sched.enabled()) {
+      std::fprintf(summary,
+                   "  \"queue_depth\": %llu,\n"
+                   "  \"sched_sheds_total\": %llu,\n"
+                   "  \"sched_shed_giveups\": %llu,\n"
+                   "  \"sched_hedged_reads\": %llu,\n"
+                   "  \"sched_hedge_wins\": %llu,\n"
+                   "  \"sched_ledger_exact\": %s,\n",
+                   static_cast<unsigned long long>(sched.queue_depth),
+                   static_cast<unsigned long long>(sched_sheds_total),
+                   static_cast<unsigned long long>(sched_giveups_total),
+                   static_cast<unsigned long long>(sched_hedged_total),
+                   static_cast<unsigned long long>(sched_hedge_wins_total),
+                   sched_ledger_exact ? "true" : "false");
     }
     if (l2p_cache_entries > 0) {
       std::fprintf(summary,

@@ -11,6 +11,8 @@
 // Zipf-skewed tenants end-to-end through a replicated diFS cluster and an
 // EC cluster and reports the aggregate serial-issue throughput each
 // sustains — the cluster-level companion to the device-level curve.
+// Queueing knobs (--queue-depth etc., see workload_replay) apply to the
+// traffic clusters; disabled by default.
 #include <cstdio>
 #include <string>
 
@@ -30,6 +32,8 @@ int main(int argc, char** argv) {
       bench::ParseU64Flag(argc, argv, "--traffic-tenants", 0));
   const uint32_t traffic_days = static_cast<uint32_t>(
       bench::ParseU64Flag(argc, argv, "--traffic-days", 15));
+  const bench::SchedFlagValues sched_flags =
+      bench::ParseSchedFlags(argc, argv);
   MetricRegistry registry;
 
   bench::PerfRigConfig config;
@@ -90,6 +94,7 @@ int main(int argc, char** argv) {
       traffic_config.cluster = cluster;
       traffic_config.tenants = traffic_tenants;
       traffic_config.days = traffic_days;
+      traffic_config.sched = bench::SchedConfigFromFlags(sched_flags);
       bench::TrafficRig traffic_rig(traffic_config);
       const bench::TrafficRigResult traffic = traffic_rig.Run();
       if (!traffic.bootstrapped) {
@@ -101,6 +106,17 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(traffic.read_errors +
                                                   traffic.write_errors),
                   bench::TrafficOpsPerSecond(traffic));
+      if (sched_flags.enabled()) {
+        std::printf("%s\tsched: sheds=%llu hedged=%llu wins=%llu "
+                    "queue_wait_p99=%.1fus\n",
+                    cluster,
+                    static_cast<unsigned long long>(traffic.sched_sheds),
+                    static_cast<unsigned long long>(
+                        traffic.sched_hedged_reads),
+                    static_cast<unsigned long long>(traffic.sched_hedge_wins),
+                    static_cast<double>(traffic.queue_wait_ns.P99()) /
+                        1000.0);
+      }
       if (!metrics_out.empty() && traffic_rig.engine() != nullptr) {
         traffic_rig.engine()->CollectMetrics(registry,
                                              std::string(cluster) + ".");

@@ -14,6 +14,8 @@
 // Zipf-skewed tenants end-to-end through a replicated diFS cluster and an
 // EC cluster and reports the p50/p99/p999 of each op's simulated service
 // cost — the tail-latency companion to the device-level curve.
+// Queueing knobs (--queue-depth etc., see workload_replay) apply to the
+// traffic clusters and add a queue_wait row; disabled by default.
 #include <cstdio>
 #include <string>
 
@@ -34,6 +36,8 @@ int main(int argc, char** argv) {
       bench::ParseU64Flag(argc, argv, "--traffic-tenants", 0));
   const uint32_t traffic_days = static_cast<uint32_t>(
       bench::ParseU64Flag(argc, argv, "--traffic-days", 15));
+  const bench::SchedFlagValues sched_flags =
+      bench::ParseSchedFlags(argc, argv);
   MetricRegistry registry;
 
   bench::PerfRigConfig config;
@@ -113,6 +117,7 @@ int main(int argc, char** argv) {
       traffic_config.tenants = traffic_tenants;
       traffic_config.days = traffic_days;
       traffic_config.seed = 11;
+      traffic_config.sched = bench::SchedConfigFromFlags(sched_flags);
       bench::TrafficRig traffic_rig(traffic_config);
       const bench::TrafficRigResult traffic = traffic_rig.Run();
       if (!traffic.bootstrapped) {
@@ -128,6 +133,10 @@ int main(int argc, char** argv) {
       };
       row("read", traffic.read_ns);
       row("write", traffic.write_ns);
+      if (sched_flags.enabled()) {
+        // The queueing surcharge behind those tails, isolated.
+        row("queue_wait", traffic.queue_wait_ns);
+      }
       if (!metrics_out.empty() && traffic_rig.engine() != nullptr) {
         traffic_rig.engine()->CollectMetrics(registry,
                                              std::string(cluster) + ".");

@@ -26,7 +26,12 @@
 //        write-demand source; 0 = off, the default, keeping output
 //        byte-identical to flat-dwpd builds),
 //        --traffic-ops-per-day X (mean ops per tenant-day),
-//        --traffic-read-fraction F (tenant read mix, in [0,1]).
+//        --traffic-read-fraction F (tenant read mix, in [0,1]),
+//        --service-opages-per-day N (fleet admission control: daily write
+//        service cap per device; 0 = off, the default, keeping output
+//        byte-identical to builds without the queue),
+//        --queue-opages N (per-device backlog bound; 0 = unbounded, demand
+//        past the bound sheds).
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -155,6 +160,9 @@ int main(int argc, char** argv) {
       bench::ParseF64Flag(argc, argv, "--traffic-ops-per-day", 200.0);
   const double traffic_read_fraction =
       bench::ParseFractionFlag(argc, argv, "--traffic-read-fraction", 0.5);
+  const uint64_t service_opages_per_day =
+      bench::ParseServiceOPagesPerDay(argc, argv);
+  const uint64_t queue_opages = bench::ParseQueueOPages(argc, argv);
 
   const std::string metrics_out = bench::ParseStringFlag(
       argc, argv, "--metrics-out", "BENCH_fleet_metrics.json");
@@ -169,6 +177,8 @@ int main(int argc, char** argv) {
     config.traffic.tenants_per_device = traffic_tenants;
     config.traffic.tenant.ops_per_day = traffic_ops_per_day;
     config.traffic.tenant.read_fraction = traffic_read_fraction;
+    config.queue.service_opages_per_day = service_opages_per_day;
+    config.queue.queue_opages = queue_opages;
     return config;
   };
 
@@ -194,6 +204,12 @@ int main(int argc, char** argv) {
     std::printf("l2p_cache_entries=%llu (DRAM-bounded L2P map, paged to "
                 "flash with wear accounting)\n",
                 static_cast<unsigned long long>(l2p_cache_entries));
+  }
+  if (service_opages_per_day > 0) {
+    std::printf("admission control: service cap %llu oPages/device-day, "
+                "backlog bound %llu oPages (0 = unbounded)\n",
+                static_cast<unsigned long long>(service_opages_per_day),
+                static_cast<unsigned long long>(queue_opages));
   }
   if (traffic_tenants > 0) {
     std::printf("traffic: %u tenants/device, %g ops/tenant-day, "
@@ -290,6 +306,21 @@ int main(int argc, char** argv) {
                   result.lockstep_seconds / result.serial_seconds,
                   result.lockstep_equivalent ? "yes" : "NO — BUG");
     }
+    if (service_opages_per_day > 0) {
+      // Ledger: every admitted oPage is either served or still parked.
+      const uint64_t admitted = parallel_sim.queue_admitted_total();
+      const uint64_t served = parallel_sim.queue_served_total();
+      const uint64_t backlog = parallel_sim.queue_backlog_total();
+      std::printf("  %s: queue admitted=%llu served=%llu shed=%llu "
+                  "backlog=%llu ledger=%s\n",
+                  result.kind.c_str(),
+                  static_cast<unsigned long long>(admitted),
+                  static_cast<unsigned long long>(served),
+                  static_cast<unsigned long long>(
+                      parallel_sim.queue_shed_total()),
+                  static_cast<unsigned long long>(backlog),
+                  admitted == served + backlog ? "ok" : "LEAK — BUG");
+    }
     if (power_loss > 0.0) {
       std::printf("  %s: power_losses=%llu restarts=%llu "
                   "restart_failures=%llu dark_now=%u\n",
@@ -335,6 +366,15 @@ int main(int argc, char** argv) {
                  "  \"traffic_read_fraction\": %g,\n",
                  traffic_tenants, traffic_ops_per_day,
                  traffic_read_fraction);
+  }
+  if (service_opages_per_day > 0) {
+    // Gated like the l2p/traffic knobs: default-knob JSON stays
+    // byte-identical to builds without fleet admission control.
+    std::fprintf(json,
+                 "  \"service_opages_per_day\": %llu,\n"
+                 "  \"queue_opages\": %llu,\n",
+                 static_cast<unsigned long long>(service_opages_per_day),
+                 static_cast<unsigned long long>(queue_opages));
   }
   std::fprintf(json,
                "  \"hardware_concurrency\": %u,\n"

@@ -22,14 +22,31 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "common/histogram.h"
+#include "common/units.h"
 #include "difs/cluster.h"
 #include "difs/ec_cluster.h"
+#include "sched/queueing.h"
 #include "ssd/ssd_device.h"
 #include "workload/traffic.h"
 
 namespace salamander {
 namespace bench {
+
+// Maps the microsecond-granular CLI knobs (ParseSchedFlags) onto
+// SchedConfig's nanosecond fields. Shed-retry policy keeps the library
+// defaults; only the knobs the benches expose are plumbed.
+inline SchedConfig SchedConfigFromFlags(const SchedFlagValues& flags) {
+  SchedConfig sched;
+  sched.queue_depth = flags.queue_depth;
+  sched.arrival_interval_ns = flags.arrival_interval_us * kMicrosecond;
+  sched.hedge_threshold_ns = flags.hedge_threshold_us * kMicrosecond;
+  sched.slo_p99_ns = flags.slo_p99_us * kMicrosecond;
+  sched.brownout_window_ops = flags.brownout_window_ops;
+  sched.retry_jitter_ns = flags.retry_jitter_us * kMicrosecond;
+  return sched;
+}
 
 struct TrafficRigConfig {
   // "difs" (replicated chunks) or "ec" (RS(k+m) stripes).
@@ -46,6 +63,10 @@ struct TrafficRigConfig {
   uint64_t unit_opages = 64;  // chunk_opages (difs) / cell_opages (ec)
   double fill_fraction = 0.5;
   uint64_t nominal_pec = 640;
+  // Per-device queueing / admission control (sched/queueing.h). Disabled by
+  // default (queue_depth == 0), which keeps every rig output byte-identical
+  // to builds without the layer.
+  SchedConfig sched;
 };
 
 struct TrafficDayRow {
@@ -69,6 +90,16 @@ struct TrafficRigResult {
   LogHistogram write_ns;
   uint64_t total_cost_ns = 0;  // sum of every served op's service cost
   std::vector<TrafficDayRow> days;
+  // ---- Queueing layer (all zero when SchedConfig is disabled) --------------
+  // Per-served-op queue-wait surcharge (wait + retry backoff), recorded
+  // separately from the service cost it is folded into above.
+  LogHistogram queue_wait_ns;
+  uint64_t sched_sheds = 0;        // foreground ops refused after retries
+  uint64_t sched_wait_ns = 0;      // cluster's cumulative wait ledger
+  uint64_t sched_hedged_reads = 0;
+  uint64_t sched_hedge_wins = 0;
+  uint64_t brownout_entered = 0;
+  uint64_t brownout_exited = 0;
 };
 
 // Serial-issue throughput in oPage-ops per simulated second: the rate one
@@ -102,6 +133,7 @@ class TrafficRig {
       ec.cell_opages = config_.unit_opages;
       ec.fill_fraction = config_.fill_fraction;
       ec.seed = config_.seed;
+      ec.sched = config_.sched;
       ec_ = std::make_unique<EcCluster>(ec, factory);
     } else {
       DifsConfig difs;
@@ -109,6 +141,7 @@ class TrafficRig {
       difs.chunk_opages = config_.unit_opages;
       difs.fill_fraction = config_.fill_fraction;
       difs.seed = config_.seed;
+      difs.sched = config_.sched;
       difs_ = std::make_unique<DifsCluster>(difs, factory);
     }
   }
@@ -136,6 +169,8 @@ class TrafficRig {
       LogHistogram day_writes;
       for (const TrafficOp& op : ops) {
         SimDuration cost = 0;
+        const uint64_t wait_before =
+            config_.sched.enabled() ? SchedWaitNs() : 0;
         const Status status = Apply(op, &cost);
         ++result.ops;
         if (op.is_read) {
@@ -148,6 +183,13 @@ class TrafficRig {
           // (partial) cost is not a service latency — count it as an error.
           (op.is_read ? result.read_errors : result.write_errors) += 1;
           continue;
+        }
+        if (config_.sched.enabled()) {
+          // The cluster folds wait + retry backoff into `cost` and bumps its
+          // sched_wait_ns ledger by the same amount, so the delta is exactly
+          // this op's queueing surcharge — reported separately from the
+          // service cost it is buried in.
+          result.queue_wait_ns.Record(SchedWaitNs() - wait_before);
         }
         result.total_cost_ns += cost;
         if (op.is_read) {
@@ -165,6 +207,29 @@ class TrafficRig {
       row.write_p99_ns = day_writes.P99();
       result.days.push_back(row);
     }
+    if (config_.sched.enabled()) {
+      if (ec_ != nullptr) {
+        const EcStats& s = ec_->stats();
+        result.sched_sheds = s.sched_read_sheds + s.sched_write_sheds;
+        result.sched_wait_ns = s.sched_wait_ns;
+        result.sched_hedged_reads = s.sched_hedged_reads;
+        result.sched_hedge_wins = s.sched_hedge_wins;
+        if (ec_->brownout() != nullptr) {
+          result.brownout_entered = ec_->brownout()->stats().entered;
+          result.brownout_exited = ec_->brownout()->stats().exited;
+        }
+      } else {
+        const DifsStats& s = difs_->stats();
+        result.sched_sheds = s.sched_read_sheds + s.sched_write_sheds;
+        result.sched_wait_ns = s.sched_wait_ns;
+        result.sched_hedged_reads = s.sched_hedged_reads;
+        result.sched_hedge_wins = s.sched_hedge_wins;
+        if (difs_->brownout() != nullptr) {
+          result.brownout_entered = difs_->brownout()->stats().entered;
+          result.brownout_exited = difs_->brownout()->stats().exited;
+        }
+      }
+    }
     result.stream_digest = engine.StreamDigest();
     return result;
   }
@@ -176,6 +241,11 @@ class TrafficRig {
   const TrafficEngine* engine() const { return engine_.get(); }
 
  private:
+  uint64_t SchedWaitNs() const {
+    return ec_ != nullptr ? ec_->stats().sched_wait_ns
+                          : difs_->stats().sched_wait_ns;
+  }
+
   Status Apply(const TrafficOp& op, SimDuration* cost) {
     if (ec_ != nullptr) {
       const uint64_t cell = op.address / ec_->cell_opages();

@@ -15,6 +15,12 @@
 //        --arrival steady|diurnal|bursty|mixed (default mixed),
 //        --churn-per-day F (popularity drift), --seed N,
 //        --metrics-out PATH (registry JSON export).
+// Queueing knobs (all off by default; see DESIGN.md "Queueing & graceful
+// degradation"): --queue-depth N (0 disables the layer and keeps every
+// output byte-identical), --arrival-interval-us N, --hedge-threshold-us N,
+// --slo-p99-us N, --brownout-window-ops N, --retry-jitter-us N. With the
+// layer on, queue-wait p50/p99/p999 are reported separately from the
+// service cost they are folded into.
 // Emits BENCH_workload.json (cwd) with the summary numbers.
 #include <cstdio>
 #include <string>
@@ -55,6 +61,17 @@ int main(int argc, char** argv) {
   }
   const std::string metrics_out =
       bench::ParseStringFlag(argc, argv, "--metrics-out");
+  const bench::SchedFlagValues sched_flags =
+      bench::ParseSchedFlags(argc, argv);
+  config.sched = bench::SchedConfigFromFlags(sched_flags);
+  {
+    const Status sched_valid = ValidateSchedConfig(config.sched);
+    if (!sched_valid.ok()) {
+      std::fprintf(stderr, "error: invalid sched config: %s\n",
+                   sched_valid.message().c_str());
+      return 2;
+    }
+  }
 
   {
     TrafficConfig probe = MakeUniformTraffic(config.tenants, config.tenant,
@@ -75,6 +92,20 @@ int main(int argc, char** argv) {
               config.tenant.zipf_theta, arrival.c_str(),
               config.tenant.churn_per_day,
               static_cast<unsigned long long>(config.seed));
+  if (config.sched.enabled()) {
+    std::printf("queue_depth=%llu arrival_interval_us=%llu "
+                "hedge_threshold_us=%llu slo_p99_us=%llu "
+                "brownout_window_ops=%llu retry_jitter_us=%llu\n",
+                static_cast<unsigned long long>(sched_flags.queue_depth),
+                static_cast<unsigned long long>(
+                    sched_flags.arrival_interval_us),
+                static_cast<unsigned long long>(
+                    sched_flags.hedge_threshold_us),
+                static_cast<unsigned long long>(sched_flags.slo_p99_us),
+                static_cast<unsigned long long>(
+                    sched_flags.brownout_window_ops),
+                static_cast<unsigned long long>(sched_flags.retry_jitter_us));
+  }
 
   bench::TrafficRig rig(config);
   const bench::TrafficRigResult result = rig.Run();
@@ -112,6 +143,27 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(result.read_errors),
               static_cast<unsigned long long>(result.write_errors));
 
+  if (config.sched.enabled()) {
+    bench::PrintSection("queueing & graceful degradation");
+    // Queue wait (admission wait + shed-retry backoff) is folded into every
+    // served op's service cost above; this is the same surcharge isolated.
+    std::printf("queue_wait\tn=%llu\tp50=%.1fus\tp99=%.1fus\tp999=%.1fus\t"
+                "max=%.1fus\n",
+                static_cast<unsigned long long>(result.queue_wait_ns.count()),
+                static_cast<double>(result.queue_wait_ns.P50()) / 1000.0,
+                static_cast<double>(result.queue_wait_ns.P99()) / 1000.0,
+                static_cast<double>(result.queue_wait_ns.P999()) / 1000.0,
+                static_cast<double>(result.queue_wait_ns.max()) / 1000.0);
+    std::printf("sheds=%llu wait_total_us=%.1f hedged_reads=%llu "
+                "hedge_wins=%llu brownout_entered=%llu brownout_exited=%llu\n",
+                static_cast<unsigned long long>(result.sched_sheds),
+                static_cast<double>(result.sched_wait_ns) / 1000.0,
+                static_cast<unsigned long long>(result.sched_hedged_reads),
+                static_cast<unsigned long long>(result.sched_hedge_wins),
+                static_cast<unsigned long long>(result.brownout_entered),
+                static_cast<unsigned long long>(result.brownout_exited));
+  }
+
   bench::PrintSection("per-tenant skew");
   std::printf("tenant\thot_set_objects\tachieved_skew(top-1%% ranks)\n");
   const TrafficEngine* engine = rig.engine();
@@ -126,7 +178,9 @@ int main(int argc, char** argv) {
   bench::TrafficRig replay_rig(config);
   const bench::TrafficRigResult replay = replay_rig.Run();
   const bool deterministic =
-      replay.stream_digest == result.stream_digest && replay.ops == result.ops;
+      replay.stream_digest == result.stream_digest && replay.ops == result.ops &&
+      replay.sched_wait_ns == result.sched_wait_ns &&
+      replay.sched_sheds == result.sched_sheds;
   std::printf("stream_digest=%016llx replay=%016llx identical=%s\n",
               static_cast<unsigned long long>(result.stream_digest),
               static_cast<unsigned long long>(replay.stream_digest),
@@ -154,10 +208,7 @@ int main(int argc, char** argv) {
       "  \"read_p99_ns\": %llu,\n"
       "  \"read_p999_ns\": %llu,\n"
       "  \"write_p99_ns\": %llu,\n"
-      "  \"write_p999_ns\": %llu,\n"
-      "  \"stream_digest\": \"%016llx\",\n"
-      "  \"deterministic\": %s\n"
-      "}\n",
+      "  \"write_p999_ns\": %llu,\n",
       config.cluster.c_str(), config.tenants, config.days, arrival.c_str(),
       static_cast<unsigned long long>(result.ops),
       static_cast<unsigned long long>(result.reads),
@@ -168,7 +219,34 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(result.read_ns.P99()),
       static_cast<unsigned long long>(result.read_ns.P999()),
       static_cast<unsigned long long>(result.write_ns.P99()),
-      static_cast<unsigned long long>(result.write_ns.P999()),
+      static_cast<unsigned long long>(result.write_ns.P999()));
+  if (config.sched.enabled()) {
+    // Gated so a default (queue_depth == 0) run's JSON stays byte-identical
+    // to builds without the queueing layer.
+    std::fprintf(
+        json,
+        "  \"queue_depth\": %llu,\n"
+        "  \"queue_wait_p50_ns\": %llu,\n"
+        "  \"queue_wait_p99_ns\": %llu,\n"
+        "  \"queue_wait_p999_ns\": %llu,\n"
+        "  \"sched_sheds\": %llu,\n"
+        "  \"sched_hedged_reads\": %llu,\n"
+        "  \"sched_hedge_wins\": %llu,\n"
+        "  \"brownout_entered\": %llu,\n",
+        static_cast<unsigned long long>(config.sched.queue_depth),
+        static_cast<unsigned long long>(result.queue_wait_ns.P50()),
+        static_cast<unsigned long long>(result.queue_wait_ns.P99()),
+        static_cast<unsigned long long>(result.queue_wait_ns.P999()),
+        static_cast<unsigned long long>(result.sched_sheds),
+        static_cast<unsigned long long>(result.sched_hedged_reads),
+        static_cast<unsigned long long>(result.sched_hedge_wins),
+        static_cast<unsigned long long>(result.brownout_entered));
+  }
+  std::fprintf(
+      json,
+      "  \"stream_digest\": \"%016llx\",\n"
+      "  \"deterministic\": %s\n"
+      "}\n",
       static_cast<unsigned long long>(result.stream_digest),
       deterministic ? "true" : "false");
   std::fclose(json);

@@ -31,6 +31,20 @@ DifsCluster::DifsCluster(
     ApplyDeviceEvents(i);  // initial format events populate the slot maps
     initial_capacity_bytes_ += devices_[i].device->live_capacity_bytes();
   }
+  if (config_.sched.enabled()) {
+    assert(ValidateSchedConfig(config_.sched).ok() && "invalid sched config");
+    // Per-device jitter streams fork in device-ID order from a dedicated
+    // root, so enabling queueing perturbs no other stream and parallel
+    // harnesses see the same forks as serial ones.
+    Rng sched_root(config_.seed ^ 0x5c4ed0ee5c4ed0eeULL);
+    for (DeviceState& state : devices_) {
+      state.device->ConfigureQueue(config_.sched, sched_root.ForkSeed());
+    }
+    if (config_.sched.slo_p99_ns > 0) {
+      brownout_ = std::make_unique<BrownoutController>(
+          config_.sched.slo_p99_ns, config_.sched.brownout_window_ops);
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -258,6 +272,14 @@ void DifsCluster::ProcessEvents() {
 // ---------------------------------------------------------------------------
 
 uint64_t DifsCluster::DrainPendingRecoveries() {
+  if (brownout_ != nullptr && brownout_->active() && !reconcile_override_ &&
+      !pending_recoveries_.empty()) {
+    // Brownout: foreground p99 is over the SLO, so background re-replication
+    // yields the spindle. The backlog stays queued and drains once a window
+    // recovers (or ForceReconcile demands convergence).
+    ++stats_.brownout_recovery_deferrals;
+    return 0;
+  }
   uint64_t recovered = 0;
   // Process only the entries present at pass start; copies can enqueue more
   // (by wearing the target), which the caller's loop handles next pass.
@@ -342,6 +364,22 @@ bool DifsCluster::RecoverOneReplica(ChunkId chunk_id) {
                     &target_slot)) {
       return false;
     }
+    if (QueueingEnabled() && !reconcile_override_) {
+      // Recovery copies are admission-controlled like any other I/O: the
+      // source read and the target write must both find queue room, or the
+      // copy aborts and the chunk parks for a later pass. ForceReconcile
+      // bypasses the gate — convergence beats backpressure there.
+      const QueueAdmission src =
+          Queue(source->device)->Admit(OpClass::kRecovery, sched_clock_ns_);
+      const QueueAdmission dst =
+          src.admitted ? Queue(target_device)
+                             ->Admit(OpClass::kRecovery, sched_clock_ns_)
+                       : QueueAdmission{};
+      if (!src.admitted || !dst.admitted) {
+        ++stats_.sched_recovery_sheds;
+        return false;
+      }
+    }
     // Claim the slot immediately so concurrent placements in this event wave
     // cannot double-book it.
     devices_[target_device].slots[target_mdisk][target_slot] =
@@ -361,6 +399,10 @@ bool DifsCluster::RecoverOneReplica(ChunkId chunk_id) {
     });
     if (read.ok()) {
       stats_.recovery_opage_reads += config_.chunk_opages;
+      if (QueueingEnabled() && !reconcile_override_) {
+        Queue(source->device)
+            ->Complete(OpClass::kRecovery, read.value().latency);
+      }
     } else {
       ++stats_.uncorrectable_reads;
     }
@@ -388,9 +430,13 @@ bool DifsCluster::RecoverOneReplica(ChunkId chunk_id) {
   DeviceState& target_state = devices_[target_device];
   const uint64_t base =
       static_cast<uint64_t>(target_slot) * config_.chunk_opages;
+  SimDuration copy_write_ns = 0;
   for (uint64_t offset = 0; offset < config_.chunk_opages; ++offset) {
     auto write = WithTransientRetry(
         [&] { return target_state.device->Write(target_mdisk, base + offset); });
+    if (write.ok()) {
+      copy_write_ns += write.value();
+    }
     if (!write.ok()) {
       // Target died mid-copy (its own wear, or the write's wear): abandon.
       // If the target mDisk survived (failure had another cause), release
@@ -417,6 +463,10 @@ bool DifsCluster::RecoverOneReplica(ChunkId chunk_id) {
                                            .live = true,
                                            .generation = chunk.generation});
   ++stats_.replicas_recovered;
+  if (QueueingEnabled() && !reconcile_override_) {
+    // The whole copy occupies the target's queue as one recovery-class op.
+    Queue(target_device)->Complete(OpClass::kRecovery, copy_write_ns);
+  }
   if (chunk.live_replicas() >= config_.replication) {
     // Fully replicated again: draining copies are no longer needed.
     ReleaseDrainingReplicas(chunk);
@@ -546,10 +596,56 @@ StatusOr<SimDuration> DifsCluster::WriteReplica(ReplicaLocation& replica,
   });
 }
 
-bool DifsCluster::WriteChunkBody(Chunk& chunk, uint64_t offset,
-                                 SimDuration* cost_ns) {
+bool DifsCluster::AdmitForegroundWrite(const Chunk& chunk,
+                                       uint64_t* extra_ns) {
+  // Replica writes fan out in parallel, so the op's queue delay is the max
+  // across its target devices. Admission is all-or-nothing: the first
+  // refusal sheds the whole op before any replica is touched — a partial
+  // fan-out would leave stale replicas whose checksum mismatches pollute the
+  // end-to-end integrity ledger.
+  uint64_t extra = 0;
+  for (const ReplicaLocation& replica : chunk.replicas) {
+    if (!replica.live || replica.draining || NodeOut(replica.device)) {
+      continue;  // WriteReplica refuses these targets anyway
+    }
+    const QueueAdmission admission = Queue(replica.device)
+        ->Admit(OpClass::kForegroundWrite, sched_clock_ns_);
+    extra = std::max(extra, admission.wait_ns + admission.backoff_ns);
+    if (!admission.admitted) {
+      *extra_ns = extra;
+      return false;
+    }
+  }
+  *extra_ns = extra;
+  return true;
+}
+
+void DifsCluster::RecordForegroundLatency(uint64_t latency_ns) {
+  if (brownout_ != nullptr) {
+    brownout_->RecordForeground(latency_ns);
+  }
+}
+
+Status DifsCluster::WriteChunkBody(Chunk& chunk, uint64_t offset,
+                                   SimDuration* cost_ns) {
   if (chunk.lost) {
-    return false;
+    return DataLossError("WriteChunkBody: chunk lost");
+  }
+  uint64_t sched_extra_ns = 0;  // parallel admission wait + shed backoff
+  if (QueueingEnabled()) {
+    sched_clock_ns_ += config_.sched.arrival_interval_ns;  // one arrival
+    if (!AdmitForegroundWrite(chunk, &sched_extra_ns)) {
+      // Shed whole: no replica was touched, so the chunk's generation,
+      // checksum, and replica stamps all stay consistent.
+      ++stats_.sched_write_sheds;
+      stats_.sched_wait_ns += sched_extra_ns;
+      if (cost_ns != nullptr) {
+        *cost_ns = sched_extra_ns;
+      }
+      RecordForegroundLatency(sched_extra_ns);
+      MaybeRunMaintenance();
+      return UnavailableError("WriteChunkBody: shed at admission");
+    }
   }
   const uint64_t backoff_before = stats_.backoff_ns;
   SimDuration slowest = 0;
@@ -568,18 +664,26 @@ bool DifsCluster::WriteChunkBody(Chunk& chunk, uint64_t offset,
     auto write = WriteReplica(replica, offset);
     if (write.ok()) {
       replica.generation = chunk.generation;
+      if (QueueingEnabled()) {
+        Queue(replica.device)->Complete(OpClass::kForegroundWrite,
+                                        write.value());
+      }
       // Replica writes fan out in parallel; the logical write completes when
       // the slowest one does.
       slowest = std::max(slowest, write.value());
     }
   }
+  const SimDuration total =
+      slowest + (stats_.backoff_ns - backoff_before) + sched_extra_ns;
   if (cost_ns != nullptr) {
-    *cost_ns = slowest + (stats_.backoff_ns - backoff_before);
+    *cost_ns = total;
   }
+  stats_.sched_wait_ns += sched_extra_ns;
+  RecordForegroundLatency(total);
   ++stats_.foreground_opage_writes;
   ProcessEvents();
   MaybeRunMaintenance();
-  return true;
+  return OkStatus();
 }
 
 Status DifsCluster::StepWrites(uint64_t opage_writes) {
@@ -593,7 +697,7 @@ Status DifsCluster::StepWrites(uint64_t opage_writes) {
       continue;
     }
     const uint64_t offset = rng_.UniformU64(config_.chunk_opages);
-    WriteChunkBody(chunk, offset, nullptr);
+    (void)WriteChunkBody(chunk, offset, nullptr);
   }
   return OkStatus();
 }
@@ -609,10 +713,11 @@ Status DifsCluster::WriteChunkAt(ChunkId chunk_id, uint64_t offset,
   if (offset >= config_.chunk_opages) {
     return InvalidArgumentError("WriteChunkAt: offset out of range");
   }
-  if (!WriteChunkBody(chunks_[chunk_id], offset, cost_ns)) {
+  Status status = WriteChunkBody(chunks_[chunk_id], offset, cost_ns);
+  if (status.code() == StatusCode::kDataLoss) {
     return DataLossError("WriteChunkAt: chunk lost");
   }
-  return OkStatus();
+  return status;
 }
 
 Status DifsCluster::ReadChunkImpl(ChunkId chunk_id, const uint64_t* offset_ptr,
@@ -643,6 +748,61 @@ Status DifsCluster::ReadChunkImpl(ChunkId chunk_id, const uint64_t* offset_ptr,
   // targeted caller supplies it instead, skipping the draw.
   const uint64_t offset =
       offset_ptr != nullptr ? *offset_ptr : rng_.UniformU64(config_.chunk_opages);
+  uint64_t sched_extra_ns = 0;  // primary-path queue wait + shed backoff
+  DeviceQueue* hedge_queue = nullptr;
+  uint64_t hedge_extra_ns = 0;
+  if (QueueingEnabled()) {
+    sched_clock_ns_ += config_.sched.arrival_interval_ns;  // one arrival
+    const QueueAdmission admission =
+        Queue(replica->device)->Admit(OpClass::kForegroundRead, sched_clock_ns_);
+    if (!admission.admitted) {
+      ++stats_.sched_read_sheds;
+      stats_.sched_wait_ns += admission.backoff_ns;
+      if (cost_ns != nullptr) {
+        *cost_ns = admission.backoff_ns;
+      }
+      RecordForegroundLatency(admission.backoff_ns);
+      MaybeRunMaintenance();
+      return UnavailableError("ReadChunkImpl: shed at admission");
+    }
+    sched_extra_ns = admission.wait_ns + admission.backoff_ns;
+    // Hedge: when the primary's queue delay breaches the threshold, admit a
+    // *modeled* duplicate on the least-loaded alternate replica (lowest
+    // device index breaks ties). No second device read is issued — that
+    // would perturb fault-injection draws and add real wear — the alternate
+    // queue is charged the primary's service time as a proxy and the op
+    // finishes on whichever path frees it first. Only alternates with queue
+    // room are considered, so the hedge admission never sheds or retries.
+    if (config_.sched.hedge_threshold_ns > 0 &&
+        admission.wait_ns > config_.sched.hedge_threshold_ns) {
+      uint32_t hedge_device = 0;
+      uint64_t best_wait = 0;
+      bool found = false;
+      for (const ReplicaLocation& r : chunk.replicas) {
+        if (!r.live || NodeOut(r.device) || r.device == replica->device) {
+          continue;
+        }
+        DeviceQueue* alt = Queue(r.device);
+        alt->AdvanceTo(sched_clock_ns_);
+        if (alt->depth() >= config_.sched.queue_depth) {
+          continue;  // full: a hedge would just shed
+        }
+        const uint64_t wait = alt->EstimateWaitNs(OpClass::kForegroundRead);
+        if (!found || wait < best_wait) {
+          found = true;
+          best_wait = wait;
+          hedge_device = r.device;
+        }
+      }
+      if (found && best_wait < admission.wait_ns) {
+        const QueueAdmission hedge_admission =
+            Queue(hedge_device)->Admit(OpClass::kForegroundRead, sched_clock_ns_);
+        hedge_queue = Queue(hedge_device);
+        hedge_extra_ns = hedge_admission.wait_ns + hedge_admission.backoff_ns;
+        ++stats_.sched_hedged_reads;
+      }
+    }
+  }
   const uint64_t backoff_before = stats_.backoff_ns;
   SimDuration latency = 0;
   DeviceState& state = devices_[replica->device];
@@ -705,9 +865,25 @@ Status DifsCluster::ReadChunkImpl(ChunkId chunk_id, const uint64_t* offset_ptr,
     }
     ProcessEvents();
   }
-  if (cost_ns != nullptr) {
-    *cost_ns = latency + (stats_.backoff_ns - backoff_before);
+  if (QueueingEnabled()) {
+    if (read.ok()) {
+      Queue(replica->device)->Complete(OpClass::kForegroundRead, latency);
+      if (hedge_queue != nullptr) {
+        hedge_queue->Complete(OpClass::kForegroundRead, latency);
+      }
+    }
+    if (hedge_queue != nullptr && hedge_extra_ns < sched_extra_ns) {
+      ++stats_.sched_hedge_wins;
+      sched_extra_ns = hedge_extra_ns;  // op completes on the faster path
+    }
+    stats_.sched_wait_ns += sched_extra_ns;
   }
+  const SimDuration total =
+      latency + (stats_.backoff_ns - backoff_before) + sched_extra_ns;
+  if (cost_ns != nullptr) {
+    *cost_ns = total;
+  }
+  RecordForegroundLatency(total);
   MaybeRunMaintenance();
   return read.ok() ? OkStatus() : read.status();
 }
@@ -804,6 +980,13 @@ uint64_t DifsCluster::ScrubStep(uint64_t opage_budget) {
   if (opage_budget == 0 || chunks_.empty()) {
     return 0;
   }
+  if (brownout_ != nullptr && brownout_->active()) {
+    // Graceful degradation: while foreground p99 breaches the SLO, scrub
+    // yields its whole budget (the cursor does not move, so no coverage is
+    // silently lost — the pass just finishes later).
+    ++stats_.brownout_scrub_deferrals;
+    return 0;
+  }
   uint64_t reads = 0;
   // Positions that turned out unreadable (dead replicas, out nodes, lost
   // chunks) cost no budget; bound them so a mostly-dead cluster cannot spin.
@@ -843,12 +1026,29 @@ uint64_t DifsCluster::ScrubStep(uint64_t opage_budget) {
       }
       continue;
     }
+    if (QueueingEnabled()) {
+      // Scrub rides at the lowest priority: a full queue sheds the read and
+      // the cursor moves on (the position is retried on the next pass).
+      const QueueAdmission admission =
+          Queue(replica.device)->Admit(OpClass::kScrub, sched_clock_ns_);
+      if (!admission.admitted) {
+        ++stats_.sched_scrub_sheds;
+        ++skipped;
+        if (scrub_cursor_.Advance(chunks_.size(), minor_size)) {
+          ++stats_.scrub_passes;
+        }
+        continue;
+      }
+    }
     DeviceState& state = devices_[replica.device];
     auto read = WithTransientRetry([&] {
       return state.device->Read(
           replica.mdisk,
           static_cast<uint64_t>(replica.slot) * config_.chunk_opages + offset);
     });
+    if (QueueingEnabled() && read.ok()) {
+      Queue(replica.device)->Complete(OpClass::kScrub, read.value().latency);
+    }
     ++reads;
     ++stats_.scrub_opage_reads;
     const uint64_t corrupt = ObserveCorruption(replica.device);
@@ -1199,6 +1399,10 @@ void DifsCluster::ResolveSuspect(uint32_t device_index) {
 }
 
 void DifsCluster::ForceReconcile() {
+  // Convergence beats graceful degradation here: chaos tests assert a
+  // drained backlog after ForceReconcile, so the brownout deferral (and the
+  // recovery admission gate) stand aside for its duration.
+  reconcile_override_ = true;
   // A few rounds of reconcile + recover: recovery can itself change the
   // landscape (wear out a target, finish a drain), so iterate until a round
   // makes no progress. Bounded — parked chunks with genuinely no capacity
@@ -1218,6 +1422,7 @@ void DifsCluster::ForceReconcile() {
       break;
     }
   }
+  reconcile_override_ = false;
 }
 
 void DifsCluster::CollectMetrics(MetricRegistry& registry,
@@ -1278,6 +1483,39 @@ void DifsCluster::CollectMetrics(MetricRegistry& registry,
       .Add(stats_.scrub_detected);
   registry.GetCounter(prefix + "difs.scrub.passes")
       .Add(stats_.scrub_passes);
+  // Queueing instruments only exist when the layer is on, keeping legacy
+  // metric exports byte-identical (per-device queue internals land under
+  // "<prefix>ssd.sched.*" via SsdDevice::CollectMetrics below).
+  if (config_.sched.enabled()) {
+    registry.GetCounter(prefix + "difs.sched.read_sheds")
+        .Add(stats_.sched_read_sheds);
+    registry.GetCounter(prefix + "difs.sched.write_sheds")
+        .Add(stats_.sched_write_sheds);
+    registry.GetCounter(prefix + "difs.sched.recovery_sheds")
+        .Add(stats_.sched_recovery_sheds);
+    registry.GetCounter(prefix + "difs.sched.scrub_sheds")
+        .Add(stats_.sched_scrub_sheds);
+    registry.GetCounter(prefix + "difs.sched.wait_ns")
+        .Add(stats_.sched_wait_ns);
+    registry.GetCounter(prefix + "difs.sched.hedged_reads")
+        .Add(stats_.sched_hedged_reads);
+    registry.GetCounter(prefix + "difs.sched.hedge_wins")
+        .Add(stats_.sched_hedge_wins);
+    registry.GetCounter(prefix + "difs.sched.brownout_scrub_deferrals")
+        .Add(stats_.brownout_scrub_deferrals);
+    registry.GetCounter(prefix + "difs.sched.brownout_recovery_deferrals")
+        .Add(stats_.brownout_recovery_deferrals);
+    if (brownout_ != nullptr) {
+      registry.GetCounter(prefix + "difs.sched.brownout_windows")
+          .Add(brownout_->stats().windows);
+      registry.GetCounter(prefix + "difs.sched.brownout_entered")
+          .Add(brownout_->stats().entered);
+      registry.GetCounter(prefix + "difs.sched.brownout_exited")
+          .Add(brownout_->stats().exited);
+      registry.GetGauge(prefix + "difs.sched.brownout_active")
+          .Add(brownout_->active() ? 1.0 : 0.0);
+    }
+  }
   // Suspect-window instruments only exist when the feature is on, keeping
   // legacy metric exports byte-identical.
   if (config_.suspect_grace_ticks > 0) {

@@ -33,6 +33,7 @@
 #include "faults/fault_injector.h"
 #include "integrity/checksum.h"
 #include "integrity/scrub_cursor.h"
+#include "sched/queueing.h"
 #include "ssd/ssd_device.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
@@ -58,6 +59,16 @@ struct DifsConfig {
   // (busy planes). Backoff is simulated time, accumulated in stats.
   uint32_t max_transient_retries = 4;
   uint64_t transient_backoff_base_ns = 10000;  // 10 us, doubled per retry
+  // Cap on the exponent: retry r backs off base << min(r, max_shift),
+  // saturating — a raw `base << r` wraps at high max_transient_retries.
+  uint32_t transient_backoff_max_shift = 20;
+
+  // ---- Queueing & graceful degradation (ISSUE 9) ---------------------------
+
+  // Per-device service queues, admission control, hedged reads, and the
+  // brownout SLO guard. sched.queue_depth == 0 (default) disables the whole
+  // layer: no queues, no extra RNG streams, byte-identical outputs.
+  SchedConfig sched;
 
   // Every this many foreground ops the cluster runs a maintenance tick:
   // event-channel reconciliation (ResyncDevice for every reachable device),
@@ -140,6 +151,17 @@ struct DifsStats {
   uint64_t scrub_opage_reads = 0;      // background scrub device reads
   uint64_t scrub_detected = 0;         // corruptions first seen by scrub
   uint64_t scrub_passes = 0;           // full scrub sweeps completed
+
+  // ---- Queueing & graceful degradation (sched) ----------------------------
+  uint64_t sched_read_sheds = 0;      // foreground reads refused at admission
+  uint64_t sched_write_sheds = 0;     // foreground chunk writes refused whole
+  uint64_t sched_recovery_sheds = 0;  // recovery copies aborted by admission
+  uint64_t sched_scrub_sheds = 0;     // scrub positions skipped by admission
+  uint64_t sched_wait_ns = 0;         // foreground queue wait + shed backoff
+  uint64_t sched_hedged_reads = 0;    // reads that fanned out a hedge
+  uint64_t sched_hedge_wins = 0;      // hedge path completed first
+  uint64_t brownout_scrub_deferrals = 0;     // ScrubStep calls deferred
+  uint64_t brownout_recovery_deferrals = 0;  // recovery passes deferred
 
   // ---- Suspect windows (crash-restart) ------------------------------------
   uint64_t suspect_windows_started = 0;   // devices that went dark on grace
@@ -303,6 +325,17 @@ class DifsCluster {
   // Node currently unreachable due to an injected outage, or -1.
   int32_t outage_node() const { return outage_node_; }
 
+  // ---- Queueing & graceful degradation introspection ----------------------
+  // Simulated arrival clock: advances sched.arrival_interval_ns per
+  // foreground op while queueing is enabled; stays 0 otherwise.
+  uint64_t sched_clock_ns() const { return sched_clock_ns_; }
+  // Per-device service queue; nullptr when queueing is disabled.
+  const DeviceQueue* device_queue(uint32_t index) const {
+    return devices_[index].device->queue();
+  }
+  // Brownout controller; nullptr unless sched.slo_p99_ns > 0.
+  const BrownoutController* brownout() const { return brownout_.get(); }
+
   // ---- Tick scheduling (discrete-event drivers) ---------------------------
   // Instead of polling MaybeRunMaintenance after every op, an event-driven
   // harness asks once when the next maintenance tick is due and jumps there.
@@ -365,7 +398,8 @@ class DifsCluster {
   // and acks drains whose last pending chunk this was.
   void ReleaseDrainingReplicas(Chunk& chunk);
   // One pass over the pending-recovery queue; returns how many replicas were
-  // successfully re-created.
+  // successfully re-created. While the cluster is in brownout the pass is
+  // deferred (counted) unless ForceReconcile is driving convergence.
   uint64_t DrainPendingRecoveries();
   // Attempts to restore one missing replica of `chunk_id`. Returns true on
   // success, false if no eligible target or no live source exists.
@@ -377,9 +411,10 @@ class DifsCluster {
   StatusOr<SimDuration> WriteReplica(ReplicaLocation& replica,
                                      uint64_t offset);
   // Shared body of StepWrites and WriteChunkAt: stamps the new generation
-  // and writes every live replica. Returns false (and does nothing further)
-  // when the chunk is lost. Draws no RNG values.
-  bool WriteChunkBody(Chunk& chunk, uint64_t offset, SimDuration* cost_ns);
+  // and writes every live replica. kDataLoss when the chunk is lost,
+  // kUnavailable when admission control sheds the whole op (queueing only;
+  // no replica is touched, so none goes stale). Draws no RNG values.
+  Status WriteChunkBody(Chunk& chunk, uint64_t offset, SimDuration* cost_ns);
   // Shared body of StepReads and ReadChunkAt. Preserves the legacy RNG draw
   // order exactly: candidates -> live_index -> offset — when `offset_ptr` is
   // null the offset is drawn from the cluster RNG *after* the replica pick,
@@ -400,6 +435,20 @@ class DifsCluster {
   // readable copy — corrupt data beats no data — returning false and
   // counting integrity_retained_last_copies instead.
   bool MarkReplicaBad(Chunk& chunk, ReplicaLocation& replica, bool enqueue);
+
+  // ---- Queueing & graceful degradation machinery ---------------------------
+
+  bool QueueingEnabled() const { return config_.sched.enabled(); }
+  DeviceQueue* Queue(uint32_t device_index) {
+    return devices_[device_index].device->queue();
+  }
+  // Admission fan-out for one foreground chunk write: every device the
+  // fan-out will touch must admit, or the whole op sheds (avoids partial
+  // replica staleness). `*extra_ns` receives the parallel admission
+  // overhead — max over target devices of wait + shed-retry backoff.
+  bool AdmitForegroundWrite(const Chunk& chunk, uint64_t* extra_ns);
+  // Feeds the brownout controller; no-op when brownout is off.
+  void RecordForegroundLatency(uint64_t latency_ns);
 
   // ---- Robustness machinery ----------------------------------------------
 
@@ -443,14 +492,16 @@ class DifsCluster {
   template <typename Op>
   auto WithTransientRetry(Op op) -> decltype(op()) {
     auto result = op();
-    uint64_t backoff_ns = config_.transient_backoff_base_ns;
     for (uint32_t retry = 0;
          ResultCode(result) == StatusCode::kUnavailable &&
          retry < config_.max_transient_retries;
          ++retry) {
       ++stats_.transient_retries;
-      stats_.backoff_ns += backoff_ns;
-      backoff_ns *= 2;
+      // Retry r waits base << r, with the shift capped (saturating) so high
+      // max_transient_retries configs cannot wrap the accumulated backoff.
+      stats_.backoff_ns +=
+          CappedBackoffNs(config_.transient_backoff_base_ns, retry,
+                          config_.transient_backoff_max_shift);
       result = op();
     }
     if (ResultCode(result) == StatusCode::kUnavailable) {
@@ -480,6 +531,12 @@ class DifsCluster {
   uint32_t outage_ticks_left_ = 0;
   uint64_t ops_since_maintenance_ = 0;
   uint64_t trace_time_us_ = 0;  // stamp for emitted trace events
+  // ---- Queueing & graceful degradation state ----
+  uint64_t sched_clock_ns_ = 0;  // simulated arrival clock (queueing only)
+  std::unique_ptr<BrownoutController> brownout_;
+  // ForceReconcile overrides the brownout recovery deferral: tests and soaks
+  // use it to assert convergence, so it must always drain.
+  bool reconcile_override_ = false;
 };
 
 }  // namespace salamander

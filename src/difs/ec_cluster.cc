@@ -31,6 +31,20 @@ EcCluster::EcCluster(
     devices_.push_back(std::move(state));
     ApplyDeviceEvents(i);
   }
+  if (config_.sched.enabled()) {
+    assert(ValidateSchedConfig(config_.sched).ok() && "invalid sched config");
+    // Per-device jitter streams fork in device-ID order from a dedicated
+    // root, so enabling queueing perturbs no other stream and parallel
+    // harnesses see the same forks as serial ones.
+    Rng sched_root(config_.seed ^ 0x5c4ed0ee5c4ed0eeULL);
+    for (DeviceState& state : devices_) {
+      state.device->ConfigureQueue(config_.sched, sched_root.ForkSeed());
+    }
+    if (config_.sched.slo_p99_ns > 0) {
+      brownout_ = std::make_unique<BrownoutController>(
+          config_.sched.slo_p99_ns, config_.sched.brownout_window_ops);
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -192,6 +206,14 @@ void EcCluster::ProcessEvents() {
 // ---------------------------------------------------------------------------
 
 uint64_t EcCluster::DrainPendingRebuilds() {
+  if (brownout_ != nullptr && brownout_->active() && !reconcile_override_ &&
+      !pending_rebuilds_.empty()) {
+    // Graceful degradation: rebuild traffic yields to a breached foreground
+    // SLO. The queue keeps its entries — the wave just runs later (or under
+    // ForceReconcile, which overrides the deferral to guarantee convergence).
+    ++stats_.brownout_rebuild_deferrals;
+    return 0;
+  }
   uint64_t rebuilt = 0;
   size_t budget = pending_rebuilds_.size();
   while (budget-- > 0 && !pending_rebuilds_.empty()) {
@@ -261,6 +283,30 @@ bool EcCluster::RebuildOneCell(StripeId stripe_id) {
                     &target_slot)) {
       return false;
     }
+    if (QueueingEnabled() && !reconcile_override_) {
+      // Rebuild traffic rides the kRecovery class on every source and the
+      // target; any refusal sheds the whole attempt and the stripe parks in
+      // waiting_capacity_ for a later wave (deferral machinery, not loss).
+      bool admitted = true;
+      for (CellLocation* source : sources) {
+        if (!Queue(source->device)
+                 ->Admit(OpClass::kRecovery, sched_clock_ns_)
+                 .admitted) {
+          admitted = false;
+          break;
+        }
+      }
+      if (admitted &&
+          !Queue(target_device)
+               ->Admit(OpClass::kRecovery, sched_clock_ns_)
+               .admitted) {
+        admitted = false;
+      }
+      if (!admitted) {
+        ++stats_.sched_rebuild_sheds;
+        return false;
+      }
+    }
     DeviceState& target_state = devices_[target_device];
     target_state.slots[target_mdisk][target_slot] =
         PackRef(stripe_id, missing_cell);
@@ -283,6 +329,10 @@ bool EcCluster::RebuildOneCell(StripeId stripe_id) {
           config_.cell_opages);
       if (read.ok()) {
         stats_.rebuild_opage_reads += config_.cell_opages;
+        if (QueueingEnabled() && !reconcile_override_) {
+          Queue(source->device)
+              ->Complete(OpClass::kRecovery, read.value().latency);
+        }
       }
       if (ObserveCorruption(source->device) > 0) {
         const uint64_t observed = codec_.CorruptObservation(stripe.checksum);
@@ -313,6 +363,7 @@ bool EcCluster::RebuildOneCell(StripeId stripe_id) {
                          .generation = stripe.generation};
     const uint64_t base =
         static_cast<uint64_t>(target_slot) * config_.cell_opages;
+    SimDuration rebuild_write_ns = 0;
     for (uint64_t offset = 0; offset < config_.cell_opages; ++offset) {
       auto write =
           target_state.device->Write(target_mdisk, base + offset);
@@ -321,7 +372,11 @@ bool EcCluster::RebuildOneCell(StripeId stripe_id) {
         release_target();
         return false;
       }
+      rebuild_write_ns += write.value();
       ++stats_.rebuild_opage_writes;
+    }
+    if (QueueingEnabled() && !reconcile_override_) {
+      Queue(target_device)->Complete(OpClass::kRecovery, rebuild_write_ns);
     }
     stripe.cells[missing_cell] = rebuilt;
     ++stats_.cells_rebuilt;
@@ -446,10 +501,57 @@ StatusOr<SimDuration> EcCluster::WriteCell(CellLocation& cell,
   return write;
 }
 
-bool EcCluster::WriteLogicalBody(Stripe& stripe, uint32_t data_cell,
-                                 uint64_t offset, SimDuration* cost_ns) {
+bool EcCluster::AdmitForegroundWrite(const Stripe& stripe, uint32_t data_cell,
+                                     uint64_t* extra_ns) {
+  // The data-cell and parity updates fan out in parallel, so the op's queue
+  // delay is the max across its target devices. Admission is all-or-nothing:
+  // the first refusal sheds the whole op before any cell is touched — a
+  // partial fan-out would desynchronize parity from data.
+  uint64_t extra = 0;
+  auto admit_cell = [&](const CellLocation& cell) {
+    if (!cell.live || NodeOut(cell.device)) {
+      return true;  // WriteCell skips these targets anyway
+    }
+    const QueueAdmission admission =
+        Queue(cell.device)->Admit(OpClass::kForegroundWrite, sched_clock_ns_);
+    extra = std::max(extra, admission.wait_ns + admission.backoff_ns);
+    return admission.admitted;
+  };
+  bool admitted = admit_cell(stripe.cells[data_cell]);
+  for (uint32_t p = config_.data_cells;
+       admitted && p < config_.data_cells + config_.parity_cells; ++p) {
+    admitted = admit_cell(stripe.cells[p]);
+  }
+  *extra_ns = extra;
+  return admitted;
+}
+
+void EcCluster::RecordForegroundLatency(uint64_t latency_ns) {
+  if (brownout_ != nullptr) {
+    brownout_->RecordForeground(latency_ns);
+  }
+}
+
+Status EcCluster::WriteLogicalBody(Stripe& stripe, uint32_t data_cell,
+                                   uint64_t offset, SimDuration* cost_ns) {
   if (stripe.lost) {
-    return false;
+    return DataLossError("WriteLogicalBody: stripe lost");
+  }
+  uint64_t sched_extra_ns = 0;  // parallel admission wait + shed backoff
+  if (QueueingEnabled()) {
+    sched_clock_ns_ += config_.sched.arrival_interval_ns;  // one arrival
+    if (!AdmitForegroundWrite(stripe, data_cell, &sched_extra_ns)) {
+      // Shed whole: no cell took the write, so data and parity stay in sync
+      // at the old generation.
+      ++stats_.sched_write_sheds;
+      stats_.sched_wait_ns += sched_extra_ns;
+      if (cost_ns != nullptr) {
+        *cost_ns = sched_extra_ns;
+      }
+      RecordForegroundLatency(sched_extra_ns);
+      MaybeRunMaintenance();
+      return UnavailableError("WriteLogicalBody: shed at admission");
+    }
   }
   SimDuration slowest = 0;
   // Re-stamp the stripe's end-to-end checksum over the new contents. Each
@@ -464,6 +566,9 @@ bool EcCluster::WriteLogicalBody(Stripe& stripe, uint32_t data_cell,
     if (write.ok()) {
       cell.generation = stripe.generation;
       cell.stale = false;
+      if (QueueingEnabled()) {
+        Queue(cell.device)->Complete(OpClass::kForegroundWrite, write.value());
+      }
       slowest = std::max(slowest, write.value());
     } else {
       cell.stale = true;
@@ -477,6 +582,10 @@ bool EcCluster::WriteLogicalBody(Stripe& stripe, uint32_t data_cell,
       if (write.ok()) {
         cell.generation = stripe.generation;
         cell.stale = false;
+        if (QueueingEnabled()) {
+          Queue(cell.device)->Complete(OpClass::kForegroundWrite,
+                                       write.value());
+        }
         // Data and parity updates fan out in parallel; the logical write
         // completes when the slowest device does.
         slowest = std::max(slowest, write.value());
@@ -485,13 +594,16 @@ bool EcCluster::WriteLogicalBody(Stripe& stripe, uint32_t data_cell,
       }
     }
   }
+  const SimDuration total = slowest + sched_extra_ns;
   if (cost_ns != nullptr) {
-    *cost_ns = slowest;
+    *cost_ns = total;
   }
+  stats_.sched_wait_ns += sched_extra_ns;
+  RecordForegroundLatency(total);
   ++stats_.foreground_logical_writes;
   ProcessEvents();
   MaybeRunMaintenance();
-  return true;
+  return OkStatus();
 }
 
 Status EcCluster::StepWrites(uint64_t logical_writes) {
@@ -508,7 +620,7 @@ Status EcCluster::StepWrites(uint64_t logical_writes) {
     const uint32_t data_cell =
         static_cast<uint32_t>(rng_.UniformU64(config_.data_cells));
     const uint64_t offset = rng_.UniformU64(config_.cell_opages);
-    WriteLogicalBody(stripe, data_cell, offset, nullptr);
+    (void)WriteLogicalBody(stripe, data_cell, offset, nullptr);
   }
   return OkStatus();
 }
@@ -522,17 +634,84 @@ Status EcCluster::WriteLogicalAt(StripeId stripe_id, uint32_t data_cell,
       offset >= config_.cell_opages) {
     return InvalidArgumentError("WriteLogicalAt: location out of range");
   }
-  if (!WriteLogicalBody(stripes_[stripe_id], data_cell, offset, cost_ns)) {
+  Status status = WriteLogicalBody(stripes_[stripe_id], data_cell, offset,
+                                   cost_ns);
+  if (status.code() == StatusCode::kDataLoss) {
     return DataLossError("WriteLogicalAt: stripe lost");
   }
-  return OkStatus();
+  return status;
 }
 
 Status EcCluster::ReadLogicalBody(Stripe& stripe, uint32_t data_cell,
                                   uint64_t offset, SimDuration* cost_ns) {
   SimDuration latency = 0;
+  if (QueueingEnabled()) {
+    sched_clock_ns_ += config_.sched.arrival_interval_ns;  // one arrival
+  }
   CellLocation& cell = stripe.cells[data_cell];
-  if (cell.live && !NodeOut(cell.device)) {
+  // A transiently dark device (suspect grace window) still holds its cells
+  // live, but cannot serve I/O: such reads fall through to the degraded
+  // path below and reconstruct from the k healthy cells instead of failing.
+  if (cell.live && !NodeOut(cell.device) &&
+      !devices_[cell.device].device->failed()) {
+    uint64_t sched_extra_ns = 0;  // primary-path queue wait + shed backoff
+    std::vector<DeviceQueue*> hedge_queues;
+    uint64_t hedge_extra_ns = 0;
+    if (QueueingEnabled()) {
+      const QueueAdmission admission =
+          Queue(cell.device)->Admit(OpClass::kForegroundRead, sched_clock_ns_);
+      if (!admission.admitted) {
+        ++stats_.sched_read_sheds;
+        stats_.sched_wait_ns += admission.backoff_ns;
+        if (cost_ns != nullptr) {
+          *cost_ns = admission.backoff_ns;
+        }
+        RecordForegroundLatency(admission.backoff_ns);
+        MaybeRunMaintenance();
+        return UnavailableError("ReadLogicalBody: shed at admission");
+      }
+      sched_extra_ns = admission.wait_ns + admission.backoff_ns;
+      // Hedge: a *modeled* reconstruction fan-out over k alternate cells.
+      // No second device read is issued (that would perturb fault-injection
+      // draws and add real wear); the fan-out completes at its slowest
+      // source, so it only fires when every source queue has room and the
+      // slowest source wait still beats the primary's. Each source queue is
+      // then charged the primary's service time as a proxy.
+      if (config_.sched.hedge_threshold_ns > 0 &&
+          admission.wait_ns > config_.sched.hedge_threshold_ns) {
+        uint64_t slowest_wait = 0;
+        bool room = true;
+        for (CellLocation& source : stripe.cells) {
+          if (hedge_queues.size() == config_.data_cells) {
+            break;
+          }
+          if (!source.live || NodeOut(source.device) ||
+              devices_[source.device].device->failed() ||
+              source.cell == data_cell) {
+            continue;
+          }
+          DeviceQueue* alt = Queue(source.device);
+          alt->AdvanceTo(sched_clock_ns_);
+          if (alt->depth() >= config_.sched.queue_depth) {
+            room = false;  // a full source would shed: no hedge
+            break;
+          }
+          slowest_wait = std::max(
+              slowest_wait, alt->EstimateWaitNs(OpClass::kForegroundRead));
+          hedge_queues.push_back(alt);
+        }
+        if (room && hedge_queues.size() == config_.data_cells &&
+            slowest_wait < admission.wait_ns) {
+          for (DeviceQueue* alt : hedge_queues) {
+            (void)alt->Admit(OpClass::kForegroundRead, sched_clock_ns_);
+          }
+          hedge_extra_ns = slowest_wait;
+          ++stats_.sched_hedged_reads;
+        } else {
+          hedge_queues.clear();
+        }
+      }
+    }
     auto read = devices_[cell.device].device->Read(
         cell.mdisk,
         static_cast<uint64_t>(cell.slot) * config_.cell_opages + offset);
@@ -572,20 +751,54 @@ Status EcCluster::ReadLogicalBody(Stripe& stripe, uint32_t data_cell,
         ProcessEvents();
       }
     }
-    if (cost_ns != nullptr) {
-      *cost_ns = latency;
+    if (QueueingEnabled()) {
+      if (read.ok()) {
+        Queue(cell.device)->Complete(OpClass::kForegroundRead, latency);
+        for (DeviceQueue* alt : hedge_queues) {
+          alt->Complete(OpClass::kForegroundRead, latency);
+        }
+      }
+      if (!hedge_queues.empty() && hedge_extra_ns < sched_extra_ns) {
+        ++stats_.sched_hedge_wins;
+        sched_extra_ns = hedge_extra_ns;  // op completes on the faster path
+      }
+      stats_.sched_wait_ns += sched_extra_ns;
     }
+    const SimDuration total = latency + sched_extra_ns;
+    if (cost_ns != nullptr) {
+      *cost_ns = total;
+    }
+    RecordForegroundLatency(total);
     MaybeRunMaintenance();
     return read.ok() ? OkStatus() : read.status();
   }
   // Degraded read: reconstruct from k live cells (same offset in each).
   ++stats_.degraded_reads;
+  uint64_t degraded_extra_ns = 0;  // slowest source's queue wait
   bool marked_bad = false;
   uint32_t fetched = 0;
   for (CellLocation& source : stripe.cells) {
     if (!source.live || NodeOut(source.device) ||
+        devices_[source.device].device->failed() ||
         fetched == config_.data_cells) {
       continue;
+    }
+    if (QueueingEnabled()) {
+      const QueueAdmission admission = Queue(source.device)
+          ->Admit(OpClass::kForegroundRead, sched_clock_ns_);
+      degraded_extra_ns = std::max(
+          degraded_extra_ns, admission.wait_ns + admission.backoff_ns);
+      if (!admission.admitted) {
+        // Reconstruction needs every source: one refusal sheds the op.
+        ++stats_.sched_read_sheds;
+        stats_.sched_wait_ns += degraded_extra_ns;
+        if (cost_ns != nullptr) {
+          *cost_ns = latency + degraded_extra_ns;
+        }
+        RecordForegroundLatency(latency + degraded_extra_ns);
+        MaybeRunMaintenance();
+        return UnavailableError("ReadLogicalBody: degraded shed");
+      }
     }
     auto read = devices_[source.device].device->Read(
         source.mdisk,
@@ -594,6 +807,10 @@ Status EcCluster::ReadLogicalBody(Stripe& stripe, uint32_t data_cell,
     if (read.ok()) {
       // Reconstruction reads fan out in parallel: slowest source wins.
       latency = std::max(latency, read.value().latency);
+      if (QueueingEnabled()) {
+        Queue(source.device)
+            ->Complete(OpClass::kForegroundRead, read.value().latency);
+      }
     }
     if (ObserveCorruption(source.device) > 0 && read.ok()) {
       const uint64_t observed = codec_.CorruptObservation(stripe.checksum);
@@ -608,9 +825,12 @@ Status EcCluster::ReadLogicalBody(Stripe& stripe, uint32_t data_cell,
   if (marked_bad) {
     ProcessEvents();
   }
+  stats_.sched_wait_ns += degraded_extra_ns;
+  const SimDuration total = latency + degraded_extra_ns;
   if (cost_ns != nullptr) {
-    *cost_ns = latency;
+    *cost_ns = total;
   }
+  RecordForegroundLatency(total);
   MaybeRunMaintenance();
   return fetched >= config_.data_cells
              ? OkStatus()
@@ -920,6 +1140,10 @@ void EcCluster::ResolveSuspect(uint32_t device_index) {
 }
 
 void EcCluster::ForceReconcile() {
+  // Convergence beats degradation here: rebuild waves run even under an
+  // active brownout and bypass queue admission (chaos tests assert a zero
+  // backlog after this call).
+  reconcile_override_ = true;
   // A few rounds of reconcile + rebuild: a rebuild can itself change the
   // landscape (wear out a target, finish a drain), so iterate until a round
   // makes no progress. Bounded — stripes with genuinely no capacity (or
@@ -938,6 +1162,7 @@ void EcCluster::ForceReconcile() {
       break;
     }
   }
+  reconcile_override_ = false;
 }
 
 uint64_t EcCluster::ObserveCorruption(uint32_t device_index) {
@@ -1013,6 +1238,34 @@ void EcCluster::CollectMetrics(MetricRegistry& registry,
       .Add(stats_.integrity_marked_bad);
   registry.GetCounter(prefix + "ec.integrity.retained_cells")
       .Add(stats_.integrity_retained_cells);
+  // Queueing instruments only exist when the layer is on, keeping legacy
+  // metric exports byte-identical (per-device queue internals land under
+  // "<prefix>ssd.sched.*" via SsdDevice::CollectMetrics below).
+  if (config_.sched.enabled()) {
+    registry.GetCounter(prefix + "ec.sched.read_sheds")
+        .Add(stats_.sched_read_sheds);
+    registry.GetCounter(prefix + "ec.sched.write_sheds")
+        .Add(stats_.sched_write_sheds);
+    registry.GetCounter(prefix + "ec.sched.rebuild_sheds")
+        .Add(stats_.sched_rebuild_sheds);
+    registry.GetCounter(prefix + "ec.sched.wait_ns").Add(stats_.sched_wait_ns);
+    registry.GetCounter(prefix + "ec.sched.hedged_reads")
+        .Add(stats_.sched_hedged_reads);
+    registry.GetCounter(prefix + "ec.sched.hedge_wins")
+        .Add(stats_.sched_hedge_wins);
+    registry.GetCounter(prefix + "ec.sched.brownout_rebuild_deferrals")
+        .Add(stats_.brownout_rebuild_deferrals);
+    if (brownout_ != nullptr) {
+      registry.GetCounter(prefix + "ec.sched.brownout_windows")
+          .Add(brownout_->stats().windows);
+      registry.GetCounter(prefix + "ec.sched.brownout_entered")
+          .Add(brownout_->stats().entered);
+      registry.GetCounter(prefix + "ec.sched.brownout_exited")
+          .Add(brownout_->stats().exited);
+      registry.GetGauge(prefix + "ec.sched.brownout_active")
+          .Add(brownout_->active() ? 1.0 : 0.0);
+    }
+  }
   if (config_.suspect_grace_ticks > 0) {
     registry.GetCounter(prefix + "ec.suspect.windows_started")
         .Add(stats_.suspect_windows_started);

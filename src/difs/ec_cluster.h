@@ -28,6 +28,7 @@
 #include "core/minidisk.h"
 #include "faults/fault_injector.h"
 #include "integrity/checksum.h"
+#include "sched/queueing.h"
 #include "ssd/ssd_device.h"
 #include "telemetry/metrics.h"
 
@@ -64,6 +65,12 @@ struct EcConfig {
   // which preserves the legacy behavior bit for bit. Same contract as
   // DifsConfig::suspect_grace_ticks.
   uint32_t suspect_grace_ticks = 0;
+
+  // Per-device service queues, admission control, hedged reads, and the
+  // brownout SLO guard (ISSUE 9). sched.queue_depth == 0 (default) disables
+  // the whole layer: no queues, no extra RNG streams, byte-identical
+  // outputs. Same contract as DifsConfig::sched.
+  SchedConfig sched;
 };
 
 struct EcStats {
@@ -96,6 +103,16 @@ struct EcStats {
   uint64_t suspect_devices_returned = 0;  // restarted within the window
   uint64_t suspect_cells_revived = 0;     // survived the power loss intact
   uint64_t suspect_cells_stale = 0;       // missed/lost writes: rebuilt
+
+  // ---- Queueing & graceful degradation (ISSUE 9; same contract as
+  // DifsStats' sched block — all identically zero while disabled) ----------
+  uint64_t sched_read_sheds = 0;       // foreground reads refused admission
+  uint64_t sched_write_sheds = 0;      // logical writes shed whole
+  uint64_t sched_rebuild_sheds = 0;    // rebuild attempts refused admission
+  uint64_t sched_wait_ns = 0;          // queue wait folded into op costs
+  uint64_t sched_hedged_reads = 0;     // modeled reconstruction hedges fired
+  uint64_t sched_hedge_wins = 0;       // hedge completed before the primary
+  uint64_t brownout_rebuild_deferrals = 0;  // rebuild waves parked under SLO
 
   uint64_t rebuild_read_bytes() const { return rebuild_opage_reads * 4096; }
   uint64_t rebuild_write_bytes() const { return rebuild_opage_writes * 4096; }
@@ -208,6 +225,16 @@ class EcCluster {
     return static_cast<uint32_t>(devices_.size());
   }
 
+  // ---- Queueing introspection (ISSUE 9) -----------------------------------
+  // Simulated arrival clock; 0 while the layer is disabled.
+  uint64_t sched_clock_ns() const { return sched_clock_ns_; }
+  // The device's service queue, or nullptr while the layer is disabled.
+  const DeviceQueue* device_queue(uint32_t index) const {
+    return devices_[index].device->queue();
+  }
+  // The SLO guard, or nullptr unless sched.slo_p99_ns > 0.
+  const BrownoutController* brownout() const { return brownout_.get(); }
+
   // Scrapes EcStats with difs.*-parity names ("<prefix>ec.*"), replication-
   // health gauges, and every device's "<prefix>ssd.*" subtree. Cluster-level
   // injected faults land under "<prefix>cluster_faults.". Additive — collect
@@ -258,10 +285,11 @@ class EcCluster {
   // Writes one cell oPage; on success returns the device write latency.
   StatusOr<SimDuration> WriteCell(CellLocation& cell, uint64_t offset);
   // Shared body of StepWrites and WriteLogicalAt: stamps the new stripe
-  // generation and writes the data cell plus all parity cells. Returns
-  // false (doing nothing further) when the stripe is lost. Draws no RNG.
-  bool WriteLogicalBody(Stripe& stripe, uint32_t data_cell, uint64_t offset,
-                        SimDuration* cost_ns);
+  // generation and writes the data cell plus all parity cells. kDataLoss
+  // (doing nothing further) when the stripe is lost; kUnavailable when the
+  // op is shed whole at queue admission. Draws no RNG.
+  Status WriteLogicalBody(Stripe& stripe, uint32_t data_cell, uint64_t offset,
+                          SimDuration* cost_ns);
   // Shared body of StepReads and ReadLogicalAt. Draws no RNG.
   Status ReadLogicalBody(Stripe& stripe, uint32_t data_cell, uint64_t offset,
                          SimDuration* cost_ns);
@@ -304,6 +332,19 @@ class EcCluster {
   // the cell would lose the stripe; counts integrity_retained_cells.
   bool MarkCellBad(Stripe& stripe, CellLocation& cell, bool enqueue = true);
 
+  // ---- Queueing & graceful degradation machinery (ISSUE 9) ----------------
+  bool QueueingEnabled() const { return config_.sched.enabled(); }
+  DeviceQueue* Queue(uint32_t device_index) {
+    return devices_[device_index].device->queue();
+  }
+  // Admits the write fan-out (data cell + parity cells) at kForegroundWrite
+  // on every target device, all-or-nothing; `extra_ns` receives the max of
+  // the per-device waits (the fan-out is parallel) plus any shed backoff.
+  bool AdmitForegroundWrite(const Stripe& stripe, uint32_t data_cell,
+                            uint64_t* extra_ns);
+  // Feeds the brownout SLO guard (no-op unless configured).
+  void RecordForegroundLatency(uint64_t latency_ns);
+
   EcConfig config_;
   Rng rng_;
   ChecksumCodec codec_;
@@ -316,6 +357,12 @@ class EcCluster {
   int32_t outage_node_ = -1;
   uint32_t outage_ticks_left_ = 0;
   uint64_t ops_since_maintenance_ = 0;
+  // ---- Queueing state (ISSUE 9; all dormant while sched is disabled) ------
+  uint64_t sched_clock_ns_ = 0;  // advances one arrival_interval per fg op
+  std::unique_ptr<BrownoutController> brownout_;
+  // ForceReconcile must converge even under brownout/admission pressure:
+  // while set, rebuild work bypasses both (chaos tests assert convergence).
+  bool reconcile_override_ = false;
 };
 
 }  // namespace salamander

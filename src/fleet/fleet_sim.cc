@@ -105,7 +105,8 @@ FleetSnapshot FleetSim::Sample(uint32_t day) const {
 
 void FleetSim::StepDevice(DeviceSlot& slot, uint32_t day,
                           double daily_failure, uint64_t scrub_budget,
-                          uint32_t restart_days, size_t shard,
+                          uint32_t restart_days,
+                          const FleetQueueConfig& queue, size_t shard,
                           ShardedCounter* steps, ShardedCounter* opages) {
   if (slot.dark) {
     // Dark from a transient power loss: powered off, so no I/O and no RNG
@@ -149,9 +150,31 @@ void FleetSim::StepDevice(DeviceSlot& slot, uint32_t day,
   // keep the fixed dwpd-derived budget. Only days that reach this point
   // advance the engine, so lockstep and event scheduling — which step the
   // same alive-day sequence — see identical demand streams.
-  const uint64_t day_writes = slot.traffic != nullptr
-                                  ? slot.traffic->DayWriteDemand(day)
-                                  : slot.writes_per_day;
+  uint64_t day_writes = slot.traffic != nullptr
+                            ? slot.traffic->DayWriteDemand(day)
+                            : slot.writes_per_day;
+  if (queue.enabled()) {
+    // Admission control: the day's demand joins the backlog (bounded —
+    // overflow is shed, never written) and the service capacity decides how
+    // much actually reaches flash today. Pure slot-local arithmetic, no RNG,
+    // so both engines at any thread count agree bit for bit.
+    uint64_t admitted = day_writes;
+    if (queue.queue_opages > 0) {
+      const uint64_t room = queue.queue_opages - std::min(
+          queue.queue_opages, slot.queue_backlog_opages);
+      admitted = std::min(admitted, room);
+    }
+    slot.queue_shed_opages += day_writes - admitted;
+    slot.queue_admitted_opages += admitted;
+    slot.queue_backlog_opages += admitted;
+    slot.queue_backlog_peak =
+        std::max(slot.queue_backlog_peak, slot.queue_backlog_opages);
+    const uint64_t served =
+        std::min(slot.queue_backlog_opages, queue.service_opages_per_day);
+    slot.queue_backlog_opages -= served;
+    slot.queue_served_opages += served;
+    day_writes = served;
+  }
   AgingResult result = slot.driver->WriteOPages(day_writes);
   if (result.device_failed) {
     slot.alive = false;
@@ -273,8 +296,8 @@ std::vector<FleetSnapshot> FleetSim::RunLockstep() {
       for (size_t i = begin; i < end; ++i) {
         StepDevice(slots_[i], day, daily_failure,
                    config_.scrub_opages_per_day,
-                   config_.power_loss_restart_days, i, day_steps_.get(),
-                   day_opages_.get());
+                   config_.power_loss_restart_days, config_.queue, i,
+                   day_steps_.get(), day_opages_.get());
       }
     });
     if (telemetry_attached()) {
@@ -301,13 +324,14 @@ std::vector<FleetSnapshot> FleetSim::RunLockstep() {
 void FleetSim::ExecuteEvent(DeviceSlot& slot, const FleetEvent& event,
                             uint32_t window_end, uint32_t horizon_days,
                             double daily_failure, uint64_t scrub_budget,
-                            uint32_t restart_days, ShardedCounter* steps,
-                            ShardedCounter* opages) {
+                            uint32_t restart_days,
+                            const FleetQueueConfig& queue,
+                            ShardedCounter* steps, ShardedCounter* opages) {
   const size_t shard = event.device;
   uint32_t day = event.day;
   while (day <= window_end) {
-    StepDevice(slot, day, daily_failure, scrub_budget, restart_days, shard,
-               steps, opages);
+    StepDevice(slot, day, daily_failure, scrub_budget, restart_days, queue,
+               shard, steps, opages);
     ++slot.days_stepped;
     if (!slot.alive) {
       // Terminal: dead devices post no further events, so the rest of the
@@ -416,8 +440,8 @@ std::vector<FleetSnapshot> FleetSim::RunEventDriven() {
         ExecuteEvent(slots_[batch[i].device], batch[i], window_end,
                      config_.days, daily_failure,
                      config_.scrub_opages_per_day,
-                     config_.power_loss_restart_days, day_steps_.get(),
-                     day_opages_.get());
+                     config_.power_loss_restart_days, config_.queue,
+                     day_steps_.get(), day_opages_.get());
       }
     });
     for (const FleetEvent& event : batch) {
@@ -493,6 +517,15 @@ uint64_t FleetSim::DeviceDigest(uint32_t device) const {
     mix(slot.traffic->ops_emitted());
     mix(slot.traffic->writes_emitted());
   }
+  if (config_.queue.enabled()) {
+    // Same rule as traffic: the admission ledger joins the digest only when
+    // the queue exists, keeping disabled-fleet digests byte-identical.
+    mix(slot.queue_backlog_opages);
+    mix(slot.queue_admitted_opages);
+    mix(slot.queue_served_opages);
+    mix(slot.queue_shed_opages);
+    mix(slot.queue_backlog_peak);
+  }
   return digest;
 }
 
@@ -567,6 +600,16 @@ void FleetSim::RegisterSamplerProbes() {
     });
     sampler.AddProbe("fleet.scrub_repairs_total", [this] {
       return static_cast<double>(scrub_repairs_total());
+    });
+  }
+  // Queue probes only exist when admission control runs, for the same
+  // byte-identity reason as the scrub probes above.
+  if (config_.queue.enabled()) {
+    sampler.AddProbe("fleet.sched.backlog_opages", [this] {
+      return static_cast<double>(queue_backlog_total());
+    });
+    sampler.AddProbe("fleet.sched.shed_opages_total", [this] {
+      return static_cast<double>(queue_shed_total());
     });
   }
   // Power-loss probes only exist when power loss is injected, for the same
@@ -720,6 +763,24 @@ void FleetSim::CollectMetrics(MetricRegistry& registry,
     registry.GetGauge(prefix + "fleet.traffic.tenants_per_device")
         .Add(static_cast<double>(config_.traffic.tenants_per_device));
   }
+  // Admission-queue counters follow the scrub rule: absent unless enabled,
+  // keeping queue-free metric dumps byte-identical.
+  if (config_.queue.enabled()) {
+    registry.GetCounter(prefix + "fleet.sched.admitted_opages")
+        .Add(queue_admitted_total());
+    registry.GetCounter(prefix + "fleet.sched.served_opages")
+        .Add(queue_served_total());
+    registry.GetCounter(prefix + "fleet.sched.shed_opages")
+        .Add(queue_shed_total());
+    registry.GetGauge(prefix + "fleet.sched.backlog_opages")
+        .Add(static_cast<double>(queue_backlog_total()));
+    uint64_t backlog_peak = 0;
+    for (const DeviceSlot& slot : slots_) {
+      backlog_peak = std::max(backlog_peak, slot.queue_backlog_peak);
+    }
+    registry.GetGauge(prefix + "fleet.sched.backlog_peak_opages")
+        .Add(static_cast<double>(backlog_peak));
+  }
   // Power-loss counters follow the same rule: absent unless injected.
   if (config_.power_loss_per_device_day > 0.0) {
     registry.GetCounter(prefix + "fleet.power_loss.events")
@@ -764,6 +825,38 @@ uint64_t FleetSim::scrub_passes_total() const {
   uint64_t total = 0;
   for (const DeviceSlot& slot : slots_) {
     total += slot.scrub_passes;
+  }
+  return total;
+}
+
+uint64_t FleetSim::queue_admitted_total() const {
+  uint64_t total = 0;
+  for (const DeviceSlot& slot : slots_) {
+    total += slot.queue_admitted_opages;
+  }
+  return total;
+}
+
+uint64_t FleetSim::queue_served_total() const {
+  uint64_t total = 0;
+  for (const DeviceSlot& slot : slots_) {
+    total += slot.queue_served_opages;
+  }
+  return total;
+}
+
+uint64_t FleetSim::queue_shed_total() const {
+  uint64_t total = 0;
+  for (const DeviceSlot& slot : slots_) {
+    total += slot.queue_shed_opages;
+  }
+  return total;
+}
+
+uint64_t FleetSim::queue_backlog_total() const {
+  uint64_t total = 0;
+  for (const DeviceSlot& slot : slots_) {
+    total += slot.queue_backlog_opages;
   }
   return total;
 }

@@ -72,6 +72,26 @@ struct FleetTrafficConfig {
   bool enabled() const { return tenants_per_device > 0; }
 };
 
+// Day-granular admission control in front of each device (the fleet-level
+// face of the per-op queueing layer in src/sched/). Daily write demand joins
+// a bounded per-slot backlog; a fixed service capacity drains it each day and
+// only the served oPages reach flash. Demand that overflows the bound is shed
+// (counted, never written) — so an overloaded fleet degrades by queueing and
+// shedding instead of silently wearing flash at the offered rate. The model
+// is pure arithmetic on slot-local state: zero RNG draws, so parallel ==
+// serial == lockstep stays bit-identical with no extra discipline.
+struct FleetQueueConfig {
+  // Per-device service capacity in oPages/day. 0 — the default — disables
+  // the queue entirely: no backlog state, no digest contribution, every
+  // pre-existing output byte-identical.
+  uint64_t service_opages_per_day = 0;
+  // Backlog bound in oPages; demand beyond it is shed. 0 = unbounded backlog
+  // (no sheds, demand is only deferred).
+  uint64_t queue_opages = 0;
+
+  bool enabled() const { return service_opages_per_day > 0; }
+};
+
 struct FleetConfig {
   SsdKind kind = SsdKind::kBaseline;
   uint32_t devices = 20;
@@ -100,6 +120,11 @@ struct FleetConfig {
   // source (the imbalance draw still happens, keeping disabled streams
   // untouched, but its product is unused).
   FleetTrafficConfig traffic;
+  // Per-device admission control (backlog + daily service cap); disabled —
+  // every byte identical — by default. Composes with either demand source:
+  // whatever `dwpd` or the traffic engine offers for the day is what joins
+  // the backlog.
+  FleetQueueConfig queue;
   // Annual rate of random (non-wear) whole-device failures, e.g. 0.01 [28].
   double afr = 0.01;
   uint32_t days = 1000;
@@ -201,6 +226,14 @@ class FleetSim {
   // Total silent corruptions injected across all device injectors.
   uint64_t read_corrupt_injected_total() const;
 
+  // Admission-queue totals (sums over devices). Valid after Run(); all zero
+  // when the queue is disabled.
+  uint64_t queue_admitted_total() const;
+  uint64_t queue_served_total() const;
+  uint64_t queue_shed_total() const;
+  // Demand currently parked in backlogs (admitted but not yet served).
+  uint64_t queue_backlog_total() const;
+
   // Power-loss totals (sums over devices). Valid after Run(); all zero when
   // power loss is not injected.
   uint64_t power_losses_total() const;
@@ -262,6 +295,14 @@ class FleetSim {
     // Seeded by the 5th per-device fork (after scrub's), still in device-ID
     // order; slot-local, touched only by the worker stepping this slot.
     std::unique_ptr<TrafficEngine> traffic;
+
+    // ---- Admission-control queue (used only when the queue is enabled) -----
+    // Pure counters, no RNG; touched only by the worker stepping this slot.
+    uint64_t queue_backlog_opages = 0;  // demand admitted but not yet served
+    uint64_t queue_admitted_opages = 0;
+    uint64_t queue_served_opages = 0;
+    uint64_t queue_shed_opages = 0;
+    uint64_t queue_backlog_peak = 0;
     uint64_t observed_silent_corrupt = 0;  // last FTL counter reconciled
     uint64_t scrub_reads = 0;
     uint64_t scrub_detected = 0;  // silently-corrupt oPages caught by scrub
@@ -285,8 +326,8 @@ class FleetSim {
   // `threads`.
   static void StepDevice(DeviceSlot& slot, uint32_t day, double daily_failure,
                          uint64_t scrub_budget, uint32_t restart_days,
-                         size_t shard, ShardedCounter* steps,
-                         ShardedCounter* opages);
+                         const FleetQueueConfig& queue, size_t shard,
+                         ShardedCounter* steps, ShardedCounter* opages);
   // One day of background scrub on one device: walks `budget` oPages from
   // the slot's cursor, folds the FTL's silent-corruption counter into the
   // slot's scrub totals, and repairs flagged oPages by rewriting them.
@@ -302,8 +343,9 @@ class FleetSim {
   static void ExecuteEvent(DeviceSlot& slot, const FleetEvent& event,
                            uint32_t window_end, uint32_t horizon_days,
                            double daily_failure, uint64_t scrub_budget,
-                           uint32_t restart_days, ShardedCounter* steps,
-                           ShardedCounter* opages);
+                           uint32_t restart_days,
+                           const FleetQueueConfig& queue,
+                           ShardedCounter* steps, ShardedCounter* opages);
 
   // The two engines behind Run(). Both produce identical snapshots_ and
   // telemetry; the event-driven one skips dead/dark device-days.

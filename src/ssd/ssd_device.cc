@@ -379,6 +379,11 @@ void SsdDevice::CollectMetrics(MetricRegistry& registry,
     registry.GetGauge(prefix + "ssd.transiently_dark")
         .Add(transiently_dark() ? 1.0 : 0.0);
   }
+  // Queue instruments only exist when a service queue is attached, keeping
+  // queueing-free metric exports byte-identical to older builds.
+  if (queue_ != nullptr) {
+    CollectDeviceQueueMetrics(*queue_, registry, prefix + "ssd.");
+  }
   ftl_->CollectMetrics(registry, prefix);
   if (config_.faults != nullptr) {
     CollectFaultMetrics(registry, config_.faults->stats(), prefix);

@@ -26,6 +26,7 @@
 #include "core/minidisk_manager.h"
 #include "faults/fault_injector.h"
 #include "ftl/ftl.h"
+#include "sched/queueing.h"
 #include "telemetry/collect.h"
 #include "telemetry/metrics.h"
 
@@ -167,11 +168,24 @@ class SsdDevice {
            delayed_events_.size();
   }
 
+  // ---- Service queue (deterministic queueing layer, ISSUE 9) --------------
+  // Attaches a simulated-time service queue to this device. The owner (a
+  // cluster, in device-ID order) forks `jitter_seed` from its own dedicated
+  // sched stream; never derive it arithmetically from the device index.
+  // Without this call the device has no queue and every code path is exactly
+  // the pre-queueing one.
+  void ConfigureQueue(const SchedConfig& config, uint64_t jitter_seed) {
+    queue_ = std::make_unique<DeviceQueue>(config, jitter_seed);
+  }
+  DeviceQueue* queue() { return queue_.get(); }
+  const DeviceQueue* queue() const { return queue_.get(); }
+
   // Scrapes device state — event-queue depth/overflow, mDisk lifecycle
   // totals, capacity gauges — plus the FTL's "<prefix>ftl.*"/"<prefix>flash.*"
   // instruments and this device's injected-fault counters into
-  // "<prefix>ssd.*". Additive — collect once per device (see
-  // telemetry/collect.h).
+  // "<prefix>ssd.*". When a service queue is attached, its admission/wait
+  // instruments land under "<prefix>ssd.sched.*". Additive — collect once
+  // per device (see telemetry/collect.h).
   void CollectMetrics(MetricRegistry& registry,
                       const std::string& prefix = "") const;
 
@@ -197,6 +211,8 @@ class SsdDevice {
   };
   std::vector<DelayedEvent> delayed_events_;
   uint64_t dropped_events_ = 0;  // overflow drops (see dropped_events())
+  // Service queue (nullptr unless ConfigureQueue was called).
+  std::unique_ptr<DeviceQueue> queue_;
 };
 
 }  // namespace salamander

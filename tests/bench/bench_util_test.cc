@@ -186,6 +186,77 @@ TEST(BenchUtilTest, ArrivalFlagRejectsUnknownShape) {
               "'steady', 'diurnal', 'bursty', or 'mixed'");
 }
 
+TEST(BenchUtilTest, SchedFlagsDefaultToDisabled) {
+  const char* args[] = {"bench"};
+  const SchedFlagValues values = ParseSchedFlags(1, Argv(args));
+  EXPECT_FALSE(values.enabled());
+  EXPECT_EQ(values.queue_depth, 0u);
+  EXPECT_EQ(values.arrival_interval_us, 8u);
+  EXPECT_EQ(values.hedge_threshold_us, 0u);
+  EXPECT_EQ(values.slo_p99_us, 0u);
+  EXPECT_EQ(values.brownout_window_ops, 256u);
+  EXPECT_EQ(values.retry_jitter_us, 0u);
+}
+
+TEST(BenchUtilTest, SchedFlagsParseAllKnobs) {
+  const char* args[] = {"bench",        "--queue-depth=32",
+                        "--arrival-interval-us=4", "--hedge-threshold-us=150",
+                        "--slo-p99-us=400",        "--brownout-window-ops=64",
+                        "--retry-jitter-us=2"};
+  const SchedFlagValues values = ParseSchedFlags(7, Argv(args));
+  EXPECT_TRUE(values.enabled());
+  EXPECT_EQ(values.queue_depth, 32u);
+  EXPECT_EQ(values.arrival_interval_us, 4u);
+  EXPECT_EQ(values.hedge_threshold_us, 150u);
+  EXPECT_EQ(values.slo_p99_us, 400u);
+  EXPECT_EQ(values.brownout_window_ops, 64u);
+  EXPECT_EQ(values.retry_jitter_us, 2u);
+}
+
+TEST(BenchUtilTest, SchedFlagsRejectGarbageDepth) {
+  const char* garbage[] = {"bench", "--queue-depth", "lots"};
+  EXPECT_EXIT(ParseSchedFlags(3, Argv(garbage)), ::testing::ExitedWithCode(2),
+              "non-negative integer");
+  const char* negative[] = {"bench", "--queue-depth=-1"};
+  EXPECT_EXIT(ParseSchedFlags(2, Argv(negative)), ::testing::ExitedWithCode(2),
+              "non-negative integer");
+}
+
+TEST(BenchUtilTest, SchedFlagsRejectZeroArrivalIntervalWhenEnabled) {
+  const char* args[] = {"bench", "--queue-depth=8", "--arrival-interval-us=0"};
+  EXPECT_EXIT(ParseSchedFlags(3, Argv(args)), ::testing::ExitedWithCode(2),
+              "arrival-interval-us");
+  // Disabled layer: the inconsistent interval is never consulted.
+  const char* off[] = {"bench", "--arrival-interval-us=0"};
+  EXPECT_FALSE(ParseSchedFlags(2, Argv(off)).enabled());
+}
+
+TEST(BenchUtilTest, SchedFlagsRejectZeroBrownoutWindowWithSlo) {
+  const char* args[] = {"bench", "--queue-depth=8", "--slo-p99-us=400",
+                        "--brownout-window-ops=0"};
+  EXPECT_EXIT(ParseSchedFlags(4, Argv(args)), ::testing::ExitedWithCode(2),
+              "brownout-window-ops");
+}
+
+TEST(BenchUtilTest, FleetQueueFlagsParseAndDefaultToDisabled) {
+  const char* none[] = {"bench"};
+  EXPECT_EQ(ParseServiceOPagesPerDay(1, Argv(none)), 0u);
+  EXPECT_EQ(ParseQueueOPages(1, Argv(none)), 0u);
+  const char* args[] = {"bench", "--service-opages-per-day=2000",
+                        "--queue-opages", "4000"};
+  EXPECT_EQ(ParseServiceOPagesPerDay(4, Argv(args)), 2000u);
+  EXPECT_EQ(ParseQueueOPages(4, Argv(args)), 4000u);
+}
+
+TEST(BenchUtilTest, FleetQueueFlagsRejectGarbage) {
+  const char* garbage[] = {"bench", "--service-opages-per-day", "many"};
+  EXPECT_EXIT(ParseServiceOPagesPerDay(3, Argv(garbage)),
+              ::testing::ExitedWithCode(2), "non-negative integer");
+  const char* missing[] = {"bench", "--queue-opages"};
+  EXPECT_EXIT(ParseQueueOPages(2, Argv(missing)),
+              ::testing::ExitedWithCode(2), "requires a value");
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace salamander

@@ -324,5 +324,53 @@ TEST(ChaosTest, ZeroProbabilityInjectorChangesNothing) {
   EXPECT_EQ(with.acks_lost, 0u);
 }
 
+// Regression (ISSUE 9 satellite 1): the transient-retry backoff used to
+// double a raw uint64 each retry, so a retry budget past 63 wrapped the
+// accumulated backoff_ns. Retry r now waits base << min(r, max_shift); this
+// pins the exact capped sum at a budget deep in the formerly-wrapping range.
+TEST(ChaosTest, TransientBackoffSaturatesAtCapBoundary) {
+  DifsConfig config;
+  config.nodes = 4;
+  config.devices_per_node = 1;
+  config.replication = 3;
+  config.chunk_opages = 16;
+  config.fill_fraction = 0.25;
+  config.seed = 97;
+  config.max_transient_retries = 80;  // uncapped, retry 58+ would wrap
+  config.transient_backoff_base_ns = 100;
+  config.transient_backoff_max_shift = 16;
+  config.resync_interval_ops = 1u << 30;  // keep maintenance out of the delta
+  FaultConfig faults;
+  faults.transient_unavailable = 1.0;  // every device op stays busy forever
+  faults.seed = 13;
+  auto factory = [&faults](uint32_t index) {
+    SsdConfig ssd_config =
+        TestSsdConfig(SsdKind::kShrinkS, TinyGeometry(),
+                      /*nominal_pec=*/1000000, /*seed=*/1000 + index);
+    ssd_config.faults = std::make_shared<FaultInjector>(faults, index);
+    return std::make_unique<SsdDevice>(SsdKind::kShrinkS, ssd_config);
+  };
+  DifsCluster cluster(config, factory);
+  ASSERT_TRUE(cluster.Bootstrap().ok());
+  ASSERT_GT(cluster.total_chunks(), 0u);
+
+  const uint64_t backoff_before = cluster.stats().backoff_ns;
+  const uint64_t retries_before = cluster.stats().transient_retries;
+  const uint64_t giveups_before = cluster.stats().transient_giveups;
+  SimDuration cost = 0;
+  const Status read = cluster.ReadChunkAt(0, 0, &cost);
+  EXPECT_EQ(read.code(), StatusCode::kUnavailable);
+
+  // Retries 0..16 double; 17..79 all saturate at base << 16.
+  const uint64_t expected =
+      uint64_t{100} * ((uint64_t{1} << 17) - 1) +
+      uint64_t{63} * (uint64_t{100} << 16);
+  EXPECT_EQ(cluster.stats().transient_retries - retries_before, 80u);
+  EXPECT_EQ(cluster.stats().transient_giveups - giveups_before, 1u);
+  EXPECT_EQ(cluster.stats().backoff_ns - backoff_before, expected);
+  // The read never succeeded, so its whole cost is backoff.
+  EXPECT_EQ(cost, expected);
+}
+
 }  // namespace
 }  // namespace salamander

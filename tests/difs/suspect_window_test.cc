@@ -193,6 +193,67 @@ TEST(SuspectWindowTest, EcRestartWithinGraceRevivesCells) {
   EXPECT_EQ(cluster.stripes_fully_redundant(), cluster.total_stripes());
 }
 
+// ISSUE 9 satellite: during a suspect grace window the dark device still
+// *holds* its cells (they are neither lost nor rebuilt), but it cannot serve
+// I/O. A foreground read of a data cell on the dark device must be served
+// degraded — reconstructed from the k healthy cells — not failed with the
+// device's error.
+TEST(SuspectWindowTest, EcReadLogicalAtDuringGraceServesDegraded) {
+  EcCluster cluster(TestEcConfig(/*grace_ticks=*/64), DeviceFactory(707));
+  ASSERT_TRUE(cluster.Bootstrap().ok());
+  (void)cluster.StepWrites(64);
+
+  const uint32_t victim = cluster.device_count() / 2;
+  cluster.device(victim).Crash(SsdDevice::CrashKind::kPowerLoss);
+  (void)cluster.StepWrites(16);  // a maintenance tick opens the window
+  ASSERT_GE(cluster.stats().suspect_windows_started, 1u);
+  ASSERT_EQ(cluster.stats().suspect_windows_expired, 0u);
+
+  const uint64_t degraded_before = cluster.stats().degraded_reads;
+  const uint64_t cells_lost_before = cluster.stats().cells_lost;
+  uint64_t dark_data_reads = 0;
+  uint64_t healthy_data_reads = 0;
+  for (StripeId id = 0; id < cluster.total_stripes(); ++id) {
+    for (uint32_t c = 0; c < cluster.data_cells(); ++c) {
+      const CellLocation& cell = cluster.stripe(id).cells[c];
+      // Grace window: the dark device's cells are still live (held, not
+      // declared lost) — that is exactly the state under test.
+      ASSERT_TRUE(cell.live) << "stripe " << id << " cell " << c;
+      const bool dark = cell.device == victim;
+      SimDuration cost = 0;
+      const Status read = cluster.ReadLogicalAt(id, c, 0, &cost);
+      ASSERT_TRUE(read.ok())
+          << "stripe " << id << " cell " << c << ": " << read.message();
+      if (dark) {
+        ++dark_data_reads;
+        EXPECT_GT(cost, 0u) << "degraded read reports no service time";
+      } else {
+        ++healthy_data_reads;
+      }
+    }
+  }
+  ASSERT_GT(dark_data_reads, 0u) << "victim held no data cells; bad seed";
+  ASSERT_GT(healthy_data_reads, 0u);
+  // Every dark-cell read was served via reconstruction; healthy-cell reads
+  // stayed on the direct path (read-repair can add a handful of degraded
+  // serves, so this is a lower bound, not an equality).
+  EXPECT_GE(cluster.stats().degraded_reads - degraded_before,
+            dark_data_reads);
+  // Serving reads degraded must not retire the held cells: the window is
+  // still the device's to win.
+  EXPECT_EQ(cluster.stats().cells_lost, cells_lost_before);
+  EXPECT_EQ(cluster.stats().suspect_windows_expired, 0u);
+
+  // The device returns within its window: held cells reconcile in place and
+  // the cluster converges to full redundancy with zero stripe loss.
+  ASSERT_TRUE(cluster.device(victim).Restart().ok());
+  (void)cluster.StepWrites(32);
+  cluster.ForceReconcile();
+  EXPECT_GE(cluster.stats().suspect_devices_returned, 1u);
+  EXPECT_EQ(cluster.stats().stripes_lost, 0u);
+  EXPECT_EQ(cluster.stripes_fully_redundant(), cluster.total_stripes());
+}
+
 TEST(SuspectWindowTest, EcGraceExpiryRebuildsFromParity) {
   EcCluster cluster(TestEcConfig(/*grace_ticks=*/2), DeviceFactory(606));
   ASSERT_TRUE(cluster.Bootstrap().ok());

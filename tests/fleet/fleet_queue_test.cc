@@ -1,0 +1,153 @@
+// Fleet-level admission control (FleetQueueConfig): a bounded per-device
+// backlog plus a daily service cap in front of each device's write demand.
+// The suite pins four properties: a disabled queue changes no output byte, an
+// ample queue changes no snapshot, a throttled queue sheds/defers demand with
+// an exactly-conserved ledger (and slows wear), and the whole model is
+// bit-identical across thread counts and scheduler engines.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fleet/fleet_sim.h"
+#include "telemetry/metrics.h"
+#include "tests/testing/device_builder.h"
+
+namespace salamander {
+namespace {
+
+FleetConfig QueueFleet(SsdKind kind) {
+  FleetConfig config;
+  config.kind = kind;
+  config.devices = 6;
+  config.geometry = testing_util::TinyGeometry();
+  config.ecc = FPageEccGeometry{};
+  config.wear = testing_util::FastWear(config.ecc, /*nominal_pec=*/20);
+  config.msize_opages = 64;
+  config.dwpd = 2.0;
+  config.dwpd_sigma = 0.3;
+  config.afr = 0.0;  // isolate the queue's effect on lifetime
+  config.days = 200;
+  config.sample_every_days = 5;
+  config.seed = 20260807;
+  config.threads = 1;
+  return config;
+}
+
+// Roughly one device capacity in oPages for TinyGeometry — used to size
+// service caps relative to the ~2 DWPD demand.
+uint64_t DeviceOPages(const FleetConfig& config) {
+  return config.geometry.total_opages();
+}
+
+TEST(FleetQueueTest, DisabledQueueKeepsEveryOutputByteIdentical) {
+  FleetConfig plain = QueueFleet(SsdKind::kShrinkS);
+  FleetConfig noisy = plain;
+  // A bound alone does not enable the queue — only a finite service cap
+  // does. This must be indistinguishable from the default config.
+  noisy.queue.queue_opages = 128;
+  MetricRegistry plain_metrics;
+  MetricRegistry noisy_metrics;
+  plain.metrics = &plain_metrics;
+  noisy.metrics = &noisy_metrics;
+  FleetSim a(plain);
+  FleetSim b(noisy);
+  EXPECT_EQ(a.Run(), b.Run());
+  EXPECT_EQ(a.DeviceDigests(), b.DeviceDigests());
+  EXPECT_EQ(b.queue_admitted_total(), 0u);
+  EXPECT_EQ(b.queue_served_total(), 0u);
+  EXPECT_EQ(b.queue_shed_total(), 0u);
+  EXPECT_EQ(noisy_metrics.FindCounter("fleet.sched.admitted_opages"), nullptr);
+  EXPECT_EQ(noisy_metrics.FindGauge("fleet.sched.backlog_opages"), nullptr);
+}
+
+TEST(FleetQueueTest, AmpleServiceCapMatchesUnthrottledSnapshots) {
+  FleetConfig plain = QueueFleet(SsdKind::kShrinkS);
+  FleetConfig ample = plain;
+  // Far above any day's demand: everything admitted is served same-day, so
+  // flash sees the identical write stream.
+  ample.queue.service_opages_per_day = DeviceOPages(plain) * 64;
+  FleetSim a(plain);
+  FleetSim b(ample);
+  EXPECT_EQ(a.Run(), b.Run());
+  EXPECT_GT(b.queue_admitted_total(), 0u);
+  EXPECT_EQ(b.queue_admitted_total(), b.queue_served_total());
+  EXPECT_EQ(b.queue_shed_total(), 0u);
+  EXPECT_EQ(b.queue_backlog_total(), 0u);
+}
+
+TEST(FleetQueueTest, ThrottledServiceShedsAndConservesTheLedger) {
+  FleetConfig config = QueueFleet(SsdKind::kShrinkS);
+  // Cap service at ~1/4 of the ~2 DWPD demand and keep the backlog tight so
+  // overflow must shed.
+  config.queue.service_opages_per_day = DeviceOPages(config) / 2;
+  config.queue.queue_opages = DeviceOPages(config);
+  MetricRegistry metrics;
+  config.metrics = &metrics;
+  FleetSim sim(config);
+  sim.Run();
+  EXPECT_GT(sim.queue_admitted_total(), 0u);
+  EXPECT_GT(sim.queue_shed_total(), 0u);
+  // Every admitted oPage is either served or still parked — nothing leaks.
+  EXPECT_EQ(sim.queue_admitted_total(),
+            sim.queue_served_total() + sim.queue_backlog_total());
+  // The exported ledger is the accessor ledger.
+  const Counter* admitted = metrics.FindCounter("fleet.sched.admitted_opages");
+  const Counter* served = metrics.FindCounter("fleet.sched.served_opages");
+  const Counter* shed = metrics.FindCounter("fleet.sched.shed_opages");
+  ASSERT_NE(admitted, nullptr);
+  ASSERT_NE(served, nullptr);
+  ASSERT_NE(shed, nullptr);
+  EXPECT_EQ(admitted->value(), sim.queue_admitted_total());
+  EXPECT_EQ(served->value(), sim.queue_served_total());
+  EXPECT_EQ(shed->value(), sim.queue_shed_total());
+}
+
+TEST(FleetQueueTest, AdmissionControlSlowsWearAndExtendsLifetime) {
+  FleetConfig unthrottled = QueueFleet(SsdKind::kBaseline);
+  FleetConfig throttled = unthrottled;
+  throttled.queue.service_opages_per_day = DeviceOPages(throttled) / 2;
+  throttled.queue.queue_opages = DeviceOPages(throttled);
+  FleetSim fast(unthrottled);
+  FleetSim slow(throttled);
+  const auto fast_snapshots = fast.Run();
+  const auto slow_snapshots = slow.Run();
+  // Total writes-to-death are endurance-bound, so both fleets absorb the
+  // same lifetime budget — what admission control buys is *time*: writing at
+  // half rate pushes the wear cliff out, which is the paper's lifespan lever
+  // applied to load. (Host writes can only go down, never up.)
+  EXPECT_LE(slow_snapshots.back().cumulative_host_writes,
+            fast_snapshots.back().cumulative_host_writes);
+  EXPECT_GT(slow.queue_shed_total() + slow.queue_backlog_total(), 0u)
+      << "throttle never engaged; cap too generous for the demand";
+  const auto fast_half = fast.DayDevicesBelow(0.5);
+  const auto slow_half = slow.DayDevicesBelow(0.5);
+  ASSERT_TRUE(fast_half.has_value());
+  if (slow_half.has_value()) {
+    EXPECT_GT(*slow_half, *fast_half);
+  } else {
+    // Even better: the throttled fleet never lost half its devices inside
+    // the horizon the unthrottled fleet did.
+    EXPECT_LE(*fast_half, unthrottled.days);
+  }
+}
+
+TEST(FleetQueueTest, BitIdenticalAcrossThreadsAndEngines) {
+  const auto run = [](unsigned threads, FleetSchedulerMode mode) {
+    FleetConfig config = QueueFleet(SsdKind::kRegenS);
+    config.queue.service_opages_per_day = DeviceOPages(config) / 2;
+    config.queue.queue_opages = DeviceOPages(config);
+    config.threads = threads;
+    config.scheduler = mode;
+    FleetSim sim(config);
+    const auto snapshots = sim.Run();
+    return std::make_pair(snapshots, sim.DeviceDigests());
+  };
+  const auto reference = run(1, FleetSchedulerMode::kLockstep);
+  ASSERT_FALSE(reference.first.empty());
+  EXPECT_EQ(run(4, FleetSchedulerMode::kLockstep), reference);
+  EXPECT_EQ(run(1, FleetSchedulerMode::kEventDriven), reference);
+  EXPECT_EQ(run(4, FleetSchedulerMode::kEventDriven), reference);
+}
+
+}  // namespace
+}  // namespace salamander
