@@ -208,6 +208,49 @@ inline double ParseFractionFlag(int argc, char** argv, const char* flag,
   return parsed;
 }
 
+// Failure-domain / batch-cohort / proactive-drain knobs shared by the fleet
+// and soak benches (ISSUE 10). Every default is off/zero so domain-free runs
+// stay byte-identical to builds without the feature; all values parse
+// strictly — signs, garbage, overflow, and out-of-range fractions exit 2.
+// Plain values keep this header fleet- and cluster-agnostic; callers map
+// them onto FleetDomainConfig or the cluster drain knobs.
+struct DomainFlagValues {
+  uint64_t devices_per_rack = 0;            // 0 = rack axis off
+  double rack_power_loss_per_day = 0.0;     // per rack-day probability
+  uint64_t rack_restart_days = 1;
+  uint64_t batch_cohorts = 0;               // 0 = cohort axis off
+  double batch_endurance_sigma = 0.0;       // lognormal sigma, 0 = off
+  double cohort_unavailable_per_day = 0.0;  // per cohort-day probability
+  uint64_t cohort_unavailable_days = 1;
+  double drain_health_threshold = 0.0;      // 0 = proactive drain off
+  double drain_pec_horizon = 0.25;
+};
+
+// Parses --devices-per-rack, --rack-power-loss-per-day, --rack-restart-days,
+// --batch-cohorts, --batch-endurance-sigma, --cohort-unavailable-per-day,
+// --cohort-unavailable-days, --drain-health-threshold, --drain-pec-horizon.
+inline DomainFlagValues ParseDomainFlags(int argc, char** argv) {
+  DomainFlagValues values;
+  values.devices_per_rack =
+      ParseU64Flag(argc, argv, "--devices-per-rack", 0);
+  values.rack_power_loss_per_day =
+      ParseFractionFlag(argc, argv, "--rack-power-loss-per-day", 0.0);
+  values.rack_restart_days =
+      ParseU64Flag(argc, argv, "--rack-restart-days", 1);
+  values.batch_cohorts = ParseU64Flag(argc, argv, "--batch-cohorts", 0);
+  values.batch_endurance_sigma =
+      ParseF64Flag(argc, argv, "--batch-endurance-sigma", 0.0);
+  values.cohort_unavailable_per_day =
+      ParseFractionFlag(argc, argv, "--cohort-unavailable-per-day", 0.0);
+  values.cohort_unavailable_days =
+      ParseU64Flag(argc, argv, "--cohort-unavailable-days", 1);
+  values.drain_health_threshold =
+      ParseFractionFlag(argc, argv, "--drain-health-threshold", 0.0);
+  values.drain_pec_horizon =
+      ParseFractionFlag(argc, argv, "--drain-pec-horizon", 0.25);
+  return values;
+}
+
 // Parses `--threads N` / `--threads=N` from argv. 0 means "all hardware
 // threads"; results of every bench are identical for any value — the knob
 // only changes wall-clock.
@@ -230,6 +273,25 @@ inline std::string ParseStringFlag(int argc, char** argv, const char* flag,
                                    const std::string& default_value = "") {
   const char* value = ParseFlagValue(argc, argv, flag);
   return value == nullptr ? default_value : std::string(value);
+}
+
+// Parses --placement, the cluster placement-policy selector: "uniform" (the
+// legacy probe — bit-identical draws to pre-placement builds — and the
+// default) or "domain-spread" (never co-locate two replicas/cells of one
+// chunk/stripe in the same rack). Anything else exits 2.
+inline std::string ParsePlacementFlag(int argc, char** argv,
+                                      const std::string& default_policy =
+                                          "uniform") {
+  const std::string policy =
+      ParseStringFlag(argc, argv, "--placement", default_policy);
+  if (policy != "uniform" && policy != "domain-spread") {
+    std::fprintf(stderr,
+                 "error: --placement expects 'uniform' or 'domain-spread', "
+                 "got '%s'\n",
+                 policy.c_str());
+    std::exit(2);
+  }
+  return policy;
 }
 
 // Parses --cluster, the traffic-bench target selector: "difs" (replicated

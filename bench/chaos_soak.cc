@@ -18,7 +18,14 @@
 //    counted appears as a per-device queue giveup, the exported sched.*
 //    registry matches the harness sums to the last event, and corruption +
 //    power loss + traffic + admission control together still lose zero
-//    chunks.
+//    chunks;
+//  * with failure domains on (--nodes-per-rack > 0), a uniform-placement
+//    baseline and a domain-spread + criticality-ordered + proactive-drain
+//    treatment arm soak the same correlated rack-blackout / cohort-wave
+//    schedule; the domain ledger reconciles exactly (injected rack events ==
+//    blackouts executed, device restarts == harness restarts), the spread
+//    arm loses zero chunks, and with drain on it spends measurably less
+//    reactive recovery I/O than the baseline.
 //
 // Exits nonzero on any violation, so it can run as a CI gate.
 #include <cstdio>
@@ -355,6 +362,266 @@ void RunUniverse(uint64_t universe, uint64_t base_seed, uint64_t bursts,
   cluster.CollectMetrics(result.registry);
 }
 
+// ---- Correlated failure domains (--nodes-per-rack > 0 only) ---------------
+//
+// Two arms soak the same fault universe — identical cluster-fault and
+// per-device fault stream families, and an identical rack-blackout /
+// cohort-wave schedule (the domain injector is seeded and drawn in the same
+// fixed order in both) — differing only in policy. The baseline arm places
+// uniformly with reactive recovery only; the treatment arm uses the
+// --placement policy (domain-spread by default) plus criticality-ordered
+// recovery and, when --drain-health-threshold > 0, proactive health-driven
+// drain. The harness demands an exact domain ledger per arm (injected rack
+// events == blackouts executed, device restarts == harness restarts, crashes
+// balance against restarts + bricks), zero chunk loss from the spread arm,
+// and measurably less reactive recovery traffic from spread + drain than
+// from the uniform baseline.
+struct DomainArmResult {
+  std::string placement;
+  DifsStats stats;
+  uint64_t chunks = 0;
+  uint32_t devices_alive = 0;
+  uint64_t rack_blackouts = 0;      // whole-rack power events executed
+  uint64_t rack_crashes = 0;        // device crashes those events caused
+  uint64_t cohort_waves = 0;        // cohort-unavailability events executed
+  uint64_t cohort_crashes = 0;      // device crashes those waves caused
+  uint64_t domain_restarts = 0;     // dark devices restarted at burst end
+  uint64_t domain_bricks = 0;       // dark devices gone permanent meanwhile
+  uint64_t injected_rack_events = 0;    // injector-side kRackPowerLoss
+  uint64_t injected_cohort_events = 0;  // injector-side kCohortUnavailable
+  bool converged = true;
+  bool invariants_ok = true;
+  bool ledger_exact = true;
+  std::string first_violation;
+  MetricRegistry registry;
+};
+
+void RunDomainArm(const std::string& placement_kind, uint64_t base_seed,
+                  uint64_t bursts, uint64_t scrub_opages_per_day,
+                  const SchedConfig& sched, uint32_t nodes_per_rack,
+                  double rack_power_loss_per_burst,
+                  double cohort_unavailable_per_burst, uint32_t batch_cohorts,
+                  double batch_endurance_sigma, double drain_health_threshold,
+                  DomainArmResult& result) {
+  result.placement = placement_kind;
+  const bool spread = placement_kind == "domain-spread";
+  const SsdKind kind = SsdKind::kShrinkS;
+  const auto note_violation = [&](const std::string& what) {
+    if (result.first_violation.empty()) {
+      result.first_violation = what;
+    }
+  };
+
+  DifsConfig config;
+  config.nodes = 6;
+  config.devices_per_node = 1;
+  config.replication = 3;
+  config.chunk_opages = 256;
+  config.fill_fraction = 0.45;
+  // Both arms share one seed: identical fault families throughout, so the
+  // placement / drain policy is the only difference between them.
+  config.seed = base_seed + 977;
+  config.faults = std::make_shared<FaultInjector>(ClusterFaults(config.seed),
+                                                  /*stream_id=*/977);
+  // Dark rack members are suspects, not corpses: power returns within the
+  // burst, so the grace window reconciles them in place.
+  config.suspect_grace_ticks = 8;
+  config.sched = sched;
+  config.nodes_per_rack = nodes_per_rack;
+  config.placement = spread ? MakeDomainSpreadPlacement(nodes_per_rack)
+                            : MakeUniformPlacement();
+  if (spread) {
+    config.criticality_ordered_recovery = true;
+    config.drain_health_threshold = drain_health_threshold;
+  }
+
+  // Batch-cohort endurance variance: cohort c = device % cohorts shares one
+  // latent wear factor, forked in cohort order from a root both arms derive
+  // identically — whole batches age coherently, which is exactly the
+  // correlated near-death pattern proactive drain is supposed to catch.
+  const uint32_t cohorts = batch_cohorts > 0 ? batch_cohorts : 1;
+  std::vector<double> cohort_factor(cohorts, 1.0);
+  if (batch_cohorts > 0 && batch_endurance_sigma > 0.0) {
+    Rng cohort_root(base_seed ^ 0xd0a2d0a2d0a2d0a2ULL);
+    for (uint32_t c = 0; c < cohorts; ++c) {
+      Rng fork = cohort_root.Fork();
+      cohort_factor[c] = fork.LogNormal(0.0, batch_endurance_sigma);
+    }
+  }
+
+  // Hotter wear than the main universes (nominal_pec 12 vs 40): the domain
+  // arms exist to show batch-cohort endurance variance driving devices to
+  // near-death *within* a soak-sized burst budget, so proactive drain has
+  // something to catch and reactive recovery something to lose.
+  FPageEccGeometry ecc;
+  const WearModelConfig base_wear = WearModel::Calibrate(
+      ComputeTirednessLevel(ecc, 0).max_tolerable_rber, /*nominal_pec=*/8);
+  std::vector<std::shared_ptr<FaultInjector>> device_injectors;
+  auto factory = [&](uint32_t index) {
+    WearModelConfig wear = base_wear;
+    wear.coefficient *= cohort_factor[index % cohorts];
+    SsdConfig ssd_config =
+        MakeSsdConfig(kind, FlashGeometry::Small(), wear, FlashLatencyConfig{},
+                      ecc, 5000 + index * 17);
+    ssd_config.minidisk.msize_opages = 256;
+    ssd_config.minidisk.drain_before_decommission = true;
+    ssd_config.minidisk.max_draining = 8;
+    FaultConfig device_faults = DeviceFaults(config.seed, 0.0);
+    device_faults.torn_journal_write = 0.6;  // blackout crashes tear tails
+    ssd_config.faults = std::make_shared<FaultInjector>(
+        device_faults, /*stream_id=*/977 * 64 + index);
+    device_injectors.push_back(ssd_config.faults);
+    return std::make_unique<SsdDevice>(kind, ssd_config);
+  };
+
+  DifsCluster cluster(config, factory);
+  if (!cluster.Bootstrap().ok()) {
+    result.converged = false;
+    note_violation("bootstrap failed");
+  }
+
+  // The domain lottery: one injector per arm, seeded identically and drawn
+  // in a fixed order (racks then cohorts, once per burst each, independent
+  // of cluster state) — the draws ARE the schedule both arms share.
+  FaultConfig domain_faults;
+  domain_faults.rack_power_loss = rack_power_loss_per_burst;
+  domain_faults.cohort_unavailable = cohort_unavailable_per_burst;
+  domain_faults.seed = base_seed + 977;
+  FaultInjector domain_injector(domain_faults, /*stream_id=*/7);
+
+  const uint32_t device_count = cluster.device_count();
+  const uint32_t racks = (device_count + nodes_per_rack - 1) / nodes_per_rack;
+
+  constexpr uint64_t kWritesPerBurst = 500;
+  constexpr uint64_t kReadsPerBurst = 250;
+  for (uint64_t burst = 0; burst < bursts; ++burst) {
+    if (cluster.alive_devices() < config.replication + 1) {
+      break;  // fleet worn down to the edge; stop before losses are expected
+    }
+    cluster.set_trace_time_us(burst * kTraceUsPerBurst);
+    std::vector<uint32_t> dark_devices;
+    const auto crash_device = [&](uint32_t d, uint64_t& crash_counter) {
+      if (cluster.device(d).failed()) {
+        return;  // already dark or bricked: one crash per outage
+      }
+      cluster.device(d).Crash(SsdDevice::CrashKind::kPowerLoss);
+      ++crash_counter;
+      dark_devices.push_back(d);
+    };
+    for (uint32_t r = 0; r < racks; ++r) {
+      if (!domain_injector.RackLosesPower()) {
+        continue;
+      }
+      ++result.rack_blackouts;
+      for (uint32_t d = r * nodes_per_rack;
+           d < device_count && d / nodes_per_rack == r; ++d) {
+        crash_device(d, result.rack_crashes);
+      }
+    }
+    for (uint32_t c = 0; c < batch_cohorts; ++c) {
+      if (!domain_injector.CohortGoesUnavailable()) {
+        continue;
+      }
+      ++result.cohort_waves;
+      for (uint32_t d = c; d < device_count; d += batch_cohorts) {
+        crash_device(d, result.cohort_crashes);
+      }
+    }
+    (void)cluster.StepWrites(kWritesPerBurst);
+    (void)cluster.StepReads(kReadsPerBurst);
+    (void)cluster.ScrubStep(scrub_opages_per_day);
+    // Power restored: every dark domain member restarts (journal replay)
+    // before the convergence check; anything no longer transiently dark went
+    // permanent meanwhile and stays down.
+    for (uint32_t d : dark_devices) {
+      if (!cluster.device(d).transiently_dark()) {
+        ++result.domain_bricks;
+        continue;
+      }
+      if (cluster.device(d).Restart().ok()) {
+        ++result.domain_restarts;
+      } else {
+        result.converged = false;
+        note_violation("burst " + std::to_string(burst) +
+                       ": post-blackout restart failed");
+      }
+    }
+    cluster.ForceReconcile();
+    const Status invariants = cluster.CheckInvariants();
+    if (!invariants.ok()) {
+      result.invariants_ok = false;
+      note_violation("burst " + std::to_string(burst) + ": " +
+                     invariants.ToString());
+    }
+    if (cluster.pending_recovery_backlog() != 0) {
+      result.converged = false;
+      note_violation("burst " + std::to_string(burst) +
+                     ": recovery backlog not drained");
+    }
+  }
+  // Outage expiry + suspect-window resolution, exactly as the power-loss
+  // soak does before reading final counters.
+  cluster.set_trace_time_us(bursts * kTraceUsPerBurst);
+  for (int i = 0; i < 64 && cluster.outage_node() >= 0; ++i) {
+    (void)cluster.StepWrites(256);
+  }
+  (void)cluster.StepWrites(768);
+  cluster.ForceReconcile();
+  const Status invariants = cluster.CheckInvariants();
+  if (!invariants.ok()) {
+    result.invariants_ok = false;
+    note_violation("final: " + invariants.ToString());
+  }
+  if (cluster.pending_recovery_backlog() != 0) {
+    result.converged = false;
+    note_violation("final: recovery backlog not drained");
+  }
+  if (cluster.chunks_under_replicated() > cluster.chunks_waiting_capacity()) {
+    result.converged = false;
+    note_violation("final: under-replicated chunks not tracked");
+  }
+
+  // Exact domain ledger: the injector's event counts, the harness's blackout
+  // tallies, and the devices' own restart counters must agree to the event.
+  result.injected_rack_events =
+      domain_injector.stats().count(FaultSite::kRackPowerLoss);
+  result.injected_cohort_events =
+      domain_injector.stats().count(FaultSite::kCohortUnavailable);
+  if (result.injected_rack_events != result.rack_blackouts) {
+    result.ledger_exact = false;
+    note_violation("final: injected rack events " +
+                   std::to_string(result.injected_rack_events) +
+                   " != rack blackouts " +
+                   std::to_string(result.rack_blackouts));
+  }
+  if (result.injected_cohort_events != result.cohort_waves) {
+    result.ledger_exact = false;
+    note_violation("final: injected cohort events " +
+                   std::to_string(result.injected_cohort_events) +
+                   " != cohort waves " + std::to_string(result.cohort_waves));
+  }
+  uint64_t device_restarts = 0;
+  for (uint32_t d = 0; d < device_count; ++d) {
+    device_restarts += cluster.device(d).restarts();
+  }
+  if (device_restarts != result.domain_restarts) {
+    result.ledger_exact = false;
+    note_violation("final: device restarts " +
+                   std::to_string(device_restarts) + " != harness restarts " +
+                   std::to_string(result.domain_restarts));
+  }
+  if (result.domain_restarts + result.domain_bricks !=
+      result.rack_crashes + result.cohort_crashes) {
+    result.ledger_exact = false;
+    note_violation("final: domain crash ledger does not balance");
+  }
+
+  result.stats = cluster.stats();
+  result.chunks = cluster.total_chunks();
+  result.devices_alive = cluster.alive_devices();
+  cluster.CollectMetrics(result.registry);
+}
+
 // Bounded-L2P cross-check (--l2p-cache-entries > 0 only): an identical op
 // sequence runs on a legacy (unbounded-map) FTL and a bounded one, in a
 // configuration roomy enough that GC never fires — so map-page write-back is
@@ -493,6 +760,28 @@ int main(int argc, char** argv) {
   // cross-check entirely: the soak output stays byte-identical to builds
   // without the bounded cache.
   const uint64_t l2p_cache_entries = bench::ParseL2pCacheEntries(argc, argv);
+  // Correlated failure domains (--nodes-per-rack > 0 only). All knobs
+  // default to off/zero and parse strictly even when the section is
+  // disabled; with everything at defaults the domain arms never run, no
+  // extra RNG streams exist, and the soak output is byte-identical to
+  // builds without the feature.
+  const uint64_t nodes_per_rack =
+      bench::ParseU64Flag(argc, argv, "--nodes-per-rack", 0);
+  const double rack_power_loss_per_burst =
+      bench::ParseFractionFlag(argc, argv, "--rack-power-loss-per-burst", 0.0);
+  const double cohort_unavailable_per_burst = bench::ParseFractionFlag(
+      argc, argv, "--cohort-unavailable-per-burst", 0.0);
+  const uint64_t batch_cohorts =
+      bench::ParseU64Flag(argc, argv, "--batch-cohorts", 0);
+  const double batch_endurance_sigma =
+      bench::ParseF64Flag(argc, argv, "--batch-endurance-sigma", 0.0);
+  const double drain_health_threshold =
+      bench::ParseFractionFlag(argc, argv, "--drain-health-threshold", 0.0);
+  // Placement policy of the *treatment* arm; the baseline arm is always
+  // uniform. Defaults to domain-spread — the policy the section exists to
+  // demonstrate.
+  const std::string placement_kind =
+      bench::ParsePlacementFlag(argc, argv, "domain-spread");
   // Per-device queueing / graceful degradation (--queue-depth > 0 only).
   // Microsecond knobs map onto SchedConfig's ns fields; shed-retry policy
   // keeps the library defaults.
@@ -797,6 +1086,109 @@ int main(int argc, char** argv) {
     }
   }
 
+  std::vector<DomainArmResult> domain_arms;
+  bool domain_ledger_exact = true;
+  if (nodes_per_rack > 0) {
+    bench::PrintSection("correlated failure domains");
+    // Arm 0: uniform placement, reactive recovery only. Arm 1: the
+    // --placement policy plus criticality-ordered recovery and proactive
+    // drain. Same seeds, same blackout/wave schedule; thread-confined
+    // registries merged here after the barrier, in arm order.
+    domain_arms.resize(2);
+    const std::string arm_policies[2] = {"uniform", placement_kind};
+    pool.ParallelFor(2, [&](size_t begin, size_t end) {
+      for (size_t a = begin; a < end; ++a) {
+        RunDomainArm(arm_policies[a], seed, bursts, scrub_opages_per_day,
+                     sched, static_cast<uint32_t>(nodes_per_rack),
+                     rack_power_loss_per_burst, cohort_unavailable_per_burst,
+                     static_cast<uint32_t>(batch_cohorts),
+                     batch_endurance_sigma, drain_health_threshold,
+                     domain_arms[a]);
+      }
+    });
+    std::printf("nodes_per_rack=%llu rack_power_loss_per_burst=%g "
+                "cohort_unavailable_per_burst=%g batch_cohorts=%llu "
+                "batch_endurance_sigma=%g drain_health_threshold=%g\n",
+                static_cast<unsigned long long>(nodes_per_rack),
+                rack_power_loss_per_burst, cohort_unavailable_per_burst,
+                static_cast<unsigned long long>(batch_cohorts),
+                batch_endurance_sigma, drain_health_threshold);
+    for (const DomainArmResult& arm : domain_arms) {
+      const auto counter = [&](const char* name) {
+        const Counter* c = arm.registry.FindCounter(name);
+        return c != nullptr ? c->value() : 0;
+      };
+      std::printf("placement=%s\n", arm.placement.c_str());
+      std::printf("  chunks / lost / alive\t%llu / %llu / %u\n",
+                  static_cast<unsigned long long>(arm.chunks),
+                  static_cast<unsigned long long>(arm.stats.chunks_lost),
+                  arm.devices_alive);
+      std::printf("  rack blackouts / crashes\t%llu / %llu (injected %llu)\n",
+                  static_cast<unsigned long long>(arm.rack_blackouts),
+                  static_cast<unsigned long long>(arm.rack_crashes),
+                  static_cast<unsigned long long>(arm.injected_rack_events));
+      if (batch_cohorts > 0) {
+        std::printf(
+            "  cohort waves / crashes\t%llu / %llu (injected %llu)\n",
+            static_cast<unsigned long long>(arm.cohort_waves),
+            static_cast<unsigned long long>(arm.cohort_crashes),
+            static_cast<unsigned long long>(arm.injected_cohort_events));
+      }
+      std::printf("  restarts / bricks\t%llu / %llu\n",
+                  static_cast<unsigned long long>(arm.domain_restarts),
+                  static_cast<unsigned long long>(arm.domain_bricks));
+      std::printf("  reactive recovery opage writes\t%llu\n",
+                  static_cast<unsigned long long>(
+                      counter("difs.recovery_opage_writes")));
+      std::printf("  proactive drain opage writes\t%llu\n",
+                  static_cast<unsigned long long>(
+                      counter("difs.drain.opage_writes")));
+      std::printf("  drain flagged / completed / migrated\t%llu / %llu / "
+                  "%llu\n",
+                  static_cast<unsigned long long>(
+                      counter("difs.drain.devices_flagged")),
+                  static_cast<unsigned long long>(
+                      counter("difs.drain.devices_completed")),
+                  static_cast<unsigned long long>(
+                      counter("difs.drain.replicas_migrated")));
+      std::printf("  placement rejections / fallbacks\t%llu / %llu\n",
+                  static_cast<unsigned long long>(
+                      counter("difs.placement.domain_rejections")),
+                  static_cast<unsigned long long>(
+                      counter("difs.placement.domain_fallbacks")));
+      domain_ledger_exact = domain_ledger_exact && arm.ledger_exact;
+      if (!(arm.invariants_ok && arm.converged && arm.ledger_exact)) {
+        pass = false;
+        std::printf("  DOMAIN VIOLATION: %s\n", arm.first_violation.c_str());
+      }
+      // The headline robustness claim: domain-spread placement survives
+      // correlated whole-rack blackouts with zero chunk loss.
+      if (arm.placement == "domain-spread" && arm.stats.chunks_lost != 0) {
+        pass = false;
+        std::printf("  DOMAIN VIOLATION: domain-spread lost chunks under "
+                    "correlated blackouts\n");
+      }
+    }
+    // The acceptance comparison: spread + proactive drain must spend
+    // measurably less reactive recovery I/O than the uniform baseline on the
+    // same fault universe (the drain's migrations are accounted separately).
+    if (placement_kind == "domain-spread" && drain_health_threshold > 0.0) {
+      const uint64_t baseline_reactive =
+          domain_arms[0].stats.recovery_opage_writes;
+      const uint64_t treatment_reactive =
+          domain_arms[1].stats.recovery_opage_writes;
+      std::printf("reactive recovery writes (uniform vs domain-spread+drain)"
+                  "\t%llu vs %llu\n",
+                  static_cast<unsigned long long>(baseline_reactive),
+                  static_cast<unsigned long long>(treatment_reactive));
+      if (treatment_reactive >= baseline_reactive) {
+        pass = false;
+        std::printf("  DOMAIN VIOLATION: proactive drain did not reduce "
+                    "reactive recovery traffic\n");
+      }
+    }
+  }
+
   if (!merged.WriteJsonFile(metrics_out)) {
     std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
     pass = false;
@@ -877,6 +1269,49 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(sched_hedged_total),
                    static_cast<unsigned long long>(sched_hedge_wins_total),
                    sched_ledger_exact ? "true" : "false");
+    }
+    if (nodes_per_rack > 0) {
+      const auto arm_counter = [&](const DomainArmResult& arm,
+                                   const char* name) {
+        const Counter* c = arm.registry.FindCounter(name);
+        return static_cast<unsigned long long>(c != nullptr ? c->value() : 0);
+      };
+      std::fprintf(
+          summary,
+          "  \"nodes_per_rack\": %llu,\n"
+          "  \"rack_power_loss_per_burst\": %g,\n"
+          "  \"cohort_unavailable_per_burst\": %g,\n"
+          "  \"batch_cohorts\": %llu,\n"
+          "  \"batch_endurance_sigma\": %g,\n"
+          "  \"drain_health_threshold\": %g,\n"
+          "  \"domain_placement\": \"%s\",\n"
+          "  \"domain_rack_blackouts\": %llu,\n"
+          "  \"domain_rack_crashes\": %llu,\n"
+          "  \"domain_cohort_waves\": %llu,\n"
+          "  \"domain_restarts\": %llu,\n"
+          "  \"chunks_lost_baseline\": %llu,\n"
+          "  \"chunks_lost_treatment\": %llu,\n"
+          "  \"recovery_writes_baseline\": %llu,\n"
+          "  \"recovery_writes_treatment\": %llu,\n"
+          "  \"drain_writes_treatment\": %llu,\n"
+          "  \"drain_devices_flagged\": %llu,\n"
+          "  \"domain_ledger_exact\": %s,\n",
+          static_cast<unsigned long long>(nodes_per_rack),
+          rack_power_loss_per_burst, cohort_unavailable_per_burst,
+          static_cast<unsigned long long>(batch_cohorts),
+          batch_endurance_sigma, drain_health_threshold,
+          domain_arms[1].placement.c_str(),
+          static_cast<unsigned long long>(domain_arms[1].rack_blackouts),
+          static_cast<unsigned long long>(domain_arms[1].rack_crashes),
+          static_cast<unsigned long long>(domain_arms[1].cohort_waves),
+          static_cast<unsigned long long>(domain_arms[1].domain_restarts),
+          static_cast<unsigned long long>(domain_arms[0].stats.chunks_lost),
+          static_cast<unsigned long long>(domain_arms[1].stats.chunks_lost),
+          arm_counter(domain_arms[0], "difs.recovery_opage_writes"),
+          arm_counter(domain_arms[1], "difs.recovery_opage_writes"),
+          arm_counter(domain_arms[1], "difs.drain.opage_writes"),
+          arm_counter(domain_arms[1], "difs.drain.devices_flagged"),
+          domain_ledger_exact ? "true" : "false");
     }
     if (l2p_cache_entries > 0) {
       std::fprintf(summary,

@@ -31,7 +31,17 @@
 //        service cap per device; 0 = off, the default, keeping output
 //        byte-identical to builds without the queue),
 //        --queue-opages N (per-device backlog bound; 0 = unbounded, demand
-//        past the bound sheds).
+//        past the bound sheds),
+//        --devices-per-rack N / --rack-power-loss-per-day P /
+//        --rack-restart-days N (correlated rack power-loss events: every
+//        device in a rack crashes the same day; 0 devices-per-rack — the
+//        default — keeps output byte-identical to pre-domain builds),
+//        --batch-cohorts N / --batch-endurance-sigma S /
+//        --cohort-unavailable-per-day P / --cohort-unavailable-days N
+//        (manufacturing-batch cohort axis: shared endurance variance and
+//        correlated unavailability waves),
+//        --drain-health-threshold T / --drain-pec-horizon H (proactive
+//        health-driven retirement ahead of wear-out; 0 threshold = off).
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -118,6 +128,12 @@ struct KindResult {
   bool lockstep_equivalent = false;
   double lockstep_seconds = 0.0;
   FleetSchedulerStats sched;  // from the parallel event-driven run
+  // Failure-domain totals from the parallel run (reported only when the
+  // domain axis is on).
+  uint64_t rack_crashes = 0;
+  uint64_t cohort_pause_days = 0;
+  uint32_t drained_devices = 0;
+  uint64_t drain_migrated_bytes = 0;
 };
 
 }  // namespace
@@ -163,6 +179,22 @@ int main(int argc, char** argv) {
   const uint64_t service_opages_per_day =
       bench::ParseServiceOPagesPerDay(argc, argv);
   const uint64_t queue_opages = bench::ParseQueueOPages(argc, argv);
+  const bench::DomainFlagValues domain_flags =
+      bench::ParseDomainFlags(argc, argv);
+  FleetDomainConfig domain;
+  domain.devices_per_rack =
+      static_cast<uint32_t>(domain_flags.devices_per_rack);
+  domain.rack_power_loss_per_day = domain_flags.rack_power_loss_per_day;
+  domain.rack_restart_days =
+      static_cast<uint32_t>(domain_flags.rack_restart_days);
+  domain.batch_cohorts = static_cast<uint32_t>(domain_flags.batch_cohorts);
+  domain.batch_endurance_sigma = domain_flags.batch_endurance_sigma;
+  domain.cohort_unavailable_per_day =
+      domain_flags.cohort_unavailable_per_day;
+  domain.cohort_unavailable_days =
+      static_cast<uint32_t>(domain_flags.cohort_unavailable_days);
+  domain.drain_health_threshold = domain_flags.drain_health_threshold;
+  domain.drain_pec_horizon = domain_flags.drain_pec_horizon;
 
   const std::string metrics_out = bench::ParseStringFlag(
       argc, argv, "--metrics-out", "BENCH_fleet_metrics.json");
@@ -179,6 +211,7 @@ int main(int argc, char** argv) {
     config.traffic.tenant.read_fraction = traffic_read_fraction;
     config.queue.service_opages_per_day = service_opages_per_day;
     config.queue.queue_opages = queue_opages;
+    config.domain = domain;
     return config;
   };
 
@@ -216,6 +249,19 @@ int main(int argc, char** argv) {
                 "read_fraction=%g (mixed arrivals; write demand replaces "
                 "the flat dwpd budget)\n",
                 traffic_tenants, traffic_ops_per_day, traffic_read_fraction);
+  }
+  if (domain.enabled()) {
+    std::printf("failure domains: devices_per_rack=%u "
+                "rack_power_loss_per_day=%g rack_restart_days=%u "
+                "batch_cohorts=%u batch_endurance_sigma=%g "
+                "cohort_unavailable_per_day=%g cohort_unavailable_days=%u "
+                "drain_health_threshold=%g drain_pec_horizon=%g\n",
+                domain.devices_per_rack, domain.rack_power_loss_per_day,
+                domain.rack_restart_days, domain.batch_cohorts,
+                domain.batch_endurance_sigma,
+                domain.cohort_unavailable_per_day,
+                domain.cohort_unavailable_days,
+                domain.drain_health_threshold, domain.drain_pec_horizon);
   }
 
   std::printf("\nkind\tserial_s\tparallel_s\tspeedup\tidentical\tmetrics\n");
@@ -333,6 +379,20 @@ int main(int argc, char** argv) {
                       parallel_sim.restart_failures_total()),
                   parallel_sim.dark_devices());
     }
+    if (domain.enabled()) {
+      result.rack_crashes = parallel_sim.rack_crashes_total();
+      result.cohort_pause_days = parallel_sim.cohort_pause_days_total();
+      result.drained_devices = parallel_sim.drained_devices();
+      result.drain_migrated_bytes = parallel_sim.drain_migrated_bytes_total();
+      std::printf("  %s: rack_crashes=%llu cohort_pause_days=%llu "
+                  "drained_devices=%u drain_migrated_bytes=%llu\n",
+                  result.kind.c_str(),
+                  static_cast<unsigned long long>(result.rack_crashes),
+                  static_cast<unsigned long long>(result.cohort_pause_days),
+                  result.drained_devices,
+                  static_cast<unsigned long long>(
+                      result.drain_migrated_bytes));
+    }
     // Export under a per-kind prefix so the two fleets stay distinguishable.
     parallel_sim.CollectMetrics(exported, result.kind + ".");
     results.push_back(result);
@@ -376,6 +436,23 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(service_opages_per_day),
                  static_cast<unsigned long long>(queue_opages));
   }
+  if (domain.enabled()) {
+    // Gated like the knobs above: default-knob JSON stays byte-identical to
+    // builds without failure domains.
+    std::fprintf(json,
+                 "  \"devices_per_rack\": %u,\n"
+                 "  \"rack_power_loss_per_day\": %g,\n"
+                 "  \"rack_restart_days\": %u,\n"
+                 "  \"batch_cohorts\": %u,\n"
+                 "  \"batch_endurance_sigma\": %g,\n"
+                 "  \"cohort_unavailable_per_day\": %g,\n"
+                 "  \"drain_health_threshold\": %g,\n",
+                 domain.devices_per_rack, domain.rack_power_loss_per_day,
+                 domain.rack_restart_days, domain.batch_cohorts,
+                 domain.batch_endurance_sigma,
+                 domain.cohort_unavailable_per_day,
+                 domain.drain_health_threshold);
+  }
   std::fprintf(json,
                "  \"hardware_concurrency\": %u,\n"
                "  \"parallel_threads\": %u,\n"
@@ -397,7 +474,7 @@ int main(int argc, char** argv) {
                  "\"dark_days_skipped\": %llu, "
                  "\"scheduler_events\": %llu, "
                  "\"scheduler_batches\": %llu, "
-                 "\"scheduler_idle_windows\": %llu}%s\n",
+                 "\"scheduler_idle_windows\": %llu",
                  r.kind.c_str(), r.serial_seconds, r.parallel_seconds,
                  r.serial_seconds / r.parallel_seconds,
                  r.identical ? "true" : "false",
@@ -412,8 +489,18 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(r.sched.dark_days_skipped),
                  static_cast<unsigned long long>(r.sched.events),
                  static_cast<unsigned long long>(r.sched.batches),
-                 static_cast<unsigned long long>(r.sched.idle_windows),
-                 i + 1 < results.size() ? "," : "");
+                 static_cast<unsigned long long>(r.sched.idle_windows));
+    if (domain.enabled()) {
+      // Per-run domain totals, gated for the same byte-identity reason.
+      std::fprintf(json,
+                   ", \"rack_crashes\": %llu, \"cohort_pause_days\": %llu, "
+                   "\"drained_devices\": %u, \"drain_migrated_bytes\": %llu",
+                   static_cast<unsigned long long>(r.rack_crashes),
+                   static_cast<unsigned long long>(r.cohort_pause_days),
+                   r.drained_devices,
+                   static_cast<unsigned long long>(r.drain_migrated_bytes));
+    }
+    std::fprintf(json, "}%s\n", i + 1 < results.size() ? "," : "");
   }
   std::fprintf(json, "  ]\n}\n");
   std::fclose(json);

@@ -200,6 +200,35 @@ void DifsCluster::HandleMdiskDraining(uint32_t device_index,
   }
 }
 
+void DifsCluster::ReleaseClaimedSlot(uint32_t device_index, MinidiskId mdisk,
+                                     uint32_t slot, ChunkId chunk_id) {
+  DeviceState& state = devices_[device_index];
+  auto it = state.slots.find(mdisk);
+  if (it == state.slots.end() ||
+      it->second[slot] != static_cast<int64_t>(chunk_id)) {
+    return;  // mDisk decommissioned meanwhile: HandleMdiskLoss dropped it
+  }
+  auto pending_it = state.draining_pending.find(mdisk);
+  if (pending_it == state.draining_pending.end()) {
+    it->second[slot] = kFreeSlot;
+    ++state.free_slot_count;
+    return;
+  }
+  // The mDisk started draining while the claim was in flight (the copy's own
+  // wear can trigger the drain): HandleMdiskDraining cannot tell a claim
+  // from a placed replica, so the claim was counted in draining_pending.
+  // Release it as a drained slot — never as new free capacity — and ack the
+  // drain if this was its last pending slot.
+  it->second[slot] = kUnavailableSlot;
+  if (--pending_it->second == 0) {
+    state.draining_pending.erase(pending_it);
+    state.slots.erase(it);
+    if (SendAckDrain(device_index, mdisk)) {
+      ++stats_.drains_acked;
+    }
+  }
+}
+
 void DifsCluster::ReleaseDrainingReplicas(Chunk& chunk) {
   for (ReplicaLocation& replica : chunk.replicas) {
     if (!replica.live || !replica.draining) {
@@ -283,10 +312,26 @@ uint64_t DifsCluster::DrainPendingRecoveries() {
   uint64_t recovered = 0;
   // Process only the entries present at pass start; copies can enqueue more
   // (by wearing the target), which the caller's loop handles next pass.
-  size_t budget = pending_recoveries_.size();
-  while (budget-- > 0 && !pending_recoveries_.empty()) {
-    const ChunkId chunk_id = pending_recoveries_.front();
-    pending_recoveries_.pop_front();
+  std::vector<ChunkId> batch(pending_recoveries_.begin(),
+                             pending_recoveries_.end());
+  pending_recoveries_.clear();
+  if (config_.criticality_ordered_recovery) {
+    // Repair-storm triage: chunks closest to loss (fewest readable copies,
+    // ties by id) get the pass's placement slots and queue room first.
+    // Criticality is snapshotted at batch start, and the sort is stable, so
+    // the ordering is fully deterministic. The SET of chunks healed matches
+    // FIFO when capacity suffices, but individual placements may differ —
+    // recoveries consume the shared placement draws in batch order.
+    std::stable_sort(batch.begin(), batch.end(), [&](ChunkId a, ChunkId b) {
+      const uint32_t ra = chunks_[a].readable_replicas();
+      const uint32_t rb = chunks_[b].readable_replicas();
+      if (ra != rb) {
+        return ra < rb;
+      }
+      return a < b;
+    });
+  }
+  for (const ChunkId chunk_id : batch) {
     Chunk& chunk = chunks_[chunk_id];
     if (chunk.lost) {
       continue;
@@ -413,13 +458,7 @@ bool DifsCluster::RecoverOneReplica(ChunkId chunk_id) {
     // corruption. Retire the source (the recovery loop already owns this
     // chunk, so no re-enqueue) and try the next survivor.
     if (MarkReplicaBad(chunk, *source, /*enqueue=*/false)) {
-      DeviceState& target_state = devices_[target_device];
-      auto it = target_state.slots.find(target_mdisk);
-      if (it != target_state.slots.end() &&
-          it->second[target_slot] == static_cast<int64_t>(chunk_id)) {
-        it->second[target_slot] = kFreeSlot;
-        ++target_state.free_slot_count;
-      }
+      ReleaseClaimedSlot(target_device, target_mdisk, target_slot, chunk_id);
       continue;
     }
     // Last readable copy: corrupt data beats no data — copy it anyway.
@@ -440,15 +479,11 @@ bool DifsCluster::RecoverOneReplica(ChunkId chunk_id) {
     if (!write.ok()) {
       // Target died mid-copy (its own wear, or the write's wear): abandon.
       // If the target mDisk survived (failure had another cause), release
-      // the claimed slot; if it was decommissioned, HandleMdiskLoss already
-      // dropped the whole slot vector.
+      // the claimed slot — via the drain-aware helper, since the events just
+      // processed may have started draining the very mDisk we claimed; if it
+      // was decommissioned, HandleMdiskLoss already dropped the slot vector.
       ApplyDeviceEvents(target_device);
-      auto it = target_state.slots.find(target_mdisk);
-      if (it != target_state.slots.end() &&
-          it->second[target_slot] == static_cast<int64_t>(chunk_id)) {
-        it->second[target_slot] = kFreeSlot;
-        ++target_state.free_slot_count;
-      }
+      ReleaseClaimedSlot(target_device, target_mdisk, target_slot, chunk_id);
       return false;
     }
     ++stats_.recovery_opage_writes;
@@ -481,42 +516,254 @@ bool DifsCluster::PickTarget(const std::vector<uint32_t>& exclude_nodes,
                              uint32_t* device_out, MinidiskId* mdisk_out,
                              uint32_t* slot_out) {
   // Random start, linear probe: keeps placement spread without a full scan.
-  // Two passes: devices with active drains are visibly dying, so avoid
-  // placing new replicas there unless nothing else has space.
+  // The outer domain pass runs only for a constraining placement policy:
+  // pass 0 additionally requires the policy to accept the candidate node,
+  // pass 1 is the counted fallback to plain node-disjointness. Policies that
+  // never constrain (uniform, or none) skip straight to pass 1, sharing the
+  // single start draw — so they replay the legacy draw sequence and
+  // placements bit-for-bit. The inner two passes: devices with active drains
+  // are visibly dying, so avoid placing new replicas there unless nothing
+  // else has space.
   const uint32_t n = static_cast<uint32_t>(devices_.size());
   const uint32_t start = static_cast<uint32_t>(rng_.UniformU64(n));
-  for (int pass = 0; pass < 2; ++pass) {
-    for (uint32_t probe = 0; probe < n; ++probe) {
-      const uint32_t device_index = (start + probe) % n;
-      DeviceState& state = devices_[device_index];
-      if (state.free_slot_count == 0 || state.device->failed() ||
-          NodeOut(device_index)) {
-        continue;
-      }
-      if (pass == 0 && !state.draining_pending.empty()) {
-        continue;  // dying device; only a last resort
-      }
-      const uint32_t node = node_of_device(device_index);
-      if (std::find(exclude_nodes.begin(), exclude_nodes.end(), node) !=
-          exclude_nodes.end()) {
-        continue;
-      }
-      for (auto& [mdisk, slots] : state.slots) {
-        for (uint32_t slot = 0; slot < slots.size(); ++slot) {
-          if (slots[slot] == kFreeSlot) {
-            *device_out = device_index;
-            *mdisk_out = mdisk;
-            *slot_out = slot;
-            return true;
+  const PlacementPolicy* policy = config_.placement.get();
+  const bool constrained = policy != nullptr && policy->Constrains();
+  for (int domain_pass = constrained ? 0 : 1; domain_pass < 2; ++domain_pass) {
+    for (int pass = 0; pass < 2; ++pass) {
+      for (uint32_t probe = 0; probe < n; ++probe) {
+        const uint32_t device_index = (start + probe) % n;
+        DeviceState& state = devices_[device_index];
+        if (state.free_slot_count == 0 || state.device->failed() ||
+            NodeOut(device_index)) {
+          continue;
+        }
+        if (state.health_draining) {
+          continue;  // being evacuated proactively; placing here would churn
+        }
+        if (pass == 0 && !state.draining_pending.empty()) {
+          continue;  // dying device; only a last resort
+        }
+        const uint32_t node = node_of_device(device_index);
+        if (std::find(exclude_nodes.begin(), exclude_nodes.end(), node) !=
+            exclude_nodes.end()) {
+          continue;
+        }
+        if (domain_pass == 0 && !policy->Allows(node, exclude_nodes)) {
+          ++stats_.placement_domain_rejections;
+          continue;
+        }
+        for (auto& [mdisk, slots] : state.slots) {
+          for (uint32_t slot = 0; slot < slots.size(); ++slot) {
+            if (slots[slot] == kFreeSlot) {
+              *device_out = device_index;
+              *mdisk_out = mdisk;
+              *slot_out = slot;
+              return true;
+            }
           }
         }
+        // free_slot_count said there was space but none found: accounting
+        // drift would be a bug.
+        assert(false && "free_slot_count out of sync");
       }
-      // free_slot_count said there was space but none found: accounting
-      // drift would be a bug.
-      assert(false && "free_slot_count out of sync");
+    }
+    if (domain_pass == 0) {
+      // Every domain-eligible candidate is exhausted; the fallback pass may
+      // now co-locate within a rack rather than fail the placement.
+      ++stats_.placement_domain_fallbacks;
     }
   }
   return false;
+}
+
+// ---------------------------------------------------------------------------
+// Proactive health-driven drain (ISSUE 10)
+// ---------------------------------------------------------------------------
+
+void DifsCluster::ProactiveDrainTick() {
+  if (config_.drain_health_threshold <= 0.0) {
+    return;
+  }
+  if (brownout_ != nullptr && brownout_->active() && !reconcile_override_) {
+    // Drain migrations are background traffic like reactive recovery: yield
+    // to the foreground SLO, retry once a window recovers.
+    ++stats_.drain_brownout_deferrals;
+    return;
+  }
+  // Flag newly unhealthy devices, in id order (deterministic; HealthScore is
+  // a pure read, so the scan draws no RNG).
+  bool any_flagged = false;
+  for (uint32_t i = 0; i < devices_.size(); ++i) {
+    DeviceState& state = devices_[i];
+    if (!state.health_draining && !state.device->failed() &&
+        state.device->HealthScore(config_.drain_pec_horizon) <=
+            config_.drain_health_threshold) {
+      state.health_draining = true;
+      ++stats_.drain_devices_flagged;
+      if (config_.trace != nullptr) {
+        config_.trace->Instant("health_drain_start", "difs", trace_time_us_,
+                               config_.trace_tid);
+      }
+    }
+    any_flagged |= state.health_draining && !state.device->failed();
+  }
+  if (!any_flagged) {
+    return;
+  }
+  // One migration pass per tick: walk chunks in id order and move live
+  // replicas off flagged devices. MigrateReplicaOff repoints the record in
+  // place; a parked move (no target, shed, aborted copy) retries next tick.
+  // Indices are re-checked every iteration because a migration's own wear
+  // events can reshape the replica vector under us.
+  for (Chunk& chunk : chunks_) {
+    if (chunk.lost) {
+      continue;
+    }
+    for (size_t r = 0; r < chunk.replicas.size(); ++r) {
+      const ReplicaLocation& replica = chunk.replicas[r];
+      if (!replica.live || replica.draining) {
+        continue;
+      }
+      const DeviceState& state = devices_[replica.device];
+      if (!state.health_draining || state.device->failed() ||
+          NodeOut(replica.device)) {
+        continue;
+      }
+      if (!MigrateReplicaOff(chunk, chunk.replicas[r])) {
+        ++stats_.drain_migrations_parked;
+      }
+    }
+  }
+  // A flagged device with no occupied slots left has been fully evacuated.
+  for (DeviceState& state : devices_) {
+    if (!state.health_draining || state.health_drain_done ||
+        state.device->failed()) {
+      continue;
+    }
+    bool occupied = false;
+    for (const auto& [mdisk, slots] : state.slots) {
+      for (const int64_t slot : slots) {
+        if (slot >= 0) {
+          occupied = true;
+          break;
+        }
+      }
+      if (occupied) {
+        break;
+      }
+    }
+    if (!occupied) {
+      state.health_drain_done = true;
+      ++stats_.drain_devices_completed;
+    }
+  }
+}
+
+bool DifsCluster::MigrateReplicaOff(Chunk& chunk, ReplicaLocation& replica) {
+  // Every node holding a live non-draining copy — including the source's —
+  // is excluded, so the move is a strict spread improvement and the
+  // placement policy sees the same used-node set recovery would.
+  std::vector<uint32_t> exclude_nodes;
+  for (const ReplicaLocation& r : chunk.replicas) {
+    if (r.live && !r.draining) {
+      exclude_nodes.push_back(node_of_device(r.device));
+    }
+  }
+  uint32_t target_device = 0;
+  MinidiskId target_mdisk = 0;
+  uint32_t target_slot = 0;
+  if (!PickTarget(exclude_nodes, &target_device, &target_mdisk,
+                  &target_slot)) {
+    return false;
+  }
+  if (QueueingEnabled() && !reconcile_override_) {
+    // Drain I/O rides the recovery class so the PR 9 priority order and the
+    // shed ledger stay intact; the drain-specific sub-counter lets benches
+    // report proactive-vs-reactive pressure separately.
+    const QueueAdmission src =
+        Queue(replica.device)->Admit(OpClass::kRecovery, sched_clock_ns_);
+    const QueueAdmission dst =
+        src.admitted
+            ? Queue(target_device)->Admit(OpClass::kRecovery, sched_clock_ns_)
+            : QueueAdmission{};
+    if (!src.admitted || !dst.admitted) {
+      ++stats_.sched_recovery_sheds;
+      ++stats_.drain_sched_sheds;
+      return false;
+    }
+  }
+  DeviceState& target_state = devices_[target_device];
+  target_state.slots[target_mdisk][target_slot] =
+      static_cast<int64_t>(chunk.id);
+  --target_state.free_slot_count;
+  // Abort path: drain-aware — the copy's own wear can start draining the
+  // claimed mDisk, in which case the claim was counted in draining_pending.
+  const auto release_target = [&] {
+    ReleaseClaimedSlot(target_device, target_mdisk, target_slot, chunk.id);
+  };
+
+  DeviceState& source_state = devices_[replica.device];
+  auto read = WithTransientRetry([&] {
+    return source_state.device->ReadRange(
+        replica.mdisk,
+        static_cast<uint64_t>(replica.slot) * config_.chunk_opages,
+        config_.chunk_opages);
+  });
+  if (!read.ok()) {
+    ++stats_.uncorrectable_reads;
+    release_target();
+    return false;
+  }
+  stats_.drain_opage_reads += config_.chunk_opages;
+  if (QueueingEnabled() && !reconcile_override_) {
+    Queue(replica.device)->Complete(OpClass::kRecovery, read.value().latency);
+  }
+  if (ObserveCorruption(replica.device) > 0) {
+    // Copying would propagate corruption: hand the replica to the reactive
+    // read-repair path instead of migrating it.
+    release_target();
+    MarkReplicaBad(chunk, replica, /*enqueue=*/true);
+    return false;
+  }
+
+  const uint64_t base =
+      static_cast<uint64_t>(target_slot) * config_.chunk_opages;
+  SimDuration copy_write_ns = 0;
+  for (uint64_t offset = 0; offset < config_.chunk_opages; ++offset) {
+    auto write = WithTransientRetry(
+        [&] { return target_state.device->Write(target_mdisk, base + offset); });
+    if (!write.ok()) {
+      // Target died mid-copy: surface its events, release the claim if the
+      // mDisk survived, and park the migration for the next tick.
+      ApplyDeviceEvents(target_device);
+      release_target();
+      return false;
+    }
+    copy_write_ns += write.value();
+    ++stats_.drain_opage_writes;
+  }
+  if (QueueingEnabled() && !reconcile_override_) {
+    Queue(target_device)->Complete(OpClass::kRecovery, copy_write_ns);
+  }
+
+  // Release the source slot and repoint the record in place. The migrated
+  // copy keeps its generation — a stale source stays stale, and resync still
+  // owns freshness.
+  auto source_it = source_state.slots.find(replica.mdisk);
+  if (source_it != source_state.slots.end() &&
+      replica.slot < source_it->second.size() &&
+      source_it->second[replica.slot] == static_cast<int64_t>(chunk.id)) {
+    source_it->second[replica.slot] = kFreeSlot;
+    ++source_state.free_slot_count;
+  }
+  replica.device = target_device;
+  replica.mdisk = target_mdisk;
+  replica.slot = target_slot;
+  ++stats_.drain_replicas_migrated;
+  // The copy wears the target; surface any resulting events (`replica` must
+  // not be touched past this point — event handling can reshape the vector).
+  ApplyDeviceEvents(target_device);
+  return true;
 }
 
 // ---------------------------------------------------------------------------
@@ -779,7 +1026,12 @@ Status DifsCluster::ReadChunkImpl(ChunkId chunk_id, const uint64_t* offset_ptr,
       uint64_t best_wait = 0;
       bool found = false;
       for (const ReplicaLocation& r : chunk.replicas) {
-        if (!r.live || NodeOut(r.device) || r.device == replica->device) {
+        // A replica can be live in the bookkeeping while its device is dark
+        // (suspect window after a crash): hedging there would model a
+        // duplicate read against a powered-off device. Fall back to the
+        // primary path instead — a hedge must never make things worse.
+        if (!r.live || NodeOut(r.device) || r.device == replica->device ||
+            devices_[r.device].device->failed()) {
           continue;
         }
         DeviceQueue* alt = Queue(r.device);
@@ -1102,6 +1354,11 @@ bool DifsCluster::MaintenanceDormant() const {
   if (config_.resync_interval_ops != 0 || config_.faults != nullptr) {
     return false;
   }
+  // Proactive drain samples health on the maintenance tick; with the
+  // threshold enabled the path must run even in a fault-free cluster.
+  if (config_.drain_health_threshold > 0.0) {
+    return false;
+  }
   for (const DeviceState& state : devices_) {
     if (state.device->faults() != nullptr) {
       return false;
@@ -1168,6 +1425,9 @@ void DifsCluster::MaintenanceTick() {
     }
     waiting_capacity_.clear();
   }
+  // Proactive health-driven drain (no-op at threshold 0) before the final
+  // event pass, so migration wear surfaces in the same tick.
+  ProactiveDrainTick();
   ProcessEvents();
 }
 
@@ -1530,6 +1790,32 @@ void DifsCluster::CollectMetrics(MetricRegistry& registry,
     registry.GetCounter(prefix + "difs.suspect.replicas_stale")
         .Add(stats_.suspect_replicas_stale);
   }
+  // Placement and proactive-drain instruments only exist when the feature is
+  // on (same byte-identity discipline as the blocks above).
+  if (config_.placement != nullptr && config_.placement->Constrains()) {
+    registry.GetCounter(prefix + "difs.placement.domain_rejections")
+        .Add(stats_.placement_domain_rejections);
+    registry.GetCounter(prefix + "difs.placement.domain_fallbacks")
+        .Add(stats_.placement_domain_fallbacks);
+  }
+  if (config_.drain_health_threshold > 0.0) {
+    registry.GetCounter(prefix + "difs.drain.devices_flagged")
+        .Add(stats_.drain_devices_flagged);
+    registry.GetCounter(prefix + "difs.drain.devices_completed")
+        .Add(stats_.drain_devices_completed);
+    registry.GetCounter(prefix + "difs.drain.replicas_migrated")
+        .Add(stats_.drain_replicas_migrated);
+    registry.GetCounter(prefix + "difs.drain.opage_reads")
+        .Add(stats_.drain_opage_reads);
+    registry.GetCounter(prefix + "difs.drain.opage_writes")
+        .Add(stats_.drain_opage_writes);
+    registry.GetCounter(prefix + "difs.drain.migrations_parked")
+        .Add(stats_.drain_migrations_parked);
+    registry.GetCounter(prefix + "difs.drain.brownout_deferrals")
+        .Add(stats_.drain_brownout_deferrals);
+    registry.GetCounter(prefix + "difs.drain.sched_sheds")
+        .Add(stats_.drain_sched_sheds);
+  }
   registry.GetGauge(prefix + "difs.max_wave_recovery_opages")
       .Add(static_cast<double>(stats_.max_wave_recovery_opages));
   registry.GetGauge(prefix + "difs.alive_devices")
@@ -1657,6 +1943,22 @@ Status DifsCluster::CheckInvariants() const {
     if (std::adjacent_find(nodes.begin(), nodes.end()) != nodes.end()) {
       return InternalError("chunk " + std::to_string(chunk.id) +
                            " has two live replicas on one node");
+    }
+    if (config_.placement != nullptr && config_.placement->Constrains() &&
+        stats_.placement_domain_fallbacks == 0) {
+      // No placement ever fell back, so every chunk must honor the domain
+      // constraint end to end: live non-draining replicas rack-disjoint.
+      std::vector<uint32_t> racks;
+      racks.reserve(nodes.size());
+      for (const uint32_t node : nodes) {
+        racks.push_back(rack_of_node(node));
+      }
+      std::sort(racks.begin(), racks.end());
+      if (std::adjacent_find(racks.begin(), racks.end()) != racks.end()) {
+        return InternalError("chunk " + std::to_string(chunk.id) +
+                             " has two live replicas in one rack despite "
+                             "zero domain fallbacks");
+      }
     }
     if (live > config_.replication) {
       return InternalError("chunk " + std::to_string(chunk.id) +

@@ -30,6 +30,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "core/minidisk.h"
+#include "difs/placement.h"
 #include "faults/fault_injector.h"
 #include "integrity/checksum.h"
 #include "integrity/scrub_cursor.h"
@@ -69,6 +70,38 @@ struct DifsConfig {
   // brownout SLO guard. sched.queue_depth == 0 (default) disables the whole
   // layer: no queues, no extra RNG streams, byte-identical outputs.
   SchedConfig sched;
+
+  // ---- Failure domains, placement & proactive drain (ISSUE 10) -------------
+
+  // Nodes per rack / power domain. Consecutive nodes share a rack
+  // (rack = node / nodes_per_rack); 0 or 1 keeps every node its own rack.
+  // Pure topology: consumed only by domain-aware policies and harnesses,
+  // never by the baseline data path.
+  uint32_t nodes_per_rack = 0;
+
+  // Pluggable placement policy (see difs/placement.h). nullptr — the
+  // default — and UniformPlacement both reproduce the legacy single-draw
+  // linear probe bit-for-bit; a constraining policy (DomainSpreadPlacement)
+  // adds a constrained probe pass with counted fallbacks.
+  std::shared_ptr<PlacementPolicy> placement;
+
+  // When true, each recovery pass drains its budgeted batch in criticality
+  // order — chunks with fewer surviving replicas re-replicate first (ties by
+  // chunk id) — instead of FIFO. Changes only the order within a pass, so
+  // quiescent outcomes are identical; during a repair storm with admission
+  // control the 1-survivor chunks get the queue room first.
+  bool criticality_ordered_recovery = false;
+
+  // Proactive health-driven drain: when > 0, each maintenance tick scores
+  // every device (SsdDevice::HealthScore) and devices at or below the
+  // threshold are flagged and their replicas migrated off ahead of failure,
+  // accounted under drain_* (separate from reactive recovery traffic).
+  // 0 (default) disables the scan entirely.
+  double drain_health_threshold = 0.0;
+  // Look-ahead horizon for the tiring-forecast half of the health score, as
+  // a fraction of each page's current P/E count (see
+  // Ftl::ForecastTiringOPages).
+  double drain_pec_horizon = 0.25;
 
   // Every this many foreground ops the cluster runs a maintenance tick:
   // event-channel reconciliation (ResyncDevice for every reachable device),
@@ -162,6 +195,25 @@ struct DifsStats {
   uint64_t sched_hedge_wins = 0;      // hedge path completed first
   uint64_t brownout_scrub_deferrals = 0;     // ScrubStep calls deferred
   uint64_t brownout_recovery_deferrals = 0;  // recovery passes deferred
+
+  // ---- Failure domains, placement & proactive drain (ISSUE 10) ------------
+  // Candidates vetoed by the placement policy's constrained pass.
+  uint64_t placement_domain_rejections = 0;
+  // Placements that exhausted the constrained pass and fell back to the
+  // node-disjoint baseline. 0 means every placement honored the domain
+  // constraint (CheckInvariants then enforces rack-disjointness).
+  uint64_t placement_domain_fallbacks = 0;
+  uint64_t drain_devices_flagged = 0;    // devices whose health tripped
+  uint64_t drain_devices_completed = 0;  // flagged devices fully evacuated
+  uint64_t drain_replicas_migrated = 0;  // replicas moved off ahead of failure
+  uint64_t drain_opage_reads = 0;        // proactive migration reads
+  uint64_t drain_opage_writes = 0;       // proactive migration writes
+  uint64_t drain_migrations_parked = 0;  // no target / copy aborted; retried
+  uint64_t drain_brownout_deferrals = 0; // drain passes yielded to brownout
+  // Drain migrations refused by queue admission. Sub-count of
+  // sched_recovery_sheds (drain I/O rides OpClass::kRecovery), so the
+  // device-giveup ledger stays exact.
+  uint64_t drain_sched_sheds = 0;
 
   // ---- Suspect windows (crash-restart) ------------------------------------
   uint64_t suspect_windows_started = 0;   // devices that went dark on grace
@@ -316,6 +368,13 @@ class DifsCluster {
   uint32_t node_of_device(uint32_t device) const {
     return device / config_.devices_per_node;
   }
+  // Failure-domain topology: consecutive nodes share a rack.
+  uint32_t rack_of_node(uint32_t node) const {
+    return node / (config_.nodes_per_rack == 0 ? 1 : config_.nodes_per_rack);
+  }
+  uint32_t rack_of_device(uint32_t device) const {
+    return rack_of_node(node_of_device(device));
+  }
   uint64_t free_slots() const;
   // Chunks parked until placement capacity appears (recovery deferred).
   uint64_t chunks_waiting_capacity() const { return waiting_capacity_.size(); }
@@ -387,6 +446,13 @@ class DifsCluster {
     // declared); prevents re-opening a window for the same outage. Cleared
     // when the device serves again.
     bool down_handled = false;
+    // ---- Proactive health-driven drain ----
+    // Health score tripped the drain threshold: replicas are being migrated
+    // off and PickTarget refuses to place new data here. Sticky — a device
+    // this close to death is never un-flagged.
+    bool health_draining = false;
+    // Evacuation completed (counted once in drain_devices_completed).
+    bool health_drain_done = false;
   };
 
   // Returns the number of events processed.
@@ -407,6 +473,25 @@ class DifsCluster {
   bool PickTarget(const std::vector<uint32_t>& exclude_nodes,
                   uint32_t* device_out, MinidiskId* mdisk_out,
                   uint32_t* slot_out);
+  // Releases a slot claimed for an in-flight copy (recovery or drain
+  // migration) that aborted. Drain-aware: if the target mDisk started
+  // draining while the copy was in flight, the claim was counted in
+  // draining_pending (HandleMdiskDraining cannot tell a claim from a placed
+  // replica), so the slot is released as drained — never as new free
+  // capacity — with the pending count decremented and the drain acked when
+  // this was its last pending slot.
+  void ReleaseClaimedSlot(uint32_t device_index, MinidiskId mdisk,
+                          uint32_t slot, ChunkId chunk_id);
+  // ---- Proactive health-driven drain (ISSUE 10) ----------------------------
+  // Scores every device and flags those at or below drain_health_threshold;
+  // then migrates replicas off flagged devices. Runs inside MaintenanceTick
+  // (before its final ProcessEvents); a no-op when the threshold is 0.
+  void ProactiveDrainTick();
+  // Moves one live replica off a flagged device onto a PickTarget-chosen
+  // slot (real read + writes, drain_* accounted, admission-controlled under
+  // OpClass::kRecovery). Returns false when parked (no target, shed, or the
+  // copy aborted) — the next tick retries.
+  bool MigrateReplicaOff(Chunk& chunk, ReplicaLocation& replica);
   // Writes one replica oPage; on success returns the device write latency.
   StatusOr<SimDuration> WriteReplica(ReplicaLocation& replica,
                                      uint64_t offset);

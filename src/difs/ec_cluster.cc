@@ -215,10 +215,26 @@ uint64_t EcCluster::DrainPendingRebuilds() {
     return 0;
   }
   uint64_t rebuilt = 0;
-  size_t budget = pending_rebuilds_.size();
-  while (budget-- > 0 && !pending_rebuilds_.empty()) {
-    const StripeId stripe_id = pending_rebuilds_.front();
-    pending_rebuilds_.pop_front();
+  // Process only the entries present at pass start; rebuilds can enqueue
+  // more (by wearing the target), which the caller's loop handles next pass.
+  std::vector<StripeId> batch(pending_rebuilds_.begin(),
+                              pending_rebuilds_.end());
+  pending_rebuilds_.clear();
+  if (config_.criticality_ordered_recovery) {
+    // Repair-storm triage: stripes closest to the reconstruction floor
+    // (fewest live cells, ties by id) get the pass's placement slots and
+    // queue room first. Snapshot order at batch start; only the order within
+    // this pass changes, so quiescent outcomes match FIFO exactly.
+    std::stable_sort(batch.begin(), batch.end(), [&](StripeId a, StripeId b) {
+      const uint32_t la = stripes_[a].live_cells();
+      const uint32_t lb = stripes_[b].live_cells();
+      if (la != lb) {
+        return la < lb;
+      }
+      return a < b;
+    });
+  }
+  for (const StripeId stripe_id : batch) {
     Stripe& stripe = stripes_[stripe_id];
     if (stripe.lost) {
       continue;
@@ -388,33 +404,237 @@ bool EcCluster::RebuildOneCell(StripeId stripe_id) {
 bool EcCluster::PickTarget(const std::vector<uint32_t>& exclude_nodes,
                            uint32_t* device_out, MinidiskId* mdisk_out,
                            uint32_t* slot_out) {
+  // Random start, linear probe. The outer domain pass runs only for a
+  // constraining placement policy: pass 0 additionally requires the policy
+  // to accept the candidate node, pass 1 is the counted fallback to plain
+  // node-disjointness. Non-constraining policies (uniform, or none) skip
+  // straight to pass 1 and share the single start draw, replaying the legacy
+  // draw sequence bit-for-bit (see DifsCluster::PickTarget).
   const uint32_t n = static_cast<uint32_t>(devices_.size());
   const uint32_t start = static_cast<uint32_t>(rng_.UniformU64(n));
-  for (uint32_t probe = 0; probe < n; ++probe) {
-    const uint32_t device_index = (start + probe) % n;
-    DeviceState& state = devices_[device_index];
-    if (state.free_slot_count == 0 || state.device->failed() ||
-        NodeOut(device_index)) {
-      continue;
-    }
-    const uint32_t node = node_of_device(device_index);
-    if (std::find(exclude_nodes.begin(), exclude_nodes.end(), node) !=
-        exclude_nodes.end()) {
-      continue;
-    }
-    for (auto& [mdisk, slots] : state.slots) {
-      for (uint32_t slot = 0; slot < slots.size(); ++slot) {
-        if (slots[slot] == kFreeSlot) {
-          *device_out = device_index;
-          *mdisk_out = mdisk;
-          *slot_out = slot;
-          return true;
+  const PlacementPolicy* policy = config_.placement.get();
+  const bool constrained = policy != nullptr && policy->Constrains();
+  for (int domain_pass = constrained ? 0 : 1; domain_pass < 2; ++domain_pass) {
+    for (uint32_t probe = 0; probe < n; ++probe) {
+      const uint32_t device_index = (start + probe) % n;
+      DeviceState& state = devices_[device_index];
+      if (state.free_slot_count == 0 || state.device->failed() ||
+          NodeOut(device_index)) {
+        continue;
+      }
+      if (state.health_draining) {
+        continue;  // being evacuated proactively; placing here would churn
+      }
+      const uint32_t node = node_of_device(device_index);
+      if (std::find(exclude_nodes.begin(), exclude_nodes.end(), node) !=
+          exclude_nodes.end()) {
+        continue;
+      }
+      if (domain_pass == 0 && !policy->Allows(node, exclude_nodes)) {
+        ++stats_.placement_domain_rejections;
+        continue;
+      }
+      for (auto& [mdisk, slots] : state.slots) {
+        for (uint32_t slot = 0; slot < slots.size(); ++slot) {
+          if (slots[slot] == kFreeSlot) {
+            *device_out = device_index;
+            *mdisk_out = mdisk;
+            *slot_out = slot;
+            return true;
+          }
         }
       }
+      assert(false && "free_slot_count out of sync");
     }
-    assert(false && "free_slot_count out of sync");
+    if (domain_pass == 0) {
+      // Domain-eligible candidates exhausted; the fallback pass may now
+      // co-locate within a rack rather than fail the placement.
+      ++stats_.placement_domain_fallbacks;
+    }
   }
   return false;
+}
+
+// ---------------------------------------------------------------------------
+// Proactive health-driven drain (ISSUE 10)
+// ---------------------------------------------------------------------------
+
+void EcCluster::ProactiveDrainTick() {
+  if (config_.drain_health_threshold <= 0.0) {
+    return;
+  }
+  if (brownout_ != nullptr && brownout_->active() && !reconcile_override_) {
+    ++stats_.drain_brownout_deferrals;
+    return;
+  }
+  // Flag newly unhealthy devices, in id order (deterministic; HealthScore is
+  // a pure read, so the scan draws no RNG).
+  bool any_flagged = false;
+  for (uint32_t i = 0; i < devices_.size(); ++i) {
+    DeviceState& state = devices_[i];
+    if (!state.health_draining && !state.device->failed() &&
+        state.device->HealthScore(config_.drain_pec_horizon) <=
+            config_.drain_health_threshold) {
+      state.health_draining = true;
+      ++stats_.drain_devices_flagged;
+    }
+    any_flagged |= state.health_draining && !state.device->failed();
+  }
+  if (!any_flagged) {
+    return;
+  }
+  // One migration pass per tick: move live cells off flagged devices.
+  // MigrateCellOff repoints the record in place; a parked move retries next
+  // tick. Indices are re-checked every iteration because a migration's own
+  // wear events can reshape cell state under us.
+  for (Stripe& stripe : stripes_) {
+    if (stripe.lost) {
+      continue;
+    }
+    for (size_t c = 0; c < stripe.cells.size(); ++c) {
+      const CellLocation& cell = stripe.cells[c];
+      if (!cell.live) {
+        continue;
+      }
+      const DeviceState& state = devices_[cell.device];
+      if (!state.health_draining || state.device->failed() ||
+          NodeOut(cell.device)) {
+        continue;
+      }
+      if (!MigrateCellOff(stripe, stripe.cells[c])) {
+        ++stats_.drain_migrations_parked;
+      }
+    }
+  }
+  // A flagged device with no occupied slots left has been fully evacuated.
+  for (DeviceState& state : devices_) {
+    if (!state.health_draining || state.health_drain_done ||
+        state.device->failed()) {
+      continue;
+    }
+    bool occupied = false;
+    for (const auto& [mdisk, slots] : state.slots) {
+      for (const int64_t slot : slots) {
+        if (slot >= 0) {
+          occupied = true;
+          break;
+        }
+      }
+      if (occupied) {
+        break;
+      }
+    }
+    if (!occupied) {
+      state.health_drain_done = true;
+      ++stats_.drain_devices_completed;
+    }
+  }
+}
+
+bool EcCluster::MigrateCellOff(Stripe& stripe, CellLocation& cell) {
+  // Every node holding a live cell — including the source's — is excluded,
+  // so the move keeps the stripe node-disjoint and the placement policy sees
+  // the same used-node set a rebuild would.
+  std::vector<uint32_t> exclude_nodes;
+  for (const CellLocation& c : stripe.cells) {
+    if (c.live) {
+      exclude_nodes.push_back(node_of_device(c.device));
+    }
+  }
+  uint32_t target_device = 0;
+  MinidiskId target_mdisk = 0;
+  uint32_t target_slot = 0;
+  if (!PickTarget(exclude_nodes, &target_device, &target_mdisk,
+                  &target_slot)) {
+    return false;
+  }
+  if (QueueingEnabled() && !reconcile_override_) {
+    // Drain I/O rides the recovery class (PR 9 priority order and the shed
+    // ledger stay intact); the drain sub-counter reports it separately.
+    const QueueAdmission src =
+        Queue(cell.device)->Admit(OpClass::kRecovery, sched_clock_ns_);
+    const QueueAdmission dst =
+        src.admitted
+            ? Queue(target_device)->Admit(OpClass::kRecovery, sched_clock_ns_)
+            : QueueAdmission{};
+    if (!src.admitted || !dst.admitted) {
+      ++stats_.sched_rebuild_sheds;
+      ++stats_.drain_sched_sheds;
+      return false;
+    }
+  }
+  DeviceState& target_state = devices_[target_device];
+  target_state.slots[target_mdisk][target_slot] =
+      PackRef(stripe.id, cell.cell);
+  --target_state.free_slot_count;
+  const auto release_target = [&] {
+    auto it = target_state.slots.find(target_mdisk);
+    if (it != target_state.slots.end() &&
+        it->second[target_slot] == PackRef(stripe.id, cell.cell)) {
+      it->second[target_slot] = kFreeSlot;
+      ++target_state.free_slot_count;
+    }
+  };
+
+  DeviceState& source_state = devices_[cell.device];
+  auto read = source_state.device->ReadRange(
+      cell.mdisk, static_cast<uint64_t>(cell.slot) * config_.cell_opages,
+      config_.cell_opages);
+  if (!read.ok()) {
+    release_target();
+    return false;
+  }
+  stats_.drain_opage_reads += config_.cell_opages;
+  if (QueueingEnabled() && !reconcile_override_) {
+    Queue(cell.device)->Complete(OpClass::kRecovery, read.value().latency);
+  }
+  if (ObserveCorruption(cell.device) > 0) {
+    const uint64_t observed = codec_.CorruptObservation(stripe.checksum);
+    if (!ChecksumCodec::Verify(stripe.checksum, observed)) {
+      // Copying would propagate corruption: retire the cell to the reactive
+      // rebuild path instead of migrating it.
+      release_target();
+      MarkCellBad(stripe, cell, /*enqueue=*/true);
+      return false;
+    }
+  }
+
+  const uint64_t base =
+      static_cast<uint64_t>(target_slot) * config_.cell_opages;
+  SimDuration copy_write_ns = 0;
+  for (uint64_t offset = 0; offset < config_.cell_opages; ++offset) {
+    auto write = target_state.device->Write(target_mdisk, base + offset);
+    if (!write.ok()) {
+      // Target died mid-copy: surface its events, release the claim if the
+      // mDisk survived, and park the migration for the next tick.
+      ApplyDeviceEvents(target_device);
+      release_target();
+      return false;
+    }
+    copy_write_ns += write.value();
+    ++stats_.drain_opage_writes;
+  }
+  if (QueueingEnabled() && !reconcile_override_) {
+    Queue(target_device)->Complete(OpClass::kRecovery, copy_write_ns);
+  }
+
+  // Release the source slot and repoint the record in place. The migrated
+  // copy keeps its generation and staleness — resync still owns freshness.
+  auto source_it = source_state.slots.find(cell.mdisk);
+  if (source_it != source_state.slots.end() &&
+      cell.slot < source_it->second.size() &&
+      source_it->second[cell.slot] == PackRef(stripe.id, cell.cell)) {
+    source_it->second[cell.slot] = kFreeSlot;
+    ++source_state.free_slot_count;
+  }
+  cell.device = target_device;
+  cell.mdisk = target_mdisk;
+  cell.slot = target_slot;
+  ++stats_.drain_cells_migrated;
+  // The copy wears the target; surface any resulting events (`cell` must not
+  // be touched past this point — event handling can reshape cell state).
+  ApplyDeviceEvents(target_device);
+  return true;
 }
 
 // ---------------------------------------------------------------------------
@@ -954,6 +1174,9 @@ void EcCluster::MaintenanceTick() {
     }
     waiting_capacity_.clear();
   }
+  // Proactive health-driven drain (no-op at threshold 0) before the final
+  // event pass, so migration wear surfaces in the same tick.
+  ProactiveDrainTick();
   ProcessEvents();
 }
 
@@ -1277,6 +1500,32 @@ void EcCluster::CollectMetrics(MetricRegistry& registry,
         .Add(stats_.suspect_cells_revived);
     registry.GetCounter(prefix + "ec.suspect.cells_stale")
         .Add(stats_.suspect_cells_stale);
+  }
+  // Placement and proactive-drain instruments only exist when the feature is
+  // on (same byte-identity discipline as the blocks above).
+  if (config_.placement != nullptr && config_.placement->Constrains()) {
+    registry.GetCounter(prefix + "ec.placement.domain_rejections")
+        .Add(stats_.placement_domain_rejections);
+    registry.GetCounter(prefix + "ec.placement.domain_fallbacks")
+        .Add(stats_.placement_domain_fallbacks);
+  }
+  if (config_.drain_health_threshold > 0.0) {
+    registry.GetCounter(prefix + "ec.drain.devices_flagged")
+        .Add(stats_.drain_devices_flagged);
+    registry.GetCounter(prefix + "ec.drain.devices_completed")
+        .Add(stats_.drain_devices_completed);
+    registry.GetCounter(prefix + "ec.drain.cells_migrated")
+        .Add(stats_.drain_cells_migrated);
+    registry.GetCounter(prefix + "ec.drain.opage_reads")
+        .Add(stats_.drain_opage_reads);
+    registry.GetCounter(prefix + "ec.drain.opage_writes")
+        .Add(stats_.drain_opage_writes);
+    registry.GetCounter(prefix + "ec.drain.migrations_parked")
+        .Add(stats_.drain_migrations_parked);
+    registry.GetCounter(prefix + "ec.drain.brownout_deferrals")
+        .Add(stats_.drain_brownout_deferrals);
+    registry.GetCounter(prefix + "ec.drain.sched_sheds")
+        .Add(stats_.drain_sched_sheds);
   }
   registry.GetGauge(prefix + "ec.alive_devices")
       .Add(static_cast<double>(alive_devices()));

@@ -26,6 +26,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "core/minidisk.h"
+#include "difs/placement.h"
 #include "faults/fault_injector.h"
 #include "integrity/checksum.h"
 #include "sched/queueing.h"
@@ -71,6 +72,21 @@ struct EcConfig {
   // the whole layer: no queues, no extra RNG streams, byte-identical
   // outputs. Same contract as DifsConfig::sched.
   SchedConfig sched;
+
+  // ---- Failure domains, placement & proactive drain (ISSUE 10; same
+  // contracts as the DifsConfig fields of the same names) -------------------
+  // Nodes per rack / power domain (rack = node / nodes_per_rack); 0 or 1
+  // keeps every node its own rack.
+  uint32_t nodes_per_rack = 0;
+  // Pluggable placement policy; nullptr (default) and UniformPlacement both
+  // replay the legacy draw sequence bit-for-bit.
+  std::shared_ptr<PlacementPolicy> placement;
+  // Drain the budgeted rebuild batch in criticality order (fewest live
+  // cells first, ties by stripe id) instead of FIFO.
+  bool criticality_ordered_recovery = false;
+  // Proactive health-driven drain threshold; 0 disables the scan.
+  double drain_health_threshold = 0.0;
+  double drain_pec_horizon = 0.25;
 };
 
 struct EcStats {
@@ -113,6 +129,20 @@ struct EcStats {
   uint64_t sched_hedged_reads = 0;     // modeled reconstruction hedges fired
   uint64_t sched_hedge_wins = 0;       // hedge completed before the primary
   uint64_t brownout_rebuild_deferrals = 0;  // rebuild waves parked under SLO
+
+  // ---- Failure domains, placement & proactive drain (ISSUE 10; same
+  // contract as the DifsStats block of the same names) ----------------------
+  uint64_t placement_domain_rejections = 0;
+  uint64_t placement_domain_fallbacks = 0;
+  uint64_t drain_devices_flagged = 0;
+  uint64_t drain_devices_completed = 0;
+  uint64_t drain_cells_migrated = 0;   // cells moved off ahead of failure
+  uint64_t drain_opage_reads = 0;
+  uint64_t drain_opage_writes = 0;
+  uint64_t drain_migrations_parked = 0;
+  uint64_t drain_brownout_deferrals = 0;
+  // Sub-count of sched_rebuild_sheds (drain I/O rides OpClass::kRecovery).
+  uint64_t drain_sched_sheds = 0;
 
   uint64_t rebuild_read_bytes() const { return rebuild_opage_reads * 4096; }
   uint64_t rebuild_write_bytes() const { return rebuild_opage_writes * 4096; }
@@ -219,6 +249,13 @@ class EcCluster {
   uint32_t node_of_device(uint32_t device) const {
     return device / config_.devices_per_node;
   }
+  // Failure-domain topology: consecutive nodes share a rack.
+  uint32_t rack_of_node(uint32_t node) const {
+    return node / (config_.nodes_per_rack == 0 ? 1 : config_.nodes_per_rack);
+  }
+  uint32_t rack_of_device(uint32_t device) const {
+    return rack_of_node(node_of_device(device));
+  }
   uint64_t free_slots() const;
   SsdDevice& device(uint32_t index) { return *devices_[index].device; }
   uint32_t device_count() const {
@@ -261,6 +298,9 @@ class EcCluster {
     bool suspect = false;            // inside a grace window right now
     uint32_t suspect_ticks_left = 0;
     bool down_handled = false;       // window expired: losses declared
+    // ---- Proactive health-driven drain (same contract as DifsCluster) -----
+    bool health_draining = false;    // flagged: evacuating, no new placements
+    bool health_drain_done = false;  // evacuation completed (counted once)
   };
 
   static int64_t PackRef(StripeId stripe, uint32_t cell) {
@@ -282,6 +322,10 @@ class EcCluster {
   bool PickTarget(const std::vector<uint32_t>& exclude_nodes,
                   uint32_t* device_out, MinidiskId* mdisk_out,
                   uint32_t* slot_out);
+  // ---- Proactive health-driven drain (ISSUE 10; same contract as
+  // DifsCluster::ProactiveDrainTick / MigrateReplicaOff) --------------------
+  void ProactiveDrainTick();
+  bool MigrateCellOff(Stripe& stripe, CellLocation& cell);
   // Writes one cell oPage; on success returns the device write latency.
   StatusOr<SimDuration> WriteCell(CellLocation& cell, uint64_t offset);
   // Shared body of StepWrites and WriteLogicalAt: stamps the new stripe

@@ -1,0 +1,14 @@
+#include "difs/placement.h"
+
+namespace salamander {
+
+std::shared_ptr<PlacementPolicy> MakeUniformPlacement() {
+  return std::make_shared<UniformPlacement>();
+}
+
+std::shared_ptr<PlacementPolicy> MakeDomainSpreadPlacement(
+    uint32_t nodes_per_rack) {
+  return std::make_shared<DomainSpreadPlacement>(nodes_per_rack);
+}
+
+}  // namespace salamander

@@ -1,0 +1,93 @@
+// Pluggable placement policies for DifsCluster / EcCluster (ISSUE 10,
+// ROADMAP item 3).
+//
+// Both clusters place replicas (chunks) or cells (stripes) with a single
+// uniform start draw followed by a deterministic linear probe that already
+// enforces node-disjointness. A PlacementPolicy adds an *extra* veto on top
+// of that probe: the cluster first runs a constrained pass in which every
+// candidate node must satisfy `Allows(candidate, used_nodes)`, and only when
+// that pass finds nothing does it fall back — counted — to the plain
+// node-disjoint baseline. The start draw is shared between passes, so a
+// policy that never vetoes (UniformPlacement, or no policy at all)
+// reproduces the legacy draw sequence and placements bit-for-bit.
+//
+// Failure-domain topology is flat: nodes are grouped into racks (power
+// domains) of `nodes_per_rack` consecutive nodes. `nodes_per_rack <= 1`
+// degenerates to every node being its own rack, where domain-spread equals
+// plain node-disjointness.
+#ifndef SALAMANDER_DIFS_PLACEMENT_H_
+#define SALAMANDER_DIFS_PLACEMENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace salamander {
+
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  // Stable name for logs and metric labels.
+  virtual std::string_view name() const = 0;
+
+  // True when the policy can veto candidates beyond node-disjointness. When
+  // false the cluster skips the constrained pass entirely, so the policy is
+  // guaranteed draw-for-draw identical to having no policy.
+  virtual bool Constrains() const = 0;
+
+  // May a new replica/cell land on `candidate_node`, given the nodes already
+  // holding live copies of the same chunk/stripe? Consulted only during the
+  // constrained pass; must be pure (no state, no RNG) so placement stays
+  // deterministic and engine-independent.
+  virtual bool Allows(uint32_t candidate_node,
+                      const std::vector<uint32_t>& used_nodes) const = 0;
+};
+
+// Uniform-random baseline: no constraint beyond the clusters' built-in
+// node-disjointness. Bit-identical to running without a policy.
+class UniformPlacement final : public PlacementPolicy {
+ public:
+  std::string_view name() const override { return "uniform"; }
+  bool Constrains() const override { return false; }
+  bool Allows(uint32_t /*candidate_node*/,
+              const std::vector<uint32_t>& /*used_nodes*/) const override {
+    return true;
+  }
+};
+
+// Domain-spread: never co-locate two copies of one chunk/stripe in the same
+// rack. With `nodes_per_rack <= 1` every node is its own rack and the policy
+// reduces to node-disjointness (the constrained pass then never vetoes).
+class DomainSpreadPlacement final : public PlacementPolicy {
+ public:
+  explicit DomainSpreadPlacement(uint32_t nodes_per_rack)
+      : nodes_per_rack_(nodes_per_rack == 0 ? 1 : nodes_per_rack) {}
+
+  std::string_view name() const override { return "domain-spread"; }
+  bool Constrains() const override { return true; }
+  bool Allows(uint32_t candidate_node,
+              const std::vector<uint32_t>& used_nodes) const override {
+    const uint32_t rack = candidate_node / nodes_per_rack_;
+    for (const uint32_t used : used_nodes) {
+      if (used / nodes_per_rack_ == rack) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  uint32_t nodes_per_rack() const { return nodes_per_rack_; }
+
+ private:
+  uint32_t nodes_per_rack_;
+};
+
+std::shared_ptr<PlacementPolicy> MakeUniformPlacement();
+std::shared_ptr<PlacementPolicy> MakeDomainSpreadPlacement(
+    uint32_t nodes_per_rack);
+
+}  // namespace salamander
+
+#endif  // SALAMANDER_DIFS_PLACEMENT_H_

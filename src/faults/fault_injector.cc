@@ -28,6 +28,10 @@ std::string_view FaultSiteName(FaultSite site) {
       return "power_loss";
     case FaultSite::kTornJournalWrite:
       return "torn_journal_write";
+    case FaultSite::kRackPowerLoss:
+      return "rack_power_loss";
+    case FaultSite::kCohortUnavailable:
+      return "cohort_unavailable";
     case FaultSite::kSiteCount:
       break;
   }
@@ -134,6 +138,14 @@ uint64_t FaultInjector::TornJournalRecords(uint64_t unsynced_count) {
   }
   return stream(FaultSite::kTornJournalWrite)
       .UniformInRange(1, unsynced_count);
+}
+
+bool FaultInjector::RackLosesPower() {
+  return Draw(FaultSite::kRackPowerLoss, config_.rack_power_loss);
+}
+
+bool FaultInjector::CohortGoesUnavailable() {
+  return Draw(FaultSite::kCohortUnavailable, config_.cohort_unavailable);
 }
 
 }  // namespace salamander

@@ -49,6 +49,8 @@ enum class FaultSite : uint8_t {
   kAckDrainLost,           // diFS: AckDrain never reaches the device
   kPowerLoss,              // device: transient power loss (restartable)
   kTornJournalWrite,       // ftl: unsynced journal tail torn at power loss
+  kRackPowerLoss,          // domain: whole-rack power loss (all devices)
+  kCohortUnavailable,      // domain: batch cohort transiently unavailable
   kSiteCount,
 };
 
@@ -84,6 +86,10 @@ struct FaultConfig {
   // On power loss: probability that the unsynced journal tail is torn; when
   // it hits, Uniform[1, unsynced] trailing records are discarded.
   double torn_journal_write = 0.0;
+
+  // ---- Correlated failure domains (consulted by harnesses) ----------------
+  double rack_power_loss = 0.0;      // per rack-day: rack loses power
+  double cohort_unavailable = 0.0;   // per cohort-day: batch cohort pauses
 
   uint64_t seed = 0xc4a05f0011ec7edULL;
 };
@@ -144,6 +150,8 @@ class FaultInjector {
   // torn (never more than `unsynced_count`). Zero draws when the site is
   // dormant or there is nothing unsynced to tear.
   uint64_t TornJournalRecords(uint64_t unsynced_count);
+  bool RackLosesPower();
+  bool CohortGoesUnavailable();
 
  private:
   static constexpr size_t kSites = static_cast<size_t>(FaultSite::kSiteCount);

@@ -10,6 +10,50 @@
 namespace salamander {
 
 FleetSim::FleetSim(const FleetConfig& config) : config_(config) {
+  // Domain-event calendar first. Each domain feature owns a dedicated RNG
+  // root (never the fleet root below), forked per rack / per cohort in id
+  // order, so schedules depend only on (seed, feature, rack-or-cohort id) —
+  // never on device streams or on each other — and a disabled feature builds
+  // nothing and draws nothing.
+  const FleetDomainConfig& domain = config_.domain;
+  const uint32_t per_rack =
+      domain.devices_per_rack == 0 ? 1 : domain.devices_per_rack;
+  if (domain.rack_events_enabled()) {
+    const uint32_t racks = (config_.devices + per_rack - 1) / per_rack;
+    Rng rack_root(config_.seed ^ 0xd0a1d0a1d0a1d0a1ULL);
+    domain_schedule_.rack_power_days.resize(racks);
+    for (uint32_t r = 0; r < racks; ++r) {
+      Rng rack_rng = rack_root.Fork();
+      for (uint32_t day = 1; day <= config_.days; ++day) {
+        if (rack_rng.Bernoulli(domain.rack_power_loss_per_day)) {
+          domain_schedule_.rack_power_days[r].push_back(day);
+        }
+      }
+    }
+  }
+  if (domain.cohort_wear_enabled()) {
+    // One latent endurance factor per manufacturing batch: every device in
+    // the cohort shares it, so whole batches age fast or slow together.
+    Rng wear_root(config_.seed ^ 0xd0a2d0a2d0a2d0a2ULL);
+    domain_schedule_.cohort_wear_factor.resize(domain.batch_cohorts);
+    for (uint32_t c = 0; c < domain.batch_cohorts; ++c) {
+      Rng cohort_rng = wear_root.Fork();
+      domain_schedule_.cohort_wear_factor[c] =
+          cohort_rng.LogNormal(0.0, domain.batch_endurance_sigma);
+    }
+  }
+  if (domain.cohort_waves_enabled()) {
+    Rng wave_root(config_.seed ^ 0xd0a3d0a3d0a3d0a3ULL);
+    domain_schedule_.cohort_wave_days.resize(domain.batch_cohorts);
+    for (uint32_t c = 0; c < domain.batch_cohorts; ++c) {
+      Rng cohort_rng = wave_root.Fork();
+      for (uint32_t day = 1; day <= config_.days; ++day) {
+        if (cohort_rng.Bernoulli(domain.cohort_unavailable_per_day)) {
+          domain_schedule_.cohort_wave_days[c].push_back(day);
+        }
+      }
+    }
+  }
   // Root of the fleet's RNG tree. Every stream any device will ever use is
   // forked from it here, in device-ID order, so stream identity depends only
   // on (seed, device index) — never on how other devices consume randomness
@@ -18,11 +62,19 @@ FleetSim::FleetSim(const FleetConfig& config) : config_(config) {
   slots_.reserve(config_.devices);
   for (uint32_t i = 0; i < config_.devices; ++i) {
     DeviceSlot slot;
+    slot.rack = i / per_rack;
+    slot.cohort = domain.batch_cohorts > 0 ? i % domain.batch_cohorts : 0;
     slot.rng = fleet_rng.Fork();
     const uint64_t device_seed = fleet_rng.ForkSeed();
     const uint64_t driver_seed = fleet_rng.ForkSeed();
+    WearModelConfig wear = config_.wear;
+    if (domain.cohort_wear_enabled()) {
+      // Batch variance scales the RBER growth coefficient (not the per-page
+      // factor), so it shifts every page of the cohort's devices coherently.
+      wear.coefficient *= domain_schedule_.cohort_wear_factor[slot.cohort];
+    }
     SsdConfig ssd_config =
-        MakeSsdConfig(config_.kind, config_.geometry, config_.wear,
+        MakeSsdConfig(config_.kind, config_.geometry, wear,
                       config_.latency, config_.ecc, device_seed,
                       config_.regen_max_level);
     if (config_.msize_opages > 0 &&
@@ -106,7 +158,9 @@ FleetSnapshot FleetSim::Sample(uint32_t day) const {
 void FleetSim::StepDevice(DeviceSlot& slot, uint32_t day,
                           double daily_failure, uint64_t scrub_budget,
                           uint32_t restart_days,
-                          const FleetQueueConfig& queue, size_t shard,
+                          const FleetQueueConfig& queue,
+                          const FleetDomainConfig& domain,
+                          const FleetDomainSchedule* schedule, size_t shard,
                           ShardedCounter* steps, ShardedCounter* opages) {
   if (slot.dark) {
     // Dark from a transient power loss: powered off, so no I/O and no RNG
@@ -129,6 +183,52 @@ void FleetSim::StepDevice(DeviceSlot& slot, uint32_t day,
   if (!slot.alive || slot.device->failed()) {
     slot.alive = false;
     return;
+  }
+  if (schedule != nullptr) {
+    // Correlated domain events, from the precomputed calendar — zero RNG
+    // draws on the triggered day, so schedules stay bit-identical at any
+    // thread count and under either engine. The slot-local cursors skip days
+    // missed while the device was dark or dead (an outage cannot re-fire).
+    if (slot.rack < schedule->rack_power_days.size()) {
+      const std::vector<uint32_t>& days =
+          schedule->rack_power_days[slot.rack];
+      while (slot.rack_event_cursor < days.size() &&
+             days[slot.rack_event_cursor] < day) {
+        ++slot.rack_event_cursor;
+      }
+      if (slot.rack_event_cursor < days.size() &&
+          days[slot.rack_event_cursor] == day) {
+        // Rack power pulled: every device in the rack crashes this same
+        // simulated day and stays dark until rack power is restored.
+        ++slot.rack_event_cursor;
+        slot.device->Crash(SsdDevice::CrashKind::kPowerLoss);
+        slot.dark = true;
+        slot.dark_until_day = day + domain.rack_restart_days;
+        ++slot.rack_crashes;
+        ++slot.power_losses;
+        return;
+      }
+    }
+    if (slot.cohort < schedule->cohort_wave_days.size()) {
+      const std::vector<uint32_t>& days =
+          schedule->cohort_wave_days[slot.cohort];
+      while (slot.cohort_wave_cursor < days.size() &&
+             days[slot.cohort_wave_cursor] < day) {
+        ++slot.cohort_wave_cursor;
+      }
+      if (slot.cohort_wave_cursor < days.size() &&
+          days[slot.cohort_wave_cursor] == day) {
+        ++slot.cohort_wave_cursor;
+        const uint32_t span = std::max(1u, domain.cohort_unavailable_days);
+        slot.paused_until_day = std::max(slot.paused_until_day, day + span);
+      }
+    }
+    if (day < slot.paused_until_day) {
+      // Cohort-unavailability wave: the device pauses (no I/O, no draws, no
+      // crash) — its streams stay frozen exactly like a dark day's.
+      ++slot.cohort_pause_days;
+      return;
+    }
   }
   if (slot.rng.Bernoulli(daily_failure)) {
     // Random infant/controller failure, independent of wear.
@@ -186,6 +286,18 @@ void FleetSim::StepDevice(DeviceSlot& slot, uint32_t day,
       // a near-dead device over the edge, same as foreground traffic.
       slot.alive = false;
     }
+  }
+  if (domain.drain_enabled() && slot.alive && !slot.device->failed() &&
+      slot.device->HealthScore(domain.drain_pec_horizon) <=
+          domain.drain_health_threshold) {
+    // Proactive health-driven retirement: the health score crossed the
+    // threshold, so the device is taken out of service *before* it bricks
+    // and its surviving data is migrated off (modeled as a capacity-sized
+    // bulk move — the fleet has no chunk map, the clusters do the real I/O
+    // variant). Pure read + slot state, zero RNG draws.
+    slot.drain_migrated_bytes = slot.device->live_capacity_bytes();
+    slot.drained = true;
+    slot.alive = false;
   }
   // Telemetry counting touches only this slot's shard; null when detached.
   if (steps != nullptr) {
@@ -280,6 +392,10 @@ double FleetSim::PrepareRun() {
 
 std::vector<FleetSnapshot> FleetSim::RunLockstep() {
   const double daily_failure = PrepareRun();
+  // Null unless a domain feature is on: the disabled path costs nothing and
+  // provably touches no slot state.
+  const FleetDomainSchedule* schedule =
+      config_.domain.enabled() ? &domain_schedule_ : nullptr;
   // Each worker owns a disjoint slice of slots between day barriers; the
   // sampling/merge below runs on this thread after the barrier, in device-ID
   // order. With threads == 1 the pool executes inline (a plain loop).
@@ -296,7 +412,8 @@ std::vector<FleetSnapshot> FleetSim::RunLockstep() {
       for (size_t i = begin; i < end; ++i) {
         StepDevice(slots_[i], day, daily_failure,
                    config_.scrub_opages_per_day,
-                   config_.power_loss_restart_days, config_.queue, i,
+                   config_.power_loss_restart_days, config_.queue,
+                   config_.domain, schedule, i,
                    day_steps_.get(), day_opages_.get());
       }
     });
@@ -326,12 +443,14 @@ void FleetSim::ExecuteEvent(DeviceSlot& slot, const FleetEvent& event,
                             double daily_failure, uint64_t scrub_budget,
                             uint32_t restart_days,
                             const FleetQueueConfig& queue,
+                            const FleetDomainConfig& domain,
+                            const FleetDomainSchedule* schedule,
                             ShardedCounter* steps, ShardedCounter* opages) {
   const size_t shard = event.device;
   uint32_t day = event.day;
   while (day <= window_end) {
     StepDevice(slot, day, daily_failure, scrub_budget, restart_days, queue,
-               shard, steps, opages);
+               domain, schedule, shard, steps, opages);
     ++slot.days_stepped;
     if (!slot.alive) {
       // Terminal: dead devices post no further events, so the rest of the
@@ -366,6 +485,8 @@ void FleetSim::ExecuteEvent(DeviceSlot& slot, const FleetEvent& event,
 
 std::vector<FleetSnapshot> FleetSim::RunEventDriven() {
   const double daily_failure = PrepareRun();
+  const FleetDomainSchedule* schedule =
+      config_.domain.enabled() ? &domain_schedule_ : nullptr;
   const bool telemetry = telemetry_attached();
   const uint32_t sample_every = std::max(1u, config_.sample_every_days);
   if (slots_.empty()) {
@@ -441,6 +562,7 @@ std::vector<FleetSnapshot> FleetSim::RunEventDriven() {
                      config_.days, daily_failure,
                      config_.scrub_opages_per_day,
                      config_.power_loss_restart_days, config_.queue,
+                     config_.domain, schedule,
                      day_steps_.get(), day_opages_.get());
       }
     });
@@ -525,6 +647,15 @@ uint64_t FleetSim::DeviceDigest(uint32_t device) const {
     mix(slot.queue_served_opages);
     mix(slot.queue_shed_opages);
     mix(slot.queue_backlog_peak);
+  }
+  if (config_.domain.enabled()) {
+    // Same rule again: the failure-domain ledger joins only when a domain
+    // feature is on, keeping pre-domain digests byte-identical.
+    mix(slot.rack_crashes);
+    mix(slot.cohort_pause_days);
+    mix(slot.paused_until_day);
+    mix(slot.drained ? 1 : 0);
+    mix(slot.drain_migrated_bytes);
   }
   return digest;
 }
@@ -612,6 +743,23 @@ void FleetSim::RegisterSamplerProbes() {
       return static_cast<double>(queue_shed_total());
     });
   }
+  // Domain probes only exist when the corresponding domain feature is on,
+  // for the same byte-identity reason as the scrub probes above.
+  if (config_.domain.rack_events_enabled()) {
+    sampler.AddProbe("fleet.domain.rack_crashes_total", [this] {
+      return static_cast<double>(rack_crashes_total());
+    });
+  }
+  if (config_.domain.cohort_waves_enabled()) {
+    sampler.AddProbe("fleet.domain.cohort_pause_days_total", [this] {
+      return static_cast<double>(cohort_pause_days_total());
+    });
+  }
+  if (config_.domain.drain_enabled()) {
+    sampler.AddProbe("fleet.drain.drained_devices", [this] {
+      return static_cast<double>(drained_devices());
+    });
+  }
   // Power-loss probes only exist when power loss is injected, for the same
   // byte-identity reason as the scrub probes above.
   if (config_.power_loss_per_device_day > 0.0) {
@@ -643,6 +791,7 @@ void FleetSim::RecordDayTelemetry(uint32_t day,
       if (alive_before[i] != 0 && !slots_[i].alive) {
         config_.trace->Instant(
             (slots_[i].random_failure ? "device_death:random:"
+             : slots_[i].drained     ? "device_death:drained:"
                                       : "device_death:wear:") +
                 std::to_string(i),
             "fleet", start_us + kTraceUsPerDay, config_.trace_tid);
@@ -702,6 +851,10 @@ void FleetSim::CollectMetrics(MetricRegistry& registry,
       capacity += slot.device->live_capacity_bytes();
     } else if (slot.random_failure) {
       ++random_failures;
+    } else if (slot.drained) {
+      // Proactively retired, not a wear death — counted in the gated
+      // fleet.drain.* block below. slot.drained is only ever set when the
+      // drain knob is on, so wear_failures is unchanged at defaults.
     } else {
       ++wear_failures;
     }
@@ -781,6 +934,41 @@ void FleetSim::CollectMetrics(MetricRegistry& registry,
     registry.GetGauge(prefix + "fleet.sched.backlog_peak_opages")
         .Add(static_cast<double>(backlog_peak));
   }
+  // Failure-domain counters follow the same rule: each block is absent
+  // unless its domain feature is on, keeping domain-free metric dumps
+  // byte-identical.
+  if (config_.domain.rack_events_enabled()) {
+    uint64_t scheduled = 0;
+    for (const auto& days : domain_schedule_.rack_power_days) {
+      scheduled += days.size();
+    }
+    registry.GetGauge(prefix + "fleet.domain.racks")
+        .Add(static_cast<double>(domain_schedule_.rack_power_days.size()));
+    registry.GetCounter(prefix + "fleet.domain.rack_events_scheduled")
+        .Add(scheduled);
+    registry.GetCounter(prefix + "fleet.domain.rack_crashes")
+        .Add(rack_crashes_total());
+  }
+  if (config_.domain.cohort_wear_enabled()) {
+    registry.GetGauge(prefix + "fleet.domain.batch_cohorts")
+        .Add(static_cast<double>(config_.domain.batch_cohorts));
+  }
+  if (config_.domain.cohort_waves_enabled()) {
+    uint64_t scheduled = 0;
+    for (const auto& days : domain_schedule_.cohort_wave_days) {
+      scheduled += days.size();
+    }
+    registry.GetCounter(prefix + "fleet.domain.cohort_waves_scheduled")
+        .Add(scheduled);
+    registry.GetCounter(prefix + "fleet.domain.cohort_pause_days")
+        .Add(cohort_pause_days_total());
+  }
+  if (config_.domain.drain_enabled()) {
+    registry.GetCounter(prefix + "fleet.drain.devices_drained")
+        .Add(drained_devices());
+    registry.GetCounter(prefix + "fleet.drain.migrated_bytes")
+        .Add(drain_migrated_bytes_total());
+  }
   // Power-loss counters follow the same rule: absent unless injected.
   if (config_.power_loss_per_device_day > 0.0) {
     registry.GetCounter(prefix + "fleet.power_loss.events")
@@ -857,6 +1045,38 @@ uint64_t FleetSim::queue_backlog_total() const {
   uint64_t total = 0;
   for (const DeviceSlot& slot : slots_) {
     total += slot.queue_backlog_opages;
+  }
+  return total;
+}
+
+uint64_t FleetSim::rack_crashes_total() const {
+  uint64_t total = 0;
+  for (const DeviceSlot& slot : slots_) {
+    total += slot.rack_crashes;
+  }
+  return total;
+}
+
+uint64_t FleetSim::cohort_pause_days_total() const {
+  uint64_t total = 0;
+  for (const DeviceSlot& slot : slots_) {
+    total += slot.cohort_pause_days;
+  }
+  return total;
+}
+
+uint32_t FleetSim::drained_devices() const {
+  uint32_t total = 0;
+  for (const DeviceSlot& slot : slots_) {
+    total += slot.drained ? 1 : 0;
+  }
+  return total;
+}
+
+uint64_t FleetSim::drain_migrated_bytes_total() const {
+  uint64_t total = 0;
+  for (const DeviceSlot& slot : slots_) {
+    total += slot.drain_migrated_bytes;
   }
   return total;
 }

@@ -92,6 +92,68 @@ struct FleetQueueConfig {
   bool enabled() const { return service_opages_per_day > 0; }
 };
 
+// Correlated failure domains (ISSUE 10). Devices belong to two orthogonal
+// domain axes: a *rack* (placement / power domain, `device / devices_per_rack`)
+// and a *manufacturing-batch cohort* (`device % batch_cohorts`). Each axis can
+// inject correlated events:
+//   - rack power loss: every device in the rack crashes (kPowerLoss) the same
+//     simulated day and stays dark for `rack_restart_days`;
+//   - batch endurance variance: every device in a cohort shares one latent
+//     lognormal wear factor (scales WearModelConfig::coefficient), so whole
+//     batches age fast or slow together;
+//   - cohort unavailability waves: every device in the cohort pauses I/O
+//     (draw-free days, no crash) for `cohort_unavailable_days`.
+// All schedules are precomputed at construction from dedicated RNG roots
+// (one per feature, forked per rack / per cohort in id order), so they are
+// bit-identical at any thread count and under either scheduler engine, and a
+// disabled feature draws nothing — every pre-existing output byte-identical.
+struct FleetDomainConfig {
+  // Devices per rack; 0 — the default — disables the rack axis entirely.
+  uint32_t devices_per_rack = 0;
+  // Per rack-day probability that the rack loses power (all devices crash).
+  double rack_power_loss_per_day = 0.0;
+  // Days a rack-crashed device stays dark before Restart() is attempted.
+  uint32_t rack_restart_days = 1;
+  // Manufacturing-batch cohorts; 0 — the default — disables the cohort axis.
+  uint32_t batch_cohorts = 0;
+  // Lognormal sigma of the shared per-cohort endurance factor (scales the
+  // wear model's RBER growth coefficient). 0 disables batch wear variance.
+  double batch_endurance_sigma = 0.0;
+  // Per cohort-day probability of a transient-unavailability wave.
+  double cohort_unavailable_per_day = 0.0;
+  uint32_t cohort_unavailable_days = 1;
+  // Proactive health-driven drain: when > 0, a device whose
+  // SsdDevice::HealthScore(drain_pec_horizon) falls to or below this is
+  // retired ahead of failure (its data migrated off in one day, modeled as a
+  // capacity-sized bulk move) instead of being ridden to the brick.
+  double drain_health_threshold = 0.0;
+  double drain_pec_horizon = 0.25;
+
+  bool rack_events_enabled() const {
+    return devices_per_rack > 0 && rack_power_loss_per_day > 0.0;
+  }
+  bool cohort_wear_enabled() const {
+    return batch_cohorts > 0 && batch_endurance_sigma > 0.0;
+  }
+  bool cohort_waves_enabled() const {
+    return batch_cohorts > 0 && cohort_unavailable_per_day > 0.0;
+  }
+  bool drain_enabled() const { return drain_health_threshold > 0.0; }
+  bool enabled() const {
+    return rack_events_enabled() || cohort_wear_enabled() ||
+           cohort_waves_enabled() || drain_enabled();
+  }
+};
+
+// Precomputed domain-event calendar: per-rack power-loss days and per-cohort
+// wave days (each sorted ascending), plus the per-cohort wear factors. Built
+// once at FleetSim construction; slots walk it with slot-local cursors.
+struct FleetDomainSchedule {
+  std::vector<std::vector<uint32_t>> rack_power_days;
+  std::vector<std::vector<uint32_t>> cohort_wave_days;
+  std::vector<double> cohort_wear_factor;
+};
+
 struct FleetConfig {
   SsdKind kind = SsdKind::kBaseline;
   uint32_t devices = 20;
@@ -168,6 +230,11 @@ struct FleetConfig {
   // attempted (rack power restoration latency, at day granularity).
   uint32_t power_loss_restart_days = 1;
 
+  // ---- Correlated failure domains + proactive drain (ISSUE 10) -------------
+  // Disabled by default (every field zero): no extra RNG roots, no schedule,
+  // every pre-existing output byte-identical.
+  FleetDomainConfig domain;
+
   // ---- Telemetry hooks (not owned; nullptr = zero-cost detached) -----------
   // All recording happens on the owning thread at day barriers (per-slot
   // sharded counters aside, which workers write race-free), so attached
@@ -234,6 +301,15 @@ class FleetSim {
   // Demand currently parked in backlogs (admitted but not yet served).
   uint64_t queue_backlog_total() const;
 
+  // Failure-domain totals (sums over devices). Valid after Run(); all zero
+  // when the corresponding domain feature is disabled.
+  uint64_t rack_crashes_total() const;
+  uint64_t cohort_pause_days_total() const;
+  uint32_t drained_devices() const;
+  uint64_t drain_migrated_bytes_total() const;
+  // The precomputed domain-event calendar (empty when the axes are off).
+  const FleetDomainSchedule& domain_schedule() const { return domain_schedule_; }
+
   // Power-loss totals (sums over devices). Valid after Run(); all zero when
   // power loss is not injected.
   uint64_t power_losses_total() const;
@@ -285,6 +361,21 @@ class FleetSim {
     uint64_t restarts = 0;
     uint64_t restart_failures = 0;  // journal replay failed: device gone
 
+    // ---- Failure-domain state (used only when the domain axis is on) -------
+    // Slot-local cursors into the precomputed schedule; advanced only while
+    // stepping this slot, so they are monotone and thread-invariant under
+    // both engines.
+    uint32_t rack = 0;                // device / devices_per_rack
+    uint32_t cohort = 0;              // device % batch_cohorts
+    size_t rack_event_cursor = 0;     // next unconsumed rack_power_days entry
+    size_t cohort_wave_cursor = 0;    // next unconsumed cohort_wave_days entry
+    uint32_t paused_until_day = 0;    // cohort wave: first day I/O resumes
+    uint64_t rack_crashes = 0;        // rack power-loss crashes of this device
+    uint64_t cohort_pause_days = 0;   // device-days lost to cohort waves
+    // Proactive drain: retired ahead of failure by the health threshold.
+    bool drained = false;
+    uint64_t drain_migrated_bytes = 0;  // live capacity moved off at drain
+
     // ---- Background scrub state (used only when scrub is enabled) ----------
     // Forked 4th per device in device-ID order, so enabling scrub never
     // perturbs another device's streams; used once, for the staggered start.
@@ -326,7 +417,9 @@ class FleetSim {
   // `threads`.
   static void StepDevice(DeviceSlot& slot, uint32_t day, double daily_failure,
                          uint64_t scrub_budget, uint32_t restart_days,
-                         const FleetQueueConfig& queue, size_t shard,
+                         const FleetQueueConfig& queue,
+                         const FleetDomainConfig& domain,
+                         const FleetDomainSchedule* schedule, size_t shard,
                          ShardedCounter* steps, ShardedCounter* opages);
   // One day of background scrub on one device: walks `budget` oPages from
   // the slot's cursor, folds the FTL's silent-corruption counter into the
@@ -345,6 +438,8 @@ class FleetSim {
                            double daily_failure, uint64_t scrub_budget,
                            uint32_t restart_days,
                            const FleetQueueConfig& queue,
+                           const FleetDomainConfig& domain,
+                           const FleetDomainSchedule* schedule,
                            ShardedCounter* steps, ShardedCounter* opages);
 
   // The two engines behind Run(). Both produce identical snapshots_ and
@@ -376,6 +471,7 @@ class FleetSim {
   FleetConfig config_;
   std::vector<DeviceSlot> slots_;
   std::vector<FleetSnapshot> snapshots_;
+  FleetDomainSchedule domain_schedule_;
   uint64_t initial_capacity_ = 0;
 
   // Per-slot sharded day counters, allocated only while telemetry is

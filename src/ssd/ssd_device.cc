@@ -96,6 +96,25 @@ uint64_t SsdDevice::bytes_written() const {
   return ftl_->stats().host_writes * config_.ftl.geometry.opage_bytes;
 }
 
+double SsdDevice::HealthScore(double pec_horizon_fraction) const {
+  if (failed_) {
+    return 0.0;
+  }
+  const double capacity =
+      initial_capacity_bytes_ == 0
+          ? 1.0
+          : static_cast<double>(live_capacity_bytes()) /
+                static_cast<double>(initial_capacity_bytes_);
+  const uint64_t span = ftl_->usable_opages();
+  const double tiring =
+      span == 0
+          ? 1.0
+          : std::min(1.0, static_cast<double>(ftl_->ForecastTiringOPages(
+                              pec_horizon_fraction)) /
+                              static_cast<double>(span));
+  return capacity * (1.0 - tiring);
+}
+
 SsdDevice::EventEstimate SsdDevice::EstimateNextEvent() const {
   EventEstimate estimate;
   if (failed_) {

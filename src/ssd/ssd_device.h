@@ -133,6 +133,15 @@ class SsdDevice {
   uint64_t msize_opages() const { return manager_->msize_opages(); }
   uint64_t initial_capacity_bytes() const { return initial_capacity_bytes_; }
 
+  // Composite health in [0, 1] from telemetry the device already maintains:
+  // the surviving-capacity fraction (ShrinkS decay shows up here) discounted
+  // by the fraction of in-service flash forecast to tire within the next
+  // `pec_horizon_fraction` of its P/E count (catches CVSS-style devices whose
+  // capacity holds steady until the first retirement bricks them). 0 when
+  // failed. Pure read — no RNG, no state change — so health-driven policies
+  // stay deterministic. O(total fPages); see Ftl::ForecastTiringOPages.
+  double HealthScore(double pec_horizon_fraction = 0.25) const;
+
   const Ftl& ftl() const { return *ftl_; }
   const MinidiskManager& manager() const { return *manager_; }
 

@@ -97,6 +97,60 @@ TEST(LogHistogramTest, QuantileSingleSampleIsThatSampleAtEveryQ) {
   EXPECT_NEAR(static_cast<double>(h.Quantile(0.5)), 777.0, 777.0 * 0.04);
 }
 
+TEST(LogHistogramTest, P999OnEmptyHistogramIsZero) {
+  // workload_replay prints P99/P999 unconditionally; a tiny --days run that
+  // emits no reads reaches this with count()==0 and must print 0, not a
+  // sentinel or an out-of-range bucket bound.
+  LogHistogram h;
+  EXPECT_EQ(h.P50(), 0u);
+  EXPECT_EQ(h.P95(), 0u);
+  EXPECT_EQ(h.P99(), 0u);
+  EXPECT_EQ(h.P999(), 0u);
+}
+
+TEST(LogHistogramTest, P999OnSingleSampleIsExactlyThatSample) {
+  // With one sample every quantile's bucket bound clamps to max_, so the
+  // result is exact — not merely within bucket error. Pin that.
+  LogHistogram h;
+  h.Record(123457);
+  EXPECT_EQ(h.P50(), 123457u);
+  EXPECT_EQ(h.P95(), 123457u);
+  EXPECT_EQ(h.P99(), 123457u);
+  EXPECT_EQ(h.P999(), 123457u);
+}
+
+TEST(LogHistogramTest, P999OnSingleZeroSampleIsZero) {
+  LogHistogram h;
+  h.Record(0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.P999(), 0u);
+  EXPECT_EQ(h.Quantile(1.0), 0u);
+}
+
+TEST(LogHistogramTest, QuantilesMonotoneInQ) {
+  LogHistogram h;
+  Rng rng(12345);
+  for (int i = 0; i < 10000; ++i) {
+    h.Record(1 + rng.UniformU64(1 << 20));
+  }
+  EXPECT_LE(h.min(), h.P50());
+  EXPECT_LE(h.P50(), h.P95());
+  EXPECT_LE(h.P95(), h.P99());
+  EXPECT_LE(h.P99(), h.P999());
+  EXPECT_LE(h.P999(), h.max());
+}
+
+TEST(LogHistogramTest, P999NeverExceedsMaxOnTwoSamples) {
+  // Two widely separated samples: P999's target rank lands on the top
+  // sample, whose bucket bound overshoots the value — the clamp must bring
+  // it back to max() exactly.
+  LogHistogram h;
+  h.Record(3);
+  h.Record(999983);
+  EXPECT_EQ(h.P999(), 999983u);
+  EXPECT_EQ(h.Quantile(0.5), 3u);
+}
+
 TEST(LogHistogramTest, SingleSubBucketPerOctaveStillOrdered) {
   // The coarsest legal layout (1 sub-bucket per octave) must keep
   // min <= p50 <= p99 <= max and exact edge quantiles.
